@@ -1,0 +1,90 @@
+// Command experiments regenerates the paper's evaluation: Figures 3-4 and
+// Tables 2-5, plus the ablation studies. Output is the text rendering used
+// in EXPERIMENTS.md.
+//
+//	experiments                  # everything at the default quick scale
+//	experiments -only fig3       # one experiment
+//	experiments -scale 2 -seed 7 # bigger inputs, different schedule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"slacksim/internal/experiments"
+)
+
+func main() {
+	var (
+		scale = flag.Int("scale", 1, "workload input scale")
+		cores = flag.Int("cores", 8, "target cores")
+		seed  = flag.Int64("seed", 1, "scheduling seed")
+		only  = flag.String("only", "", "run one experiment: fig3, fig4, table2, table34, table5, ablations, scaling")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Scale = *scale
+	cfg.Cores = *cores
+	cfg.Seed = *seed
+
+	want := func(name string) bool { return *only == "" || *only == name }
+	start := time.Now()
+
+	if want("fig3") {
+		series, err := experiments.Fig3(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatFig3(series))
+	}
+	if want("fig4") {
+		for _, wl := range cfg.Workloads {
+			r, err := experiments.Fig4(cfg, wl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(experiments.FormatFig4(r))
+		}
+	}
+	if want("table2") {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatTable2(cfg, rows))
+	}
+	if want("table34") {
+		rows, err := experiments.Table3And4(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatTable3And4(cfg, rows))
+	}
+	if want("table5") {
+		rows, err := experiments.Table5(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatTable5(rows))
+	}
+	if want("ablations") {
+		rows, err := experiments.Ablations(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatAblations(rows))
+	}
+	if want("scaling") {
+		rows, err := experiments.Scaling(cfg, "water", []int{2, 4, 8, 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatScaling("water", rows))
+	}
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Millisecond))
+}

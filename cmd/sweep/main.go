@@ -1,0 +1,72 @@
+// Command sweep runs a workload × scheme grid and emits one TSV row per
+// run, for plotting or regression tracking.
+//
+//	sweep -workloads fft,lu -bounds 1,4,16,64 -su -cc
+//	sweep -workloads water -bounds 8 -seeds 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"slacksim"
+)
+
+func main() {
+	var (
+		workloads = flag.String("workloads", "barnes,fft,lu,water", "comma-separated workloads")
+		bounds    = flag.String("bounds", "1,2,4,8,16,32,64", "comma-separated slack bounds")
+		withCC    = flag.Bool("cc", true, "include cycle-by-cycle")
+		withSU    = flag.Bool("su", true, "include unbounded slack")
+		scale     = flag.Int("scale", 1, "workload input scale")
+		cores     = flag.Int("cores", 8, "target cores")
+		seeds     = flag.Int("seeds", 1, "number of seeds per configuration")
+	)
+	flag.Parse()
+
+	var schemes []slacksim.Scheme
+	if *withCC {
+		schemes = append(schemes, slacksim.Schemes.CC())
+	}
+	for _, f := range strings.Split(*bounds, ",") {
+		b, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			log.Fatalf("bad bound %q: %v", f, err)
+		}
+		schemes = append(schemes, slacksim.Schemes.Bounded(b))
+	}
+	if *withSU {
+		schemes = append(schemes, slacksim.Schemes.Unbounded())
+	}
+
+	fmt.Println("workload\tscheme\tseed\tcycles\tinsts\tcpi\tbus_viol\tmap_viol\tbus_rate\tmap_rate\thost_work\twall_s")
+	for _, wl := range strings.Split(*workloads, ",") {
+		wl = strings.TrimSpace(wl)
+		for _, sch := range schemes {
+			for seed := int64(1); seed <= int64(*seeds); seed++ {
+				sim, err := slacksim.New(slacksim.Config{
+					Workload: wl, Scale: *scale, Cores: *cores,
+					Scheme: sch, Seed: seed,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				r, err := sim.Run()
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := sim.Verify(); err != nil {
+					log.Fatalf("%s/%s seed %d: functional check failed: %v",
+						wl, sch.Name(), seed, err)
+				}
+				fmt.Printf("%s\t%s\t%d\t%d\t%d\t%.3f\t%d\t%d\t%.6f\t%.6f\t%.0f\t%.3f\n",
+					wl, r.Scheme, seed, r.Cycles, r.Committed, r.CPI,
+					r.BusViolations, r.MapViolations, r.BusRate, r.MapRate,
+					r.HostWorkUnits, r.WallClock.Seconds())
+			}
+		}
+	}
+}

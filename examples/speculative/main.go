@@ -1,0 +1,89 @@
+// Speculative slack: checkpoints, rollback, and the analytical model.
+//
+// The paper evaluated speculative slack simulation analytically: it
+// measured checkpointing overhead (Table 2), the fraction of intervals
+// with a violation F (Table 3), and the first-violation distance Dr
+// (Table 4), then plugged them into Ts = (1-F)·Tcpt + F·Dr·Tcpt/I + F·Tcc
+// (Table 5). This simulator implements rollback for real, so this example
+// does both: it derives the model estimate from measured F/Dr and compares
+// it against an actual speculative run with rollbacks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slacksim"
+	"slacksim/internal/specmodel"
+)
+
+const interval = 2000
+
+func run(cfg slacksim.Config) slacksim.Results {
+	sim, err := slacksim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.Verify(); err != nil {
+		log.Fatalf("functional check failed: %v", err)
+	}
+	return res
+}
+
+func main() {
+	base := slacksim.Config{Workload: "barnes", Scale: 1, Cores: 8, Seed: 4}
+
+	ccCfg := base
+	ccCfg.Scheme = slacksim.Schemes.CC()
+	cc := run(ccCfg)
+
+	// Slack run with periodic checkpoints but no rollback: Tcpt, F, Dr.
+	cptCfg := base
+	cptCfg.Scheme = slacksim.Schemes.Bounded(32)
+	cptCfg.CheckpointInterval = interval
+	cptCfg.TrackIntervals = []int64{interval}
+	cpt := run(cptCfg)
+	ir := cpt.Intervals[0]
+
+	fmt.Printf("cycle-by-cycle:       %10.0f work units (%d cycles)\n",
+		cc.HostWorkUnits, cc.Cycles)
+	fmt.Printf("slack+checkpointing:  %10.0f work units, %d checkpoints\n",
+		cpt.HostWorkUnits, cpt.Checkpoints)
+	fmt.Printf("interval stats:       F = %.2f, Dr = %.0f cycles (I = %d)\n",
+		ir.FractionViolating, ir.MeanFirstDistance, interval)
+
+	in := specmodel.Inputs{
+		Tcc:  cc.HostWorkUnits,
+		Tcpt: cpt.HostWorkUnits,
+		F:    ir.FractionViolating,
+		Dr:   ir.MeanFirstDistance,
+		I:    interval,
+	}
+	ts, err := in.Estimate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanalytical model Ts:  %10.0f work units", ts)
+	if ok, _ := in.Worthwhile(); ok {
+		fmt.Println("  -> model says speculation beats CC")
+	} else {
+		fmt.Println("  -> model says speculation loses to CC (the paper's Table 5 outcome)")
+	}
+	if f, err := in.BreakEvenF(); err == nil {
+		fmt.Printf("break-even F:         %10.2f (need fewer violating intervals than this)\n", f)
+	}
+
+	// Now run speculation for real.
+	specCfg := cptCfg
+	specCfg.Rollback = true
+	specCfg.TrackIntervals = nil
+	spec := run(specCfg)
+	fmt.Printf("\nmeasured speculative: %10.0f work units, %d rollbacks, %d cycles wasted, %d replayed\n",
+		spec.HostWorkUnits, spec.Rollbacks, spec.WastedCycles, spec.ReplayCycles)
+	fmt.Printf("surviving violations: bus=%d map=%d (rollback erased the rest)\n",
+		spec.BusViolations, spec.MapViolations)
+}

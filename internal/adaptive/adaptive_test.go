@@ -1,0 +1,165 @@
+package adaptive
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cfg() Config {
+	c := DefaultConfig()
+	c.InitialBound = 8
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	bad := []Config{
+		{TargetRate: 0, Band: 0, InitialBound: 1, MinBound: 1, MaxBound: 2, Period: 1},
+		{TargetRate: 0.1, Band: -1, InitialBound: 1, MinBound: 1, MaxBound: 2, Period: 1},
+		{TargetRate: 0.1, Band: 0, InitialBound: 1, MinBound: 0, MaxBound: 2, Period: 1},
+		{TargetRate: 0.1, Band: 0, InitialBound: 1, MinBound: 2, MaxBound: 1, Period: 1},
+		{TargetRate: 0.1, Band: 0, InitialBound: 5, MinBound: 1, MaxBound: 2, Period: 1},
+		{TargetRate: 0.1, Band: 0, InitialBound: 1, MinBound: 1, MaxBound: 2, Period: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(bad[0]); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestIncreaseWhenQuiet(t *testing.T) {
+	c := MustNew(cfg())
+	b0 := c.Bound()
+	b1 := c.Update(0) // no violations at all
+	if b1 != b0+1 {
+		t.Errorf("bound %d -> %d, want +1", b0, b1)
+	}
+	if c.Adjustments != 1 {
+		t.Errorf("Adjustments = %d", c.Adjustments)
+	}
+}
+
+func TestDecreaseWhenNoisy(t *testing.T) {
+	conf := cfg()
+	conf.InitialBound = 100
+	c := MustNew(conf)
+	b := c.Update(conf.TargetRate * 10)
+	if b >= 100 {
+		t.Errorf("bound did not decrease: %d", b)
+	}
+	// AIMD: the cut is multiplicative (bound/4 = 25).
+	if b != 75 {
+		t.Errorf("AIMD cut to %d, want 75", b)
+	}
+}
+
+func TestAIADPolicy(t *testing.T) {
+	conf := cfg()
+	conf.InitialBound = 100
+	c := MustNew(conf)
+	c.SetPolicy(AIAD)
+	if b := c.Update(conf.TargetRate * 10); b != 99 {
+		t.Errorf("AIAD cut to %d, want 99", b)
+	}
+}
+
+func TestHoldInsideBand(t *testing.T) {
+	c := MustNew(cfg())
+	b0 := c.Bound()
+	// 3% above target with a 5% band: hold.
+	if b := c.Update(c.Config().TargetRate * 1.03); b != b0 {
+		t.Errorf("bound moved inside band: %d -> %d", b0, b)
+	}
+	if c.Holds != 1 || c.Adjustments != 0 {
+		t.Errorf("holds=%d adjustments=%d", c.Holds, c.Adjustments)
+	}
+}
+
+func TestClamping(t *testing.T) {
+	conf := cfg()
+	conf.MinBound, conf.MaxBound = 2, 10
+	conf.InitialBound = 10
+	c := MustNew(conf)
+	if b := c.Update(0); b != 10 {
+		t.Errorf("bound exceeded max: %d", b)
+	}
+	for i := 0; i < 20; i++ {
+		c.Update(1) // very noisy
+	}
+	if c.Bound() != 2 {
+		t.Errorf("bound below min or stuck: %d", c.Bound())
+	}
+}
+
+func TestMeanBound(t *testing.T) {
+	c := MustNew(cfg())
+	if c.MeanBound() != 0 {
+		t.Error("mean before updates not 0")
+	}
+	c.Update(0) // 9
+	c.Update(0) // 10
+	if got := c.MeanBound(); got != 9.5 {
+		t.Errorf("MeanBound = %v, want 9.5", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	c := MustNew(cfg())
+	c.Update(0)
+	snap := c.Snapshot()
+	c.Update(0)
+	c.Update(0)
+	c.Restore(snap)
+	if c.Bound() != snap.Bound() || c.Adjustments != snap.Adjustments {
+		t.Error("restore mismatch")
+	}
+}
+
+// Property: the bound always stays within [MinBound, MaxBound] under any
+// rate sequence.
+func TestQuickBoundStaysClamped(t *testing.T) {
+	conf := cfg()
+	prop := func(rates []float64) bool {
+		c := MustNew(conf)
+		for _, r := range rates {
+			if r < 0 {
+				r = -r
+			}
+			b := c.Update(r)
+			if b < conf.MinBound || b > conf.MaxBound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property of the feedback direction: above the band the bound never
+// grows; below it never shrinks.
+func TestQuickMonotoneResponse(t *testing.T) {
+	conf := cfg()
+	c := MustNew(conf)
+	for i := 0; i < 100; i++ {
+		before := c.Bound()
+		after := c.Update(conf.TargetRate * 3)
+		if after > before {
+			t.Fatal("bound grew while too noisy")
+		}
+	}
+	for i := 0; i < 100; i++ {
+		before := c.Bound()
+		after := c.Update(0)
+		if after < before {
+			t.Fatal("bound shrank while quiet")
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slacksim/internal/coherence"
+)
+
+func testConfig() Config {
+	return Config{Name: "t", SizeBytes: 1 << 12, Assoc: 2, LatencyCycles: 2} // 32 sets
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Name: "z", SizeBytes: 0, Assoc: 1},
+		{Name: "n", SizeBytes: -64, Assoc: 1},
+		{Name: "d", SizeBytes: 100, Assoc: 1},     // not divisible
+		{Name: "p", SizeBytes: 64 * 3, Assoc: 1},  // 3 sets, not pow2
+		{Name: "a", SizeBytes: 1 << 12, Assoc: 0}, // zero assoc
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if got := testConfig().Sets(); got != 32 {
+		t.Errorf("Sets = %d, want 32", got)
+	}
+}
+
+func TestProbeMissThenInsertHit(t *testing.T) {
+	c := New(testConfig())
+	if c.Probe(0x100, false) {
+		t.Fatal("cold probe hit")
+	}
+	c.Insert(0x100, coherence.Shared)
+	if !c.Probe(0x100, false) {
+		t.Fatal("read probe after insert missed")
+	}
+	if c.Probe(0x100, true) {
+		t.Fatal("write probe hit in Shared state")
+	}
+	c.SetState(0x100, coherence.Modified)
+	if !c.Probe(0x100, true) {
+		t.Fatal("write probe in Modified missed")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("hits=%d misses=%d, want 2/2", c.Hits, c.Misses)
+	}
+}
+
+func TestStateAndSetState(t *testing.T) {
+	c := New(testConfig())
+	if c.State(0x42) != coherence.Invalid {
+		t.Fatal("absent line not Invalid")
+	}
+	c.Insert(0x42, coherence.Exclusive)
+	if c.State(0x42) != coherence.Exclusive {
+		t.Fatal("state after insert wrong")
+	}
+	c.SetState(0x42, coherence.Invalid)
+	if c.State(0x42) != coherence.Invalid {
+		t.Fatal("invalidate failed")
+	}
+	// Setting Invalid on an absent line is a no-op, not a panic.
+	c.SetState(0x9999, coherence.Invalid)
+}
+
+func TestSetStateAbsentPanics(t *testing.T) {
+	c := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("SetState(valid) on absent line did not panic")
+		}
+	}()
+	c.SetState(0x77, coherence.Modified)
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(testConfig()) // 2-way, 32 sets
+	// Three lines in the same set (same low 5 bits).
+	l1, l2, l3 := uint64(0x20), uint64(0x40), uint64(0x60)
+	c.Insert(l1, coherence.Shared)
+	c.Insert(l2, coherence.Shared)
+	c.Probe(l1, false) // touch l1 so l2 is LRU
+	v := c.Insert(l3, coherence.Shared)
+	if !v.Valid || v.LineAddr != l2 {
+		t.Fatalf("evicted %+v, want line %#x", v, l2)
+	}
+	if v.Dirty {
+		t.Error("clean victim flagged dirty")
+	}
+	if c.State(l1) == coherence.Invalid || c.State(l3) == coherence.Invalid {
+		t.Error("survivors missing")
+	}
+}
+
+func TestDirtyVictim(t *testing.T) {
+	c := New(testConfig())
+	l1, l2, l3 := uint64(0x20), uint64(0x40), uint64(0x60)
+	c.Insert(l1, coherence.Modified)
+	c.Insert(l2, coherence.Shared)
+	c.Probe(l2, false)
+	v := c.Insert(l3, coherence.Shared)
+	if !v.Valid || v.LineAddr != l1 || !v.Dirty {
+		t.Fatalf("victim %+v, want dirty line %#x", v, l1)
+	}
+	if c.Writebacks != 1 || c.Evictions != 1 {
+		t.Errorf("writebacks=%d evictions=%d", c.Writebacks, c.Evictions)
+	}
+}
+
+func TestInsertExistingUpdatesState(t *testing.T) {
+	c := New(testConfig())
+	c.Insert(0x10, coherence.Shared)
+	v := c.Insert(0x10, coherence.Modified)
+	if v.Valid {
+		t.Error("re-insert evicted something")
+	}
+	if c.State(0x10) != coherence.Modified {
+		t.Error("re-insert did not update state")
+	}
+}
+
+func TestForEachValidDeterministic(t *testing.T) {
+	c := New(testConfig())
+	lines := []uint64{0x3, 0x23, 0x7, 0x100}
+	for _, l := range lines {
+		c.Insert(l, coherence.Shared)
+	}
+	var a, b []uint64
+	c.ForEachValid(func(l uint64, _ coherence.State) { a = append(a, l) })
+	c.ForEachValid(func(l uint64, _ coherence.State) { b = append(b, l) })
+	if len(a) != len(lines) {
+		t.Fatalf("visited %d lines, want %d", len(a), len(lines))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("iteration order not deterministic")
+		}
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	c := New(testConfig())
+	c.Insert(0x1, coherence.Modified)
+	c.Insert(0x21, coherence.Shared)
+	c.Probe(0x1, true)
+	snap := c.Snapshot()
+	c.Insert(0x41, coherence.Exclusive)
+	c.SetState(0x1, coherence.Invalid)
+	c.Restore(snap)
+	if c.State(0x1) != coherence.Modified || c.State(0x21) != coherence.Shared {
+		t.Error("restore lost states")
+	}
+	if c.State(0x41) != coherence.Invalid {
+		t.Error("restore kept post-snapshot line")
+	}
+	if c.Hits != snap.Hits || c.Misses != snap.Misses {
+		t.Error("restore lost stats")
+	}
+}
+
+func TestRestoreMismatchPanics(t *testing.T) {
+	c := New(testConfig())
+	other := New(Config{Name: "o", SizeBytes: 1 << 11, Assoc: 2, LatencyCycles: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched restore did not panic")
+		}
+	}()
+	c.Restore(other.Snapshot())
+}
+
+// Property: after inserting any sequence of lines, every line the cache
+// reports valid was actually inserted, and a line just inserted always
+// probes as readable.
+func TestQuickInsertProbe(t *testing.T) {
+	prop := func(lines []uint16) bool {
+		c := New(testConfig())
+		seen := map[uint64]bool{}
+		for _, l16 := range lines {
+			l := uint64(l16)
+			c.Insert(l, coherence.Shared)
+			seen[l] = true
+			if !c.Probe(l, false) {
+				return false
+			}
+		}
+		ok := true
+		c.ForEachValid(func(l uint64, s coherence.State) {
+			if !seen[l] || !s.Valid() {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapshot/restore round-trips arbitrary insert sequences.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	prop := func(lines []uint16, states []uint8) bool {
+		c := New(testConfig())
+		n := len(lines)
+		if len(states) < n {
+			n = len(states)
+		}
+		for i := 0; i < n; i++ {
+			c.Insert(uint64(lines[i]), coherence.State(states[i]%3+1))
+		}
+		snap := c.Snapshot()
+		c.Insert(0xFFFF, coherence.Modified)
+		c.Restore(snap)
+		same := true
+		c.ForEachValid(func(l uint64, s coherence.State) {
+			if snap.State(l) != s {
+				same = false
+			}
+		})
+		return same && c.State(0xFFFF) == snap.State(0xFFFF)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package cache
+
+import "fmt"
+
+// MSHR is one miss-status holding register: an outstanding miss on a line
+// with the set of instruction tags waiting for it. The L1s are lock-up
+// free, so multiple misses can be outstanding and secondary misses to the
+// same line merge into the primary's MSHR.
+type MSHR struct {
+	LineAddr uint64
+	// Write records whether any merged request needs write permission.
+	Write bool
+	// Waiters are ROB tags of instructions blocked on this line.
+	Waiters []int
+	// Issued reports whether the bus request has been sent to the manager.
+	Issued bool
+	// IssueTS is the local time at which the request was (or will be) sent.
+	IssueTS int64
+}
+
+// MSHRFile is a fixed-capacity set of MSHRs.
+type MSHRFile struct {
+	cap     int
+	entries []MSHR
+
+	// Merges counts secondary misses folded into an existing entry.
+	Merges uint64
+	// Full counts allocation attempts rejected because the file was full.
+	Full uint64
+}
+
+// NewMSHRFile returns a file with the given capacity.
+func NewMSHRFile(capacity int) *MSHRFile {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: MSHR capacity %d must be positive", capacity))
+	}
+	return &MSHRFile{cap: capacity}
+}
+
+// Cap returns the file's capacity.
+func (f *MSHRFile) Cap() int { return f.cap }
+
+// Len returns the number of live entries.
+func (f *MSHRFile) Len() int { return len(f.entries) }
+
+// Lookup returns the entry for lineAddr, or nil.
+func (f *MSHRFile) Lookup(lineAddr uint64) *MSHR {
+	for i := range f.entries {
+		if f.entries[i].LineAddr == lineAddr {
+			return &f.entries[i]
+		}
+	}
+	return nil
+}
+
+// Allocate records a miss on lineAddr for the instruction with tag waiting.
+// It merges into an existing entry when possible. It returns the entry and
+// whether this is a new (primary) miss; (nil,false) means the file is full
+// and the requester must retry later.
+func (f *MSHRFile) Allocate(lineAddr uint64, write bool, tag int, issueTS int64) (entry *MSHR, primary bool) {
+	if e := f.Lookup(lineAddr); e != nil {
+		e.Write = e.Write || write
+		if tag >= 0 {
+			e.Waiters = append(e.Waiters, tag)
+		}
+		f.Merges++
+		return e, false
+	}
+	if len(f.entries) >= f.cap {
+		f.Full++
+		return nil, false
+	}
+	f.entries = append(f.entries, MSHR{LineAddr: lineAddr, Write: write, IssueTS: issueTS})
+	e := &f.entries[len(f.entries)-1]
+	if tag >= 0 {
+		e.Waiters = append(e.Waiters, tag)
+	}
+	return e, true
+}
+
+// Release removes the entry for lineAddr and returns its waiters (nil if
+// the entry does not exist).
+func (f *MSHRFile) Release(lineAddr uint64) []int {
+	for i := range f.entries {
+		if f.entries[i].LineAddr == lineAddr {
+			w := f.entries[i].Waiters
+			f.entries = append(f.entries[:i], f.entries[i+1:]...)
+			return w
+		}
+	}
+	return nil
+}
+
+// ForEach visits every live entry in allocation order.
+func (f *MSHRFile) ForEach(fn func(*MSHR)) {
+	for i := range f.entries {
+		fn(&f.entries[i])
+	}
+}
+
+// Snapshot deep-copies the file.
+func (f *MSHRFile) Snapshot() *MSHRFile {
+	n := &MSHRFile{cap: f.cap, Merges: f.Merges, Full: f.Full}
+	n.entries = make([]MSHR, len(f.entries))
+	for i, e := range f.entries {
+		e.Waiters = append([]int(nil), e.Waiters...)
+		n.entries[i] = e
+	}
+	return n
+}
+
+// Restore overwrites the file from a snapshot.
+func (f *MSHRFile) Restore(snap *MSHRFile) {
+	f.cap = snap.cap
+	f.Merges, f.Full = snap.Merges, snap.Full
+	f.entries = make([]MSHR, len(snap.entries))
+	for i, e := range snap.entries {
+		e.Waiters = append([]int(nil), e.Waiters...)
+		f.entries[i] = e
+	}
+}

@@ -1,0 +1,109 @@
+package cache
+
+import "testing"
+
+func TestMSHRAllocatePrimaryAndMerge(t *testing.T) {
+	f := NewMSHRFile(2)
+	e, primary := f.Allocate(0x10, false, 1, 100)
+	if e == nil || !primary {
+		t.Fatal("first allocate not primary")
+	}
+	e2, primary2 := f.Allocate(0x10, true, 2, 101)
+	if e2 == nil || primary2 {
+		t.Fatal("second allocate to same line must merge")
+	}
+	if !e2.Write {
+		t.Error("merged write did not set Write")
+	}
+	if f.Merges != 1 {
+		t.Errorf("Merges = %d, want 1", f.Merges)
+	}
+	if len(e2.Waiters) != 2 {
+		t.Errorf("waiters = %v, want two", e2.Waiters)
+	}
+	if f.Len() != 1 {
+		t.Errorf("Len = %d, want 1", f.Len())
+	}
+}
+
+func TestMSHRFull(t *testing.T) {
+	f := NewMSHRFile(1)
+	f.Allocate(0x10, false, 1, 0)
+	e, primary := f.Allocate(0x20, false, 2, 0)
+	if e != nil || primary {
+		t.Fatal("allocation beyond capacity succeeded")
+	}
+	if f.Full != 1 {
+		t.Errorf("Full = %d, want 1", f.Full)
+	}
+}
+
+func TestMSHRRelease(t *testing.T) {
+	f := NewMSHRFile(4)
+	f.Allocate(0x10, false, 1, 0)
+	f.Allocate(0x10, false, 2, 0)
+	f.Allocate(0x20, true, 3, 0)
+	w := f.Release(0x10)
+	if len(w) != 2 || w[0] != 1 || w[1] != 2 {
+		t.Errorf("released waiters %v", w)
+	}
+	if f.Lookup(0x10) != nil {
+		t.Error("entry still present after release")
+	}
+	if f.Lookup(0x20) == nil {
+		t.Error("unrelated entry vanished")
+	}
+	if w := f.Release(0x99); w != nil {
+		t.Errorf("release of absent line returned %v", w)
+	}
+}
+
+func TestMSHRNegativeTagNotRecorded(t *testing.T) {
+	f := NewMSHRFile(2)
+	e, _ := f.Allocate(0x10, false, -1, 0)
+	if len(e.Waiters) != 0 {
+		t.Errorf("tag -1 recorded as waiter: %v", e.Waiters)
+	}
+}
+
+func TestMSHRForEach(t *testing.T) {
+	f := NewMSHRFile(4)
+	f.Allocate(0x1, false, 1, 0)
+	f.Allocate(0x2, false, 2, 0)
+	var lines []uint64
+	f.ForEach(func(e *MSHR) { lines = append(lines, e.LineAddr) })
+	if len(lines) != 2 || lines[0] != 0x1 || lines[1] != 0x2 {
+		t.Errorf("ForEach order %v", lines)
+	}
+}
+
+func TestMSHRSnapshotRestore(t *testing.T) {
+	f := NewMSHRFile(4)
+	f.Allocate(0x1, true, 7, 5)
+	snap := f.Snapshot()
+	f.Release(0x1)
+	f.Allocate(0x2, false, 8, 6)
+	f.Restore(snap)
+	e := f.Lookup(0x1)
+	if e == nil || !e.Write || len(e.Waiters) != 1 || e.Waiters[0] != 7 {
+		t.Errorf("restore lost entry: %+v", e)
+	}
+	if f.Lookup(0x2) != nil {
+		t.Error("restore kept post-snapshot entry")
+	}
+	// Snapshot must be deep: mutating the restored file must not affect
+	// the snapshot.
+	f.Allocate(0x1, false, 9, 0)
+	if len(snap.Lookup(0x1).Waiters) != 1 {
+		t.Error("snapshot aliases live waiters")
+	}
+}
+
+func TestMSHRZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity accepted")
+		}
+	}()
+	NewMSHRFile(0)
+}

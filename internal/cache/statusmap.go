@@ -1,0 +1,188 @@
+package cache
+
+import (
+	"sort"
+
+	"slacksim/internal/coherence"
+)
+
+// StatusMap is the simulation manager's global record of which L1 caches
+// hold each line and in what MESI state. It is the "cache status map" of
+// the paper: the simulated-system state whose out-of-order updates are
+// counted as map violations.
+//
+// Every entry carries a monitoring timestamp — the largest timestamp of
+// any operation applied to it so far. Apply compares an incoming
+// operation's timestamp against it and reports a violation when the
+// operation arrives out of simulated-time order, exactly the detection
+// mechanism of the paper's Section 3.
+type StatusMap struct {
+	numCores int
+	lines    map[uint64]*mapEntry
+}
+
+type mapEntry struct {
+	states    []coherence.State
+	monitorTS int64
+}
+
+// NewStatusMap returns an empty map for a machine with numCores L1s.
+func NewStatusMap(numCores int) *StatusMap {
+	return &StatusMap{numCores: numCores, lines: make(map[uint64]*mapEntry)}
+}
+
+// NumCores returns the number of tracked caches.
+func (m *StatusMap) NumCores() int { return m.numCores }
+
+func (m *StatusMap) entry(lineAddr uint64) *mapEntry {
+	e := m.lines[lineAddr]
+	if e == nil {
+		e = &mapEntry{states: make([]coherence.State, m.numCores), monitorTS: -1}
+		m.lines[lineAddr] = e
+	}
+	return e
+}
+
+// State returns core's recorded state for lineAddr.
+func (m *StatusMap) State(lineAddr uint64, core int) coherence.State {
+	if e := m.lines[lineAddr]; e != nil {
+		return e.states[core]
+	}
+	return coherence.Invalid
+}
+
+// SharersOtherThan reports whether any cache except core holds the line.
+func (m *StatusMap) SharersOtherThan(lineAddr uint64, core int) bool {
+	e := m.lines[lineAddr]
+	if e == nil {
+		return false
+	}
+	for i, s := range e.states {
+		if i != core && s.Valid() {
+			return true
+		}
+	}
+	return false
+}
+
+// OwnerOtherThan returns the core holding the line in M or E (the cache
+// that must supply or flush data), or -1.
+func (m *StatusMap) OwnerOtherThan(lineAddr uint64, core int) int {
+	e := m.lines[lineAddr]
+	if e == nil {
+		return -1
+	}
+	for i, s := range e.states {
+		if i != core && s.CanWrite() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Holders returns, in ascending core order, every core other than the
+// requester holding a valid copy.
+func (m *StatusMap) Holders(lineAddr uint64, except int) []int {
+	e := m.lines[lineAddr]
+	if e == nil {
+		return nil
+	}
+	var out []int
+	for i, s := range e.states {
+		if i != except && s.Valid() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Apply records a state transition for (lineAddr, core) performed by an
+// operation carrying timestamp ts, updating the entry's monitoring
+// variable. It returns true when the operation is a map violation: its
+// timestamp is retrograde (smaller than the largest already applied to
+// this entry) *and* the transition involves ownership (the old or new
+// state is Modified), so the reordering changes which write the global
+// state reflects. Retrograde reorderings of read-sharing transitions
+// commute and are not state inconsistencies — this is why the paper finds
+// map violations an order of magnitude rarer than bus violations and
+// negligible at small slack: conflicting ownership transfers of one line
+// are separated by full coherence round trips, while the bus serializes
+// every request in the machine.
+func (m *StatusMap) Apply(lineAddr uint64, core int, s coherence.State, ts int64) (violation bool) {
+	e := m.entry(lineAddr)
+	old := e.states[core]
+	if ts < e.monitorTS {
+		violation = old == coherence.Modified || s == coherence.Modified
+	} else {
+		e.monitorTS = ts
+	}
+	e.states[core] = s
+	return violation
+}
+
+// MonitorTS returns the entry's monitoring timestamp (-1 when untouched).
+func (m *StatusMap) MonitorTS(lineAddr uint64) int64 {
+	if e := m.lines[lineAddr]; e != nil {
+		return e.monitorTS
+	}
+	return -1
+}
+
+// CheckLegal verifies the MESI compatibility matrix for every line and
+// returns the line addresses (sorted) that violate it. Used by protocol
+// invariant tests; an eagerly-serviced slack simulation may transiently
+// break it — that is precisely the simulated-system-state inaccuracy the
+// paper studies — so production runs do not call this on the hot path.
+func (m *StatusMap) CheckLegal() []uint64 {
+	var bad []uint64
+	for la, e := range m.lines {
+		ok := true
+	outer:
+		for i := 0; i < len(e.states); i++ {
+			for j := i + 1; j < len(e.states); j++ {
+				if !coherence.LegalPair(e.states[i], e.states[j]) {
+					ok = false
+					break outer
+				}
+			}
+		}
+		if !ok {
+			bad = append(bad, la)
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
+	return bad
+}
+
+// Lines returns the number of tracked lines.
+func (m *StatusMap) Lines() int { return len(m.lines) }
+
+// Snapshot deep-copies the map.
+func (m *StatusMap) Snapshot() *StatusMap {
+	n := NewStatusMap(m.numCores)
+	for la, e := range m.lines {
+		n.lines[la] = &mapEntry{
+			states:    append([]coherence.State(nil), e.states...),
+			monitorTS: e.monitorTS,
+		}
+	}
+	return n
+}
+
+// Restore overwrites the map from a snapshot.
+func (m *StatusMap) Restore(snap *StatusMap) {
+	m.numCores = snap.numCores
+	m.lines = make(map[uint64]*mapEntry, len(snap.lines))
+	for la, e := range snap.lines {
+		m.lines[la] = &mapEntry{
+			states:    append([]coherence.State(nil), e.states...),
+			monitorTS: e.monitorTS,
+		}
+	}
+}
+
+// StateWords estimates live state size in 64-bit words for the checkpoint
+// cost model.
+func (m *StatusMap) StateWords() int {
+	return len(m.lines) * (m.numCores/4 + 2)
+}

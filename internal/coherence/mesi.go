@@ -1,0 +1,154 @@
+// Package coherence defines the MESI cache-coherence protocol used by the
+// target CMP's private L1 caches over the snooping request/response bus.
+//
+// The package is deliberately small: it encodes states, bus request kinds,
+// and the legal state-transition relation, so that both the L1 controllers
+// (in internal/core) and the global cache status map maintained by the
+// simulation manager (in internal/cache and internal/uncore) share one
+// protocol definition and tests can check protocol invariants (single
+// writer, no stale exclusives) in one place.
+package coherence
+
+import "fmt"
+
+// State is a MESI line state.
+type State uint8
+
+// The four MESI states plus Invalid's explicit zero value.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the single-letter conventional name of the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Valid reports whether the line holds data.
+func (s State) Valid() bool { return s != Invalid }
+
+// CanRead reports whether a local load hits in this state.
+func (s State) CanRead() bool { return s != Invalid }
+
+// CanWrite reports whether a local store hits without a bus transaction.
+func (s State) CanWrite() bool { return s == Modified || s == Exclusive }
+
+// Dirty reports whether the line must be written back when evicted or
+// transferred.
+func (s State) Dirty() bool { return s == Modified }
+
+// BusReq is the kind of transaction a cache places on the request bus.
+type BusReq uint8
+
+// Bus request kinds. BusRd requests a readable copy, BusRdX a writable
+// (exclusive) copy, BusUpgr upgrades S->M without a data transfer, and
+// BusWB writes a dirty evicted line back to L2.
+const (
+	BusNone BusReq = iota
+	BusRd
+	BusRdX
+	BusUpgr
+	BusWB
+	BusIFetch // instruction fetch; read-only, never upgraded
+)
+
+// String returns the conventional name of the request kind.
+func (r BusReq) String() string {
+	switch r {
+	case BusNone:
+		return "None"
+	case BusRd:
+		return "BusRd"
+	case BusRdX:
+		return "BusRdX"
+	case BusUpgr:
+		return "BusUpgr"
+	case BusWB:
+		return "BusWB"
+	case BusIFetch:
+		return "BusIFetch"
+	}
+	return fmt.Sprintf("BusReq(%d)", uint8(r))
+}
+
+// RequestFor returns the bus request a cache in state s must issue for a
+// load (write=false) or store (write=true), or BusNone on a hit.
+func RequestFor(s State, write bool) BusReq {
+	if !write {
+		if s.CanRead() {
+			return BusNone
+		}
+		return BusRd
+	}
+	switch s {
+	case Modified, Exclusive:
+		return BusNone
+	case Shared:
+		return BusUpgr
+	default:
+		return BusRdX
+	}
+}
+
+// GrantState returns the requester's new state after its request is
+// serviced. sharedElsewhere reports whether any other cache holds the line
+// at grant time (it decides E vs S on BusRd).
+func GrantState(req BusReq, sharedElsewhere bool) State {
+	switch req {
+	case BusRd, BusIFetch:
+		if sharedElsewhere {
+			return Shared
+		}
+		return Exclusive
+	case BusRdX, BusUpgr:
+		return Modified
+	case BusWB:
+		return Invalid
+	}
+	return Invalid
+}
+
+// SnoopState returns a remote (non-requesting) cache's new state when it
+// snoops req for a line it holds in state s, and whether it must flush
+// (supply/writeback) its dirty data.
+func SnoopState(s State, req BusReq) (next State, flush bool) {
+	if s == Invalid {
+		return Invalid, false
+	}
+	switch req {
+	case BusRd, BusIFetch:
+		return Shared, s == Modified
+	case BusRdX:
+		return Invalid, s == Modified
+	case BusUpgr:
+		// Upgrades only happen when requester is in S, so no remote M/E
+		// copy can exist; remote S copies are invalidated.
+		return Invalid, false
+	case BusWB:
+		return s, false
+	}
+	return s, false
+}
+
+// LegalPair reports whether two caches may simultaneously hold the same
+// line in states a and b. It encodes the MESI compatibility matrix:
+// M and E are exclusive; S is compatible with S and I; I with anything.
+func LegalPair(a, b State) bool {
+	if a == Invalid || b == Invalid {
+		return true
+	}
+	return a == Shared && b == Shared
+}

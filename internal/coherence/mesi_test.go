@@ -1,0 +1,147 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allStates() []State { return []State{Invalid, Shared, Exclusive, Modified} }
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+func TestStatePredicates(t *testing.T) {
+	cases := []struct {
+		s                         State
+		valid, read, write, dirty bool
+	}{
+		{Invalid, false, false, false, false},
+		{Shared, true, true, false, false},
+		{Exclusive, true, true, true, false},
+		{Modified, true, true, true, true},
+	}
+	for _, tc := range cases {
+		if tc.s.Valid() != tc.valid || tc.s.CanRead() != tc.read ||
+			tc.s.CanWrite() != tc.write || tc.s.Dirty() != tc.dirty {
+			t.Errorf("%v predicates wrong", tc.s)
+		}
+	}
+}
+
+func TestRequestFor(t *testing.T) {
+	cases := []struct {
+		s     State
+		write bool
+		want  BusReq
+	}{
+		{Invalid, false, BusRd},
+		{Shared, false, BusNone},
+		{Exclusive, false, BusNone},
+		{Modified, false, BusNone},
+		{Invalid, true, BusRdX},
+		{Shared, true, BusUpgr},
+		{Exclusive, true, BusNone},
+		{Modified, true, BusNone},
+	}
+	for _, tc := range cases {
+		if got := RequestFor(tc.s, tc.write); got != tc.want {
+			t.Errorf("RequestFor(%v,%v) = %v, want %v", tc.s, tc.write, got, tc.want)
+		}
+	}
+}
+
+func TestGrantState(t *testing.T) {
+	cases := []struct {
+		req    BusReq
+		shared bool
+		want   State
+	}{
+		{BusRd, false, Exclusive},
+		{BusRd, true, Shared},
+		{BusIFetch, false, Exclusive},
+		{BusIFetch, true, Shared},
+		{BusRdX, false, Modified},
+		{BusRdX, true, Modified},
+		{BusUpgr, true, Modified},
+		{BusWB, false, Invalid},
+	}
+	for _, tc := range cases {
+		if got := GrantState(tc.req, tc.shared); got != tc.want {
+			t.Errorf("GrantState(%v,%v) = %v, want %v", tc.req, tc.shared, got, tc.want)
+		}
+	}
+}
+
+func TestSnoopState(t *testing.T) {
+	cases := []struct {
+		s     State
+		req   BusReq
+		next  State
+		flush bool
+	}{
+		{Invalid, BusRd, Invalid, false},
+		{Shared, BusRd, Shared, false},
+		{Exclusive, BusRd, Shared, false},
+		{Modified, BusRd, Shared, true},
+		{Shared, BusRdX, Invalid, false},
+		{Exclusive, BusRdX, Invalid, false},
+		{Modified, BusRdX, Invalid, true},
+		{Shared, BusUpgr, Invalid, false},
+		{Modified, BusWB, Modified, false},
+		{Modified, BusIFetch, Shared, true},
+	}
+	for _, tc := range cases {
+		next, flush := SnoopState(tc.s, tc.req)
+		if next != tc.next || flush != tc.flush {
+			t.Errorf("SnoopState(%v,%v) = (%v,%v), want (%v,%v)",
+				tc.s, tc.req, next, flush, tc.next, tc.flush)
+		}
+	}
+}
+
+func TestLegalPair(t *testing.T) {
+	for _, a := range allStates() {
+		for _, b := range allStates() {
+			want := a == Invalid || b == Invalid || (a == Shared && b == Shared)
+			if got := LegalPair(a, b); got != want {
+				t.Errorf("LegalPair(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// Protocol invariant: after any request by one cache snooped by another,
+// the (grant state, snooped state) pair is legal.
+func TestGrantAndSnoopAlwaysLegal(t *testing.T) {
+	reqs := []BusReq{BusRd, BusRdX, BusUpgr, BusIFetch}
+	for _, req := range reqs {
+		for _, remote := range allStates() {
+			next, _ := SnoopState(remote, req)
+			grant := GrantState(req, next.Valid())
+			if !LegalPair(grant, next) {
+				t.Errorf("req %v vs remote %v: grant %v with snooped %v is illegal",
+					req, remote, grant, next)
+			}
+		}
+	}
+}
+
+// Property: SnoopState never upgrades a remote cache's permissions.
+func TestQuickSnoopNeverUpgrades(t *testing.T) {
+	rank := map[State]int{Invalid: 0, Shared: 1, Exclusive: 2, Modified: 3}
+	prop := func(s8, r8 uint8) bool {
+		s := State(s8 % 4)
+		req := []BusReq{BusRd, BusRdX, BusUpgr, BusWB, BusIFetch}[r8%5]
+		next, _ := SnoopState(s, req)
+		return rank[next] <= rank[s]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

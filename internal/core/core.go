@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+
+	"slacksim/internal/cache"
+	"slacksim/internal/coherence"
+	"slacksim/internal/event"
+	"slacksim/internal/isa"
+	"slacksim/internal/mem"
+	"slacksim/internal/syncctl"
+)
+
+// entryState tracks an in-flight instruction through the back end.
+type entryState uint8
+
+const (
+	stDispatched entryState = iota // in ROB, not yet issued
+	stIssued                       // executing; done at doneAt
+	stWaitMem                      // waiting for a memory-system reply
+	stDone                         // result ready; eligible to commit
+)
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	seq   int
+	pc    int
+	inst  isa.Inst
+	state entryState
+
+	// srcProd holds the ROB seq of each source operand's producer, or -1
+	// when the value comes from the architectural register file.
+	srcProd [2]int
+
+	doneAt    int64
+	result    uint64
+	hasResult bool
+
+	// Branch bookkeeping.
+	predTaken   bool
+	actualTaken bool
+	resolved    bool
+
+	// Memory bookkeeping.
+	addr      uint64
+	addrValid bool
+	storeVal  uint64
+	// written marks a store whose architectural write was performed early
+	// because a snoop took the line (see applySnoop).
+	written bool
+
+	// Synchronization bookkeeping.
+	barrierGen     uint64
+	barrierArrived bool
+	nextLockTry    int64
+}
+
+type fetched struct {
+	pc        int
+	inst      isa.Inst
+	predTaken bool
+}
+
+// Stats aggregates per-core performance counters.
+type Stats struct {
+	Cycles       int64
+	Committed    uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Mispredicts  uint64
+	Flushes      uint64
+	LockRetries  uint64
+	BarrierWait  int64 // cycles spent with a barrier op stalled at head
+	LockWait     int64 // cycles spent with a lock op stalled at head
+	IdleAfterEnd int64 // cycles ticked after Halt committed
+}
+
+// CPI returns cycles per committed instruction (0 when nothing committed).
+func (s Stats) CPI() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Committed)
+}
+
+// Core is one simulated out-of-order core with its private L1 caches.
+// It is single-goroutine state: exactly one host thread (its core thread)
+// may call Tick; cross-thread communication happens only through the
+// OutQ/InQ event queues and the syncctl controller, mirroring SlackSim.
+type Core struct {
+	cfg  Config
+	prog *isa.Program
+	mem  *mem.Memory
+	sync *syncctl.Controller
+
+	outQ *event.Queue[event.Request]
+	inQ  *event.Queue[event.Msg]
+
+	l1i, l1d *cache.Cache
+	imshr    *cache.MSHRFile
+	dmshr    *cache.MSHRFile
+	pred     *Predictor
+
+	now  int64
+	regs [isa.NumRegs]uint64
+
+	// mapTable maps an architectural register to the seq of the youngest
+	// in-flight producer, or -1.
+	mapTable [isa.NumRegs]int
+
+	rob      []*robEntry
+	seqMap   map[int]*robEntry
+	nextSeq  int
+	fetchBuf []fetched
+
+	fetchPC         int
+	fetchStallUntil int64
+	// serializeSeq is the seq of an in-flight sync/halt instruction; while
+	// set, dispatch is blocked (sync ops execute non-speculatively at the
+	// head of the ROB).
+	serializeSeq int
+
+	halted bool
+	reqID  uint64
+
+	stats Stats
+}
+
+// New builds a core executing prog against the shared memory image and
+// synchronization controller, communicating through outQ (to the manager)
+// and inQ (from the manager).
+func New(cfg Config, prog *isa.Program, m *mem.Memory, sc *syncctl.Controller,
+	outQ *event.Queue[event.Request], inQ *event.Queue[event.Msg]) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:   cfg,
+		prog:  prog,
+		mem:   m,
+		sync:  sc,
+		outQ:  outQ,
+		inQ:   inQ,
+		l1i:   cache.New(cfg.L1I),
+		l1d:   cache.New(cfg.L1D),
+		imshr: cache.NewMSHRFile(cfg.InstMSHRs),
+		dmshr: cache.NewMSHRFile(cfg.DataMSHRs),
+		pred:  NewPredictor(cfg.BimodalEntries),
+
+		seqMap:       make(map[int]*robEntry),
+		serializeSeq: -1,
+	}
+	for i := range c.mapTable {
+		c.mapTable[i] = -1
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error, for static configurations.
+func MustNew(cfg Config, prog *isa.Program, m *mem.Memory, sc *syncctl.Controller,
+	outQ *event.Queue[event.Request], inQ *event.Queue[event.Msg]) *Core {
+	c, err := New(cfg, prog, m, sc, outQ, inQ)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.cfg.ID }
+
+// Now returns the core's local time in cycles.
+func (c *Core) Now() int64 { return c.now }
+
+// Halted reports whether the program has committed its Halt.
+func (c *Core) Halted() bool { return c.halted }
+
+// Stats returns a copy of the core's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// L1I and L1D expose the caches for stats and tests.
+func (c *Core) L1I() *cache.Cache { return c.l1i }
+
+// L1D returns the data cache.
+func (c *Core) L1D() *cache.Cache { return c.l1d }
+
+// Reg returns the architectural value of register r (committed state).
+func (c *Core) Reg(r isa.Reg) uint64 { return c.regs[r] }
+
+// InFlight returns the number of ROB entries, for tests.
+func (c *Core) InFlight() int { return len(c.rob) }
+
+func (c *Core) codeLine(pc int) uint64 {
+	return cache.LineAddr(c.cfg.CodeBase + uint64(pc)*isa.InstBytes)
+}
+
+func (c *Core) sendReq(kind coherence.BusReq, lineAddr uint64) uint64 {
+	c.reqID++
+	c.outQ.Push(event.Request{
+		ID: c.reqID, Core: c.cfg.ID, Kind: kind, LineAddr: lineAddr, TS: c.now,
+	})
+	return c.reqID
+}
+
+// reads reports which source registers the instruction consumes in the
+// out-of-order back end (sync ops read their base register at commit,
+// architecturally, so they report none here).
+func reads(in isa.Inst) (useS1, useS2 bool) {
+	switch in.Op.Class() {
+	case isa.ClassIntALU, isa.ClassIntMul, isa.ClassIntDiv,
+		isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
+		switch in.Op {
+		case isa.Lui:
+			return false, false
+		case isa.Addi, isa.Andi, isa.Ori, isa.Xori, isa.Shli, isa.Shri,
+			isa.Slti, isa.FSqrt, isa.FNeg, isa.Itof, isa.Ftoi:
+			return true, false
+		}
+		return true, true
+	case isa.ClassLoad:
+		return true, false
+	case isa.ClassStore:
+		return true, true
+	case isa.ClassBranch:
+		if in.Op == isa.Jmp {
+			return false, false
+		}
+		return true, true
+	}
+	return false, false
+}
+
+// writesDest reports whether the instruction produces a register result
+// (writes to r0 are architectural no-ops and are not renamed).
+func writesDest(in isa.Inst) bool {
+	switch in.Op.Class() {
+	case isa.ClassIntALU, isa.ClassIntMul, isa.ClassIntDiv,
+		isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv, isa.ClassLoad:
+		return in.Dst != isa.Zero
+	}
+	return false
+}
+
+// operand resolves source i of e: the producer's result if it is still in
+// flight and done, the architectural register otherwise.
+func (c *Core) operand(e *robEntry, i int, reg isa.Reg) (val uint64, ready bool) {
+	p := e.srcProd[i]
+	if p < 0 {
+		return c.regs[reg], true
+	}
+	pe := c.seqMap[p]
+	if pe == nil {
+		// Producer committed after e dispatched; its value reached the
+		// architectural register file.
+		return c.regs[reg], true
+	}
+	if pe.state == stDone && pe.hasResult {
+		return pe.result, true
+	}
+	return 0, false
+}
+
+func (c *Core) String() string {
+	return fmt.Sprintf("core%d{t=%d pc=%d rob=%d halted=%v}",
+		c.cfg.ID, c.now, c.fetchPC, len(c.rob), c.halted)
+}

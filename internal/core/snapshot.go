@@ -1,0 +1,98 @@
+package core
+
+import (
+	"slacksim/internal/cache"
+	"slacksim/internal/isa"
+)
+
+// Snapshot is a deep copy of a core's architectural and micro-architectural
+// state, the core's contribution to a global simulation checkpoint. The
+// paper checkpoints whole simulator processes with fork(); inside a single
+// Go process the equivalent is an explicit deep copy, which exposes the
+// same cost structure (cost grows with live state and checkpoint
+// frequency). The shared event queues and memory image are checkpointed by
+// the engine, not here.
+type Snapshot struct {
+	now      int64
+	regs     [isa.NumRegs]uint64
+	mapTable [isa.NumRegs]int
+	rob      []robEntry
+	fetchBuf []fetched
+
+	fetchPC         int
+	fetchStallUntil int64
+	serializeSeq    int
+	nextSeq         int
+	halted          bool
+	reqID           uint64
+	stats           Stats
+
+	l1i, l1d *cache.Cache
+	imshr    *cache.MSHRFile
+	dmshr    *cache.MSHRFile
+	pred     *Predictor
+}
+
+// Snapshot captures the core's complete state.
+func (c *Core) Snapshot() *Snapshot {
+	s := &Snapshot{
+		now:             c.now,
+		regs:            c.regs,
+		mapTable:        c.mapTable,
+		fetchPC:         c.fetchPC,
+		fetchStallUntil: c.fetchStallUntil,
+		serializeSeq:    c.serializeSeq,
+		nextSeq:         c.nextSeq,
+		halted:          c.halted,
+		reqID:           c.reqID,
+		stats:           c.stats,
+		l1i:             c.l1i.Snapshot(),
+		l1d:             c.l1d.Snapshot(),
+		imshr:           c.imshr.Snapshot(),
+		dmshr:           c.dmshr.Snapshot(),
+		pred:            c.pred.Snapshot(),
+	}
+	s.rob = make([]robEntry, len(c.rob))
+	for i, e := range c.rob {
+		s.rob[i] = *e
+	}
+	s.fetchBuf = append([]fetched(nil), c.fetchBuf...)
+	return s
+}
+
+// Restore overwrites the core's state from a snapshot taken on the same
+// core.
+func (c *Core) Restore(s *Snapshot) {
+	c.now = s.now
+	c.regs = s.regs
+	c.mapTable = s.mapTable
+	c.fetchPC = s.fetchPC
+	c.fetchStallUntil = s.fetchStallUntil
+	c.serializeSeq = s.serializeSeq
+	c.nextSeq = s.nextSeq
+	c.halted = s.halted
+	c.reqID = s.reqID
+	c.stats = s.stats
+	c.l1i.Restore(s.l1i)
+	c.l1d.Restore(s.l1d)
+	c.imshr.Restore(s.imshr)
+	c.dmshr.Restore(s.dmshr)
+	c.pred.Restore(s.pred)
+
+	c.rob = make([]*robEntry, len(s.rob))
+	c.seqMap = make(map[int]*robEntry, len(s.rob))
+	for i := range s.rob {
+		e := s.rob[i] // copy
+		c.rob[i] = &e
+		c.seqMap[e.seq] = &e
+	}
+	c.fetchBuf = append(c.fetchBuf[:0], s.fetchBuf...)
+}
+
+// StateWords estimates the snapshot's size in 64-bit words, for the
+// checkpoint cost model.
+func (s *Snapshot) StateWords() int {
+	return len(s.rob)*16 + len(s.fetchBuf)*3 +
+		s.l1i.StateWords() + s.l1d.StateWords() +
+		2*isa.NumRegs + 64
+}

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"slacksim/internal/adaptive"
+	"slacksim/internal/core"
+	"slacksim/internal/event"
+	"slacksim/internal/mem"
+	"slacksim/internal/syncctl"
+	"slacksim/internal/trace"
+	"slacksim/internal/uncore"
+	"slacksim/internal/violation"
+)
+
+// globalSnapshot is a consistent copy of the entire simulation: every core
+// thread's state, the manager's state (uncore + queued work), target
+// memory, workload synchronization, violation accounting, and the engine's
+// own pacing state. It plays the role of the paper's set of fork()ed
+// processes forming a global checkpoint (Section 5.1); an in-process deep
+// copy has the same cost structure and is portable.
+type globalSnapshot struct {
+	global  int64
+	bound   int64
+	retired []bool
+
+	cores []*core.Snapshot
+	unc   *uncore.Snapshot
+	mem   *mem.Memory
+	sync  *syncctl.Controller
+	det   *violation.Detector
+	ctrl  *adaptive.Controller
+
+	inQs [][]event.Msg
+	outs [][]event.Request
+	gq   []pendingReq
+
+	lastAdapt int64
+	words     int64
+}
+
+// takeCheckpoint captures the current simulation state, replacing the
+// previous checkpoint (old checkpoints are discarded as the paper does to
+// release resources).
+func (r *detRun) takeCheckpoint() {
+	s := &globalSnapshot{
+		global:    r.global,
+		bound:     r.bound,
+		retired:   append([]bool(nil), r.retired...),
+		unc:       r.m.unc.Snapshot(),
+		mem:       r.m.mem.Snapshot(),
+		sync:      r.m.sync.Snapshot(),
+		det:       r.m.det.Snapshot(),
+		lastAdapt: r.lastAdapt,
+		gq:        append([]pendingReq(nil), r.gq...),
+	}
+	if r.ctrl != nil {
+		s.ctrl = r.ctrl.Snapshot()
+	}
+	words := int64(r.m.mem.AllocatedWords() + r.m.unc.StateWords())
+	for _, c := range r.m.cores {
+		cs := c.Snapshot()
+		s.cores = append(s.cores, cs)
+		words += int64(cs.StateWords())
+	}
+	for i := range r.m.inQs {
+		s.inQs = append(s.inQs, r.m.inQs[i].Snapshot())
+		s.outs = append(s.outs, r.m.outQs[i].Snapshot())
+	}
+	s.words = words
+	r.snap = s
+	r.ckpts++
+	r.ckptWords += words
+	r.meter.ckptWords += words
+	r.cfg.Tracer.Addf(r.global, -1, trace.Checkpoint, "#%d words=%d", r.ckpts, words)
+}
+
+// doRollback restores the last checkpoint and enters cycle-by-cycle replay
+// until the next checkpoint boundary to guarantee forward progress.
+func (r *detRun) doRollback() {
+	s := r.snap
+	r.pendingRollback = false
+	r.rollbacks++
+	r.wasted += r.global - s.global
+	r.cfg.Tracer.Addf(r.global, -1, trace.Rollback,
+		"#%d to @%d (wasted %d cycles)", r.rollbacks, s.global, r.global-s.global)
+
+	r.global = s.global
+	r.bound = s.bound
+	copy(r.retired, s.retired)
+	r.lastAdapt = s.lastAdapt
+	r.gq = append(r.gq[:0], s.gq...)
+	r.m.unc.Restore(s.unc)
+	r.m.mem.Restore(s.mem)
+	r.m.sync.Restore(s.sync)
+	r.m.det.Restore(s.det)
+	if r.ctrl != nil && s.ctrl != nil {
+		r.ctrl.Restore(s.ctrl)
+	}
+	for i, c := range r.m.cores {
+		c.Restore(s.cores[i])
+		r.m.inQs[i].Restore(s.inQs[i])
+		r.m.outQs[i].Restore(s.outs[i])
+	}
+	r.meter.rbackWords += s.words
+
+	// Replay in cycle-by-cycle mode until the boundary we were heading
+	// for; the new checkpoint there resumes slack simulation.
+	r.replayUntil = r.nextCkpt
+}

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"testing"
+
+	"slacksim/internal/adaptive"
+	"slacksim/internal/violation"
+	"slacksim/internal/workload"
+)
+
+// TestCheckpointOnlyOverhead: periodic checkpoints without rollback (the
+// paper's Table 2 runs) must not change functional results and must cost
+// host work proportional to checkpoint count.
+func TestCheckpointOnlyOverhead(t *testing.T) {
+	w := workload.NewFFT(64)
+	base := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: BoundedSlack(16), Seed: 5})
+
+	m := newTestMachine(t, w, 4)
+	ck := MustRun(m, RunConfig{Scheme: BoundedSlack(16), Seed: 5, CheckpointInterval: 500})
+	if err := w.Verify(m.Memory()); err != nil {
+		t.Fatalf("checkpointed run broke the workload: %v", err)
+	}
+	if ck.Checkpoints == 0 || ck.CheckpointWords == 0 {
+		t.Fatalf("no checkpoints taken: %+v", ck.Checkpoints)
+	}
+	wantCkpts := int(ck.Cycles / 500)
+	if ck.Checkpoints < wantCkpts-1 || ck.Checkpoints > wantCkpts+2 {
+		t.Errorf("checkpoints = %d for %d cycles at 500-cycle interval", ck.Checkpoints, ck.Cycles)
+	}
+	if ck.HostWorkUnits <= base.HostWorkUnits {
+		t.Errorf("checkpointing cost nothing: %v vs %v", ck.HostWorkUnits, base.HostWorkUnits)
+	}
+}
+
+// TestShorterIntervalsCostMore reproduces Table 2's key trend: the
+// checkpointing overhead grows as the interval shrinks.
+func TestShorterIntervalsCostMore(t *testing.T) {
+	cost := func(interval int64) float64 {
+		m := newTestMachine(t, workload.NewFFT(64), 4)
+		res := MustRun(m, RunConfig{Scheme: BoundedSlack(16), Seed: 5, CheckpointInterval: interval})
+		return res.HostWorkUnits
+	}
+	c500, c2000 := cost(500), cost(2000)
+	if c500 <= c2000 {
+		t.Errorf("5x denser checkpoints not more expensive: %v vs %v", c500, c2000)
+	}
+}
+
+// TestRollbackRecoversCorrectState: the full speculative scheme must end
+// with a bit-correct workload result despite many rollbacks.
+func TestRollbackRecoversCorrectState(t *testing.T) {
+	w := workload.NewWater(8, 1)
+	m := newTestMachine(t, w, 4)
+	res := MustRun(m, RunConfig{
+		Scheme:             BoundedSlack(64),
+		Seed:               7,
+		CheckpointInterval: 400,
+		Rollback:           true,
+	})
+	if res.Rollbacks == 0 {
+		t.Fatal("sharing kernel at large slack triggered no rollbacks")
+	}
+	if err := w.Verify(m.Memory()); err != nil {
+		t.Fatalf("speculative run broke the workload: %v", err)
+	}
+	if res.WastedCycles <= 0 {
+		t.Error("rollbacks wasted no cycles")
+	}
+	if res.ReplayCycles <= 0 {
+		t.Error("no cycle-by-cycle replay recorded")
+	}
+}
+
+// TestRollbackSuppressesViolations: every selected violation triggers a
+// rollback that erases it, so the surviving count stays near zero (only
+// end-of-run stragglers may remain).
+func TestRollbackSuppressesViolations(t *testing.T) {
+	m := newTestMachine(t, workload.NewFalseShare(128), 4)
+	res := MustRun(m, RunConfig{
+		Scheme:             BoundedSlack(32),
+		Seed:               3,
+		CheckpointInterval: 300,
+		Rollback:           true,
+	})
+	survivors := res.BusViolations + res.MapViolations
+	if survivors > 5 {
+		t.Errorf("%d violations survived a full speculative run", survivors)
+	}
+}
+
+// TestSelectiveRollbackMapOnly: the paper's Section 5.2 refinement —
+// rolling back only on (rare) map violations — must produce far fewer
+// rollbacks than rolling back on everything.
+func TestSelectiveRollbackMapOnly(t *testing.T) {
+	all := MustRun(newTestMachine(t, workload.NewWater(12, 1), 4), RunConfig{
+		Scheme: BoundedSlack(64), Seed: 2, CheckpointInterval: 500, Rollback: true,
+	})
+	mapOnly := MustRun(newTestMachine(t, workload.NewWater(12, 1), 4), RunConfig{
+		Scheme: BoundedSlack(64), Seed: 2, CheckpointInterval: 500, Rollback: true,
+		Selected: []violation.Type{violation.Map},
+	})
+	if mapOnly.Rollbacks >= all.Rollbacks && all.Rollbacks > 0 {
+		t.Errorf("map-only rollbacks %d not below all-violations %d",
+			mapOnly.Rollbacks, all.Rollbacks)
+	}
+	// Bus violations survive under map-only selection.
+	if mapOnly.BusViolations == 0 {
+		t.Error("map-only run should tolerate bus violations")
+	}
+}
+
+// TestAdaptiveConvergesToTarget: the adaptive controller holds the
+// cumulative violation rate near the target (the paper's Figure 4 setup).
+func TestAdaptiveConvergesToTarget(t *testing.T) {
+	cfg := adaptive.Config{
+		TargetRate:   0.01, // 1% — reachable on this small contended run
+		Band:         0.10,
+		InitialBound: 4,
+		MinBound:     1,
+		MaxBound:     256,
+		Period:       256,
+	}
+	m := newTestMachine(t, workload.NewWater(16, 2), 4)
+	res := MustRun(m, RunConfig{Scheme: AdaptiveSlack(cfg), Seed: 4})
+	if res.Adjustments == 0 {
+		t.Fatal("controller never adjusted")
+	}
+	if res.ViolationRate < cfg.TargetRate/4 || res.ViolationRate > cfg.TargetRate*4 {
+		t.Errorf("final rate %v too far from target %v (bound %d, mean %.1f)",
+			res.ViolationRate, cfg.TargetRate, res.FinalBound, res.MeanBound)
+	}
+}
+
+// TestAdaptiveBoundMovesBothWays: with a mid-range target the bound must
+// both grow (quiet start) and shrink (after violations accumulate).
+func TestAdaptiveBoundMovesBothWays(t *testing.T) {
+	cfg := adaptive.Config{
+		TargetRate: 0.005, Band: 0.05,
+		InitialBound: 2, MinBound: 1, MaxBound: 512, Period: 128,
+	}
+	m := newTestMachine(t, workload.NewBarnes(32, 2), 4)
+	res := MustRun(m, RunConfig{Scheme: AdaptiveSlack(cfg), Seed: 6})
+	if res.MeanBound <= float64(cfg.InitialBound) {
+		t.Errorf("bound never grew: mean %.1f", res.MeanBound)
+	}
+	if res.Adjustments < 2 {
+		t.Errorf("only %d adjustments", res.Adjustments)
+	}
+}
+
+// TestAdaptivePlusCheckpointing is the paper's combined configuration
+// (base adaptive at 0.01% with periodic checkpoints).
+func TestAdaptivePlusCheckpointing(t *testing.T) {
+	w := workload.NewLU(16)
+	m := newTestMachine(t, w, 4)
+	res := MustRun(m, RunConfig{
+		Scheme:             AdaptiveSlack(adaptive.DefaultConfig()),
+		Seed:               8,
+		CheckpointInterval: 1000,
+		TrackIntervals:     []int64{1000},
+	})
+	if res.Checkpoints == 0 {
+		t.Error("no checkpoints in combined run")
+	}
+	if len(res.Intervals) != 1 || res.Intervals[0].Interval != 1000 {
+		t.Fatalf("interval stats missing: %+v", res.Intervals)
+	}
+	if err := w.Verify(m.Memory()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntervalStatsFeedModel: a tracked run's F and Dr plug directly into
+// the analytical model (Tables 3-5 pipeline).
+func TestIntervalStatsFeedModel(t *testing.T) {
+	m := newTestMachine(t, workload.NewWater(16, 1), 4)
+	res := MustRun(m, RunConfig{
+		Scheme:         BoundedSlack(32),
+		Seed:           1,
+		TrackIntervals: []int64{500, 2000},
+	})
+	if len(res.Intervals) != 2 {
+		t.Fatalf("want 2 interval reports, got %d", len(res.Intervals))
+	}
+	for _, ir := range res.Intervals {
+		if ir.FractionViolating < 0 || ir.FractionViolating > 1 {
+			t.Errorf("F out of range: %+v", ir)
+		}
+		if ir.MeanFirstDistance < 0 || ir.MeanFirstDistance >= float64(ir.Interval) {
+			t.Errorf("Dr out of range: %+v", ir)
+		}
+	}
+	// Larger intervals violate at least as often (Table 3's trend).
+	if res.Intervals[1].FractionViolating < res.Intervals[0].FractionViolating {
+		t.Errorf("F fell with interval size: %+v", res.Intervals)
+	}
+}

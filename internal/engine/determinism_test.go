@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"testing"
+
+	"slacksim/internal/workload"
+)
+
+// TestSameSeedSameResults: the deterministic host is bit-reproducible.
+func TestSameSeedSameResults(t *testing.T) {
+	run := func() Results {
+		m := newTestMachine(t, workload.NewFalseShare(128), 4)
+		return MustRun(m, RunConfig{Scheme: BoundedSlack(16), Seed: 42})
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Committed != b.Committed ||
+		a.BusViolations != b.BusViolations || a.MapViolations != b.MapViolations ||
+		a.EventsServed != b.EventsServed || a.Suspensions != b.Suspensions {
+		t.Errorf("same seed diverged:\n%v\n%v", a, b)
+	}
+}
+
+// TestDifferentSeedsStillCorrect: scheduling randomness must never change
+// functional results, only timing.
+func TestDifferentSeedsStillCorrect(t *testing.T) {
+	w := workload.NewWater(8, 1)
+	for seed := int64(0); seed < 4; seed++ {
+		m := newTestMachine(t, w, 4)
+		MustRun(m, RunConfig{Scheme: BoundedSlack(64), Seed: seed})
+		if err := w.Verify(m.Memory()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestCCIndependentOfSeed: cycle-by-cycle simulation is the gold standard;
+// the host's scheduling randomness must not leak into it at all.
+func TestCCIndependentOfSeed(t *testing.T) {
+	run := func(seed int64) Results {
+		m := newTestMachine(t, workload.NewFFT(64), 4)
+		return MustRun(m, RunConfig{Scheme: CycleByCycle(), Seed: seed})
+	}
+	a, b := run(1), run(999)
+	if a.Cycles != b.Cycles || a.Committed != b.Committed {
+		t.Errorf("CC depends on seed: %d/%d vs %d/%d cycles/insts",
+			a.Cycles, a.Committed, b.Cycles, b.Committed)
+	}
+	if a.BusViolations != 0 || a.MapViolations != 0 {
+		t.Errorf("CC produced violations: %v", a)
+	}
+}
+
+// TestCCChunkingInvariant: the deterministic host's chunk size must not
+// change cycle-by-cycle results either (cores are re-picked within the
+// one-cycle window anyway).
+func TestCCChunkingInvariant(t *testing.T) {
+	run := func(chunk int64) Results {
+		m := newTestMachine(t, workload.NewLU(8), 4)
+		return MustRun(m, RunConfig{Scheme: CycleByCycle(), Seed: 5, MaxChunk: chunk})
+	}
+	a, b := run(1), run(64)
+	if a.Cycles != b.Cycles || a.Committed != b.Committed {
+		t.Errorf("CC depends on chunking: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+// TestCCParallelMatchesDeterministic: both hosts must produce the same
+// gold-standard timing for a data-race-free, barrier-synchronized
+// workload. This is the strongest cross-host correctness check.
+func TestCCParallelMatchesDeterministic(t *testing.T) {
+	w := workload.NewFFT(64)
+	md := newTestMachine(t, w, 4)
+	det := MustRun(md, RunConfig{Scheme: CycleByCycle(), Seed: 1})
+
+	mp := newTestMachine(t, w, 4)
+	par, err := RunParallel(mp, RunConfig{Scheme: CycleByCycle()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Cycles != par.Cycles {
+		t.Errorf("CC cycles: deterministic %d vs parallel %d", det.Cycles, par.Cycles)
+	}
+	if det.Committed != par.Committed {
+		t.Errorf("CC insts: deterministic %d vs parallel %d", det.Committed, par.Committed)
+	}
+	if par.BusViolations != 0 || par.MapViolations != 0 {
+		t.Errorf("parallel CC produced violations: %v", par)
+	}
+	if err := w.Verify(mp.Memory()); err != nil {
+		t.Fatalf("parallel CC functional: %v", err)
+	}
+}
+
+// TestCCParallelMatchesDeterministicLU repeats the cross-host check on a
+// second kernel with a different sharing pattern.
+func TestCCParallelMatchesDeterministicLU(t *testing.T) {
+	w := workload.NewLU(8)
+	md := newTestMachine(t, w, 4)
+	det := MustRun(md, RunConfig{Scheme: CycleByCycle(), Seed: 3})
+	mp := newTestMachine(t, w, 4)
+	par, err := RunParallel(mp, RunConfig{Scheme: CycleByCycle()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Cycles != par.Cycles || det.Committed != par.Committed {
+		t.Errorf("LU CC host mismatch: %d/%d vs %d/%d",
+			det.Cycles, det.Committed, par.Cycles, par.Committed)
+	}
+}

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"slacksim/internal/adaptive"
+	"slacksim/internal/trace"
+	"slacksim/internal/workload"
+)
+
+// TestQuantumAccuracyDegradesWithSize: the paper's related-work point —
+// quantum simulation is accurate only when the quantum approaches the
+// critical latency; bigger quanta mean bigger errors.
+func TestQuantumAccuracyDegradesWithSize(t *testing.T) {
+	w := workload.NewWater(12, 1)
+	gold := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: CycleByCycle(), Seed: 2})
+	small := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: QuantumScheme(2), Seed: 2})
+	big := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: QuantumScheme(500), Seed: 2})
+	if small.CycleErrorVs(gold) > big.CycleErrorVs(gold)+1 {
+		t.Errorf("Q2 error %.2f%% above Q500 error %.2f%%",
+			small.CycleErrorVs(gold), big.CycleErrorVs(gold))
+	}
+	if big.BusViolations <= small.BusViolations {
+		t.Errorf("Q500 violations %d not above Q2 %d",
+			big.BusViolations, small.BusViolations)
+	}
+}
+
+// TestDriftCapLimitsViolations: a tighter host drift cap bounds the
+// reordering window even under unbounded slack.
+func TestDriftCapLimitsViolations(t *testing.T) {
+	run := func(cap int64) Results {
+		m := newTestMachine(t, workload.NewWater(12, 1), 4)
+		return MustRun(m, RunConfig{Scheme: UnboundedSlack(), Seed: 4, HostDriftCap: cap})
+	}
+	tight := run(4)
+	loose := run(256)
+	if tight.BusRate >= loose.BusRate {
+		t.Errorf("drift cap 4 rate %v not below cap 256 rate %v",
+			tight.BusRate, loose.BusRate)
+	}
+}
+
+// TestResultsHelpers covers the summary helpers' edge cases.
+func TestResultsHelpers(t *testing.T) {
+	a := Results{HostWorkUnits: 100, Cycles: 110}
+	b := Results{HostWorkUnits: 200, Cycles: 100}
+	if got := a.SpeedupOver(b); got != 2 {
+		t.Errorf("SpeedupOver = %v", got)
+	}
+	if got := (Results{}).SpeedupOver(b); got != 0 {
+		t.Errorf("zero-work SpeedupOver = %v", got)
+	}
+	if got := a.CycleErrorVs(b); got != 10 {
+		t.Errorf("CycleErrorVs = %v, want 10", got)
+	}
+	if got := b.CycleErrorVs(a); got < 9 || got > 10 {
+		t.Errorf("CycleErrorVs reverse = %v", got)
+	}
+	if got := a.CycleErrorVs(Results{}); got != 0 {
+		t.Errorf("CycleErrorVs zero gold = %v", got)
+	}
+}
+
+// TestResultsTableRendersEverything checks the human-readable report.
+func TestResultsTableRendersEverything(t *testing.T) {
+	m := newTestMachine(t, workload.NewWater(8, 1), 4)
+	res := MustRun(m, RunConfig{
+		Scheme:             AdaptiveSlack(testAdaptive()),
+		Seed:               1,
+		CheckpointInterval: 1000,
+		TrackIntervals:     []int64{500},
+	})
+	out := res.Table()
+	for _, want := range []string{
+		"workload", "adaptive", "bus violations", "map violations",
+		"checkpoints", "slack bound", "interval 500",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTracerRecordsBoundChanges: the adaptive controller's adjustments
+// appear in the trace.
+func TestTracerRecordsBoundChanges(t *testing.T) {
+	ring := trace.NewRing(4096)
+	m := newTestMachine(t, workload.NewWater(12, 1), 4)
+	MustRun(m, RunConfig{
+		Scheme: AdaptiveSlack(testAdaptive()),
+		Seed:   2,
+		Tracer: ring,
+	})
+	if !strings.Contains(ring.String(), "bound") {
+		t.Error("no bound changes traced")
+	}
+}
+
+// TestCCDriftCapIrrelevant: the drift cap cannot change cycle-by-cycle
+// results (CC's wall is tighter than any cap).
+func TestCCDriftCapIrrelevant(t *testing.T) {
+	run := func(cap int64) Results {
+		m := newTestMachine(t, workload.NewLU(8), 4)
+		return MustRun(m, RunConfig{Scheme: CycleByCycle(), Seed: 5, HostDriftCap: cap})
+	}
+	a, b := run(1), run(1024)
+	if a.Cycles != b.Cycles || a.Committed != b.Committed {
+		t.Errorf("CC depends on drift cap: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func testAdaptive() adaptive.Config {
+	return adaptive.Config{
+		TargetRate:   0.005,
+		Band:         0.05,
+		InitialBound: 4,
+		MinBound:     1,
+		MaxBound:     256,
+		Period:       256,
+	}
+}

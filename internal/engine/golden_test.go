@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"testing"
+
+	"slacksim/internal/workload"
+)
+
+// TestGoldenCCCycles pins the gold-standard (cycle-by-cycle) results of
+// every kernel on the paper's 8-core target. Cycle-by-cycle simulation is
+// bit-deterministic across hosts, seeds and chunk sizes, so these exact
+// values guard the whole stack — ISA semantics, pipeline timing, MESI
+// transitions, bus/L2 latencies, barrier/lock visibility — against
+// accidental behavioural change. An intentional model change must update
+// this table (and revalidate EXPERIMENTS.md).
+func TestGoldenCCCycles(t *testing.T) {
+	golden := []struct {
+		workload  string
+		cycles    int64
+		committed uint64
+	}{
+		{"barnes", 9245, 34576},
+		{"fft", 7220, 41192},
+		{"lu", 7337, 16505},
+		{"water", 13346, 24160},
+		{"ocean", 2698, 12456},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.workload, func(t *testing.T) {
+			w, err := workload.ByName(g.workload, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := newTestMachine(t, w, 8)
+			res := MustRun(m, RunConfig{Scheme: CycleByCycle(), Seed: 1})
+			if res.Cycles != g.cycles || res.Committed != g.committed {
+				t.Errorf("CC result moved: %d cycles / %d insts, golden %d / %d",
+					res.Cycles, res.Committed, g.cycles, g.committed)
+			}
+			if v, ok := w.(workload.Verifier); ok {
+				if err := v.Verify(m.Memory()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"testing"
+
+	"slacksim/internal/workload"
+)
+
+func TestSmokeKernelsCC(t *testing.T) {
+	cases := []struct {
+		name string
+		w    Workload
+		ver  workload.Verifier
+	}{
+		{"fft", workload.NewFFT(64), workload.NewFFT(64)},
+		{"lu", workload.NewLU(8), workload.NewLU(8)},
+		{"barnes", workload.NewBarnes(16, 1), workload.NewBarnes(16, 1)},
+		{"water", workload.NewWater(8, 1), workload.NewWater(8, 1)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m := newTestMachine(t, tc.w, 4)
+			res, err := Run(m, RunConfig{Scheme: CycleByCycle(), Seed: 1})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.BusViolations != 0 || res.MapViolations != 0 {
+				t.Errorf("CC run had violations: %v", res)
+			}
+			if err := tc.ver.Verify(m.Memory()); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			t.Logf("%s", res)
+		})
+	}
+}
+
+func TestSmokeKernelsUnbounded(t *testing.T) {
+	cases := []struct {
+		name string
+		w    Workload
+		ver  workload.Verifier
+	}{
+		{name: "fft", w: workload.NewFFT(64)},
+		{name: "lu", w: workload.NewLU(8)},
+		{name: "barnes", w: workload.NewBarnes(16, 1)},
+		{name: "water", w: workload.NewWater(8, 1)},
+	}
+	for i := range cases {
+		cases[i].ver = cases[i].w.(workload.Verifier)
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m := newTestMachine(t, tc.w, 4)
+			if _, err := Run(m, RunConfig{Scheme: UnboundedSlack(), Seed: 7}); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := tc.ver.Verify(m.Memory()); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+		})
+	}
+}
+
+func TestSmokeParallelHost(t *testing.T) {
+	w := workload.NewFFT(64)
+	m := newTestMachine(t, w, 4)
+	res, err := RunParallel(m, RunConfig{Scheme: BoundedSlack(8), Seed: 1})
+	if err != nil {
+		t.Fatalf("RunParallel: %v", err)
+	}
+	if err := w.Verify(m.Memory()); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	t.Logf("%s", res)
+}
+
+func TestSmokeCheckpointRollback(t *testing.T) {
+	w := workload.NewFalseShare(256)
+	m := newTestMachine(t, w, 4)
+	res, err := Run(m, RunConfig{
+		Scheme:             BoundedSlack(32),
+		Seed:               3,
+		CheckpointInterval: 500,
+		Rollback:           true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := w.VerifyCores(m.Memory(), 4); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	t.Logf("ckpts=%d rollbacks=%d wasted=%d replay=%d %s",
+		res.Checkpoints, res.Rollbacks, res.WastedCycles, res.ReplayCycles, res)
+}
+
+func TestSmokeOcean(t *testing.T) {
+	w := workload.NewOcean(16, 2)
+	m := newTestMachine(t, w, 4)
+	res := MustRun(m, RunConfig{Scheme: CycleByCycle(), Seed: 1})
+	if res.BusViolations != 0 {
+		t.Errorf("CC ocean violated: %v", res)
+	}
+	if err := w.Verify(m.Memory()); err != nil {
+		t.Fatalf("CC: %v", err)
+	}
+	m2 := newTestMachine(t, w, 4)
+	MustRun(m2, RunConfig{Scheme: UnboundedSlack(), Seed: 5})
+	if err := w.Verify(m2.Memory()); err != nil {
+		t.Fatalf("SU: %v", err)
+	}
+}
+
+func TestSmokeRadix(t *testing.T) {
+	// Radix's scatter order is schedule-dependent, so correctness is
+	// semantic (digit-sorted permutation) rather than bit-exact — under
+	// every scheme, on both hosts.
+	for _, s := range []Scheme{CycleByCycle(), BoundedSlack(32), UnboundedSlack()} {
+		w := workload.NewRadix(64)
+		m := newTestMachine(t, w, 4)
+		MustRun(m, RunConfig{Scheme: s, Seed: 3})
+		if err := w.Verify(m.Memory()); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+	w := workload.NewRadix(64)
+	m := newTestMachine(t, w, 4)
+	if _, err := RunParallel(m, RunConfig{Scheme: BoundedSlack(16)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(m.Memory()); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+}

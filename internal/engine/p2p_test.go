@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"testing"
+
+	"slacksim/internal/workload"
+)
+
+func TestLaxP2PFunctional(t *testing.T) {
+	for _, name := range []string{"fft", "water"} {
+		w, err := workload.ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := newTestMachine(t, w, 4)
+		res := MustRun(m, RunConfig{Scheme: LaxP2PScheme(100, 100), Seed: 3})
+		if res.Committed == 0 {
+			t.Fatalf("%s: nothing committed", name)
+		}
+		if err := w.(workload.Verifier).Verify(m.Memory()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLaxP2PBoundsDrift(t *testing.T) {
+	// With pairwise syncing every 50 cycles and 25 cycles of allowed
+	// lead, clocks cannot run away; cycle error vs CC stays moderate, and
+	// some pairwise suspensions must occur.
+	w := workload.NewFFT(128)
+	gold := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: CycleByCycle(), Seed: 1})
+	p2p := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: LaxP2PScheme(50, 25), Seed: 1})
+	if err := p2p.CycleErrorVs(gold); err > 20 {
+		t.Errorf("P2P cycle error %.1f%% (gold %d, got %d)", err, gold.Cycles, p2p.Cycles)
+	}
+	if p2p.Suspensions == 0 {
+		t.Error("no pairwise suspensions recorded")
+	}
+	// And it must be cheaper than cycle-by-cycle.
+	if p2p.HostWorkUnits >= gold.HostWorkUnits {
+		t.Errorf("P2P work %v not below CC %v", p2p.HostWorkUnits, gold.HostWorkUnits)
+	}
+}
+
+func TestLaxP2PSuspendsLessThanCC(t *testing.T) {
+	w := workload.NewLU(8)
+	cc := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: CycleByCycle(), Seed: 2})
+	p2p := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: LaxP2PScheme(100, 50), Seed: 2})
+	if p2p.Suspensions >= cc.Suspensions {
+		t.Errorf("P2P suspensions %d not below CC %d", p2p.Suspensions, cc.Suspensions)
+	}
+}
+
+func TestLaxP2PParallelHost(t *testing.T) {
+	w := workload.NewFFT(64)
+	m := newTestMachine(t, w, 4)
+	res, err := RunParallel(m, RunConfig{Scheme: LaxP2PScheme(100, 100), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(m.Memory()); err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "P2P100" {
+		t.Errorf("scheme name %q", res.Scheme)
+	}
+}
+
+func TestLaxP2PValidation(t *testing.T) {
+	if err := LaxP2PScheme(0, 10).Validate(); err == nil {
+		t.Error("zero period accepted")
+	}
+	if err := LaxP2PScheme(10, -1).Validate(); err == nil {
+		t.Error("negative max-ahead accepted")
+	}
+	if err := LaxP2PScheme(100, 0).Validate(); err != nil {
+		t.Errorf("valid P2P rejected: %v", err)
+	}
+}
+
+func TestLaxP2PDeterministic(t *testing.T) {
+	run := func() Results {
+		m := newTestMachine(t, workload.NewWater(8, 1), 4)
+		return MustRun(m, RunConfig{Scheme: LaxP2PScheme(64, 32), Seed: 11})
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Committed != b.Committed || a.BusViolations != b.BusViolations {
+		t.Errorf("P2P not reproducible: %v vs %v", a, b)
+	}
+}

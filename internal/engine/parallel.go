@@ -1,0 +1,472 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slacksim/internal/adaptive"
+	"slacksim/internal/event"
+	"slacksim/internal/violation"
+)
+
+// p2pState is one core thread's Lax-P2P bookkeeping (owned by that
+// goroutine; partner clocks are read through the shared atomics).
+type p2pState struct {
+	rng     *rand.Rand
+	next    int64
+	partner int
+	blocked bool
+}
+
+// parRun is the state of one goroutine-parallel run: one goroutine per
+// target core plus the simulation manager goroutine, mirroring the paper's
+// Pthreads architecture (a simulation of an 8-core target is nine host
+// threads). Pacing uses the paper's protocol: each core thread owns a
+// local time it may advance while it stays below its max local time; the
+// manager recomputes the global time (the minimum local time) and raises
+// the max local times according to the scheme.
+type parRun struct {
+	m   *Machine
+	cfg RunConfig
+
+	localTime []atomic.Int64
+	maxLocal  []atomic.Int64
+	committed []atomic.Uint64
+	retired   []atomic.Bool
+	stop      atomic.Bool
+
+	// mu/cond park core goroutines that hit their max local time; parked
+	// tracks which cores are waiting so the manager can quiesce the
+	// machine for a global checkpoint.
+	mu     sync.Mutex
+	cond   *sync.Cond
+	parked []bool
+
+	// kick wakes the manager when a core produced work or blocked.
+	kick chan struct{}
+
+	suspensions atomic.Uint64
+
+	gq      []pendingReq
+	arrival uint64
+	meter   costMeter
+	global  int64
+
+	ctrl      *adaptive.Controller
+	bound     int64
+	lastAdapt int64
+
+	nextCkpt  int64
+	ckpts     int
+	ckptWords int64
+}
+
+// sortPending orders queued requests by (timestamp, core, arrival), the
+// target machine's arbitration order used for conservative servicing.
+func sortPending(gq []pendingReq) {
+	sort.Slice(gq, func(a, b int) bool {
+		pa, pb := gq[a], gq[b]
+		if pa.req.TS != pb.req.TS {
+			return pa.req.TS < pb.req.TS
+		}
+		if pa.req.Core != pb.req.Core {
+			return pa.req.Core < pb.req.Core
+		}
+		return pa.arr < pb.arr
+	})
+}
+
+// RunParallel simulates the machine under cfg with the goroutine host and
+// returns the results. Rollback is only available on the deterministic
+// host (the paper likewise evaluates speculation analytically on top of
+// measured checkpointing overhead); periodic checkpointing is supported.
+func RunParallel(m *Machine, cfg RunConfig) (Results, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Results{}, err
+	}
+	if cfg.Rollback {
+		return Results{}, fmt.Errorf("engine: rollback is only supported on the deterministic host")
+	}
+	n := m.NumCores()
+	r := &parRun{
+		m:         m,
+		cfg:       cfg,
+		localTime: make([]atomic.Int64, n),
+		maxLocal:  make([]atomic.Int64, n),
+		committed: make([]atomic.Uint64, n),
+		retired:   make([]atomic.Bool, n),
+		parked:    make([]bool, n),
+		kick:      make(chan struct{}, 1),
+		bound:     cfg.Scheme.Bound,
+	}
+	r.cond = sync.NewCond(&r.mu)
+	if cfg.Scheme.Kind == Adaptive {
+		ctrl, err := adaptive.New(cfg.Scheme.Adaptive)
+		if err != nil {
+			return Results{}, err
+		}
+		ctrl.SetPolicy(cfg.AdaptivePolicy)
+		r.ctrl = ctrl
+		r.bound = ctrl.Bound()
+	}
+	if len(cfg.TrackIntervals) > 0 {
+		m.Detector().TrackIntervals(cfg.TrackIntervals...)
+	}
+	if len(cfg.Selected) > 0 {
+		m.Detector().Select(cfg.Selected...)
+	}
+	if cfg.CheckpointInterval > 0 {
+		r.nextCkpt = cfg.CheckpointInterval
+	}
+	ml := r.maxLocalNow()
+	for i := 0; i < n; i++ {
+		r.maxLocal[i].Store(ml)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.coreLoop(i)
+		}(i)
+	}
+	r.managerLoop()
+	r.cond.Broadcast()
+	wg.Wait()
+	// Trailing work issued just before the cores stopped.
+	r.drainAll()
+	r.recomputeGlobal()
+	r.serviceAll()
+	return r.results(time.Since(start)), nil
+}
+
+// maxLocalNow computes the scheme's current max local time.
+func (r *parRun) maxLocalNow() int64 {
+	ml := maxLocalFor(r.cfg.Scheme.Kind, r.global, r.bound, r.cfg.Scheme.Quantum)
+	if r.nextCkpt > 0 && ml > r.nextCkpt {
+		ml = r.nextCkpt
+	}
+	return ml
+}
+
+// kickManager wakes the manager without blocking the core.
+func (r *parRun) kickManager() {
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// coreLoop is one core thread: advance while below the max local time,
+// park when the wall is hit, exit on halt or stop.
+func (r *parRun) coreLoop(i int) {
+	c := r.m.cores[i]
+	var p2p *p2pState
+	if r.cfg.Scheme.Kind == LaxP2P {
+		p2p = &p2pState{
+			rng:     rand.New(rand.NewSource(r.cfg.Seed + int64(i)*7919)),
+			next:    r.cfg.Scheme.SyncPeriod,
+			partner: -1,
+		}
+	}
+	for !r.stop.Load() {
+		if p2p != nil && !r.p2pGate(i, c.Now(), p2p) {
+			// Blocked at a pairwise sync: yield until the partner catches
+			// up (polling keeps the pairing protocol wait-free).
+			runtime.Gosched()
+			continue
+		}
+		if c.Now() < r.maxLocal[i].Load() {
+			before := r.m.outQs[i].Len()
+			c.Tick()
+			r.localTime[i].Store(c.Now())
+			r.committed[i].Store(c.Stats().Committed)
+			if r.m.outQs[i].Len() > before {
+				r.kickManager()
+			}
+			if c.Halted() {
+				r.retired[i].Store(true)
+				r.kickManager()
+				return
+			}
+			continue
+		}
+		// Suspend until the manager raises the max local time. This is
+		// the synchronization cost cycle-by-cycle simulation pays every
+		// cycle and unbounded slack never pays.
+		r.suspensions.Add(1)
+		r.mu.Lock()
+		r.parked[i] = true
+		r.kickManager()
+		for !r.stop.Load() && c.Now() >= r.maxLocal[i].Load() {
+			r.cond.Wait()
+		}
+		r.parked[i] = false
+		r.mu.Unlock()
+	}
+}
+
+// p2pGate evaluates one core's Lax-P2P synchronization: true when the
+// core may advance. At each sync point it picks a random partner and
+// waits while it is more than P2PMaxAhead cycles past it. The globally
+// slowest core is never gated, so the protocol cannot deadlock.
+func (r *parRun) p2pGate(i int, now int64, s *p2pState) bool {
+	if now < s.next {
+		return true
+	}
+	if s.partner < 0 {
+		p := s.rng.Intn(len(r.localTime) - 1)
+		if p >= i {
+			p++
+		}
+		s.partner = p
+	}
+	if !r.retired[s.partner].Load() &&
+		r.localTime[s.partner].Load() < now-r.cfg.Scheme.P2PMaxAhead {
+		if !s.blocked {
+			s.blocked = true
+			r.suspensions.Add(1)
+		}
+		return false
+	}
+	s.next += r.cfg.Scheme.SyncPeriod
+	s.partner = -1
+	s.blocked = false
+	return true
+}
+
+// managerLoop consolidates OutQ entries into the GQ, services them,
+// maintains the global time, paces the cores, runs the adaptive
+// controller, and takes checkpoints at boundaries.
+func (r *parRun) managerLoop() {
+	for {
+		<-r.kick
+		for {
+			r.drainAll()
+			r.recomputeGlobal()
+			r.service()
+			r.adapt()
+			if r.doneNow() {
+				r.stop.Store(true)
+				r.cond.Broadcast()
+				return
+			}
+			if r.nextCkpt > 0 && r.global == r.nextCkpt && !r.tryCheckpoint() {
+				// Wait for the stragglers to park at the boundary.
+			}
+			ml := r.maxLocalNow()
+			changed := false
+			for i := range r.maxLocal {
+				if r.maxLocal[i].Load() != ml {
+					r.maxLocal[i].Store(ml)
+					changed = true
+				}
+			}
+			if changed {
+				r.mu.Lock()
+				r.cond.Broadcast()
+				r.mu.Unlock()
+			}
+			if r.quietQueues() {
+				break
+			}
+		}
+	}
+}
+
+func (r *parRun) quietQueues() bool {
+	for i := range r.m.outQs {
+		if r.m.outQs[i].Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *parRun) doneNow() bool {
+	if r.global >= r.cfg.MaxCycles {
+		return true
+	}
+	if r.cfg.MaxInstructions > 0 {
+		var n uint64
+		for i := range r.committed {
+			n += r.committed[i].Load()
+		}
+		if n >= r.cfg.MaxInstructions {
+			return true
+		}
+	}
+	for i := range r.retired {
+		if !r.retired[i].Load() {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *parRun) recomputeGlobal() {
+	min := int64(-1)
+	for i := range r.localTime {
+		if r.retired[i].Load() {
+			continue
+		}
+		t := r.localTime[i].Load()
+		if min < 0 || t < min {
+			min = t
+		}
+	}
+	if min >= 0 {
+		r.global = min
+	}
+}
+
+func (r *parRun) drainAll() {
+	for i := range r.m.outQs {
+		for {
+			req, ok := r.m.outQs[i].Pop()
+			if !ok {
+				break
+			}
+			r.arrival++
+			r.gq = append(r.gq, pendingReq{req: req, arr: r.arrival})
+		}
+	}
+}
+
+func (r *parRun) service() {
+	if r.cfg.Scheme.conservative() {
+		r.serviceConservative(r.global)
+		return
+	}
+	for _, p := range r.gq {
+		r.serveOne(p.req)
+	}
+	r.gq = r.gq[:0]
+}
+
+func (r *parRun) serviceConservative(safeTime int64) {
+	if len(r.gq) == 0 {
+		return
+	}
+	sortPending(r.gq)
+	n := 0
+	for n < len(r.gq) && r.gq[n].req.TS < safeTime {
+		r.serveOne(r.gq[n].req)
+		n++
+	}
+	r.gq = r.gq[n:]
+}
+
+func (r *parRun) serviceAll() { r.serviceConservative(unboundedSentinel) }
+
+func (r *parRun) serveOne(req event.Request) {
+	r.m.unc.Service(req)
+	r.meter.events++
+	if r.cfg.MeasureViolations {
+		r.meter.violChecked++
+	}
+}
+
+func (r *parRun) adapt() {
+	if r.ctrl == nil {
+		return
+	}
+	if r.global-r.lastAdapt < r.cfg.Scheme.Adaptive.Period {
+		return
+	}
+	r.lastAdapt = r.global
+	r.bound = r.ctrl.Update(r.m.det.Rate(r.global))
+	r.meter.adaptOps++
+}
+
+// tryCheckpoint quiesces the machine at a checkpoint boundary and takes a
+// global snapshot (the copies are made for real so the overhead is real;
+// without rollback the snapshot is dropped, exactly like the paper's
+// Table 2 runs where "checkpoints always succeed"). It returns false when
+// some active core has not parked at the boundary yet.
+func (r *parRun) tryCheckpoint() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.parked {
+		if r.retired[i].Load() {
+			continue
+		}
+		if !r.parked[i] || r.localTime[i].Load() != r.nextCkpt {
+			return false
+		}
+	}
+	// All active cores are parked exactly at the boundary, so their state
+	// is stable and the manager can copy it (the paper forks every
+	// thread's process here instead).
+	words := int64(r.m.mem.Snapshot().AllocatedWords() + r.m.unc.StateWords())
+	_ = r.m.unc.Snapshot()
+	_ = r.m.sync.Snapshot()
+	for _, c := range r.m.cores {
+		words += int64(c.Snapshot().StateWords())
+	}
+	r.ckpts++
+	r.ckptWords += words
+	r.meter.ckptWords += words
+	r.nextCkpt += r.cfg.CheckpointInterval
+	return true
+}
+
+// results assembles the Results for a finished parallel run.
+func (r *parRun) results(wall time.Duration) Results {
+	m := r.m
+	det := m.Detector()
+	r.meter.suspensions = r.suspensions.Load()
+	var coreCycles int64
+	for _, c := range m.cores {
+		coreCycles += c.Stats().Cycles
+	}
+	r.meter.coreCycles = coreCycles
+	res := Results{
+		Workload: m.WorkloadName(),
+		Scheme:   r.cfg.Scheme.Name(),
+		Host:     "parallel",
+
+		Cycles:    r.global,
+		Committed: m.committed(),
+
+		BusViolations:      det.Count(violation.Bus),
+		MapViolations:      det.Count(violation.Map),
+		WorkloadViolations: det.Count(violation.Workload),
+		ViolationRate:      det.Rate(r.global),
+		BusRate:            det.RateOf(violation.Bus, r.global),
+		MapRate:            det.RateOf(violation.Map, r.global),
+		Intervals:          det.Intervals(r.global),
+
+		HostWorkUnits: r.meter.total(),
+		WallClock:     wall,
+		Suspensions:   r.meter.suspensions,
+		EventsServed:  r.meter.events,
+
+		Checkpoints:     r.ckpts,
+		CheckpointWords: r.ckptWords,
+
+		LockAcquires:    m.Sync().Acquires,
+		LockContended:   m.Sync().Contended,
+		BarrierEpisodes: m.Sync().BarrierEpisodes,
+	}
+	for _, c := range m.cores {
+		res.PerCore = append(res.PerCore, c.Stats())
+	}
+	if res.Committed > 0 {
+		res.CPI = float64(res.Cycles) * float64(m.NumCores()) / float64(res.Committed)
+	}
+	if r.ctrl != nil {
+		res.FinalBound = r.ctrl.Bound()
+		res.MeanBound = r.ctrl.MeanBound()
+		res.Adjustments = r.ctrl.Adjustments
+	}
+	return res
+}

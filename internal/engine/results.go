@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"slacksim/internal/core"
+	"slacksim/internal/violation"
+)
+
+// Results summarizes one simulation run.
+type Results struct {
+	// Workload and Scheme identify the run.
+	Workload string
+	Scheme   string
+	// Host is "deterministic" or "parallel".
+	Host string
+
+	// Cycles is the final global time (the simulated execution time).
+	Cycles int64
+	// Committed is the total committed instruction count across cores.
+	Committed uint64
+	// CPI is aggregate cycles-per-instruction: Cycles·NumCores/Committed.
+	CPI float64
+
+	// PerCore carries each core's counters.
+	PerCore []core.Stats
+
+	// Violation accounting.
+	BusViolations      uint64
+	MapViolations      uint64
+	WorkloadViolations uint64
+	// ViolationRate is selected violations / Cycles.
+	ViolationRate float64
+	BusRate       float64
+	MapRate       float64
+	// Intervals carries Table 3/4 statistics when interval tracking was on.
+	Intervals []violation.IntervalReport
+
+	// Host-side costs.
+	HostWorkUnits float64
+	WallClock     time.Duration
+	Suspensions   uint64
+	EventsServed  uint64
+
+	// Checkpoint/rollback accounting (speculative runs).
+	Checkpoints     int
+	CheckpointWords int64
+	Rollbacks       int
+	WastedCycles    int64
+	ReplayCycles    int64
+
+	// Adaptive controller summary.
+	FinalBound  int64
+	MeanBound   float64
+	Adjustments uint64
+
+	// Synchronization traffic.
+	LockAcquires, LockContended, BarrierEpisodes uint64
+}
+
+// String renders a one-line summary.
+func (r Results) String() string {
+	return fmt.Sprintf("%s/%s[%s]: %d cycles, %d insts, CPI=%.2f, viol(bus=%d,map=%d) rate=%.5f%%, work=%.0f",
+		r.Workload, r.Scheme, r.Host, r.Cycles, r.Committed, r.CPI,
+		r.BusViolations, r.MapViolations, 100*r.ViolationRate, r.HostWorkUnits)
+}
+
+// Table renders a multi-line human-readable report.
+func (r Results) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload           %s\n", r.Workload)
+	fmt.Fprintf(&b, "scheme             %s (%s host)\n", r.Scheme, r.Host)
+	fmt.Fprintf(&b, "simulated cycles   %d\n", r.Cycles)
+	fmt.Fprintf(&b, "committed insts    %d\n", r.Committed)
+	fmt.Fprintf(&b, "aggregate CPI      %.3f\n", r.CPI)
+	fmt.Fprintf(&b, "bus violations     %d (rate %.5f%%)\n", r.BusViolations, 100*r.BusRate)
+	fmt.Fprintf(&b, "map violations     %d (rate %.5f%%)\n", r.MapViolations, 100*r.MapRate)
+	fmt.Fprintf(&b, "host work units    %.0f\n", r.HostWorkUnits)
+	fmt.Fprintf(&b, "wall clock         %v\n", r.WallClock)
+	fmt.Fprintf(&b, "events serviced    %d\n", r.EventsServed)
+	fmt.Fprintf(&b, "suspensions        %d\n", r.Suspensions)
+	if r.Checkpoints > 0 {
+		fmt.Fprintf(&b, "checkpoints        %d (%d words)\n", r.Checkpoints, r.CheckpointWords)
+		fmt.Fprintf(&b, "rollbacks          %d (wasted %d cycles, replayed %d)\n",
+			r.Rollbacks, r.WastedCycles, r.ReplayCycles)
+	}
+	if r.MeanBound > 0 {
+		fmt.Fprintf(&b, "slack bound        final=%d mean=%.1f adjustments=%d\n",
+			r.FinalBound, r.MeanBound, r.Adjustments)
+	}
+	for _, ir := range r.Intervals {
+		fmt.Fprintf(&b, "interval %-7d   F=%.2f Dr=%.0f\n",
+			ir.Interval, ir.FractionViolating, ir.MeanFirstDistance)
+	}
+	return b.String()
+}
+
+// SpeedupOver returns how many times faster this run was than other in
+// host work units.
+func (r Results) SpeedupOver(other Results) float64 {
+	if r.HostWorkUnits == 0 {
+		return 0
+	}
+	return other.HostWorkUnits / r.HostWorkUnits
+}
+
+// CycleErrorVs returns the relative error of this run's simulated
+// execution time against a reference (gold-standard) run, in percent.
+func (r Results) CycleErrorVs(gold Results) float64 {
+	if gold.Cycles == 0 {
+		return 0
+	}
+	d := float64(r.Cycles - gold.Cycles)
+	if d < 0 {
+		d = -d
+	}
+	return 100 * d / float64(gold.Cycles)
+}

@@ -1,0 +1,500 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"slacksim/internal/adaptive"
+	"slacksim/internal/event"
+	"slacksim/internal/trace"
+	"slacksim/internal/violation"
+)
+
+// RunConfig parameterizes one simulation run.
+type RunConfig struct {
+	// Scheme is the synchronization scheme.
+	Scheme Scheme
+	// MaxInstructions stops the run once the machine has committed this
+	// many instructions in total (0 = run until every program halts).
+	MaxInstructions uint64
+	// MaxCycles is a safety cap on global time (default 1<<40).
+	MaxCycles int64
+	// Seed drives the deterministic host's scheduling.
+	Seed int64
+	// MaxChunk caps how many cycles one core runs uninterrupted in the
+	// deterministic host (models host scheduling granularity; default 16).
+	MaxChunk int64
+	// HostDriftCap bounds how far any core's clock may run ahead of the
+	// slowest core in the deterministic host, independently of the slack
+	// bound (default 64). It models host threads that execute at roughly
+	// equal speeds with bounded transient drift: below the cap the slack
+	// bound is what limits reordering (violations grow with the bound);
+	// beyond it the host's own pacing dominates (the violation-rate
+	// plateau of the paper's Figure 3).
+	HostDriftCap int64
+	// CheckpointInterval, when positive, takes a global checkpoint every
+	// that many simulated cycles.
+	CheckpointInterval int64
+	// Rollback enables full speculative slack simulation: on a selected
+	// violation the run restores the last checkpoint and replays
+	// cycle-by-cycle to the next boundary (forward progress), then resumes
+	// the slack scheme.
+	Rollback bool
+	// Selected restricts which violation types steer adaptation and
+	// trigger rollback (nil = all types).
+	Selected []violation.Type
+	// TrackIntervals enables Table 3/4 interval statistics for the given
+	// interval lengths.
+	TrackIntervals []int64
+	// MeasureViolations charges the violation-detection overhead to the
+	// host cost model (it is implied by Adaptive, Rollback and interval
+	// tracking; set it to model an instrumented bounded run, as in the
+	// Figure 3 experiments).
+	MeasureViolations bool
+	// AdaptivePolicy selects the controller's bound-adjustment policy
+	// (AIMD by default; AIAD exists for the ablation study).
+	AdaptivePolicy adaptive.Policy
+	// Tracer, when non-nil, records serviced requests, violations, bound
+	// changes, checkpoints and rollbacks for post-run inspection.
+	Tracer *trace.Ring
+}
+
+func (cfg RunConfig) withDefaults() RunConfig {
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 1 << 40
+	}
+	if cfg.MaxChunk == 0 {
+		cfg.MaxChunk = 16
+	}
+	if cfg.HostDriftCap == 0 {
+		cfg.HostDriftCap = 64
+	}
+	if cfg.Scheme.Kind == Adaptive || cfg.Rollback || len(cfg.TrackIntervals) > 0 {
+		cfg.MeasureViolations = true
+	}
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (cfg RunConfig) Validate() error {
+	if err := cfg.Scheme.Validate(); err != nil {
+		return err
+	}
+	if cfg.MaxChunk < 0 || cfg.MaxCycles < 0 || cfg.CheckpointInterval < 0 {
+		return fmt.Errorf("engine: negative run limits")
+	}
+	if cfg.Rollback && cfg.CheckpointInterval <= 0 {
+		return fmt.Errorf("engine: rollback requires a checkpoint interval")
+	}
+	return nil
+}
+
+type pendingReq struct {
+	req event.Request
+	arr uint64
+}
+
+// detRun is the state of one deterministic-host run.
+type detRun struct {
+	m   *Machine
+	cfg RunConfig
+	rng *rand.Rand
+
+	ctrl  *adaptive.Controller
+	bound int64
+
+	retired []bool
+	global  int64
+
+	gq      []pendingReq
+	arrival uint64
+
+	// Lax-P2P state: the next pairwise sync point, the currently chosen
+	// partner (-1 = none), and whether the core is currently blocked at a
+	// sync (for suspension accounting), per core.
+	p2pNext    []int64
+	p2pPartner []int
+	p2pBlocked []bool
+
+	meter costMeter
+
+	lastAdapt int64
+
+	// Checkpoint/rollback state.
+	nextCkpt        int64
+	snap            *globalSnapshot
+	replayUntil     int64
+	pendingRollback bool
+	rollbacks       int
+	wasted          int64
+	replayed        int64
+	ckpts           int
+	ckptWords       int64
+}
+
+// Run simulates the machine to completion under cfg on the deterministic
+// host and returns the results. The machine must be freshly built (a
+// machine cannot be reused across runs).
+func Run(m *Machine, cfg RunConfig) (Results, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Results{}, err
+	}
+	r := &detRun{
+		m:       m,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		retired: make([]bool, m.NumCores()),
+		bound:   cfg.Scheme.Bound,
+	}
+	m.unc.SetTracer(cfg.Tracer)
+	if cfg.Scheme.Kind == Adaptive {
+		ctrl, err := adaptive.New(cfg.Scheme.Adaptive)
+		if err != nil {
+			return Results{}, err
+		}
+		ctrl.SetPolicy(cfg.AdaptivePolicy)
+		r.ctrl = ctrl
+		r.bound = ctrl.Bound()
+	}
+	if cfg.Scheme.Kind == LaxP2P {
+		r.p2pNext = make([]int64, m.NumCores())
+		r.p2pPartner = make([]int, m.NumCores())
+		r.p2pBlocked = make([]bool, m.NumCores())
+		for i := range r.p2pNext {
+			r.p2pNext[i] = cfg.Scheme.SyncPeriod
+			r.p2pPartner[i] = -1
+		}
+	}
+	if len(cfg.TrackIntervals) > 0 {
+		m.Detector().TrackIntervals(cfg.TrackIntervals...)
+	}
+	if len(cfg.Selected) > 0 {
+		m.Detector().Select(cfg.Selected...)
+	}
+	if cfg.CheckpointInterval > 0 {
+		r.nextCkpt = cfg.CheckpointInterval
+		if cfg.Rollback {
+			// The initial state is the first recovery point, so a
+			// violation before the first boundary can still roll back.
+			r.takeCheckpoint()
+		}
+	}
+	start := time.Now()
+	if err := r.loop(); err != nil {
+		return Results{}, err
+	}
+	return r.results(time.Since(start)), nil
+}
+
+// MustRun is Run but panics on error.
+func MustRun(m *Machine, cfg RunConfig) Results {
+	res, err := Run(m, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// mode returns the effective scheme kind, accounting for cycle-by-cycle
+// replay after a rollback.
+func (r *detRun) mode() SchemeKind {
+	if r.replayUntil > 0 && r.global < r.replayUntil {
+		return CC
+	}
+	return r.cfg.Scheme.Kind
+}
+
+// conservative reports whether the manager must currently service events
+// in timestamp order.
+func (r *detRun) conservative() bool { return r.mode() == CC }
+
+// maxLocal computes the current max local time shared by all cores
+// (every scheme here is symmetric), capped at the next checkpoint
+// boundary so a global checkpoint can be taken with all clocks equal.
+func (r *detRun) maxLocal() int64 {
+	ml := maxLocalFor(r.mode(), r.global, r.bound, r.cfg.Scheme.Quantum)
+	if r.nextCkpt > 0 && ml > r.nextCkpt {
+		ml = r.nextCkpt
+	}
+	return ml
+}
+
+func (r *detRun) done() bool {
+	if r.global >= r.cfg.MaxCycles {
+		return true
+	}
+	if r.cfg.MaxInstructions > 0 && r.m.committed() >= r.cfg.MaxInstructions {
+		return true
+	}
+	for i := range r.retired {
+		if !r.retired[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// recomputeGlobal sets global time to the minimum local time of active
+// cores (global never decreases except across a rollback restore).
+func (r *detRun) recomputeGlobal() {
+	min := int64(-1)
+	for i, c := range r.m.cores {
+		if r.retired[i] {
+			continue
+		}
+		if min < 0 || c.Now() < min {
+			min = c.Now()
+		}
+	}
+	if min >= 0 {
+		r.global = min
+	}
+}
+
+func (r *detRun) loop() error {
+	for !r.done() {
+		ml := r.maxLocal()
+		pick := r.nextCore(ml)
+		if pick < 0 {
+			// Everyone is at the wall: either a checkpoint boundary or an
+			// inconsistency (global should always free the slowest core).
+			if r.nextCkpt > 0 && r.global == r.nextCkpt {
+				if err := r.atBoundary(); err != nil {
+					return err
+				}
+				continue
+			}
+			return fmt.Errorf("engine: no runnable core at global=%d maxLocal=%d", r.global, ml)
+		}
+		c := r.m.cores[pick]
+		budget := ml - c.Now()
+		chunk := int64(1)
+		if r.cfg.MaxChunk > 1 {
+			chunk += r.rng.Int63n(r.cfg.MaxChunk)
+		}
+		if chunk > budget {
+			chunk = budget
+		}
+		for k := int64(0); k < chunk; k++ {
+			c.Tick()
+			r.meter.coreCycles++
+		}
+		if c.Now() >= ml {
+			r.meter.suspensions++
+		}
+		if c.Halted() {
+			r.retired[pick] = true
+		}
+
+		r.drain(pick)
+		r.recomputeGlobal()
+		if err := r.service(); err != nil {
+			return err
+		}
+		if r.pendingRollback {
+			// The paper's recipe: roll back as soon as the manager detects
+			// a selected violation.
+			r.doRollback()
+			continue
+		}
+		r.adapt()
+		if r.nextCkpt > 0 && r.global == r.nextCkpt && r.allAtBoundary() {
+			if err := r.atBoundary(); err != nil {
+				return err
+			}
+		}
+	}
+	// Final drain so trailing requests are reflected in stats.
+	r.drainAll()
+	r.recomputeGlobal()
+	return r.serviceAll()
+}
+
+// nextCore picks a uniformly random core among those below both the
+// scheme's wall and the host drift cap. Random picks make each core's
+// clock a random walk (the ordering jitter that causes violations); the
+// drift cap keeps the walk within what a real host's roughly-equal thread
+// speeds would allow. It returns -1 when no core can run at all.
+func (r *detRun) nextCore(ml int64) int {
+	cap := ml
+	if d := r.global + r.cfg.HostDriftCap; d < cap {
+		cap = d
+	}
+	var runnable []int
+	for i, c := range r.m.cores {
+		if !r.retired[i] && c.Now() < cap && r.p2pClear(i) {
+			runnable = append(runnable, i)
+		}
+	}
+	if len(runnable) == 0 {
+		// The slowest active core always sits below global+drift, so this
+		// only happens at a scheme wall (checkpoint boundary or a bug).
+		return -1
+	}
+	return runnable[r.rng.Intn(len(runnable))]
+}
+
+// p2pClear evaluates core i's Lax-P2P gate: away from a sync point it is
+// free; at one it picks a random partner (kept until the sync resolves)
+// and may proceed only when it is no more than P2PMaxAhead cycles past
+// the partner. The globally slowest core is never gated, so the scheme is
+// deadlock-free.
+func (r *detRun) p2pClear(i int) bool {
+	if r.cfg.Scheme.Kind != LaxP2P {
+		return true
+	}
+	c := r.m.cores[i]
+	if c.Now() < r.p2pNext[i] {
+		return true
+	}
+	if r.p2pPartner[i] < 0 {
+		p := r.rng.Intn(r.m.NumCores() - 1)
+		if p >= i {
+			p++
+		}
+		r.p2pPartner[i] = p
+	}
+	p := r.p2pPartner[i]
+	if !r.retired[p] && r.m.cores[p].Now() < c.Now()-r.cfg.Scheme.P2PMaxAhead {
+		if !r.p2pBlocked[i] {
+			r.p2pBlocked[i] = true
+			r.meter.suspensions++
+		}
+		return false
+	}
+	r.p2pNext[i] += r.cfg.Scheme.SyncPeriod
+	r.p2pPartner[i] = -1
+	r.p2pBlocked[i] = false
+	return true
+}
+
+// drain moves requests from core i's OutQ into the manager's global queue
+// (GQ), preserving arrival order.
+func (r *detRun) drain(i int) {
+	for {
+		req, ok := r.m.outQs[i].Pop()
+		if !ok {
+			return
+		}
+		r.arrival++
+		r.gq = append(r.gq, pendingReq{req: req, arr: r.arrival})
+	}
+}
+
+func (r *detRun) drainAll() {
+	for i := range r.m.outQs {
+		r.drain(i)
+	}
+}
+
+// service runs the manager: eagerly in slack modes (arrival order), or
+// conservatively in CC mode (timestamp order, only events that can no
+// longer be preceded).
+func (r *detRun) service() error {
+	if r.conservative() {
+		return r.serviceConservative(r.global)
+	}
+	for _, p := range r.gq {
+		r.serveOne(p.req)
+	}
+	r.gq = r.gq[:0]
+	return nil
+}
+
+// serviceConservative services queued requests with TS strictly below
+// safeTime in (TS, core, arrival) order; later-timestamped requests stay
+// queued because a slower core could still issue an earlier one.
+func (r *detRun) serviceConservative(safeTime int64) error {
+	if len(r.gq) == 0 {
+		return nil
+	}
+	sortPending(r.gq)
+	n := 0
+	for n < len(r.gq) && r.gq[n].req.TS < safeTime {
+		r.serveOne(r.gq[n].req)
+		n++
+	}
+	r.gq = r.gq[n:]
+	return nil
+}
+
+// serviceAll flushes every queued request regardless of safety (used when
+// the run is over).
+func (r *detRun) serviceAll() error {
+	return r.serviceConservative(unboundedSentinel)
+}
+
+func (r *detRun) serveOne(req event.Request) {
+	before := r.m.det.SelectedCount()
+	r.m.unc.Service(req)
+	r.meter.events++
+	if r.cfg.MeasureViolations {
+		r.meter.violChecked++
+	}
+	if r.cfg.Rollback && r.replayUntil == 0 {
+		if r.m.det.SelectedCount() > before {
+			r.pendingRollback = true
+		}
+	}
+}
+
+// adapt runs the adaptive controller at its period.
+func (r *detRun) adapt() {
+	if r.ctrl == nil || r.mode() == CC {
+		return
+	}
+	period := r.cfg.Scheme.Adaptive.Period
+	if r.global-r.lastAdapt < period {
+		return
+	}
+	r.lastAdapt = r.global
+	rate := r.m.det.Rate(r.global)
+	before := r.bound
+	r.bound = r.ctrl.Update(rate)
+	r.meter.adaptOps++
+	if r.bound != before {
+		r.cfg.Tracer.Addf(r.global, -1, trace.BoundChange,
+			"rate=%.5f bound %d -> %d", rate, before, r.bound)
+	}
+}
+
+// allAtBoundary reports whether every active core's clock equals the next
+// checkpoint boundary.
+func (r *detRun) allAtBoundary() bool {
+	for i, c := range r.m.cores {
+		if !r.retired[i] && c.Now() != r.nextCkpt {
+			return false
+		}
+	}
+	return true
+}
+
+// atBoundary handles a checkpoint boundary: quiesce the manager, either
+// roll back (if a selected violation fired during the elapsed interval)
+// or take a fresh global checkpoint, then advance the boundary.
+func (r *detRun) atBoundary() error {
+	r.drainAll()
+	if err := r.service(); err != nil {
+		return err
+	}
+	if r.pendingRollback {
+		r.doRollback()
+		return nil
+	}
+	if r.replayUntil > 0 && r.global >= r.replayUntil {
+		r.replayed += r.replayUntil - r.snapGlobal()
+		r.replayUntil = 0
+	}
+	r.takeCheckpoint()
+	r.nextCkpt += r.cfg.CheckpointInterval
+	return nil
+}
+
+func (r *detRun) snapGlobal() int64 {
+	if r.snap == nil {
+		return 0
+	}
+	return r.snap.global
+}

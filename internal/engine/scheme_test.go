@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"testing"
+
+	"slacksim/internal/adaptive"
+	"slacksim/internal/workload"
+)
+
+func TestSchemeNames(t *testing.T) {
+	cases := map[string]Scheme{
+		"CC":       CycleByCycle(),
+		"S5":       BoundedSlack(5),
+		"SU":       UnboundedSlack(),
+		"Q100":     QuantumScheme(100),
+		"adaptive": AdaptiveSlack(adaptive.DefaultConfig()),
+	}
+	for want, s := range cases {
+		if got := s.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+	if CC.String() != "cycle-by-cycle" || Quantum.String() != "quantum" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestSchemeValidate(t *testing.T) {
+	bad := []Scheme{
+		BoundedSlack(0),
+		QuantumScheme(0),
+		AdaptiveSlack(adaptive.Config{}),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad scheme %d accepted", i)
+		}
+	}
+	good := []Scheme{CycleByCycle(), BoundedSlack(1), UnboundedSlack(), QuantumScheme(1)}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("good scheme %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestMaxLocalFor(t *testing.T) {
+	cases := []struct {
+		kind                   SchemeKind
+		global, bound, quantum int64
+		want                   int64
+	}{
+		{CC, 100, 0, 0, 101},
+		{Bounded, 100, 7, 0, 107},
+		{Adaptive, 100, 3, 0, 103},
+		{Unbounded, 100, 0, 0, unboundedSentinel},
+		{Quantum, 100, 0, 50, 150},
+		{Quantum, 149, 0, 50, 150},
+		{Quantum, 150, 0, 50, 200},
+	}
+	for _, tc := range cases {
+		if got := maxLocalFor(tc.kind, tc.global, tc.bound, tc.quantum); got != tc.want {
+			t.Errorf("maxLocalFor(%v,%d,%d,%d) = %d, want %d",
+				tc.kind, tc.global, tc.bound, tc.quantum, got, tc.want)
+		}
+	}
+}
+
+// TestPrivateWorkloadMapClean: without line sharing, the cache status map
+// sees only per-core monotonic updates, so map violations must be zero at
+// any slack. Bus violations still occur — the request bus is a shared
+// resource even for private lines, which is exactly why the paper finds
+// bus violations an order of magnitude more frequent than map violations.
+func TestPrivateWorkloadMapClean(t *testing.T) {
+	for _, s := range []Scheme{BoundedSlack(64), UnboundedSlack()} {
+		w := workload.NewPrivate(128, 2)
+		m := newTestMachine(t, w, 4)
+		res := MustRun(m, RunConfig{Scheme: s, Seed: 11})
+		if res.MapViolations != 0 {
+			t.Errorf("%s: private workload map-violated: %v", s.Name(), res)
+		}
+		if err := w.VerifyCores(m.Memory(), 4); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+// TestViolationsGrowWithSlack reproduces Figure 3's core phenomenon on a
+// real kernel: the bus violation rate is (weakly) increasing in the slack
+// bound and reaches a plateau at the unbounded rate, while map violations
+// stay at least an order of magnitude rarer and are negligible at small
+// bounds.
+func TestViolationsGrowWithSlack(t *testing.T) {
+	run := func(s Scheme) Results {
+		m := newTestMachine(t, workload.NewWater(16, 1), 4)
+		return MustRun(m, RunConfig{Scheme: s, Seed: 9})
+	}
+	small := run(BoundedSlack(2))
+	large := run(BoundedSlack(128))
+	free := run(UnboundedSlack())
+	if small.BusRate > large.BusRate {
+		t.Errorf("bus violation rate fell with slack: S2=%v S128=%v",
+			small.BusRate, large.BusRate)
+	}
+	if large.BusRate <= 0 {
+		t.Error("large slack produced no violations on a sharing kernel")
+	}
+	if free.BusRate < large.BusRate*0.3 {
+		t.Errorf("unbounded rate %v far below bounded %v", free.BusRate, large.BusRate)
+	}
+	// Fig 3(b): map violations negligible at small bounds and always far
+	// rarer than bus violations.
+	if small.MapRate > small.BusRate/2 {
+		t.Errorf("small-slack map rate %v not negligible vs bus %v",
+			small.MapRate, small.BusRate)
+	}
+	if large.MapRate > large.BusRate/5 {
+		t.Errorf("map rate %v not well below bus rate %v", large.MapRate, large.BusRate)
+	}
+}
+
+// TestCycleErrorSmall: the paper's headline observation — even unbounded
+// slack keeps the execution-time error within single-digit percent.
+func TestCycleErrorSmall(t *testing.T) {
+	w := workload.NewFFT(128)
+	gold := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: CycleByCycle(), Seed: 1})
+	for _, s := range []Scheme{BoundedSlack(10), UnboundedSlack()} {
+		res := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: s, Seed: 1})
+		if err := res.CycleErrorVs(gold); err > 15 {
+			t.Errorf("%s: cycle error %.1f%% too large (gold %d, got %d)",
+				s.Name(), err, gold.Cycles, res.Cycles)
+		}
+	}
+}
+
+// TestQuantumOneMatchesCCClosely: a quantum of one cycle is the paper's
+// degenerate case equivalent to cycle-by-cycle accuracy.
+func TestQuantumOneMatchesCCClosely(t *testing.T) {
+	w := workload.NewLU(8)
+	gold := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: CycleByCycle(), Seed: 2})
+	q1 := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: QuantumScheme(1), Seed: 2})
+	if err := q1.CycleErrorVs(gold); err > 2 {
+		t.Errorf("Q1 error %.2f%% vs CC (gold %d, got %d)", err, gold.Cycles, q1.Cycles)
+	}
+}
+
+// TestUnboundedCheaperThanCC reproduces the Table 2 cost ordering on the
+// host-work metric: SU must be well under CC for the same workload.
+func TestUnboundedCheaperThanCC(t *testing.T) {
+	w := workload.NewFFT(128)
+	cc := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: CycleByCycle(), Seed: 3})
+	su := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: UnboundedSlack(), Seed: 3})
+	speedup := su.SpeedupOver(cc)
+	if speedup < 1.5 {
+		t.Errorf("SU speedup over CC = %.2f, want >= 1.5 (paper: 2-3x)", speedup)
+	}
+	if su.Suspensions >= cc.Suspensions {
+		t.Errorf("SU suspensions %d not below CC %d", su.Suspensions, cc.Suspensions)
+	}
+}
+
+// TestBoundedBetweenCCAndUnbounded: host cost of bounded slack sits
+// between the two extremes.
+func TestBoundedBetweenCCAndUnbounded(t *testing.T) {
+	w := workload.NewWater(12, 1)
+	cc := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: CycleByCycle(), Seed: 4})
+	s8 := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: BoundedSlack(8), Seed: 4})
+	su := MustRun(newTestMachine(t, w, 4), RunConfig{Scheme: UnboundedSlack(), Seed: 4})
+	if !(su.HostWorkUnits < s8.HostWorkUnits && s8.HostWorkUnits < cc.HostWorkUnits) {
+		t.Errorf("cost ordering broken: SU=%.0f S8=%.0f CC=%.0f",
+			su.HostWorkUnits, s8.HostWorkUnits, cc.HostWorkUnits)
+	}
+}
+
+// TestMaxInstructionsStops the run mid-program, like the paper's 100M
+// committed-instruction budget.
+func TestMaxInstructionsStops(t *testing.T) {
+	m := newTestMachine(t, workload.NewPrivate(4096, 50), 4)
+	res := MustRun(m, RunConfig{Scheme: UnboundedSlack(), Seed: 1, MaxInstructions: 5000})
+	if res.Committed < 5000 {
+		t.Errorf("stopped before the budget: %d", res.Committed)
+	}
+	if res.Committed > 5000+4*1000 {
+		t.Errorf("overshot the budget wildly: %d", res.Committed)
+	}
+}
+
+// TestMaxCyclesStops caps global time.
+func TestMaxCyclesStops(t *testing.T) {
+	m := newTestMachine(t, workload.NewPrivate(65536, 100), 2)
+	res := MustRun(m, RunConfig{Scheme: CycleByCycle(), Seed: 1, MaxCycles: 500})
+	if res.Cycles > 510 {
+		t.Errorf("ran to %d cycles past the 500 cap", res.Cycles)
+	}
+}
+
+// TestRunConfigValidation rejects inconsistent configurations.
+func TestRunConfigValidation(t *testing.T) {
+	m := newTestMachine(t, workload.NewPrivate(8, 1), 2)
+	if _, err := Run(m, RunConfig{Scheme: BoundedSlack(0)}); err == nil {
+		t.Error("zero bound accepted")
+	}
+	m2 := newTestMachine(t, workload.NewPrivate(8, 1), 2)
+	if _, err := Run(m2, RunConfig{Scheme: CycleByCycle(), Rollback: true}); err == nil {
+		t.Error("rollback without checkpoint interval accepted")
+	}
+}
+
+// TestMachineConfigValidation covers machine construction errors.
+func TestMachineConfigValidation(t *testing.T) {
+	if _, err := NewMachine(MachineConfig{NumCores: 0}, workload.NewPrivate(8, 1)); err == nil {
+		t.Error("zero cores accepted")
+	}
+	// LU rejects 3 cores; the machine surfaces the workload error.
+	if _, err := NewMachine(MachineConfig{NumCores: 3}, workload.NewLU(8)); err == nil {
+		t.Error("workload program error not surfaced")
+	}
+	if _, err := NewMachine(MachineConfig{NumCores: 2}, workload.NewFFT(5)); err == nil {
+		t.Error("workload init error not surfaced")
+	}
+}

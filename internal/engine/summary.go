@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"time"
+
+	"slacksim/internal/violation"
+)
+
+// results assembles the Results for a finished deterministic run.
+func (r *detRun) results(wall time.Duration) Results {
+	m := r.m
+	det := m.Detector()
+	res := Results{
+		Workload: m.WorkloadName(),
+		Scheme:   r.cfg.Scheme.Name(),
+		Host:     "deterministic",
+
+		Cycles:    r.global,
+		Committed: m.committed(),
+
+		BusViolations:      det.Count(violation.Bus),
+		MapViolations:      det.Count(violation.Map),
+		WorkloadViolations: det.Count(violation.Workload),
+		ViolationRate:      det.Rate(r.global),
+		BusRate:            det.RateOf(violation.Bus, r.global),
+		MapRate:            det.RateOf(violation.Map, r.global),
+		Intervals:          det.Intervals(r.global),
+
+		HostWorkUnits: r.meter.total(),
+		WallClock:     wall,
+		Suspensions:   r.meter.suspensions,
+		EventsServed:  r.meter.events,
+
+		Checkpoints:     r.ckpts,
+		CheckpointWords: r.ckptWords,
+		Rollbacks:       r.rollbacks,
+		WastedCycles:    r.wasted,
+		ReplayCycles:    r.replayed,
+
+		LockAcquires:    m.Sync().Acquires,
+		LockContended:   m.Sync().Contended,
+		BarrierEpisodes: m.Sync().BarrierEpisodes,
+	}
+	for _, c := range m.cores {
+		res.PerCore = append(res.PerCore, c.Stats())
+	}
+	if res.Committed > 0 {
+		res.CPI = float64(res.Cycles) * float64(m.NumCores()) / float64(res.Committed)
+	}
+	if r.ctrl != nil {
+		res.FinalBound = r.ctrl.Bound()
+		res.MeanBound = r.ctrl.MeanBound()
+		res.Adjustments = r.ctrl.Adjustments
+	}
+	return res
+}

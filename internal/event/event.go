@@ -1,0 +1,152 @@
+// Package event defines the timestamped messages exchanged between core
+// threads and the simulation manager thread, and the queues that carry
+// them: each core owns an outgoing queue (OutQ) and an incoming queue
+// (InQ), and the manager consolidates all outstanding work in a global
+// queue (GQ), mirroring the SlackSim architecture of the paper's Figure 1.
+package event
+
+import (
+	"fmt"
+	"sync"
+
+	"slacksim/internal/coherence"
+)
+
+// Request is a memory-system transaction sent from a core thread to the
+// simulation manager (an L1 miss, upgrade, writeback, or I-fetch miss).
+type Request struct {
+	// ID is unique within the issuing core and matches the eventual Reply.
+	ID uint64
+	// Core is the issuing core's index.
+	Core int
+	// Kind is the bus transaction type.
+	Kind coherence.BusReq
+	// LineAddr is the line address (byte address >> cache.LineShift).
+	LineAddr uint64
+	// TS is the issuing core's local time when the request was issued; the
+	// manager uses it for arbitration-order monitoring and reply timing.
+	TS int64
+}
+
+// String renders the request for traces.
+func (r Request) String() string {
+	return fmt.Sprintf("req{c%d #%d %s line=%#x ts=%d}", r.Core, r.ID, r.Kind, r.LineAddr, r.TS)
+}
+
+// MsgKind distinguishes manager-to-core messages.
+type MsgKind uint8
+
+// Manager-to-core message kinds.
+const (
+	// MsgReply completes one of the core's own requests.
+	MsgReply MsgKind = iota
+	// MsgInval snoop-invalidates or downgrades a line in the core's L1.
+	MsgInval
+)
+
+// Msg is a manager-to-core message delivered through the core's InQ.
+type Msg struct {
+	Kind MsgKind
+	// ReqID echoes Request.ID for MsgReply.
+	ReqID uint64
+	// LineAddr is the affected line.
+	LineAddr uint64
+	// NewState is the L1's state after this message is applied: the grant
+	// state for replies, S or I for snoops.
+	NewState coherence.State
+	// TS is the simulated time at which the message takes effect (data
+	// ready time for replies). The core consumes a reply when its local
+	// time reaches TS, per the paper's InQ protocol.
+	TS int64
+}
+
+// String renders the message for traces.
+func (m Msg) String() string {
+	k := "reply"
+	if m.Kind == MsgInval {
+		k = "inval"
+	}
+	return fmt.Sprintf("msg{%s #%d line=%#x ->%s ts=%d}", k, m.ReqID, m.LineAddr, m.NewState, m.TS)
+}
+
+// Queue is a FIFO of manager-to-core messages or core-to-manager requests.
+// It is safe for one producer and one consumer running concurrently (the
+// parallel host) and trivially safe in the deterministic host.
+type Queue[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
+
+// Push appends an item.
+func (q *Queue[T]) Push(v T) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+}
+
+// Pop removes and returns the head item; ok is false when empty.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// PopIf removes and returns the head item only when pred accepts it.
+func (q *Queue[T]) PopIf(pred func(T) bool) (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 || !pred(q.items[0]) {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Peek returns the head item without removing it.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return v, false
+	}
+	return q.items[0], true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Drain removes and returns all items in order.
+func (q *Queue[T]) Drain() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.items
+	q.items = nil
+	return out
+}
+
+// Snapshot copies the queue contents.
+func (q *Queue[T]) Snapshot() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]T(nil), q.items...)
+}
+
+// Restore replaces the queue contents.
+func (q *Queue[T]) Restore(items []T) {
+	q.mu.Lock()
+	q.items = append([]T(nil), items...)
+	q.mu.Unlock()
+}

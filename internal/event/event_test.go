@@ -1,0 +1,142 @@
+package event
+
+import (
+	"sync"
+	"testing"
+
+	"slacksim/internal/coherence"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int]()
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty succeeded")
+	}
+}
+
+func TestQueuePopIf(t *testing.T) {
+	q := NewQueue[int]()
+	q.Push(10)
+	q.Push(3)
+	if _, ok := q.PopIf(func(v int) bool { return v < 5 }); ok {
+		t.Fatal("PopIf took head that fails predicate")
+	}
+	v, ok := q.PopIf(func(v int) bool { return v == 10 })
+	if !ok || v != 10 {
+		t.Fatalf("PopIf = (%d,%v)", v, ok)
+	}
+	// Head is now 3; the blocked 3 was never reordered past 10.
+	v, ok = q.Pop()
+	if !ok || v != 3 {
+		t.Fatalf("after PopIf, head = (%d,%v)", v, ok)
+	}
+}
+
+func TestQueuePeekAndDrain(t *testing.T) {
+	q := NewQueue[string]()
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty succeeded")
+	}
+	q.Push("a")
+	q.Push("b")
+	if v, ok := q.Peek(); !ok || v != "a" {
+		t.Fatalf("Peek = (%q,%v)", v, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatal("Peek consumed")
+	}
+	d := q.Drain()
+	if len(d) != 2 || d[0] != "a" || d[1] != "b" {
+		t.Fatalf("Drain = %v", d)
+	}
+	if q.Len() != 0 {
+		t.Fatal("Drain left items")
+	}
+}
+
+func TestQueueSnapshotRestore(t *testing.T) {
+	q := NewQueue[int]()
+	q.Push(1)
+	q.Push(2)
+	snap := q.Snapshot()
+	q.Pop()
+	q.Push(3)
+	q.Restore(snap)
+	if q.Len() != 2 {
+		t.Fatalf("restored Len = %d", q.Len())
+	}
+	v, _ := q.Pop()
+	if v != 1 {
+		t.Fatalf("restored head = %d, want 1", v)
+	}
+	// Restore must copy: mutating the queue must not affect the snapshot.
+	if len(snap) != 2 {
+		t.Fatal("snapshot changed")
+	}
+}
+
+func TestQueueConcurrent(t *testing.T) {
+	q := NewQueue[int]()
+	const n = 1000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.Push(i)
+		}
+	}()
+	got := 0
+	for got < n {
+		if v, ok := q.Pop(); ok {
+			if v != got {
+				t.Errorf("out of order: %d, want %d", v, got)
+				break
+			}
+			got++
+		}
+	}
+	wg.Wait()
+}
+
+func TestRequestString(t *testing.T) {
+	r := Request{ID: 3, Core: 1, Kind: coherence.BusRdX, LineAddr: 0x40, TS: 9}
+	s := r.String()
+	for _, want := range []string{"c1", "#3", "BusRdX", "0x40", "ts=9"} {
+		if !contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestMsgString(t *testing.T) {
+	m := Msg{Kind: MsgInval, LineAddr: 0x10, NewState: coherence.Invalid, TS: 4}
+	if !contains(m.String(), "inval") {
+		t.Errorf("Msg.String = %q", m.String())
+	}
+	m2 := Msg{Kind: MsgReply, ReqID: 7, NewState: coherence.Modified, TS: 8}
+	if !contains(m2.String(), "reply") {
+		t.Errorf("Msg.String = %q", m2.String())
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

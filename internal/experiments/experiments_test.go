@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick returns a configuration small enough for unit tests.
+func quickCfg() Config {
+	cfg := Default()
+	cfg.Cores = 4
+	cfg.Workloads = []string{"water", "lu"}
+	cfg.Fig3Bounds = []int64{2, 16, 64}
+	cfg.Fig4Targets = []float64{0.001, 0.005}
+	cfg.CheckpointIntervals = []int64{500, 2000}
+	cfg.StatIntervals = []int64{250, 1000}
+	return cfg
+}
+
+func TestFig3ShapeHolds(t *testing.T) {
+	series, err := Fig3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 4 { // 3 bounds + unbounded
+			t.Fatalf("%s: %d points", s.Workload, len(s.Points))
+		}
+		first, last := s.Points[0], s.Points[len(s.Points)-2] // largest bound
+		if first.BusRate > last.BusRate {
+			t.Errorf("%s: bus rate fell from %v to %v", s.Workload, first.BusRate, last.BusRate)
+		}
+		for _, p := range s.Points {
+			if p.MapRate > p.BusRate && p.MapCount > 0 {
+				t.Errorf("%s bound %d: map rate %v above bus rate %v",
+					s.Workload, p.Bound, p.MapRate, p.BusRate)
+			}
+		}
+	}
+	out := FormatFig3(series)
+	if !strings.Contains(out, "unbounded") || !strings.Contains(out, "water") {
+		t.Errorf("format output incomplete:\n%s", out)
+	}
+}
+
+func TestFig4ShapeHolds(t *testing.T) {
+	cfg := quickCfg()
+	r, err := Fig4(cfg, "water")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Baseline) != 10 { // CC + S1..S9
+		t.Fatalf("baseline points = %d", len(r.Baseline))
+	}
+	if len(r.AdaptiveBand0) != len(cfg.Fig4Targets) || len(r.AdaptiveBand5) != len(cfg.Fig4Targets) {
+		t.Fatal("adaptive series incomplete")
+	}
+	cc := r.Baseline[0]
+	if cc.ViolationRate != 0 {
+		t.Error("CC baseline has violations")
+	}
+	// Every adaptive point must beat CC (the paper: adaptive always runs
+	// faster than cycle-by-cycle).
+	for _, p := range append(r.AdaptiveBand0, r.AdaptiveBand5...) {
+		if p.HostWork >= cc.HostWork {
+			t.Errorf("adaptive point %s work %v not below CC %v", p.Label, p.HostWork, cc.HostWork)
+		}
+	}
+	if !strings.Contains(FormatFig4(r), "band 5%") {
+		t.Error("format output incomplete")
+	}
+}
+
+func TestTable2ShapeHolds(t *testing.T) {
+	cfg := quickCfg()
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The paper's orderings: SU well below CC; adaptive in between;
+		// denser checkpoints cost more than sparser ones.
+		if !(r.SU < r.Adaptive && r.Adaptive < r.CC) {
+			t.Errorf("%s: ordering broken SU=%.0f Adapt=%.0f CC=%.0f",
+				r.Workload, r.SU, r.Adaptive, r.CC)
+		}
+		if r.ByInterval[0] <= r.ByInterval[len(r.ByInterval)-1] {
+			t.Errorf("%s: denser checkpoints not more expensive: %v", r.Workload, r.ByInterval)
+		}
+	}
+	if !strings.Contains(FormatTable2(cfg, rows), "Table 2") {
+		t.Error("format output incomplete")
+	}
+}
+
+func TestTable3And4ShapeHolds(t *testing.T) {
+	cfg := quickCfg()
+	rows, err := Table3And4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Reports) != len(cfg.CheckpointIntervals) {
+			t.Fatalf("%s: %d reports", r.Workload, len(r.Reports))
+		}
+		// Table 3's trend: larger intervals violate at least as often.
+		if r.Reports[0].FractionViolating > r.Reports[1].FractionViolating {
+			t.Errorf("%s: F fell with interval: %+v", r.Workload, r.Reports)
+		}
+		for _, rep := range r.Reports {
+			if rep.MeanFirstDistance < 0 || rep.MeanFirstDistance >= float64(rep.Interval) {
+				t.Errorf("%s: Dr out of range: %+v", r.Workload, rep)
+			}
+		}
+	}
+	if !strings.Contains(FormatTable3And4(cfg, rows), "Table 4") {
+		t.Error("format output incomplete")
+	}
+}
+
+func TestTable5ProducesRows(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Workloads = []string{"water"}
+	rows, err := Table5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // two intervals
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Modeled <= 0 || r.Measured <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+	}
+	if !strings.Contains(FormatTable5(rows), "modeled") {
+		t.Error("format output incomplete")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	cfg := quickCfg()
+	rows, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("ablation rows = %d", len(rows))
+	}
+	if !strings.Contains(FormatAblations(rows), "Ablations") {
+		t.Error("format output incomplete")
+	}
+}
+
+func TestScalingSpeedupGrows(t *testing.T) {
+	cfg := quickCfg()
+	rows, err := Scaling(cfg, "water", []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1.5 {
+			t.Errorf("%d cores: SU speedup %.2f too low", r.Cores, r.Speedup)
+		}
+	}
+	// More cores share the bus, so unbounded slack's violation rate and
+	// timing error must grow with the machine size — the accuracy concern
+	// behind the paper's call for larger-scale studies.
+	if rows[1].BusRate <= rows[0].BusRate {
+		t.Errorf("violation rate did not grow with cores: %v", rows)
+	}
+	if FormatScaling("water", rows) == "" {
+		t.Error("empty format")
+	}
+}

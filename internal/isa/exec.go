@@ -1,0 +1,112 @@
+package isa
+
+import "math"
+
+// ALUResult computes the functional result of a non-memory, non-branch,
+// non-sync instruction given its two source operand values. Memory, branch
+// and sync semantics live in the core model because they need machine state
+// (memory port, PC, sync controller).
+func ALUResult(in Inst, a, b uint64) uint64 {
+	switch in.Op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case Div:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return uint64(int64(a) / int64(b))
+	case Rem:
+		if b == 0 {
+			return a
+		}
+		return uint64(int64(a) % int64(b))
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case Shl:
+		return a << (b & 63)
+	case Shr:
+		return a >> (b & 63)
+	case Slt:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case Addi:
+		return a + uint64(in.Imm)
+	case Andi:
+		return a & uint64(in.Imm)
+	case Ori:
+		return a | uint64(in.Imm)
+	case Xori:
+		return a ^ uint64(in.Imm)
+	case Shli:
+		return a << (uint64(in.Imm) & 63)
+	case Shri:
+		return a >> (uint64(in.Imm) & 63)
+	case Slti:
+		if int64(a) < in.Imm {
+			return 1
+		}
+		return 0
+	case Lui:
+		return uint64(in.Imm) << 32
+	case FAdd:
+		return f2u(u2f(a) + u2f(b))
+	case FSub:
+		return f2u(u2f(a) - u2f(b))
+	case FMul:
+		return f2u(u2f(a) * u2f(b))
+	case FDiv:
+		return f2u(u2f(a) / u2f(b))
+	case FSqrt:
+		return f2u(math.Sqrt(u2f(a)))
+	case FNeg:
+		return f2u(-u2f(a))
+	case Itof:
+		return f2u(float64(int64(a)))
+	case Ftoi:
+		return uint64(int64(u2f(a)))
+	case FLt:
+		if u2f(a) < u2f(b) {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// BranchTaken evaluates a conditional or unconditional branch given its
+// source operand values.
+func BranchTaken(in Inst, a, b uint64) bool {
+	switch in.Op {
+	case Beq:
+		return a == b
+	case Bne:
+		return a != b
+	case Blt:
+		return int64(a) < int64(b)
+	case Bge:
+		return int64(a) >= int64(b)
+	case Jmp:
+		return true
+	}
+	return false
+}
+
+func u2f(u uint64) float64 { return math.Float64frombits(u) }
+func f2u(f float64) uint64 { return math.Float64bits(f) }
+
+// F2U converts a float64 to its register bit pattern (exported for workload
+// builders and tests).
+func F2U(f float64) uint64 { return math.Float64bits(f) }
+
+// U2F converts a register bit pattern to float64.
+func U2F(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,169 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestALUResultInteger(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		a, b uint64
+		want uint64
+	}{
+		{Inst{Op: Add}, 3, 4, 7},
+		{Inst{Op: Sub}, 10, 4, 6},
+		{Inst{Op: Sub}, 0, 1, ^uint64(0)},
+		{Inst{Op: Mul}, 6, 7, 42},
+		{Inst{Op: Div}, 42, 7, 6},
+		{Inst{Op: Div}, uint64(0xFFFFFFFFFFFFFFF6), 5, uint64(0xFFFFFFFFFFFFFFFE)}, // -10/5 = -2
+		{Inst{Op: Div}, 5, 0, ^uint64(0)},
+		{Inst{Op: Rem}, 17, 5, 2},
+		{Inst{Op: Rem}, 17, 0, 17},
+		{Inst{Op: And}, 0b1100, 0b1010, 0b1000},
+		{Inst{Op: Or}, 0b1100, 0b1010, 0b1110},
+		{Inst{Op: Xor}, 0b1100, 0b1010, 0b0110},
+		{Inst{Op: Shl}, 1, 4, 16},
+		{Inst{Op: Shl}, 1, 68, 16}, // shift amount masked to 6 bits
+		{Inst{Op: Shr}, 16, 4, 1},
+		{Inst{Op: Slt}, 3, 4, 1},
+		{Inst{Op: Slt}, 4, 3, 0},
+		{Inst{Op: Slt}, ^uint64(0), 0, 1}, // -1 < 0 signed
+		{Inst{Op: Addi, Imm: 5}, 2, 0, 7},
+		{Inst{Op: Addi, Imm: -5}, 2, 0, uint64(0xFFFFFFFFFFFFFFFD)},
+		{Inst{Op: Andi, Imm: 0xF}, 0x3C, 0, 0xC},
+		{Inst{Op: Ori, Imm: 0x1}, 0x2, 0, 0x3},
+		{Inst{Op: Xori, Imm: 0xFF}, 0x0F, 0, 0xF0},
+		{Inst{Op: Shli, Imm: 3}, 2, 0, 16},
+		{Inst{Op: Shri, Imm: 3}, 16, 0, 2},
+		{Inst{Op: Slti, Imm: 10}, 5, 0, 1},
+		{Inst{Op: Slti, Imm: 10}, 15, 0, 0},
+		{Inst{Op: Lui, Imm: 0x1234}, 99, 99, 0x1234 << 32},
+	}
+	for _, tc := range cases {
+		if got := ALUResult(tc.in, tc.a, tc.b); got != tc.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", tc.in.Op, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestALUResultFloat(t *testing.T) {
+	f := func(v float64) uint64 { return F2U(v) }
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want uint64
+	}{
+		{FAdd, f(1.5), f(2.25), f(3.75)},
+		{FSub, f(1.5), f(2.25), f(-0.75)},
+		{FMul, f(3), f(4), f(12)},
+		{FDiv, f(1), f(4), f(0.25)},
+		{FSqrt, f(9), 0, f(3)},
+		{FNeg, f(2.5), 0, f(-2.5)},
+		{Itof, 7, 0, f(7)},
+		{Itof, ^uint64(0), 0, f(-1)},
+		{Ftoi, f(3.99), 0, 3},
+		{Ftoi, f(-3.99), 0, uint64(0xFFFFFFFFFFFFFFFD)},
+		{FLt, f(1), f(2), 1},
+		{FLt, f(2), f(1), 0},
+	}
+	for _, tc := range cases {
+		if got := ALUResult(Inst{Op: tc.op}, tc.a, tc.b); got != tc.want {
+			t.Errorf("%v: got %#x, want %#x", tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want bool
+	}{
+		{Beq, 5, 5, true}, {Beq, 5, 6, false},
+		{Bne, 5, 6, true}, {Bne, 5, 5, false},
+		{Blt, 3, 5, true}, {Blt, 5, 3, false},
+		{Blt, ^uint64(0), 0, true}, // signed
+		{Bge, 5, 5, true}, {Bge, 3, 5, false},
+		{Jmp, 0, 0, true},
+		{Add, 1, 1, false}, // non-branch never taken
+	}
+	for _, tc := range cases {
+		if got := BranchTaken(Inst{Op: tc.op}, tc.a, tc.b); got != tc.want {
+			t.Errorf("%v(%d,%d) = %v, want %v", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// Property: integer add/sub and xor are involutive pairs.
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	prop := func(a, b uint64) bool {
+		s := ALUResult(Inst{Op: Add}, a, b)
+		return ALUResult(Inst{Op: Sub}, s, b) == a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	xorProp := func(a, b uint64) bool {
+		x := ALUResult(Inst{Op: Xor}, a, b)
+		return ALUResult(Inst{Op: Xor}, x, b) == a
+	}
+	if err := quick.Check(xorProp, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Slt matches Go's signed comparison; FLt matches float compare.
+func TestQuickComparisons(t *testing.T) {
+	slt := func(a, b int64) bool {
+		got := ALUResult(Inst{Op: Slt}, uint64(a), uint64(b))
+		want := uint64(0)
+		if a < b {
+			want = 1
+		}
+		return got == want
+	}
+	if err := quick.Check(slt, nil); err != nil {
+		t.Error(err)
+	}
+	flt := func(a, b float64) bool {
+		got := ALUResult(Inst{Op: FLt}, F2U(a), F2U(b))
+		want := uint64(0)
+		if a < b {
+			want = 1
+		}
+		return got == want
+	}
+	if err := quick.Check(flt, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: float ops agree with Go's float64 arithmetic bit for bit.
+func TestQuickFloatOps(t *testing.T) {
+	prop := func(a, b float64) bool {
+		if ALUResult(Inst{Op: FAdd}, F2U(a), F2U(b)) != F2U(a+b) {
+			return false
+		}
+		if ALUResult(Inst{Op: FMul}, F2U(a), F2U(b)) != F2U(a*b) {
+			return false
+		}
+		return ALUResult(Inst{Op: FDiv}, F2U(a), F2U(b)) == F2U(a/b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatConversionsRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64} {
+		if U2F(F2U(v)) != v {
+			t.Errorf("roundtrip broke %v", v)
+		}
+	}
+	// NaN round-trips to NaN (bit pattern preserved).
+	if !math.IsNaN(U2F(F2U(math.NaN()))) {
+		t.Error("NaN lost")
+	}
+}

@@ -1,0 +1,265 @@
+// Package isa defines the target instruction set simulated by SlackSim.
+//
+// The ISA is a small load/store RISC with 32 general-purpose 64-bit
+// registers (r0 is hardwired to zero), integer and floating-point ALU
+// operations, PC-relative branches, and three synchronization primitives
+// (LOCK, UNLOCK, BARRIER) that the simulator executes reliably, as the
+// paper's MP_Simplesim-derived API does. It stands in for the SimpleScalar
+// PISA instruction set used by the original SlackSim: slack-simulation
+// behaviour depends on the timing and interleaving of memory and
+// synchronization events, not on instruction encodings, so any RISC ISA
+// with comparable operation classes exercises the same machinery.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of general-purpose registers. Register 0 always
+// reads as zero; writes to it are discarded.
+const NumRegs = 32
+
+// Reg identifies a general-purpose register.
+type Reg uint8
+
+// Conventional register aliases used by the workload kernels.
+const (
+	Zero Reg = 0 // hardwired zero
+	RA   Reg = 1 // return/link (by convention only)
+	SP   Reg = 2 // stack pointer (by convention only)
+)
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Opcode space. Operation classes matter to the core model (they select
+// execution latency and functional unit); individual opcodes matter to the
+// functional semantics in Exec.
+const (
+	Nop Op = iota
+
+	// Integer ALU, register-register.
+	Add
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Slt // set if less-than (signed)
+
+	// Integer ALU, register-immediate.
+	Addi
+	Andi
+	Ori
+	Xori
+	Shli
+	Shri
+	Slti
+	Lui // load upper immediate: dst = imm << 32
+
+	// Floating point (operands are float64 bit patterns in GPRs).
+	FAdd
+	FSub
+	FMul
+	FDiv
+	FSqrt
+	FNeg
+	Itof // int -> float64 bits
+	Ftoi // float64 bits -> int (truncated)
+	FLt  // set dst to 1 if float(src1) < float(src2)
+
+	// Memory. Effective address = src1 + imm. Load/Store move 8 bytes.
+	Load
+	Store
+
+	// Control. Branch target is the absolute instruction index in Imm.
+	Beq
+	Bne
+	Blt // signed less-than
+	Bge
+	Jmp
+
+	// Synchronization: executed reliably inside the simulator.
+	LockAcq // acquire lock at address src1+imm
+	LockRel // release lock at address src1+imm
+	Barrier // global barrier; Imm selects the barrier variable
+
+	// Halt terminates the hardware thread's program.
+	Halt
+
+	numOps // sentinel
+)
+
+var opNames = [numOps]string{
+	Nop: "nop",
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr", Slt: "slt",
+	Addi: "addi", Andi: "andi", Ori: "ori", Xori: "xori",
+	Shli: "shli", Shri: "shri", Slti: "slti", Lui: "lui",
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv",
+	FSqrt: "fsqrt", FNeg: "fneg", Itof: "itof", Ftoi: "ftoi", FLt: "flt",
+	Load: "load", Store: "store",
+	Beq: "beq", Bne: "bne", Blt: "blt", Bge: "bge", Jmp: "jmp",
+	LockAcq: "lock", LockRel: "unlock", Barrier: "barrier",
+	Halt: "halt",
+}
+
+// String returns the mnemonic for op.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Class groups opcodes by the functional unit and latency they use in the
+// core's execution stage.
+type Class uint8
+
+// Operation classes.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassFPAdd
+	ClassFPMul
+	ClassFPDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassSync
+	ClassHalt
+)
+
+// Class reports the operation class of op.
+func (op Op) Class() Class {
+	switch op {
+	case Nop:
+		return ClassNop
+	case Add, Sub, And, Or, Xor, Shl, Shr, Slt,
+		Addi, Andi, Ori, Xori, Shli, Shri, Slti, Lui, Itof, Ftoi, FNeg, FLt:
+		return ClassIntALU
+	case Mul:
+		return ClassIntMul
+	case Div, Rem:
+		return ClassIntDiv
+	case FAdd, FSub:
+		return ClassFPAdd
+	case FMul:
+		return ClassFPMul
+	case FDiv, FSqrt:
+		return ClassFPDiv
+	case Load:
+		return ClassLoad
+	case Store:
+		return ClassStore
+	case Beq, Bne, Blt, Bge, Jmp:
+		return ClassBranch
+	case LockAcq, LockRel, Barrier:
+		return ClassSync
+	case Halt:
+		return ClassHalt
+	}
+	return ClassNop
+}
+
+// IsBranch reports whether op redirects control flow.
+func (op Op) IsBranch() bool { return op.Class() == ClassBranch }
+
+// IsMem reports whether op accesses data memory (including lock words).
+func (op Op) IsMem() bool {
+	c := op.Class()
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsSync reports whether op is a synchronization primitive.
+func (op Op) IsSync() bool { return op.Class() == ClassSync }
+
+// Inst is one decoded instruction.
+//
+// Fields are interpreted per opcode:
+//
+//	ALU rr:   Dst = Src1 op Src2
+//	ALU ri:   Dst = Src1 op Imm
+//	Load:     Dst = mem[Src1+Imm]
+//	Store:    mem[Src1+Imm] = Src2
+//	Branch:   if cond(Src1, Src2) goto Imm (absolute instruction index)
+//	Jmp:      goto Imm
+//	LockAcq:  acquire lock word at Src1+Imm
+//	LockRel:  release lock word at Src1+Imm
+//	Barrier:  wait at barrier #Imm
+type Inst struct {
+	Op   Op
+	Dst  Reg
+	Src1 Reg
+	Src2 Reg
+	Imm  int64
+}
+
+// String renders the instruction in a compact assembly-like syntax.
+func (in Inst) String() string {
+	switch in.Op.Class() {
+	case ClassNop, ClassHalt:
+		return in.Op.String()
+	case ClassLoad:
+		return fmt.Sprintf("load r%d, %d(r%d)", in.Dst, in.Imm, in.Src1)
+	case ClassStore:
+		return fmt.Sprintf("store r%d, %d(r%d)", in.Src2, in.Imm, in.Src1)
+	case ClassBranch:
+		if in.Op == Jmp {
+			return fmt.Sprintf("jmp @%d", in.Imm)
+		}
+		return fmt.Sprintf("%s r%d, r%d, @%d", in.Op, in.Src1, in.Src2, in.Imm)
+	case ClassSync:
+		if in.Op == Barrier {
+			return fmt.Sprintf("barrier #%d", in.Imm)
+		}
+		return fmt.Sprintf("%s %d(r%d)", in.Op, in.Imm, in.Src1)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d, imm=%d", in.Op, in.Dst, in.Src1, in.Src2, in.Imm)
+	}
+}
+
+// Program is a sequence of instructions for one hardware thread. Instruction
+// addresses used by the I-cache are InstBytes times the instruction index.
+type Program struct {
+	Insts []Inst
+	// Name identifies the program in stats and traces.
+	Name string
+}
+
+// InstBytes is the architectural size of one encoded instruction, used to
+// derive instruction-fetch addresses for the I-cache.
+const InstBytes = 8
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// At returns the instruction at index i, or Halt when i is out of range so
+// that a runaway PC self-terminates deterministically.
+func (p *Program) At(i int) Inst {
+	if i < 0 || i >= len(p.Insts) {
+		return Inst{Op: Halt}
+	}
+	return p.Insts[i]
+}
+
+// Validate checks structural well-formedness: branch targets in range and
+// register indices below NumRegs. It returns the first problem found.
+func (p *Program) Validate() error {
+	for i, in := range p.Insts {
+		if in.Dst >= NumRegs || in.Src1 >= NumRegs || in.Src2 >= NumRegs {
+			return fmt.Errorf("isa: %s inst %d: register out of range", p.Name, i)
+		}
+		if in.Op.IsBranch() {
+			if in.Imm < 0 || in.Imm > int64(len(p.Insts)) {
+				return fmt.Errorf("isa: %s inst %d: branch target %d out of range [0,%d]",
+					p.Name, i, in.Imm, len(p.Insts))
+			}
+		}
+	}
+	return nil
+}

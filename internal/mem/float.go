@@ -1,0 +1,6 @@
+package mem
+
+import "math"
+
+func f64(u uint64) float64 { return math.Float64frombits(u) }
+func u64(f float64) uint64 { return math.Float64bits(f) }

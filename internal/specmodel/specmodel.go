@@ -1,0 +1,111 @@
+// Package specmodel implements the paper's analytical model for the
+// overall time of a fully-functional speculative slack simulation
+// (Section 5.2):
+//
+//	Ts = (1-F)·Tcpt + F·Dr·Tcpt/I + F·Tcc
+//
+// where Tcpt is the time of the slack simulation with checkpointing, Tcc
+// the time of cycle-by-cycle simulation, F the fraction of checkpoint
+// intervals containing at least one violation, Dr the mean rollback
+// distance (cycles from the interval start to the first violation), and I
+// the checkpoint interval length in cycles.
+//
+// The first term is normal (violation-free) simulation, the second the
+// work wasted re-reaching the violation point, and the third the
+// cycle-by-cycle replay required for forward progress after a rollback.
+// The model omits the (secondary) cost of the rollback itself, so it
+// slightly underestimates, as the paper notes.
+package specmodel
+
+import "fmt"
+
+// Inputs are the model parameters, all in consistent units (Tcc and Tcpt
+// in any time unit; Dr and I in simulated cycles).
+type Inputs struct {
+	// Tcc is the cycle-by-cycle simulation time.
+	Tcc float64
+	// Tcpt is the slack simulation time including checkpointing overhead.
+	Tcpt float64
+	// F is the fraction of checkpoint intervals with >= 1 violation.
+	F float64
+	// Dr is the average rollback distance in simulated cycles.
+	Dr float64
+	// I is the checkpoint interval in simulated cycles.
+	I float64
+}
+
+// Validate reports out-of-domain parameters.
+func (in Inputs) Validate() error {
+	if in.Tcc < 0 || in.Tcpt < 0 {
+		return fmt.Errorf("specmodel: times must be non-negative")
+	}
+	if in.F < 0 || in.F > 1 {
+		return fmt.Errorf("specmodel: F=%v outside [0,1]", in.F)
+	}
+	if in.Dr < 0 {
+		return fmt.Errorf("specmodel: Dr must be non-negative")
+	}
+	if in.I <= 0 {
+		return fmt.Errorf("specmodel: I must be positive")
+	}
+	if in.Dr > in.I {
+		return fmt.Errorf("specmodel: rollback distance %v exceeds interval %v", in.Dr, in.I)
+	}
+	return nil
+}
+
+// Estimate returns Ts, the modeled speculative slack simulation time.
+func (in Inputs) Estimate() (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	return (1-in.F)*in.Tcpt + in.F*in.Dr*in.Tcpt/in.I + in.F*in.Tcc, nil
+}
+
+// MustEstimate is Estimate but panics on invalid inputs (for benches on
+// statically-valid data).
+func (in Inputs) MustEstimate() float64 {
+	t, err := in.Estimate()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Worthwhile reports whether the modeled speculative simulation beats
+// cycle-by-cycle simulation — the paper's acceptance criterion.
+func (in Inputs) Worthwhile() (bool, error) {
+	ts, err := in.Estimate()
+	if err != nil {
+		return false, err
+	}
+	return ts < in.Tcc, nil
+}
+
+// BreakEvenF returns the largest violating-interval fraction F at which
+// the speculative simulation still matches cycle-by-cycle time, holding
+// the other parameters fixed. It returns 1 when speculation wins even at
+// F=1, and 0 when it loses even at F=0 (Tcpt >= Tcc).
+func (in Inputs) BreakEvenF() (float64, error) {
+	probe := in
+	probe.F = 0
+	if err := probe.Validate(); err != nil {
+		return 0, err
+	}
+	// Ts(F) = Tcpt + F·(Dr·Tcpt/I + Tcc - Tcpt) is linear in F.
+	slope := in.Dr*in.Tcpt/in.I + in.Tcc - in.Tcpt
+	if slope <= 0 {
+		if in.Tcpt < in.Tcc {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	f := (in.Tcc - in.Tcpt) / slope
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f, nil
+}

@@ -1,0 +1,138 @@
+package specmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEstimateByHand(t *testing.T) {
+	// Ts = (1-F)·Tcpt + F·Dr·Tcpt/I + F·Tcc
+	//    = 0.5·100 + 0.5·10·100/100 + 0.5·200 = 50 + 5 + 100 = 155.
+	in := Inputs{Tcc: 200, Tcpt: 100, F: 0.5, Dr: 10, I: 100}
+	got, err := in.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-155) > 1e-9 {
+		t.Errorf("Ts = %v, want 155", got)
+	}
+}
+
+func TestEstimateZeroF(t *testing.T) {
+	// No violating intervals: Ts is exactly the checkpointed slack time.
+	in := Inputs{Tcc: 500, Tcpt: 123, F: 0, Dr: 0, I: 1000}
+	got := in.MustEstimate()
+	if got != 123 {
+		t.Errorf("Ts = %v, want Tcpt", got)
+	}
+}
+
+func TestEstimateFullF(t *testing.T) {
+	// Every interval violates immediately at its end (Dr = I): Ts is
+	// a full slack pass plus a full CC pass.
+	in := Inputs{Tcc: 500, Tcpt: 100, F: 1, Dr: 100, I: 100}
+	got := in.MustEstimate()
+	if got != 100+500 {
+		t.Errorf("Ts = %v, want 600", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Inputs{
+		{Tcc: -1, Tcpt: 1, F: 0, Dr: 0, I: 1},
+		{Tcc: 1, Tcpt: -1, F: 0, Dr: 0, I: 1},
+		{Tcc: 1, Tcpt: 1, F: -0.1, Dr: 0, I: 1},
+		{Tcc: 1, Tcpt: 1, F: 1.1, Dr: 0, I: 1},
+		{Tcc: 1, Tcpt: 1, F: 0, Dr: -1, I: 1},
+		{Tcc: 1, Tcpt: 1, F: 0, Dr: 0, I: 0},
+		{Tcc: 1, Tcpt: 1, F: 0, Dr: 5, I: 4},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("bad input %d accepted", i)
+		}
+		if _, err := in.Estimate(); err == nil {
+			t.Errorf("Estimate accepted bad input %d", i)
+		}
+	}
+}
+
+func TestWorthwhile(t *testing.T) {
+	// Light violations and cheap checkpointing: speculation wins.
+	win := Inputs{Tcc: 500, Tcpt: 200, F: 0.1, Dr: 10, I: 100}
+	ok, err := win.Worthwhile()
+	if err != nil || !ok {
+		t.Errorf("expected worthwhile, got %v/%v", ok, err)
+	}
+	// The paper's negative result: heavy violating fractions lose to CC.
+	lose := Inputs{Tcc: 500, Tcpt: 480, F: 0.95, Dr: 50, I: 100}
+	ok, err = lose.Worthwhile()
+	if err != nil || ok {
+		t.Errorf("expected not worthwhile, got %v/%v", ok, err)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	// Plugging numbers shaped like the paper's Barnes 100k row (Tcc=517,
+	// Tcpt=506, F=0.94, Dr=8000, I=100000) must land above Tcc — the
+	// paper's Table 5 outcome.
+	in := Inputs{Tcc: 517, Tcpt: 506, F: 0.94, Dr: 8000, I: 100000}
+	ts := in.MustEstimate()
+	if ts <= in.Tcc {
+		t.Errorf("Ts = %v, want > Tcc = %v (paper's negative result)", ts, in.Tcc)
+	}
+}
+
+func TestBreakEvenF(t *testing.T) {
+	in := Inputs{Tcc: 500, Tcpt: 250, F: 0, Dr: 10, I: 100}
+	f, err := in.BreakEvenF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the break-even F the estimate equals Tcc.
+	in.F = f
+	ts := in.MustEstimate()
+	if math.Abs(ts-in.Tcc) > 1e-6 {
+		t.Errorf("Ts at break-even = %v, want %v", ts, in.Tcc)
+	}
+	// Tcpt >= Tcc: speculation can never win.
+	never := Inputs{Tcc: 100, Tcpt: 150, F: 0, Dr: 1, I: 10}
+	f, _ = never.BreakEvenF()
+	if f != 0 {
+		t.Errorf("break-even with Tcpt>Tcc = %v, want 0", f)
+	}
+}
+
+// Property: Ts is monotone non-decreasing in F (more violating intervals
+// never speed the simulation up) whenever the slope terms are positive.
+func TestQuickMonotoneInF(t *testing.T) {
+	prop := func(f1, f2 float64) bool {
+		f1 = math.Abs(math.Mod(f1, 1))
+		f2 = math.Abs(math.Mod(f2, 1))
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		a := Inputs{Tcc: 500, Tcpt: 200, F: f1, Dr: 20, I: 100}
+		b := a
+		b.F = f2
+		return a.MustEstimate() <= b.MustEstimate()+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for F in [0,1], Ts is between min(Tcpt, ...) and Tcpt+Tcc+Dr
+// overhead bound.
+func TestQuickEstimateBounded(t *testing.T) {
+	prop := func(f float64) bool {
+		f = math.Abs(math.Mod(f, 1))
+		in := Inputs{Tcc: 300, Tcpt: 100, F: f, Dr: 50, I: 200}
+		ts := in.MustEstimate()
+		return ts >= 0 && ts <= in.Tcpt+in.Tcc+in.Dr*in.Tcpt/in.I+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package trace provides a bounded, low-overhead event ring for debugging
+// simulations: the engine and the manager record noteworthy events
+// (serviced requests, violations, bound changes, checkpoints, rollbacks)
+// and tools dump the tail after a run. A nil *Ring is valid everywhere
+// and records nothing, so tracing costs nothing when disabled.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// Request is a memory-system request serviced by the manager.
+	Request Kind = iota
+	// Violation is a detected simulation violation.
+	Violation
+	// BoundChange is an adaptive slack-bound adjustment.
+	BoundChange
+	// Checkpoint is a global checkpoint.
+	Checkpoint
+	// Rollback is a speculative rollback.
+	Rollback
+	// Custom is tool-defined.
+	Custom
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Request:
+		return "request"
+	case Violation:
+		return "violation"
+	case BoundChange:
+		return "bound"
+	case Checkpoint:
+		return "checkpoint"
+	case Rollback:
+		return "rollback"
+	case Custom:
+		return "custom"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	// Cycle is the simulated time of the event (the relevant clock:
+	// request timestamp, global time for engine events).
+	Cycle int64
+	// Core is the core involved, or -1.
+	Core int
+	Kind Kind
+	// Detail is a short human-readable payload.
+	Detail string
+}
+
+// String renders the event.
+func (e Event) String() string {
+	if e.Core >= 0 {
+		return fmt.Sprintf("@%-8d c%-2d %-10s %s", e.Cycle, e.Core, e.Kind, e.Detail)
+	}
+	return fmt.Sprintf("@%-8d     %-10s %s", e.Cycle, e.Kind, e.Detail)
+}
+
+// Ring is a fixed-capacity event buffer keeping the most recent events.
+// Methods on a nil Ring are no-ops, so callers thread an optional tracer
+// without nil checks.
+type Ring struct {
+	buf   []Event
+	next  int
+	count uint64
+}
+
+// NewRing returns a ring keeping the last n events.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		panic("trace: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Add records an event.
+func (r *Ring) Add(e Event) {
+	if r == nil {
+		return
+	}
+	r.count++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Addf records a formatted event.
+func (r *Ring) Addf(cycle int64, core int, kind Kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Add(Event{Cycle: cycle, Core: core, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Total reports how many events were recorded overall (including ones
+// that have been overwritten).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.count
+}
+
+// String renders the retained events, one per line.
+func (r *Ring) String() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRingIsSafe(t *testing.T) {
+	var r *Ring
+	r.Add(Event{})
+	r.Addf(1, 0, Request, "x")
+	if r.Events() != nil || r.Total() != 0 {
+		t.Error("nil ring recorded something")
+	}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(Event{Cycle: int64(i)})
+	}
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("retained %d events", len(ev))
+	}
+	for i, e := range ev {
+		if e.Cycle != int64(i+2) {
+			t.Errorf("event %d cycle %d, want %d (oldest-first order)", i, e.Cycle, i+2)
+		}
+	}
+	if r.Total() != 5 {
+		t.Errorf("Total = %d, want 5", r.Total())
+	}
+}
+
+func TestRingUnderfill(t *testing.T) {
+	r := NewRing(10)
+	r.Addf(7, 2, Violation, "bus reorder ts=%d", 5)
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Kind != Violation || ev[0].Core != 2 {
+		t.Fatalf("events = %+v", ev)
+	}
+	if !strings.Contains(ev[0].Detail, "ts=5") {
+		t.Errorf("detail %q", ev[0].Detail)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	withCore := Event{Cycle: 9, Core: 3, Kind: Checkpoint, Detail: "words=10"}
+	if !strings.Contains(withCore.String(), "c3") {
+		t.Errorf("%q missing core", withCore.String())
+	}
+	noCore := Event{Cycle: 9, Core: -1, Kind: Rollback}
+	if strings.Contains(noCore.String(), "c-1") {
+		t.Errorf("%q renders core -1", noCore.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Request: "request", Violation: "violation", BoundChange: "bound",
+		Checkpoint: "checkpoint", Rollback: "rollback", Custom: "custom",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestRingString(t *testing.T) {
+	r := NewRing(2)
+	r.Addf(1, -1, Checkpoint, "a")
+	r.Addf(2, -1, Rollback, "b")
+	s := r.String()
+	if !strings.Contains(s, "checkpoint") || !strings.Contains(s, "rollback") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity accepted")
+		}
+	}()
+	NewRing(0)
+}

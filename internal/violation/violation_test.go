@@ -1,0 +1,203 @@
+package violation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMonitor(t *testing.T) {
+	m := NewMonitor()
+	if m.Observe(5) {
+		t.Error("first observation violated")
+	}
+	if m.Observe(5) {
+		t.Error("equal timestamp violated")
+	}
+	if !m.Observe(4) {
+		t.Error("retrograde not flagged")
+	}
+	if m.MaxTS != 5 {
+		t.Errorf("MaxTS = %d, want 5", m.MaxTS)
+	}
+	if m.Observe(9) || m.MaxTS != 9 {
+		t.Error("forward observation mishandled")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Bus.String() != "bus" || Map.String() != "map" || Workload.String() != "workload" {
+		t.Error("type names wrong")
+	}
+	if len(Types()) != 3 {
+		t.Error("Types() incomplete")
+	}
+}
+
+func TestCountsAndRates(t *testing.T) {
+	d := NewDetector()
+	d.Record(Bus, 10)
+	d.Record(Bus, 20)
+	d.Record(Map, 30)
+	if d.Count(Bus) != 2 || d.Count(Map) != 1 || d.Count(Workload) != 0 {
+		t.Error("counts wrong")
+	}
+	if d.Total() != 3 || d.SelectedCount() != 3 {
+		t.Error("totals wrong")
+	}
+	if got := d.Rate(300); got != 0.01 {
+		t.Errorf("Rate = %v, want 0.01", got)
+	}
+	if got := d.RateOf(Bus, 200); got != 0.01 {
+		t.Errorf("RateOf(Bus) = %v", got)
+	}
+	if d.Rate(0) != 0 {
+		t.Error("rate at zero cycles must be 0")
+	}
+}
+
+func TestSelection(t *testing.T) {
+	d := NewDetector()
+	d.Select(Map)
+	d.Record(Bus, 1)
+	d.Record(Map, 2)
+	if d.SelectedCount() != 1 {
+		t.Errorf("SelectedCount = %d, want 1 (map only)", d.SelectedCount())
+	}
+	if d.Count(Bus) != 1 {
+		t.Error("unselected types must still be counted")
+	}
+	if d.Selected(Bus) || !d.Selected(Map) {
+		t.Error("Selected() wrong")
+	}
+}
+
+func TestWindowCountAndReset(t *testing.T) {
+	d := NewDetector()
+	d.Record(Bus, 1)
+	d.Record(Bus, 2)
+	if got := d.WindowCountAndReset(); got != 2 {
+		t.Errorf("window = %d, want 2", got)
+	}
+	if got := d.WindowCountAndReset(); got != 0 {
+		t.Errorf("window after reset = %d, want 0", got)
+	}
+	if d.Count(Bus) != 2 {
+		t.Error("reset clobbered cumulative count")
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	d := NewDetector()
+	d.TrackIntervals(100)
+	// Violations in intervals 0 (at 30, first) and 2 (at 250).
+	d.Record(Bus, 40)
+	d.Record(Bus, 30)
+	d.Record(Map, 250)
+	reps := d.Intervals(400) // 4 whole intervals
+	if len(reps) != 1 {
+		t.Fatalf("reports = %d", len(reps))
+	}
+	r := reps[0]
+	if r.TotalIntervals != 4 || r.ViolatingIntervals != 2 {
+		t.Errorf("intervals %d/%d, want 2/4", r.ViolatingIntervals, r.TotalIntervals)
+	}
+	if r.FractionViolating != 0.5 {
+		t.Errorf("F = %v, want 0.5", r.FractionViolating)
+	}
+	// First distances: 30 in interval 0, 50 in interval 2 → mean 40.
+	if math.Abs(r.MeanFirstDistance-40) > 1e-9 {
+		t.Errorf("Dr = %v, want 40", r.MeanFirstDistance)
+	}
+}
+
+func TestIntervalsRespectSelection(t *testing.T) {
+	d := NewDetector()
+	d.Select(Map)
+	d.TrackIntervals(100)
+	d.Record(Bus, 10) // unselected: must not mark the interval
+	reps := d.Intervals(200)
+	if reps[0].ViolatingIntervals != 0 {
+		t.Error("unselected violation marked an interval")
+	}
+}
+
+func TestIntervalsInvalidLengthPanics(t *testing.T) {
+	d := NewDetector()
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive interval accepted")
+		}
+	}()
+	d.TrackIntervals(0)
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	d := NewDetector()
+	d.TrackIntervals(50)
+	d.Record(Bus, 10)
+	snap := d.Snapshot()
+	d.Record(Bus, 60)
+	d.Record(Map, 70)
+	d.Restore(snap)
+	if d.Count(Bus) != 1 || d.Count(Map) != 0 {
+		t.Error("restore lost counts")
+	}
+	reps := d.Intervals(100)
+	if reps[0].ViolatingIntervals != 1 {
+		t.Errorf("restored intervals wrong: %+v", reps[0])
+	}
+	// Deep copy check.
+	d.Record(Map, 80)
+	if snap.Count(Map) != 0 {
+		t.Error("snapshot aliases live counts")
+	}
+}
+
+// Property: the rate equals selected count divided by cycles for any
+// recording sequence.
+func TestQuickRate(t *testing.T) {
+	prop := func(ts []int16, cycles uint16) bool {
+		d := NewDetector()
+		for _, x := range ts {
+			v := int64(x)
+			if v < 0 {
+				v = -v
+			}
+			d.Record(Bus, v)
+		}
+		c := int64(cycles) + 1
+		return d.Rate(c) == float64(len(ts))/float64(c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: F is always in [0,1] and Dr is always within the interval.
+func TestQuickIntervalBounds(t *testing.T) {
+	prop := func(ts []uint16) bool {
+		d := NewDetector()
+		d.TrackIntervals(64)
+		var max int64
+		for _, x := range ts {
+			v := int64(x)
+			d.Record(Map, v)
+			if v > max {
+				max = v
+			}
+		}
+		for _, r := range d.Intervals(max + 64) {
+			if r.FractionViolating < 0 || r.FractionViolating > 1 {
+				return false
+			}
+			if r.MeanFirstDistance < 0 || r.MeanFirstDistance >= float64(r.Interval) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"fmt"
+
+	"slacksim/internal/isa"
+	"slacksim/internal/mem"
+)
+
+// Barnes is an N-body tree code shaped like SPLASH-2 Barnes (1024 bodies
+// in the paper): a shared tree whose nodes are updated under per-node
+// locks during the "tree build" phase and read by every core during the
+// "force computation" phase, repeated for a number of timesteps with
+// global barriers between phases.
+//
+// The tree is a complete binary tree stored as one cache line per node
+// with explicit child pointers, so the force phase is genuine pointer
+// chasing over read-shared lines and the build phase produces migratory,
+// lock-protected read-modify-write sharing with heavy contention near the
+// root — the traffic Barnes is known for. Node masses accumulate in
+// integers so the result is independent of the (nondeterministic) lock
+// acquisition order and can be verified exactly.
+type Barnes struct {
+	// Bodies is the number of bodies (a power of two).
+	Bodies int
+	// Steps is the number of timesteps.
+	Steps int
+}
+
+// NewBarnes returns a Barnes workload.
+func NewBarnes(bodies, steps int) *Barnes { return &Barnes{Bodies: bodies, Steps: steps} }
+
+// Name implements Workload.
+func (w *Barnes) Name() string { return fmt.Sprintf("barnes-%d", w.Bodies) }
+
+func (w *Barnes) check() error {
+	if !isPow2(w.Bodies) || w.Bodies < 8 {
+		return fmt.Errorf("barnes: Bodies=%d must be a power of two >= 8", w.Bodies)
+	}
+	if w.Steps < 1 {
+		return fmt.Errorf("barnes: Steps=%d must be >= 1", w.Steps)
+	}
+	return nil
+}
+
+// depth returns the tree depth: leaves = Bodies, so internal levels =
+// log2(Bodies).
+func (w *Barnes) depth() int { return log2(w.Bodies) }
+
+// numNodes is the node count of the complete binary tree with Bodies
+// leaves (heap indexing 1..numNodes).
+func (w *Barnes) numNodes() int { return 2*w.Bodies - 1 }
+
+// Node layout: one 64-byte line per node.
+//
+//	+0  mass accumulator (int)
+//	+8  left child pointer (0 for leaves)
+//	+16 right child pointer
+//	+24 lock word
+const (
+	nodeMass  = 0
+	nodeLeft  = 8
+	nodeRight = 16
+	nodeLock  = 24
+	nodeSize  = 64
+)
+
+func (w *Barnes) treeBase() uint64 { return SharedBase }
+
+// nodeAddr maps 1-based heap index to the node's line address.
+func (w *Barnes) nodeAddr(idx int) uint64 {
+	return w.treeBase() + uint64(idx-1)*nodeSize
+}
+
+// bodyMass is the integer mass of body i.
+func (w *Barnes) bodyMass(i int) int64 { return int64(i%17 + 1) }
+
+// InitMemory implements Workload: it lays out the tree with child
+// pointers and zeroed mass accumulators.
+func (w *Barnes) InitMemory(m *mem.Memory) error {
+	if err := w.check(); err != nil {
+		return err
+	}
+	internal := w.Bodies - 1
+	for idx := 1; idx <= w.numNodes(); idx++ {
+		base := w.nodeAddr(idx)
+		m.Write(base+nodeMass, 0)
+		if idx <= internal {
+			m.Write(base+nodeLeft, w.nodeAddr(2*idx))
+			m.Write(base+nodeRight, w.nodeAddr(2*idx+1))
+		} else {
+			m.Write(base+nodeLeft, 0)
+			m.Write(base+nodeRight, 0)
+		}
+	}
+	return nil
+}
+
+// Programs implements Workload.
+func (w *Barnes) Programs(numCores int) ([]*isa.Program, error) {
+	if err := w.check(); err != nil {
+		return nil, err
+	}
+	progs := make([]*isa.Program, numCores)
+	for tid := 0; tid < numCores; tid++ {
+		progs[tid] = w.program(tid, numCores)
+	}
+	return progs, nil
+}
+
+// Register conventions.
+const (
+	bnRStep isa.Reg = 3  // timestep counter
+	bnRBody isa.Reg = 4  // body index
+	bnRHi   isa.Reg = 5  // end of body range
+	bnRNode isa.Reg = 6  // current node address
+	bnRBit  isa.Reg = 7  // direction bit scratch
+	bnRLvl  isa.Reg = 8  // level counter
+	bnRT0   isa.Reg = 9  // scratch
+	bnRT1   isa.Reg = 10 // scratch
+	bnRMass isa.Reg = 11 // body mass
+	bnRAcc  isa.Reg = 12 // traversal accumulator
+	bnRSP   isa.Reg = 13 // traversal stack pointer
+	bnRRoot isa.Reg = 14 // root node address
+	bnROut  isa.Reg = 15 // private result address
+)
+
+func (w *Barnes) program(tid, p int) *isa.Program {
+	b := isa.NewBuilder(fmt.Sprintf("%s.t%d", w.Name(), tid))
+	lo, hi := splitRange(w.Bodies, tid, p)
+	depth := w.depth()
+	stackBase := PrivateBase(tid)          // traversal stack
+	outAddr := PrivateBase(tid) + 0x8_0000 // private accumulator result
+
+	b.Li(bnRRoot, int64(w.nodeAddr(1)))
+	b.Li(bnROut, int64(outAddr))
+	b.Li(bnRStep, int64(w.Steps))
+	stepTop := b.Here()
+
+	// ---- Phase A: tree build. Walk root->leaf by the body's index bits,
+	// accumulating the body's mass into every node on the path under the
+	// node's lock.
+	if lo < hi {
+		b.Li(bnRBody, int64(lo))
+		b.Li(bnRHi, int64(hi))
+		bodyTop := b.Here()
+		// mass = bodyMass(body) = body % 17 + 1.
+		b.OpImm(isa.Addi, bnRT0, bnRBody, 0)
+		b.Li(bnRT1, 17)
+		b.Op3(isa.Rem, bnRMass, bnRT0, bnRT1)
+		b.Addi(bnRMass, bnRMass, 1)
+		b.Mov(bnRNode, bnRRoot)
+		b.Li(bnRLvl, int64(depth))
+		walkTop := b.Here()
+		// Lock node; node.mass += mass; unlock.
+		b.Lock(bnRNode, nodeLock)
+		b.Load(bnRT0, bnRNode, nodeMass)
+		b.Op3(isa.Add, bnRT0, bnRT0, bnRMass)
+		b.Store(bnRT0, bnRNode, nodeMass)
+		b.Unlock(bnRNode, nodeLock)
+		// Descend: bit = (body >> (level-1)) & 1.
+		walkEnd := b.NewLabel()
+		b.Beq(bnRLvl, isa.Zero, walkEnd)
+		b.Subi(bnRLvl, bnRLvl, 1)
+		b.Op3(isa.Shr, bnRBit, bnRBody, bnRLvl)
+		b.OpImm(isa.Andi, bnRBit, bnRBit, 1)
+		goRight := b.NewLabel()
+		b.Bne(bnRBit, isa.Zero, goRight)
+		b.Load(bnRNode, bnRNode, nodeLeft)
+		b.Jmp(walkTop)
+		b.Bind(goRight)
+		b.Load(bnRNode, bnRNode, nodeRight)
+		b.Jmp(walkTop)
+		b.Bind(walkEnd)
+		b.Addi(bnRBody, bnRBody, 1)
+		b.Blt(bnRBody, bnRHi, bodyTop)
+	}
+	b.Barrier(0)
+
+	// ---- Phase B: force computation. Every core traverses the whole
+	// tree (explicit-stack preorder over the child pointers), summing the
+	// masses it reads; the sum is stored privately.
+	b.Li(bnRAcc, 0)
+	b.Li(bnRSP, int64(stackBase))
+	// push root.
+	b.Store(bnRRoot, bnRSP, 0)
+	b.Addi(bnRSP, bnRSP, 8)
+	travTop := b.Here()
+	travEnd := b.NewLabel()
+	b.Li(bnRT0, int64(stackBase))
+	b.Beq(bnRSP, bnRT0, travEnd)
+	// pop node.
+	b.Subi(bnRSP, bnRSP, 8)
+	b.Load(bnRNode, bnRSP, 0)
+	b.Load(bnRT0, bnRNode, nodeMass)
+	b.Op3(isa.Add, bnRAcc, bnRAcc, bnRT0)
+	// push children if internal.
+	b.Load(bnRT0, bnRNode, nodeLeft)
+	skipKids := b.NewLabel()
+	b.Beq(bnRT0, isa.Zero, skipKids)
+	b.Store(bnRT0, bnRSP, 0)
+	b.Addi(bnRSP, bnRSP, 8)
+	b.Load(bnRT1, bnRNode, nodeRight)
+	b.Store(bnRT1, bnRSP, 0)
+	b.Addi(bnRSP, bnRSP, 8)
+	b.Bind(skipKids)
+	b.Jmp(travTop)
+	b.Bind(travEnd)
+	b.Store(bnRAcc, bnROut, 0)
+	b.Barrier(0)
+
+	b.Subi(bnRStep, bnRStep, 1)
+	b.Bne(bnRStep, isa.Zero, stepTop)
+	b.Halt()
+	return b.MustProgram()
+}
+
+// expectedNodeMass returns node idx's final mass: Steps times the sum of
+// masses of bodies whose root-to-leaf path passes through it.
+func (w *Barnes) expectedNodeMass(idx int) int64 {
+	// Heap index idx at level L covers bodies whose top L bits equal
+	// idx - 2^L (idx in [2^L, 2^(L+1))).
+	level := log2(idx)
+	span := w.Bodies >> level
+	first := (idx - (1 << level)) * span
+	var sum int64
+	for i := first; i < first+span; i++ {
+		sum += w.bodyMass(i)
+	}
+	return sum * int64(w.Steps)
+}
+
+// TotalMass returns the expected full-tree traversal sum for one step.
+func (w *Barnes) TotalMass() int64 {
+	var sum int64
+	for i := 0; i < w.Bodies; i++ {
+		sum += w.bodyMass(i)
+	}
+	return sum
+}
+
+// Verify checks every node's accumulated mass and every core's traversal
+// result written in the final step.
+func (w *Barnes) Verify(m *mem.Memory) error {
+	if err := w.check(); err != nil {
+		return err
+	}
+	for idx := 1; idx <= w.numNodes(); idx++ {
+		got := int64(m.Read(w.nodeAddr(idx) + nodeMass))
+		want := w.expectedNodeMass(idx)
+		if got != want {
+			return fmt.Errorf("barnes: node %d mass = %d, want %d", idx, got, want)
+		}
+	}
+	return nil
+}
+
+// VerifyTraversals checks the per-core traversal sums for numCores cores.
+// The final-step traversal sees every node at full mass, so each core's
+// accumulator must equal TotalMass·Steps·(depth+1).
+func (w *Barnes) VerifyTraversals(m *mem.Memory, numCores int) error {
+	want := w.TotalMass() * int64(w.Steps) * int64(w.depth()+1)
+	for tid := 0; tid < numCores; tid++ {
+		got := int64(m.Read(PrivateBase(tid) + 0x8_0000))
+		if got != want {
+			return fmt.Errorf("barnes: core %d traversal sum = %d, want %d", tid, got, want)
+		}
+	}
+	return nil
+}

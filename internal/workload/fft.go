@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"slacksim/internal/isa"
+	"slacksim/internal/mem"
+)
+
+// FFT is a barrier-phased radix-2 decimation-in-time FFT over N complex
+// points, the stand-in for SPLASH-2 FFT (64K points in the paper; scaled
+// down here as the paper itself scales inputs). Input is taken to be in
+// bit-reversed order so the kernel is the pure butterfly network: log2(N)
+// stages, each core owning a contiguous block of the N/2 butterflies per
+// stage, with a global barrier between stages. Cross-core traffic is the
+// partner reads whose stride doubles every stage — the paper's FFT
+// all-to-all pattern.
+type FFT struct {
+	// N is the number of complex points (a power of two).
+	N int
+}
+
+// NewFFT returns an FFT workload over n points (n must be a power of two
+// of at least 8).
+func NewFFT(n int) *FFT { return &FFT{N: n} }
+
+// Name implements Workload.
+func (f *FFT) Name() string { return fmt.Sprintf("fft-%d", f.N) }
+
+func (f *FFT) check() error {
+	if !isPow2(f.N) || f.N < 8 {
+		return fmt.Errorf("fft: N=%d must be a power of two >= 8", f.N)
+	}
+	return nil
+}
+
+// Memory layout.
+func (f *FFT) reBase() uint64  { return SharedBase }
+func (f *FFT) imBase() uint64  { return f.reBase() + uint64(f.N)*8 }
+func (f *FFT) wReBase() uint64 { return f.imBase() + uint64(f.N)*8 }
+func (f *FFT) wImBase() uint64 { return f.wReBase() + uint64(f.N/2)*8 }
+
+// input returns the (deterministic, irrational-looking) initial value of
+// point i.
+func (f *FFT) input(i int) (re, im float64) {
+	return math.Sin(0.7*float64(i) + 0.25), 0
+}
+
+// InitMemory implements Workload: it loads the input points and the
+// twiddle-factor table.
+func (f *FFT) InitMemory(m *mem.Memory) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	for i := 0; i < f.N; i++ {
+		re, im := f.input(i)
+		m.WriteFloat(f.reBase()+uint64(i)*8, re)
+		m.WriteFloat(f.imBase()+uint64(i)*8, im)
+	}
+	for j := 0; j < f.N/2; j++ {
+		ang := -2 * math.Pi * float64(j) / float64(f.N)
+		m.WriteFloat(f.wReBase()+uint64(j)*8, math.Cos(ang))
+		m.WriteFloat(f.wImBase()+uint64(j)*8, math.Sin(ang))
+	}
+	return nil
+}
+
+// Programs implements Workload: one butterfly program per core.
+func (f *FFT) Programs(numCores int) ([]*isa.Program, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	progs := make([]*isa.Program, numCores)
+	for tid := 0; tid < numCores; tid++ {
+		progs[tid] = f.program(tid, numCores)
+	}
+	return progs, nil
+}
+
+// Register conventions inside the kernel.
+const (
+	fftRB    isa.Reg = 3  // butterfly index b
+	fftRHi   isa.Reg = 4  // end of this core's range
+	fftRBase isa.Reg = 5  // base element index of the butterfly
+	fftRPart isa.Reg = 6  // partner element index
+	fftRT0   isa.Reg = 7  // scratch
+	fftRT1   isa.Reg = 8  // scratch
+	fftRRe   isa.Reg = 9  // &re[0]
+	fftRIm   isa.Reg = 10 // &im[0]
+	fftRWRe  isa.Reg = 11 // &wRe[0]
+	fftRWIm  isa.Reg = 12 // &wIm[0]
+	fftRAr   isa.Reg = 13
+	fftRAi   isa.Reg = 14
+	fftRBr   isa.Reg = 15
+	fftRBi   isa.Reg = 16
+	fftRWr   isa.Reg = 17
+	fftRWi   isa.Reg = 18
+	fftRTr   isa.Reg = 19
+	fftRTi   isa.Reg = 20
+	fftRAd1  isa.Reg = 21 // &re[base]/&im[base]
+	fftRAd2  isa.Reg = 22 // &re[partner]/&im[partner]
+	fftRP    isa.Reg = 23 // position within group
+	fftRF0   isa.Reg = 24 // fp scratch
+	fftRF1   isa.Reg = 25 // fp scratch
+)
+
+func (f *FFT) program(tid, p int) *isa.Program {
+	b := isa.NewBuilder(fmt.Sprintf("%s.t%d", f.Name(), tid))
+	stages := log2(f.N)
+	lo, hi := splitRange(f.N/2, tid, p)
+
+	b.Li(fftRRe, int64(f.reBase()))
+	b.Li(fftRIm, int64(f.imBase()))
+	b.Li(fftRWRe, int64(f.wReBase()))
+	b.Li(fftRWIm, int64(f.wImBase()))
+
+	for s := 0; s < stages; s++ {
+		half := 1 << s
+		twShift := stages - 1 - s // twiddle index = p << twShift
+		if lo < hi {
+			b.Li(fftRB, int64(lo))
+			b.Li(fftRHi, int64(hi))
+			top := b.Here()
+			// group g = b >> s; position p = b & (half-1).
+			b.OpImm(isa.Shri, fftRT0, fftRB, int64(s))
+			b.OpImm(isa.Andi, fftRP, fftRB, int64(half-1))
+			// base = g*2*half + p; partner = base + half.
+			b.OpImm(isa.Shli, fftRBase, fftRT0, int64(s+1))
+			b.Op3(isa.Add, fftRBase, fftRBase, fftRP)
+			b.OpImm(isa.Addi, fftRPart, fftRBase, int64(half))
+			// Twiddle w = (wRe[p<<twShift], wIm[p<<twShift]).
+			b.OpImm(isa.Shli, fftRT0, fftRP, int64(twShift+3))
+			b.Op3(isa.Add, fftRT1, fftRWRe, fftRT0)
+			b.Load(fftRWr, fftRT1, 0)
+			b.Op3(isa.Add, fftRT1, fftRWIm, fftRT0)
+			b.Load(fftRWi, fftRT1, 0)
+			// a = x[base], c = x[partner].
+			b.OpImm(isa.Shli, fftRT0, fftRBase, 3)
+			b.Op3(isa.Add, fftRAd1, fftRRe, fftRT0)
+			b.Load(fftRAr, fftRAd1, 0)
+			b.Op3(isa.Add, fftRT1, fftRIm, fftRT0)
+			b.Load(fftRAi, fftRT1, 0)
+			b.OpImm(isa.Shli, fftRT0, fftRPart, 3)
+			b.Op3(isa.Add, fftRAd2, fftRRe, fftRT0)
+			b.Load(fftRBr, fftRAd2, 0)
+			b.Op3(isa.Add, fftRT0, fftRIm, fftRT0)
+			b.Load(fftRBi, fftRT0, 0)
+			// t = c*w (complex): tr = br*wr - bi*wi, ti = br*wi + bi*wr.
+			b.Op3(isa.FMul, fftRF0, fftRBr, fftRWr)
+			b.Op3(isa.FMul, fftRF1, fftRBi, fftRWi)
+			b.Op3(isa.FSub, fftRTr, fftRF0, fftRF1)
+			b.Op3(isa.FMul, fftRF0, fftRBr, fftRWi)
+			b.Op3(isa.FMul, fftRF1, fftRBi, fftRWr)
+			b.Op3(isa.FAdd, fftRTi, fftRF0, fftRF1)
+			// x[base] = a + t.
+			b.Op3(isa.FAdd, fftRF0, fftRAr, fftRTr)
+			b.Store(fftRF0, fftRAd1, 0)
+			b.OpImm(isa.Shli, fftRT0, fftRBase, 3)
+			b.Op3(isa.FAdd, fftRF1, fftRAi, fftRTi)
+			b.Op3(isa.Add, fftRT0, fftRIm, fftRT0)
+			b.Store(fftRF1, fftRT0, 0)
+			// x[partner] = a - t.
+			b.Op3(isa.FSub, fftRF0, fftRAr, fftRTr)
+			b.Store(fftRF0, fftRAd2, 0)
+			b.OpImm(isa.Shli, fftRT0, fftRPart, 3)
+			b.Op3(isa.FSub, fftRF1, fftRAi, fftRTi)
+			b.Op3(isa.Add, fftRT0, fftRIm, fftRT0)
+			b.Store(fftRF1, fftRT0, 0)
+
+			b.Addi(fftRB, fftRB, 1)
+			b.Blt(fftRB, fftRHi, top)
+		}
+		b.Barrier(0)
+	}
+	b.Halt()
+	return b.MustProgram()
+}
+
+// Reference computes the expected final re/im arrays by running the exact
+// same butterfly network in Go (same operations in the same order, so the
+// simulated result must match bit for bit).
+func (f *FFT) Reference() (re, im []float64) {
+	n := f.N
+	re = make([]float64, n)
+	im = make([]float64, n)
+	wre := make([]float64, n/2)
+	wim := make([]float64, n/2)
+	for i := 0; i < n; i++ {
+		re[i], im[i] = f.input(i)
+	}
+	for j := 0; j < n/2; j++ {
+		ang := -2 * math.Pi * float64(j) / float64(n)
+		wre[j], wim[j] = math.Cos(ang), math.Sin(ang)
+	}
+	stages := log2(n)
+	for s := 0; s < stages; s++ {
+		half := 1 << s
+		twShift := stages - 1 - s
+		for bf := 0; bf < n/2; bf++ {
+			g := bf >> s
+			p := bf & (half - 1)
+			base := g<<(s+1) + p
+			part := base + half
+			w := p << twShift
+			tr := re[part]*wre[w] - im[part]*wim[w]
+			ti := re[part]*wim[w] + im[part]*wre[w]
+			ar, ai := re[base], im[base]
+			re[base], im[base] = ar+tr, ai+ti
+			re[part], im[part] = ar-tr, ai-ti
+		}
+	}
+	return re, im
+}
+
+// Verify checks the simulated memory against the reference, bit for bit.
+func (f *FFT) Verify(m *mem.Memory) error {
+	re, im := f.Reference()
+	for i := 0; i < f.N; i++ {
+		gr := m.Read(f.reBase() + uint64(i)*8)
+		gi := m.Read(f.imBase() + uint64(i)*8)
+		if gr != isa.F2U(re[i]) || gi != isa.F2U(im[i]) {
+			return fmt.Errorf("fft: point %d = (%g,%g), want (%g,%g)",
+				i, isa.U2F(gr), isa.U2F(gi), re[i], im[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"fmt"
+
+	"slacksim/internal/isa"
+	"slacksim/internal/mem"
+)
+
+// LU is a right-looking dense LU factorization without pivoting over an
+// N×N matrix, the stand-in for SPLASH-2 LU (256×256 in the paper). At
+// step k the owner of column k (core k mod P) scales the subdiagonal of
+// column k; after a barrier every core updates its cyclic share of the
+// trailing rows; another barrier closes the step. The sharing pattern is
+// the paper's LU: the pivot row and column are read-broadcast to all
+// cores each step, everything else is owner-computes.
+type LU struct {
+	// N is the matrix dimension (a power of two so the kernel can use
+	// shifts for addressing).
+	N int
+}
+
+// NewLU returns an LU workload over an n×n matrix.
+func NewLU(n int) *LU { return &LU{N: n} }
+
+// Name implements Workload.
+func (l *LU) Name() string { return fmt.Sprintf("lu-%dx%d", l.N, l.N) }
+
+func (l *LU) check(p int) error {
+	if !isPow2(l.N) || l.N < 4 {
+		return fmt.Errorf("lu: N=%d must be a power of two >= 4", l.N)
+	}
+	if p > 0 && !isPow2(p) {
+		return fmt.Errorf("lu: core count %d must be a power of two", p)
+	}
+	return nil
+}
+
+func (l *LU) aBase() uint64 { return SharedBase }
+
+// element returns the deterministic initial value of A[i][j]: a diagonally
+// dominant matrix so the factorization is numerically tame.
+func (l *LU) element(i, j int) float64 {
+	v := float64((i*29+j*17)%97)/97.0 - 0.5
+	if i == j {
+		v += float64(l.N)
+	}
+	return v
+}
+
+// InitMemory implements Workload.
+func (l *LU) InitMemory(m *mem.Memory) error {
+	if err := l.check(0); err != nil {
+		return err
+	}
+	for i := 0; i < l.N; i++ {
+		for j := 0; j < l.N; j++ {
+			m.WriteFloat(l.addr(i, j), l.element(i, j))
+		}
+	}
+	return nil
+}
+
+func (l *LU) addr(i, j int) uint64 {
+	return l.aBase() + uint64(i*l.N+j)*8
+}
+
+// Programs implements Workload.
+func (l *LU) Programs(numCores int) ([]*isa.Program, error) {
+	if err := l.check(numCores); err != nil {
+		return nil, err
+	}
+	progs := make([]*isa.Program, numCores)
+	for tid := 0; tid < numCores; tid++ {
+		progs[tid] = l.program(tid, numCores)
+	}
+	return progs, nil
+}
+
+// Register conventions.
+const (
+	luRK    isa.Reg = 3  // step k
+	luRI    isa.Reg = 4  // row i
+	luRJ    isa.Reg = 5  // column j
+	luRN    isa.Reg = 6  // N
+	luRA    isa.Reg = 7  // &A[0][0]
+	luRT0   isa.Reg = 8  // scratch
+	luRT1   isa.Reg = 9  // scratch
+	luRPiv  isa.Reg = 10 // pivot value
+	luRLik  isa.Reg = 11 // A[i][k]
+	luRAkj  isa.Reg = 12 // A[k][j]
+	luRAij  isa.Reg = 13 // A[i][j]
+	luRAdr  isa.Reg = 14 // element address
+	luRRowI isa.Reg = 15 // &A[i][0]
+	luRRowK isa.Reg = 16 // &A[k][0]
+	luRTid  isa.Reg = 17 // this core's id
+	luRF    isa.Reg = 18 // fp scratch
+)
+
+func (l *LU) program(tid, p int) *isa.Program {
+	b := isa.NewBuilder(fmt.Sprintf("%s.t%d", l.Name(), tid))
+	n := l.N
+	logN := log2(n)
+
+	b.Li(luRN, int64(n))
+	b.Li(luRA, int64(l.aBase()))
+	b.Li(luRTid, int64(tid))
+	b.Li(luRK, 0)
+
+	kLoop := b.Here()
+	skipScale := b.NewLabel()
+
+	// Column scaling: only the owner of column k (k mod P == tid).
+	b.OpImm(isa.Andi, luRT0, luRK, int64(p-1))
+	b.Bne(luRT0, luRTid, skipScale)
+	{
+		// pivot = A[k][k].
+		b.OpImm(isa.Shli, luRT0, luRK, int64(logN))
+		b.Op3(isa.Add, luRT0, luRT0, luRK)
+		b.OpImm(isa.Shli, luRT0, luRT0, 3)
+		b.Op3(isa.Add, luRAdr, luRA, luRT0)
+		b.Load(luRPiv, luRAdr, 0)
+		// for i = k+1 .. n-1: A[i][k] /= pivot.
+		b.Addi(luRI, luRK, 1)
+		scaleDone := b.NewLabel()
+		b.Bge(luRI, luRN, scaleDone)
+		scaleTop := b.Here()
+		b.OpImm(isa.Shli, luRT0, luRI, int64(logN))
+		b.Op3(isa.Add, luRT0, luRT0, luRK)
+		b.OpImm(isa.Shli, luRT0, luRT0, 3)
+		b.Op3(isa.Add, luRAdr, luRA, luRT0)
+		b.Load(luRF, luRAdr, 0)
+		b.Op3(isa.FDiv, luRF, luRF, luRPiv)
+		b.Store(luRF, luRAdr, 0)
+		b.Addi(luRI, luRI, 1)
+		b.Blt(luRI, luRN, scaleTop)
+		b.Bind(scaleDone)
+	}
+	b.Bind(skipScale)
+	b.Barrier(0)
+
+	// Trailing update: rows i > k with i mod P == tid.
+	// First owned row: i0 = k+1 + ((tid - k - 1) mod P).
+	b.Op3(isa.Sub, luRT0, luRTid, luRK)
+	b.Subi(luRT0, luRT0, 1)
+	b.OpImm(isa.Andi, luRT0, luRT0, int64(p-1))
+	b.Addi(luRI, luRK, 1)
+	b.Op3(isa.Add, luRI, luRI, luRT0)
+	updDone := b.NewLabel()
+	b.Bge(luRI, luRN, updDone)
+	rowTop := b.Here()
+	{
+		// rowI = &A[i][0]; rowK = &A[k][0]; lik = A[i][k].
+		b.OpImm(isa.Shli, luRT0, luRI, int64(logN+3))
+		b.Op3(isa.Add, luRRowI, luRA, luRT0)
+		b.OpImm(isa.Shli, luRT0, luRK, int64(logN+3))
+		b.Op3(isa.Add, luRRowK, luRA, luRT0)
+		b.OpImm(isa.Shli, luRT0, luRK, 3)
+		b.Op3(isa.Add, luRAdr, luRRowI, luRT0)
+		b.Load(luRLik, luRAdr, 0)
+		// for j = k+1 .. n-1: A[i][j] -= lik * A[k][j].
+		b.Addi(luRJ, luRK, 1)
+		colDone := b.NewLabel()
+		b.Bge(luRJ, luRN, colDone)
+		colTop := b.Here()
+		b.OpImm(isa.Shli, luRT1, luRJ, 3)
+		b.Op3(isa.Add, luRAdr, luRRowK, luRT1)
+		b.Load(luRAkj, luRAdr, 0)
+		b.Op3(isa.Add, luRAdr, luRRowI, luRT1)
+		b.Load(luRAij, luRAdr, 0)
+		b.Op3(isa.FMul, luRF, luRLik, luRAkj)
+		b.Op3(isa.FSub, luRAij, luRAij, luRF)
+		b.Store(luRAij, luRAdr, 0)
+		b.Addi(luRJ, luRJ, 1)
+		b.Blt(luRJ, luRN, colTop)
+		b.Bind(colDone)
+	}
+	b.Addi(luRI, luRI, int64(p))
+	b.Blt(luRI, luRN, rowTop)
+	b.Bind(updDone)
+	b.Barrier(0)
+
+	b.Addi(luRK, luRK, 1)
+	b.OpImm(isa.Slti, luRT0, luRK, int64(n-1))
+	b.Bne(luRT0, isa.Zero, kLoop)
+	b.Halt()
+	return b.MustProgram()
+}
+
+// Reference computes the expected factorized matrix (L below the diagonal,
+// U on and above) with the exact same operation order as the kernel.
+func (l *LU) Reference() []float64 {
+	n := l.N
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = l.element(i, j)
+		}
+	}
+	for k := 0; k < n-1; k++ {
+		piv := a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] /= piv
+		}
+		for i := k + 1; i < n; i++ {
+			lik := a[i*n+k]
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= lik * a[k*n+j]
+			}
+		}
+	}
+	return a
+}
+
+// Verify checks the simulated factorization bit for bit.
+func (l *LU) Verify(m *mem.Memory) error {
+	want := l.Reference()
+	for i := 0; i < l.N; i++ {
+		for j := 0; j < l.N; j++ {
+			got := m.Read(l.addr(i, j))
+			if got != isa.F2U(want[i*l.N+j]) {
+				return fmt.Errorf("lu: A[%d][%d] = %g, want %g",
+					i, j, isa.U2F(got), want[i*l.N+j])
+			}
+		}
+	}
+	return nil
+}

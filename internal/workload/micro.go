@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"fmt"
+
+	"slacksim/internal/isa"
+	"slacksim/internal/mem"
+)
+
+// FalseShare is a microbenchmark in which every core increments its own
+// counter word, but all counters live on the same cache line, so the line
+// ping-pongs between L1s on every increment. It produces the densest
+// possible coherence traffic without any data race (each word has one
+// writer) and is the quickest way to generate bus and map violations in a
+// slack simulation; unit tests and Figure 3 sanity checks use it.
+type FalseShare struct {
+	// Iters is the number of increments per core.
+	Iters int
+
+	// cores remembers the machine size from the last Programs call so
+	// Verify checks exactly the counters that ran.
+	cores int
+}
+
+// NewFalseShare returns a FalseShare workload.
+func NewFalseShare(iters int) *FalseShare { return &FalseShare{Iters: iters} }
+
+// Name implements Workload.
+func (f *FalseShare) Name() string { return fmt.Sprintf("falseshare-%d", f.Iters) }
+
+func (f *FalseShare) counterAddr(tid int) uint64 { return SharedBase + uint64(tid)*8 }
+
+// InitMemory implements Workload.
+func (f *FalseShare) InitMemory(m *mem.Memory) error {
+	if f.Iters < 1 {
+		return fmt.Errorf("falseshare: Iters=%d must be >= 1", f.Iters)
+	}
+	return nil
+}
+
+// Programs implements Workload.
+func (f *FalseShare) Programs(numCores int) ([]*isa.Program, error) {
+	if numCores > 8 {
+		// All counters must share one 64-byte line.
+		return nil, fmt.Errorf("falseshare: at most 8 cores share a line, got %d", numCores)
+	}
+	f.cores = numCores
+	progs := make([]*isa.Program, numCores)
+	for tid := 0; tid < numCores; tid++ {
+		b := isa.NewBuilder(fmt.Sprintf("%s.t%d", f.Name(), tid))
+		const (
+			rAddr isa.Reg = 3
+			rVal  isa.Reg = 4
+			rCtr  isa.Reg = 5
+		)
+		b.Li(rAddr, int64(f.counterAddr(tid)))
+		b.Loop(rCtr, int64(f.Iters), func() {
+			b.Load(rVal, rAddr, 0)
+			b.Addi(rVal, rVal, 1)
+			b.Store(rVal, rAddr, 0)
+		})
+		b.Barrier(0)
+		b.Halt()
+		progs[tid] = b.MustProgram()
+	}
+	return progs, nil
+}
+
+// Verify checks every core's counter reached Iters (for the machine size
+// of the last Programs call).
+func (f *FalseShare) Verify(m *mem.Memory) error {
+	n := f.cores
+	if n == 0 {
+		n = 8
+	}
+	return f.VerifyCores(m, n)
+}
+
+// VerifyCores checks the first numCores counters.
+func (f *FalseShare) VerifyCores(m *mem.Memory, numCores int) error {
+	for tid := 0; tid < numCores; tid++ {
+		got := int64(m.Read(f.counterAddr(tid)))
+		if got != int64(f.Iters) {
+			return fmt.Errorf("falseshare: counter %d = %d, want %d", tid, got, f.Iters)
+		}
+	}
+	return nil
+}
+
+// Private is a microbenchmark with zero sharing: each core repeatedly
+// sums its own private array. It stresses the core pipeline and private
+// cache path, produces no coherence traffic between cores beyond cold
+// misses, and should run violation-free under any slack — the control
+// case for the violation experiments.
+type Private struct {
+	// Words is the private array length per core.
+	Words int
+	// Passes is how many times each core sums its array.
+	Passes int
+
+	// cores remembers the machine size from the last Programs call.
+	cores int
+}
+
+// NewPrivate returns a Private workload.
+func NewPrivate(words, passes int) *Private { return &Private{Words: words, Passes: passes} }
+
+// Name implements Workload.
+func (p *Private) Name() string { return fmt.Sprintf("private-%dx%d", p.Words, p.Passes) }
+
+func (p *Private) arrayBase(tid int) uint64 { return PrivateBase(tid) }
+func (p *Private) sumAddr(tid int) uint64   { return PrivateBase(tid) + uint64(p.Words+8)*8 }
+
+// InitMemory implements Workload.
+func (p *Private) InitMemory(m *mem.Memory) error {
+	if p.Words < 1 || p.Passes < 1 {
+		return fmt.Errorf("private: Words and Passes must be >= 1")
+	}
+	for tid := 0; tid < 8; tid++ {
+		for i := 0; i < p.Words; i++ {
+			m.Write(p.arrayBase(tid)+uint64(i)*8, uint64(i+tid))
+		}
+	}
+	return nil
+}
+
+// Programs implements Workload.
+func (p *Private) Programs(numCores int) ([]*isa.Program, error) {
+	p.cores = numCores
+	progs := make([]*isa.Program, numCores)
+	for tid := 0; tid < numCores; tid++ {
+		b := isa.NewBuilder(fmt.Sprintf("%s.t%d", p.Name(), tid))
+		const (
+			rPass isa.Reg = 3
+			rIdx  isa.Reg = 4
+			rEnd  isa.Reg = 5
+			rSum  isa.Reg = 6
+			rAddr isa.Reg = 7
+			rVal  isa.Reg = 8
+		)
+		b.Li(rSum, 0)
+		b.Loop(rPass, int64(p.Passes), func() {
+			b.Li(rAddr, int64(p.arrayBase(tid)))
+			b.Li(rIdx, 0)
+			b.Li(rEnd, int64(p.Words))
+			top := b.Here()
+			b.Load(rVal, rAddr, 0)
+			b.Op3(isa.Add, rSum, rSum, rVal)
+			b.Addi(rAddr, rAddr, 8)
+			b.Addi(rIdx, rIdx, 1)
+			b.Blt(rIdx, rEnd, top)
+		})
+		b.Li(rAddr, int64(p.sumAddr(tid)))
+		b.Store(rSum, rAddr, 0)
+		b.Halt()
+		progs[tid] = b.MustProgram()
+	}
+	return progs, nil
+}
+
+// ExpectedSum returns core tid's expected total.
+func (p *Private) ExpectedSum(tid int) int64 {
+	var one int64
+	for i := 0; i < p.Words; i++ {
+		one += int64(i + tid)
+	}
+	return one * int64(p.Passes)
+}
+
+// Verify checks each core's stored sum (for the machine size of the last
+// Programs call).
+func (p *Private) Verify(m *mem.Memory) error {
+	n := p.cores
+	if n == 0 {
+		n = 8
+	}
+	return p.VerifyCores(m, n)
+}
+
+// VerifyCores checks the first numCores sums.
+func (p *Private) VerifyCores(m *mem.Memory, numCores int) error {
+	for tid := 0; tid < numCores; tid++ {
+		got := int64(m.Read(p.sumAddr(tid)))
+		if got != p.ExpectedSum(tid) {
+			return fmt.Errorf("private: core %d sum = %d, want %d", tid, got, p.ExpectedSum(tid))
+		}
+	}
+	return nil
+}

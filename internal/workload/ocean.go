@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"fmt"
+
+	"slacksim/internal/isa"
+	"slacksim/internal/mem"
+)
+
+// Ocean is a red-black-free Jacobi stencil over an N×N grid, shaped like
+// SPLASH-2 Ocean's nearest-neighbour sharing: each core owns a contiguous
+// band of rows and, every timestep, recomputes its band from the previous
+// grid (reading one boundary row from each neighbouring core — the only
+// cross-core sharing), with a global barrier between steps. It extends
+// the paper's benchmark pool with a sharing pattern none of the four
+// original kernels has: producer-consumer reuse of band edges.
+//
+// The computation double-buffers between two grids, so every cell has
+// exactly one writer per step and the result is deterministic and
+// bit-exact against the Go reference.
+type Ocean struct {
+	// N is the grid dimension (a power of two, >= 8).
+	N int
+	// Steps is the number of Jacobi sweeps.
+	Steps int
+}
+
+// NewOcean returns an Ocean workload.
+func NewOcean(n, steps int) *Ocean { return &Ocean{N: n, Steps: steps} }
+
+// Name implements Workload.
+func (o *Ocean) Name() string { return fmt.Sprintf("ocean-%dx%d", o.N, o.N) }
+
+func (o *Ocean) check() error {
+	if !isPow2(o.N) || o.N < 8 {
+		return fmt.Errorf("ocean: N=%d must be a power of two >= 8", o.N)
+	}
+	if o.Steps < 1 {
+		return fmt.Errorf("ocean: Steps=%d must be >= 1", o.Steps)
+	}
+	return nil
+}
+
+func (o *Ocean) gridA() uint64 { return SharedBase }
+func (o *Ocean) gridB() uint64 { return SharedBase + uint64(o.N*o.N)*8 }
+
+// cell returns the deterministic initial value of grid point (i, j).
+func (o *Ocean) cell(i, j int) float64 {
+	return float64((i*13+j*7)%31) / 31.0
+}
+
+// InitMemory implements Workload: grid A holds the input, grid B a copy
+// (so fixed boundary cells are valid in both buffers).
+func (o *Ocean) InitMemory(m *mem.Memory) error {
+	if err := o.check(); err != nil {
+		return err
+	}
+	for i := 0; i < o.N; i++ {
+		for j := 0; j < o.N; j++ {
+			v := o.cell(i, j)
+			m.WriteFloat(o.gridA()+uint64(i*o.N+j)*8, v)
+			m.WriteFloat(o.gridB()+uint64(i*o.N+j)*8, v)
+		}
+	}
+	return nil
+}
+
+// Programs implements Workload.
+func (o *Ocean) Programs(numCores int) ([]*isa.Program, error) {
+	if err := o.check(); err != nil {
+		return nil, err
+	}
+	progs := make([]*isa.Program, numCores)
+	for tid := 0; tid < numCores; tid++ {
+		progs[tid] = o.program(tid, numCores)
+	}
+	return progs, nil
+}
+
+// Register conventions.
+const (
+	ocRStep isa.Reg = 3  // timestep counter
+	ocRI    isa.Reg = 4  // row
+	ocRJ    isa.Reg = 5  // column
+	ocRIHi  isa.Reg = 6  // end row
+	ocRJHi  isa.Reg = 7  // end column
+	ocRSrc  isa.Reg = 8  // source grid base
+	ocRDst  isa.Reg = 9  // destination grid base
+	ocRRow  isa.Reg = 10 // &src[i][0]
+	ocRDRow isa.Reg = 11 // &dst[i][0]
+	ocRT0   isa.Reg = 12
+	ocRT1   isa.Reg = 13
+	ocRAcc  isa.Reg = 14 // stencil accumulator
+	ocRQrt  isa.Reg = 15 // 0.25
+	ocRTmp  isa.Reg = 16 // for buffer swap
+)
+
+func (o *Ocean) program(tid, p int) *isa.Program {
+	b := isa.NewBuilder(fmt.Sprintf("%s.t%d", o.Name(), tid))
+	n := o.N
+	logN := log2(n)
+	// Interior rows 1..n-2 split into contiguous bands.
+	lo, hi := splitRange(n-2, tid, p)
+	lo, hi = lo+1, hi+1
+
+	b.Li(ocRSrc, int64(o.gridA()))
+	b.Li(ocRDst, int64(o.gridB()))
+	b.Lf(ocRQrt, 0.25)
+	b.Li(ocRStep, int64(o.Steps))
+	stepTop := b.Here()
+
+	if lo < hi {
+		b.Li(ocRI, int64(lo))
+		b.Li(ocRIHi, int64(hi))
+		rowTop := b.Here()
+		// row pointers: src + i*n*8, dst + i*n*8.
+		b.OpImm(isa.Shli, ocRT0, ocRI, int64(logN+3))
+		b.Op3(isa.Add, ocRRow, ocRSrc, ocRT0)
+		b.Op3(isa.Add, ocRDRow, ocRDst, ocRT0)
+		b.Li(ocRJ, 1)
+		b.Li(ocRJHi, int64(n-1))
+		colTop := b.Here()
+		b.OpImm(isa.Shli, ocRT0, ocRJ, 3)
+		b.Op3(isa.Add, ocRT0, ocRRow, ocRT0)
+		// acc = up + down + left + right (up/down rows are ±n*8 bytes).
+		b.Load(ocRAcc, ocRT0, -int64(n)*8)
+		b.Load(ocRT1, ocRT0, int64(n)*8)
+		b.Op3(isa.FAdd, ocRAcc, ocRAcc, ocRT1)
+		b.Load(ocRT1, ocRT0, -8)
+		b.Op3(isa.FAdd, ocRAcc, ocRAcc, ocRT1)
+		b.Load(ocRT1, ocRT0, 8)
+		b.Op3(isa.FAdd, ocRAcc, ocRAcc, ocRT1)
+		b.Op3(isa.FMul, ocRAcc, ocRAcc, ocRQrt)
+		// dst[i][j] = acc.
+		b.OpImm(isa.Shli, ocRT0, ocRJ, 3)
+		b.Op3(isa.Add, ocRT0, ocRDRow, ocRT0)
+		b.Store(ocRAcc, ocRT0, 0)
+		b.Addi(ocRJ, ocRJ, 1)
+		b.Blt(ocRJ, ocRJHi, colTop)
+		b.Addi(ocRI, ocRI, 1)
+		b.Blt(ocRI, ocRIHi, rowTop)
+	}
+	b.Barrier(0)
+	// Swap source and destination grids for the next sweep.
+	b.Mov(ocRTmp, ocRSrc)
+	b.Mov(ocRSrc, ocRDst)
+	b.Mov(ocRDst, ocRTmp)
+
+	b.Subi(ocRStep, ocRStep, 1)
+	b.Bne(ocRStep, isa.Zero, stepTop)
+	b.Halt()
+	return b.MustProgram()
+}
+
+// Reference computes the expected final grid (the buffer written by the
+// last sweep) with the same operation order.
+func (o *Ocean) Reference() []float64 {
+	n := o.N
+	a := make([]float64, n*n)
+	bb := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = o.cell(i, j)
+			bb[i*n+j] = o.cell(i, j)
+		}
+	}
+	src, dst := a, bb
+	for s := 0; s < o.Steps; s++ {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				acc := src[(i-1)*n+j] + src[(i+1)*n+j]
+				acc += src[i*n+j-1]
+				acc += src[i*n+j+1]
+				dst[i*n+j] = acc * 0.25
+			}
+		}
+		src, dst = dst, src
+	}
+	return src // the grid most recently written
+}
+
+// Verify checks the final grid bit for bit.
+func (o *Ocean) Verify(m *mem.Memory) error {
+	want := o.Reference()
+	base := o.gridA()
+	if o.Steps%2 == 1 {
+		base = o.gridB()
+	}
+	for i := 0; i < o.N; i++ {
+		for j := 0; j < o.N; j++ {
+			got := m.Read(base + uint64(i*o.N+j)*8)
+			if got != isa.F2U(want[i*o.N+j]) {
+				return fmt.Errorf("ocean: cell (%d,%d) = %g, want %g",
+					i, j, isa.U2F(got), want[i*o.N+j])
+			}
+		}
+	}
+	return nil
+}

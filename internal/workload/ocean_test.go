@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOceanReferenceIsJacobi(t *testing.T) {
+	// One sweep on a small grid, checked cell by cell against a direct
+	// stencil evaluation.
+	o := NewOcean(8, 1)
+	got := o.Reference()
+	n := o.N
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			want := (o.cell(i-1, j) + o.cell(i+1, j) + o.cell(i, j-1) + o.cell(i, j+1)) * 0.25
+			if math.Abs(got[i*n+j]-want) > 1e-15 {
+				t.Fatalf("cell (%d,%d) = %g, want %g", i, j, got[i*n+j], want)
+			}
+		}
+	}
+	// Boundary cells never change.
+	for j := 0; j < n; j++ {
+		if got[j] != o.cell(0, j) || got[(n-1)*n+j] != o.cell(n-1, j) {
+			t.Fatal("boundary row changed")
+		}
+	}
+}
+
+func TestOceanConvergesTowardSmooth(t *testing.T) {
+	// Jacobi smoothing must shrink the grid's interior variation.
+	variation := func(g []float64, n int) float64 {
+		v := 0.0
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-2; j++ {
+				d := g[i*n+j] - g[i*n+j+1]
+				v += d * d
+			}
+		}
+		return v
+	}
+	short := NewOcean(16, 1).Reference()
+	long := NewOcean(16, 8).Reference()
+	if variation(long, 16) >= variation(short, 16) {
+		t.Error("more sweeps did not smooth the grid")
+	}
+}
+
+func TestOceanValidation(t *testing.T) {
+	if err := NewOcean(6, 1).check(); err == nil {
+		t.Error("non-power-of-two grid accepted")
+	}
+	if err := NewOcean(16, 0).check(); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := NewOcean(4, 1).Programs(2); err == nil {
+		t.Error("tiny grid accepted")
+	}
+}
+
+func TestOceanPrograms(t *testing.T) {
+	o := NewOcean(16, 2)
+	progs, err := o.Programs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 4 {
+		t.Fatalf("programs = %d", len(progs))
+	}
+	for i, p := range progs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("core %d: %v", i, err)
+		}
+	}
+}
+
+func TestOceanVerifyCatchesCorruption(t *testing.T) {
+	o := NewOcean(8, 1)
+	m := memWithInit(t, o)
+	// Unmodified memory fails (the sweep has not run).
+	if err := o.Verify(m); err == nil {
+		t.Error("verify passed on unswept grid")
+	}
+}

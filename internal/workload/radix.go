@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"fmt"
+
+	"slacksim/internal/isa"
+	"slacksim/internal/mem"
+)
+
+// Radix is one pass of a parallel counting sort (radix 16), shaped like
+// SPLASH-2 Radix: each core histograms its block of keys into a global
+// histogram under per-bucket locks, one core prefix-sums the histogram
+// into bucket offsets, and each core then scatters its keys through
+// lock-protected bucket cursors — all-to-all scatter traffic with
+// migratory lock lines, the one SPLASH pattern the other kernels lack.
+//
+// The scatter order within a bucket depends on core interleaving, so the
+// output is *intentionally* schedule-dependent; Verify checks semantic
+// correctness instead of bit equality: the output must be a permutation
+// of the input with nondecreasing digits. This exercises the simulator's
+// guarantee that any slack schedule still yields a *valid* target
+// execution when the workload synchronizes properly.
+type Radix struct {
+	// Keys is the number of keys.
+	Keys int
+
+	// cores remembers the machine size from the last Programs call.
+	cores int
+}
+
+// radixBuckets is the number of buckets (digit = key & 15).
+const radixBuckets = 16
+
+// NewRadix returns a Radix workload over n keys.
+func NewRadix(n int) *Radix { return &Radix{Keys: n} }
+
+// Name implements Workload.
+func (r *Radix) Name() string { return fmt.Sprintf("radix-%d", r.Keys) }
+
+func (r *Radix) check() error {
+	if r.Keys < radixBuckets || r.Keys > 1<<20 {
+		return fmt.Errorf("radix: Keys=%d out of range", r.Keys)
+	}
+	return nil
+}
+
+// Layout.
+func (r *Radix) inBase() uint64   { return SharedBase }
+func (r *Radix) outBase() uint64  { return r.inBase() + uint64(r.Keys)*8 }
+func (r *Radix) histBase() uint64 { return r.outBase() + uint64(r.Keys)*8 }
+
+// cursorBase holds the per-bucket scatter cursors, one cache line apart
+// so bucket locks contend only on their own line.
+func (r *Radix) cursorBase() uint64 { return r.histBase() + radixBuckets*64 }
+
+func (r *Radix) key(i int) uint64 {
+	return uint64((i*2654435761 + 40503) % (1 << 16))
+}
+
+// InitMemory implements Workload.
+func (r *Radix) InitMemory(m *mem.Memory) error {
+	if err := r.check(); err != nil {
+		return err
+	}
+	for i := 0; i < r.Keys; i++ {
+		m.Write(r.inBase()+uint64(i)*8, r.key(i))
+	}
+	return nil
+}
+
+// Register conventions.
+const (
+	rxRI    isa.Reg = 3
+	rxRHi   isa.Reg = 4
+	rxRKey  isa.Reg = 5
+	rxRDig  isa.Reg = 6
+	rxRT0   isa.Reg = 7
+	rxRT1   isa.Reg = 8
+	rxRIn   isa.Reg = 9
+	rxROut  isa.Reg = 10
+	rxRHist isa.Reg = 11
+	rxRCur  isa.Reg = 12
+	rxRAdr  isa.Reg = 13
+	rxRSum  isa.Reg = 14
+	rxRB    isa.Reg = 15
+)
+
+func (r *Radix) program(tid, p int) *isa.Program {
+	b := isa.NewBuilder(fmt.Sprintf("%s.t%d", r.Name(), tid))
+	lo, hi := splitRange(r.Keys, tid, p)
+
+	b.Li(rxRIn, int64(r.inBase()))
+	b.Li(rxROut, int64(r.outBase()))
+	b.Li(rxRHist, int64(r.histBase()))
+	b.Li(rxRCur, int64(r.cursorBase()))
+
+	// ---- Phase 1: histogram my block under per-bucket locks.
+	if lo < hi {
+		b.Li(rxRI, int64(lo))
+		b.Li(rxRHi, int64(hi))
+		top := b.Here()
+		b.OpImm(isa.Shli, rxRT0, rxRI, 3)
+		b.Op3(isa.Add, rxRAdr, rxRIn, rxRT0)
+		b.Load(rxRKey, rxRAdr, 0)
+		b.OpImm(isa.Andi, rxRDig, rxRKey, radixBuckets-1)
+		// &hist[digit] with 64-byte stride: hist + digit*64.
+		b.OpImm(isa.Shli, rxRT0, rxRDig, 6)
+		b.Op3(isa.Add, rxRAdr, rxRHist, rxRT0)
+		b.Lock(rxRAdr, 8)
+		b.Load(rxRT1, rxRAdr, 0)
+		b.Addi(rxRT1, rxRT1, 1)
+		b.Store(rxRT1, rxRAdr, 0)
+		b.Unlock(rxRAdr, 8)
+		b.Addi(rxRI, rxRI, 1)
+		b.Blt(rxRI, rxRHi, top)
+	}
+	b.Barrier(0)
+
+	// ---- Phase 2: core 0 prefix-sums the histogram into the cursors.
+	if tid == 0 {
+		b.Li(rxRSum, 0)
+		b.Li(rxRB, 0)
+		b.Li(rxRHi, radixBuckets)
+		top := b.Here()
+		b.OpImm(isa.Shli, rxRT0, rxRB, 6)
+		b.Op3(isa.Add, rxRAdr, rxRCur, rxRT0)
+		b.Store(rxRSum, rxRAdr, 0)
+		b.Op3(isa.Add, rxRAdr, rxRHist, rxRT0)
+		b.Load(rxRT1, rxRAdr, 0)
+		b.Op3(isa.Add, rxRSum, rxRSum, rxRT1)
+		b.Addi(rxRB, rxRB, 1)
+		b.Blt(rxRB, rxRHi, top)
+	}
+	b.Barrier(0)
+
+	// ---- Phase 3: scatter my keys through the lock-protected cursors.
+	if lo < hi {
+		b.Li(rxRI, int64(lo))
+		b.Li(rxRHi, int64(hi))
+		top := b.Here()
+		b.OpImm(isa.Shli, rxRT0, rxRI, 3)
+		b.Op3(isa.Add, rxRAdr, rxRIn, rxRT0)
+		b.Load(rxRKey, rxRAdr, 0)
+		b.OpImm(isa.Andi, rxRDig, rxRKey, radixBuckets-1)
+		b.OpImm(isa.Shli, rxRT0, rxRDig, 6)
+		b.Op3(isa.Add, rxRAdr, rxRCur, rxRT0)
+		// slot = cursor[digit]++, under the bucket's lock.
+		b.Lock(rxRAdr, 8)
+		b.Load(rxRT1, rxRAdr, 0)
+		b.Addi(rxRT0, rxRT1, 1)
+		b.Store(rxRT0, rxRAdr, 0)
+		b.Unlock(rxRAdr, 8)
+		// out[slot] = key.
+		b.OpImm(isa.Shli, rxRT1, rxRT1, 3)
+		b.Op3(isa.Add, rxRAdr, rxROut, rxRT1)
+		b.Store(rxRKey, rxRAdr, 0)
+		b.Addi(rxRI, rxRI, 1)
+		b.Blt(rxRI, rxRHi, top)
+	}
+	b.Barrier(0)
+	b.Halt()
+	return b.MustProgram()
+}
+
+// Programs implements Workload.
+func (r *Radix) Programs(numCores int) ([]*isa.Program, error) {
+	if err := r.check(); err != nil {
+		return nil, err
+	}
+	r.cores = numCores
+	progs := make([]*isa.Program, numCores)
+	for tid := 0; tid < numCores; tid++ {
+		progs[tid] = r.program(tid, numCores)
+	}
+	return progs, nil
+}
+
+// Verify checks semantic correctness: the output is a digit-sorted
+// permutation of the input (the within-bucket order is legitimately
+// schedule-dependent).
+func (r *Radix) Verify(m *mem.Memory) error {
+	if err := r.check(); err != nil {
+		return err
+	}
+	counts := map[uint64]int{}
+	for i := 0; i < r.Keys; i++ {
+		counts[r.key(i)]++
+	}
+	prevDigit := uint64(0)
+	for i := 0; i < r.Keys; i++ {
+		k := m.Read(r.outBase() + uint64(i)*8)
+		if counts[k] == 0 {
+			return fmt.Errorf("radix: out[%d] = %d is not an unconsumed input key", i, k)
+		}
+		counts[k]--
+		d := k & (radixBuckets - 1)
+		if d < prevDigit {
+			return fmt.Errorf("radix: digit order broken at out[%d]: %d after %d", i, d, prevDigit)
+		}
+		prevDigit = d
+	}
+	for k, c := range counts {
+		if c != 0 {
+			return fmt.Errorf("radix: key %d lost (%d copies unaccounted)", k, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// TestFFTReferenceIsDFT checks the butterfly-network reference against a
+// naive O(N²) DFT: since the kernel consumes input as if bit-reversed, the
+// network's output must equal the DFT of the bit-reversed input sequence.
+func TestFFTReferenceIsDFT(t *testing.T) {
+	const n = 32
+	f := NewFFT(n)
+	re, im := f.Reference()
+
+	// Bit-reverse the input, then DFT it directly.
+	bits := log2(n)
+	rev := func(i int) int {
+		r := 0
+		for b := 0; b < bits; b++ {
+			r = r<<1 | (i>>b)&1
+		}
+		return r
+	}
+	in := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		r, _ := f.input(rev(i))
+		in[i] = complex(r, 0)
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			sum += in[j] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*j)/float64(n)))
+		}
+		if math.Abs(real(sum)-re[k]) > 1e-6 || math.Abs(imag(sum)-im[k]) > 1e-6 {
+			t.Fatalf("bin %d: network (%g,%g), DFT (%g,%g)",
+				k, re[k], im[k], real(sum), imag(sum))
+		}
+	}
+}
+
+// TestLUReferenceFactorizes multiplies L·U back together and compares with
+// the original matrix.
+func TestLUReferenceFactorizes(t *testing.T) {
+	const n = 16
+	l := NewLU(n)
+	a := l.Reference()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// (L·U)[i][j] = sum_k L[i][k]·U[k][j], L unit lower, U upper.
+			var sum float64
+			for k := 0; k <= min(i, j); k++ {
+				lik := a[i*n+k]
+				if k == i {
+					lik = 1
+				}
+				sum += lik * a[k*n+j]
+			}
+			want := l.element(i, j)
+			if math.Abs(sum-want) > 1e-8*math.Max(1, math.Abs(want)) {
+				t.Fatalf("L·U[%d][%d] = %g, want %g", i, j, sum, want)
+			}
+		}
+	}
+}
+
+// TestBarnesExpectations cross-checks the per-node expectations: a parent
+// node's mass must equal the sum of its children's.
+func TestBarnesExpectations(t *testing.T) {
+	w := NewBarnes(32, 3)
+	internal := w.Bodies - 1
+	for idx := 1; idx <= internal; idx++ {
+		p := w.expectedNodeMass(idx)
+		l := w.expectedNodeMass(2 * idx)
+		r := w.expectedNodeMass(2*idx + 1)
+		if p != l+r {
+			t.Fatalf("node %d mass %d != children %d+%d", idx, p, l, r)
+		}
+	}
+	// Root holds everything.
+	if w.expectedNodeMass(1) != w.TotalMass()*int64(w.Steps) {
+		t.Error("root mass wrong")
+	}
+}
+
+// TestWaterReferenceSymmetry: total force over all molecules is zero every
+// step (Newton's third law in fixed point), so positions drift but their
+// force-sum stays balanced. We check by re-running the reference with an
+// instrumented loop.
+func TestWaterReferenceSymmetry(t *testing.T) {
+	w := NewWater(16, 1)
+	n := w.Molecules
+	pos := make([]float64, n)
+	force := make([]int64, n)
+	for i := range pos {
+		pos[i] = w.initPos(i)
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			f := pairForce(pos[i], pos[j])
+			force[i] += f
+			force[j] -= f
+			total += 0 // pairwise cancel by construction
+		}
+	}
+	var sum int64
+	for _, f := range force {
+		sum += f
+	}
+	if sum != 0 {
+		t.Errorf("net force %d, want 0", sum)
+	}
+	if total != 0 {
+		t.Error("bookkeeping broke")
+	}
+}
+
+// TestWaterReferenceMoves sanity-checks that the dynamics actually change
+// positions (the kernel is not a no-op).
+func TestWaterReferenceMoves(t *testing.T) {
+	w := NewWater(8, 2)
+	ref := w.Reference()
+	moved := false
+	for i := range ref {
+		if ref[i] != w.initPos(i) {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("no molecule moved")
+	}
+}
+
+// TestPrivateExpectedSum cross-checks the closed form.
+func TestPrivateExpectedSum(t *testing.T) {
+	p := NewPrivate(4, 3)
+	// words 0..3 plus tid: tid=2 → 2+3+4+5 = 14, ×3 passes = 42.
+	if got := p.ExpectedSum(2); got != 42 {
+		t.Errorf("ExpectedSum(2) = %d, want 42", got)
+	}
+}

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"fmt"
+
+	"slacksim/internal/isa"
+	"slacksim/internal/mem"
+)
+
+// Water is an O(N²) molecular-dynamics kernel shaped like SPLASH-2
+// Water-Nsquared (216 molecules in the paper): every timestep, each core
+// computes the pair interactions for its share of molecules, reading every
+// other molecule's position (all-to-all read sharing) and accumulating
+// forces into *both* molecules of a pair under per-molecule locks —
+// Water's signature migratory lock pattern. A barrier separates the force
+// phase from the (owner-computes) position update phase.
+//
+// Positions are floating point; force accumulators are fixed-point
+// integers (scaled by 2^16) so the final state is independent of lock
+// acquisition order and verifiable bit for bit.
+type Water struct {
+	// Molecules is the molecule count.
+	Molecules int
+	// Steps is the number of timesteps.
+	Steps int
+}
+
+// NewWater returns a Water workload.
+func NewWater(n, steps int) *Water { return &Water{Molecules: n, Steps: steps} }
+
+// Name implements Workload.
+func (w *Water) Name() string { return fmt.Sprintf("water-%d", w.Molecules) }
+
+func (w *Water) check() error {
+	if w.Molecules < 4 || w.Molecules > 1<<20 {
+		return fmt.Errorf("water: Molecules=%d out of range", w.Molecules)
+	}
+	if w.Steps < 1 {
+		return fmt.Errorf("water: Steps=%d must be >= 1", w.Steps)
+	}
+	return nil
+}
+
+// Layout: molecule i owns one cache line.
+//
+//	+0 position (float64 bits)
+//	+8 force accumulator (fixed-point int, scale 2^16)
+const (
+	wMolPos   = 0
+	wMolForce = 8
+	wMolSize  = 64
+	// wScale is the fixed-point scale for forces.
+	wScale = 1 << 16
+)
+
+func (w *Water) molAddr(i int) uint64 { return SharedBase + uint64(i)*wMolSize }
+
+// initPos is molecule i's deterministic initial position.
+func (w *Water) initPos(i int) float64 {
+	return float64(i) + float64((i*31)%7)/7.0
+}
+
+// InitMemory implements Workload.
+func (w *Water) InitMemory(m *mem.Memory) error {
+	if err := w.check(); err != nil {
+		return err
+	}
+	for i := 0; i < w.Molecules; i++ {
+		m.WriteFloat(w.molAddr(i)+wMolPos, w.initPos(i))
+		m.Write(w.molAddr(i)+wMolForce, 0)
+	}
+	return nil
+}
+
+// pairForce computes the fixed-point interaction for positions a, b: the
+// (symmetric) force magnitude 1/((a-b)² + 1) scaled to integer.
+func pairForce(a, b float64) int64 {
+	d := a - b
+	f := 1.0 / (d*d + 1.0)
+	return int64(f * wScale)
+}
+
+// Programs implements Workload.
+func (w *Water) Programs(numCores int) ([]*isa.Program, error) {
+	if err := w.check(); err != nil {
+		return nil, err
+	}
+	progs := make([]*isa.Program, numCores)
+	for tid := 0; tid < numCores; tid++ {
+		progs[tid] = w.program(tid, numCores)
+	}
+	return progs, nil
+}
+
+// Register conventions.
+const (
+	waRStep isa.Reg = 3
+	waRI    isa.Reg = 4
+	waRJ    isa.Reg = 5
+	waRHi   isa.Reg = 6
+	waRN    isa.Reg = 7
+	waRMolI isa.Reg = 8  // &mol[i]
+	waRMolJ isa.Reg = 9  // &mol[j]
+	waRPi   isa.Reg = 10 // pos[i]
+	waRPj   isa.Reg = 11 // pos[j]
+	waRF    isa.Reg = 12 // force (int)
+	waRT0   isa.Reg = 13
+	waRT1   isa.Reg = 14
+	waRBase isa.Reg = 15 // &mol[0]
+	waROne  isa.Reg = 16 // 1.0
+	waRDt   isa.Reg = 17 // position step scale (1/2^24 as float)
+)
+
+func (w *Water) program(tid, p int) *isa.Program {
+	b := isa.NewBuilder(fmt.Sprintf("%s.t%d", w.Name(), tid))
+	lo, hi := splitRange(w.Molecules, tid, p)
+
+	b.Li(waRBase, int64(w.molAddr(0)))
+	b.Li(waRN, int64(w.Molecules))
+	b.Lf(waROne, 1.0)
+	b.Lf(waRDt, 1.0/float64(1<<24))
+	b.Li(waRStep, int64(w.Steps))
+	stepTop := b.Here()
+
+	// ---- Force phase: pairs (i, j) with j > i, for my i's.
+	if lo < hi {
+		b.Li(waRI, int64(lo))
+		b.Li(waRHi, int64(hi))
+		iTop := b.Here()
+		// &mol[i] = base + i*64; pos[i].
+		b.OpImm(isa.Shli, waRT0, waRI, 6)
+		b.Op3(isa.Add, waRMolI, waRBase, waRT0)
+		b.Load(waRPi, waRMolI, wMolPos)
+		b.Addi(waRJ, waRI, 1)
+		jDone := b.NewLabel()
+		b.Bge(waRJ, waRN, jDone)
+		jTop := b.Here()
+		b.OpImm(isa.Shli, waRT0, waRJ, 6)
+		b.Op3(isa.Add, waRMolJ, waRBase, waRT0)
+		b.Load(waRPj, waRMolJ, wMolPos)
+		// f = int((1/((pi-pj)^2+1)) * 2^16).
+		b.Op3(isa.FSub, waRT0, waRPi, waRPj)
+		b.Op3(isa.FMul, waRT0, waRT0, waRT0)
+		b.Op3(isa.FAdd, waRT0, waRT0, waROne)
+		b.Op3(isa.FDiv, waRT0, waROne, waRT0)
+		b.Li(waRT1, wScale)
+		b.OpImm(isa.Itof, waRT1, waRT1, 0)
+		b.Op3(isa.FMul, waRT0, waRT0, waRT1)
+		b.OpImm(isa.Ftoi, waRF, waRT0, 0)
+		// force[i] += f under lock i; force[j] -= f under lock j.
+		b.Lock(waRMolI, wMolForce+8) // lock word shares the molecule line
+		b.Load(waRT0, waRMolI, wMolForce)
+		b.Op3(isa.Add, waRT0, waRT0, waRF)
+		b.Store(waRT0, waRMolI, wMolForce)
+		b.Unlock(waRMolI, wMolForce+8)
+		b.Lock(waRMolJ, wMolForce+8)
+		b.Load(waRT0, waRMolJ, wMolForce)
+		b.Op3(isa.Sub, waRT0, waRT0, waRF)
+		b.Store(waRT0, waRMolJ, wMolForce)
+		b.Unlock(waRMolJ, wMolForce+8)
+		b.Addi(waRJ, waRJ, 1)
+		b.Blt(waRJ, waRN, jTop)
+		b.Bind(jDone)
+		b.Addi(waRI, waRI, 1)
+		b.Blt(waRI, waRHi, iTop)
+	}
+	b.Barrier(0)
+
+	// ---- Update phase: pos[i] += float(force[i]) * dt; force[i] = 0.
+	if lo < hi {
+		b.Li(waRI, int64(lo))
+		b.Li(waRHi, int64(hi))
+		uTop := b.Here()
+		b.OpImm(isa.Shli, waRT0, waRI, 6)
+		b.Op3(isa.Add, waRMolI, waRBase, waRT0)
+		b.Load(waRT0, waRMolI, wMolForce)
+		b.OpImm(isa.Itof, waRT0, waRT0, 0)
+		b.Op3(isa.FMul, waRT0, waRT0, waRDt)
+		b.Load(waRT1, waRMolI, wMolPos)
+		b.Op3(isa.FAdd, waRT1, waRT1, waRT0)
+		b.Store(waRT1, waRMolI, wMolPos)
+		b.Store(isa.Zero, waRMolI, wMolForce)
+		b.Addi(waRI, waRI, 1)
+		b.Blt(waRI, waRHi, uTop)
+	}
+	b.Barrier(0)
+
+	b.Subi(waRStep, waRStep, 1)
+	b.Bne(waRStep, isa.Zero, stepTop)
+	b.Halt()
+	return b.MustProgram()
+}
+
+// Reference computes the expected final positions (integer force sums are
+// order-independent, so this matches the simulation bit for bit).
+func (w *Water) Reference() []float64 {
+	n := w.Molecules
+	pos := make([]float64, n)
+	force := make([]int64, n)
+	for i := range pos {
+		pos[i] = w.initPos(i)
+	}
+	dt := 1.0 / float64(1<<24)
+	for s := 0; s < w.Steps; s++ {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				f := pairForce(pos[i], pos[j])
+				force[i] += f
+				force[j] -= f
+			}
+		}
+		for i := 0; i < n; i++ {
+			pos[i] += float64(force[i]) * dt
+			force[i] = 0
+		}
+	}
+	return pos
+}
+
+// Verify checks final positions bit for bit.
+func (w *Water) Verify(m *mem.Memory) error {
+	want := w.Reference()
+	for i := 0; i < w.Molecules; i++ {
+		got := m.Read(w.molAddr(i) + wMolPos)
+		if got != isa.F2U(want[i]) {
+			return fmt.Errorf("water: pos[%d] = %g, want %g", i, isa.U2F(got), want[i])
+		}
+	}
+	return nil
+}

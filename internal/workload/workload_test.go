@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slacksim/internal/isa"
+	"slacksim/internal/mem"
+)
+
+func TestSplitRangeCoversAll(t *testing.T) {
+	prop := func(items8, p8 uint8) bool {
+		items := int(items8)
+		p := int(p8%8) + 1
+		covered := 0
+		prevHi := 0
+		for tid := 0; tid < p; tid++ {
+			lo, hi := splitRange(items, tid, p)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == items && prevHi == items
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitRangeBalanced(t *testing.T) {
+	// No core's share exceeds another's by more than one item.
+	for items := 0; items < 40; items++ {
+		for p := 1; p <= 8; p++ {
+			min, max := items, 0
+			for tid := 0; tid < p; tid++ {
+				lo, hi := splitRange(items, tid, p)
+				if hi-lo < min {
+					min = hi - lo
+				}
+				if hi-lo > max {
+					max = hi - lo
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("items=%d p=%d imbalance %d", items, p, max-min)
+			}
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if !isPow2(1) || !isPow2(64) || isPow2(0) || isPow2(3) || isPow2(-4) {
+		t.Error("isPow2 wrong")
+	}
+	for v, want := range map[int]int{1: 0, 2: 1, 8: 3, 9: 3, 1024: 10} {
+		if got := log2(v); got != want {
+			t.Errorf("log2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestAddressRegionsDisjoint(t *testing.T) {
+	// Lock words, shared data and private regions must not overlap.
+	if LockBase <= SharedBase+1<<24 {
+		t.Error("lock region too close to shared region")
+	}
+	for tid := 0; tid < 8; tid++ {
+		if PrivateBase(tid) <= LockBase {
+			t.Error("private region overlaps locks")
+		}
+		if tid > 0 && PrivateBase(tid) < PrivateBase(tid-1)+privateStride {
+			t.Error("private regions overlap each other")
+		}
+	}
+	if LockAddr(1)-LockAddr(0) != LockStride {
+		t.Error("lock stride wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"fft", "lu", "barnes", "water", "falseshare", "private"} {
+		w, err := ByName(name, 1)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if w.Name() == "" {
+			t.Errorf("%q has empty name", name)
+		}
+		progs, err := w.Programs(8)
+		if err != nil {
+			t.Errorf("%q Programs: %v", name, err)
+			continue
+		}
+		for i, p := range progs {
+			if err := p.Validate(); err != nil {
+				t.Errorf("%q core %d invalid: %v", name, i, err)
+			}
+		}
+		if err := w.InitMemory(mem.New()); err != nil {
+			t.Errorf("%q InitMemory: %v", name, err)
+		}
+	}
+	if _, err := ByName("nonsense", 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	// Scale below 1 is clamped, not rejected.
+	if _, err := ByName("fft", 0); err != nil {
+		t.Errorf("scale 0: %v", err)
+	}
+}
+
+func TestProgramsEndWithBarrierThenHalt(t *testing.T) {
+	// Every multi-core kernel must have each thread pass the same number
+	// of barriers and end with Halt, or barrier participants would hang.
+	for _, name := range []string{"fft", "lu", "barnes", "water", "falseshare"} {
+		w, err := ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs, err := w.Programs(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantBarriers = -1
+		for tid, p := range progs {
+			if p.Insts[p.Len()-1].Op != isa.Halt {
+				t.Errorf("%s core %d does not end with halt", name, tid)
+			}
+			// Static barrier count must agree across threads (they all
+			// execute every barrier site the same number of times by
+			// construction: same loop bounds).
+			n := 0
+			for _, in := range p.Insts {
+				if in.Op == isa.Barrier {
+					n++
+				}
+			}
+			if wantBarriers == -1 {
+				wantBarriers = n
+			} else if n != wantBarriers {
+				t.Errorf("%s core %d has %d barrier sites, core 0 has %d",
+					name, tid, n, wantBarriers)
+			}
+		}
+	}
+}
+
+func TestWorkloadParameterValidation(t *testing.T) {
+	cases := []Workload{
+		NewFFT(6),        // not a power of two
+		NewFFT(4),        // too small
+		NewLU(3),         // not a power of two
+		NewBarnes(10, 1), // bodies not a power of two
+		NewBarnes(16, 0), // zero steps
+		NewWater(1, 1),   // too few molecules
+		NewWater(8, 0),   // zero steps
+		NewFalseShare(0), // zero iterations
+		NewPrivate(0, 1), // zero words
+	}
+	for i, w := range cases {
+		if err := w.InitMemory(mem.New()); err == nil {
+			if _, err2 := w.Programs(4); err2 == nil {
+				t.Errorf("case %d (%s): invalid parameters accepted", i, w.Name())
+			}
+		}
+	}
+	// LU also rejects non-power-of-two core counts.
+	if _, err := NewLU(16).Programs(3); err == nil {
+		t.Error("LU accepted 3 cores")
+	}
+	// FalseShare rejects more cores than fit one line.
+	if _, err := NewFalseShare(8).Programs(9); err == nil {
+		t.Error("FalseShare accepted 9 cores")
+	}
+}
+
+// memWithInit builds a memory image initialized by w.
+func memWithInit(t *testing.T, w Workload) *mem.Memory {
+	t.Helper()
+	m := mem.New()
+	if err := w.InitMemory(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

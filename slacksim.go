@@ -1,0 +1,227 @@
+// Package slacksim is a parallel simulator of chip multiprocessors (CMPs)
+// on CMPs with adaptive and speculative slack, reproducing Chen, Dabbiru,
+// Annavaram and Dubois, "Adaptive and Speculative Slack Simulations of
+// CMPs on CMPs" (MoBS 2010).
+//
+// The simulated target is a snooping-bus CMP of out-of-order cores with
+// private MESI L1s and a shared L2. Each target core is simulated by its
+// own simulation thread and one simulation manager thread models the
+// shared memory system and paces the simulation. The slack between any
+// two cores' clocks is governed by a scheme: cycle-by-cycle (exact),
+// bounded slack, unbounded slack, quantum, or adaptive slack that holds a
+// target violation rate; periodic checkpoints with rollback implement
+// speculative slack simulation.
+//
+// Quick start:
+//
+//	sim, err := slacksim.New(slacksim.Config{
+//		Workload: "fft",
+//		Scheme:   slacksim.Schemes.Bounded(10),
+//	})
+//	if err != nil { ... }
+//	res, err := sim.Run()
+//	fmt.Println(res)
+package slacksim
+
+import (
+	"fmt"
+
+	"slacksim/internal/adaptive"
+	"slacksim/internal/engine"
+	"slacksim/internal/trace"
+	"slacksim/internal/violation"
+	"slacksim/internal/workload"
+)
+
+// Results summarizes a finished run; see the fields for the simulated
+// execution time, violation counts and rates, host costs, and
+// checkpoint/rollback accounting.
+type Results = engine.Results
+
+// Scheme is a fully-parameterized synchronization scheme between
+// simulation threads.
+type Scheme = engine.Scheme
+
+// AdaptiveConfig parameterizes the adaptive slack controller.
+type AdaptiveConfig = adaptive.Config
+
+// IntervalReport carries per-checkpoint-interval violation statistics
+// (fraction of intervals violating, mean first-violation distance).
+type IntervalReport = violation.IntervalReport
+
+// Schemes groups the scheme constructors.
+var Schemes = struct {
+	// CC is exact cycle-by-cycle simulation, the gold standard.
+	CC func() Scheme
+	// Bounded keeps all core clocks within the given slack bound.
+	Bounded func(bound int64) Scheme
+	// Unbounded lets every core run free (fastest, least accurate).
+	Unbounded func() Scheme
+	// Quantum barriers all cores every q cycles.
+	Quantum func(q int64) Scheme
+	// Adaptive steers the slack bound to hold a target violation rate.
+	Adaptive func(cfg AdaptiveConfig) Scheme
+	// AdaptiveDefault is Adaptive with the paper's base configuration
+	// (0.01% target, 5% band).
+	AdaptiveDefault func() Scheme
+	// LaxP2P is Graphite-style random-pairwise synchronization (the
+	// related-work scheme the paper planned to explore): every period
+	// cycles a core syncs with one random partner, waiting when more
+	// than maxAhead cycles past it.
+	LaxP2P func(period, maxAhead int64) Scheme
+}{
+	CC:        engine.CycleByCycle,
+	Bounded:   engine.BoundedSlack,
+	Unbounded: engine.UnboundedSlack,
+	Quantum:   engine.QuantumScheme,
+	Adaptive:  engine.AdaptiveSlack,
+	AdaptiveDefault: func() Scheme {
+		return engine.AdaptiveSlack(adaptive.DefaultConfig())
+	},
+	LaxP2P: engine.LaxP2PScheme,
+}
+
+// Config describes a simulation to construct with New.
+type Config struct {
+	// Cores is the number of target cores (default 8, the paper's CMP).
+	Cores int
+	// Workload names a built-in benchmark: "fft", "lu", "barnes",
+	// "water", "falseshare", or "private".
+	Workload string
+	// Scale multiplies the workload's input size (default 1, the quick
+	// size; larger scales approach the paper's inputs).
+	Scale int
+	// Scheme is the slack scheme (default cycle-by-cycle).
+	Scheme Scheme
+	// MaxInstructions stops the run after this many total committed
+	// instructions (0 = run the programs to completion).
+	MaxInstructions uint64
+	// Seed drives the deterministic host's scheduling (ignored by the
+	// parallel host).
+	Seed int64
+	// CheckpointInterval, when positive, takes a global checkpoint every
+	// that many simulated cycles.
+	CheckpointInterval int64
+	// Rollback enables speculative slack simulation: restore the last
+	// checkpoint on a violation and replay cycle-by-cycle to the next
+	// boundary. Deterministic host only.
+	Rollback bool
+	// Parallel selects the goroutine-parallel host (one goroutine per
+	// core plus a manager, as the paper runs Pthreads) instead of the
+	// seeded deterministic host.
+	Parallel bool
+	// TrackIntervals enables per-interval violation statistics for the
+	// given interval lengths (the paper's Tables 3 and 4).
+	TrackIntervals []int64
+	// MapViolationsOnly restricts adaptation and rollback to cache-map
+	// violations, the paper's suggested refinement for cutting rollback
+	// costs.
+	MapViolationsOnly bool
+	// TraceEvents, when positive, keeps a ring of the last N noteworthy
+	// events (serviced requests, violations, bound changes, checkpoints,
+	// rollbacks), retrievable with Simulation.Trace after the run.
+	// Deterministic host only.
+	TraceEvents int
+}
+
+// Simulation is a constructed machine ready to run once.
+type Simulation struct {
+	machine *engine.Machine
+	wload   workload.Workload
+	runCfg  engine.RunConfig
+	par     bool
+	used    bool
+}
+
+// New builds a simulation from cfg.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.Cores == 0 {
+		cfg.Cores = 8
+	}
+	if cfg.Workload == "" {
+		return nil, fmt.Errorf("slacksim: Config.Workload is required")
+	}
+	w, err := workload.ByName(cfg.Workload, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithWorkload(cfg, w)
+}
+
+// NewWithWorkload builds a simulation running a custom workload (anything
+// satisfying the workload.Workload contract: per-core programs plus a
+// memory initializer).
+func NewWithWorkload(cfg Config, w workload.Workload) (*Simulation, error) {
+	if cfg.Cores == 0 {
+		cfg.Cores = 8
+	}
+	m, err := engine.NewMachine(engine.MachineConfig{NumCores: cfg.Cores}, w)
+	if err != nil {
+		return nil, err
+	}
+	rc := engine.RunConfig{
+		Scheme:             cfg.Scheme,
+		MaxInstructions:    cfg.MaxInstructions,
+		Seed:               cfg.Seed,
+		CheckpointInterval: cfg.CheckpointInterval,
+		Rollback:           cfg.Rollback,
+		TrackIntervals:     cfg.TrackIntervals,
+	}
+	if cfg.MapViolationsOnly {
+		rc.Selected = []violation.Type{violation.Map}
+	}
+	if cfg.TraceEvents > 0 {
+		rc.Tracer = trace.NewRing(cfg.TraceEvents)
+	}
+	return &Simulation{machine: m, wload: w, runCfg: rc, par: cfg.Parallel}, nil
+}
+
+// Run simulates to completion and returns the results. A Simulation runs
+// once; build a new one for another run.
+func (s *Simulation) Run() (Results, error) {
+	if s.used {
+		return Results{}, fmt.Errorf("slacksim: this simulation already ran; construct a new one")
+	}
+	s.used = true
+	if s.par {
+		return engine.RunParallel(s.machine, s.runCfg)
+	}
+	return engine.Run(s.machine, s.runCfg)
+}
+
+// Verify checks the workload's functional result in the simulated memory
+// against its reference implementation, when the workload supports it.
+func (s *Simulation) Verify() error {
+	v, ok := s.wload.(workload.Verifier)
+	if !ok {
+		return fmt.Errorf("slacksim: workload %s has no verifier", s.wload.Name())
+	}
+	return v.Verify(s.machine.Memory())
+}
+
+// Machine exposes the underlying machine for inspection (per-core caches,
+// the status map, target memory). Intended for tests and tools.
+func (s *Simulation) Machine() *engine.Machine { return s.machine }
+
+// Trace returns the retained event trace as text (empty when tracing was
+// not enabled).
+func (s *Simulation) Trace() string {
+	if s.runCfg.Tracer == nil {
+		return ""
+	}
+	return s.runCfg.Tracer.String()
+}
+
+// MustRun builds and runs a simulation, panicking on error; a convenience
+// for examples and benchmarks.
+func MustRun(cfg Config) Results {
+	sim, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
