@@ -1,0 +1,76 @@
+// Command stress hammers the goroutine-parallel host with randomized
+// short configurations — scheme × core count × checkpoint interval × seed
+// — and checks liveness (every run terminates under the stall watchdog),
+// the MaxCycles horizon invariant, functional correctness, and
+// cycle-for-cycle parallel-vs-deterministic equivalence for the CC
+// scheme. It is the long-running companion of the in-tree harness
+// (internal/engine/stress_test.go); run it under the race detector for
+// the full effect:
+//
+//	go run -race ./cmd/stress -n 500
+//	go run -race ./cmd/stress -n 0 -seed 7   # edge scenarios only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"slacksim/internal/stress"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 200, "randomized scenarios to run (on top of the fixed edge scenarios)")
+		seed    = flag.Int64("seed", 0, "generator seed (0 = derive from the clock)")
+		stall   = flag.Duration("stall", 20*time.Second, "per-run stall watchdog budget")
+		keepOn  = flag.Bool("keep-going", false, "keep running after a failure and report the total")
+		verbose = flag.Bool("v", false, "log every scenario, not just failures")
+	)
+	flag.Parse()
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	fmt.Printf("stress: seed=%d n=%d stall=%v\n", *seed, *n, *stall)
+	rng := rand.New(rand.NewSource(*seed))
+
+	cfgs := stress.Edges()
+	for i := 0; i < *n; i++ {
+		// Two equivalence draws per liveness draw: cross-host divergence
+		// is the highest-value failure the harness can catch.
+		if i%3 == 2 {
+			cfgs = append(cfgs, stress.Random(rng))
+		} else {
+			cfgs = append(cfgs, stress.RandomEquivalence(rng))
+		}
+	}
+
+	start := time.Now()
+	failures, equiv := 0, 0
+	for i, cfg := range cfgs {
+		cfg.StallTimeout = *stall
+		res, err := stress.Execute(cfg)
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL %4d {%s}\n  %v\n", i, cfg, err)
+			if !*keepOn {
+				os.Exit(1)
+			}
+			continue
+		}
+		if res.Det != nil {
+			equiv++
+		}
+		if *verbose {
+			fmt.Printf("ok   %4d {%s} cycles=%d committed=%d\n",
+				i, cfg, res.Par.Cycles, res.Par.Committed)
+		}
+	}
+	fmt.Printf("stress: %d scenarios (%d equivalence-checked) in %v, %d failures\n",
+		len(cfgs), equiv, time.Since(start).Round(time.Millisecond), failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -30,6 +30,27 @@ type p2pState struct {
 // local time it may advance while it stays below its max local time; the
 // manager recomputes the global time (the minimum local time) and raises
 // the max local times according to the scheme.
+//
+// Memory-model contract (the invariants the pacing protocol relies on):
+//
+//   - localTime[i], committed[i] and retired[i] are written only by core
+//     i's goroutine and read by the manager and watchdog through the
+//     atomics; maxLocal[i] is written only by the manager (and once at
+//     startup before the core goroutines exist) and read by core i.
+//   - stop is sticky: it transitions false→true exactly once.
+//   - Any write that can unpark a core — raising maxLocal[i] or setting
+//     stop — must be followed by cond.Broadcast() *while holding mu*. A
+//     core parks by testing stop/maxLocal and then blocking in cond.Wait
+//     inside one mu critical section, so a broadcast issued under mu can
+//     never land in the window between the core's test and its wait. A
+//     broadcast outside mu can (the classic lost wakeup): the core
+//     observes the old state, the signaler stores and broadcasts while
+//     the core is between its test and cond.Wait, and the core then
+//     sleeps forever. All shutdown paths therefore go through shutdown().
+//   - parked[i] is guarded by mu; it is only meaningful while core i
+//     holds mu or is blocked in cond.Wait.
+//   - global is owned by the manager goroutine; globalNow mirrors it for
+//     the watchdog. gqDepth mirrors len(gq) the same way.
 type parRun struct {
 	m   *Machine
 	cfg RunConfig
@@ -56,6 +77,12 @@ type parRun struct {
 	arrival uint64
 	meter   costMeter
 	global  int64
+
+	// globalNow and gqDepth mirror global and len(gq) for the watchdog;
+	// stallErr is published by the watchdog before it force-stops the run.
+	globalNow atomic.Int64
+	gqDepth   atomic.Int64
+	stallErr  atomic.Pointer[StallError]
 
 	ctrl      *adaptive.Controller
 	bound     int64
@@ -138,9 +165,22 @@ func RunParallel(m *Machine, cfg RunConfig) (Results, error) {
 			r.coreLoop(i)
 		}(i)
 	}
+	var wdDone chan struct{}
+	if cfg.StallTimeout > 0 {
+		wdDone = make(chan struct{})
+		go r.watchdog(wdDone)
+	}
 	r.managerLoop()
-	r.cond.Broadcast()
+	// The manager already broadcast stop via shutdown(); repeat it here so
+	// the exit does not depend on which return path the manager took.
+	r.shutdown()
 	wg.Wait()
+	if wdDone != nil {
+		close(wdDone)
+	}
+	if serr := r.stallErr.Load(); serr != nil {
+		return Results{}, serr
+	}
 	// Trailing work issued just before the cores stopped.
 	r.drainAll()
 	r.recomputeGlobal()
@@ -148,9 +188,24 @@ func RunParallel(m *Machine, cfg RunConfig) (Results, error) {
 	return r.results(time.Since(start)), nil
 }
 
-// maxLocalNow computes the scheme's current max local time.
+// shutdown raises stop and wakes every parked core. Per the memory-model
+// contract on parRun, the store and broadcast happen under mu so a core
+// between its park test and cond.Wait cannot miss the wakeup.
+func (r *parRun) shutdown() {
+	r.mu.Lock()
+	r.stop.Store(true)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// maxLocalNow computes the scheme's current max local time, clamped to
+// the simulation horizon (MaxCycles) and the next checkpoint boundary so
+// no core thread can ever tick past either wall.
 func (r *parRun) maxLocalNow() int64 {
 	ml := maxLocalFor(r.cfg.Scheme.Kind, r.global, r.bound, r.cfg.Scheme.Quantum)
+	if ml > r.cfg.MaxCycles {
+		ml = r.cfg.MaxCycles
+	}
 	if r.nextCkpt > 0 && ml > r.nextCkpt {
 		ml = r.nextCkpt
 	}
@@ -165,12 +220,22 @@ func (r *parRun) kickManager() {
 	}
 }
 
+// parkHook, when non-nil, is called by a core goroutine after it has
+// evaluated its park predicate (stop observed false, clock at the wall)
+// and before it blocks in cond.Wait, while holding mu. Liveness tests use
+// it to hold a core captive inside exactly the lost-wakeup window and
+// prove a broadcast issued under mu cannot land there. Always nil in
+// production runs.
+var parkHook func(core int)
+
 // coreLoop is one core thread: advance while below the max local time,
 // park when the wall is hit, exit on halt or stop.
 func (r *parRun) coreLoop(i int) {
 	c := r.m.cores[i]
 	var p2p *p2pState
-	if r.cfg.Scheme.Kind == LaxP2P {
+	// LaxP2P pairing needs a partner to pick; on a single-core machine the
+	// gate degenerates to free-running (and Intn(0) would panic).
+	if r.cfg.Scheme.Kind == LaxP2P && len(r.localTime) > 1 {
 		p2p = &p2pState{
 			rng:     rand.New(rand.NewSource(r.cfg.Seed + int64(i)*7919)),
 			next:    r.cfg.Scheme.SyncPeriod,
@@ -207,6 +272,9 @@ func (r *parRun) coreLoop(i int) {
 		r.parked[i] = true
 		r.kickManager()
 		for !r.stop.Load() && c.Now() >= r.maxLocal[i].Load() {
+			if parkHook != nil {
+				parkHook(i)
+			}
 			r.cond.Wait()
 		}
 		r.parked[i] = false
@@ -249,20 +317,29 @@ func (r *parRun) p2pGate(i int, now int64, s *p2pState) bool {
 func (r *parRun) managerLoop() {
 	for {
 		<-r.kick
+		if r.stop.Load() {
+			// The watchdog force-stopped the run while the manager was
+			// waiting for work.
+			return
+		}
 		for {
 			r.drainAll()
 			r.recomputeGlobal()
 			r.service()
 			r.adapt()
-			if r.doneNow() {
-				r.stop.Store(true)
-				r.cond.Broadcast()
+			if r.stop.Load() || r.doneNow() {
+				r.shutdown()
 				return
 			}
 			if r.nextCkpt > 0 && r.global == r.nextCkpt && !r.tryCheckpoint() {
 				// Wait for the stragglers to park at the boundary.
 			}
+			// Raise the max local times. Stores and broadcast happen under
+			// mu (see the parRun contract): a core that read the old wall
+			// and is about to park must either see the new value in its
+			// re-test under mu or be woken by this broadcast.
 			ml := r.maxLocalNow()
+			r.mu.Lock()
 			changed := false
 			for i := range r.maxLocal {
 				if r.maxLocal[i].Load() != ml {
@@ -271,10 +348,9 @@ func (r *parRun) managerLoop() {
 				}
 			}
 			if changed {
-				r.mu.Lock()
 				r.cond.Broadcast()
-				r.mu.Unlock()
 			}
+			r.mu.Unlock()
 			if r.quietQueues() {
 				break
 			}
@@ -325,6 +401,7 @@ func (r *parRun) recomputeGlobal() {
 	}
 	if min >= 0 {
 		r.global = min
+		r.globalNow.Store(min)
 	}
 }
 
@@ -339,6 +416,7 @@ func (r *parRun) drainAll() {
 			r.gq = append(r.gq, pendingReq{req: req, arr: r.arrival})
 		}
 	}
+	r.gqDepth.Store(int64(len(r.gq)))
 }
 
 func (r *parRun) service() {
@@ -350,6 +428,7 @@ func (r *parRun) service() {
 		r.serveOne(p.req)
 	}
 	r.gq = r.gq[:0]
+	r.gqDepth.Store(0)
 }
 
 func (r *parRun) serviceConservative(safeTime int64) {
@@ -363,6 +442,7 @@ func (r *parRun) serviceConservative(safeTime int64) {
 		n++
 	}
 	r.gq = r.gq[n:]
+	r.gqDepth.Store(int64(len(r.gq)))
 }
 
 func (r *parRun) serviceAll() { r.serviceConservative(unboundedSentinel) }

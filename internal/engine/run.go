@@ -58,6 +58,14 @@ type RunConfig struct {
 	// Tracer, when non-nil, records serviced requests, violations, bound
 	// changes, checkpoints and rollbacks for post-run inspection.
 	Tracer *trace.Ring
+	// StallTimeout is the parallel host's liveness watchdog budget: if no
+	// core makes forward progress (local time, committed instructions, or
+	// retirement) for this much wall-clock time, the run is force-stopped
+	// and RunParallel returns a *StallError with a structured dump of the
+	// pacing state instead of hanging. 0 selects the default (30s);
+	// negative disables the watchdog. The deterministic host is
+	// single-threaded and cannot stall, so it ignores this.
+	StallTimeout time.Duration
 }
 
 func (cfg RunConfig) withDefaults() RunConfig {
@@ -72,6 +80,9 @@ func (cfg RunConfig) withDefaults() RunConfig {
 	}
 	if cfg.Scheme.Kind == Adaptive || cfg.Rollback || len(cfg.TrackIntervals) > 0 {
 		cfg.MeasureViolations = true
+	}
+	if cfg.StallTimeout == 0 {
+		cfg.StallTimeout = 30 * time.Second
 	}
 	return cfg
 }
@@ -215,6 +226,11 @@ func (r *detRun) conservative() bool { return r.mode() == CC }
 // boundary so a global checkpoint can be taken with all clocks equal.
 func (r *detRun) maxLocal() int64 {
 	ml := maxLocalFor(r.mode(), r.global, r.bound, r.cfg.Scheme.Quantum)
+	if ml > r.cfg.MaxCycles {
+		// Clamp to the simulation horizon, mirroring the parallel host, so
+		// no core's clock ever passes MaxCycles.
+		ml = r.cfg.MaxCycles
+	}
 	if r.nextCkpt > 0 && ml > r.nextCkpt {
 		ml = r.nextCkpt
 	}
@@ -342,7 +358,9 @@ func (r *detRun) nextCore(ml int64) int {
 // the partner. The globally slowest core is never gated, so the scheme is
 // deadlock-free.
 func (r *detRun) p2pClear(i int) bool {
-	if r.cfg.Scheme.Kind != LaxP2P {
+	// With a single core there is no partner to pick (Intn(0) would
+	// panic); the gate degenerates to free-running, as on the parallel host.
+	if r.cfg.Scheme.Kind != LaxP2P || r.m.NumCores() < 2 {
 		return true
 	}
 	c := r.m.cores[i]

@@ -1,0 +1,106 @@
+package engine
+
+// Shutdown-path coverage for the parallel host: the MaxInstructions stop,
+// all cores retiring before the first checkpoint boundary, and the
+// trailing-OutQ drain (serviceAll after the cores stop vs the in-run
+// service) for both eager and conservative schemes.
+
+import (
+	"testing"
+
+	"slacksim/internal/workload"
+)
+
+// TestParallelMaxInstructionsStopsPromptly: the commit-cap stop must
+// terminate the run, reach the cap, and not let cores run away past it
+// (the manager notices within one pacing round).
+func TestParallelMaxInstructionsStopsPromptly(t *testing.T) {
+	const cap = 2000
+	m := newTestMachine(t, workload.NewPrivate(65536, 100), 4)
+	res, err := RunParallel(m, RunConfig{Scheme: BoundedSlack(8), MaxInstructions: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed < cap {
+		t.Errorf("stopped at %d committed, want >= %d", res.Committed, cap)
+	}
+	// Overshoot is bounded by one pacing round: each core can at most
+	// finish the slack window it was in when the cap was crossed.
+	if res.Committed > 8*cap {
+		t.Errorf("committed %d, runaway past the %d cap", res.Committed, cap)
+	}
+}
+
+// TestParallelAllRetireBeforeCheckpoint: when every program halts before
+// the first boundary, the run must finish cleanly with zero checkpoints
+// (no manager thread waiting forever for cores to park at a boundary).
+func TestParallelAllRetireBeforeCheckpoint(t *testing.T) {
+	w := workload.NewFalseShare(32)
+	m := newTestMachine(t, w, 4)
+	res, err := RunParallel(m, RunConfig{
+		Scheme: BoundedSlack(16), CheckpointInterval: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoints != 0 {
+		t.Errorf("took %d checkpoints past the halt time", res.Checkpoints)
+	}
+	if err := w.Verify(m.Memory()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelTrailingDrain: requests issued just before the cores stop
+// must still be drained from the OutQs and serviced — eagerly mid-run for
+// non-conservative schemes, and by the final serviceAll flush either way.
+// After RunParallel returns, no queue may hold residue.
+func TestParallelTrailingDrain(t *testing.T) {
+	schemes := []Scheme{
+		CycleByCycle(),   // conservative: in-run service holds events back
+		BoundedSlack(32), // eager in-run service
+		UnboundedSlack(),
+		QuantumScheme(64),
+	}
+	for _, s := range schemes {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			w := workload.NewFalseShare(64)
+			m := newTestMachine(t, w, 4)
+			res, err := RunParallel(m, RunConfig{Scheme: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range m.outQs {
+				if n := m.outQs[i].Len(); n != 0 {
+					t.Errorf("core %d OutQ holds %d undrained requests", i, n)
+				}
+			}
+			if res.EventsServed == 0 {
+				t.Error("no events serviced")
+			}
+			if err := w.Verify(m.Memory()); err != nil {
+				t.Fatalf("trailing requests lost: %v", err)
+			}
+		})
+	}
+}
+
+// TestParallelMaxInstructionsTrailingDrain combines the two shutdown
+// paths: a commit-cap stop mid-flight must still drain and service the
+// trailing OutQ work before results are assembled.
+func TestParallelMaxInstructionsTrailingDrain(t *testing.T) {
+	m := newTestMachine(t, workload.NewFalseShare(512), 4)
+	res, err := RunParallel(m, RunConfig{Scheme: UnboundedSlack(), MaxInstructions: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.outQs {
+		if n := m.outQs[i].Len(); n != 0 {
+			t.Errorf("core %d OutQ holds %d undrained requests after cap stop", i, n)
+		}
+	}
+	if res.Committed < 3000 {
+		t.Errorf("stopped at %d committed, want >= 3000", res.Committed)
+	}
+}

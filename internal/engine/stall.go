@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// CoreStall is one core's pacing state at the moment a stall was detected,
+// as captured by the watchdog for the structured failure dump.
+type CoreStall struct {
+	Core      int
+	LocalTime int64
+	MaxLocal  int64
+	Parked    bool
+	Retired   bool
+}
+
+// StallError reports that the goroutine-parallel host made no forward
+// progress (no core advanced its local time, committed an instruction, or
+// retired) for a full wall-clock stall budget. It carries a structured
+// snapshot of the pacing state so a wedged CI run fails with a diagnosis
+// instead of hanging: per-core local/max-local times, park/retire flags,
+// the global time, and the manager's GQ depth.
+type StallError struct {
+	// Budget is the wall-clock window that elapsed with no progress.
+	Budget time.Duration
+	// Global is the manager's global time (min active local time).
+	Global int64
+	// GQDepth is the number of requests queued in the manager's GQ.
+	GQDepth int
+	// Cores holds one entry per target core.
+	Cores []CoreStall
+}
+
+// Error formats the structured dump, one line per core.
+func (e *StallError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: parallel host stalled: no progress for %v at global=%d (gq depth %d)",
+		e.Budget, e.Global, e.GQDepth)
+	for _, c := range e.Cores {
+		fmt.Fprintf(&b, "\n  core %d: local=%d maxLocal=%d parked=%v retired=%v",
+			c.Core, c.LocalTime, c.MaxLocal, c.Parked, c.Retired)
+	}
+	return b.String()
+}
+
+// progress is a monotone counter of forward motion: it increases whenever
+// any core ticks, commits, or retires. The watchdog declares a stall only
+// when this value stays constant for the whole budget.
+func (r *parRun) progress() uint64 {
+	var p uint64
+	for i := range r.localTime {
+		p += uint64(r.localTime[i].Load())
+		p += r.committed[i].Load()
+		if r.retired[i].Load() {
+			p++
+		}
+	}
+	return p
+}
+
+// stallDump captures the pacing state for a StallError. parked is read
+// under mu; the clocks are read through their atomics.
+func (r *parRun) stallDump() *StallError {
+	e := &StallError{
+		Budget:  r.cfg.StallTimeout,
+		Global:  r.globalNow.Load(),
+		GQDepth: int(r.gqDepth.Load()),
+	}
+	r.mu.Lock()
+	for i := range r.localTime {
+		e.Cores = append(e.Cores, CoreStall{
+			Core:      i,
+			LocalTime: r.localTime[i].Load(),
+			MaxLocal:  r.maxLocal[i].Load(),
+			Parked:    r.parked[i],
+			Retired:   r.retired[i].Load(),
+		})
+	}
+	r.mu.Unlock()
+	return e
+}
+
+// failStall records the stall and force-stops the run: the error is
+// published first, then stop is raised under mu with a broadcast (the
+// lost-wakeup-safe shutdown path) and the manager is kicked out of its
+// channel wait.
+func (r *parRun) failStall() {
+	r.stallErr.Store(r.stallDump())
+	r.shutdown()
+	r.kickManager()
+}
+
+// watchdog polls the run's progress counter and fails the run via
+// failStall when it does not change for a full StallTimeout window. It
+// exits when done is closed. Polling (rather than instrumenting every
+// pacing operation) keeps the hot paths untouched; the budget is a
+// wall-clock bound so detection latency is at most budget + one poll.
+func (r *parRun) watchdog(done <-chan struct{}) {
+	budget := r.cfg.StallTimeout
+	poll := budget / 16
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	if poll > time.Second {
+		poll = time.Second
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	last := r.progress()
+	lastChange := time.Now()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			cur := r.progress()
+			if cur != last {
+				last = cur
+				lastChange = time.Now()
+				continue
+			}
+			if time.Since(lastChange) >= budget {
+				r.failStall()
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package engine_test
+
+// The randomized stress harness: hundreds of short scenarios across
+// scheme × core count × checkpoint interval × seed, built to run under
+// `go test -race`. Liveness is guaranteed by the parallel host's stall
+// watchdog (a pacing deadlock fails with a structured dump instead of
+// hanging the test binary), and the CC scheme is asserted to match the
+// deterministic host cycle-for-cycle on every eligible scenario. The
+// same generator backs the standalone cmd/stress driver.
+
+import (
+	"math/rand"
+	"testing"
+
+	"slacksim/internal/stress"
+)
+
+// TestStressEquivalenceRandomized sweeps 120 randomized CC scenarios and
+// asserts parallel-vs-deterministic cycle-for-cycle equivalence on each.
+func TestStressEquivalenceRandomized(t *testing.T) {
+	runs := 120
+	if testing.Short() {
+		runs = 25
+	}
+	rng := rand.New(rand.NewSource(2026))
+	for i := 0; i < runs; i++ {
+		cfg := stress.RandomEquivalence(rng)
+		res, err := stress.Execute(cfg)
+		if err != nil {
+			t.Fatalf("scenario %d {%s}: %v", i, cfg, err)
+		}
+		if res.Det == nil {
+			t.Fatalf("scenario %d {%s}: equivalence not checked", i, cfg)
+		}
+	}
+}
+
+// TestStressLivenessRandomized sweeps randomized scenarios across all six
+// schemes: every run must terminate (watchdog-bounded), respect the
+// horizon, and produce a correct memory image when untruncated.
+func TestStressLivenessRandomized(t *testing.T) {
+	runs := 60
+	if testing.Short() {
+		runs = 15
+	}
+	rng := rand.New(rand.NewSource(777))
+	for i := 0; i < runs; i++ {
+		cfg := stress.Random(rng)
+		if _, err := stress.Execute(cfg); err != nil {
+			t.Fatalf("scenario %d {%s}: %v", i, cfg, err)
+		}
+	}
+}
+
+// TestStressEdges pins the deterministic corner scenarios: n=1 machines
+// under every scheme (the Lax-P2P partner-pick regression), all cores
+// retiring before the first checkpoint, and horizons landing exactly on
+// checkpoint boundaries.
+func TestStressEdges(t *testing.T) {
+	for _, cfg := range stress.Edges() {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			if _, err := stress.Execute(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package stress
+
+import (
+	"math/rand"
+	"testing"
+
+	"slacksim/internal/engine"
+)
+
+// TestGeneratorsProduceValidConfigs: every drawn scenario must have a
+// valid scheme, a power-of-two core count every workload accepts, and a
+// buildable workload.
+func TestGeneratorsProduceValidConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		for _, cfg := range []Config{RandomEquivalence(rng), Random(rng)} {
+			if err := cfg.Scheme.Validate(); err != nil {
+				t.Fatalf("draw %d {%s}: invalid scheme: %v", i, cfg, err)
+			}
+			if cfg.Cores < 1 || cfg.Cores&(cfg.Cores-1) != 0 {
+				t.Fatalf("draw %d {%s}: core count not a power of two", i, cfg)
+			}
+			if _, err := cfg.build(); err != nil {
+				t.Fatalf("draw %d {%s}: %v", i, cfg, err)
+			}
+			if cfg.StallTimeout <= 0 {
+				t.Fatalf("draw %d {%s}: watchdog disabled", i, cfg)
+			}
+			if cfg.String() == "" {
+				t.Fatalf("draw %d: empty description", i)
+			}
+		}
+	}
+}
+
+// TestEquivalenceDrawsAreEligible: RandomEquivalence must only produce CC
+// scenarios without instruction caps, so Execute always cross-checks them.
+func TestEquivalenceDrawsAreEligible(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		cfg := RandomEquivalence(rng)
+		if cfg.Scheme.Kind != engine.CC {
+			t.Fatalf("draw %d {%s}: not CC", i, cfg)
+		}
+		if cfg.MaxInstructions != 0 {
+			t.Fatalf("draw %d {%s}: instruction cap breaks equivalence", i, cfg)
+		}
+	}
+}
+
+// TestExecuteReportsDivergence: a non-CC scheme must not be
+// equivalence-checked, and a CC run must be.
+func TestExecuteReportsDivergence(t *testing.T) {
+	cc := Config{Seed: 1, Cores: 2, Workload: "private", Scheme: engine.CycleByCycle(),
+		StallTimeout: defaultStall}
+	res, err := Execute(cc)
+	if err != nil {
+		t.Fatalf("CC scenario: %v", err)
+	}
+	if res.Det == nil {
+		t.Fatal("CC scenario was not cross-checked")
+	}
+	su := cc
+	su.Scheme = engine.UnboundedSlack()
+	res, err = Execute(su)
+	if err != nil {
+		t.Fatalf("SU scenario: %v", err)
+	}
+	if res.Det != nil {
+		t.Fatal("SU scenario was cross-checked; SU timing is host-dependent")
+	}
+}
+
+// TestCompareCCCatchesDivergence: the comparator itself must flag each
+// divergence axis.
+func TestCompareCCCatchesDivergence(t *testing.T) {
+	base := engine.Results{Cycles: 100, Committed: 50, EventsServed: 7}
+	if err := compareCC(base, base); err != nil {
+		t.Fatalf("identical results flagged: %v", err)
+	}
+	for name, mutate := range map[string]func(*engine.Results){
+		"cycles":    func(r *engine.Results) { r.Cycles++ },
+		"committed": func(r *engine.Results) { r.Committed++ },
+		"events":    func(r *engine.Results) { r.EventsServed++ },
+		"ckpts":     func(r *engine.Results) { r.Checkpoints += 2 },
+	} {
+		par := base
+		mutate(&par)
+		if err := compareCC(base, par); err == nil {
+			t.Errorf("%s divergence not flagged", name)
+		}
+	}
+	// A one-checkpoint difference is the tolerated boundary coincidence.
+	par := base
+	par.Checkpoints = base.Checkpoints + 1
+	if err := compareCC(base, par); err != nil {
+		t.Errorf("±1 checkpoint tolerance missing: %v", err)
+	}
+}
