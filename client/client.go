@@ -1,0 +1,265 @@
+// Package client is the Go client for slacksimd, the slacksim
+// simulation service. It speaks the /v1 JSON API: submit run specs, poll
+// or stream job progress, cancel jobs, and read service stats. Specs are
+// the same canonical run description the CLIs use (internal/spec), so a
+// grid sweep can switch between in-process runs and service submissions
+// without translating anything.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"slacksim"
+	"slacksim/internal/service/jobqueue"
+	"slacksim/internal/spec"
+)
+
+// Spec is the canonical run specification (see internal/spec).
+type Spec = spec.Spec
+
+// Job mirrors the service's job view.
+type Job struct {
+	ID        string             `json:"id"`
+	State     string             `json:"state"`
+	Key       string             `json:"key"`
+	Spec      Spec               `json:"spec"`
+	Cached    bool               `json:"cached,omitempty"`
+	Coalesced bool               `json:"coalesced,omitempty"`
+	Progress  *slacksim.Progress `json:"progress,omitempty"`
+	Result    *slacksim.Results  `json:"result,omitempty"`
+	Error     string             `json:"error,omitempty"`
+}
+
+// Terminal reports whether the job reached a final state.
+func (j *Job) Terminal() bool {
+	switch j.State {
+	case jobqueue.Done.String(), jobqueue.Failed.String(), jobqueue.Cancelled.String():
+		return true
+	}
+	return false
+}
+
+// RetryError reports a 429 admission rejection with the server's
+// suggested backoff.
+type RetryError struct {
+	After time.Duration
+	Msg   string
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("server busy (retry after %v): %s", e.After, e.Msg)
+}
+
+// Event is one SSE frame from a job's event stream.
+type Event struct {
+	// Name is "progress" or a terminal state ("done", "failed", "cancelled").
+	Name string
+	// Data is the raw JSON payload (a Progress or a Job).
+	Data []byte
+}
+
+// Client talks to one slacksimd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for the given base URL (e.g. "http://localhost:8080").
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// NewWithHTTPClient builds a client using a custom http.Client (tests,
+// custom transports, timeouts).
+func NewWithHTTPClient(base string, hc *http.Client) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after := time.Second
+		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
+			after = time.Duration(v) * time.Second
+		}
+		return &RetryError{After: after, Msg: errBody(blob)}
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("client: %s %s: %s: %s", method, path, resp.Status, errBody(blob))
+	}
+	if out != nil {
+		return json.Unmarshal(blob, out)
+	}
+	return nil
+}
+
+func errBody(blob []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(blob))
+}
+
+// Submit posts a run spec. A full queue returns a *RetryError.
+func (c *Client) Submit(ctx context.Context, sp Spec) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", sp, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Get fetches a job's current state.
+func (c *Client) Get(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Wait polls a job until it is terminal (or ctx expires).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*Job, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		j, err := c.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// SubmitWait submits with 429 backoff (honoring Retry-After) and then
+// waits for the job to finish: one call that behaves like a local run.
+func (c *Client) SubmitWait(ctx context.Context, sp Spec, poll time.Duration) (*Job, error) {
+	for {
+		j, err := c.Submit(ctx, sp)
+		var re *RetryError
+		if errors.As(err, &re) {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(re.After):
+				continue
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if j.Terminal() {
+			return j, nil
+		}
+		return c.Wait(ctx, j.ID, poll)
+	}
+}
+
+// Events streams a job's SSE feed, invoking fn per event until the
+// stream ends (after the terminal event), fn returns an error, or ctx
+// expires. Returning io.EOF from fn stops the stream without error.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		blob, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("client: events %s: %s: %s", id, resp.Status, errBody(blob))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var ev Event
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			ev.Name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && ev.Name != "":
+			if err := fn(ev); err != nil {
+				if errors.Is(err, io.EOF) {
+					return nil
+				}
+				return err
+			}
+			ev = Event{}
+		}
+	}
+	return sc.Err()
+}
+
+// Statsz fetches the service counters as loosely-typed JSON.
+func (c *Client) Statsz(ctx context.Context) (map[string]any, error) {
+	var v map[string]any
+	if err := c.do(ctx, http.MethodGet, "/v1/statsz", nil, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Healthz returns nil when the service is accepting work.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}

@@ -7,65 +7,29 @@
 //	slacksim -workload barnes -scheme adaptive -target 0.0001 -band 0.05
 //	slacksim -workload water -scheme s32 -ckpt 5000 -rollback
 //	slacksim -workload lu -scheme cc -parallel
+//	slacksim -workload fft -scheme q100 -json | jq .cycles
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"strconv"
-	"strings"
 
 	"slacksim"
+	"slacksim/internal/spec"
 	"slacksim/internal/workload"
 )
-
-func parseScheme(s string, target, band float64) (slacksim.Scheme, error) {
-	switch {
-	case s == "cc":
-		return slacksim.Schemes.CC(), nil
-	case s == "su" || s == "unbounded":
-		return slacksim.Schemes.Unbounded(), nil
-	case s == "adaptive":
-		cfg := slacksim.Schemes.AdaptiveDefault().Adaptive
-		if target > 0 {
-			cfg.TargetRate = target
-		}
-		if band >= 0 {
-			cfg.Band = band
-		}
-		return slacksim.Schemes.Adaptive(cfg), nil
-	case strings.HasPrefix(s, "s"):
-		b, err := strconv.ParseInt(s[1:], 10, 64)
-		if err != nil {
-			return slacksim.Scheme{}, fmt.Errorf("bad bounded scheme %q", s)
-		}
-		return slacksim.Schemes.Bounded(b), nil
-	case strings.HasPrefix(s, "q"):
-		q, err := strconv.ParseInt(s[1:], 10, 64)
-		if err != nil {
-			return slacksim.Scheme{}, fmt.Errorf("bad quantum scheme %q", s)
-		}
-		return slacksim.Schemes.Quantum(q), nil
-	case strings.HasPrefix(s, "p2p"):
-		period, err := strconv.ParseInt(s[3:], 10, 64)
-		if err != nil {
-			return slacksim.Scheme{}, fmt.Errorf("bad lax-p2p scheme %q", s)
-		}
-		return slacksim.Schemes.LaxP2P(period, period), nil
-	}
-	return slacksim.Scheme{}, fmt.Errorf("unknown scheme %q (want cc, s<N>, su, q<N>, p2p<N>, adaptive)", s)
-}
 
 func main() {
 	var (
 		wl       = flag.String("workload", "fft", "benchmark: fft, lu, barnes, water, ocean, radix, falseshare, private")
 		scale    = flag.Int("scale", 1, "workload input scale (1 = quick)")
 		cores    = flag.Int("cores", 8, "number of target cores")
-		scheme   = flag.String("scheme", "cc", "slack scheme: cc, s<N>, su, q<N>, adaptive")
+		scheme   = flag.String("scheme", "cc", "slack scheme: cc, s<N>, su, q<N>, p2p<N>, adaptive")
 		target   = flag.Float64("target", 0, "adaptive target violation rate (e.g. 0.0001 for 0.01%)")
-		band     = flag.Float64("band", -1, "adaptive violation band (e.g. 0.05)")
+		band     = flag.Float64("band", 0, "adaptive violation band (e.g. 0.05)")
 		seed     = flag.Int64("seed", 1, "deterministic-host scheduling seed")
 		insts    = flag.Uint64("instructions", 0, "stop after N committed instructions (0 = run to completion)")
 		ckpt     = flag.Int64("ckpt", 0, "checkpoint interval in cycles (0 = off)")
@@ -76,6 +40,7 @@ func main() {
 		perCore  = flag.Bool("percore", false, "print per-core statistics")
 		traceN   = flag.Int("trace", 0, "keep and print the last N trace events")
 		dump     = flag.Bool("dump", false, "disassemble core 0's program and exit")
+		asJSON   = flag.Bool("json", false, "print the full results as JSON instead of the table")
 	)
 	flag.Parse()
 
@@ -96,23 +61,26 @@ func main() {
 		return
 	}
 
-	sch, err := parseScheme(*scheme, *target, *band)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sim, err := slacksim.New(slacksim.Config{
+	sp := spec.Spec{
 		Workload:           *wl,
 		Scale:              *scale,
 		Cores:              *cores,
-		Scheme:             sch,
+		Scheme:             *scheme,
+		TargetRate:         *target,
+		Band:               *band,
 		Seed:               *seed,
 		MaxInstructions:    *insts,
 		CheckpointInterval: *ckpt,
 		Rollback:           *rollback,
 		MapViolationsOnly:  *mapOnly,
 		Parallel:           *parallel,
-		TraceEvents:        *traceN,
-	})
+	}
+	cfg, err := sp.Config()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.TraceEvents = *traceN
+	sim, err := slacksim.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -120,22 +88,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(res.Table())
-	if *perCore {
-		fmt.Println("\nper-core:")
-		for i, cs := range res.PerCore {
-			fmt.Printf("  core %d: %d cycles, %d insts (CPI %.2f), %d loads, %d stores, %d mispredicts\n",
-				i, cs.Cycles, cs.Committed, cs.CPI(), cs.Loads, cs.Stores, cs.Mispredicts)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
 		}
-	}
-	if *traceN > 0 {
-		fmt.Printf("\ntrace (last %d events):\n%s", *traceN, sim.Trace())
+	} else {
+		fmt.Print(res.Table())
+		if *perCore {
+			fmt.Println("\nper-core:")
+			for i, cs := range res.PerCore {
+				fmt.Printf("  core %d: %d cycles, %d insts (CPI %.2f), %d loads, %d stores, %d mispredicts\n",
+					i, cs.Cycles, cs.Committed, cs.CPI(), cs.Loads, cs.Stores, cs.Mispredicts)
+			}
+		}
+		if *traceN > 0 {
+			fmt.Printf("\ntrace (last %d events):\n%s", *traceN, sim.Trace())
+		}
 	}
 	if *verify {
 		if err := sim.Verify(); err != nil {
 			fmt.Fprintf(os.Stderr, "FUNCTIONAL CHECK FAILED: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println("functional check: ok")
+		if !*asJSON {
+			fmt.Println("functional check: ok")
+		}
 	}
 }

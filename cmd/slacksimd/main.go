@@ -1,0 +1,74 @@
+// Command slacksimd serves slack simulations over HTTP: a bounded job
+// queue with 429 backpressure, a content-addressed result cache, SSE
+// progress streaming, and graceful drain on SIGTERM (accepted jobs run
+// to completion before the process exits).
+//
+//	slacksimd -addr :8080 -queue 64 -workers 8 -cache 256
+//
+// Submit work with the Go client (slacksim/client), sweep -server, or
+// plain curl:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"workload":"fft","scheme":"s8"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"slacksim/internal/service/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		queue    = flag.Int("queue", 64, "pending-job queue depth (admission bound)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cache    = flag.Int("cache", 128, "result cache entries")
+		progress = flag.Int64("progress-every", 256, "min cycles between SSE progress events")
+		stall    = flag.Duration("stall", 30*time.Second, "per-run stall watchdog timeout")
+		drain    = flag.Duration("drain-timeout", 60*time.Second, "max time to finish accepted jobs on shutdown")
+	)
+	flag.Parse()
+
+	s := server.New(server.Config{
+		QueueDepth:    *queue,
+		Workers:       *workers,
+		CacheSize:     *cache,
+		ProgressEvery: *progress,
+		StallTimeout:  *stall,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("slacksimd listening on %s (queue=%d workers=%d cache=%d)",
+		*addr, *queue, *workers, *cache)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting, finish every accepted job, then
+	// close the listener. Results stay retrievable until the very end.
+	log.Printf("shutdown: draining (timeout %v)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("slacksimd stopped")
+}

@@ -3,70 +3,178 @@
 //
 //	sweep -workloads fft,lu -bounds 1,4,16,64 -su -cc
 //	sweep -workloads water -bounds 8 -seeds 5
+//	sweep -workloads fft,barnes -schemes q100,p2p50,adaptive
+//	sweep -workloads fft -bounds 8,32 -server http://localhost:8080
+//
+// A run that fails (bad config, engine error, functional check) emits a
+// row with the error column set; the rest of the grid still runs and
+// sweep exits nonzero.
+//
+// With -server the grid is submitted to a slacksimd instance instead of
+// running in-process: submissions go out concurrently (the daemon's
+// queue applies backpressure; sweep retries on 429) and rows print in
+// grid order. Identical cells hit the daemon's result cache.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"slacksim"
+	"slacksim/client"
+	"slacksim/internal/spec"
 )
+
+type cell struct {
+	spec spec.Spec
+	res  *slacksim.Results
+	err  error
+}
 
 func main() {
 	var (
-		workloads = flag.String("workloads", "barnes,fft,lu,water", "comma-separated workloads")
-		bounds    = flag.String("bounds", "1,2,4,8,16,32,64", "comma-separated slack bounds")
-		withCC    = flag.Bool("cc", true, "include cycle-by-cycle")
-		withSU    = flag.Bool("su", true, "include unbounded slack")
-		scale     = flag.Int("scale", 1, "workload input scale")
-		cores     = flag.Int("cores", 8, "target cores")
-		seeds     = flag.Int("seeds", 1, "number of seeds per configuration")
+		workloads  = flag.String("workloads", "barnes,fft,lu,water", "comma-separated workloads")
+		bounds     = flag.String("bounds", "1,2,4,8,16,32,64", "comma-separated slack bounds (s<N> schemes)")
+		withCC     = flag.Bool("cc", true, "include cycle-by-cycle")
+		withSU     = flag.Bool("su", true, "include unbounded slack")
+		extra      = flag.String("schemes", "", "extra comma-separated schemes: cc, s<N>, su, q<N>, p2p<N>, adaptive")
+		scale      = flag.Int("scale", 1, "workload input scale")
+		cores      = flag.Int("cores", 8, "target cores")
+		seeds      = flag.Int("seeds", 1, "number of seeds per configuration")
+		serverURL  = flag.String("server", "", "submit runs to a slacksimd instance at this base URL instead of running in-process")
+		timeoutDur = flag.Duration("timeout", 10*time.Minute, "overall deadline in -server mode")
 	)
 	flag.Parse()
 
-	var schemes []slacksim.Scheme
+	var schemes []string
 	if *withCC {
-		schemes = append(schemes, slacksim.Schemes.CC())
+		schemes = append(schemes, "cc")
 	}
 	for _, f := range strings.Split(*bounds, ",") {
-		b, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
-		if err != nil {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if _, err := strconv.ParseInt(f, 10, 64); err != nil {
 			log.Fatalf("bad bound %q: %v", f, err)
 		}
-		schemes = append(schemes, slacksim.Schemes.Bounded(b))
+		schemes = append(schemes, "s"+f)
 	}
 	if *withSU {
-		schemes = append(schemes, slacksim.Schemes.Unbounded())
+		schemes = append(schemes, "su")
+	}
+	for _, f := range strings.Split(*extra, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if _, err := spec.ParseScheme(f, 0, 0); err != nil {
+			log.Fatal(err)
+		}
+		schemes = append(schemes, f)
 	}
 
-	fmt.Println("workload\tscheme\tseed\tcycles\tinsts\tcpi\tbus_viol\tmap_viol\tbus_rate\tmap_rate\thost_work\twall_s")
+	var cells []*cell
 	for _, wl := range strings.Split(*workloads, ",") {
 		wl = strings.TrimSpace(wl)
 		for _, sch := range schemes {
 			for seed := int64(1); seed <= int64(*seeds); seed++ {
-				sim, err := slacksim.New(slacksim.Config{
+				cells = append(cells, &cell{spec: spec.Spec{
 					Workload: wl, Scale: *scale, Cores: *cores,
 					Scheme: sch, Seed: seed,
-				})
-				if err != nil {
-					log.Fatal(err)
-				}
-				r, err := sim.Run()
-				if err != nil {
-					log.Fatal(err)
-				}
-				if err := sim.Verify(); err != nil {
-					log.Fatalf("%s/%s seed %d: functional check failed: %v",
-						wl, sch.Name(), seed, err)
-				}
-				fmt.Printf("%s\t%s\t%d\t%d\t%d\t%.3f\t%d\t%d\t%.6f\t%.6f\t%.0f\t%.3f\n",
-					wl, r.Scheme, seed, r.Cycles, r.Committed, r.CPI,
-					r.BusViolations, r.MapViolations, r.BusRate, r.MapRate,
-					r.HostWorkUnits, r.WallClock.Seconds())
+				}})
 			}
 		}
 	}
+
+	if *serverURL != "" {
+		runRemote(cells, *serverURL, *timeoutDur)
+	} else {
+		runLocal(cells)
+	}
+
+	fmt.Println("workload\tscheme\tseed\tcycles\tinsts\tcpi\tbus_viol\tmap_viol\tbus_rate\tmap_rate\thost_work\twall_s\terror")
+	failed := 0
+	for _, c := range cells {
+		if c.err != nil {
+			failed++
+			fmt.Printf("%s\t%s\t%d\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%s\n",
+				c.spec.Workload, c.spec.Scheme, c.spec.Seed,
+				strings.ReplaceAll(c.err.Error(), "\t", " "))
+			continue
+		}
+		r := c.res
+		fmt.Printf("%s\t%s\t%d\t%d\t%d\t%.3f\t%d\t%d\t%.6f\t%.6f\t%.0f\t%.3f\t\n",
+			c.spec.Workload, r.Scheme, c.spec.Seed, r.Cycles, r.Committed, r.CPI,
+			r.BusViolations, r.MapViolations, r.BusRate, r.MapRate,
+			r.HostWorkUnits, r.WallClock.Seconds())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d runs failed\n", failed, len(cells))
+		os.Exit(1)
+	}
+}
+
+// runLocal executes every cell in-process, sequentially (runs are
+// CPU-bound; the parallel host already uses all cores).
+func runLocal(cells []*cell) {
+	for _, c := range cells {
+		c.res, c.err = runOne(c.spec)
+	}
+}
+
+func runOne(sp spec.Spec) (*slacksim.Results, error) {
+	cfg, err := sp.Config()
+	if err != nil {
+		return nil, err
+	}
+	sim, err := slacksim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Verify(); err != nil {
+		return nil, fmt.Errorf("functional check failed: %w", err)
+	}
+	return &r, nil
+}
+
+// runRemote submits every cell to a slacksimd instance concurrently and
+// waits for all of them. SubmitWait retries on 429 backpressure, so the
+// grid can be arbitrarily larger than the daemon's queue.
+func runRemote(cells []*cell, base string, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c := client.New(base)
+	if err := c.Healthz(ctx); err != nil {
+		log.Fatalf("server %s not healthy: %v", base, err)
+	}
+	var wg sync.WaitGroup
+	for _, cl := range cells {
+		wg.Add(1)
+		go func(cl *cell) {
+			defer wg.Done()
+			j, err := c.SubmitWait(ctx, cl.spec, 100*time.Millisecond)
+			if err != nil {
+				cl.err = err
+				return
+			}
+			if j.State != "done" {
+				cl.err = fmt.Errorf("job %s %s: %s", j.ID, j.State, j.Error)
+				return
+			}
+			cl.res = j.Result
+		}(cl)
+	}
+	wg.Wait()
 }

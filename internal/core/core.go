@@ -61,19 +61,20 @@ type fetched struct {
 	predTaken bool
 }
 
-// Stats aggregates per-core performance counters.
+// Stats aggregates per-core performance counters. The json tags are part
+// of the stable Results serialization contract (see engine.Results).
 type Stats struct {
-	Cycles       int64
-	Committed    uint64
-	Loads        uint64
-	Stores       uint64
-	Branches     uint64
-	Mispredicts  uint64
-	Flushes      uint64
-	LockRetries  uint64
-	BarrierWait  int64 // cycles spent with a barrier op stalled at head
-	LockWait     int64 // cycles spent with a lock op stalled at head
-	IdleAfterEnd int64 // cycles ticked after Halt committed
+	Cycles       int64  `json:"cycles"`
+	Committed    uint64 `json:"committed"`
+	Loads        uint64 `json:"loads"`
+	Stores       uint64 `json:"stores"`
+	Branches     uint64 `json:"branches"`
+	Mispredicts  uint64 `json:"mispredicts"`
+	Flushes      uint64 `json:"flushes"`
+	LockRetries  uint64 `json:"lock_retries"`
+	BarrierWait  int64  `json:"barrier_wait"`   // cycles spent with a barrier op stalled at head
+	LockWait     int64  `json:"lock_wait"`      // cycles spent with a lock op stalled at head
+	IdleAfterEnd int64  `json:"idle_after_end"` // cycles ticked after Halt committed
 }
 
 // CPI returns cycles per committed instruction (0 when nothing committed).

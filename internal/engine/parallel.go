@@ -61,6 +61,11 @@ type parRun struct {
 	retired   []atomic.Bool
 	stop      atomic.Bool
 
+	// interrupt caches cfg.Interrupt so the hot loops poll one pointer
+	// instead of copying the whole config (which would race with the
+	// test idiom of tweaking r.cfg before goroutines observe it).
+	interrupt *atomic.Bool
+
 	// mu/cond park core goroutines that hit their max local time; parked
 	// tracks which cores are waiting so the manager can quiesce the
 	// machine for a global checkpoint.
@@ -77,6 +82,7 @@ type parRun struct {
 	arrival uint64
 	meter   costMeter
 	global  int64
+	prog    *progressNotifier
 
 	// globalNow and gqDepth mirror global and len(gq) for the watchdog;
 	// stallErr is published by the watchdog before it force-stops the run.
@@ -131,6 +137,8 @@ func RunParallel(m *Machine, cfg RunConfig) (Results, error) {
 		parked:    make([]bool, n),
 		kick:      make(chan struct{}, 1),
 		bound:     cfg.Scheme.Bound,
+		prog:      newProgressNotifier(cfg),
+		interrupt: cfg.Interrupt,
 	}
 	r.cond = sync.NewCond(&r.mu)
 	if cfg.Scheme.Kind == Adaptive {
@@ -180,6 +188,11 @@ func RunParallel(m *Machine, cfg RunConfig) (Results, error) {
 	}
 	if serr := r.stallErr.Load(); serr != nil {
 		return Results{}, serr
+	}
+	if cfg.interrupted() {
+		// The interrupt raced the natural end of the run; either way the
+		// caller asked for cancellation, so the outcome is ErrInterrupted.
+		return Results{}, ErrInterrupted
 	}
 	// Trailing work issued just before the cores stopped.
 	r.drainAll()
@@ -243,6 +256,14 @@ func (r *parRun) coreLoop(i int) {
 		}
 	}
 	for !r.stop.Load() {
+		if r.interruptedNow() {
+			// Keep the manager awake until it observes the interrupt and
+			// shuts the run down; parked cores are woken by the shutdown
+			// broadcast, running ones funnel through here.
+			r.kickManager()
+			runtime.Gosched()
+			continue
+		}
 		if p2p != nil && !r.p2pGate(i, c.Now(), p2p) {
 			// Blocked at a pairwise sync: yield until the partner catches
 			// up (polling keeps the pairing protocol wait-free).
@@ -327,7 +348,8 @@ func (r *parRun) managerLoop() {
 			r.recomputeGlobal()
 			r.service()
 			r.adapt()
-			if r.stop.Load() || r.doneNow() {
+			r.prog.maybe(r.global, r.committedNow(), r.progress())
+			if r.stop.Load() || r.interruptedNow() || r.doneNow() {
 				r.shutdown()
 				return
 			}
@@ -367,18 +389,28 @@ func (r *parRun) quietQueues() bool {
 	return true
 }
 
+// committedNow sums the per-core committed-instruction mirrors.
+// interruptedNow reports whether the run's cancellation flag is raised.
+// It reads the cached pointer, never r.cfg, so core goroutines can poll
+// it without touching the (non-atomic) config struct.
+func (r *parRun) interruptedNow() bool {
+	return r.interrupt != nil && r.interrupt.Load()
+}
+
+func (r *parRun) committedNow() uint64 {
+	var n uint64
+	for i := range r.committed {
+		n += r.committed[i].Load()
+	}
+	return n
+}
+
 func (r *parRun) doneNow() bool {
 	if r.global >= r.cfg.MaxCycles {
 		return true
 	}
-	if r.cfg.MaxInstructions > 0 {
-		var n uint64
-		for i := range r.committed {
-			n += r.committed[i].Load()
-		}
-		if n >= r.cfg.MaxInstructions {
-			return true
-		}
+	if r.cfg.MaxInstructions > 0 && r.committedNow() >= r.cfg.MaxInstructions {
+		return true
 	}
 	for i := range r.retired {
 		if !r.retired[i].Load() {

@@ -9,55 +9,60 @@ import (
 	"slacksim/internal/violation"
 )
 
-// Results summarizes one simulation run.
+// Results summarizes one simulation run. The json tags are a stable,
+// machine-readable contract: they are the slacksimd service's response
+// body and the -json output of cmd/slacksim, so renaming one is an API
+// break.
 type Results struct {
 	// Workload and Scheme identify the run.
-	Workload string
-	Scheme   string
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
 	// Host is "deterministic" or "parallel".
-	Host string
+	Host string `json:"host"`
 
 	// Cycles is the final global time (the simulated execution time).
-	Cycles int64
+	Cycles int64 `json:"cycles"`
 	// Committed is the total committed instruction count across cores.
-	Committed uint64
+	Committed uint64 `json:"committed"`
 	// CPI is aggregate cycles-per-instruction: Cycles·NumCores/Committed.
-	CPI float64
+	CPI float64 `json:"cpi"`
 
 	// PerCore carries each core's counters.
-	PerCore []core.Stats
+	PerCore []core.Stats `json:"per_core,omitempty"`
 
 	// Violation accounting.
-	BusViolations      uint64
-	MapViolations      uint64
-	WorkloadViolations uint64
+	BusViolations      uint64 `json:"bus_violations"`
+	MapViolations      uint64 `json:"map_violations"`
+	WorkloadViolations uint64 `json:"workload_violations"`
 	// ViolationRate is selected violations / Cycles.
-	ViolationRate float64
-	BusRate       float64
-	MapRate       float64
+	ViolationRate float64 `json:"violation_rate"`
+	BusRate       float64 `json:"bus_rate"`
+	MapRate       float64 `json:"map_rate"`
 	// Intervals carries Table 3/4 statistics when interval tracking was on.
-	Intervals []violation.IntervalReport
+	Intervals []violation.IntervalReport `json:"intervals,omitempty"`
 
-	// Host-side costs.
-	HostWorkUnits float64
-	WallClock     time.Duration
-	Suspensions   uint64
-	EventsServed  uint64
+	// Host-side costs. WallClock serializes as integer nanoseconds.
+	HostWorkUnits float64       `json:"host_work_units"`
+	WallClock     time.Duration `json:"wall_clock_ns"`
+	Suspensions   uint64        `json:"suspensions"`
+	EventsServed  uint64        `json:"events_served"`
 
 	// Checkpoint/rollback accounting (speculative runs).
-	Checkpoints     int
-	CheckpointWords int64
-	Rollbacks       int
-	WastedCycles    int64
-	ReplayCycles    int64
+	Checkpoints     int   `json:"checkpoints,omitempty"`
+	CheckpointWords int64 `json:"checkpoint_words,omitempty"`
+	Rollbacks       int   `json:"rollbacks,omitempty"`
+	WastedCycles    int64 `json:"wasted_cycles,omitempty"`
+	ReplayCycles    int64 `json:"replay_cycles,omitempty"`
 
 	// Adaptive controller summary.
-	FinalBound  int64
-	MeanBound   float64
-	Adjustments uint64
+	FinalBound  int64   `json:"final_bound,omitempty"`
+	MeanBound   float64 `json:"mean_bound,omitempty"`
+	Adjustments uint64  `json:"adjustments,omitempty"`
 
 	// Synchronization traffic.
-	LockAcquires, LockContended, BarrierEpisodes uint64
+	LockAcquires    uint64 `json:"lock_acquires"`
+	LockContended   uint64 `json:"lock_contended"`
+	BarrierEpisodes uint64 `json:"barrier_episodes"`
 }
 
 // String renders a one-line summary.

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"slacksim/internal/workload"
+)
+
+// TestResultsJSONRoundTrip runs a small simulation with every accounting
+// block populated (per-core stats, intervals, checkpoints, adaptive-style
+// fields) and asserts Results survives a JSON round trip unchanged. This
+// is the service's response body, so the encoding must be lossless.
+func TestResultsJSONRoundTrip(t *testing.T) {
+	w := workload.NewFFT(64)
+	m := newTestMachine(t, w, 4)
+	res, err := Run(m, RunConfig{
+		Scheme:             BoundedSlack(8),
+		Seed:               5,
+		CheckpointInterval: 500,
+		TrackIntervals:     []int64{100, 1000},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Exercise the optional fields too.
+	res.FinalBound, res.MeanBound, res.Adjustments = 12, 9.5, 7
+	res.Rollbacks, res.WastedCycles, res.ReplayCycles = 2, 300, 150
+
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Results
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, res)
+	}
+
+	// Spot-check the stable field names the service contract promises.
+	for _, key := range []string{
+		`"workload"`, `"scheme"`, `"host"`, `"cycles"`, `"committed"`,
+		`"per_core"`, `"bus_violations"`, `"wall_clock_ns"`, `"intervals"`,
+		`"lock_acquires"`,
+	} {
+		if !strings.Contains(string(blob), key) {
+			t.Fatalf("serialized results missing %s:\n%s", key, blob)
+		}
+	}
+}

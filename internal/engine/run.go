@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"slacksim/internal/adaptive"
@@ -66,6 +67,18 @@ type RunConfig struct {
 	// negative disables the watchdog. The deterministic host is
 	// single-threaded and cannot stall, so it ignores this.
 	StallTimeout time.Duration
+	// OnProgress, when non-nil, is called with monotone Progress snapshots
+	// as the run advances (at most once per ProgressEvery global cycles).
+	// On the parallel host the callback runs on the manager goroutine and
+	// must be fast and non-blocking, or it will slow the pacing protocol.
+	OnProgress func(Progress)
+	// ProgressEvery is the minimum global-time advance between OnProgress
+	// deliveries (default DefaultProgressEvery).
+	ProgressEvery int64
+	// Interrupt, when non-nil, is an external stop request: once it is
+	// set true the run stops at the next pacing step and returns
+	// ErrInterrupted. Services use it to cancel in-flight jobs.
+	Interrupt *atomic.Bool
 }
 
 func (cfg RunConfig) withDefaults() RunConfig {
@@ -129,6 +142,7 @@ type detRun struct {
 	p2pBlocked []bool
 
 	meter costMeter
+	prog  *progressNotifier
 
 	lastAdapt int64
 
@@ -158,6 +172,7 @@ func Run(m *Machine, cfg RunConfig) (Results, error) {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		retired: make([]bool, m.NumCores()),
 		bound:   cfg.Scheme.Bound,
+		prog:    newProgressNotifier(cfg),
 	}
 	m.unc.SetTracer(cfg.Tracer)
 	if cfg.Scheme.Kind == Adaptive {
@@ -271,6 +286,9 @@ func (r *detRun) recomputeGlobal() {
 
 func (r *detRun) loop() error {
 	for !r.done() {
+		if r.cfg.interrupted() {
+			return ErrInterrupted
+		}
 		ml := r.maxLocal()
 		pick := r.nextCore(ml)
 		if pick < 0 {
@@ -309,6 +327,7 @@ func (r *detRun) loop() error {
 		if err := r.service(); err != nil {
 			return err
 		}
+		r.prog.maybe(r.global, r.m.committed(), r.progressCounter())
 		if r.pendingRollback {
 			// The paper's recipe: roll back as soon as the manager detects
 			// a selected violation.

@@ -1,0 +1,104 @@
+// Package resultcache is the slacksimd service's content-addressed
+// result cache: finished run results keyed by the canonical SHA-256 of
+// the normalized run spec (spec.Key), bounded by an LRU policy, with
+// hit/miss/eviction counters surfaced through /v1/statsz. Simulations
+// are deterministic functions of their normalized spec, so a cached
+// result is exactly the result a fresh run would produce — identical
+// submissions are served without re-simulating.
+package resultcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// Cache is a bounded LRU keyed by content address. All methods are safe
+// for concurrent use.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	index    map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+// New builds a cache holding at most capacity entries (min 1).
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the value for key, marking it most recently used. The
+// hit/miss counters make every lookup observable in /v1/statsz.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(entry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry
+// when the cache is over capacity.
+func (c *Cache[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		el.Value = entry[V]{key: key, val: val}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.index[key] = c.ll.PushFront(entry[V]{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.index, oldest.Value.(entry[V]).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,92 @@
+package resultcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHitMissCounters(t *testing.T) {
+	c := New[int](4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("get a = %d, %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.Capacity != 4 {
+		t.Fatalf("bad stats: %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	// Touch a so b is now the least recently used.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("d", 4)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 3 {
+		t.Fatalf("bad stats: %+v", s)
+	}
+}
+
+func TestUpdateRefreshes(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // refresh, not insert: a becomes MRU
+	c.Put("c", 3)  // evicts b
+	if v, ok := c.Get("a"); !ok || v != 10 {
+		t.Fatalf("a = %d, %v; want 10", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	c := New[int](8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+		if c.Len() > 8 {
+			t.Fatalf("cache exceeded capacity: %d", c.Len())
+		}
+	}
+	if s := c.Stats(); s.Entries != 8 || s.Evictions != 92 {
+		t.Fatalf("bad stats: %+v", s)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (w+i)%32)
+				c.Put(k, i)
+				c.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("over capacity: %d", c.Len())
+	}
+}

@@ -1,0 +1,492 @@
+// Package server implements slacksimd, the simulation-as-a-service HTTP
+// layer over the slacksim engine. It composes the service subsystem:
+//
+//   - a bounded job queue (internal/service/jobqueue) providing admission
+//     control — a full queue rejects with 429 + Retry-After so clients
+//     back off instead of piling work onto the host;
+//   - a content-addressed result cache (internal/service/resultcache)
+//     keyed by spec.Key, so identical runs are served without
+//     re-simulating, plus single-flight coalescing so N concurrent
+//     identical submissions share one engine run;
+//   - a worker pool (default GOMAXPROCS) that executes runs through the
+//     public slacksim API with the stall watchdog armed, streaming the
+//     engine's progress hook out to SSE subscribers;
+//   - graceful drain: on SIGTERM the daemon stops admission, finishes
+//     every accepted job, and only then exits, so no result is dropped.
+//
+// API (all JSON):
+//
+//	POST   /v1/jobs            submit a run spec; 202 + job, 200 on cache hit,
+//	                           429 + Retry-After on a full queue
+//	GET    /v1/jobs/{id}       job status, including the result when done
+//	GET    /v1/jobs/{id}/events  SSE: progress events, then one terminal event
+//	DELETE /v1/jobs/{id}       cancel (pending: immediate; running: interrupt)
+//	GET    /v1/healthz         liveness ("ok", or "draining" with 503)
+//	GET    /v1/statsz          queue/cache/worker counters
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slacksim"
+	"slacksim/internal/service/jobqueue"
+	"slacksim/internal/service/resultcache"
+	"slacksim/internal/spec"
+)
+
+// RunContext hands a worker everything it needs to execute one job.
+type RunContext struct {
+	// Spec is the normalized run spec.
+	Spec spec.Spec
+	// Interrupt cancels the run mid-flight when set true.
+	Interrupt *atomic.Bool
+	// OnProgress receives the engine's monotone progress snapshots.
+	OnProgress func(slacksim.Progress)
+	// ProgressEvery is the minimum cycle advance between snapshots.
+	ProgressEvery int64
+	// StallTimeout arms the parallel host's stall watchdog.
+	StallTimeout time.Duration
+}
+
+// Runner executes one simulation. The default is RealRunner; tests
+// substitute a gated fake to exercise queueing deterministically.
+type Runner func(rc RunContext) (*slacksim.Results, error)
+
+// RealRunner builds and runs the simulation through the public slacksim
+// API, then verifies the workload's functional result when supported, so
+// a run that silently corrupted target memory fails its job instead of
+// poisoning the cache.
+func RealRunner(rc RunContext) (*slacksim.Results, error) {
+	cfg, err := rc.Spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	cfg.OnProgress = rc.OnProgress
+	cfg.ProgressEvery = rc.ProgressEvery
+	cfg.Interrupt = rc.Interrupt
+	cfg.StallTimeout = rc.StallTimeout
+	sim, err := slacksim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Verify(); err != nil {
+		return nil, fmt.Errorf("functional check failed: %w", err)
+	}
+	return &res, nil
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// QueueDepth bounds the pending FIFO (default 64).
+	QueueDepth int
+	// Workers sizes the pool (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// CacheSize bounds the result cache (default 128 entries).
+	CacheSize int
+	// ProgressEvery throttles the per-job progress stream (default 256
+	// cycles — fine-grained enough that even sub-second runs emit events).
+	ProgressEvery int64
+	// StallTimeout arms each run's stall watchdog (default 30s).
+	StallTimeout time.Duration
+	// Runner overrides run execution (tests only; default RealRunner).
+	Runner Runner
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 256
+	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = 30 * time.Second
+	}
+	if c.Runner == nil {
+		c.Runner = RealRunner
+	}
+	return c
+}
+
+// Server is one slacksimd instance: queue + cache + worker pool + HTTP
+// handlers. Create with New, serve Handler(), stop with Drain.
+type Server struct {
+	cfg   Config
+	queue *jobqueue.Queue
+	cache *resultcache.Cache[*slacksim.Results]
+
+	// mu guards the single-flight table: spec key → in-flight job.
+	mu       sync.Mutex
+	inflight map[string]*jobqueue.Job
+
+	// interrupts maps job ID → the run's interrupt flag.
+	imu        sync.Mutex
+	interrupts map[string]*atomic.Bool
+
+	coalesced atomic.Uint64 // submissions attached to an in-flight run
+	runs      atomic.Uint64 // engine runs actually executed
+	draining  atomic.Bool
+	start     time.Time
+	wg        sync.WaitGroup
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		queue:      jobqueue.New(cfg.QueueDepth),
+		cache:      resultcache.New[*slacksim.Results](cfg.CacheSize),
+		inflight:   make(map[string]*jobqueue.Job),
+		interrupts: make(map[string]*atomic.Bool),
+		start:      time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// worker pulls jobs until the queue closes and drains.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, err := s.queue.Next()
+		if err != nil {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one admitted job and retires it.
+func (s *Server) runJob(j *jobqueue.Job) {
+	sp := j.Payload.(spec.Spec)
+	s.imu.Lock()
+	intr := s.interrupts[j.ID]
+	s.imu.Unlock()
+	if intr == nil {
+		intr = new(atomic.Bool)
+	}
+	res, err := s.cfg.Runner(RunContext{
+		Spec:          sp,
+		Interrupt:     intr,
+		OnProgress:    func(p slacksim.Progress) { j.Publish(p) },
+		ProgressEvery: s.cfg.ProgressEvery,
+		StallTimeout:  s.cfg.StallTimeout,
+	})
+	s.runs.Add(1)
+	if err == nil {
+		s.cache.Put(j.Key, res)
+	}
+	if errors.Is(err, slacksim.ErrInterrupted) {
+		err = fmt.Errorf("%w: %v", jobqueue.ErrCancelled, err)
+	}
+	s.mu.Lock()
+	if s.inflight[j.Key] == j {
+		delete(s.inflight, j.Key)
+	}
+	s.mu.Unlock()
+	s.imu.Lock()
+	delete(s.interrupts, j.ID)
+	s.imu.Unlock()
+	s.queue.Finish(j, res, err)
+}
+
+// Drain gracefully stops the server: admission is closed (POST returns
+// 503, healthz reports draining), every already-accepted job runs to
+// completion, and the worker pool exits. It returns ctx's error if the
+// deadline expires first — results of jobs finished by then are still
+// retrievable.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.Close()
+	if err := s.queue.Drain(ctx); err != nil {
+		return err
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// jobView is the wire representation of a job.
+type jobView struct {
+	ID        string             `json:"id"`
+	State     string             `json:"state"`
+	Key       string             `json:"key"`
+	Spec      spec.Spec          `json:"spec"`
+	Cached    bool               `json:"cached,omitempty"`
+	Coalesced bool               `json:"coalesced,omitempty"`
+	Progress  *slacksim.Progress `json:"progress,omitempty"`
+	Result    *slacksim.Results  `json:"result,omitempty"`
+	Error     string             `json:"error,omitempty"`
+}
+
+func (s *Server) view(j *jobqueue.Job, cached, coalesced bool) jobView {
+	v := jobView{
+		ID:        j.ID,
+		State:     j.State().String(),
+		Key:       j.Key,
+		Spec:      j.Payload.(spec.Spec),
+		Cached:    cached,
+		Coalesced: coalesced,
+	}
+	if p, ok := j.LastEvent().(slacksim.Progress); ok {
+		v.Progress = &p
+	}
+	if j.State().Terminal() {
+		if res, err := j.Result(); err != nil {
+			v.Error = err.Error()
+		} else if r, ok := res.(*slacksim.Results); ok {
+			v.Result = r
+		}
+	}
+	return v
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit admits one run spec: cache hit → an immediately-done job;
+// identical run in flight → coalesce onto it; otherwise enqueue, or 429
+// with Retry-After when the queue is full.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var sp spec.Spec
+	if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	sp = sp.Normalize()
+	if err := sp.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := sp.Key()
+
+	// The single-flight window: cache lookup, coalesce check, and enqueue
+	// must be atomic or two identical concurrent submissions both miss.
+	s.mu.Lock()
+	if res, ok := s.cache.Get(key); ok {
+		s.mu.Unlock()
+		j := s.queue.AddDone(key, sp, res)
+		writeJSON(w, http.StatusOK, s.view(j, true, false))
+		return
+	}
+	if j, ok := s.inflight[key]; ok {
+		s.coalesced.Add(1)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, s.view(j, false, true))
+		return
+	}
+	j, err := s.queue.Submit(key, sp)
+	if err != nil {
+		s.mu.Unlock()
+		if errors.Is(err, jobqueue.ErrFull) {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "queue full (depth %d); retry later", s.cfg.QueueDepth)
+			return
+		}
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.inflight[key] = j
+	s.mu.Unlock()
+	s.imu.Lock()
+	s.interrupts[j.ID] = new(atomic.Bool)
+	s.imu.Unlock()
+	writeJSON(w, http.StatusAccepted, s.view(j, false, false))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(j, false, false))
+}
+
+// handleDelete cancels a job: pending jobs leave the queue immediately;
+// running jobs get their engine interrupt raised and report "cancelling"
+// until the run unwinds; terminal jobs are left as they are.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.queue.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	switch err := s.queue.Cancel(id); {
+	case err == nil:
+		// The job never reached a worker, so release its single-flight and
+		// interrupt entries here (runJob would have done it otherwise).
+		s.mu.Lock()
+		if s.inflight[j.Key] == j {
+			delete(s.inflight, j.Key)
+		}
+		s.mu.Unlock()
+		s.imu.Lock()
+		delete(s.interrupts, id)
+		s.imu.Unlock()
+		writeJSON(w, http.StatusOK, s.view(j, false, false))
+	case errors.Is(err, jobqueue.ErrNotCancellable) && j.State() == jobqueue.Running:
+		s.imu.Lock()
+		intr := s.interrupts[id]
+		s.imu.Unlock()
+		if intr != nil {
+			intr.Store(true)
+		}
+		writeJSON(w, http.StatusAccepted, s.view(j, false, false))
+	case errors.Is(err, jobqueue.ErrNotCancellable):
+		// Already terminal; report the final state, idempotently.
+		writeJSON(w, http.StatusOK, s.view(j, false, false))
+	default:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// statsView is /v1/statsz's body.
+type statsView struct {
+	UptimeSeconds float64           `json:"uptime_s"`
+	Workers       int               `json:"workers"`
+	Draining      bool              `json:"draining"`
+	Runs          uint64            `json:"runs"`
+	Coalesced     uint64            `json:"coalesced"`
+	Queue         jobqueue.Stats    `json:"queue"`
+	Cache         resultcache.Stats `json:"cache"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsView{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.cfg.Workers,
+		Draining:      s.draining.Load(),
+		Runs:          s.runs.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Queue:         s.queue.Stats(),
+		Cache:         s.cache.Stats(),
+	})
+}
+
+// handleEvents streams a job's progress as Server-Sent Events: zero or
+// more "progress" events (the latest known snapshot is replayed on
+// attach, so every subscriber sees at least one before completion of a
+// live run) followed by exactly one terminal event named after the final
+// state ("done", "failed", "cancelled") carrying the full job view.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string, v any) {
+		blob, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, blob)
+		fl.Flush()
+	}
+
+	// Subscribe before reading state so no event can slip between the
+	// check and the subscription; replay the latest snapshot on attach.
+	events, cancel := j.Subscribe(16)
+	defer cancel()
+	if p, ok := j.LastEvent().(slacksim.Progress); ok {
+		send("progress", p)
+	}
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				// Terminal: emit the final event and end the stream.
+				send(j.State().String(), s.view(j, false, false))
+				return
+			}
+			if p, ok := ev.(slacksim.Progress); ok {
+				send("progress", p)
+			}
+		case <-j.Done():
+			// Drain any buffered progress, then terminate. The subscriber
+			// channel closes shortly after Done; loop around to catch it.
+			select {
+			case ev, ok := <-events:
+				if ok {
+					if p, ok := ev.(slacksim.Progress); ok {
+						send("progress", p)
+					}
+					continue
+				}
+			default:
+			}
+			send(j.State().String(), s.view(j, false, false))
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,420 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"slacksim"
+	"slacksim/client"
+	"slacksim/internal/spec"
+)
+
+func testSpec() spec.Spec {
+	return spec.Spec{Workload: "fft", Scheme: "s8", Cores: 2, Seed: 1}
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, *client.Client) {
+	t.Helper()
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, client.NewWithHTTPClient(hs.URL, hs.Client())
+}
+
+// gatedRunner blocks each run until released, so tests control queue
+// occupancy deterministically.
+type gatedRunner struct {
+	mu      sync.Mutex
+	started chan string // receives the workload each time a run begins
+	release chan struct{}
+}
+
+func newGatedRunner() *gatedRunner {
+	return &gatedRunner{started: make(chan string, 16), release: make(chan struct{}, 16)}
+}
+
+func (g *gatedRunner) run(rc RunContext) (*slacksim.Results, error) {
+	g.started <- rc.Spec.Workload
+	rc.OnProgress(slacksim.Progress{Cycles: 1, Committed: 1, Counter: 1})
+	<-g.release
+	if rc.Interrupt != nil && rc.Interrupt.Load() {
+		return nil, slacksim.ErrInterrupted
+	}
+	return &slacksim.Results{Workload: rc.Spec.Workload, Cycles: 42, Committed: 1}, nil
+}
+
+func TestSubmitRunFetchAndCacheHit(t *testing.T) {
+	s, c := startServer(t, Config{Workers: 2, QueueDepth: 8, ProgressEvery: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	j, err := c.Submit(ctx, testSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if j.Cached || j.ID == "" {
+		t.Fatalf("fresh submit: %+v", j)
+	}
+	fin, err := c.Wait(ctx, j.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if fin.State != "done" || fin.Result == nil || fin.Result.Committed == 0 {
+		t.Fatalf("bad terminal job: %+v", fin)
+	}
+
+	// Identical spec again: served from cache, no second engine run.
+	j2, err := c.Submit(ctx, testSpec())
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if !j2.Cached || j2.Result == nil || j2.Result.Cycles != fin.Result.Cycles {
+		t.Fatalf("expected cached result: %+v", j2)
+	}
+	if got := s.runs.Load(); got != 1 {
+		t.Fatalf("engine runs = %d, want 1", got)
+	}
+	st, err := c.Statsz(ctx)
+	if err != nil {
+		t.Fatalf("statsz: %v", err)
+	}
+	cacheStats := st["cache"].(map[string]any)
+	if hits := cacheStats["hits"].(float64); hits < 1 {
+		t.Fatalf("statsz cache hits = %v, want >= 1", hits)
+	}
+
+	// A different spec is a different key and a fresh run.
+	other := testSpec()
+	other.Seed = 99
+	j3, err := c.SubmitWait(ctx, other, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("other submit: %v", err)
+	}
+	if j3.Cached || j3.State != "done" {
+		t.Fatalf("different seed should not hit the cache: %+v", j3)
+	}
+	if got := s.runs.Load(); got != 2 {
+		t.Fatalf("engine runs = %d, want 2", got)
+	}
+}
+
+// TestConcurrentIdenticalSubmissions is the acceptance scenario: N
+// concurrent identical submissions produce exactly one engine run; every
+// other submission is a cache hit or coalesces onto the in-flight job.
+func TestConcurrentIdenticalSubmissions(t *testing.T) {
+	const n = 8
+	s, c := startServer(t, Config{Workers: 4, QueueDepth: 16, ProgressEvery: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	results := make([]*client.Job, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.SubmitWait(ctx, testSpec(), 5*time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	var cycles int64 = -1
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submitter %d: %v", i, errs[i])
+		}
+		j := results[i]
+		if j.State != "done" || j.Result == nil {
+			t.Fatalf("submitter %d job: %+v", i, j)
+		}
+		if cycles < 0 {
+			cycles = j.Result.Cycles
+		} else if j.Result.Cycles != cycles {
+			t.Fatalf("submitter %d got different result: %d vs %d", i, j.Result.Cycles, cycles)
+		}
+	}
+	if got := s.runs.Load(); got != 1 {
+		t.Fatalf("engine runs = %d, want exactly 1 for %d identical submissions", got, n)
+	}
+	hits := s.cache.Stats().Hits
+	coal := s.coalesced.Load()
+	if hits+coal != n-1 {
+		t.Fatalf("cache hits (%d) + coalesced (%d) = %d, want %d", hits, coal, hits+coal, n-1)
+	}
+}
+
+func TestQueueOverflowReturns429(t *testing.T) {
+	g := newGatedRunner()
+	_, c := startServer(t, Config{Workers: 1, QueueDepth: 1, Runner: g.run})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Distinct specs so nothing coalesces.
+	sp := func(seed int64) spec.Spec { s := testSpec(); s.Seed = seed; return s }
+
+	a, err := c.Submit(ctx, sp(1))
+	if err != nil {
+		t.Fatalf("submit a: %v", err)
+	}
+	<-g.started // a is running, the queue slot is free again
+	if _, err := c.Submit(ctx, sp(2)); err != nil {
+		t.Fatalf("submit b: %v", err)
+	}
+	_, err = c.Submit(ctx, sp(3))
+	var re *client.RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RetryError (429), got %v", err)
+	}
+	if re.After <= 0 {
+		t.Fatalf("Retry-After not propagated: %+v", re)
+	}
+
+	// Backpressure clears once the backlog drains.
+	g.release <- struct{}{}
+	<-g.started
+	g.release <- struct{}{}
+	if _, err := c.Wait(ctx, a.ID, 5*time.Millisecond); err != nil {
+		t.Fatalf("wait a: %v", err)
+	}
+	g.release <- struct{}{} // pre-release c's gated run
+	if _, err := c.SubmitWait(ctx, sp(3), 5*time.Millisecond); err != nil {
+		t.Fatalf("resubmit c after backlog drained: %v", err)
+	}
+}
+
+func TestSSEProgressThenTerminal(t *testing.T) {
+	// A larger run so the stream attaches while the job is in flight.
+	_, c := startServer(t, Config{Workers: 1, QueueDepth: 4, ProgressEvery: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	sp := testSpec()
+	sp.Scale = 2
+	j, err := c.Submit(ctx, sp)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var progress, terminal int
+	var termName string
+	err = c.Events(ctx, j.ID, func(ev client.Event) error {
+		switch ev.Name {
+		case "progress":
+			progress++
+		default:
+			terminal++
+			termName = ev.Name
+			if !strings.Contains(string(ev.Data), `"result"`) {
+				return fmt.Errorf("terminal event without result: %s", ev.Data)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	if progress < 1 {
+		t.Fatalf("SSE delivered %d progress events, want >= 1", progress)
+	}
+	if terminal != 1 || termName != "done" {
+		t.Fatalf("terminal events = %d (%q), want exactly one 'done'", terminal, termName)
+	}
+}
+
+func TestCancelPendingAndRunning(t *testing.T) {
+	g := newGatedRunner()
+	_, c := startServer(t, Config{Workers: 1, QueueDepth: 4, Runner: g.run})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sp := func(seed int64) spec.Spec { s := testSpec(); s.Seed = seed; return s }
+
+	running, err := c.Submit(ctx, sp(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	pending, err := c.Submit(ctx, sp(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pending: cancelled immediately, never runs.
+	got, err := c.Cancel(ctx, pending.ID)
+	if err != nil {
+		t.Fatalf("cancel pending: %v", err)
+	}
+	if got.State != "cancelled" {
+		t.Fatalf("pending after cancel: %+v", got)
+	}
+
+	// Running: interrupt is raised; the job unwinds to cancelled.
+	if _, err := c.Cancel(ctx, running.ID); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	g.release <- struct{}{} // let the gated run observe the interrupt
+	fin, err := c.Wait(ctx, running.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if fin.State != "cancelled" {
+		t.Fatalf("running job after interrupt: %+v", fin)
+	}
+
+	// Cancelling a terminal job is idempotent.
+	if again, err := c.Cancel(ctx, pending.ID); err != nil || again.State != "cancelled" {
+		t.Fatalf("re-cancel: %+v, %v", again, err)
+	}
+	if _, err := c.Cancel(ctx, "zzz"); err == nil {
+		t.Fatal("cancel of unknown job should 404")
+	}
+}
+
+// TestDrainFinishesAcceptedJobs is the graceful-shutdown acceptance
+// scenario: during drain no new work is admitted, but everything already
+// accepted (running AND queued) completes and its results stay
+// retrievable.
+func TestDrainFinishesAcceptedJobs(t *testing.T) {
+	g := newGatedRunner()
+	s, c := startServer(t, Config{Workers: 1, QueueDepth: 4, Runner: g.run})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sp := func(seed int64) spec.Spec { s := testSpec(); s.Seed = seed; return s }
+
+	a, err := c.Submit(ctx, sp(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	b, err := c.Submit(ctx, sp(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(ctx) }()
+
+	// Admission is closed while draining.
+	waitFor(t, func() bool { return c.Healthz(ctx) != nil })
+	if _, err := c.Submit(ctx, sp(3)); err == nil {
+		t.Fatal("submit during drain should be rejected")
+	}
+
+	// Release both gated runs; drain completes without dropping either.
+	g.release <- struct{}{}
+	<-g.started
+	g.release <- struct{}{}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		j, err := c.Get(ctx, id)
+		if err != nil {
+			t.Fatalf("get %s after drain: %v", id, err)
+		}
+		if j.State != "done" || j.Result == nil {
+			t.Fatalf("job %s dropped by drain: %+v", id, j)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, c := startServer(t, Config{Workers: 1, QueueDepth: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := c.Submit(ctx, spec.Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := c.Submit(ctx, spec.Spec{Workload: "fft", Scheme: "bogus"}); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+	if _, err := c.Get(ctx, "j999"); err == nil {
+		t.Fatal("unknown job id should 404")
+	}
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+}
+
+// TestEventsAfterCompletion: a subscriber that attaches after the job
+// finished still gets the last progress snapshot and the terminal event.
+func TestEventsAfterCompletion(t *testing.T) {
+	_, c := startServer(t, Config{Workers: 1, QueueDepth: 2, ProgressEvery: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	j, err := c.SubmitWait(ctx, testSpec(), 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progress, terminal int
+	if err := c.Events(ctx, j.ID, func(ev client.Event) error {
+		if ev.Name == "progress" {
+			progress++
+		} else {
+			terminal++
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	if progress < 1 || terminal != 1 {
+		t.Fatalf("late subscriber saw %d progress, %d terminal", progress, terminal)
+	}
+}
+
+// TestRunnerUsesEngineInterrupt: the default RealRunner really stops an
+// engine run when the job's interrupt is raised (DELETE on a running
+// job), completing the service→engine cancellation path.
+func TestRunnerUsesEngineInterrupt(t *testing.T) {
+	s, c := startServer(t, Config{Workers: 1, QueueDepth: 2, ProgressEvery: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	// A big deterministic run: slow enough to catch mid-flight.
+	sp := spec.Spec{Workload: "barnes", Scale: 4, Scheme: "cc", Seed: 1}
+	j, err := c.Submit(ctx, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel as soon as it is running. If the run wins the race and
+	// finishes first, cancellation is an idempotent no-op — both outcomes
+	// are legal; what matters is that an interrupted engine run unwinds to
+	// cancelled and the worker survives.
+	waitFor(t, func() bool {
+		jj, err := c.Get(ctx, j.ID)
+		if err != nil {
+			return false
+		}
+		return jj.State == "running" || jj.Terminal()
+	})
+	if _, err := c.Cancel(ctx, j.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	fin, err := c.Wait(ctx, j.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if fin.State != "cancelled" && fin.State != "done" {
+		t.Fatalf("state after interrupt = %s", fin.State)
+	}
+	// Whichever way the race went, the worker pool is healthy again.
+	if _, err := c.SubmitWait(ctx, testSpec(), 10*time.Millisecond); err != nil {
+		t.Fatalf("pool wedged after interrupt: %v", err)
+	}
+	_ = s
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

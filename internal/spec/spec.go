@@ -1,0 +1,199 @@
+// Package spec defines the canonical run specification shared by every
+// front end: the slacksim and sweep CLIs, the slacksimd HTTP service, and
+// the Go client all parse, validate and normalize the same Spec, so a
+// run means the same thing no matter how it was requested. A normalized
+// Spec also has a stable content address (Key) used by the service's
+// result cache to serve identical runs without re-simulating.
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"slacksim"
+	"slacksim/internal/workload"
+)
+
+// Spec is one fully-described simulation run. The zero value is not
+// runnable; call Normalize to apply defaults and Validate before use.
+// The json names are the service's request contract.
+type Spec struct {
+	// Workload names a built-in benchmark ("fft", "lu", "barnes", ...).
+	Workload string `json:"workload"`
+	// Scale multiplies the workload's input size (default 1).
+	Scale int `json:"scale,omitempty"`
+	// Cores is the number of target cores (default 8).
+	Cores int `json:"cores,omitempty"`
+	// Scheme is the slack scheme in CLI syntax: "cc", "s<N>", "su",
+	// "q<N>", "p2p<N>", or "adaptive" (default "cc").
+	Scheme string `json:"scheme,omitempty"`
+	// TargetRate and Band tune the adaptive controller (ignored by other
+	// schemes; zeroed during normalization so they never affect the Key).
+	TargetRate float64 `json:"target_rate,omitempty"`
+	Band       float64 `json:"band,omitempty"`
+	// Seed drives the deterministic host's scheduling.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxInstructions stops the run after N total committed instructions.
+	MaxInstructions uint64 `json:"max_instructions,omitempty"`
+	// CheckpointInterval takes a global checkpoint every N cycles.
+	CheckpointInterval int64 `json:"checkpoint_interval,omitempty"`
+	// Rollback enables speculative slack simulation (deterministic host).
+	Rollback bool `json:"rollback,omitempty"`
+	// MapViolationsOnly restricts adaptation/rollback to map violations.
+	MapViolationsOnly bool `json:"map_only,omitempty"`
+	// Parallel selects the goroutine-parallel host.
+	Parallel bool `json:"parallel,omitempty"`
+}
+
+// Normalize returns the spec with defaults applied and identity-free
+// noise removed: names are trimmed and lower-cased, zero Scale/Cores
+// become their defaults, and adaptive tuning fields are cleared for
+// non-adaptive schemes. Two specs describing the same run normalize to
+// the same value, which is what Key hashes.
+func (s Spec) Normalize() Spec {
+	s.Workload = strings.ToLower(strings.TrimSpace(s.Workload))
+	s.Scheme = strings.ToLower(strings.TrimSpace(s.Scheme))
+	if s.Scheme == "" {
+		s.Scheme = "cc"
+	}
+	if s.Scale < 1 {
+		s.Scale = 1
+	}
+	if s.Cores == 0 {
+		s.Cores = 8
+	}
+	if s.Scheme != "adaptive" {
+		s.TargetRate, s.Band = 0, 0
+	} else {
+		// Fill the paper's base configuration in so "adaptive" and an
+		// explicitly-spelled default adapt to the same cache key.
+		def := slacksim.Schemes.AdaptiveDefault().Adaptive
+		if s.TargetRate == 0 {
+			s.TargetRate = def.TargetRate
+		}
+		if s.Band == 0 {
+			s.Band = def.Band
+		}
+	}
+	return s
+}
+
+// Validate reports whether the normalized spec describes a runnable
+// simulation. It checks the workload name, scheme syntax and parameters,
+// and host/feature combinations, mirroring what the engine would reject
+// at run time so front ends fail fast with a clear message.
+func (s Spec) Validate() error {
+	s = s.Normalize()
+	if s.Workload == "" {
+		return fmt.Errorf("spec: workload is required")
+	}
+	if _, err := workload.ByName(s.Workload, s.Scale); err != nil {
+		return err
+	}
+	if s.Cores < 1 {
+		return fmt.Errorf("spec: cores must be positive, got %d", s.Cores)
+	}
+	sch, err := ParseScheme(s.Scheme, s.TargetRate, s.Band)
+	if err != nil {
+		return err
+	}
+	if err := sch.Validate(); err != nil {
+		return err
+	}
+	if s.Rollback && s.CheckpointInterval <= 0 {
+		return fmt.Errorf("spec: rollback requires a checkpoint interval")
+	}
+	if s.Rollback && s.Parallel {
+		return fmt.Errorf("spec: rollback is only supported on the deterministic host")
+	}
+	if s.CheckpointInterval < 0 {
+		return fmt.Errorf("spec: negative checkpoint interval")
+	}
+	return nil
+}
+
+// Key returns the spec's content address: the hex SHA-256 of a canonical
+// fixed-order rendering of the normalized spec. Identical runs — however
+// their specs were spelled — share a key; any field that changes the
+// simulation changes the key.
+func (s Spec) Key() string {
+	n := s.Normalize()
+	canon := fmt.Sprintf(
+		"v1|workload=%s|scale=%d|cores=%d|scheme=%s|target=%g|band=%g|seed=%d|maxinst=%d|ckpt=%d|rollback=%t|maponly=%t|parallel=%t",
+		n.Workload, n.Scale, n.Cores, n.Scheme, n.TargetRate, n.Band,
+		n.Seed, n.MaxInstructions, n.CheckpointInterval,
+		n.Rollback, n.MapViolationsOnly, n.Parallel)
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:])
+}
+
+// Config builds the slacksim.Config for this spec. Front-end-only knobs
+// (tracing, progress hooks, interrupts) are not part of a Spec; callers
+// set them on the returned Config.
+func (s Spec) Config() (slacksim.Config, error) {
+	n := s.Normalize()
+	if err := n.Validate(); err != nil {
+		return slacksim.Config{}, err
+	}
+	sch, err := ParseScheme(n.Scheme, n.TargetRate, n.Band)
+	if err != nil {
+		return slacksim.Config{}, err
+	}
+	return slacksim.Config{
+		Workload:           n.Workload,
+		Scale:              n.Scale,
+		Cores:              n.Cores,
+		Scheme:             sch,
+		Seed:               n.Seed,
+		MaxInstructions:    n.MaxInstructions,
+		CheckpointInterval: n.CheckpointInterval,
+		Rollback:           n.Rollback,
+		MapViolationsOnly:  n.MapViolationsOnly,
+		Parallel:           n.Parallel,
+	}, nil
+}
+
+// ParseScheme parses the CLI scheme syntax shared by every front end:
+// "cc", "s<N>" (bounded), "su"/"unbounded", "q<N>" (quantum), "p2p<N>"
+// (Lax-P2P with period = max-ahead = N), or "adaptive". target and band,
+// when positive, override the adaptive controller's defaults.
+func ParseScheme(s string, target, band float64) (slacksim.Scheme, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch {
+	case s == "cc":
+		return slacksim.Schemes.CC(), nil
+	case s == "su" || s == "unbounded":
+		return slacksim.Schemes.Unbounded(), nil
+	case s == "adaptive":
+		cfg := slacksim.Schemes.AdaptiveDefault().Adaptive
+		if target > 0 {
+			cfg.TargetRate = target
+		}
+		if band > 0 {
+			cfg.Band = band
+		}
+		return slacksim.Schemes.Adaptive(cfg), nil
+	case strings.HasPrefix(s, "p2p"):
+		period, err := strconv.ParseInt(s[3:], 10, 64)
+		if err != nil {
+			return slacksim.Scheme{}, fmt.Errorf("spec: bad lax-p2p scheme %q", s)
+		}
+		return slacksim.Schemes.LaxP2P(period, period), nil
+	case strings.HasPrefix(s, "s"):
+		b, err := strconv.ParseInt(s[1:], 10, 64)
+		if err != nil {
+			return slacksim.Scheme{}, fmt.Errorf("spec: bad bounded scheme %q", s)
+		}
+		return slacksim.Schemes.Bounded(b), nil
+	case strings.HasPrefix(s, "q"):
+		q, err := strconv.ParseInt(s[1:], 10, 64)
+		if err != nil {
+			return slacksim.Scheme{}, fmt.Errorf("spec: bad quantum scheme %q", s)
+		}
+		return slacksim.Schemes.Quantum(q), nil
+	}
+	return slacksim.Scheme{}, fmt.Errorf("spec: unknown scheme %q (want cc, s<N>, su, q<N>, p2p<N>, adaptive)", s)
+}

@@ -1,0 +1,145 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"slacksim"
+)
+
+func TestParseScheme(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"cc", "CC"},
+		{"s10", "S10"},
+		{"su", "SU"},
+		{"unbounded", "SU"},
+		{"q100", "Q100"},
+		{"p2p50", "P2P50"},
+		{"adaptive", "adaptive"},
+		{" S8 ", "S8"}, // case/space insensitive
+	}
+	for _, c := range cases {
+		sch, err := ParseScheme(c.in, 0, 0)
+		if err != nil {
+			t.Fatalf("ParseScheme(%q): %v", c.in, err)
+		}
+		if sch.Name() != c.want {
+			t.Fatalf("ParseScheme(%q) = %s, want %s", c.in, sch.Name(), c.want)
+		}
+	}
+	for _, bad := range []string{"", "xyz", "sNaN", "qq", "p2p", "s"} {
+		if _, err := ParseScheme(bad, 0, 0); err == nil {
+			t.Fatalf("ParseScheme(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestParseSchemeAdaptiveOverrides(t *testing.T) {
+	sch, err := ParseScheme("adaptive", 0.0005, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Adaptive.TargetRate != 0.0005 || sch.Adaptive.Band != 0.1 {
+		t.Fatalf("overrides not applied: %+v", sch.Adaptive)
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	n := Spec{Workload: " FFT "}.Normalize()
+	if n.Workload != "fft" || n.Scheme != "cc" || n.Scale != 1 || n.Cores != 8 {
+		t.Fatalf("bad defaults: %+v", n)
+	}
+	// Adaptive tuning noise is cleared for non-adaptive schemes.
+	n = Spec{Workload: "fft", Scheme: "s10", TargetRate: 0.5, Band: 0.5}.Normalize()
+	if n.TargetRate != 0 || n.Band != 0 {
+		t.Fatalf("tuning fields not cleared: %+v", n)
+	}
+	// ... and filled with the paper's defaults for adaptive.
+	n = Spec{Workload: "fft", Scheme: "adaptive"}.Normalize()
+	if n.TargetRate == 0 || n.Band == 0 {
+		t.Fatalf("adaptive defaults not filled: %+v", n)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Spec{Workload: "fft", Scheme: "s8", Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{},                                // no workload
+		{Workload: "nope"},                // unknown workload
+		{Workload: "fft", Scheme: "zz"},   // bad scheme
+		{Workload: "fft", Scheme: "s0"},   // bound < 1
+		{Workload: "fft", Rollback: true}, // rollback without ckpt
+		{Workload: "fft", Rollback: true, CheckpointInterval: 100, Parallel: true}, // rollback on parallel host
+		{Workload: "fft", Cores: -2}, // bad cores
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad spec %d unexpectedly validated: %+v", i, s)
+		}
+	}
+}
+
+func TestKeyCanonicalization(t *testing.T) {
+	a := Spec{Workload: "FFT", Scheme: "", Seed: 1}
+	b := Spec{Workload: "fft", Scheme: "cc", Scale: 1, Cores: 8, Seed: 1}
+	if a.Key() != b.Key() {
+		t.Fatalf("equivalent specs hash differently:\n%s\n%s", a.Key(), b.Key())
+	}
+	if len(a.Key()) != 64 || strings.ToLower(a.Key()) != a.Key() {
+		t.Fatalf("key is not lowercase hex sha256: %q", a.Key())
+	}
+	// Every simulation-relevant field must change the key.
+	base := Spec{Workload: "fft", Scheme: "s8", Seed: 1}
+	variants := []Spec{
+		{Workload: "lu", Scheme: "s8", Seed: 1},
+		{Workload: "fft", Scheme: "s16", Seed: 1},
+		{Workload: "fft", Scheme: "s8", Seed: 2},
+		{Workload: "fft", Scheme: "s8", Seed: 1, Scale: 2},
+		{Workload: "fft", Scheme: "s8", Seed: 1, Cores: 4},
+		{Workload: "fft", Scheme: "s8", Seed: 1, MaxInstructions: 100},
+		{Workload: "fft", Scheme: "s8", Seed: 1, CheckpointInterval: 50},
+		{Workload: "fft", Scheme: "s8", Seed: 1, Parallel: true},
+		{Workload: "fft", Scheme: "s8", Seed: 1, MapViolationsOnly: true},
+	}
+	seen := map[string]int{base.Key(): -1}
+	for i, v := range variants {
+		k := v.Key()
+		if j, dup := seen[k]; dup {
+			t.Fatalf("variant %d collides with %d", i, j)
+		}
+		seen[k] = i
+	}
+	// Irrelevant tuning noise must NOT change the key.
+	noisy := Spec{Workload: "fft", Scheme: "s8", Seed: 1, TargetRate: 0.9, Band: 0.9}
+	if noisy.Key() != base.Key() {
+		t.Fatalf("non-adaptive tuning fields leaked into the key")
+	}
+}
+
+func TestConfigBuilds(t *testing.T) {
+	cfg, err := Spec{Workload: "fft", Scheme: "q100", Seed: 3, Parallel: true}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workload != "fft" || cfg.Scheme.Name() != "Q100" || !cfg.Parallel || cfg.Seed != 3 {
+		t.Fatalf("bad config: %+v", cfg)
+	}
+	// The built config must actually run.
+	sim, err := slacksim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+}

@@ -198,19 +198,21 @@ func (d *Detector) WindowCountAndReset() uint64 {
 	return n
 }
 
-// IntervalReport is the Table 3/4 summary for one interval length.
+// IntervalReport is the Table 3/4 summary for one interval length. The
+// json tags are part of the stable Results serialization contract (see
+// engine.Results).
 type IntervalReport struct {
-	Interval int64
+	Interval int64 `json:"interval"`
 	// TotalIntervals is the number of whole intervals covered by the run.
-	TotalIntervals int64
+	TotalIntervals int64 `json:"total_intervals"`
 	// ViolatingIntervals is how many contained at least one selected
 	// violation.
-	ViolatingIntervals int64
+	ViolatingIntervals int64 `json:"violating_intervals"`
 	// FractionViolating is ViolatingIntervals / TotalIntervals (Table 3's F).
-	FractionViolating float64
+	FractionViolating float64 `json:"fraction_violating"`
 	// MeanFirstDistance is the mean distance, in cycles, from the start of
 	// a violating interval to its first violation (Table 4's Dr).
-	MeanFirstDistance float64
+	MeanFirstDistance float64 `json:"mean_first_distance"`
 }
 
 // Intervals produces the report for every tracked interval length, given

@@ -25,6 +25,8 @@ package slacksim
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"slacksim/internal/adaptive"
 	"slacksim/internal/engine"
@@ -48,6 +50,17 @@ type AdaptiveConfig = adaptive.Config
 // IntervalReport carries per-checkpoint-interval violation statistics
 // (fraction of intervals violating, mean first-violation distance).
 type IntervalReport = violation.IntervalReport
+
+// Progress is a monotone snapshot of a run's forward motion, delivered
+// through Config.OnProgress (see engine.Progress).
+type Progress = engine.Progress
+
+// StallError is the structured no-forward-progress failure returned by
+// parallel runs whose stall watchdog fired.
+type StallError = engine.StallError
+
+// ErrInterrupted reports that a run was stopped early via Config.Interrupt.
+var ErrInterrupted = engine.ErrInterrupted
 
 // Schemes groups the scheme constructors.
 var Schemes = struct {
@@ -122,6 +135,18 @@ type Config struct {
 	// rollbacks), retrievable with Simulation.Trace after the run.
 	// Deterministic host only.
 	TraceEvents int
+	// OnProgress, when non-nil, receives monotone progress snapshots as
+	// the run advances; the callback must be fast and non-blocking.
+	OnProgress func(Progress)
+	// ProgressEvery is the minimum global-time advance, in simulated
+	// cycles, between OnProgress deliveries (default 1024).
+	ProgressEvery int64
+	// Interrupt, when non-nil, is an external stop request: set it true
+	// and the run returns ErrInterrupted at its next pacing step.
+	Interrupt *atomic.Bool
+	// StallTimeout overrides the parallel host's stall-watchdog budget
+	// (0 = the 30s default, negative disables it).
+	StallTimeout time.Duration
 }
 
 // Simulation is a constructed machine ready to run once.
@@ -166,6 +191,10 @@ func NewWithWorkload(cfg Config, w workload.Workload) (*Simulation, error) {
 		CheckpointInterval: cfg.CheckpointInterval,
 		Rollback:           cfg.Rollback,
 		TrackIntervals:     cfg.TrackIntervals,
+		OnProgress:         cfg.OnProgress,
+		ProgressEvery:      cfg.ProgressEvery,
+		Interrupt:          cfg.Interrupt,
+		StallTimeout:       cfg.StallTimeout,
 	}
 	if cfg.MapViolationsOnly {
 		rc.Selected = []violation.Type{violation.Map}
