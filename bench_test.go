@@ -209,6 +209,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	} {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var cycles int64
 			for i := 0; i < b.N; i++ {
 				sim, err := New(Config{
@@ -231,6 +232,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // BenchmarkParallelHost measures the goroutine host on the same workload,
 // for comparison with the deterministic host.
 func BenchmarkParallelHost(b *testing.B) {
+	b.ReportAllocs()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
 		sim, err := New(Config{

@@ -5,6 +5,7 @@
 //	experiments                  # everything at the default quick scale
 //	experiments -only fig3       # one experiment
 //	experiments -scale 2 -seed 7 # bigger inputs, different schedule
+//	experiments -par 1           # serial runs (e.g. for clean wall-clocks)
 package main
 
 import (
@@ -15,21 +16,32 @@ import (
 	"time"
 
 	"slacksim/internal/experiments"
+	"slacksim/internal/prof"
 )
 
 func main() {
 	var (
-		scale = flag.Int("scale", 1, "workload input scale")
-		cores = flag.Int("cores", 8, "target cores")
-		seed  = flag.Int64("seed", 1, "scheduling seed")
-		only  = flag.String("only", "", "run one experiment: fig3, fig4, table2, table34, table5, ablations, scaling")
+		scale   = flag.Int("scale", 1, "workload input scale")
+		cores   = flag.Int("cores", 8, "target cores")
+		seed    = flag.Int64("seed", 1, "scheduling seed")
+		par     = flag.Int("par", 0, "experiment workers (0 = one per host thread, 1 = serial)")
+		only    = flag.String("only", "", "run one experiment: fig3, fig4, table2, table34, table5, ablations, scaling")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	cfg := experiments.Default()
 	cfg.Scale = *scale
 	cfg.Cores = *cores
 	cfg.Seed = *seed
+	cfg.Parallelism = *par
 
 	want := func(name string) bool { return *only == "" || *only == name }
 	start := time.Now()

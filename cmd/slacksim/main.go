@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"slacksim"
+	"slacksim/internal/prof"
 	"slacksim/internal/spec"
 	"slacksim/internal/workload"
 )
@@ -41,8 +42,16 @@ func main() {
 		traceN   = flag.Int("trace", 0, "keep and print the last N trace events")
 		dump     = flag.Bool("dump", false, "disassemble core 0's program and exit")
 		asJSON   = flag.Bool("json", false, "print the full results as JSON instead of the table")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	if *dump {
 		w, err := workload.ByName(*wl, *scale)
@@ -110,6 +119,7 @@ func main() {
 	if *verify {
 		if err := sim.Verify(); err != nil {
 			fmt.Fprintf(os.Stderr, "FUNCTIONAL CHECK FAILED: %v\n", err)
+			stopProf() // deferred calls do not survive os.Exit
 			os.Exit(1)
 		}
 		if !*asJSON {

@@ -33,6 +33,7 @@ func main() {
 		progress = flag.Int64("progress-every", 256, "min cycles between SSE progress events")
 		stall    = flag.Duration("stall", 30*time.Second, "per-run stall watchdog timeout")
 		drain    = flag.Duration("drain-timeout", 60*time.Second, "max time to finish accepted jobs on shutdown")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 		CacheSize:     *cache,
 		ProgressEvery: *progress,
 		StallTimeout:  *stall,
+		Pprof:         *pprofOn,
 	})
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -138,9 +138,43 @@ func (b *Bus) Snapshot() *Bus {
 	return &c
 }
 
-// Restore overwrites the bus state from a snapshot.
+// Restore overwrites the bus state from a snapshot, reusing the existing
+// reservation backing arrays (lengths are bounded by resWindow, so after
+// warm-up no restore allocates).
 func (b *Bus) Restore(snap *Bus) {
+	reqRes := append(b.reqRes[:0], snap.reqRes...)
+	respRes := append(b.respRes[:0], snap.respRes...)
 	*b = *snap
-	b.reqRes = append([]int64(nil), snap.reqRes...)
-	b.respRes = append([]int64(nil), snap.respRes...)
+	b.reqRes, b.respRes = reqRes, respRes
+}
+
+// SyncSnapshot brings snap up to date with the live bus, reusing snap's
+// backing arrays. The bus state is small and bounded (two reservation
+// windows plus scalars), so there is no per-field dirty tracking — the
+// whole state is the undo set.
+func (b *Bus) SyncSnapshot(snap *Bus) {
+	snap.Restore(b)
+}
+
+// Equal reports whether two buses hold identical reservations, monitor
+// state, and counters (used by checkpoint-equivalence tests).
+func (b *Bus) Equal(o *Bus) bool {
+	if b.monitor != o.monitor ||
+		b.ReqOccupancy != o.ReqOccupancy || b.RespOccupancy != o.RespOccupancy ||
+		b.Grants != o.Grants || b.Conflicts != o.Conflicts ||
+		b.RespConflicts != o.RespConflicts || b.Violations != o.Violations ||
+		len(b.reqRes) != len(o.reqRes) || len(b.respRes) != len(o.respRes) {
+		return false
+	}
+	for i := range b.reqRes {
+		if b.reqRes[i] != o.reqRes[i] {
+			return false
+		}
+	}
+	for i := range b.respRes {
+		if b.respRes[i] != o.respRes[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -69,6 +69,21 @@ type Cache struct {
 
 	// Statistics.
 	Hits, Misses, Evictions, Writebacks uint64
+
+	// Incremental-checkpoint support: sets touched since the last sync.
+	// Granularity is a whole set (Assoc lines) — fine enough to skip the
+	// untouched bulk of the array, coarse enough that marking is one
+	// branch on the hit path.
+	track     bool
+	dirty     []bool
+	dirtyList []uint32
+}
+
+func (c *Cache) markSet(set uint64) {
+	if c.track && !c.dirty[set] {
+		c.dirty[set] = true
+		c.dirtyList = append(c.dirtyList, uint32(set))
+	}
 }
 
 // New builds a cache from cfg, panicking on invalid configuration (caches
@@ -132,6 +147,7 @@ func (c *Cache) Probe(lineAddr uint64, write bool) bool {
 		c.lruClk++
 		l.lru = c.lruClk
 		c.Hits++
+		c.markSet(lineAddr & c.setMask)
 	} else {
 		c.Misses++
 	}
@@ -147,6 +163,7 @@ func (c *Cache) SetState(lineAddr uint64, s coherence.State) {
 		if s == coherence.Invalid {
 			l.tag = 0
 		}
+		c.markSet(lineAddr & c.setMask)
 	} else if s != coherence.Invalid {
 		panic(fmt.Sprintf("cache %s: SetState(%#x,%v) on absent line", c.cfg.Name, lineAddr, s))
 	}
@@ -167,9 +184,11 @@ func (c *Cache) Insert(lineAddr uint64, s coherence.State) Victim {
 		l.state = s
 		c.lruClk++
 		l.lru = c.lruClk
+		c.markSet(lineAddr & c.setMask)
 		return Victim{}
 	}
 	set, tag := c.index(lineAddr)
+	c.markSet(set)
 	ways := c.sets[set]
 	vi := 0
 	for i := range ways {
@@ -238,6 +257,69 @@ func (c *Cache) Restore(snap *Cache) {
 	for i := range c.sets {
 		copy(c.sets[i], snap.sets[i])
 	}
+	c.clearDirty()
+}
+
+// StartTracking begins dirty-set tracking for incremental checkpoints; the
+// caller takes a full Snapshot at the same instant.
+func (c *Cache) StartTracking() {
+	c.track = true
+	if c.dirty == nil {
+		c.dirty = make([]bool, len(c.sets))
+	}
+	c.clearDirty()
+}
+
+func (c *Cache) clearDirty() {
+	for _, s := range c.dirtyList {
+		c.dirty[s] = false
+	}
+	c.dirtyList = c.dirtyList[:0]
+}
+
+// SyncSnapshot brings snap (a full Snapshot kept current since tracking
+// started) up to date by copying only the sets touched since the last
+// sync or restore, plus the scalar stats.
+func (c *Cache) SyncSnapshot(snap *Cache) {
+	snap.lruClk = c.lruClk
+	snap.Hits, snap.Misses, snap.Evictions, snap.Writebacks =
+		c.Hits, c.Misses, c.Evictions, c.Writebacks
+	for _, s := range c.dirtyList {
+		c.dirty[s] = false
+		copy(snap.sets[s], c.sets[s])
+	}
+	c.dirtyList = c.dirtyList[:0]
+}
+
+// RestoreDirty rolls the cache back to snap by copying back only the sets
+// touched since the last sync.
+func (c *Cache) RestoreDirty(snap *Cache) {
+	c.lruClk = snap.lruClk
+	c.Hits, c.Misses, c.Evictions, c.Writebacks =
+		snap.Hits, snap.Misses, snap.Evictions, snap.Writebacks
+	for _, s := range c.dirtyList {
+		c.dirty[s] = false
+		copy(c.sets[s], snap.sets[s])
+	}
+	c.dirtyList = c.dirtyList[:0]
+}
+
+// Equal reports whether two caches hold identical tag/state/LRU contents
+// and statistics (used by checkpoint-equivalence tests).
+func (c *Cache) Equal(o *Cache) bool {
+	if c.cfg != o.cfg || c.lruClk != o.lruClk ||
+		c.Hits != o.Hits || c.Misses != o.Misses ||
+		c.Evictions != o.Evictions || c.Writebacks != o.Writebacks {
+		return false
+	}
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			if c.sets[i][j] != o.sets[i][j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // StateWords estimates the number of 64-bit words of live state (for the

@@ -27,6 +27,12 @@ type MSHRFile struct {
 	Merges uint64
 	// Full counts allocation attempts rejected because the file was full.
 	Full uint64
+
+	// version counts mutations. All state changes funnel through
+	// Allocate/Release (entries are never mutated through Lookup/ForEach
+	// pointers), so an incremental checkpoint can skip the whole file when
+	// the version matches the snapshot's.
+	version uint64
 }
 
 // NewMSHRFile returns a file with the given capacity.
@@ -58,6 +64,7 @@ func (f *MSHRFile) Lookup(lineAddr uint64) *MSHR {
 // whether this is a new (primary) miss; (nil,false) means the file is full
 // and the requester must retry later.
 func (f *MSHRFile) Allocate(lineAddr uint64, write bool, tag int, issueTS int64) (entry *MSHR, primary bool) {
+	f.version++
 	if e := f.Lookup(lineAddr); e != nil {
 		e.Write = e.Write || write
 		if tag >= 0 {
@@ -83,6 +90,7 @@ func (f *MSHRFile) Allocate(lineAddr uint64, write bool, tag int, issueTS int64)
 func (f *MSHRFile) Release(lineAddr uint64) []int {
 	for i := range f.entries {
 		if f.entries[i].LineAddr == lineAddr {
+			f.version++
 			w := f.entries[i].Waiters
 			f.entries = append(f.entries[:i], f.entries[i+1:]...)
 			return w
@@ -100,7 +108,7 @@ func (f *MSHRFile) ForEach(fn func(*MSHR)) {
 
 // Snapshot deep-copies the file.
 func (f *MSHRFile) Snapshot() *MSHRFile {
-	n := &MSHRFile{cap: f.cap, Merges: f.Merges, Full: f.Full}
+	n := &MSHRFile{cap: f.cap, Merges: f.Merges, Full: f.Full, version: f.version}
 	n.entries = make([]MSHR, len(f.entries))
 	for i, e := range f.entries {
 		e.Waiters = append([]int(nil), e.Waiters...)
@@ -113,9 +121,51 @@ func (f *MSHRFile) Snapshot() *MSHRFile {
 func (f *MSHRFile) Restore(snap *MSHRFile) {
 	f.cap = snap.cap
 	f.Merges, f.Full = snap.Merges, snap.Full
-	f.entries = make([]MSHR, len(snap.entries))
-	for i, e := range snap.entries {
+	f.entries = f.entries[:0]
+	for _, e := range snap.entries {
 		e.Waiters = append([]int(nil), e.Waiters...)
-		f.entries[i] = e
+		f.entries = append(f.entries, e)
 	}
+	f.version = snap.version
+}
+
+// SyncSnapshot brings snap up to date with the live file. When no
+// mutation has happened since the last sync (the common case between
+// dense checkpoints) it is a single integer compare.
+func (f *MSHRFile) SyncSnapshot(snap *MSHRFile) {
+	if snap.version == f.version && snap.cap == f.cap {
+		return
+	}
+	snap.Restore(f)
+}
+
+// RestoreDirty rolls the live file back to snap, skipping the copy when
+// nothing changed since the sync.
+func (f *MSHRFile) RestoreDirty(snap *MSHRFile) {
+	if f.version == snap.version && f.cap == snap.cap {
+		return
+	}
+	f.Restore(snap)
+}
+
+// Equal reports whether two files hold identical entries and stats.
+func (f *MSHRFile) Equal(o *MSHRFile) bool {
+	if f.cap != o.cap || f.Merges != o.Merges || f.Full != o.Full ||
+		len(f.entries) != len(o.entries) {
+		return false
+	}
+	for i := range f.entries {
+		a, b := &f.entries[i], &o.entries[i]
+		if a.LineAddr != b.LineAddr || a.Write != b.Write ||
+			a.Issued != b.Issued || a.IssueTS != b.IssueTS ||
+			len(a.Waiters) != len(b.Waiters) {
+			return false
+		}
+		for j := range a.Waiters {
+			if a.Waiters[j] != b.Waiters[j] {
+				return false
+			}
+		}
+	}
+	return true
 }

@@ -1,7 +1,7 @@
 package cache
 
 import (
-	"sort"
+	"slices"
 
 	"slacksim/internal/coherence"
 )
@@ -19,11 +19,19 @@ import (
 type StatusMap struct {
 	numCores int
 	lines    map[uint64]*mapEntry
+
+	// Incremental-checkpoint support: when tracking is on, every line
+	// touched by Apply since the last SyncSnapshot/RestoreDirty is flagged
+	// dirty and listed once in dirtyList, so a checkpoint copies only the
+	// touched entries and a rollback restores only the diverged ones.
+	track     bool
+	dirtyList []uint64
 }
 
 type mapEntry struct {
 	states    []coherence.State
 	monitorTS int64
+	dirty     bool
 }
 
 // NewStatusMap returns an empty map for a machine with numCores L1s.
@@ -83,17 +91,23 @@ func (m *StatusMap) OwnerOtherThan(lineAddr uint64, core int) int {
 // Holders returns, in ascending core order, every core other than the
 // requester holding a valid copy.
 func (m *StatusMap) Holders(lineAddr uint64, except int) []int {
+	return m.HoldersInto(nil, lineAddr, except)
+}
+
+// HoldersInto appends the holders to buf (reusing its backing array) and
+// returns it; the manager's hot path passes a per-uncore scratch slice so
+// servicing a request allocates nothing.
+func (m *StatusMap) HoldersInto(buf []int, lineAddr uint64, except int) []int {
 	e := m.lines[lineAddr]
 	if e == nil {
-		return nil
+		return buf
 	}
-	var out []int
 	for i, s := range e.states {
 		if i != except && s.Valid() {
-			out = append(out, i)
+			buf = append(buf, i)
 		}
 	}
-	return out
+	return buf
 }
 
 // Apply records a state transition for (lineAddr, core) performed by an
@@ -110,6 +124,10 @@ func (m *StatusMap) Holders(lineAddr uint64, except int) []int {
 // every request in the machine.
 func (m *StatusMap) Apply(lineAddr uint64, core int, s coherence.State, ts int64) (violation bool) {
 	e := m.entry(lineAddr)
+	if m.track && !e.dirty {
+		e.dirty = true
+		m.dirtyList = append(m.dirtyList, lineAddr)
+	}
 	old := e.states[core]
 	if ts < e.monitorTS {
 		violation = old == coherence.Modified || s == coherence.Modified
@@ -150,7 +168,7 @@ func (m *StatusMap) CheckLegal() []uint64 {
 			bad = append(bad, la)
 		}
 	}
-	sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
+	slices.Sort(bad)
 	return bad
 }
 
@@ -169,16 +187,104 @@ func (m *StatusMap) Snapshot() *StatusMap {
 	return n
 }
 
-// Restore overwrites the map from a snapshot.
+// Restore overwrites the map from a snapshot, reusing the existing map
+// and per-entry state slices instead of rebuilding them.
 func (m *StatusMap) Restore(snap *StatusMap) {
 	m.numCores = snap.numCores
-	m.lines = make(map[uint64]*mapEntry, len(snap.lines))
-	for la, e := range snap.lines {
-		m.lines[la] = &mapEntry{
-			states:    append([]coherence.State(nil), e.states...),
-			monitorTS: e.monitorTS,
+	for la := range m.lines {
+		if snap.lines[la] == nil {
+			delete(m.lines, la)
 		}
 	}
+	for la, se := range snap.lines {
+		e := m.lines[la]
+		if e == nil || len(e.states) != len(se.states) {
+			e = &mapEntry{states: make([]coherence.State, len(se.states))}
+			m.lines[la] = e
+		}
+		copy(e.states, se.states)
+		e.monitorTS = se.monitorTS
+		e.dirty = false
+	}
+	m.dirtyList = m.dirtyList[:0]
+}
+
+// StartTracking begins dirty-line tracking for incremental checkpoints.
+// The caller takes a full Snapshot at the same instant; from then on
+// SyncSnapshot keeps that snapshot current by copying only dirty entries.
+func (m *StatusMap) StartTracking() {
+	m.track = true
+	m.clearDirty()
+}
+
+func (m *StatusMap) clearDirty() {
+	for _, la := range m.dirtyList {
+		if e := m.lines[la]; e != nil {
+			e.dirty = false
+		}
+	}
+	m.dirtyList = m.dirtyList[:0]
+}
+
+// SyncSnapshot brings snap (a full Snapshot taken when tracking started,
+// kept in sync at every checkpoint since) up to date by copying only the
+// entries dirtied since the previous sync or restore.
+func (m *StatusMap) SyncSnapshot(snap *StatusMap) {
+	snap.numCores = m.numCores
+	for _, la := range m.dirtyList {
+		e := m.lines[la]
+		if e == nil {
+			continue
+		}
+		e.dirty = false
+		se := snap.lines[la]
+		if se == nil || len(se.states) != len(e.states) {
+			se = &mapEntry{states: make([]coherence.State, len(e.states))}
+			snap.lines[la] = se
+		}
+		copy(se.states, e.states)
+		se.monitorTS = e.monitorTS
+	}
+	m.dirtyList = m.dirtyList[:0]
+}
+
+// RestoreDirty rolls the map back to snap by undoing only the entries
+// dirtied since the last sync: diverged entries are copied back, entries
+// created after the checkpoint are deleted.
+func (m *StatusMap) RestoreDirty(snap *StatusMap) {
+	m.numCores = snap.numCores
+	for _, la := range m.dirtyList {
+		e := m.lines[la]
+		if e == nil {
+			continue
+		}
+		e.dirty = false
+		se := snap.lines[la]
+		if se == nil {
+			delete(m.lines, la)
+			continue
+		}
+		copy(e.states, se.states)
+		e.monitorTS = se.monitorTS
+	}
+	m.dirtyList = m.dirtyList[:0]
+}
+
+// Equal reports whether two maps record identical state (entries whose
+// states are all Invalid with an untouched monitor compare equal to
+// absent entries only when both sides agree; equality here is exact
+// entry-for-entry, the property the incremental-checkpoint tests assert).
+func (m *StatusMap) Equal(o *StatusMap) bool {
+	if m.numCores != o.numCores || len(m.lines) != len(o.lines) {
+		return false
+	}
+	for la, e := range m.lines {
+		oe := o.lines[la]
+		if oe == nil || e.monitorTS != oe.monitorTS || !slices.Equal(e.states, oe.states) {
+			return false
+		}
+	}
+	return true
 }
 
 // StateWords estimates live state size in 64-bit words for the checkpoint

@@ -126,6 +126,26 @@ type Core struct {
 	reqID  uint64
 
 	stats Stats
+
+	// freeList recycles robEntry allocations: dispatch pops from it and
+	// retire/flush/restore push onto it, so the steady-state pipeline
+	// allocates no entries at all. Safe because entries are referenced
+	// only through rob and seqMap, both of which drop an entry before it
+	// is freed.
+	freeList []*robEntry
+}
+
+func (c *Core) allocEntry() *robEntry {
+	if n := len(c.freeList); n > 0 {
+		e := c.freeList[n-1]
+		c.freeList = c.freeList[:n-1]
+		return e
+	}
+	return new(robEntry)
+}
+
+func (c *Core) freeEntry(e *robEntry) {
+	c.freeList = append(c.freeList, e)
 }
 
 // New builds a core executing prog against the shared memory image and

@@ -155,6 +155,7 @@ func (c *Core) retireHead(e *robEntry) {
 	case isa.ClassBranch:
 		c.stats.Branches++
 	}
+	c.freeEntry(e)
 }
 
 // commitSync executes a lock or barrier at the head of the ROB. It returns
@@ -271,6 +272,7 @@ func (c *Core) flushAfter(i int) {
 		if c.serializeSeq == e.seq {
 			c.serializeSeq = -1
 		}
+		c.freeEntry(e)
 	}
 	c.rob = c.rob[:i+1]
 	c.fetchBuf = c.fetchBuf[:0]
@@ -452,13 +454,15 @@ func (c *Core) issueStore(e *robEntry) bool {
 // recording operand producers (renaming). Sync and halt instructions
 // serialize: nothing younger dispatches until they commit.
 func (c *Core) dispatch() {
-	for n := 0; n < c.cfg.IssueWidth && len(c.fetchBuf) > 0 && len(c.rob) < c.cfg.ROBSize; n++ {
+	k := 0
+	for n := 0; n < c.cfg.IssueWidth && k < len(c.fetchBuf) && len(c.rob) < c.cfg.ROBSize; n++ {
 		if c.serializeSeq >= 0 {
-			return
+			break
 		}
-		f := c.fetchBuf[0]
-		c.fetchBuf = c.fetchBuf[1:]
-		e := &robEntry{
+		f := c.fetchBuf[k]
+		k++
+		e := c.allocEntry()
+		*e = robEntry{
 			seq: c.nextSeq, pc: f.pc, inst: f.inst, state: stDispatched,
 			predTaken: f.predTaken, srcProd: [2]int{-1, -1},
 		}
@@ -478,6 +482,9 @@ func (c *Core) dispatch() {
 		}
 		c.rob = append(c.rob, e)
 		c.seqMap[e.seq] = e
+	}
+	if k > 0 {
+		c.fetchBuf = c.fetchBuf[:copy(c.fetchBuf, c.fetchBuf[k:])]
 	}
 }
 

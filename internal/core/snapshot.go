@@ -60,9 +60,10 @@ func (c *Core) Snapshot() *Snapshot {
 	return s
 }
 
-// Restore overwrites the core's state from a snapshot taken on the same
-// core.
-func (c *Core) Restore(s *Snapshot) {
+// restoreScalars copies everything except the cache/MSHR/predictor
+// structures, recycling the live ROB entries through the freelist so a
+// restore allocates nothing once the pools are warm.
+func (c *Core) restoreScalars(s *Snapshot) {
 	c.now = s.now
 	c.regs = s.regs
 	c.mapTable = s.mapTable
@@ -73,20 +74,105 @@ func (c *Core) Restore(s *Snapshot) {
 	c.halted = s.halted
 	c.reqID = s.reqID
 	c.stats = s.stats
+
+	for _, e := range c.rob {
+		c.freeEntry(e)
+	}
+	c.rob = c.rob[:0]
+	clear(c.seqMap)
+	for i := range s.rob {
+		e := c.allocEntry()
+		*e = s.rob[i]
+		c.rob = append(c.rob, e)
+		c.seqMap[e.seq] = e
+	}
+	c.fetchBuf = append(c.fetchBuf[:0], s.fetchBuf...)
+}
+
+// Restore overwrites the core's state from a snapshot taken on the same
+// core.
+func (c *Core) Restore(s *Snapshot) {
+	c.restoreScalars(s)
 	c.l1i.Restore(s.l1i)
 	c.l1d.Restore(s.l1d)
 	c.imshr.Restore(s.imshr)
 	c.dmshr.Restore(s.dmshr)
 	c.pred.Restore(s.pred)
+}
 
-	c.rob = make([]*robEntry, len(s.rob))
-	c.seqMap = make(map[int]*robEntry, len(s.rob))
-	for i := range s.rob {
-		e := s.rob[i] // copy
-		c.rob[i] = &e
-		c.seqMap[e.seq] = &e
+// StartTracking begins dirty tracking in the core's caches for
+// incremental checkpoints; the caller takes a full Snapshot at the same
+// instant.
+func (c *Core) StartTracking() {
+	c.l1i.StartTracking()
+	c.l1d.StartTracking()
+}
+
+// SyncSnapshot brings s (a full Snapshot kept current since tracking
+// started) up to date with the live core, copying only cache sets and
+// MSHR files touched since the last sync or restore. The ROB and fetch
+// buffer churn every cycle, so they are always copied — into s's reused
+// backing arrays.
+func (c *Core) SyncSnapshot(s *Snapshot) {
+	s.now = c.now
+	s.regs = c.regs
+	s.mapTable = c.mapTable
+	s.fetchPC = c.fetchPC
+	s.fetchStallUntil = c.fetchStallUntil
+	s.serializeSeq = c.serializeSeq
+	s.nextSeq = c.nextSeq
+	s.halted = c.halted
+	s.reqID = c.reqID
+	s.stats = c.stats
+
+	s.rob = s.rob[:0]
+	for _, e := range c.rob {
+		s.rob = append(s.rob, *e)
 	}
-	c.fetchBuf = append(c.fetchBuf[:0], s.fetchBuf...)
+	s.fetchBuf = append(s.fetchBuf[:0], c.fetchBuf...)
+
+	c.l1i.SyncSnapshot(s.l1i)
+	c.l1d.SyncSnapshot(s.l1d)
+	c.imshr.SyncSnapshot(s.imshr)
+	c.dmshr.SyncSnapshot(s.dmshr)
+	c.pred.SyncSnapshot(s.pred)
+}
+
+// RestoreIncremental rolls the core back to s, undoing only cache sets
+// and MSHR state touched since the last sync.
+func (c *Core) RestoreIncremental(s *Snapshot) {
+	c.restoreScalars(s)
+	c.l1i.RestoreDirty(s.l1i)
+	c.l1d.RestoreDirty(s.l1d)
+	c.imshr.RestoreDirty(s.imshr)
+	c.dmshr.RestoreDirty(s.dmshr)
+	c.pred.Restore(s.pred)
+}
+
+// StateEqual reports whether two cores (same configuration, typically in
+// different machines driven by the same run) hold identical architectural
+// and micro-architectural state. Used by checkpoint-equivalence tests.
+func (c *Core) StateEqual(o *Core) bool {
+	if c.now != o.now || c.regs != o.regs || c.mapTable != o.mapTable ||
+		c.fetchPC != o.fetchPC || c.fetchStallUntil != o.fetchStallUntil ||
+		c.serializeSeq != o.serializeSeq || c.nextSeq != o.nextSeq ||
+		c.halted != o.halted || c.reqID != o.reqID || c.stats != o.stats ||
+		len(c.rob) != len(o.rob) || len(c.fetchBuf) != len(o.fetchBuf) {
+		return false
+	}
+	for i := range c.rob {
+		if *c.rob[i] != *o.rob[i] {
+			return false
+		}
+	}
+	for i := range c.fetchBuf {
+		if c.fetchBuf[i] != o.fetchBuf[i] {
+			return false
+		}
+	}
+	return c.l1i.Equal(o.l1i) && c.l1d.Equal(o.l1d) &&
+		c.imshr.Equal(o.imshr) && c.dmshr.Equal(o.dmshr) &&
+		c.pred.Equal(o.pred)
 }
 
 // StateWords estimates the snapshot's size in 64-bit words, for the

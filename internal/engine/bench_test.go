@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"slacksim/internal/workload"
+)
+
+// BenchmarkCheckpointRestore compares the two checkpoint implementations
+// on a rollback-heavy speculative run: the reference deep-copy path
+// against the default incremental copy-on-write path, at several interval
+// densities. The denser the checkpoints, the more the incremental path's
+// advantage matters (Tcpt dominates the paper's Ts formula at small I).
+// Both paths produce byte-identical Results — proven by
+// internal/stress.ExecuteCheckpointEquivalence — so this measures pure
+// host cost.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	for _, iv := range []int64{25, 100, 250, 1000} {
+		for _, tc := range []struct {
+			name string
+			deep bool
+		}{
+			{"incremental", false},
+			{"deep", true},
+		} {
+			b.Run(fmt.Sprintf("interval=%d/%s", iv, tc.name), func(b *testing.B) {
+				b.ReportAllocs()
+				var ckpts, rollbacks int
+				for i := 0; i < b.N; i++ {
+					m, err := NewMachine(MachineConfig{NumCores: 8}, workload.NewFFT(8))
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := Run(m, RunConfig{
+						Scheme:             BoundedSlack(16),
+						Seed:               1,
+						CheckpointInterval: iv,
+						Rollback:           true,
+						DeepCheckpoint:     tc.deep,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ckpts += res.Checkpoints
+					rollbacks += res.Rollbacks
+				}
+				b.ReportMetric(float64(ckpts)/float64(b.N), "ckpts/run")
+				b.ReportMetric(float64(rollbacks)/float64(b.N), "rollbacks/run")
+			})
+		}
+	}
+}

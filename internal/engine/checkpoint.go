@@ -15,8 +15,19 @@ import (
 // thread's state, the manager's state (uncore + queued work), target
 // memory, workload synchronization, violation accounting, and the engine's
 // own pacing state. It plays the role of the paper's set of fork()ed
-// processes forming a global checkpoint (Section 5.1); an in-process deep
-// copy has the same cost structure and is portable.
+// processes forming a global checkpoint (Section 5.1).
+//
+// Two checkpoint implementations maintain it. The reference path
+// (RunConfig.DeepCheckpoint) builds a fresh deep copy at every boundary,
+// like re-fork()ing the whole process set. The default incremental path
+// exploits that consecutive checkpoints share most of their state — the
+// copy-on-write behavior fork() gets from the kernel for free — by keeping
+// ONE evolving snapshot and, at each boundary, copying back only state
+// dirtied since the previous one (dirty cache sets, dirty status-map
+// lines, dirty memory pages, versioned MSHR files). Rollback applies the
+// same dirty sets as an undo log. Both paths yield byte-identical Results:
+// the cost model's checkpoint words measure the simulated fork cost, which
+// is computed from the same state-size formulas either way.
 type globalSnapshot struct {
 	global  int64
 	bound   int64
@@ -41,6 +52,35 @@ type globalSnapshot struct {
 // previous checkpoint (old checkpoints are discarded as the paper does to
 // release resources).
 func (r *detRun) takeCheckpoint() {
+	incremental := !r.cfg.DeepCheckpoint
+	if r.snap == nil || !incremental {
+		r.snap = r.fullSnapshot()
+		if incremental {
+			// From now on every boundary needs only the dirty state.
+			r.m.startTracking()
+		}
+	} else {
+		r.syncCheckpoint(r.snap)
+	}
+	s := r.snap
+
+	// Checkpoint words are computed from the same formulas on both paths
+	// (the synced snapshot's lengths equal the live machine's), keeping
+	// HostWorkUnits — and therefore Results — identical.
+	words := int64(r.m.mem.AllocatedWords() + r.m.unc.StateWords())
+	for _, cs := range s.cores {
+		words += int64(cs.StateWords())
+	}
+	s.words = words
+	r.ckpts++
+	r.ckptWords += words
+	r.meter.ckptWords += words
+	r.cfg.Tracer.Addf(r.global, -1, trace.Checkpoint, "#%d words=%d", r.ckpts, words)
+}
+
+// fullSnapshot deep-copies everything (the reference path, and the first
+// checkpoint of the incremental path).
+func (r *detRun) fullSnapshot() *globalSnapshot {
 	s := &globalSnapshot{
 		global:    r.global,
 		bound:     r.bound,
@@ -55,22 +95,41 @@ func (r *detRun) takeCheckpoint() {
 	if r.ctrl != nil {
 		s.ctrl = r.ctrl.Snapshot()
 	}
-	words := int64(r.m.mem.AllocatedWords() + r.m.unc.StateWords())
 	for _, c := range r.m.cores {
-		cs := c.Snapshot()
-		s.cores = append(s.cores, cs)
-		words += int64(cs.StateWords())
+		s.cores = append(s.cores, c.Snapshot())
 	}
 	for i := range r.m.inQs {
 		s.inQs = append(s.inQs, r.m.inQs[i].Snapshot())
 		s.outs = append(s.outs, r.m.outQs[i].Snapshot())
 	}
-	s.words = words
-	r.snap = s
-	r.ckpts++
-	r.ckptWords += words
-	r.meter.ckptWords += words
-	r.cfg.Tracer.Addf(r.global, -1, trace.Checkpoint, "#%d words=%d", r.ckpts, words)
+	return s
+}
+
+// syncCheckpoint brings the evolving snapshot up to date by copying only
+// dirty component state; engine-level slices are small and refreshed into
+// reused backing arrays. The synchronization controller and violation
+// detector keep deep copies: their state is tiny compared to the caches
+// and memory image, and they have no single mutation funnel to track.
+func (r *detRun) syncCheckpoint(s *globalSnapshot) {
+	s.global = r.global
+	s.bound = r.bound
+	s.retired = append(s.retired[:0], r.retired...)
+	s.lastAdapt = r.lastAdapt
+	s.gq = append(s.gq[:0], r.gq...)
+	r.m.unc.SyncSnapshot(s.unc)
+	r.m.mem.SyncSnapshot(s.mem)
+	s.sync = r.m.sync.Snapshot()
+	s.det = r.m.det.Snapshot()
+	if r.ctrl != nil {
+		s.ctrl = r.ctrl.Snapshot()
+	}
+	for i, c := range r.m.cores {
+		c.SyncSnapshot(s.cores[i])
+	}
+	for i := range r.m.inQs {
+		s.inQs[i] = r.m.inQs[i].SnapshotInto(s.inQs[i])
+		s.outs[i] = r.m.outQs[i].SnapshotInto(s.outs[i])
+	}
 }
 
 // doRollback restores the last checkpoint and enters cycle-by-cycle replay
@@ -88,15 +147,25 @@ func (r *detRun) doRollback() {
 	copy(r.retired, s.retired)
 	r.lastAdapt = s.lastAdapt
 	r.gq = append(r.gq[:0], s.gq...)
-	r.m.unc.Restore(s.unc)
-	r.m.mem.Restore(s.mem)
+	if r.cfg.DeepCheckpoint {
+		r.m.unc.Restore(s.unc)
+		r.m.mem.Restore(s.mem)
+	} else {
+		// Undo only the state dirtied since the boundary.
+		r.m.unc.RestoreDirty(s.unc)
+		r.m.mem.RestoreDirty(s.mem)
+	}
 	r.m.sync.Restore(s.sync)
 	r.m.det.Restore(s.det)
 	if r.ctrl != nil && s.ctrl != nil {
 		r.ctrl.Restore(s.ctrl)
 	}
 	for i, c := range r.m.cores {
-		c.Restore(s.cores[i])
+		if r.cfg.DeepCheckpoint {
+			c.Restore(s.cores[i])
+		} else {
+			c.RestoreIncremental(s.cores[i])
+		}
 		r.m.inQs[i].Restore(s.inQs[i])
 		r.m.outQs[i].Restore(s.outs[i])
 	}

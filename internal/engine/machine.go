@@ -129,6 +129,19 @@ func (m *Machine) Detector() *violation.Detector { return m.det }
 // WorkloadName returns the loaded workload's name.
 func (m *Machine) WorkloadName() string { return m.wkName }
 
+// startTracking enables dirty tracking in every component for incremental
+// checkpoints. Called once, at the instant the first full snapshot is
+// taken. On the parallel host this runs on the manager goroutine while
+// all core goroutines are parked at the checkpoint boundary, so the
+// non-atomic track flags are published by the pacing mutex.
+func (m *Machine) startTracking() {
+	m.mem.StartTracking()
+	m.unc.StartTracking()
+	for _, c := range m.cores {
+		c.StartTracking()
+	}
+}
+
 // committed sums committed instructions across cores.
 func (m *Machine) committed() uint64 {
 	var n uint64

@@ -4,13 +4,17 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"slacksim/internal/adaptive"
+	"slacksim/internal/core"
 	"slacksim/internal/event"
+	"slacksim/internal/mem"
+	"slacksim/internal/syncctl"
+	"slacksim/internal/uncore"
 	"slacksim/internal/violation"
 )
 
@@ -97,20 +101,36 @@ type parRun struct {
 	nextCkpt  int64
 	ckpts     int
 	ckptWords int64
+
+	// Incremental-checkpoint state (persistent snapshot objects, synced
+	// with only the dirty state at each boundary) and reused scratch.
+	ckptMem   *mem.Memory
+	ckptUnc   *uncore.Snapshot
+	ckptSync  *syncctl.Controller
+	ckptCores []*core.Snapshot
+	drainBuf  []event.Request
 }
 
 // sortPending orders queued requests by (timestamp, core, arrival), the
 // target machine's arbitration order used for conservative servicing.
 func sortPending(gq []pendingReq) {
-	sort.Slice(gq, func(a, b int) bool {
-		pa, pb := gq[a], gq[b]
+	slices.SortFunc(gq, func(pa, pb pendingReq) int {
 		if pa.req.TS != pb.req.TS {
-			return pa.req.TS < pb.req.TS
+			if pa.req.TS < pb.req.TS {
+				return -1
+			}
+			return 1
 		}
 		if pa.req.Core != pb.req.Core {
-			return pa.req.Core < pb.req.Core
+			return pa.req.Core - pb.req.Core
 		}
-		return pa.arr < pb.arr
+		if pa.arr != pb.arr {
+			if pa.arr < pb.arr {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
 }
 
@@ -439,11 +459,8 @@ func (r *parRun) recomputeGlobal() {
 
 func (r *parRun) drainAll() {
 	for i := range r.m.outQs {
-		for {
-			req, ok := r.m.outQs[i].Pop()
-			if !ok {
-				break
-			}
+		r.drainBuf = r.m.outQs[i].DrainInto(r.drainBuf[:0])
+		for _, req := range r.drainBuf {
 			r.arrival++
 			r.gq = append(r.gq, pendingReq{req: req, arr: r.arrival})
 		}
@@ -473,7 +490,9 @@ func (r *parRun) serviceConservative(safeTime int64) {
 		r.serveOne(r.gq[n].req)
 		n++
 	}
-	r.gq = r.gq[n:]
+	if n > 0 {
+		r.gq = r.gq[:copy(r.gq, r.gq[n:])]
+	}
 	r.gqDepth.Store(int64(len(r.gq)))
 }
 
@@ -517,12 +536,35 @@ func (r *parRun) tryCheckpoint() bool {
 	}
 	// All active cores are parked exactly at the boundary, so their state
 	// is stable and the manager can copy it (the paper forks every
-	// thread's process here instead).
-	words := int64(r.m.mem.Snapshot().AllocatedWords() + r.m.unc.StateWords())
-	_ = r.m.unc.Snapshot()
-	_ = r.m.sync.Snapshot()
-	for _, c := range r.m.cores {
-		words += int64(c.Snapshot().StateWords())
+	// thread's process here instead). The copies are made for real so the
+	// host-side overhead is real; checkpoint *words* (the simulated fork
+	// cost charged by the cost model) are computed from the same state
+	// sizes on both paths.
+	words := int64(r.m.mem.AllocatedWords() + r.m.unc.StateWords())
+	if r.cfg.DeepCheckpoint || r.ckptCores == nil {
+		r.ckptMem = r.m.mem.Snapshot()
+		r.ckptUnc = r.m.unc.Snapshot()
+		r.ckptSync = r.m.sync.Snapshot()
+		r.ckptCores = r.ckptCores[:0]
+		for _, c := range r.m.cores {
+			cs := c.Snapshot()
+			r.ckptCores = append(r.ckptCores, cs)
+			words += int64(cs.StateWords())
+		}
+		if !r.cfg.DeepCheckpoint {
+			// First incremental checkpoint: subsequent boundaries sync only
+			// the dirty state into these persistent snapshot objects. The
+			// track flags are published to the parked core goroutines by mu.
+			r.m.startTracking()
+		}
+	} else {
+		r.m.mem.SyncSnapshot(r.ckptMem)
+		r.m.unc.SyncSnapshot(r.ckptUnc)
+		r.ckptSync = r.m.sync.Snapshot()
+		for i, c := range r.m.cores {
+			c.SyncSnapshot(r.ckptCores[i])
+			words += int64(r.ckptCores[i].StateWords())
+		}
 	}
 	r.ckpts++
 	r.ckptWords += words

@@ -42,6 +42,16 @@ type RunConfig struct {
 	// cycle-by-cycle to the next boundary (forward progress), then resumes
 	// the slack scheme.
 	Rollback bool
+	// DeepCheckpoint selects the reference checkpoint implementation: a
+	// full deep copy of all simulation state at every boundary. The
+	// default (false) is the incremental copy-on-write path, which keeps
+	// one evolving snapshot and copies only state dirtied since the
+	// previous boundary. Both paths produce byte-identical Results (the
+	// cost model charges the same checkpoint words either way — it models
+	// the paper's fork()-based checkpoints, whose cost the host-side
+	// incremental optimization does not change); the deep path exists for
+	// equivalence testing and as a fallback.
+	DeepCheckpoint bool
 	// Selected restricts which violation types steer adaptation and
 	// trigger rollback (nil = all types).
 	Selected []violation.Type
@@ -145,6 +155,10 @@ type detRun struct {
 	prog  *progressNotifier
 
 	lastAdapt int64
+
+	// Reused scratch buffers (hot-path allocation elimination).
+	runnable []int
+	drainBuf []event.Request
 
 	// Checkpoint/rollback state.
 	nextCkpt        int64
@@ -357,12 +371,13 @@ func (r *detRun) nextCore(ml int64) int {
 	if d := r.global + r.cfg.HostDriftCap; d < cap {
 		cap = d
 	}
-	var runnable []int
+	runnable := r.runnable[:0]
 	for i, c := range r.m.cores {
 		if !r.retired[i] && c.Now() < cap && r.p2pClear(i) {
 			runnable = append(runnable, i)
 		}
 	}
+	r.runnable = runnable
 	if len(runnable) == 0 {
 		// The slowest active core always sits below global+drift, so this
 		// only happens at a scheme wall (checkpoint boundary or a bug).
@@ -408,13 +423,11 @@ func (r *detRun) p2pClear(i int) bool {
 }
 
 // drain moves requests from core i's OutQ into the manager's global queue
-// (GQ), preserving arrival order.
+// (GQ), preserving arrival order. One DrainInto into a reused buffer
+// replaces the per-item Pop loop (one lock, zero allocations).
 func (r *detRun) drain(i int) {
-	for {
-		req, ok := r.m.outQs[i].Pop()
-		if !ok {
-			return
-		}
+	r.drainBuf = r.m.outQs[i].DrainInto(r.drainBuf[:0])
+	for _, req := range r.drainBuf {
 		r.arrival++
 		r.gq = append(r.gq, pendingReq{req: req, arr: r.arrival})
 	}
@@ -453,7 +466,11 @@ func (r *detRun) serviceConservative(safeTime int64) error {
 		r.serveOne(r.gq[n].req)
 		n++
 	}
-	r.gq = r.gq[n:]
+	if n > 0 {
+		// Compact in place instead of re-slicing so the backing array's
+		// capacity is never abandoned.
+		r.gq = r.gq[:copy(r.gq, r.gq[n:])]
+	}
 	return nil
 }
 

@@ -72,9 +72,15 @@ func (m Msg) String() string {
 // Queue is a FIFO of manager-to-core messages or core-to-manager requests.
 // It is safe for one producer and one consumer running concurrently (the
 // parallel host) and trivially safe in the deterministic host.
+//
+// The queue keeps a head index into a reused backing array instead of
+// re-slicing on every Pop, so steady-state push/pop traffic allocates
+// nothing: when the queue empties, the whole backing array is reclaimed
+// for the next burst.
 type Queue[T any] struct {
 	mu    sync.Mutex
 	items []T
+	head  int
 }
 
 // NewQueue returns an empty queue.
@@ -87,66 +93,109 @@ func (q *Queue[T]) Push(v T) {
 	q.mu.Unlock()
 }
 
+// popLocked removes the head item; the caller holds q.mu and has checked
+// the queue is non-empty.
+func (q *Queue[T]) popLocked() T {
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release references for pointerful T
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
 // Pop removes and returns the head item; ok is false when empty.
 func (q *Queue[T]) Pop() (v T, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.popLocked(), true
 }
 
 // PopIf removes and returns the head item only when pred accepts it.
 func (q *Queue[T]) PopIf(pred func(T) bool) (v T, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.items) == 0 || !pred(q.items[0]) {
+	if q.head == len(q.items) || !pred(q.items[q.head]) {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.popLocked(), true
 }
 
 // Peek returns the head item without removing it.
 func (q *Queue[T]) Peek() (v T, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return v, false
 	}
-	return q.items[0], true
+	return q.items[q.head], true
 }
 
 // Len returns the number of queued items.
 func (q *Queue[T]) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return len(q.items) - q.head
 }
 
-// Drain removes and returns all items in order.
+// Drain removes and returns all items in order. The returned slice is
+// freshly owned by the caller; the queue keeps its backing array.
 func (q *Queue[T]) Drain() []T {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := q.items
-	q.items = nil
+	if q.head == len(q.items) {
+		return nil
+	}
+	out := append([]T(nil), q.items[q.head:]...)
+	clear(q.items)
+	q.items = q.items[:0]
+	q.head = 0
 	return out
+}
+
+// DrainInto removes all items in order, appending them to buf (which is
+// returned). A single lock acquisition replaces the per-item Pop loop on
+// the manager's hot path, and with a reused buf it allocates nothing.
+func (q *Queue[T]) DrainInto(buf []T) []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.items) {
+		return buf
+	}
+	buf = append(buf, q.items[q.head:]...)
+	clear(q.items)
+	q.items = q.items[:0]
+	q.head = 0
+	return buf
 }
 
 // Snapshot copies the queue contents.
 func (q *Queue[T]) Snapshot() []T {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return append([]T(nil), q.items...)
+	return append([]T(nil), q.items[q.head:]...)
 }
 
-// Restore replaces the queue contents.
+// SnapshotInto copies the queue contents into buf's backing array
+// (truncating buf first) and returns it, for incremental checkpoints
+// that reuse their buffers.
+func (q *Queue[T]) SnapshotInto(buf []T) []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append(buf[:0], q.items[q.head:]...)
+}
+
+// Restore replaces the queue contents, reusing the backing array.
 func (q *Queue[T]) Restore(items []T) {
 	q.mu.Lock()
-	q.items = append([]T(nil), items...)
+	clear(q.items)
+	q.items = append(q.items[:0], items...)
+	q.head = 0
 	q.mu.Unlock()
 }

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// workers resolves Config.Parallelism: 0 means one worker per available
+// host hardware thread (the experiments are CPU-bound simulations), 1
+// means serial, anything else is taken literally.
+func (c Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runGrid executes n independent experiment cells on a bounded worker
+// pool. Every cell builds its own machine and owns its own seeded
+// scheduler, and writes its result into an index-slotted destination, so
+// a grid's output is identical whatever the worker count or completion
+// order — only wall-clock fields differ between serial and parallel runs
+// (asserted by TestParallelMatchesSerial).
+//
+// All cells run even when some fail; the per-cell errors come back joined
+// in cell order, each labeled by its cell (workload, scheme, interval) at
+// the point of failure, so one broken configuration in a sweep reports
+// precisely without hiding the rest.
+func runGrid(workers, n int, run func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = run(i)
+		}
+		return errors.Join(errs...)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return errors.Join(errs...)
+}

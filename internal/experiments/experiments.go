@@ -50,6 +50,11 @@ type Config struct {
 	// scaled-down runs the same controller dynamics appear at
 	// proportionally higher targets.
 	Fig4Targets []float64
+	// Parallelism bounds the experiment worker pool: 0 runs one worker
+	// per host hardware thread, 1 runs serially, larger values are taken
+	// literally. Results are identical at any setting except the
+	// wall-clock fields (every cell owns its machine and seed).
+	Parallelism int
 }
 
 // Default returns the quick configuration used by tests and benchmarks.
@@ -110,34 +115,35 @@ type Fig3Series struct {
 }
 
 // Fig3 sweeps the slack bound and measures bus and cache-map violation
-// rates (Figures 3(a) and 3(b)).
+// rates (Figures 3(a) and 3(b)). One grid cell per (workload, bound)
+// pair, the unbounded run riding as the last bound of each series.
 func Fig3(cfg Config) ([]Fig3Series, error) {
-	var out []Fig3Series
-	for _, wl := range cfg.Workloads {
-		s := Fig3Series{Workload: wl}
-		for _, b := range cfg.Fig3Bounds {
-			res, err := cfg.run(wl, engine.RunConfig{
-				Scheme: engine.BoundedSlack(b), MeasureViolations: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, Fig3Point{
-				Bound: b, BusRate: res.BusRate, MapRate: res.MapRate,
-				BusCount: res.BusViolations, MapCount: res.MapViolations,
-			})
+	nb := len(cfg.Fig3Bounds) + 1 // + unbounded
+	out := make([]Fig3Series, len(cfg.Workloads))
+	for i, wl := range cfg.Workloads {
+		out[i] = Fig3Series{Workload: wl, Points: make([]Fig3Point, nb)}
+	}
+	err := runGrid(cfg.workers(), len(cfg.Workloads)*nb, func(i int) error {
+		wi, bi := i/nb, i%nb
+		wl := cfg.Workloads[wi]
+		rc := engine.RunConfig{Scheme: engine.UnboundedSlack(), MeasureViolations: true}
+		var bound int64
+		if bi < len(cfg.Fig3Bounds) {
+			bound = cfg.Fig3Bounds[bi]
+			rc.Scheme = engine.BoundedSlack(bound)
 		}
-		res, err := cfg.run(wl, engine.RunConfig{
-			Scheme: engine.UnboundedSlack(), MeasureViolations: true,
-		})
+		res, err := cfg.run(wl, rc)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("fig3 %s bound %d: %w", wl, bound, err)
 		}
-		s.Points = append(s.Points, Fig3Point{
-			Bound: 0, BusRate: res.BusRate, MapRate: res.MapRate,
+		out[wi].Points[bi] = Fig3Point{
+			Bound: bound, BusRate: res.BusRate, MapRate: res.MapRate,
 			BusCount: res.BusViolations, MapCount: res.MapViolations,
-		})
-		out = append(out, s)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -183,40 +189,52 @@ type Fig4Result struct {
 // Fig4 reproduces the simulation-time-vs-violation-rate plot: cycle-by-
 // cycle and bounded slack S1..S9 as the baseline curve, plus adaptive
 // slack at the configured target rates with violation bands of 0% and 5%.
+// The grid has one cell per point: CC, S1..S9, then both bands' target
+// sweeps.
 func Fig4(cfg Config, wl string) (Fig4Result, error) {
-	out := Fig4Result{Workload: wl}
-	cc, err := cfg.run(wl, engine.RunConfig{Scheme: engine.CycleByCycle()})
-	if err != nil {
-		return out, err
+	nt := len(cfg.Fig4Targets)
+	out := Fig4Result{
+		Workload:      wl,
+		Baseline:      make([]Fig4Point, 10), // CC + S1..S9
+		AdaptiveBand0: make([]Fig4Point, nt),
+		AdaptiveBand5: make([]Fig4Point, nt),
 	}
-	out.Baseline = append(out.Baseline, fig4Point("CC", cc))
-	for bound := int64(1); bound <= 9; bound++ {
-		res, err := cfg.run(wl, engine.RunConfig{
-			Scheme: engine.BoundedSlack(bound), MeasureViolations: true,
-		})
-		if err != nil {
-			return out, err
-		}
-		out.Baseline = append(out.Baseline, fig4Point(fmt.Sprintf("S%d", bound), res))
-	}
-	for _, band := range []float64{0, 0.05} {
-		for _, target := range cfg.Fig4Targets {
+	err := runGrid(cfg.workers(), 10+2*nt, func(i int) error {
+		switch {
+		case i == 0:
+			res, err := cfg.run(wl, engine.RunConfig{Scheme: engine.CycleByCycle()})
+			if err != nil {
+				return fmt.Errorf("fig4 %s CC: %w", wl, err)
+			}
+			out.Baseline[0] = fig4Point("CC", res)
+		case i < 10:
+			bound := int64(i)
+			res, err := cfg.run(wl, engine.RunConfig{
+				Scheme: engine.BoundedSlack(bound), MeasureViolations: true,
+			})
+			if err != nil {
+				return fmt.Errorf("fig4 %s S%d: %w", wl, bound, err)
+			}
+			out.Baseline[i] = fig4Point(fmt.Sprintf("S%d", bound), res)
+		default:
+			j := i - 10
+			band, dst := 0.0, out.AdaptiveBand0
+			if j >= nt {
+				band, dst = 0.05, out.AdaptiveBand5
+			}
+			target := cfg.Fig4Targets[j%nt]
 			a := cfg.adaptiveBase()
 			a.TargetRate = target
 			a.Band = band
 			res, err := cfg.run(wl, engine.RunConfig{Scheme: engine.AdaptiveSlack(a)})
 			if err != nil {
-				return out, err
+				return fmt.Errorf("fig4 %s band %g target %g: %w", wl, band, target, err)
 			}
-			p := fig4Point(fmt.Sprintf("T%.2f%%", 100*target), res)
-			if band == 0 {
-				out.AdaptiveBand0 = append(out.AdaptiveBand0, p)
-			} else {
-				out.AdaptiveBand5 = append(out.AdaptiveBand5, p)
-			}
+			dst[j%nt] = fig4Point(fmt.Sprintf("T%.2f%%", 100*target), res)
 		}
-	}
-	return out, nil
+		return nil
+	})
+	return out, err
 }
 
 func fig4Point(label string, r engine.Results) Fig4Point {
@@ -260,40 +278,58 @@ type Table2Row struct {
 
 // Table2 measures simulation cost for cycle-by-cycle, unbounded slack,
 // the base adaptive scheme (target 0.01%, band 5%), and adaptive with
-// periodic checkpointing at each configured interval.
+// periodic checkpointing at each configured interval. One grid cell per
+// (workload, scheme) entry.
 func Table2(cfg Config) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, wl := range cfg.Workloads {
-		row := Table2Row{Workload: wl}
-		cc, err := cfg.run(wl, engine.RunConfig{Scheme: engine.CycleByCycle()})
-		if err != nil {
-			return nil, err
+	per := 3 + len(cfg.CheckpointIntervals) // CC, SU, Adapt, then intervals
+	rows := make([]Table2Row, len(cfg.Workloads))
+	for i, wl := range cfg.Workloads {
+		rows[i] = Table2Row{
+			Workload:     wl,
+			ByInterval:   make([]float64, len(cfg.CheckpointIntervals)),
+			IntervalWall: make([]float64, len(cfg.CheckpointIntervals)),
 		}
-		row.CC, row.CCWall = cc.HostWorkUnits, cc.WallClock.Seconds()
-		su, err := cfg.run(wl, engine.RunConfig{Scheme: engine.UnboundedSlack()})
-		if err != nil {
-			return nil, err
-		}
-		row.SU, row.SUWall = su.HostWorkUnits, su.WallClock.Seconds()
-		ad, err := cfg.run(wl, engine.RunConfig{
-			Scheme: engine.AdaptiveSlack(cfg.adaptiveBase()),
-		})
-		if err != nil {
-			return nil, err
-		}
-		row.Adaptive, row.AdaptiveWall = ad.HostWorkUnits, ad.WallClock.Seconds()
-		for _, iv := range cfg.CheckpointIntervals {
+	}
+	err := runGrid(cfg.workers(), len(cfg.Workloads)*per, func(i int) error {
+		wi, ci := i/per, i%per
+		wl, row := cfg.Workloads[wi], &rows[wi]
+		switch ci {
+		case 0:
+			res, err := cfg.run(wl, engine.RunConfig{Scheme: engine.CycleByCycle()})
+			if err != nil {
+				return fmt.Errorf("table2 %s CC: %w", wl, err)
+			}
+			row.CC, row.CCWall = res.HostWorkUnits, res.WallClock.Seconds()
+		case 1:
+			res, err := cfg.run(wl, engine.RunConfig{Scheme: engine.UnboundedSlack()})
+			if err != nil {
+				return fmt.Errorf("table2 %s SU: %w", wl, err)
+			}
+			row.SU, row.SUWall = res.HostWorkUnits, res.WallClock.Seconds()
+		case 2:
+			res, err := cfg.run(wl, engine.RunConfig{
+				Scheme: engine.AdaptiveSlack(cfg.adaptiveBase()),
+			})
+			if err != nil {
+				return fmt.Errorf("table2 %s adaptive: %w", wl, err)
+			}
+			row.Adaptive, row.AdaptiveWall = res.HostWorkUnits, res.WallClock.Seconds()
+		default:
+			iv := cfg.CheckpointIntervals[ci-3]
 			res, err := cfg.run(wl, engine.RunConfig{
 				Scheme:             engine.AdaptiveSlack(cfg.adaptiveBase()),
 				CheckpointInterval: iv,
 			})
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("table2 %s interval %d: %w", wl, iv, err)
 			}
-			row.ByInterval = append(row.ByInterval, res.HostWorkUnits)
-			row.IntervalWall = append(row.IntervalWall, res.WallClock.Seconds())
+			row.ByInterval[ci-3] = res.HostWorkUnits
+			row.IntervalWall[ci-3] = res.WallClock.Seconds()
 		}
-		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -332,16 +368,21 @@ type Table34Row struct {
 // the mean distance of the first violation within a violating interval
 // (Table 4).
 func Table3And4(cfg Config) ([]Table34Row, error) {
-	var rows []Table34Row
-	for _, wl := range cfg.Workloads {
+	rows := make([]Table34Row, len(cfg.Workloads))
+	err := runGrid(cfg.workers(), len(cfg.Workloads), func(i int) error {
+		wl := cfg.Workloads[i]
 		res, err := cfg.run(wl, engine.RunConfig{
 			Scheme:         engine.AdaptiveSlack(cfg.adaptiveBase()),
 			TrackIntervals: cfg.StatIntervals,
 		})
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("table3/4 %s: %w", wl, err)
 		}
-		rows = append(rows, Table34Row{Workload: wl, Reports: res.Intervals})
+		rows[i] = Table34Row{Workload: wl, Reports: res.Intervals}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -152,6 +154,83 @@ func TestAblationsRun(t *testing.T) {
 	}
 	if !strings.Contains(FormatAblations(rows), "Ablations") {
 		t.Error("format output incomplete")
+	}
+}
+
+// TestParallelMatchesSerial is the golden comparison behind the driver:
+// every cell owns its machine and seed, so a parallel sweep must produce
+// exactly the serial sweep's numbers — wall-clock is the only field
+// allowed to differ.
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Workloads = []string{"water"}
+
+	serial, parallel := cfg, cfg
+	serial.Parallelism = 1
+	parallel.Parallelism = 4
+
+	f3s, err := Fig3(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3p, err := Fig3(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig3 points carry no wall-clock: they must match exactly.
+	if !reflect.DeepEqual(f3s, f3p) {
+		t.Errorf("Fig3 parallel diverged from serial:\nserial:   %+v\nparallel: %+v", f3s, f3p)
+	}
+
+	t2s, err := Table2(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2p, err := Table2(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroWall := func(rows []Table2Row) {
+		for i := range rows {
+			rows[i].CCWall, rows[i].SUWall, rows[i].AdaptiveWall = 0, 0, 0
+			for k := range rows[i].IntervalWall {
+				rows[i].IntervalWall[k] = 0
+			}
+		}
+	}
+	zeroWall(t2s)
+	zeroWall(t2p)
+	if !reflect.DeepEqual(t2s, t2p) {
+		t.Errorf("Table2 parallel diverged from serial:\nserial:   %+v\nparallel: %+v", t2s, t2p)
+	}
+}
+
+// TestRunGridReportsEveryCellError checks that one failing cell does not
+// hide the others and that results land in their slots regardless.
+func TestRunGridReportsEveryCellError(t *testing.T) {
+	got := make([]int, 6)
+	err := runGrid(3, 6, func(i int) error {
+		got[i] = i + 1
+		if i%2 == 1 {
+			return fmt.Errorf("cell %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected joined error")
+	}
+	for _, want := range []string{"cell 1 failed", "cell 3 failed", "cell 5 failed"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Errorf("cell %d did not run (got %d)", i, v)
+		}
+	}
+	if err := runGrid(1, 3, func(int) error { return nil }); err != nil {
+		t.Errorf("serial grid returned %v", err)
 	}
 }
 

@@ -28,39 +28,52 @@ type ScalingRow struct {
 // because every added core shares the one bus — quantifying the accuracy
 // concern behind the paper's call for larger-scale studies.
 func Scaling(cfg Config, wl string, coreCounts []int) ([]ScalingRow, error) {
-	var rows []ScalingRow
-	for _, n := range coreCounts {
+	runAt := func(n int, rc engine.RunConfig) (engine.Results, error) {
 		w, err := workload.ByName(wl, cfg.Scale)
 		if err != nil {
-			return nil, err
+			return engine.Results{}, err
 		}
 		m, err := engine.NewMachine(engine.MachineConfig{NumCores: n}, w)
 		if err != nil {
-			return nil, err
+			return engine.Results{}, err
 		}
-		cc, err := engine.Run(m, engine.RunConfig{Scheme: engine.CycleByCycle(), Seed: cfg.Seed})
-		if err != nil {
-			return nil, err
+		rc.Seed = cfg.Seed
+		return engine.Run(m, rc)
+	}
+	// Two grid cells per machine size: the CC reference and the unbounded
+	// slack run it is compared against.
+	ccs := make([]engine.Results, len(coreCounts))
+	sus := make([]engine.Results, len(coreCounts))
+	err := runGrid(cfg.workers(), 2*len(coreCounts), func(i int) error {
+		k, n := i/2, coreCounts[i/2]
+		if i%2 == 0 {
+			res, err := runAt(n, engine.RunConfig{Scheme: engine.CycleByCycle()})
+			if err != nil {
+				return fmt.Errorf("scaling %s %d cores CC: %w", wl, n, err)
+			}
+			ccs[k] = res
+		} else {
+			res, err := runAt(n, engine.RunConfig{Scheme: engine.UnboundedSlack()})
+			if err != nil {
+				return fmt.Errorf("scaling %s %d cores SU: %w", wl, n, err)
+			}
+			sus[k] = res
 		}
-		w2, err := workload.ByName(wl, cfg.Scale)
-		if err != nil {
-			return nil, err
-		}
-		m2, err := engine.NewMachine(engine.MachineConfig{NumCores: n}, w2)
-		if err != nil {
-			return nil, err
-		}
-		su, err := engine.Run(m2, engine.RunConfig{Scheme: engine.UnboundedSlack(), Seed: cfg.Seed})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ScalingRow{
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ScalingRow, len(coreCounts))
+	for k, n := range coreCounts {
+		cc, su := ccs[k], sus[k]
+		rows[k] = ScalingRow{
 			Cores:  n,
 			CCWork: cc.HostWorkUnits, SUWork: su.HostWorkUnits,
 			Speedup: cc.HostWorkUnits / su.HostWorkUnits,
 			BusRate: su.BusRate, MapRate: su.MapRate,
 			CycleErrPct: su.CycleErrorVs(cc),
-		})
+		}
 	}
 	return rows, nil
 }

@@ -14,33 +14,67 @@ import (
 // model (from measured Tcc, Tcpt, F and Dr, exactly the paper's method)
 // and, beyond the paper, measures a fully-functional speculative run with
 // rollback for comparison. Only the larger configured intervals are used,
-// matching the paper's Table 5 (50k and 100k).
+// matching the paper's Table 5 (50k and 100k). The CC, checkpointing, and
+// speculative runs of every workload all go through one grid; the model
+// is evaluated afterwards from the collected measurements.
 func Table5(cfg Config) ([]Table5Row, error) {
 	intervals := cfg.CheckpointIntervals
 	if len(intervals) > 2 {
 		intervals = intervals[len(intervals)-2:]
 	}
-	var rows []Table5Row
-	for _, wl := range cfg.Workloads {
-		cc, err := cfg.run(wl, engine.RunConfig{Scheme: engine.CycleByCycle()})
-		if err != nil {
-			return nil, err
-		}
-		for _, iv := range intervals {
-			cpt, err := cfg.run(wl, engine.RunConfig{
+	ni := len(intervals)
+	per := 1 + 2*ni // CC, then a (checkpointing, speculative) pair per interval
+	ccs := make([]engine.Results, len(cfg.Workloads))
+	cpts := make([]engine.Results, len(cfg.Workloads)*ni)
+	specs := make([]engine.Results, len(cfg.Workloads)*ni)
+	err := runGrid(cfg.workers(), len(cfg.Workloads)*per, func(i int) error {
+		wi, ci := i/per, i%per
+		wl := cfg.Workloads[wi]
+		switch {
+		case ci == 0:
+			res, err := cfg.run(wl, engine.RunConfig{Scheme: engine.CycleByCycle()})
+			if err != nil {
+				return fmt.Errorf("table5 %s CC: %w", wl, err)
+			}
+			ccs[wi] = res
+		case ci <= ni:
+			iv := intervals[ci-1]
+			res, err := cfg.run(wl, engine.RunConfig{
 				Scheme:             engine.AdaptiveSlack(cfg.adaptiveBase()),
 				CheckpointInterval: iv,
 				TrackIntervals:     []int64{iv},
 			})
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("table5 %s checkpointing interval %d: %w", wl, iv, err)
 			}
+			cpts[wi*ni+ci-1] = res
+		default:
+			iv := intervals[ci-1-ni]
+			res, err := cfg.run(wl, engine.RunConfig{
+				Scheme:             engine.AdaptiveSlack(cfg.adaptiveBase()),
+				CheckpointInterval: iv,
+				Rollback:           true,
+			})
+			if err != nil {
+				return fmt.Errorf("table5 %s speculative interval %d: %w", wl, iv, err)
+			}
+			specs[wi*ni+ci-1-ni] = res
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table5Row
+	for wi, wl := range cfg.Workloads {
+		for k, iv := range intervals {
+			cpt := cpts[wi*ni+k]
 			if len(cpt.Intervals) != 1 {
 				return nil, fmt.Errorf("experiments: missing interval stats for %s", wl)
 			}
 			ir := cpt.Intervals[0]
 			in := specmodel.Inputs{
-				Tcc:  cc.HostWorkUnits,
+				Tcc:  ccs[wi].HostWorkUnits,
 				Tcpt: cpt.HostWorkUnits,
 				F:    ir.FractionViolating,
 				Dr:   ir.MeanFirstDistance,
@@ -50,19 +84,11 @@ func Table5(cfg Config) ([]Table5Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			spec, err := cfg.run(wl, engine.RunConfig{
-				Scheme:             engine.AdaptiveSlack(cfg.adaptiveBase()),
-				CheckpointInterval: iv,
-				Rollback:           true,
-			})
-			if err != nil {
-				return nil, err
-			}
 			rows = append(rows, Table5Row{
 				Workload: wl, Interval: iv,
-				CC:      cc.HostWorkUnits,
-				Modeled: modeled, Measured: spec.HostWorkUnits,
-				Rollbacks: spec.Rollbacks,
+				CC:      ccs[wi].HostWorkUnits,
+				Modeled: modeled, Measured: specs[wi*ni+k].HostWorkUnits,
+				Rollbacks: specs[wi*ni+k].Rollbacks,
 			})
 		}
 	}
@@ -83,7 +109,7 @@ type AblationRow struct {
 
 // Ablations runs the design-choice studies DESIGN.md calls out: AIMD vs
 // AIAD bound adjustment, violation-band width, and selective (map-only)
-// rollback.
+// rollback. The six underlying simulations run as one grid.
 func Ablations(cfg Config) ([]AblationRow, error) {
 	wl := cfg.Workloads[0]
 
@@ -92,16 +118,6 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 	tight := cfg.adaptiveBase()
 	tight.TargetRate = 0.0005
 	tight.InitialBound = 64
-	aimd, err := cfg.run(wl, engine.RunConfig{Scheme: engine.AdaptiveSlack(tight)})
-	if err != nil {
-		return nil, err
-	}
-	aiadRes, err := cfg.run(wl, engine.RunConfig{
-		Scheme: engine.AdaptiveSlack(tight), AdaptivePolicy: adaptive.AIAD,
-	})
-	if err != nil {
-		return nil, err
-	}
 
 	// Band width: control overhead (adjustments) at 0% vs 25% band, with
 	// a fast adaptation period so the controller is exercised enough for
@@ -112,35 +128,42 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 	wide.TargetRate = 0.005
 	zero := wide
 	zero.Band = 0
-	wideRes, err := cfg.run(wl, engine.RunConfig{Scheme: engine.AdaptiveSlack(wide)})
-	if err != nil {
-		return nil, err
-	}
-	zeroRes, err := cfg.run(wl, engine.RunConfig{Scheme: engine.AdaptiveSlack(zero)})
-	if err != nil {
-		return nil, err
-	}
 
 	// Selective rollback: all violations vs map-only, with an interval
 	// short enough that several rollbacks fit in the run.
 	iv := cfg.StatIntervals[len(cfg.StatIntervals)-1]
-	all, err := cfg.run(wl, engine.RunConfig{
-		Scheme:             engine.BoundedSlack(32),
-		CheckpointInterval: iv,
-		Rollback:           true,
+
+	cells := []struct {
+		name string
+		rc   engine.RunConfig
+	}{
+		{"aimd", engine.RunConfig{Scheme: engine.AdaptiveSlack(tight)}},
+		{"aiad", engine.RunConfig{Scheme: engine.AdaptiveSlack(tight), AdaptivePolicy: adaptive.AIAD}},
+		{"band 25%", engine.RunConfig{Scheme: engine.AdaptiveSlack(wide)}},
+		{"band 0%", engine.RunConfig{Scheme: engine.AdaptiveSlack(zero)}},
+		{"rollback all", engine.RunConfig{
+			Scheme: engine.BoundedSlack(32), CheckpointInterval: iv, Rollback: true,
+		}},
+		{"rollback map-only", engine.RunConfig{
+			Scheme: engine.BoundedSlack(32), CheckpointInterval: iv, Rollback: true,
+			Selected: []violation.Type{violation.Map},
+		}},
+	}
+	results := make([]engine.Results, len(cells))
+	err := runGrid(cfg.workers(), len(cells), func(i int) error {
+		res, err := cfg.run(wl, cells[i].rc)
+		if err != nil {
+			return fmt.Errorf("ablation %s: %w", cells[i].name, err)
+		}
+		results[i] = res
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	mapOnly, err := cfg.run(wl, engine.RunConfig{
-		Scheme:             engine.BoundedSlack(32),
-		CheckpointInterval: iv,
-		Rollback:           true,
-		Selected:           []violation.Type{violation.Map},
-	})
-	if err != nil {
-		return nil, err
-	}
+	aimd, aiadRes := results[0], results[1]
+	wideRes, zeroRes := results[2], results[3]
+	all, mapOnly := results[4], results[5]
 
 	return []AblationRow{
 		{

@@ -12,6 +12,7 @@ package mem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -28,11 +29,18 @@ type page [PageWords]uint64
 type shard struct {
 	mu    sync.RWMutex
 	pages map[uint64]*page
+	// dirty lists pages written since the last incremental-checkpoint
+	// sync; guarded by mu.
+	dirty map[uint64]struct{}
 }
 
 // Memory is a sparse, sharded target memory image.
 type Memory struct {
 	shards [numShards]shard
+	// track enables dirty-page recording. Atomic because the parallel
+	// host's core goroutines consult it inside Write while the manager
+	// flips it on at the first checkpoint.
+	track atomic.Bool
 }
 
 // New returns an empty memory image.
@@ -80,6 +88,9 @@ func (m *Memory) Write(addr uint64, v uint64) {
 		sh.pages[pn] = p
 	}
 	p[off] = v
+	if m.track.Load() {
+		sh.dirty[pn] = struct{}{}
+	}
 	sh.mu.Unlock()
 }
 
@@ -110,20 +121,97 @@ func (m *Memory) Snapshot() *Memory {
 	return c
 }
 
-// Restore overwrites this memory with the snapshot's contents.
+// Restore overwrites this memory with the snapshot's contents, reusing
+// the existing page maps and page allocations.
 func (m *Memory) Restore(snap *Memory) {
 	for i := range m.shards {
 		src := &snap.shards[i]
 		dst := &m.shards[i]
 		src.mu.RLock()
 		dst.mu.Lock()
-		dst.pages = make(map[uint64]*page, len(src.pages))
-		for pn, p := range src.pages {
-			cp := *p
-			dst.pages[pn] = &cp
+		for pn := range dst.pages {
+			if src.pages[pn] == nil {
+				delete(dst.pages, pn)
+			}
 		}
+		for pn, p := range src.pages {
+			q := dst.pages[pn]
+			if q == nil {
+				q = new(page)
+				dst.pages[pn] = q
+			}
+			*q = *p
+		}
+		clear(dst.dirty)
 		dst.mu.Unlock()
 		src.mu.RUnlock()
+	}
+}
+
+// StartTracking begins dirty-page tracking for incremental checkpoints;
+// the caller takes a full Snapshot at the same instant. On the parallel
+// host it must be called while core goroutines are quiescent (the
+// manager's checkpoint path guarantees this).
+func (m *Memory) StartTracking() {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		if sh.dirty == nil {
+			sh.dirty = make(map[uint64]struct{})
+		} else {
+			clear(sh.dirty)
+		}
+		sh.mu.Unlock()
+	}
+	m.track.Store(true)
+}
+
+// SyncSnapshot brings snap (a full Snapshot kept current since tracking
+// started) up to date by copying only pages written since the last sync
+// or restore.
+func (m *Memory) SyncSnapshot(snap *Memory) {
+	for i := range m.shards {
+		src := &m.shards[i]
+		dst := &snap.shards[i]
+		src.mu.Lock()
+		for pn := range src.dirty {
+			p := src.pages[pn]
+			if p == nil {
+				continue
+			}
+			q := dst.pages[pn]
+			if q == nil {
+				q = new(page)
+				dst.pages[pn] = q
+			}
+			*q = *p
+		}
+		clear(src.dirty)
+		src.mu.Unlock()
+	}
+}
+
+// RestoreDirty rolls memory back to snap by undoing only the pages
+// written since the last sync: diverged pages are copied back and pages
+// allocated after the checkpoint are deleted (so AllocatedWords — which
+// feeds the checkpoint cost model — matches a deep restore exactly).
+func (m *Memory) RestoreDirty(snap *Memory) {
+	for i := range m.shards {
+		dst := &m.shards[i]
+		src := &snap.shards[i]
+		dst.mu.Lock()
+		for pn := range dst.dirty {
+			q := src.pages[pn]
+			if q == nil {
+				delete(dst.pages, pn)
+				continue
+			}
+			if p := dst.pages[pn]; p != nil {
+				*p = *q
+			}
+		}
+		clear(dst.dirty)
+		dst.mu.Unlock()
 	}
 }
 

@@ -1,0 +1,48 @@
+// Package prof starts CPU and heap profiling for the command-line tools
+// (the -cpuprofile / -memprofile convention of the go test runner), so a
+// slow experiment sweep can be fed straight to `go tool pprof`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuFile and arranges for a heap profile
+// in memFile; either may be empty. The returned stop function ends the
+// CPU profile and writes the heap profile. Call it on every exit path:
+// deferred calls do not survive os.Exit, so error exits must invoke it
+// explicitly.
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -100,6 +101,10 @@ type Config struct {
 	ProgressEvery int64
 	// StallTimeout arms each run's stall watchdog (default 30s).
 	StallTimeout time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ for live CPU and
+	// heap profiling of a busy daemon. Off by default: the profile
+	// endpoints expose internals and cost cycles when scraped.
+	Pprof bool
 	// Runner overrides run execution (tests only; default RealRunner).
 	Runner Runner
 }
@@ -271,6 +276,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	if s.cfg.Pprof {
+		// net/http/pprof registers only on http.DefaultServeMux; route the
+		// prefix to its index handler, which dispatches to the others.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

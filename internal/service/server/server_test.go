@@ -407,6 +407,30 @@ func TestRunnerUsesEngineInterrupt(t *testing.T) {
 	_ = s
 }
 
+func TestPprofMountIsOptIn(t *testing.T) {
+	off := httptest.NewServer(New(Config{Runner: newGatedRunner().run}).Handler())
+	t.Cleanup(off.Close)
+	resp, err := off.Client().Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("pprof served without opt-in: %d", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(New(Config{Pprof: true, Runner: newGatedRunner().run}).Handler())
+	t.Cleanup(on.Close)
+	resp, err = on.Client().Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof index = %d, want 200", resp.StatusCode)
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(20 * time.Second)

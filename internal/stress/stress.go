@@ -12,6 +12,7 @@ package stress
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"time"
 
 	"slacksim/internal/adaptive"
@@ -43,15 +44,20 @@ type Config struct {
 	// stopping cycle is host-scheduling dependent, so equivalence checks
 	// are skipped for such configs (liveness and horizon checks still run).
 	MaxInstructions uint64
+	// Rollback enables speculative slack simulation (deterministic host
+	// only; the parallel host rejects it).
+	Rollback bool
+	// DeepCheckpoint selects the reference deep-copy checkpoint path.
+	DeepCheckpoint bool
 	// StallTimeout is the parallel host's watchdog budget for this run.
 	StallTimeout time.Duration
 }
 
 // String renders the scenario compactly for failure messages.
 func (c Config) String() string {
-	return fmt.Sprintf("seed=%d cores=%d wl=%s scheme=%s ckpt=%d maxcycles=%d maxinst=%d",
+	return fmt.Sprintf("seed=%d cores=%d wl=%s scheme=%s ckpt=%d maxcycles=%d maxinst=%d rollback=%v",
 		c.Seed, c.Cores, c.Workload, c.Scheme.Name(),
-		c.CheckpointInterval, c.MaxCycles, c.MaxInstructions)
+		c.CheckpointInterval, c.MaxCycles, c.MaxInstructions, c.Rollback)
 }
 
 // truncated reports whether the run may stop before the programs halt, in
@@ -83,6 +89,8 @@ func (c Config) runConfig() engine.RunConfig {
 		CheckpointInterval: c.CheckpointInterval,
 		MaxCycles:          c.MaxCycles,
 		MaxInstructions:    c.MaxInstructions,
+		Rollback:           c.Rollback,
+		DeepCheckpoint:     c.DeepCheckpoint,
 		StallTimeout:       c.StallTimeout,
 	}
 }
@@ -149,6 +157,60 @@ func Execute(c Config) (Result, error) {
 	}
 	res.Det = &det
 	return res, nil
+}
+
+// ExecuteCheckpointEquivalence runs one scenario twice on the
+// deterministic host — once with the reference deep-copy checkpoints and
+// once with the default incremental copy-on-write checkpoints — and
+// demands byte-identical outcomes: the full Results struct (wall-clock
+// excepted, the only host-dependent field), the final target memory
+// image, the uncore (L2 + status map + MSHRs + bus), and every core's
+// architectural and microarchitectural state. This is the property that
+// makes the incremental path a pure optimization.
+func ExecuteCheckpointEquivalence(c Config) error {
+	run := func(deep bool) (engine.Results, *engine.Machine, error) {
+		w, err := c.build()
+		if err != nil {
+			return engine.Results{}, nil, err
+		}
+		m, err := engine.NewMachine(engine.MachineConfig{NumCores: c.Cores}, w)
+		if err != nil {
+			return engine.Results{}, nil, fmt.Errorf("stress: build machine: %w", err)
+		}
+		rc := c.runConfig()
+		rc.DeepCheckpoint = deep
+		res, err := engine.Run(m, rc)
+		if err != nil {
+			return engine.Results{}, nil, fmt.Errorf("stress: deterministic host (deep=%v): %w", deep, err)
+		}
+		return res, m, nil
+	}
+	deepRes, deepM, err := run(true)
+	if err != nil {
+		return err
+	}
+	incRes, incM, err := run(false)
+	if err != nil {
+		return err
+	}
+	deepRes.WallClock, incRes.WallClock = 0, 0
+	if !reflect.DeepEqual(deepRes, incRes) {
+		return fmt.Errorf("stress: %s: results diverge between deep and incremental checkpoints:\ndeep:        %+v\nincremental: %+v",
+			c, deepRes, incRes)
+	}
+	if !deepM.Memory().Equal(incM.Memory()) {
+		return fmt.Errorf("stress: %s: final memory images diverge between deep and incremental checkpoints", c)
+	}
+	if !deepM.Uncore().StateEqual(incM.Uncore()) {
+		return fmt.Errorf("stress: %s: final uncore state diverges between deep and incremental checkpoints", c)
+	}
+	dc, ic := deepM.Cores(), incM.Cores()
+	for i := range dc {
+		if !dc[i].StateEqual(ic[i]) {
+			return fmt.Errorf("stress: %s: final core %d state diverges between deep and incremental checkpoints", c, i)
+		}
+	}
+	return nil
 }
 
 // checkHorizon asserts the MaxCycles invariant: neither the global clock
@@ -254,6 +316,41 @@ func Random(rng *rand.Rand) Config {
 		c.MaxInstructions = uint64(200 + rng.Intn(4000))
 	}
 	return c
+}
+
+// RandomSpeculative draws a rollback-heavy scenario for the checkpoint
+// equivalence property: a violating slack scheme, a dense checkpoint
+// interval, and speculative rollback on, so both checkpoint paths take
+// and restore many checkpoints per run.
+func RandomSpeculative(rng *rand.Rand) Config {
+	c := Config{
+		Seed:               rng.Int63n(1 << 30),
+		Cores:              pick(rng, []int{2, 2, 4, 4, 8}),
+		Workload:           pick(rng, []string{"falseshare", "falseshare", "fft", "lu", "private-long"}),
+		Scheme:             speculativeScheme(rng),
+		CheckpointInterval: pick(rng, []int64{32, 64, 64, 128, 256}),
+		Rollback:           true,
+		StallTimeout:       defaultStall,
+	}
+	if rng.Intn(4) == 0 {
+		c.MaxCycles = 200 + rng.Int63n(800)
+	}
+	return c
+}
+
+// speculativeScheme draws a scheme that actually produces violations
+// (cycle-by-cycle cannot, so it would never exercise rollback).
+func speculativeScheme(rng *rand.Rand) engine.Scheme {
+	switch rng.Intn(4) {
+	case 0:
+		return engine.BoundedSlack(4 + rng.Int63n(60))
+	case 1:
+		return engine.UnboundedSlack()
+	case 2:
+		return engine.AdaptiveSlack(adaptive.DefaultConfig())
+	default:
+		return engine.QuantumScheme(16 + rng.Int63n(112))
+	}
 }
 
 // randomScheme draws one of the six schemes with randomized parameters.

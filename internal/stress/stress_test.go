@@ -13,7 +13,7 @@ import (
 func TestGeneratorsProduceValidConfigs(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 500; i++ {
-		for _, cfg := range []Config{RandomEquivalence(rng), Random(rng)} {
+		for _, cfg := range []Config{RandomEquivalence(rng), Random(rng), RandomSpeculative(rng)} {
 			if err := cfg.Scheme.Validate(); err != nil {
 				t.Fatalf("draw %d {%s}: invalid scheme: %v", i, cfg, err)
 			}
@@ -68,6 +68,65 @@ func TestExecuteReportsDivergence(t *testing.T) {
 	}
 	if res.Det != nil {
 		t.Fatal("SU scenario was cross-checked; SU timing is host-dependent")
+	}
+}
+
+// TestSpeculativeDrawsExerciseRollback: RandomSpeculative must always
+// checkpoint and roll back under a scheme that can violate.
+func TestSpeculativeDrawsExerciseRollback(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		cfg := RandomSpeculative(rng)
+		if !cfg.Rollback || cfg.CheckpointInterval <= 0 {
+			t.Fatalf("draw %d {%s}: not a speculative scenario", i, cfg)
+		}
+		if cfg.Scheme.Kind == engine.CC {
+			t.Fatalf("draw %d {%s}: CC cannot violate, rollback never fires", i, cfg)
+		}
+	}
+}
+
+// TestCheckpointEquivalenceProperty is the correctness proof behind the
+// incremental checkpoint path: across edge scenarios and randomized
+// speculative sweeps, deep-copy and incremental checkpoints must produce
+// identical Results and identical final machine state.
+func TestCheckpointEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var cfgs []Config
+	for _, c := range Edges() {
+		if c.CheckpointInterval == 0 {
+			c.CheckpointInterval = 64 // the property needs checkpoints to compare
+		}
+		cfgs = append(cfgs, c)
+	}
+	cfgs = append(cfgs,
+		// Speculative twins of the checkpointing edges: rollback with an
+		// interval past the halt time, and with a boundary-dense run.
+		Config{Seed: 5, Cores: 4, Workload: "falseshare", Scheme: engine.BoundedSlack(8),
+			CheckpointInterval: 64, Rollback: true, StallTimeout: defaultStall},
+		Config{Seed: 6, Cores: 2, Workload: "fft", Scheme: engine.UnboundedSlack(),
+			CheckpointInterval: 1 << 20, Rollback: true, StallTimeout: defaultStall},
+	)
+	nRand, nCC := 32, 8
+	if testing.Short() {
+		nRand, nCC = 8, 2
+	}
+	for i := 0; i < nRand; i++ {
+		cfgs = append(cfgs, RandomSpeculative(rng))
+	}
+	// Checkpointing without rollback must match too (checkpoints still
+	// mutate accounting and snapshots even when never restored).
+	for i := 0; i < nCC; i++ {
+		c := RandomEquivalence(rng)
+		if c.CheckpointInterval == 0 {
+			c.CheckpointInterval = 128
+		}
+		cfgs = append(cfgs, c)
+	}
+	for i, c := range cfgs {
+		if err := ExecuteCheckpointEquivalence(c); err != nil {
+			t.Errorf("config %d: %v", i, err)
+		}
 	}
 }
 

@@ -221,19 +221,42 @@ func (c *Controller) Snapshot() *Controller {
 	return n
 }
 
-// Restore overwrites the controller from a snapshot.
+// Restore overwrites the controller from a snapshot, reusing the live
+// maps and entry allocations (lock and barrier populations are tiny and
+// stable, so a restore in the rollback hot path allocates almost nothing).
 func (c *Controller) Restore(snap *Controller) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.numCores = snap.numCores
-	c.locks = make(map[uint64]*lockState, len(snap.locks))
-	for a, l := range snap.locks {
-		cp := *l
-		c.locks[a] = &cp
+	for a := range c.locks {
+		if snap.locks[a] == nil {
+			delete(c.locks, a)
+		}
 	}
-	c.barriers = make(map[int64]*barrier, len(snap.barriers))
+	for a, l := range snap.locks {
+		e := c.locks[a]
+		if e == nil {
+			e = &lockState{}
+			c.locks[a] = e
+		}
+		*e = *l
+	}
+	for id := range c.barriers {
+		if snap.barriers[id] == nil {
+			delete(c.barriers, id)
+		}
+	}
 	for id, b := range snap.barriers {
-		c.barriers[id] = copyBarrier(b)
+		e := c.barriers[id]
+		if e == nil {
+			e = &barrier{waiting: make(map[int]bool, len(b.waiting))}
+			c.barriers[id] = e
+		}
+		e.arrived, e.generation, e.releasedAt = b.arrived, b.generation, b.releasedAt
+		clear(e.waiting)
+		for k, v := range b.waiting {
+			e.waiting[k] = v
+		}
 	}
 	c.Acquires, c.Releases, c.Contended, c.BarrierEpisodes =
 		snap.Acquires, snap.Releases, snap.Contended, snap.BarrierEpisodes

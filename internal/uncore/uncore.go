@@ -75,6 +75,10 @@ type Uncore struct {
 	Served uint64
 	// Invalidations counts snoop messages sent to remote L1s.
 	Invalidations uint64
+
+	// holdScratch backs the holder list in Service so the per-request hot
+	// path allocates nothing.
+	holdScratch []int
 }
 
 // New builds the uncore. inQs[i] is core i's incoming queue; det receives
@@ -144,7 +148,8 @@ func (u *Uncore) Service(req event.Request) {
 
 	// Snoop every remote holder.
 	owner := u.smap.OwnerOtherThan(req.LineAddr, req.Core)
-	holders := u.smap.Holders(req.LineAddr, req.Core)
+	holders := u.smap.HoldersInto(u.holdScratch[:0], req.LineAddr, req.Core)
+	u.holdScratch = holders
 	sharedElsewhere := false
 	for _, h := range holders {
 		next, _ := coherence.SnoopState(u.smap.State(req.LineAddr, h), kind)
@@ -232,6 +237,41 @@ func (u *Uncore) Restore(s *Snapshot) {
 	u.smap.Restore(s.smap)
 	u.Served = s.served
 	u.Invalidations = s.invalidations
+}
+
+// StartTracking begins dirty tracking in the L2 and status map for
+// incremental checkpoints; the caller takes a full Snapshot at the same
+// instant.
+func (u *Uncore) StartTracking() {
+	u.l2.StartTracking()
+	u.smap.StartTracking()
+}
+
+// SyncSnapshot brings s (a full Snapshot kept current since tracking
+// started) up to date, copying only dirty L2 sets and status-map lines.
+func (u *Uncore) SyncSnapshot(s *Snapshot) {
+	u.bus.SyncSnapshot(s.bus)
+	u.l2.SyncSnapshot(s.l2)
+	u.smap.SyncSnapshot(s.smap)
+	s.served = u.Served
+	s.invalidations = u.Invalidations
+}
+
+// RestoreDirty rolls the uncore back to s, undoing only state touched
+// since the last sync.
+func (u *Uncore) RestoreDirty(s *Snapshot) {
+	u.bus.Restore(s.bus)
+	u.l2.RestoreDirty(s.l2)
+	u.smap.RestoreDirty(s.smap)
+	u.Served = s.served
+	u.Invalidations = s.invalidations
+}
+
+// StateEqual reports whether two uncores hold identical bus, L2, and
+// status-map state (used by checkpoint-equivalence tests).
+func (u *Uncore) StateEqual(o *Uncore) bool {
+	return u.Served == o.Served && u.Invalidations == o.Invalidations &&
+		u.bus.Equal(o.bus) && u.l2.Equal(o.l2) && u.smap.Equal(o.smap)
 }
 
 // StateWords estimates snapshot size for the checkpoint cost model.

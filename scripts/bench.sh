@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh — measure the host-performance benchmarks and write a JSON
+# baseline (default BENCH_PR3.json) for before/after comparisons.
+#
+#   scripts/bench.sh                  # write BENCH_PR3.json at 5 iterations
+#   BENCHTIME=20x scripts/bench.sh    # steadier numbers
+#   scripts/bench.sh /tmp/after.json  # alternate output path
+#
+# The headline metric is densest_deep_over_incremental: how many times
+# cheaper the incremental copy-on-write checkpoint path is than the
+# reference deep-copy path at the densest checkpoint interval.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-5x}"
+out="${1:-BENCH_PR3.json}"
+
+engine_raw=$(go test ./internal/engine/ -run '^$' -bench BenchmarkCheckpointRestore -benchtime "$benchtime" -count 1)
+root_raw=$(go test . -run '^$' -bench 'BenchmarkSimulatorThroughput|BenchmarkParallelHost' -benchtime "$benchtime" -count 1)
+
+printf '%s\n%s\n' "$engine_raw" "$root_raw" | awk -v benchtime="$benchtime" '
+/^Benchmark/ {
+  name = $1; iters = $2; ns = "null"; bytes = "null"; allocs = "null"
+  for (i = 2; i < NF; i++) {
+    if ($(i+1) == "ns/op")     ns = $i
+    if ($(i+1) == "B/op")      bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
+  ns_by[name] = ns
+  rows[n++] = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                      name, iters, ns, bytes, allocs)
+}
+END {
+  deep = ""; inc = ""; densest = 1e18
+  for (k in ns_by) {
+    if (k ~ /CheckpointRestore\/interval=/) {
+      split(k, parts, "=");  split(parts[2], p2, "/")
+      if (p2[1] + 0 < densest) densest = p2[1] + 0
+    }
+  }
+  for (k in ns_by) {
+    if (k ~ ("interval=" densest "/deep"))        deep = ns_by[k]
+    if (k ~ ("interval=" densest "/incremental")) inc  = ns_by[k]
+  }
+  print "{"
+  printf "  \"benchtime\": \"%s\",\n", benchtime
+  if (deep != "" && inc != "" && inc + 0 > 0)
+    printf "  \"densest_deep_over_incremental\": %.2f,\n", deep / inc
+  print "  \"results\": ["
+  for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+  print "  ]"
+  print "}"
+}' > "$out"
+
+echo "wrote $out"
+grep densest_deep_over_incremental "$out" || true
