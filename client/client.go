@@ -38,6 +38,9 @@ type Job struct {
 	Progress  *slacksim.Progress `json:"progress,omitempty"`
 	Result    *slacksim.Results  `json:"result,omitempty"`
 	Error     string             `json:"error,omitempty"`
+	// Detail carries runner-specific extras verbatim: against a fleet
+	// coordinator it is the job's per-attempt dispatch history.
+	Detail json.RawMessage `json:"detail,omitempty"`
 }
 
 // Terminal reports whether the job reached a final state.
@@ -58,6 +61,49 @@ type RetryError struct {
 
 func (e *RetryError) Error() string {
 	return fmt.Sprintf("server busy (retry after %v): %s", e.After, e.Msg)
+}
+
+// StatusError reports a non-429 HTTP error response with its status
+// code, so callers (the fleet coordinator in particular) can tell a
+// permanent rejection (4xx: bad spec, unknown job) from a server-side
+// failure (5xx) worth retrying on another worker.
+type StatusError struct {
+	Code   int
+	Status string
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Status, e.Msg)
+}
+
+// Temporary reports whether the error is worth retrying (5xx).
+func (e *StatusError) Temporary() bool { return e.Code >= 500 }
+
+// Option adjusts a single request.
+type Option func(*reqOptions)
+
+type reqOptions struct {
+	timeout time.Duration
+}
+
+// WithTimeout bounds one request (and, for Wait/SubmitWait, each HTTP
+// round trip inside it) without touching the caller's context.
+func WithTimeout(d time.Duration) Option {
+	return func(o *reqOptions) { o.timeout = d }
+}
+
+// apply resolves the options and returns a possibly-derived context
+// plus its cancel func (a no-op when no timeout was requested).
+func apply(ctx context.Context, opts []Option) (context.Context, context.CancelFunc) {
+	var o reqOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.timeout > 0 {
+		return context.WithTimeout(ctx, o.timeout)
+	}
+	return ctx, func() {}
 }
 
 // Event is one SSE frame from a job's event stream.
@@ -118,7 +164,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return &RetryError{After: after, Msg: errBody(blob)}
 	}
 	if resp.StatusCode >= 400 {
-		return fmt.Errorf("client: %s %s: %s: %s", method, path, resp.Status, errBody(blob))
+		return &StatusError{
+			Code:   resp.StatusCode,
+			Status: fmt.Sprintf("client: %s %s: %s", method, path, resp.Status),
+			Msg:    errBody(blob),
+		}
 	}
 	if out != nil {
 		return json.Unmarshal(blob, out)
@@ -137,7 +187,9 @@ func errBody(blob []byte) string {
 }
 
 // Submit posts a run spec. A full queue returns a *RetryError.
-func (c *Client) Submit(ctx context.Context, sp Spec) (*Job, error) {
+func (c *Client) Submit(ctx context.Context, sp Spec, opts ...Option) (*Job, error) {
+	ctx, cancel := apply(ctx, opts)
+	defer cancel()
 	var j Job
 	if err := c.do(ctx, http.MethodPost, "/v1/jobs", sp, &j); err != nil {
 		return nil, err
@@ -146,7 +198,9 @@ func (c *Client) Submit(ctx context.Context, sp Spec) (*Job, error) {
 }
 
 // Get fetches a job's current state.
-func (c *Client) Get(ctx context.Context, id string) (*Job, error) {
+func (c *Client) Get(ctx context.Context, id string, opts ...Option) (*Job, error) {
+	ctx, cancel := apply(ctx, opts)
+	defer cancel()
 	var j Job
 	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &j); err != nil {
 		return nil, err
@@ -155,7 +209,9 @@ func (c *Client) Get(ctx context.Context, id string) (*Job, error) {
 }
 
 // Cancel requests cancellation of a job.
-func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+func (c *Client) Cancel(ctx context.Context, id string, opts ...Option) (*Job, error) {
+	ctx, cancel := apply(ctx, opts)
+	defer cancel()
 	var j Job
 	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &j); err != nil {
 		return nil, err
@@ -163,15 +219,17 @@ func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
 	return &j, nil
 }
 
-// Wait polls a job until it is terminal (or ctx expires).
-func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*Job, error) {
+// Wait polls a job until it is terminal or ctx expires; cancellation is
+// honored promptly even mid-sleep. Options bound each poll round trip,
+// not the overall wait.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, opts ...Option) (*Job, error) {
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
 	}
 	tick := time.NewTicker(poll)
 	defer tick.Stop()
 	for {
-		j, err := c.Get(ctx, id)
+		j, err := c.Get(ctx, id, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -186,11 +244,13 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*Job,
 	}
 }
 
-// SubmitWait submits with 429 backoff (honoring Retry-After) and then
-// waits for the job to finish: one call that behaves like a local run.
-func (c *Client) SubmitWait(ctx context.Context, sp Spec, poll time.Duration) (*Job, error) {
+// SubmitWait submits with 429 backoff (honoring Retry-After, but never
+// outliving ctx: the sleep selects on ctx.Done) and then waits for the
+// job to finish: one call that behaves like a local run. Options bound
+// each HTTP round trip.
+func (c *Client) SubmitWait(ctx context.Context, sp Spec, poll time.Duration, opts ...Option) (*Job, error) {
 	for {
-		j, err := c.Submit(ctx, sp)
+		j, err := c.Submit(ctx, sp, opts...)
 		var re *RetryError
 		if errors.As(err, &re) {
 			select {
@@ -206,7 +266,7 @@ func (c *Client) SubmitWait(ctx context.Context, sp Spec, poll time.Duration) (*
 		if j.Terminal() {
 			return j, nil
 		}
-		return c.Wait(ctx, j.ID, poll)
+		return c.Wait(ctx, j.ID, poll, opts...)
 	}
 }
 
@@ -251,7 +311,9 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) er
 }
 
 // Statsz fetches the service counters as loosely-typed JSON.
-func (c *Client) Statsz(ctx context.Context) (map[string]any, error) {
+func (c *Client) Statsz(ctx context.Context, opts ...Option) (map[string]any, error) {
+	ctx, cancel := apply(ctx, opts)
+	defer cancel()
 	var v map[string]any
 	if err := c.do(ctx, http.MethodGet, "/v1/statsz", nil, &v); err != nil {
 		return nil, err
@@ -260,6 +322,36 @@ func (c *Client) Statsz(ctx context.Context) (map[string]any, error) {
 }
 
 // Healthz returns nil when the service is accepting work.
-func (c *Client) Healthz(ctx context.Context) error {
+func (c *Client) Healthz(ctx context.Context, opts ...Option) error {
+	ctx, cancel := apply(ctx, opts)
+	defer cancel()
 	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// Metrics fetches the Prometheus text exposition from GET /metrics as
+// raw bytes; the fleet coordinator parses it for load-aware routing.
+func (c *Client) Metrics(ctx context.Context, opts ...Option) ([]byte, error) {
+	ctx, cancel := apply(ctx, opts)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{
+			Code:   resp.StatusCode,
+			Status: fmt.Sprintf("client: GET /metrics: %s", resp.Status),
+			Msg:    errBody(blob),
+		}
+	}
+	return blob, nil
 }

@@ -1,0 +1,153 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"slacksim/client"
+	"slacksim/internal/spec"
+)
+
+func testSpec() spec.Spec {
+	return spec.Spec{Workload: "fft", Scheme: "s8", Cores: 2, Seed: 1}
+}
+
+// TestSubmitWait429BackoffHonorsContext: a server that keeps answering
+// 429 with a long Retry-After must not pin SubmitWait past its context
+// — the backoff sleep has to give up the moment the context ends.
+func TestSubmitWait429BackoffHonorsContext(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"queue full"}`))
+	}))
+	defer hs.Close()
+	c := client.New(hs.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.SubmitWait(ctx, testSpec(), time.Millisecond)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if since := time.Since(start); since > 2*time.Second {
+		t.Fatalf("SubmitWait slept %v into a 30s Retry-After after its context expired", since)
+	}
+}
+
+// TestWaitHonorsContextMidPoll: cancelling the context while Wait is
+// between polls of a never-finishing job returns promptly.
+func TestWaitHonorsContextMidPoll(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]any{"id": "j1", "state": "running"})
+	}))
+	defer hs.Close()
+	c := client.New(hs.URL)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Wait(ctx, "j1", 10*time.Second) // poll far longer than the cancel
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context canceled", err)
+	}
+	if since := time.Since(start); since > 2*time.Second {
+		t.Fatalf("Wait returned after %v, expected prompt cancellation", since)
+	}
+}
+
+// TestWithTimeoutBoundsARequest: WithTimeout caps one round trip
+// against a hung server without touching the caller's context.
+func TestWithTimeoutBoundsARequest(t *testing.T) {
+	hang := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-hang
+	}))
+	defer hs.Close()
+	defer close(hang) // LIFO: unblock the handler before Close waits on it
+	c := client.New(hs.URL)
+
+	start := time.Now()
+	_, err := c.Submit(context.Background(), testSpec(), client.WithTimeout(50*time.Millisecond))
+	if err == nil {
+		t.Fatal("Submit against a hung server succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if since := time.Since(start); since > 2*time.Second {
+		t.Fatalf("Submit took %v with a 50ms per-request timeout", since)
+	}
+}
+
+// TestStatusErrorClassification: 5xx is temporary (worth retrying
+// elsewhere), other 4xx is permanent, and 429 stays a RetryError.
+func TestStatusErrorClassification(t *testing.T) {
+	for _, tc := range []struct {
+		code      int
+		temporary bool
+	}{
+		{http.StatusInternalServerError, true},
+		{http.StatusBadGateway, true},
+		{http.StatusBadRequest, false},
+		{http.StatusNotFound, false},
+	} {
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(tc.code)
+			_, _ = w.Write([]byte(`{"error":"nope"}`))
+		}))
+		c := client.New(hs.URL)
+		_, err := c.Submit(context.Background(), testSpec())
+		hs.Close()
+		var se *client.StatusError
+		if !errors.As(err, &se) {
+			t.Fatalf("code %d: err = %T %v, want *StatusError", tc.code, err, err)
+		}
+		if se.Code != tc.code || se.Temporary() != tc.temporary {
+			t.Fatalf("code %d: got code=%d temporary=%v", tc.code, se.Code, se.Temporary())
+		}
+		if se.Msg != "nope" {
+			t.Fatalf("code %d: msg = %q", tc.code, se.Msg)
+		}
+	}
+
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+	_, err := client.New(hs.URL).Submit(context.Background(), testSpec())
+	var re *client.RetryError
+	if !errors.As(err, &re) || re.After != 2*time.Second {
+		t.Fatalf("429 err = %v, want RetryError with After=2s", err)
+	}
+}
+
+// TestMetricsFetch: the raw Prometheus text comes back verbatim.
+func TestMetricsFetch(t *testing.T) {
+	const body = "# TYPE x gauge\nx 1\n"
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		_, _ = w.Write([]byte(body))
+	}))
+	defer hs.Close()
+	blob, err := client.New(hs.URL).Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != body {
+		t.Fatalf("metrics = %q, want %q", blob, body)
+	}
+}

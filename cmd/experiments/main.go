@@ -6,16 +6,20 @@
 //	experiments -only fig3       # one experiment
 //	experiments -scale 2 -seed 7 # bigger inputs, different schedule
 //	experiments -par 1           # serial runs (e.g. for clean wall-clocks)
+//	experiments -fleet http://localhost:9090   # fan cells out across a fleet
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"strings"
 	"time"
 
+	"slacksim/client"
 	"slacksim/internal/experiments"
+	"slacksim/internal/fleet"
 	"slacksim/internal/prof"
 )
 
@@ -25,9 +29,10 @@ func main() {
 		cores   = flag.Int("cores", 8, "target cores")
 		seed    = flag.Int64("seed", 1, "scheduling seed")
 		par     = flag.Int("par", 0, "experiment workers (0 = one per host thread, 1 = serial)")
-		only    = flag.String("only", "", "run one experiment: fig3, fig4, table2, table34, table5, ablations, scaling")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		only     = flag.String("only", "", "run one experiment: fig3, fig4, table2, table34, table5, ablations, scaling")
+		fleetURL = flag.String("fleet", "", "execute every grid cell on a slacksimfleet coordinator (or slacksimd) at this base URL")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -42,6 +47,13 @@ func main() {
 	cfg.Cores = *cores
 	cfg.Seed = *seed
 	cfg.Parallelism = *par
+	if *fleetURL != "" {
+		c := client.New(*fleetURL)
+		if err := c.Healthz(context.Background()); err != nil {
+			log.Fatalf("fleet %s not healthy: %v", *fleetURL, err)
+		}
+		cfg.Exec = fleet.NewRemoteDriver(context.Background(), c).Exec
+	}
 
 	want := func(name string) bool { return *only == "" || *only == name }
 	start := time.Now()

@@ -5,6 +5,14 @@
 //
 //	slacksimd -addr :8080 -queue 64 -workers 8 -cache 256
 //
+// With -coordinator the daemon registers itself as a fleet worker
+// (slacksimfleet) after its listener is up, and deregisters before
+// draining on shutdown so the coordinator stops routing new work at it
+// while accepted jobs still finish:
+//
+//	slacksimd -addr :8081 -coordinator http://fleet:9090 -id node1 \
+//	    -advertise http://node1:8081
+//
 // Submit work with the Go client (slacksim/client), sweep -server, or
 // plain curl:
 //
@@ -15,12 +23,16 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"slacksim/internal/fleet"
 	"slacksim/internal/service/server"
 )
 
@@ -34,6 +46,9 @@ func main() {
 		stall    = flag.Duration("stall", 30*time.Second, "per-run stall watchdog timeout")
 		drain    = flag.Duration("drain-timeout", 60*time.Second, "max time to finish accepted jobs on shutdown")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		coord    = flag.String("coordinator", "", "fleet coordinator base URL to join (e.g. http://fleet:9090)")
+		advert   = flag.String("advertise", "", "base URL the coordinator should reach this worker at (default http://<hostname><addr>)")
+		workerID = flag.String("id", "", "worker ID to register under (default the hostname)")
 	)
 	flag.Parse()
 
@@ -55,10 +70,37 @@ func main() {
 	log.Printf("slacksimd listening on %s (queue=%d workers=%d cache=%d)",
 		*addr, *queue, *workers, *cache)
 
+	// Join the fleet only after the listener is up, so the coordinator's
+	// first health probe finds a live /v1/healthz.
+	if *coord != "" {
+		id, url := workerIdentity(*workerID, *advert, *addr)
+		jctx, jcancel := context.WithTimeout(ctx, 10*time.Second)
+		if err := fleet.Join(jctx, *coord, id, url); err != nil {
+			jcancel()
+			log.Fatalf("fleet join: %v", err)
+		}
+		jcancel()
+		log.Printf("joined fleet %s as %q (advertising %s)", *coord, id, url)
+	}
+
 	select {
 	case err := <-errc:
 		log.Fatalf("serve: %v", err)
 	case <-ctx.Done():
+	}
+
+	// Leave the fleet BEFORE draining: the coordinator must stop routing
+	// new jobs here while the jobs already accepted still run to
+	// completion and stay retrievable for their waiting dispatches.
+	if *coord != "" {
+		id, _ := workerIdentity(*workerID, *advert, *addr)
+		lctx, lcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := fleet.Leave(lctx, *coord, id); err != nil {
+			log.Printf("fleet leave: %v", err)
+		} else {
+			log.Printf("left fleet %s", *coord)
+		}
+		lcancel()
 	}
 
 	// Graceful drain: stop admitting, finish every accepted job, then
@@ -73,4 +115,24 @@ func main() {
 		log.Printf("http shutdown: %v", err)
 	}
 	log.Printf("slacksimd stopped")
+}
+
+// workerIdentity resolves the -id and -advertise defaults from the
+// hostname and listen address.
+func workerIdentity(id, advertise, addr string) (string, string) {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "localhost"
+	}
+	if id == "" {
+		id = host
+	}
+	if advertise == "" {
+		if strings.HasPrefix(addr, ":") {
+			advertise = fmt.Sprintf("http://%s%s", host, addr)
+		} else {
+			advertise = "http://" + addr
+		}
+	}
+	return id, advertise
 }

@@ -1,0 +1,96 @@
+// Command slacksimfleet is the fleet coordinator: it speaks the exact
+// /v1/jobs API of a single slacksimd — the Go client, sweep -server,
+// and curl all work unchanged — but executes every job on a registry of
+// slacksimd workers, routed by rendezvous hashing on the spec digest
+// (cache affinity) with load-aware spill and automatic failover.
+//
+//	slacksimfleet -addr :9090 -workers http://node1:8080,http://node2:8080
+//
+// Workers may also join and leave at runtime:
+//
+//	curl -s localhost:9090/v1/fleet/workers -d '{"id":"node3","url":"http://node3:8080"}'
+//	curl -s localhost:9090/v1/fleet/workers          # membership + health + load
+//	sweep -workloads fft -bounds 8,32 -fleet http://localhost:9090
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"slacksim/internal/fleet"
+	"slacksim/internal/service/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9090", "listen address")
+		workers  = flag.String("workers", "", "comma-separated worker base URLs to register at startup")
+		queue    = flag.Int("queue", 256, "pending-job queue depth (admission bound)")
+		dispatch = flag.Int("dispatch", 64, "max concurrent dispatches to workers")
+		cache    = flag.Int("cache", 512, "fleet-level result cache entries")
+		probe    = flag.Duration("probe", 2*time.Second, "worker health-probe interval")
+		attempts = flag.Int("attempts", 4, "max dispatch attempts per job")
+		spill    = flag.Float64("spill", 2.0, "spill when the affinity worker's pending work reaches this multiple of its capacity")
+		drain    = flag.Duration("drain-timeout", 60*time.Second, "max time to finish accepted jobs on shutdown")
+	)
+	flag.Parse()
+
+	f := fleet.NewFacade(fleet.FacadeConfig{
+		Server: server.Config{
+			QueueDepth: *queue,
+			Workers:    *dispatch,
+			CacheSize:  *cache,
+			// Dispatches wait on remote runs, not local stalls; the watchdog
+			// budget lives on the workers.
+			StallTimeout: -1,
+		},
+		Coordinator: fleet.CoordinatorConfig{MaxAttempts: *attempts, SpillFactor: *spill},
+		Registry:    fleet.RegistryConfig{ProbeInterval: *probe},
+	})
+	n := 0
+	for _, u := range strings.Split(*workers, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		n++
+		f.Registry().Add(fmt.Sprintf("w%d", n), u, fleet.DialWorker(u))
+		log.Printf("registered worker w%d at %s", n, u)
+	}
+	// Probe immediately so the first jobs see real health and load instead
+	// of waiting out a full probe interval.
+	f.Registry().ProbeOnce(context.Background())
+
+	hs := &http.Server{Addr: *addr, Handler: f.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("slacksimfleet listening on %s (%d workers registered)", *addr, n)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutdown: draining (timeout %v)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := f.Drain(dctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("slacksimfleet stopped")
+}

@@ -14,6 +14,12 @@
 // running in-process: submissions go out concurrently (the daemon's
 // queue applies backpressure; sweep retries on 429) and rows print in
 // grid order. Identical cells hit the daemon's result cache.
+//
+// -fleet targets a slacksimfleet coordinator the same way — the
+// coordinator speaks the identical /v1/jobs protocol and fans the grid
+// out across its registered workers:
+//
+//	sweep -workloads fft -bounds 8,32 -fleet http://localhost:9090
 package main
 
 import (
@@ -49,9 +55,18 @@ func main() {
 		cores      = flag.Int("cores", 8, "target cores")
 		seeds      = flag.Int("seeds", 1, "number of seeds per configuration")
 		serverURL  = flag.String("server", "", "submit runs to a slacksimd instance at this base URL instead of running in-process")
-		timeoutDur = flag.Duration("timeout", 10*time.Minute, "overall deadline in -server mode")
+		fleetURL   = flag.String("fleet", "", "submit runs to a slacksimfleet coordinator at this base URL (same wire protocol as -server)")
+		timeoutDur = flag.Duration("timeout", 10*time.Minute, "overall deadline in -server/-fleet mode")
 	)
 	flag.Parse()
+	if *fleetURL != "" {
+		if *serverURL != "" {
+			log.Fatal("use -server or -fleet, not both")
+		}
+		// The coordinator speaks the identical /v1/jobs API; -fleet exists
+		// so invocations document which topology they expect.
+		*serverURL = *fleetURL
+	}
 
 	var schemes []string
 	if *withCC {

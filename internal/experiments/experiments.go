@@ -55,6 +55,13 @@ type Config struct {
 	// literally. Results are identical at any setting except the
 	// wall-clock fields (every cell owns its machine and seed).
 	Parallelism int
+	// Exec, when non-nil, executes one grid cell in place of the
+	// in-process engine: it receives the workload, input scale, core
+	// count and fully-populated run configuration (Seed included) and
+	// returns the cell's results. fleet.Driver satisfies it to fan a
+	// grid out across slacksimd workers; results must be identical to a
+	// local run, wall-clock excepted.
+	Exec func(workload string, scale, cores int, rc engine.RunConfig) (engine.Results, error)
 }
 
 // Default returns the quick configuration used by tests and benchmarks.
@@ -74,20 +81,25 @@ func Default() Config {
 	}
 }
 
-func (c Config) build(name string) (*engine.Machine, error) {
-	w, err := workload.ByName(name, c.Scale)
-	if err != nil {
-		return nil, err
-	}
-	return engine.NewMachine(engine.MachineConfig{NumCores: c.Cores}, w)
+func (c Config) run(name string, rc engine.RunConfig) (engine.Results, error) {
+	return c.runAt(name, c.Cores, rc)
 }
 
-func (c Config) run(name string, rc engine.RunConfig) (engine.Results, error) {
-	m, err := c.build(name)
+// runAt executes one cell at an explicit core count (the scaling sweep
+// varies it), routing through the Exec hook when one is installed.
+func (c Config) runAt(name string, cores int, rc engine.RunConfig) (engine.Results, error) {
+	rc.Seed = c.Seed
+	if c.Exec != nil {
+		return c.Exec(name, c.Scale, cores, rc)
+	}
+	w, err := workload.ByName(name, c.Scale)
 	if err != nil {
 		return engine.Results{}, err
 	}
-	rc.Seed = c.Seed
+	m, err := engine.NewMachine(engine.MachineConfig{NumCores: cores}, w)
+	if err != nil {
+		return engine.Results{}, err
+	}
 	return engine.Run(m, rc)
 }
 

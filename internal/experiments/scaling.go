@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"slacksim/internal/engine"
-	"slacksim/internal/workload"
 )
 
 // ScalingRow compares cycle-by-cycle and unbounded slack at one machine
@@ -29,16 +28,7 @@ type ScalingRow struct {
 // concern behind the paper's call for larger-scale studies.
 func Scaling(cfg Config, wl string, coreCounts []int) ([]ScalingRow, error) {
 	runAt := func(n int, rc engine.RunConfig) (engine.Results, error) {
-		w, err := workload.ByName(wl, cfg.Scale)
-		if err != nil {
-			return engine.Results{}, err
-		}
-		m, err := engine.NewMachine(engine.MachineConfig{NumCores: n}, w)
-		if err != nil {
-			return engine.Results{}, err
-		}
-		rc.Seed = cfg.Seed
-		return engine.Run(m, rc)
+		return cfg.runAt(wl, n, rc)
 	}
 	// Two grid cells per machine size: the CC reference and the unbounded
 	// slack run it is compared against.

@@ -1,0 +1,277 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"slacksim"
+	"slacksim/client"
+	"slacksim/internal/spec"
+)
+
+// CoordinatorConfig parameterizes dispatch behavior.
+type CoordinatorConfig struct {
+	// MaxAttempts bounds how many dispatches one job may consume
+	// (default 4). Each attempt prefers a worker not yet tried.
+	MaxAttempts int
+	// BackoffBase is the first retry delay (default 100ms); each further
+	// retry doubles it, capped at BackoffMax (default 5s), with up to
+	// ±50% jitter so a burst of failed jobs does not retry in lockstep.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// SpillFactor triggers load-aware spill: when the rendezvous-chosen
+	// worker's pending work (queue depth + running) reaches SpillFactor ×
+	// its capacity, the job goes to the least-loaded healthy worker
+	// instead (default 2.0). Zero capacity (no scrape yet) never spills.
+	SpillFactor float64
+	// MaxHistories bounds the per-job attempt histories kept for the job
+	// view (default 4096, matching the job queue's retention).
+	MaxHistories int
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.SpillFactor <= 0 {
+		c.SpillFactor = 2.0
+	}
+	if c.MaxHistories <= 0 {
+		c.MaxHistories = 4096
+	}
+	return c
+}
+
+// Coordinator routes run specs to workers: rendezvous hashing on the
+// spec key for cache affinity, spill to the least-loaded worker under
+// overload, and bounded retries with failover on transient failures.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	reg *Registry
+
+	rmu sync.Mutex
+	rng *rand.Rand
+
+	// amu guards the attempt histories (jobID → dispatches), bounded to
+	// MaxHistories by FIFO eviction.
+	amu      sync.Mutex
+	attempts map[string][]Attempt
+	order    []string
+}
+
+// NewCoordinator builds a coordinator over reg.
+func NewCoordinator(reg *Registry, cfg CoordinatorConfig) *Coordinator {
+	return &Coordinator{
+		cfg:      cfg.withDefaults(),
+		reg:      reg,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		attempts: make(map[string][]Attempt),
+	}
+}
+
+// Registry returns the coordinator's worker registry.
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// pick chooses the worker for one attempt: the highest rendezvous score
+// among healthy workers not yet tried, spilled to the least-loaded such
+// worker when the affinity choice is saturated.
+func (c *Coordinator) pick(key string, tried map[string]bool) (id string, spill bool, err error) {
+	candidates := c.reg.healthy()
+	avail := candidates[:0]
+	for _, w := range candidates {
+		if !tried[w] {
+			avail = append(avail, w)
+		}
+	}
+	if len(avail) == 0 {
+		return "", false, ErrNoWorkers
+	}
+	best := avail[0]
+	bestScore := rendezvousScore(best, key)
+	for _, w := range avail[1:] {
+		if s := rendezvousScore(w, key); s > bestScore {
+			best, bestScore = w, s
+		}
+	}
+	if len(avail) == 1 {
+		return best, false, nil
+	}
+	load, ok := c.reg.loadOf(best)
+	if !ok || load.Capacity <= 0 {
+		return best, false, nil
+	}
+	pending := load.QueueDepth + load.Running
+	if float64(pending) < c.cfg.SpillFactor*float64(load.Capacity) {
+		return best, false, nil
+	}
+	// The affinity target is saturated: spill to the least relative load.
+	target, targetRel := best, relLoad(load)
+	for _, w := range avail {
+		if w == best {
+			continue
+		}
+		wl, ok := c.reg.loadOf(w)
+		if !ok {
+			continue
+		}
+		if rel := relLoad(wl); rel < targetRel {
+			target, targetRel = w, rel
+		}
+	}
+	return target, target != best, nil
+}
+
+// relLoad is pending work normalized by capacity, for spill comparison.
+func relLoad(l Load) float64 {
+	cap := l.Capacity
+	if cap <= 0 {
+		cap = 1
+	}
+	return float64(l.QueueDepth+l.Running) / float64(cap)
+}
+
+// backoff returns the jittered delay before retry n (0-based).
+func (c *Coordinator) backoff(n int) time.Duration {
+	d := c.cfg.BackoffBase << uint(n)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	c.rmu.Lock()
+	jitter := 0.5 + c.rng.Float64() // 0.5x .. 1.5x
+	c.rmu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// permanent reports whether err cannot succeed on any worker: the run
+// itself failed (deterministic), the spec was rejected (4xx other than
+// 429), or the caller gave up (its own ctx ended).
+func permanent(err error) bool {
+	var rf *RunFailedError
+	if errors.As(err, &rf) {
+		return true
+	}
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		return !se.Temporary()
+	}
+	return false
+}
+
+// record appends one attempt to the job's history, evicting the oldest
+// history past the retention bound.
+func (c *Coordinator) record(jobID string, a Attempt) {
+	if jobID == "" {
+		return
+	}
+	c.amu.Lock()
+	defer c.amu.Unlock()
+	if _, ok := c.attempts[jobID]; !ok {
+		c.order = append(c.order, jobID)
+		for len(c.order) > c.cfg.MaxHistories {
+			delete(c.attempts, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.attempts[jobID] = append(c.attempts[jobID], a)
+}
+
+// Attempts returns the job's dispatch history (nil when unknown). The
+// fleet façade surfaces it as the job view's "detail" field.
+func (c *Coordinator) Attempts(jobID string) []Attempt {
+	c.amu.Lock()
+	defer c.amu.Unlock()
+	h := c.attempts[jobID]
+	if h == nil {
+		return nil
+	}
+	out := make([]Attempt, len(h))
+	copy(out, h)
+	return out
+}
+
+// Do runs sp somewhere on the fleet: route, dispatch, and on transient
+// failure back off and fail over to a worker not yet tried (the tried
+// set resets once every worker has been burned, so a fleet that is
+// merely busy is retried rather than abandoned). Deterministic run
+// failures and spec rejections return immediately. jobID keys the
+// attempt history and may be "" for fire-and-forget callers.
+func (c *Coordinator) Do(ctx context.Context, jobID string, sp spec.Spec) (*slacksim.Results, error) {
+	key := sp.Key()
+	tried := make(map[string]bool)
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			wait := c.backoff(attempt - 1)
+			var re *client.RetryError
+			if errors.As(lastErr, &re) && re.After > wait {
+				wait = re.After
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(wait):
+			}
+		}
+
+		id, spill, err := c.pick(key, tried)
+		if errors.Is(err, ErrNoWorkers) && len(tried) > 0 {
+			// Every healthy worker has been tried; start over rather than
+			// give up — the failure may have been transient everywhere.
+			tried = make(map[string]bool)
+			id, spill, err = c.pick(key, tried)
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		tr, ok := c.reg.transport(id)
+		if !ok {
+			tried[id] = true
+			lastErr = fmt.Errorf("%w: %s deregistered", ErrWorkerDown, id)
+			continue
+		}
+
+		// Tie the dispatch to the worker's health: if the probe loop marks
+		// it down mid-run, the context fires and the attempt fails over.
+		dctx, cancel := context.WithCancel(ctx)
+		release, alive := c.reg.track(id, cancel)
+		if !alive {
+			cancel()
+			tried[id] = true
+			lastErr = fmt.Errorf("%w: %s", ErrWorkerDown, id)
+			continue
+		}
+		a := Attempt{Worker: id, Start: time.Now(), Spill: spill}
+		res, err := tr.Run(dctx, sp)
+		a.DurationMS = time.Since(a.Start).Milliseconds()
+		release()
+		cancel()
+
+		if err == nil {
+			c.record(jobID, a)
+			return res, nil
+		}
+		a.Error = err.Error()
+		c.record(jobID, a)
+		if ctx.Err() != nil {
+			// The caller cancelled; don't reinterpret it as a worker fault.
+			return nil, ctx.Err()
+		}
+		if permanent(err) {
+			return nil, err
+		}
+		tried[id] = true
+		lastErr = err
+	}
+	return nil, fmt.Errorf("fleet: job %s failed after %d attempts: %w", jobID, c.cfg.MaxAttempts, lastErr)
+}

@@ -1,0 +1,53 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"slacksim/client"
+	"slacksim/internal/engine"
+	"slacksim/internal/spec"
+)
+
+// Driver adapts fleet execution to the internal/experiments execution
+// hook (Config.Exec): each grid cell's engine.RunConfig is converted to
+// a canonical spec and executed remotely, so Fig3/Fig4/Table2-5 and the
+// sweeps fan out across the fleet with the exact per-cell results a
+// local engine.Run would produce (the spec round trip is lossless for
+// everything the experiments use).
+type Driver struct {
+	ctx context.Context
+	run func(ctx context.Context, sp spec.Spec) (*engine.Results, error)
+}
+
+// NewDriver drives an in-process Coordinator (the fleet daemon itself,
+// or tests wiring workers directly).
+func NewDriver(ctx context.Context, coord *Coordinator) *Driver {
+	return &Driver{ctx: ctx, run: func(ctx context.Context, sp spec.Spec) (*engine.Results, error) {
+		return coord.Do(ctx, "", sp)
+	}}
+}
+
+// NewRemoteDriver drives a coordinator (or any slacksimd) through its
+// /v1/jobs API — what cmd/experiments -fleet uses.
+func NewRemoteDriver(ctx context.Context, c *client.Client) *Driver {
+	t := NewHTTPTransport(c, 0)
+	return &Driver{ctx: ctx, run: t.Run}
+}
+
+// Exec satisfies experiments.Config.Exec.
+func (d *Driver) Exec(workload string, scale, cores int, rc engine.RunConfig) (engine.Results, error) {
+	sp, err := spec.FromRun(workload, scale, cores, rc)
+	if err != nil {
+		return engine.Results{}, fmt.Errorf("fleet driver: %w", err)
+	}
+	ctx := d.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := d.run(ctx, sp)
+	if err != nil {
+		return engine.Results{}, err
+	}
+	return *res, nil
+}

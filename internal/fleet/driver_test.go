@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"slacksim/internal/experiments"
+)
+
+// quickExperiments is a grid small enough for a unit test but touching
+// every spec feature the suite needs: bounded/unbounded/adaptive
+// schemes, measured violations, interval tracking, checkpointing with
+// rollback, map-only selection, and the AIAD policy ablation.
+func quickExperiments() experiments.Config {
+	cfg := experiments.Default()
+	cfg.Cores = 4
+	cfg.Workloads = []string{"water"}
+	cfg.Fig3Bounds = []int64{4, 32}
+	cfg.Fig4Targets = []float64{0.005}
+	cfg.CheckpointIntervals = []int64{500, 2000}
+	cfg.StatIntervals = []int64{250, 1000}
+	return cfg
+}
+
+// TestDriverGoldenMatchesLocal is the Driver acceptance: the experiment
+// suite run through a two-worker fleet produces results identical to
+// the in-process engine (the compared outputs carry no wall-clock
+// fields, so equality is exact).
+func TestDriverGoldenMatchesLocal(t *testing.T) {
+	_, t1 := newWorker(t)
+	_, t2 := newWorker(t)
+	reg := NewRegistry(RegistryConfig{})
+	reg.Add("w1", "http://w1", t1)
+	reg.Add("w2", "http://w2", t2)
+	coord := NewCoordinator(reg, CoordinatorConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+
+	local := quickExperiments()
+	remote := quickExperiments()
+	remote.Exec = NewDriver(ctx, coord).Exec
+
+	localFig3, err := experiments.Fig3(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteFig3, err := experiments.Fig3(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(remoteFig3, localFig3) {
+		t.Errorf("Fig3 differs:\nfleet: %+v\nlocal: %+v", remoteFig3, localFig3)
+	}
+
+	localT34, err := experiments.Table3And4(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteT34, err := experiments.Table3And4(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(remoteT34, localT34) {
+		t.Errorf("Table3/4 differs:\nfleet: %+v\nlocal: %+v", remoteT34, localT34)
+	}
+
+	localT5, err := experiments.Table5(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteT5, err := experiments.Table5(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(remoteT5, localT5) {
+		t.Errorf("Table5 differs:\nfleet: %+v\nlocal: %+v", remoteT5, localT5)
+	}
+
+	localAbl, err := experiments.Ablations(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteAbl, err := experiments.Ablations(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(remoteAbl, localAbl) {
+		t.Errorf("Ablations differ:\nfleet: %+v\nlocal: %+v", remoteAbl, localAbl)
+	}
+}

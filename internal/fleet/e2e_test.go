@@ -1,0 +1,380 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"slacksim"
+	"slacksim/client"
+	"slacksim/internal/promtext"
+	"slacksim/internal/service/server"
+	"slacksim/internal/spec"
+)
+
+// newWorker builds a real slacksimd (engine runs and all) reachable
+// through the in-process transport.
+func newWorker(t *testing.T) (*server.Server, *HTTPTransport) {
+	t.Helper()
+	s := server.New(server.Config{Workers: 2, QueueDepth: 32})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s, InprocTransport(s.Handler())
+}
+
+// newFleet builds a coordinator daemon over the given worker transports
+// and returns a client speaking to it in-process.
+func newFleet(t *testing.T, cfg FacadeConfig, workers map[string]Transport) (*Facade, *client.Client) {
+	t.Helper()
+	f := NewFacade(cfg)
+	for id, tr := range workers {
+		f.Registry().Add(id, "http://"+id, tr)
+	}
+	f.Registry().ProbeOnce(context.Background())
+	hc := &http.Client{Transport: handlerRoundTripper{h: f.Handler()}}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = f.Drain(ctx)
+	})
+	return f, client.NewWithHTTPClient("http://fleet", hc)
+}
+
+// runLocally executes sp in-process through the public API — the
+// reference the fleet must match byte for byte.
+func runLocally(t *testing.T, sp spec.Spec) *slacksim.Results {
+	t.Helper()
+	cfg, err := sp.Config()
+	if err != nil {
+		t.Fatalf("config %v: %v", sp, err)
+	}
+	sim, err := slacksim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &res
+}
+
+// canonJSON renders results with the wall clock (the only host-time
+// field) zeroed, for byte comparison.
+func canonJSON(t *testing.T, r *slacksim.Results) []byte {
+	t.Helper()
+	c := *r
+	c.WallClock = 0
+	blob, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func sweepGrid() []spec.Spec {
+	var grid []spec.Spec
+	for _, wl := range []string{"fft", "lu"} {
+		for _, sch := range []string{"s8", "su", "adaptive"} {
+			grid = append(grid, spec.Spec{Workload: wl, Scheme: sch, Cores: 2, Seed: 1})
+		}
+	}
+	return grid
+}
+
+// TestFleetMatchesSingleNodeByteIdentical is the acceptance gate: a
+// sweep submitted through the coordinator with two in-process workers
+// returns results byte-identical (wall clock aside) to local runs.
+func TestFleetMatchesSingleNodeByteIdentical(t *testing.T) {
+	_, t1 := newWorker(t)
+	_, t2 := newWorker(t)
+	_, c := newFleet(t, FacadeConfig{
+		Server:      server.Config{Workers: 4, QueueDepth: 32},
+		Coordinator: CoordinatorConfig{BackoffBase: time.Millisecond},
+	}, map[string]Transport{"w1": t1, "w2": t2})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	for _, sp := range sweepGrid() {
+		j, err := c.SubmitWait(ctx, sp, 2*time.Millisecond)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", sp.Workload, sp.Scheme, err)
+		}
+		if j.State != "done" || j.Result == nil {
+			t.Fatalf("%s/%s: job %s: %s", sp.Workload, sp.Scheme, j.State, j.Error)
+		}
+		want := canonJSON(t, runLocally(t, sp))
+		got := canonJSON(t, j.Result)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s/%s: fleet result differs from local:\nfleet: %s\nlocal: %s",
+				sp.Workload, sp.Scheme, got, want)
+		}
+	}
+}
+
+// TestKillWorkerMidSweepCompletesAllCells: one of two workers dies
+// while a sweep is in flight; health probing drains its dispatches,
+// the coordinator fails everything over, and every cell still finishes
+// with the correct result — none lost, none wrong.
+func TestKillWorkerMidSweepCompletesAllCells(t *testing.T) {
+	_, t1 := newWorker(t)
+	_, t2 := newWorker(t)
+	dying := NewFailableTransport(t1)
+	_, c := newFleet(t, FacadeConfig{
+		Server: server.Config{Workers: 4, QueueDepth: 64},
+		Coordinator: CoordinatorConfig{
+			MaxAttempts: 5, BackoffBase: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		},
+		Registry: RegistryConfig{
+			ProbeInterval: 10 * time.Millisecond, ProbeTimeout: 100 * time.Millisecond, FailThreshold: 1,
+		},
+	}, map[string]Transport{"w1": dying, "w2": t2})
+
+	grid := make([]spec.Spec, 0, 12)
+	for seed := int64(1); seed <= 6; seed++ {
+		grid = append(grid,
+			spec.Spec{Workload: "fft", Scheme: "s4", Cores: 2, Seed: seed},
+			spec.Spec{Workload: "lu", Scheme: "su", Cores: 2, Seed: seed})
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	jobs := make([]*client.Job, len(grid))
+	errs := make([]error, len(grid))
+	var wg sync.WaitGroup
+	for i, sp := range grid {
+		wg.Add(1)
+		go func(i int, sp spec.Spec) {
+			defer wg.Done()
+			jobs[i], errs[i] = c.SubmitWait(ctx, sp, 2*time.Millisecond)
+		}(i, sp)
+	}
+	// Let the sweep get going, then kill worker 1 mid-flight.
+	time.Sleep(5 * time.Millisecond)
+	dying.Down()
+	wg.Wait()
+
+	for i, sp := range grid {
+		if errs[i] != nil {
+			t.Fatalf("cell %s/%s/%d lost: %v", sp.Workload, sp.Scheme, sp.Seed, errs[i])
+		}
+		j := jobs[i]
+		if j.State != "done" || j.Result == nil {
+			t.Fatalf("cell %s/%s/%d: job %s: %s", sp.Workload, sp.Scheme, sp.Seed, j.State, j.Error)
+		}
+		want := canonJSON(t, runLocally(t, sp))
+		if got := canonJSON(t, j.Result); !bytes.Equal(got, want) {
+			t.Errorf("cell %s/%s/%d: wrong result after failover", sp.Workload, sp.Scheme, sp.Seed)
+		}
+	}
+}
+
+// TestFacadeAttemptDetailAndCoalescing: the fleet daemon keeps the
+// single-node semantics (cache, coalescing) and surfaces the dispatch
+// history in the job view's detail field.
+func TestFacadeAttemptDetailAndCoalescing(t *testing.T) {
+	_, t1 := newWorker(t)
+	f, c := newFleet(t, FacadeConfig{
+		Server: server.Config{Workers: 2, QueueDepth: 16},
+	}, map[string]Transport{"w1": t1})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	sp := spec.Spec{Workload: "fft", Scheme: "s8", Cores: 2, Seed: 42}
+	j, err := c.SubmitWait(ctx, sp, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != "done" {
+		t.Fatalf("job: %s: %s", j.State, j.Error)
+	}
+	fin, err := c.Get(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detail struct {
+		Attempts []Attempt `json:"attempts"`
+	}
+	if err := json.Unmarshal(fin.Detail, &detail); err != nil {
+		t.Fatalf("detail %s: %v", fin.Detail, err)
+	}
+	if len(detail.Attempts) != 1 || detail.Attempts[0].Worker != "w1" || detail.Attempts[0].Error != "" {
+		t.Fatalf("attempt history = %+v", detail.Attempts)
+	}
+
+	// Identical resubmission: served from the fleet-level cache, no
+	// second dispatch.
+	j2, err := c.Submit(ctx, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j2.Cached {
+		t.Fatalf("resubmission not cached: %+v", j2)
+	}
+	if at := f.Coordinator().Attempts(j2.ID); at != nil {
+		t.Fatalf("cache hit dispatched to a worker: %+v", at)
+	}
+}
+
+// TestFleetMembershipEndpointsAndMetrics drives the /v1/fleet/* API and
+// the aggregate /metrics export end to end.
+func TestFleetMembershipEndpointsAndMetrics(t *testing.T) {
+	ws, t1 := newWorker(t)
+	f, c := newFleet(t, FacadeConfig{
+		Server: server.Config{Workers: 2, QueueDepth: 16},
+	}, map[string]Transport{"w1": t1})
+	hc := &http.Client{Transport: handlerRoundTripper{h: f.Handler()}}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Run one job so worker counters move.
+	if _, err := c.SubmitWait(ctx, spec.Spec{Workload: "fft", Scheme: "s8", Cores: 2, Seed: 5}, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	f.Registry().ProbeOnce(ctx) // refresh the load samples post-run
+
+	// Membership listing.
+	resp, err := hc.Get("http://fleet/v1/fleet/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Workers []WorkerInfo `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Workers) != 1 || listing.Workers[0].ID != "w1" || !listing.Workers[0].Healthy {
+		t.Fatalf("workers = %+v", listing.Workers)
+	}
+	if listing.Workers[0].Capacity != 2 {
+		t.Fatalf("scraped capacity = %d, want the worker pool size 2", listing.Workers[0].Capacity)
+	}
+
+	// Join a second worker over HTTP, then leave it.
+	_, t2 := newWorker(t)
+	f.Registry().Add("pre", "http://pre", t2) // direct add for comparison
+	body := strings.NewReader(`{"id":"w3","url":"http://nowhere:1"}`)
+	resp, err = hc.Post("http://fleet/v1/fleet/workers", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join: %s", resp.Status)
+	}
+	if got := len(f.Registry().Snapshot()); got != 3 {
+		t.Fatalf("workers after join = %d, want 3", got)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, "http://fleet/v1/fleet/workers/w3", nil)
+	resp, err = hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leave: %s", resp.Status)
+	}
+	if got := len(f.Registry().Snapshot()); got != 2 {
+		t.Fatalf("workers after leave = %d, want 2", got)
+	}
+
+	// Fleet /metrics: the coordinator's own counters plus aggregates.
+	resp, err = hc.Get("http://fleet/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := promtext.Parse(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["slacksimfleet_workers"] != 2 {
+		t.Fatalf("slacksimfleet_workers = %v, want 2", m["slacksimfleet_workers"])
+	}
+	if m["slacksimd_jobs_completed_total"] < 1 {
+		t.Fatalf("coordinator completed counter = %v, want >= 1", m["slacksimd_jobs_completed_total"])
+	}
+	if m["slacksimfleet_capacity"] < 2 {
+		t.Fatalf("aggregate capacity = %v, want >= 2", m["slacksimfleet_capacity"])
+	}
+	_ = ws
+
+	// Cancellation propagates: a job interrupted on the fleet daemon
+	// reports cancelled, same as single-node.
+	gated := &fakeTransport{}
+	blocked := make(chan struct{})
+	gated.runFn = func(ctx context.Context, sp spec.Spec) (*slacksim.Results, error) {
+		close(blocked)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	f.Registry().Add("w1", "http://w1", gated)
+	f.Registry().Remove("pre")
+	j, err := c.Submit(ctx, spec.Spec{Workload: "water", Scheme: "su", Cores: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocked
+	if _, err := c.Cancel(ctx, j.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, j.ID, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != "cancelled" {
+		t.Fatalf("state after cancel = %s (%s)", fin.State, fin.Error)
+	}
+}
+
+// TestSweepThroughFleetMatchesSingleNodeTSV mirrors the CI smoke: the
+// same grid through a single slacksimd and through the coordinator must
+// produce identical result rows.
+func TestSweepThroughFleetMatchesSingleNodeTSV(t *testing.T) {
+	single := server.New(server.Config{Workers: 2, QueueDepth: 32})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = single.Drain(ctx)
+	})
+	singleClient := client.NewWithHTTPClient("http://single",
+		&http.Client{Transport: handlerRoundTripper{h: single.Handler()}})
+
+	_, t1 := newWorker(t)
+	_, t2 := newWorker(t)
+	_, fleetClient := newFleet(t, FacadeConfig{
+		Server: server.Config{Workers: 4, QueueDepth: 32},
+	}, map[string]Transport{"w1": t1, "w2": t2})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	row := func(c *client.Client, sp spec.Spec) string {
+		j, err := c.SubmitWait(ctx, sp, 2*time.Millisecond)
+		if err != nil {
+			t.Fatalf("%v: %v", sp, err)
+		}
+		if j.State != "done" {
+			t.Fatalf("%v: %s: %s", sp, j.State, j.Error)
+		}
+		r := j.Result
+		return fmt.Sprintf("%s\t%s\t%d\t%d\t%d\t%.3f\t%d\t%d\t%.6f\t%.6f\t%.0f",
+			sp.Workload, r.Scheme, sp.Seed, r.Cycles, r.Committed, r.CPI,
+			r.BusViolations, r.MapViolations, r.BusRate, r.MapRate, r.HostWorkUnits)
+	}
+	for _, sp := range sweepGrid() {
+		if got, want := row(fleetClient, sp), row(singleClient, sp); got != want {
+			t.Errorf("row mismatch:\nfleet:  %s\nsingle: %s", got, want)
+		}
+	}
+}

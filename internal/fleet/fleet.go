@@ -1,0 +1,92 @@
+// Package fleet schedules canonical slack-simulation run specs
+// (internal/spec) across a registry of slacksimd workers, turning a
+// collection of single-node daemons into one horizontally-scaled
+// simulation service — the throughput shape of the paper's workload:
+// sweeps and experiment grids are embarrassingly parallel collections of
+// deterministic runs, so they farm out across machines with results
+// identical to local execution.
+//
+// The pieces:
+//
+//   - Registry: worker join/leave plus periodic /v1/healthz probing;
+//     consecutive probe failures mark a worker unhealthy, cancel the
+//     dispatches in flight on it (draining its assignments back into the
+//     retry path), and take it out of the routing set until it recovers.
+//   - Routing: rendezvous hashing on the spec digest gives every spec a
+//     stable preferred worker, so repeated and coalesced submissions of
+//     the same spec land where the LRU result cache already holds the
+//     answer; when the preferred worker is overloaded the job spills to
+//     the least-loaded healthy worker instead of queueing behind it.
+//   - Coordinator: bounded retries with exponential backoff and jitter,
+//     failing over to a different worker on timeouts, transport errors,
+//     5xx and 429; every attempt is recorded and surfaced in the job
+//     view. Deterministic simulation failures are not retried — a run
+//     that fails on one worker fails identically everywhere.
+//   - Transport: how the coordinator talks to one worker. HTTP (via
+//     slacksim/client) for real deployments; an in-process transport
+//     drives the same HTTP handlers through a direct RoundTripper so
+//     unit tests need no sockets.
+//   - Driver: satisfies the internal/experiments execution hook, so
+//     Fig3/Fig4/Table2-5/sweeps fan out across the fleet unchanged.
+//   - Facade: a service/server instance whose Runner dispatches through
+//     the coordinator, exposing the exact /v1/jobs API of a single
+//     slacksimd — slacksim/client and cmd/sweep work unchanged against
+//     a fleet — plus /v1/fleet/* registry endpoints and fleet /metrics.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors surfaced by the coordinator.
+var (
+	// ErrNoWorkers reports that no healthy worker is routable.
+	ErrNoWorkers = errors.New("fleet: no healthy workers")
+	// ErrWorkerDown reports a transport whose worker is gone.
+	ErrWorkerDown = errors.New("fleet: worker is down")
+)
+
+// RunFailedError reports a job that reached a worker and finished in a
+// terminal non-done state. It is permanent: simulations are
+// deterministic functions of their spec, so the run would fail
+// identically on every other worker.
+type RunFailedError struct {
+	State string
+	Msg   string
+}
+
+func (e *RunFailedError) Error() string {
+	return fmt.Sprintf("fleet: run %s: %s", e.State, e.Msg)
+}
+
+// Attempt is one dispatch of a job to one worker, kept per job and
+// surfaced through the coordinator's job view.
+type Attempt struct {
+	// Worker is the target worker's ID.
+	Worker string `json:"worker"`
+	// Start is when the dispatch began.
+	Start time.Time `json:"start"`
+	// DurationMS is how long the attempt took, in milliseconds.
+	DurationMS int64 `json:"duration_ms"`
+	// Error is the attempt's failure ("" on success).
+	Error string `json:"error,omitempty"`
+	// Spill marks an attempt routed away from the rendezvous choice by
+	// load-aware spill.
+	Spill bool `json:"spill,omitempty"`
+}
+
+// Load is a sample of one worker's scraped load and capacity, parsed
+// from its Prometheus /metrics endpoint.
+type Load struct {
+	// QueueDepth is the worker's pending-job backlog.
+	QueueDepth int
+	// Running is the worker's jobs currently executing.
+	Running int
+	// Capacity is the worker's simulation worker-pool size.
+	Capacity int
+	// CacheHits and CacheMisses are the worker's result-cache counters,
+	// re-exported in the fleet-level aggregates.
+	CacheHits, CacheMisses uint64
+}

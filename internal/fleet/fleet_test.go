@@ -1,0 +1,406 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"slacksim"
+	"slacksim/client"
+	"slacksim/internal/spec"
+)
+
+// fakeTransport is a scriptable worker for unit tests.
+type fakeTransport struct {
+	mu        sync.Mutex
+	healthErr error
+	load      Load
+	runFn     func(ctx context.Context, sp spec.Spec) (*slacksim.Results, error)
+	runs      int
+}
+
+func (f *fakeTransport) setHealth(err error) {
+	f.mu.Lock()
+	f.healthErr = err
+	f.mu.Unlock()
+}
+
+func (f *fakeTransport) Healthz(ctx context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.healthErr
+}
+
+func (f *fakeTransport) Run(ctx context.Context, sp spec.Spec) (*slacksim.Results, error) {
+	f.mu.Lock()
+	f.runs++
+	fn := f.runFn
+	f.mu.Unlock()
+	if fn != nil {
+		return fn(ctx, sp)
+	}
+	return &slacksim.Results{Workload: sp.Workload, Cycles: 1}, nil
+}
+
+func (f *fakeTransport) Load(ctx context.Context) (Load, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.load, nil
+}
+
+func (f *fakeTransport) runCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.runs
+}
+
+func quickCoord(cfg CoordinatorConfig, workers ...string) (*Coordinator, map[string]*fakeTransport) {
+	reg := NewRegistry(RegistryConfig{})
+	fakes := make(map[string]*fakeTransport, len(workers))
+	for _, id := range workers {
+		f := &fakeTransport{}
+		fakes[id] = f
+		reg.Add(id, "http://"+id, f)
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = 5 * time.Millisecond
+	}
+	return NewCoordinator(reg, cfg), fakes
+}
+
+// TestRendezvousStability is the membership-churn property: adding one
+// worker to n remaps roughly 1/(n+1) of the keys, and every key that
+// moves, moves to the new worker — nothing reshuffles between survivors.
+func TestRendezvousStability(t *testing.T) {
+	base := []string{"w1", "w2", "w3", "w4"}
+	pickOf := func(workers []string, key string) string {
+		best, bestScore := workers[0], rendezvousScore(workers[0], key)
+		for _, w := range workers[1:] {
+			if s := rendezvousScore(w, key); s > bestScore {
+				best, bestScore = w, s
+			}
+		}
+		return best
+	}
+	const n = 200
+	before := make([]string, n)
+	for i := 0; i < n; i++ {
+		before[i] = pickOf(base, spec.Spec{Workload: "fft", Seed: int64(i + 1)}.Key())
+	}
+	grown := append(append([]string(nil), base...), "w5")
+	moved := 0
+	for i := 0; i < n; i++ {
+		after := pickOf(grown, spec.Spec{Workload: "fft", Seed: int64(i + 1)}.Key())
+		if after == before[i] {
+			continue
+		}
+		moved++
+		if after != "w5" {
+			t.Fatalf("key %d moved %s -> %s, not to the new worker", i, before[i], after)
+		}
+	}
+	// Ideal is n/5 = 40; allow generous slack around the hash's variance.
+	if moved < n/20 || moved > 2*n/5 {
+		t.Fatalf("adding 1 of 5 workers moved %d/%d keys, want ~%d", moved, n, n/5)
+	}
+}
+
+// TestAffinityRouting: the same spec key always routes to the same
+// worker, and burning that worker fails over to a different one.
+func TestAffinityRouting(t *testing.T) {
+	c, _ := quickCoord(CoordinatorConfig{}, "w1", "w2", "w3")
+	key := spec.Spec{Workload: "lu", Seed: 7}.Key()
+	first, spill, err := c.pick(key, nil)
+	if err != nil || spill {
+		t.Fatalf("pick: %v spill=%v", err, spill)
+	}
+	for i := 0; i < 10; i++ {
+		got, _, err := c.pick(key, nil)
+		if err != nil || got != first {
+			t.Fatalf("pick %d: got %s (%v), want %s", i, got, err, first)
+		}
+	}
+	second, _, err := c.pick(key, map[string]bool{first: true})
+	if err != nil || second == first {
+		t.Fatalf("failover pick: %s (%v), want != %s", second, err, first)
+	}
+	if _, _, err := c.pick(key, map[string]bool{"w1": true, "w2": true, "w3": true}); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("all tried: err = %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestSpillToLeastLoaded: when the affinity worker is saturated the job
+// spills to the least-loaded healthy worker.
+func TestSpillToLeastLoaded(t *testing.T) {
+	c, fakes := quickCoord(CoordinatorConfig{SpillFactor: 2}, "w1", "w2", "w3")
+	key := spec.Spec{Workload: "water", Seed: 3}.Key()
+	affinity, _, err := c.pick(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the affinity worker (pending = 4 × capacity); leave one
+	// idle worker and one mildly-busy worker.
+	var idle string
+	for id, f := range fakes {
+		switch id {
+		case affinity:
+			f.load = Load{QueueDepth: 6, Running: 2, Capacity: 2}
+		default:
+			if idle == "" {
+				idle = id
+				f.load = Load{QueueDepth: 0, Running: 0, Capacity: 2}
+			} else {
+				f.load = Load{QueueDepth: 2, Running: 1, Capacity: 2}
+			}
+		}
+	}
+	c.reg.ProbeOnce(context.Background())
+	got, spill, err := c.pick(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spill || got != idle {
+		t.Fatalf("pick = %s spill=%v, want spill to idle worker %s", got, spill, idle)
+	}
+	// Under the spill threshold the affinity choice sticks.
+	fakes[affinity].load = Load{QueueDepth: 1, Running: 1, Capacity: 2}
+	c.reg.ProbeOnce(context.Background())
+	got, spill, err = c.pick(key, nil)
+	if err != nil || spill || got != affinity {
+		t.Fatalf("pick = %s spill=%v (%v), want affinity %s", got, spill, err, affinity)
+	}
+}
+
+// pickFavoring returns a spec whose key's rendezvous choice among
+// workers is want.
+func pickFavoring(t *testing.T, c *Coordinator, want string) spec.Spec {
+	t.Helper()
+	for seed := int64(1); seed < 1000; seed++ {
+		sp := spec.Spec{Workload: "fft", Cores: 2, Seed: seed}
+		if got, _, err := c.pick(sp.Key(), nil); err == nil && got == want {
+			return sp
+		}
+	}
+	t.Fatal("no seed routes to " + want)
+	return spec.Spec{}
+}
+
+// TestFailoverOnWorkerDeathMidJob is the tentpole failure drill: a
+// worker dies while running a dispatched job; the in-flight call is
+// cancelled, the attempt fails over to a surviving worker, and the job
+// still returns its result — with both attempts in the history.
+func TestFailoverOnWorkerDeathMidJob(t *testing.T) {
+	c, fakes := quickCoord(CoordinatorConfig{MaxAttempts: 4}, "w1", "w2")
+	started := make(chan struct{}, 1)
+	fakes["w1"].runFn = func(ctx context.Context, sp spec.Spec) (*slacksim.Results, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	dying := NewFailableTransport(fakes["w1"])
+	c.reg.Add("w1", "http://w1", dying)
+	sp := pickFavoring(t, c, "w1")
+
+	type out struct {
+		res *slacksim.Results
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := c.Do(context.Background(), "job-1", sp)
+		done <- out{res, err}
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatch never reached w1")
+	}
+	dying.Down()
+
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatalf("Do after failover: %v", o.err)
+		}
+		if o.res == nil || o.res.Workload != "fft" {
+			t.Fatalf("bad result: %+v", o.res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("failover never completed")
+	}
+	at := c.Attempts("job-1")
+	if len(at) < 2 {
+		t.Fatalf("attempts = %+v, want >= 2", at)
+	}
+	if at[0].Worker != "w1" || at[0].Error == "" {
+		t.Fatalf("first attempt should be w1 failing: %+v", at[0])
+	}
+	last := at[len(at)-1]
+	if last.Worker != "w2" || last.Error != "" {
+		t.Fatalf("last attempt should be w2 succeeding: %+v", last)
+	}
+	if fakes["w2"].runCount() != 1 {
+		t.Fatalf("w2 runs = %d, want 1", fakes["w2"].runCount())
+	}
+}
+
+// TestPermanentFailuresAreNotRetried: deterministic run failures and
+// 4xx rejections return immediately instead of burning every worker.
+func TestPermanentFailuresAreNotRetried(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"run failed", &RunFailedError{State: "failed", Msg: "functional check failed"}},
+		{"bad request", &client.StatusError{Code: 400, Status: "400 Bad Request", Msg: "bad spec"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, fakes := quickCoord(CoordinatorConfig{MaxAttempts: 4}, "w1", "w2")
+			for _, f := range fakes {
+				err := tc.err
+				f.runFn = func(ctx context.Context, sp spec.Spec) (*slacksim.Results, error) {
+					return nil, err
+				}
+			}
+			_, err := c.Do(context.Background(), "j", spec.Spec{Workload: "fft", Seed: 1})
+			if err == nil {
+				t.Fatal("Do succeeded")
+			}
+			if total := fakes["w1"].runCount() + fakes["w2"].runCount(); total != 1 {
+				t.Fatalf("dispatches = %d, want exactly 1 (no retries)", total)
+			}
+		})
+	}
+}
+
+// TestTransientFailuresRetryAcrossWorkers: a 5xx is retried on another
+// worker and succeeds.
+func TestTransientFailuresRetryAcrossWorkers(t *testing.T) {
+	c, fakes := quickCoord(CoordinatorConfig{MaxAttempts: 4}, "w1", "w2")
+	sp := pickFavoring(t, c, "w1")
+	fakes["w1"].runFn = func(ctx context.Context, sp spec.Spec) (*slacksim.Results, error) {
+		return nil, &client.StatusError{Code: 500, Status: "500 Internal Server Error", Msg: "boom"}
+	}
+	res, err := c.Do(context.Background(), "j", sp)
+	if err != nil || res == nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if fakes["w1"].runCount() != 1 || fakes["w2"].runCount() != 1 {
+		t.Fatalf("runs w1=%d w2=%d, want 1 and 1", fakes["w1"].runCount(), fakes["w2"].runCount())
+	}
+}
+
+// TestRegistryProbeMarksDownDrainsAndRecovers: FailThreshold consecutive
+// probe failures mark the worker down and cancel its in-flight
+// dispatches; a later success brings it back.
+func TestRegistryProbeMarksDownDrainsAndRecovers(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{FailThreshold: 2, ProbeTimeout: time.Second})
+	f := &fakeTransport{}
+	reg.Add("w1", "http://w1", f)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	release, ok := reg.track("w1", cancel)
+	if !ok {
+		t.Fatal("track on healthy worker refused")
+	}
+	defer release()
+
+	f.setHealth(fmt.Errorf("connection refused"))
+	reg.ProbeOnce(context.Background())
+	if got := reg.healthy(); len(got) != 1 {
+		t.Fatalf("one failed probe already removed the worker: %v", got)
+	}
+	reg.ProbeOnce(context.Background())
+	if got := reg.healthy(); len(got) != 0 {
+		t.Fatalf("worker still healthy after %d failed probes: %v", 2, got)
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("marking the worker down did not drain its in-flight dispatch")
+	}
+	if _, ok := reg.track("w1", func() {}); ok {
+		t.Fatal("track on unhealthy worker accepted")
+	}
+
+	f.setHealth(nil)
+	reg.ProbeOnce(context.Background())
+	if got := reg.healthy(); len(got) != 1 {
+		t.Fatalf("worker did not recover: %v", got)
+	}
+}
+
+// TestGracefulRemoveKeepsInflight: deregistering (graceful leave) stops
+// routing but lets in-flight dispatches finish.
+func TestGracefulRemoveKeepsInflight(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	reg.Add("w1", "http://w1", &fakeTransport{})
+	ctx, cancel := context.WithCancel(context.Background())
+	release, ok := reg.track("w1", cancel)
+	if !ok {
+		t.Fatal("track refused")
+	}
+	defer release()
+	if !reg.Remove("w1") {
+		t.Fatal("remove failed")
+	}
+	if got := reg.healthy(); len(got) != 0 {
+		t.Fatalf("removed worker still routable: %v", got)
+	}
+	select {
+	case <-ctx.Done():
+		t.Fatal("graceful leave cancelled an in-flight dispatch")
+	default:
+	}
+}
+
+// TestDoHonorsCallerCancellation: the caller's context ending returns
+// promptly as the context error, not as a worker fault.
+func TestDoHonorsCallerCancellation(t *testing.T) {
+	c, fakes := quickCoord(CoordinatorConfig{MaxAttempts: 4}, "w1")
+	fakes["w1"].runFn = func(ctx context.Context, sp spec.Spec) (*slacksim.Results, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Do(ctx, "j", spec.Spec{Workload: "fft", Seed: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if since := time.Since(start); since > 2*time.Second {
+		t.Fatalf("Do took %v after cancellation", since)
+	}
+}
+
+// TestNoWorkers: a fleet with no registered workers fails cleanly.
+func TestNoWorkers(t *testing.T) {
+	c, _ := quickCoord(CoordinatorConfig{MaxAttempts: 2})
+	_, err := c.Do(context.Background(), "j", spec.Spec{Workload: "fft", Seed: 1})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestAttemptHistoryBounded: histories evict FIFO past MaxHistories.
+func TestAttemptHistoryBounded(t *testing.T) {
+	c, _ := quickCoord(CoordinatorConfig{MaxHistories: 4}, "w1")
+	for i := 0; i < 10; i++ {
+		if _, err := c.Do(context.Background(), fmt.Sprintf("job-%d", i), spec.Spec{Workload: "fft", Seed: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Attempts("job-0"); got != nil {
+		t.Fatalf("oldest history not evicted: %+v", got)
+	}
+	if got := c.Attempts("job-9"); len(got) != 1 {
+		t.Fatalf("newest history missing: %+v", got)
+	}
+}

@@ -1,0 +1,55 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Join announces a worker to a fleet coordinator: POST
+// coordinatorURL/v1/fleet/workers with the worker's ID and advertised
+// base URL. Workers call it after their listener is up, so the first
+// probe finds a live /v1/healthz.
+func Join(ctx context.Context, coordinatorURL, id, advertiseURL string) error {
+	body, err := json.Marshal(joinRequest{ID: id, URL: advertiseURL})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(coordinatorURL, "/")+"/v1/fleet/workers", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doFleet(req, "join")
+}
+
+// Leave deregisters a worker from a fleet coordinator: DELETE
+// coordinatorURL/v1/fleet/workers/{id}. Workers call it BEFORE draining
+// their in-flight jobs, so the coordinator stops routing new work at
+// them while the jobs they already accepted still finish and report.
+func Leave(ctx context.Context, coordinatorURL, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		strings.TrimRight(coordinatorURL, "/")+"/v1/fleet/workers/"+id, nil)
+	if err != nil {
+		return err
+	}
+	return doFleet(req, "leave")
+}
+
+func doFleet(req *http.Request, verb string) error {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet %s: %w", verb, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("fleet %s: %s: %s", verb, resp.Status, strings.TrimSpace(string(blob)))
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package fleet
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RegistryConfig parameterizes worker health probing.
+type RegistryConfig struct {
+	// ProbeInterval is how often every worker's /v1/healthz is probed
+	// (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default 1s).
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive probe failures mark a worker
+	// unhealthy (default 2, so one dropped probe is forgiven).
+	FailThreshold int
+}
+
+func (c RegistryConfig) withDefaults() RegistryConfig {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	return c
+}
+
+// WorkerInfo is the externally-visible state of one registered worker,
+// served from GET /v1/fleet/workers.
+type WorkerInfo struct {
+	ID      string `json:"id"`
+	URL     string `json:"url,omitempty"`
+	Healthy bool   `json:"healthy"`
+	// Fails counts consecutive failed probes (0 while healthy).
+	Fails     int    `json:"consecutive_failures,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+	// Inflight is this coordinator's dispatches currently on the worker.
+	Inflight int `json:"inflight"`
+	// Load mirrors the most recent /metrics scrape.
+	QueueDepth  int    `json:"queue_depth"`
+	Running     int    `json:"running"`
+	Capacity    int    `json:"capacity"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// workerState is one registered worker plus its probe bookkeeping.
+type workerState struct {
+	id        string
+	url       string
+	transport Transport
+
+	healthy bool
+	fails   int
+	lastErr string
+	load    Load
+
+	// inflight holds the cancel funcs of this coordinator's dispatches on
+	// the worker; marking the worker unhealthy fires them all, draining
+	// its assignments back into the coordinator's retry path.
+	inflight map[int]context.CancelFunc
+	nextTok  int
+}
+
+// Registry tracks fleet membership and worker health. Workers join and
+// leave explicitly; a probe loop marks unresponsive workers unhealthy
+// and cancels the dispatches in flight on them.
+type Registry struct {
+	cfg RegistryConfig
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	return &Registry{cfg: cfg.withDefaults(), workers: make(map[string]*workerState)}
+}
+
+// Add registers (or re-registers) a worker. New workers start healthy —
+// they just announced themselves — and the first probe round corrects
+// that if they are not. Re-registering an existing ID replaces its
+// transport and resets its health.
+func (r *Registry) Add(id, url string, t Transport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.workers[id]; ok {
+		// The old incarnation's dispatches are stale; drain them.
+		for tok, cancel := range old.inflight {
+			delete(old.inflight, tok)
+			cancel()
+		}
+	}
+	r.workers[id] = &workerState{
+		id: id, url: url, transport: t,
+		healthy:  true,
+		inflight: make(map[int]context.CancelFunc),
+	}
+}
+
+// Remove deregisters a worker (graceful leave). Dispatches already in
+// flight on it are left to finish: the worker drains its accepted jobs
+// before exiting, so cancelling them would throw away good work.
+func (r *Registry) Remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.workers[id]
+	delete(r.workers, id)
+	return ok
+}
+
+// transport returns the worker's transport if it is registered.
+func (r *Registry) transport(id string) (Transport, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok {
+		return nil, false
+	}
+	return w.transport, true
+}
+
+// healthy returns the IDs of all healthy workers.
+func (r *Registry) healthy() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]string, 0, len(r.workers))
+	for id, w := range r.workers {
+		if w.healthy {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// loadOf returns the worker's last scraped load sample.
+func (r *Registry) loadOf(id string) (Load, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok {
+		return Load{}, false
+	}
+	return w.load, true
+}
+
+// track registers a dispatch's cancel func under the worker so that
+// marking the worker unhealthy drains it; the returned release must be
+// called when the dispatch ends. A second return of false means the
+// worker is gone or unhealthy and the dispatch should not start.
+func (r *Registry) track(id string, cancel context.CancelFunc) (release func(), ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok || !w.healthy {
+		return nil, false
+	}
+	tok := w.nextTok
+	w.nextTok++
+	w.inflight[tok] = cancel
+	return func() {
+		r.mu.Lock()
+		delete(w.inflight, tok)
+		r.mu.Unlock()
+	}, true
+}
+
+// markDown transitions a worker to unhealthy and cancels every dispatch
+// in flight on it. Safe to call for already-unhealthy workers.
+func (r *Registry) markDown(id, reason string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok {
+		return
+	}
+	w.healthy = false
+	w.lastErr = reason
+	for tok, cancel := range w.inflight {
+		delete(w.inflight, tok)
+		cancel()
+	}
+}
+
+// ProbeOnce runs one probe round over every worker: /v1/healthz with the
+// configured timeout, then (best-effort) a /metrics scrape for the load
+// sample. FailThreshold consecutive failures mark the worker down and
+// drain its in-flight dispatches; one success brings it back.
+func (r *Registry) ProbeOnce(ctx context.Context) {
+	r.mu.Lock()
+	targets := make([]*workerState, 0, len(r.workers))
+	for _, w := range r.workers {
+		targets = append(targets, w)
+	}
+	timeout := r.cfg.ProbeTimeout
+	threshold := r.cfg.FailThreshold
+	r.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, w := range targets {
+		wg.Add(1)
+		go func(w *workerState) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, timeout)
+			err := w.transport.Healthz(pctx)
+			var load Load
+			var loadErr error
+			if err == nil {
+				load, loadErr = w.transport.Load(pctx)
+			}
+			cancel()
+
+			r.mu.Lock()
+			if r.workers[w.id] != w { // removed or replaced mid-probe
+				r.mu.Unlock()
+				return
+			}
+			if err != nil {
+				w.fails++
+				w.lastErr = err.Error()
+				if w.fails >= threshold && w.healthy {
+					w.healthy = false
+					for tok, cancel := range w.inflight {
+						delete(w.inflight, tok)
+						cancel()
+					}
+				}
+				r.mu.Unlock()
+				return
+			}
+			w.fails = 0
+			w.healthy = true
+			w.lastErr = ""
+			if loadErr == nil {
+				w.load = load
+			}
+			r.mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Start runs the probe loop until ctx is cancelled.
+func (r *Registry) Start(ctx context.Context) {
+	go func() {
+		tick := time.NewTicker(r.cfg.ProbeInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				r.ProbeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// Snapshot lists every registered worker, sorted by ID.
+func (r *Registry) Snapshot() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(r.workers))
+	for _, w := range r.workers {
+		out = append(out, WorkerInfo{
+			ID:          w.id,
+			URL:         w.url,
+			Healthy:     w.healthy,
+			Fails:       w.fails,
+			LastError:   w.lastErr,
+			Inflight:    len(w.inflight),
+			QueueDepth:  w.load.QueueDepth,
+			Running:     w.load.Running,
+			Capacity:    w.load.Capacity,
+			CacheHits:   w.load.CacheHits,
+			CacheMisses: w.load.CacheMisses,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Aggregate sums the fleet's scraped load for the /metrics re-export.
+type Aggregate struct {
+	Workers, Healthy       int
+	QueueDepth, Running    int
+	Capacity               int
+	CacheHits, CacheMisses uint64
+}
+
+// Aggregate returns fleet-wide load totals over the last probe round.
+func (r *Registry) Aggregate() Aggregate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var a Aggregate
+	for _, w := range r.workers {
+		a.Workers++
+		if w.healthy {
+			a.Healthy++
+		}
+		a.QueueDepth += w.load.QueueDepth
+		a.Running += w.load.Running
+		a.Capacity += w.load.Capacity
+		a.CacheHits += w.load.CacheHits
+		a.CacheMisses += w.load.CacheMisses
+	}
+	return a
+}

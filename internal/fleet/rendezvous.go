@@ -1,0 +1,18 @@
+package fleet
+
+import "hash/fnv"
+
+// rendezvousScore ranks worker w for key k: highest score wins
+// (highest-random-weight hashing). Every key gets an independent
+// pseudo-random permutation of the workers, so (a) a given spec digest
+// always prefers the same worker — its results are already in that
+// worker's LRU cache — and (b) adding or removing one of n workers
+// remaps only ~1/n of the keys, so a membership change does not flush
+// the fleet's collective cache.
+func rendezvousScore(worker, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(worker))
+	h.Write([]byte{'|'})
+	h.Write([]byte(key))
+	return h.Sum64()
+}

@@ -1,0 +1,226 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"slacksim"
+	"slacksim/client"
+	"slacksim/internal/promtext"
+	"slacksim/internal/spec"
+)
+
+// Transport is how the coordinator talks to one worker. Implementations
+// must be safe for concurrent use.
+type Transport interface {
+	// Healthz reports whether the worker is accepting work.
+	Healthz(ctx context.Context) error
+	// Run submits sp and blocks until the job is terminal, returning its
+	// results. A job that terminates unsuccessfully is a *RunFailedError;
+	// transport-level failures come back as-is for retry classification.
+	Run(ctx context.Context, sp spec.Spec) (*slacksim.Results, error)
+	// Load scrapes the worker's /metrics for its current load sample.
+	Load(ctx context.Context) (Load, error)
+}
+
+// HTTPTransport drives one slacksimd worker over its /v1 JSON API.
+type HTTPTransport struct {
+	c    *client.Client
+	poll time.Duration
+}
+
+// NewHTTPTransport wraps a slacksim client as a worker transport.
+func NewHTTPTransport(c *client.Client, poll time.Duration) *HTTPTransport {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	return &HTTPTransport{c: c, poll: poll}
+}
+
+// DialWorker builds the standard HTTP transport for a worker base URL.
+func DialWorker(baseURL string) *HTTPTransport {
+	return NewHTTPTransport(client.New(baseURL), 0)
+}
+
+// Healthz implements Transport.
+func (t *HTTPTransport) Healthz(ctx context.Context) error { return t.c.Healthz(ctx) }
+
+// Run implements Transport: SubmitWait against the worker, then fold a
+// terminal non-done state into a permanent *RunFailedError.
+func (t *HTTPTransport) Run(ctx context.Context, sp spec.Spec) (*slacksim.Results, error) {
+	j, err := t.c.SubmitWait(ctx, sp, t.poll)
+	if err != nil {
+		return nil, err
+	}
+	if j.State != "done" || j.Result == nil {
+		return nil, &RunFailedError{State: j.State, Msg: j.Error}
+	}
+	return j.Result, nil
+}
+
+// Load implements Transport by scraping and parsing GET /metrics.
+func (t *HTTPTransport) Load(ctx context.Context) (Load, error) {
+	blob, err := t.c.Metrics(ctx)
+	if err != nil {
+		return Load{}, err
+	}
+	m, err := promtext.Parse(bytes.NewReader(blob))
+	if err != nil {
+		return Load{}, err
+	}
+	return Load{
+		QueueDepth:  int(m["slacksimd_queue_depth"]),
+		Running:     int(m["slacksimd_jobs_running"]),
+		Capacity:    int(m["slacksimd_workers"]),
+		CacheHits:   uint64(m["slacksimd_result_cache_hits_total"]),
+		CacheMisses: uint64(m["slacksimd_result_cache_misses_total"]),
+	}, nil
+}
+
+// handlerRoundTripper serves every request by invoking an http.Handler
+// directly on the caller's goroutine — the same handlers, routes, and
+// status codes as a real listener, without a socket.
+type handlerRoundTripper struct{ h http.Handler }
+
+func (t handlerRoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
+	rec := newRecorder()
+	t.h.ServeHTTP(rec, req)
+	return &http.Response{
+		StatusCode: rec.code,
+		Status:     http.StatusText(rec.code),
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     rec.header,
+		Body:       readCloser{bytes.NewReader(rec.body.Bytes())},
+		Request:    req,
+	}, nil
+}
+
+type readCloser struct{ *bytes.Reader }
+
+func (readCloser) Close() error { return nil }
+
+// recorder is the minimal ResponseWriter handlerRoundTripper needs; it
+// also implements Flusher so SSE handlers do not reject the connection.
+type recorder struct {
+	code   int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{code: http.StatusOK, header: http.Header{}} }
+
+func (r *recorder) Header() http.Header       { return r.header }
+func (r *recorder) WriteHeader(code int)      { r.code = code }
+func (r *recorder) Write(b []byte) (int, error) { return r.body.Write(b) }
+func (r *recorder) Flush()                    {}
+
+// InprocTransport builds a Transport that talks to an in-process worker
+// through its real HTTP handler — the full client and server code paths
+// run, but no socket is opened. Tests and single-binary fleets use it.
+func InprocTransport(h http.Handler) *HTTPTransport {
+	hc := &http.Client{Transport: handlerRoundTripper{h: h}}
+	return NewHTTPTransport(client.NewWithHTTPClient("http://inproc", hc), time.Millisecond)
+}
+
+// FailableTransport wraps a Transport with a kill switch, simulating a
+// worker dying mid-job: after Down, in-flight calls are cancelled (an
+// HTTP transport would see the connection drop) and new calls fail
+// immediately with ErrWorkerDown.
+type FailableTransport struct {
+	inner Transport
+
+	mu       sync.Mutex
+	down     bool
+	inflight map[int]context.CancelFunc
+	nextID   int
+}
+
+// NewFailableTransport wraps inner.
+func NewFailableTransport(inner Transport) *FailableTransport {
+	return &FailableTransport{inner: inner, inflight: make(map[int]context.CancelFunc)}
+}
+
+// Down kills the worker: cancels every in-flight call and fails all
+// future ones.
+func (f *FailableTransport) Down() {
+	f.mu.Lock()
+	f.down = true
+	for id, cancel := range f.inflight {
+		delete(f.inflight, id)
+		cancel()
+	}
+	f.mu.Unlock()
+}
+
+// Up revives the worker.
+func (f *FailableTransport) Up() {
+	f.mu.Lock()
+	f.down = false
+	f.mu.Unlock()
+}
+
+func (f *FailableTransport) begin(ctx context.Context) (context.Context, func(), error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return nil, nil, fmt.Errorf("%w: injected failure", ErrWorkerDown)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	id := f.nextID
+	f.nextID++
+	f.inflight[id] = cancel
+	return ctx, func() {
+		f.mu.Lock()
+		delete(f.inflight, id)
+		f.mu.Unlock()
+		cancel()
+	}, nil
+}
+
+// Healthz implements Transport.
+func (f *FailableTransport) Healthz(ctx context.Context) error {
+	ctx, done, err := f.begin(ctx)
+	if err != nil {
+		return err
+	}
+	defer done()
+	return f.inner.Healthz(ctx)
+}
+
+// Run implements Transport.
+func (f *FailableTransport) Run(ctx context.Context, sp spec.Spec) (*slacksim.Results, error) {
+	ctx, done, err := f.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	res, err := f.inner.Run(ctx, sp)
+	if err != nil && ctx.Err() != nil {
+		f.mu.Lock()
+		wasDown := f.down
+		f.mu.Unlock()
+		if wasDown {
+			return nil, fmt.Errorf("%w: connection lost mid-job", ErrWorkerDown)
+		}
+	}
+	return res, err
+}
+
+// Load implements Transport.
+func (f *FailableTransport) Load(ctx context.Context) (Load, error) {
+	ctx, done, err := f.begin(ctx)
+	if err != nil {
+		return Load{}, err
+	}
+	defer done()
+	return f.inner.Load(ctx)
+}

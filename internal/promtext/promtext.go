@@ -1,0 +1,89 @@
+// Package promtext reads and writes the Prometheus text exposition
+// format (version 0.0.4), the least common denominator every metrics
+// stack scrapes. slacksimd serves its counters through the Writer on
+// GET /metrics; the fleet coordinator scrapes worker endpoints with
+// Parse to drive load-aware routing and re-exports fleet-level
+// aggregates through the same Writer. Only the subset the service
+// needs is implemented: unlabeled gauges and counters.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Writer emits one metric family per Gauge/Counter call.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Gauge writes a gauge family with a single unlabeled sample.
+func (p *Writer) Gauge(name, help string, value float64) {
+	p.family(name, help, "gauge", value)
+}
+
+// Counter writes a counter family with a single unlabeled sample. By
+// convention the name should end in "_total".
+func (p *Writer) Counter(name, help string, value float64) {
+	p.family(name, help, "counter", value)
+}
+
+func (p *Writer) family(name, help, kind string, value float64) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, help, name, kind, name, formatValue(value))
+}
+
+// Err returns the first write error, if any.
+func (p *Writer) Err() error { return p.err }
+
+// formatValue renders a sample value the way Prometheus expects:
+// integers without an exponent, everything else in Go's shortest form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Parse reads a text exposition and returns the unlabeled samples by
+// metric name. Comment lines, blank lines, and labeled samples are
+// skipped (the service never emits labels); malformed lines are an
+// error so a half-scraped endpoint is noticed instead of read as zeros.
+func Parse(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("promtext: malformed sample line %q", line)
+		}
+		name := fields[0]
+		if strings.ContainsAny(name, "{}") {
+			continue // labeled sample: not ours
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("promtext: bad value in %q: %w", line, err)
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteThenParseRoundTrip(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Gauge("queue_depth", "pending jobs", 3)
+	w.Counter("jobs_done_total", "completed jobs", 17)
+	w.Gauge("rate", "a fraction", 0.25)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP queue_depth pending jobs",
+		"# TYPE queue_depth gauge",
+		"queue_depth 3",
+		"# TYPE jobs_done_total counter",
+		"jobs_done_total 17",
+		"rate 0.25",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	got, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["queue_depth"] != 3 || got["jobs_done_total"] != 17 || got["rate"] != 0.25 {
+		t.Fatalf("parse round trip = %v", got)
+	}
+}
+
+func TestParseSkipsLabelsAndComments(t *testing.T) {
+	in := `# HELP x y
+# TYPE x gauge
+x 1
+x{core="0"} 9
+
+up 1
+`
+	got, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["x"] != 1 || got["up"] != 1 || len(got) != 2 {
+		t.Fatalf("parse = %v", got)
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	if _, err := Parse(strings.NewReader("lonely_name\n")); err == nil {
+		t.Fatal("expected error for a sample without a value")
+	}
+	if _, err := Parse(strings.NewReader("x not-a-number\n")); err == nil {
+		t.Fatal("expected error for a non-numeric value")
+	}
+}

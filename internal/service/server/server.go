@@ -23,6 +23,7 @@
 //	DELETE /v1/jobs/{id}       cancel (pending: immediate; running: interrupt)
 //	GET    /v1/healthz         liveness ("ok", or "draining" with 503)
 //	GET    /v1/statsz          queue/cache/worker counters
+//	GET    /metrics            the same counters in Prometheus text format
 package server
 
 import (
@@ -30,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -38,6 +40,7 @@ import (
 	"time"
 
 	"slacksim"
+	"slacksim/internal/promtext"
 	"slacksim/internal/service/jobqueue"
 	"slacksim/internal/service/resultcache"
 	"slacksim/internal/spec"
@@ -45,6 +48,9 @@ import (
 
 // RunContext hands a worker everything it needs to execute one job.
 type RunContext struct {
+	// JobID identifies the job being executed, so runners that keep
+	// per-job state (the fleet coordinator's attempt history) can key it.
+	JobID string
 	// Spec is the normalized run spec.
 	Spec spec.Spec
 	// Interrupt cancels the run mid-flight when set true.
@@ -105,8 +111,13 @@ type Config struct {
 	// heap profiling of a busy daemon. Off by default: the profile
 	// endpoints expose internals and cost cycles when scraped.
 	Pprof bool
-	// Runner overrides run execution (tests only; default RealRunner).
+	// Runner overrides run execution (default RealRunner; tests use a
+	// gated fake, the fleet façade dispatches to remote workers).
 	Runner Runner
+	// Detail, when non-nil, is asked for extra per-job information to
+	// embed in the job view (the fleet façade returns the job's
+	// per-attempt dispatch history). A nil return adds nothing.
+	Detail func(jobID string) any
 }
 
 func (c Config) withDefaults() Config {
@@ -193,6 +204,7 @@ func (s *Server) runJob(j *jobqueue.Job) {
 		intr = new(atomic.Bool)
 	}
 	res, err := s.cfg.Runner(RunContext{
+		JobID:         j.ID,
 		Spec:          sp,
 		Interrupt:     intr,
 		OnProgress:    func(p slacksim.Progress) { j.Publish(p) },
@@ -243,6 +255,9 @@ type jobView struct {
 	Progress  *slacksim.Progress `json:"progress,omitempty"`
 	Result    *slacksim.Results  `json:"result,omitempty"`
 	Error     string             `json:"error,omitempty"`
+	// Detail carries runner-specific extras (the fleet façade's
+	// per-attempt dispatch history).
+	Detail any `json:"detail,omitempty"`
 }
 
 func (s *Server) view(j *jobqueue.Job, cached, coalesced bool) jobView {
@@ -253,6 +268,9 @@ func (s *Server) view(j *jobqueue.Job, cached, coalesced bool) jobView {
 		Spec:      j.Payload.(spec.Spec),
 		Cached:    cached,
 		Coalesced: coalesced,
+	}
+	if s.cfg.Detail != nil {
+		v.Detail = s.cfg.Detail(j.ID)
 	}
 	if p, ok := j.LastEvent().(slacksim.Progress); ok {
 		v.Progress = &p
@@ -276,6 +294,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.Pprof {
 		// net/http/pprof registers only on http.DefaultServeMux; route the
 		// prefix to its index handler, which dispatches to the others.
@@ -434,6 +453,47 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Queue:         s.queue.Stats(),
 		Cache:         s.cache.Stats(),
 	})
+}
+
+// WriteMetrics renders the service counters in the Prometheus text
+// exposition format. The fleet coordinator scrapes exactly these names
+// (queue depth, jobs in flight, capacity) for load-aware routing, and
+// any metrics stack can scrape GET /metrics directly.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	q := s.queue.Stats()
+	ca := s.cache.Stats()
+	p := promtext.NewWriter(w)
+	p.Gauge("slacksimd_up", "whether the service is accepting work (0 while draining)", boolGauge(!s.draining.Load()))
+	p.Gauge("slacksimd_uptime_seconds", "seconds since the service started", time.Since(s.start).Seconds())
+	p.Gauge("slacksimd_workers", "size of the simulation worker pool", float64(s.cfg.Workers))
+	p.Gauge("slacksimd_queue_depth", "pending jobs waiting for a worker", float64(q.Depth))
+	p.Gauge("slacksimd_queue_capacity", "admission bound of the pending queue", float64(q.Capacity))
+	p.Gauge("slacksimd_jobs_running", "jobs currently executing", float64(q.Running))
+	p.Counter("slacksimd_jobs_submitted_total", "jobs admitted to the queue", float64(q.Submitted))
+	p.Counter("slacksimd_jobs_rejected_total", "submissions rejected by backpressure", float64(q.Rejected))
+	p.Counter("slacksimd_jobs_completed_total", "jobs finished successfully", float64(q.Done))
+	p.Counter("slacksimd_jobs_failed_total", "jobs finished in error", float64(q.Failed))
+	p.Counter("slacksimd_jobs_cancelled_total", "jobs cancelled before completion", float64(q.Cancelled))
+	p.Counter("slacksimd_runs_total", "engine runs actually executed", float64(s.runs.Load()))
+	p.Counter("slacksimd_coalesced_total", "submissions attached to an in-flight identical run", float64(s.coalesced.Load()))
+	p.Gauge("slacksimd_result_cache_entries", "entries in the result cache", float64(ca.Entries))
+	p.Gauge("slacksimd_result_cache_capacity", "capacity of the result cache", float64(ca.Capacity))
+	p.Counter("slacksimd_result_cache_hits_total", "result cache hits", float64(ca.Hits))
+	p.Counter("slacksimd_result_cache_misses_total", "result cache misses", float64(ca.Misses))
+	p.Counter("slacksimd_result_cache_evictions_total", "result cache evictions", float64(ca.Evictions))
+	return p.Err()
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.WriteMetrics(w)
 }
 
 // handleEvents streams a job's progress as Server-Sent Events: zero or

@@ -12,6 +12,7 @@ import (
 
 	"slacksim"
 	"slacksim/client"
+	"slacksim/internal/promtext"
 	"slacksim/internal/spec"
 )
 
@@ -441,4 +442,52 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("condition never became true")
+}
+
+// TestMetricsEndpoint: GET /metrics serves the Prometheus text format
+// with the counters the fleet coordinator scrapes for routing — queue
+// depth, running jobs, capacity, and the result-cache hit/miss totals.
+func TestMetricsEndpoint(t *testing.T) {
+	_, c := startServer(t, Config{Workers: 3, QueueDepth: 8, ProgressEvery: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	scrape := func() map[string]float64 {
+		t.Helper()
+		blob, err := c.Metrics(ctx)
+		if err != nil {
+			t.Fatalf("metrics: %v", err)
+		}
+		m, err := promtext.Parse(strings.NewReader(string(blob)))
+		if err != nil {
+			t.Fatalf("parse metrics: %v", err)
+		}
+		return m
+	}
+
+	m := scrape()
+	if m["slacksimd_up"] != 1 || m["slacksimd_workers"] != 3 || m["slacksimd_queue_capacity"] != 8 {
+		t.Fatalf("static gauges wrong: up=%v workers=%v cap=%v",
+			m["slacksimd_up"], m["slacksimd_workers"], m["slacksimd_queue_capacity"])
+	}
+
+	// One run, then an identical resubmission: completed counter moves
+	// once, and the cache hit counter moves on the second submit.
+	if _, err := c.SubmitWait(ctx, testSpec(), 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	m = scrape()
+	if m["slacksimd_jobs_completed_total"] != 1 || m["slacksimd_runs_total"] != 1 {
+		t.Fatalf("completed=%v runs=%v, want 1 and 1",
+			m["slacksimd_jobs_completed_total"], m["slacksimd_runs_total"])
+	}
+	if m["slacksimd_result_cache_hits_total"] < 1 {
+		t.Fatalf("cache hits = %v, want >= 1", m["slacksimd_result_cache_hits_total"])
+	}
+	if m["slacksimd_result_cache_misses_total"] < 1 {
+		t.Fatalf("cache misses = %v, want >= 1", m["slacksimd_result_cache_misses_total"])
+	}
 }

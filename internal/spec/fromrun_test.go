@@ -1,0 +1,139 @@
+package spec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"slacksim/internal/adaptive"
+	"slacksim/internal/engine"
+	"slacksim/internal/violation"
+)
+
+// TestFromRunRoundTrip: a run config converted to a Spec must build the
+// same slacksim.Config a direct run would use — the lossless-round-trip
+// property the fleet driver's byte-identical guarantee rests on.
+func TestFromRunRoundTrip(t *testing.T) {
+	ad := adaptive.DefaultConfig()
+	ad.Period = 512
+	zeroBand := ad
+	zeroBand.Band = 0
+	custom := adaptive.Config{
+		TargetRate: 0.002, Band: 0.25, InitialBound: 64,
+		MinBound: 2, MaxBound: 256, Period: 128,
+	}
+	cases := []struct {
+		name string
+		rc   engine.RunConfig
+	}{
+		{"cc", engine.RunConfig{Scheme: engine.CycleByCycle()}},
+		{"bounded", engine.RunConfig{Scheme: engine.BoundedSlack(8), MeasureViolations: true}},
+		{"unbounded", engine.RunConfig{Scheme: engine.UnboundedSlack()}},
+		{"quantum", engine.RunConfig{Scheme: engine.QuantumScheme(100)}},
+		{"p2p", engine.RunConfig{Scheme: engine.LaxP2PScheme(50, 50)}},
+		{"adaptive", engine.RunConfig{Scheme: engine.AdaptiveSlack(ad)}},
+		{"adaptive band 0", engine.RunConfig{Scheme: engine.AdaptiveSlack(zeroBand)}},
+		{"adaptive custom", engine.RunConfig{Scheme: engine.AdaptiveSlack(custom)}},
+		{"adaptive aiad", engine.RunConfig{Scheme: engine.AdaptiveSlack(ad), AdaptivePolicy: adaptive.AIAD}},
+		{"tracked intervals", engine.RunConfig{Scheme: engine.AdaptiveSlack(ad), TrackIntervals: []int64{250, 1000}}},
+		{"rollback", engine.RunConfig{
+			Scheme: engine.BoundedSlack(32), Rollback: true, CheckpointInterval: 500,
+		}},
+		{"rollback map-only", engine.RunConfig{
+			Scheme: engine.BoundedSlack(32), Rollback: true, CheckpointInterval: 500,
+			Selected: []violation.Type{violation.Map},
+		}},
+		{"checkpointing", engine.RunConfig{Scheme: engine.AdaptiveSlack(ad), CheckpointInterval: 1000}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rc := tc.rc
+			rc.Seed = 7
+			sp, err := FromRun("water", 1, 4, rc)
+			if err != nil {
+				t.Fatalf("FromRun: %v", err)
+			}
+			cfg, err := sp.Config()
+			if err != nil {
+				t.Fatalf("Config: %v", err)
+			}
+			if cfg.Workload != "water" || cfg.Scale != 1 || cfg.Cores != 4 || cfg.Seed != 7 {
+				t.Fatalf("identity fields: %+v", cfg)
+			}
+			if cfg.Scheme.Kind != rc.Scheme.Kind {
+				t.Fatalf("scheme kind %v != %v", cfg.Scheme.Kind, rc.Scheme.Kind)
+			}
+			if rc.Scheme.Kind == engine.Adaptive && !reflect.DeepEqual(cfg.Scheme.Adaptive, rc.Scheme.Adaptive) {
+				t.Fatalf("adaptive config %+v != %+v", cfg.Scheme.Adaptive, rc.Scheme.Adaptive)
+			}
+			if cfg.Scheme.Bound != rc.Scheme.Bound || cfg.Scheme.Quantum != rc.Scheme.Quantum ||
+				cfg.Scheme.SyncPeriod != rc.Scheme.SyncPeriod || cfg.Scheme.P2PMaxAhead != rc.Scheme.P2PMaxAhead {
+				t.Fatalf("scheme params %+v != %+v", cfg.Scheme, rc.Scheme)
+			}
+			if cfg.Rollback != rc.Rollback || cfg.CheckpointInterval != rc.CheckpointInterval {
+				t.Fatalf("rollback/checkpoint mismatch: %+v vs %+v", cfg, rc)
+			}
+			if cfg.AdaptivePolicy != rc.AdaptivePolicy {
+				t.Fatalf("policy %v != %v", cfg.AdaptivePolicy, rc.AdaptivePolicy)
+			}
+			wantMapOnly := len(rc.Selected) == 1
+			if cfg.MapViolationsOnly != wantMapOnly {
+				t.Fatalf("map-only = %v, want %v", cfg.MapViolationsOnly, wantMapOnly)
+			}
+			if !reflect.DeepEqual(cfg.TrackIntervals, rc.TrackIntervals) {
+				t.Fatalf("track intervals %v != %v", cfg.TrackIntervals, rc.TrackIntervals)
+			}
+		})
+	}
+}
+
+// TestFromRunBandZeroDistinctFromDefault: the explicit zero-width band
+// and the default band must produce different cache keys — Figure 4's
+// band-0 series depends on them not aliasing.
+func TestFromRunBandZeroDistinctFromDefault(t *testing.T) {
+	def := adaptive.DefaultConfig()
+	zero := def
+	zero.Band = 0
+	spDef, err := FromRun("fft", 1, 4, engine.RunConfig{Scheme: engine.AdaptiveSlack(def), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spZero, err := FromRun("fft", 1, 4, engine.RunConfig{Scheme: engine.AdaptiveSlack(zero), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spDef.Key() == spZero.Key() {
+		t.Fatal("band-0 run aliases the default-band run's cache key")
+	}
+	cfg, err := spZero.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scheme.Adaptive.Band != 0 {
+		t.Fatalf("band-0 spec built band %v", cfg.Scheme.Adaptive.Band)
+	}
+}
+
+// TestFromRunRejectsInexpressible: host knobs a Spec cannot carry must
+// error loudly instead of silently running something else remotely.
+func TestFromRunRejectsInexpressible(t *testing.T) {
+	cases := []struct {
+		name string
+		rc   engine.RunConfig
+		want string
+	}{
+		{"max cycles", engine.RunConfig{Scheme: engine.CycleByCycle(), MaxCycles: 100}, "host knobs"},
+		{"asymmetric p2p", engine.RunConfig{Scheme: engine.LaxP2PScheme(50, 100)}, "no spec form"},
+		{"bus-only selection", engine.RunConfig{
+			Scheme: engine.CycleByCycle(), Selected: []violation.Type{violation.Bus},
+		}, "no spec form"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FromRun("fft", 1, 4, tc.rc)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -14,6 +14,9 @@ import (
 	"strings"
 
 	"slacksim"
+	"slacksim/internal/adaptive"
+	"slacksim/internal/engine"
+	"slacksim/internal/violation"
 	"slacksim/internal/workload"
 )
 
@@ -32,8 +35,20 @@ type Spec struct {
 	Scheme string `json:"scheme,omitempty"`
 	// TargetRate and Band tune the adaptive controller (ignored by other
 	// schemes; zeroed during normalization so they never affect the Key).
+	// A negative Band requests a zero-width band — an explicit zero would
+	// be indistinguishable from "use the default" in JSON.
 	TargetRate float64 `json:"target_rate,omitempty"`
 	Band       float64 `json:"band,omitempty"`
+	// AdaptivePeriod, AdaptiveInitialBound, AdaptiveMinBound and
+	// AdaptiveMaxBound complete the adaptive controller configuration
+	// (zero selects the paper's defaults; ignored by other schemes).
+	AdaptivePeriod       int64 `json:"adaptive_period,omitempty"`
+	AdaptiveInitialBound int64 `json:"adaptive_initial_bound,omitempty"`
+	AdaptiveMinBound     int64 `json:"adaptive_min_bound,omitempty"`
+	AdaptiveMaxBound     int64 `json:"adaptive_max_bound,omitempty"`
+	// AdaptivePolicy selects the bound-adjustment policy: "aimd" (the
+	// default) or "aiad" (the ablation alternative).
+	AdaptivePolicy string `json:"adaptive_policy,omitempty"`
 	// Seed drives the deterministic host's scheduling.
 	Seed int64 `json:"seed,omitempty"`
 	// MaxInstructions stops the run after N total committed instructions.
@@ -46,6 +61,14 @@ type Spec struct {
 	MapViolationsOnly bool `json:"map_only,omitempty"`
 	// Parallel selects the goroutine-parallel host.
 	Parallel bool `json:"parallel,omitempty"`
+	// MeasureViolations charges violation-detection overhead to the host
+	// cost model even for schemes that do not require it (the Figure 3
+	// instrumented bounded runs). Implied by adaptive, rollback, and
+	// interval tracking.
+	MeasureViolations bool `json:"measure_violations,omitempty"`
+	// TrackIntervals enables per-interval violation statistics for the
+	// given interval lengths (the paper's Tables 3 and 4).
+	TrackIntervals []int64 `json:"track_intervals,omitempty"`
 }
 
 // Normalize returns the spec with defaults applied and identity-free
@@ -67,6 +90,9 @@ func (s Spec) Normalize() Spec {
 	}
 	if s.Scheme != "adaptive" {
 		s.TargetRate, s.Band = 0, 0
+		s.AdaptivePeriod, s.AdaptiveInitialBound = 0, 0
+		s.AdaptiveMinBound, s.AdaptiveMaxBound = 0, 0
+		s.AdaptivePolicy = ""
 	} else {
 		// Fill the paper's base configuration in so "adaptive" and an
 		// explicitly-spelled default adapt to the same cache key.
@@ -76,7 +102,33 @@ func (s Spec) Normalize() Spec {
 		}
 		if s.Band == 0 {
 			s.Band = def.Band
+		} else if s.Band < 0 {
+			s.Band = -1 // canonical "explicitly zero" band
 		}
+		if s.AdaptivePeriod == 0 {
+			s.AdaptivePeriod = def.Period
+		}
+		if s.AdaptiveInitialBound == 0 {
+			s.AdaptiveInitialBound = def.InitialBound
+		}
+		if s.AdaptiveMinBound == 0 {
+			s.AdaptiveMinBound = def.MinBound
+		}
+		if s.AdaptiveMaxBound == 0 {
+			s.AdaptiveMaxBound = def.MaxBound
+		}
+		s.AdaptivePolicy = strings.ToLower(strings.TrimSpace(s.AdaptivePolicy))
+		if s.AdaptivePolicy == "" {
+			s.AdaptivePolicy = "aimd"
+		}
+	}
+	if s.Scheme == "adaptive" || s.Rollback || len(s.TrackIntervals) > 0 {
+		// The engine measures violations on these paths regardless, so
+		// fold the implication into the canonical form (and the Key).
+		s.MeasureViolations = true
+	}
+	if len(s.TrackIntervals) == 0 {
+		s.TrackIntervals = nil
 	}
 	return s
 }
@@ -96,12 +148,17 @@ func (s Spec) Validate() error {
 	if s.Cores < 1 {
 		return fmt.Errorf("spec: cores must be positive, got %d", s.Cores)
 	}
-	sch, err := ParseScheme(s.Scheme, s.TargetRate, s.Band)
+	sch, err := s.scheme()
 	if err != nil {
 		return err
 	}
 	if err := sch.Validate(); err != nil {
 		return err
+	}
+	switch s.AdaptivePolicy {
+	case "", "aimd", "aiad":
+	default:
+		return fmt.Errorf("spec: unknown adaptive policy %q (want aimd or aiad)", s.AdaptivePolicy)
 	}
 	if s.Rollback && s.CheckpointInterval <= 0 {
 		return fmt.Errorf("spec: rollback requires a checkpoint interval")
@@ -111,6 +168,11 @@ func (s Spec) Validate() error {
 	}
 	if s.CheckpointInterval < 0 {
 		return fmt.Errorf("spec: negative checkpoint interval")
+	}
+	for _, iv := range s.TrackIntervals {
+		if iv <= 0 {
+			return fmt.Errorf("spec: track intervals must be positive, got %d", iv)
+		}
 	}
 	return nil
 }
@@ -122,12 +184,40 @@ func (s Spec) Validate() error {
 func (s Spec) Key() string {
 	n := s.Normalize()
 	canon := fmt.Sprintf(
-		"v1|workload=%s|scale=%d|cores=%d|scheme=%s|target=%g|band=%g|seed=%d|maxinst=%d|ckpt=%d|rollback=%t|maponly=%t|parallel=%t",
+		"v2|workload=%s|scale=%d|cores=%d|scheme=%s|target=%g|band=%g|seed=%d|maxinst=%d|ckpt=%d|rollback=%t|maponly=%t|parallel=%t|measure=%t|track=%v|aperiod=%d|ainit=%d|amin=%d|amax=%d|apolicy=%s",
 		n.Workload, n.Scale, n.Cores, n.Scheme, n.TargetRate, n.Band,
 		n.Seed, n.MaxInstructions, n.CheckpointInterval,
-		n.Rollback, n.MapViolationsOnly, n.Parallel)
+		n.Rollback, n.MapViolationsOnly, n.Parallel,
+		n.MeasureViolations, n.TrackIntervals,
+		n.AdaptivePeriod, n.AdaptiveInitialBound, n.AdaptiveMinBound,
+		n.AdaptiveMaxBound, n.AdaptivePolicy)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:])
+}
+
+// scheme builds the fully-parameterized scheme a normalized spec
+// describes, including the controller fields ParseScheme's CLI surface
+// does not carry.
+func (s Spec) scheme() (slacksim.Scheme, error) {
+	sch, err := ParseScheme(s.Scheme, s.TargetRate, s.Band)
+	if err != nil {
+		return slacksim.Scheme{}, err
+	}
+	if sch.Kind == engine.Adaptive {
+		if s.AdaptivePeriod > 0 {
+			sch.Adaptive.Period = s.AdaptivePeriod
+		}
+		if s.AdaptiveInitialBound > 0 {
+			sch.Adaptive.InitialBound = s.AdaptiveInitialBound
+		}
+		if s.AdaptiveMinBound > 0 {
+			sch.Adaptive.MinBound = s.AdaptiveMinBound
+		}
+		if s.AdaptiveMaxBound > 0 {
+			sch.Adaptive.MaxBound = s.AdaptiveMaxBound
+		}
+	}
+	return sch, nil
 }
 
 // Config builds the slacksim.Config for this spec. Front-end-only knobs
@@ -138,11 +228,11 @@ func (s Spec) Config() (slacksim.Config, error) {
 	if err := n.Validate(); err != nil {
 		return slacksim.Config{}, err
 	}
-	sch, err := ParseScheme(n.Scheme, n.TargetRate, n.Band)
+	sch, err := n.scheme()
 	if err != nil {
 		return slacksim.Config{}, err
 	}
-	return slacksim.Config{
+	cfg := slacksim.Config{
 		Workload:           n.Workload,
 		Scale:              n.Scale,
 		Cores:              n.Cores,
@@ -153,13 +243,90 @@ func (s Spec) Config() (slacksim.Config, error) {
 		Rollback:           n.Rollback,
 		MapViolationsOnly:  n.MapViolationsOnly,
 		Parallel:           n.Parallel,
-	}, nil
+		MeasureViolations:  n.MeasureViolations,
+		TrackIntervals:     n.TrackIntervals,
+	}
+	if n.AdaptivePolicy == "aiad" {
+		cfg.AdaptivePolicy = slacksim.AIAD
+	}
+	return cfg, nil
+}
+
+// FromRun converts one in-process experiment cell — a workload name,
+// input scale, core count and engine run configuration — into the
+// canonical Spec describing the identical run, so grid runners can hand
+// cells to remote workers and get byte-identical results back. Run
+// configurations a Spec cannot express (custom host pacing, tracers,
+// selective violation sets beyond map-only, asymmetric Lax-P2P) are
+// reported as errors rather than silently approximated.
+func FromRun(workload string, scale, cores int, rc engine.RunConfig) (Spec, error) {
+	sp := Spec{
+		Workload:           workload,
+		Scale:              scale,
+		Cores:              cores,
+		Seed:               rc.Seed,
+		MaxInstructions:    rc.MaxInstructions,
+		CheckpointInterval: rc.CheckpointInterval,
+		Rollback:           rc.Rollback,
+		MeasureViolations:  rc.MeasureViolations,
+		TrackIntervals:     append([]int64(nil), rc.TrackIntervals...),
+	}
+	switch sch := rc.Scheme; sch.Kind {
+	case engine.CC:
+		sp.Scheme = "cc"
+	case engine.Bounded:
+		sp.Scheme = fmt.Sprintf("s%d", sch.Bound)
+	case engine.Unbounded:
+		sp.Scheme = "su"
+	case engine.Quantum:
+		sp.Scheme = fmt.Sprintf("q%d", sch.Quantum)
+	case engine.LaxP2P:
+		if sch.SyncPeriod != sch.P2PMaxAhead {
+			return Spec{}, fmt.Errorf("spec: lax-p2p with period %d != max-ahead %d has no spec form",
+				sch.SyncPeriod, sch.P2PMaxAhead)
+		}
+		sp.Scheme = fmt.Sprintf("p2p%d", sch.SyncPeriod)
+	case engine.Adaptive:
+		a := sch.Adaptive
+		sp.Scheme = "adaptive"
+		sp.TargetRate = a.TargetRate
+		sp.Band = a.Band
+		if a.Band == 0 {
+			sp.Band = -1
+		}
+		sp.AdaptivePeriod = a.Period
+		sp.AdaptiveInitialBound = a.InitialBound
+		sp.AdaptiveMinBound = a.MinBound
+		sp.AdaptiveMaxBound = a.MaxBound
+	default:
+		return Spec{}, fmt.Errorf("spec: scheme %v has no spec form", sch.Kind)
+	}
+	if rc.AdaptivePolicy == adaptive.AIAD {
+		sp.AdaptivePolicy = "aiad"
+	}
+	switch {
+	case len(rc.Selected) == 0:
+	case len(rc.Selected) == 1 && rc.Selected[0] == violation.Map:
+		sp.MapViolationsOnly = true
+	default:
+		return Spec{}, fmt.Errorf("spec: violation selection %v has no spec form", rc.Selected)
+	}
+	if rc.MaxCycles != 0 || rc.MaxChunk != 0 || rc.HostDriftCap != 0 ||
+		rc.DeepCheckpoint || rc.Tracer != nil {
+		return Spec{}, fmt.Errorf("spec: run config uses host knobs a spec cannot carry")
+	}
+	sp = sp.Normalize()
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
 }
 
 // ParseScheme parses the CLI scheme syntax shared by every front end:
 // "cc", "s<N>" (bounded), "su"/"unbounded", "q<N>" (quantum), "p2p<N>"
 // (Lax-P2P with period = max-ahead = N), or "adaptive". target and band,
-// when positive, override the adaptive controller's defaults.
+// when positive, override the adaptive controller's defaults; a negative
+// band requests a zero-width band.
 func ParseScheme(s string, target, band float64) (slacksim.Scheme, error) {
 	s = strings.ToLower(strings.TrimSpace(s))
 	switch {
@@ -174,6 +341,8 @@ func ParseScheme(s string, target, band float64) (slacksim.Scheme, error) {
 		}
 		if band > 0 {
 			cfg.Band = band
+		} else if band < 0 {
+			cfg.Band = 0
 		}
 		return slacksim.Schemes.Adaptive(cfg), nil
 	case strings.HasPrefix(s, "p2p"):

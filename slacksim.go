@@ -62,6 +62,17 @@ type StallError = engine.StallError
 // ErrInterrupted reports that a run was stopped early via Config.Interrupt.
 var ErrInterrupted = engine.ErrInterrupted
 
+// Policy selects the adaptive controller's bound-adjustment policy.
+type Policy = adaptive.Policy
+
+// Adjustment policies for Config.AdaptivePolicy.
+const (
+	// AIMD is additive increase, multiplicative decrease (the default).
+	AIMD = adaptive.AIMD
+	// AIAD is additive both ways (the ablation alternative).
+	AIAD = adaptive.AIAD
+)
+
 // Schemes groups the scheme constructors.
 var Schemes = struct {
 	// CC is exact cycle-by-cycle simulation, the gold standard.
@@ -130,6 +141,14 @@ type Config struct {
 	// violations, the paper's suggested refinement for cutting rollback
 	// costs.
 	MapViolationsOnly bool
+	// MeasureViolations charges the violation-detection overhead to the
+	// host cost model even when the scheme does not require it (it is
+	// implied by Adaptive, Rollback and TrackIntervals; set it to model
+	// an instrumented bounded run, as in the Figure 3 experiments).
+	MeasureViolations bool
+	// AdaptivePolicy selects the adaptive controller's bound-adjustment
+	// policy (AIMD by default; AIAD exists for the ablation study).
+	AdaptivePolicy Policy
 	// TraceEvents, when positive, keeps a ring of the last N noteworthy
 	// events (serviced requests, violations, bound changes, checkpoints,
 	// rollbacks), retrievable with Simulation.Trace after the run.
@@ -191,6 +210,8 @@ func NewWithWorkload(cfg Config, w workload.Workload) (*Simulation, error) {
 		CheckpointInterval: cfg.CheckpointInterval,
 		Rollback:           cfg.Rollback,
 		TrackIntervals:     cfg.TrackIntervals,
+		MeasureViolations:  cfg.MeasureViolations,
+		AdaptivePolicy:     cfg.AdaptivePolicy,
 		OnProgress:         cfg.OnProgress,
 		ProgressEvery:      cfg.ProgressEvery,
 		Interrupt:          cfg.Interrupt,
