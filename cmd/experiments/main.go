@@ -25,10 +25,10 @@ import (
 
 func main() {
 	var (
-		scale   = flag.Int("scale", 1, "workload input scale")
-		cores   = flag.Int("cores", 8, "target cores")
-		seed    = flag.Int64("seed", 1, "scheduling seed")
-		par     = flag.Int("par", 0, "experiment workers (0 = one per host thread, 1 = serial)")
+		scale    = flag.Int("scale", 1, "workload input scale")
+		cores    = flag.Int("cores", 8, "target cores")
+		seed     = flag.Int64("seed", 1, "scheduling seed")
+		par      = flag.Int("par", 0, "experiment workers (0 = one per host thread, 1 = serial)")
 		only     = flag.String("only", "", "run one experiment: fig3, fig4, table2, table34, table5, ablations, scaling")
 		fleetURL = flag.String("fleet", "", "execute every grid cell on a slacksimfleet coordinator (or slacksimd) at this base URL")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")

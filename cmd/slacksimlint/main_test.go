@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildTool compiles the slacksimlint binary once per test run.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "slacksimlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func brokenMod(t *testing.T) string {
+	return filepath.Join(repoRoot(t), "internal", "lint", "testdata", "brokenmod")
+}
+
+// TestStandaloneCleanOnRepo is the CI gate in miniature: the binary must
+// exit 0 over the real repository.
+func TestStandaloneCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	bin := buildTool(t)
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, repoRoot(t))
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("slacksimlint on the repo should exit 0, got %v\nstdout:\n%s\nstderr:\n%s",
+			err, stdout.String(), stderr.String())
+	}
+}
+
+// TestStandaloneFlagsBrokenMod pins the PR 1 regression: the
+// reconstructed unlocked-Broadcast module must fail with a condlock
+// finding and exit status 1.
+func TestStandaloneFlagsBrokenMod(t *testing.T) {
+	bin := buildTool(t)
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, brokenMod(t))
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1 on brokenmod, got %v\nstdout:\n%s\nstderr:\n%s",
+			err, stdout.String(), stderr.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("condlock")) ||
+		!bytes.Contains(stdout.Bytes(), []byte("lost-wakeup")) {
+		t.Fatalf("findings should name condlock and the lost-wakeup, got:\n%s", stdout.String())
+	}
+}
+
+// TestVetToolFlagsBrokenMod drives the binary through the go command's
+// vet protocol (-vettool): go vet must fail on the broken module and
+// surface the condlock diagnostic.
+func TestVetToolFlagsBrokenMod(t *testing.T) {
+	bin := buildTool(t)
+	var out bytes.Buffer
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = brokenMod(t)
+	cmd.Stdout, cmd.Stderr = &out, &out
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("go vet -vettool should fail on brokenmod, got success\n%s", out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("lost-wakeup")) {
+		t.Fatalf("vet output should carry the condlock diagnostic, got:\n%s", out.String())
+	}
+}
+
+// TestVersionAndFlagsProtocol checks the two go-command handshake calls.
+func TestVersionAndFlagsProtocol(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !bytes.HasPrefix(out, []byte("slacksimlint version ")) {
+		t.Fatalf("-V=full output %q must start with %q for the go command's tool-ID parser",
+			out, "slacksimlint version ")
+	}
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if want := []byte("[]\n"); !bytes.Equal(out, want) {
+		t.Fatalf("-flags printed %q, want %q", out, want)
+	}
+}

@@ -247,6 +247,8 @@ func (c *Cache) Snapshot() *Cache {
 
 // Restore overwrites the cache with the snapshot's contents. The snapshot
 // must come from a cache with the same configuration.
+//
+//slacksim:hotpath
 func (c *Cache) Restore(snap *Cache) {
 	if snap.cfg != c.cfg {
 		panic(fmt.Sprintf("cache %s: restore from mismatched config %s", c.cfg.Name, snap.cfg.Name))
@@ -270,6 +272,7 @@ func (c *Cache) StartTracking() {
 	c.clearDirty()
 }
 
+//slacksim:hotpath
 func (c *Cache) clearDirty() {
 	for _, s := range c.dirtyList {
 		c.dirty[s] = false
@@ -280,6 +283,8 @@ func (c *Cache) clearDirty() {
 // SyncSnapshot brings snap (a full Snapshot kept current since tracking
 // started) up to date by copying only the sets touched since the last
 // sync or restore, plus the scalar stats.
+//
+//slacksim:hotpath
 func (c *Cache) SyncSnapshot(snap *Cache) {
 	snap.lruClk = c.lruClk
 	snap.Hits, snap.Misses, snap.Evictions, snap.Writebacks =
@@ -293,6 +298,8 @@ func (c *Cache) SyncSnapshot(snap *Cache) {
 
 // RestoreDirty rolls the cache back to snap by copying back only the sets
 // touched since the last sync.
+//
+//slacksim:hotpath
 func (c *Cache) RestoreDirty(snap *Cache) {
 	c.lruClk = snap.lruClk
 	c.Hits, c.Misses, c.Evictions, c.Writebacks =

@@ -118,12 +118,14 @@ func (f *MSHRFile) Snapshot() *MSHRFile {
 }
 
 // Restore overwrites the file from a snapshot.
+//
+//slacksim:hotpath
 func (f *MSHRFile) Restore(snap *MSHRFile) {
 	f.cap = snap.cap
 	f.Merges, f.Full = snap.Merges, snap.Full
 	f.entries = f.entries[:0]
 	for _, e := range snap.entries {
-		e.Waiters = append([]int(nil), e.Waiters...)
+		e.Waiters = append([]int(nil), e.Waiters...) //lint:allow hotpathalloc -- deep copy is required: aliasing snap's waiter slices would corrupt the snapshot on replay
 		f.entries = append(f.entries, e)
 	}
 	f.version = snap.version
@@ -132,6 +134,8 @@ func (f *MSHRFile) Restore(snap *MSHRFile) {
 // SyncSnapshot brings snap up to date with the live file. When no
 // mutation has happened since the last sync (the common case between
 // dense checkpoints) it is a single integer compare.
+//
+//slacksim:hotpath
 func (f *MSHRFile) SyncSnapshot(snap *MSHRFile) {
 	if snap.version == f.version && snap.cap == f.cap {
 		return
@@ -141,6 +145,8 @@ func (f *MSHRFile) SyncSnapshot(snap *MSHRFile) {
 
 // RestoreDirty rolls the live file back to snap, skipping the copy when
 // nothing changed since the sync.
+//
+//slacksim:hotpath
 func (f *MSHRFile) RestoreDirty(snap *MSHRFile) {
 	if f.version == snap.version && f.cap == snap.cap {
 		return

@@ -97,6 +97,8 @@ func (m *StatusMap) Holders(lineAddr uint64, except int) []int {
 // HoldersInto appends the holders to buf (reusing its backing array) and
 // returns it; the manager's hot path passes a per-uncore scratch slice so
 // servicing a request allocates nothing.
+//
+//slacksim:hotpath
 func (m *StatusMap) HoldersInto(buf []int, lineAddr uint64, except int) []int {
 	e := m.lines[lineAddr]
 	if e == nil {
@@ -122,11 +124,13 @@ func (m *StatusMap) HoldersInto(buf []int, lineAddr uint64, except int) []int {
 // negligible at small slack: conflicting ownership transfers of one line
 // are separated by full coherence round trips, while the bus serializes
 // every request in the machine.
+//
+//slacksim:hotpath
 func (m *StatusMap) Apply(lineAddr uint64, core int, s coherence.State, ts int64) (violation bool) {
 	e := m.entry(lineAddr)
 	if m.track && !e.dirty {
 		e.dirty = true
-		m.dirtyList = append(m.dirtyList, lineAddr)
+		m.dirtyList = append(m.dirtyList, lineAddr) //lint:allow hotpathalloc -- dirty-list growth is bounded by tracked lines and reused via clearDirty
 	}
 	old := e.states[core]
 	if ts < e.monitorTS {
@@ -217,6 +221,7 @@ func (m *StatusMap) StartTracking() {
 	m.clearDirty()
 }
 
+//slacksim:hotpath
 func (m *StatusMap) clearDirty() {
 	for _, la := range m.dirtyList {
 		if e := m.lines[la]; e != nil {
@@ -229,6 +234,8 @@ func (m *StatusMap) clearDirty() {
 // SyncSnapshot brings snap (a full Snapshot taken when tracking started,
 // kept in sync at every checkpoint since) up to date by copying only the
 // entries dirtied since the previous sync or restore.
+//
+//slacksim:hotpath
 func (m *StatusMap) SyncSnapshot(snap *StatusMap) {
 	snap.numCores = m.numCores
 	for _, la := range m.dirtyList {
@@ -239,7 +246,7 @@ func (m *StatusMap) SyncSnapshot(snap *StatusMap) {
 		e.dirty = false
 		se := snap.lines[la]
 		if se == nil || len(se.states) != len(e.states) {
-			se = &mapEntry{states: make([]coherence.State, len(e.states))}
+			se = &mapEntry{states: make([]coherence.State, len(e.states))} //lint:allow hotpathalloc -- first sync of a line only; subsequent boundaries reuse the entry
 			snap.lines[la] = se
 		}
 		copy(se.states, e.states)
@@ -251,6 +258,8 @@ func (m *StatusMap) SyncSnapshot(snap *StatusMap) {
 // RestoreDirty rolls the map back to snap by undoing only the entries
 // dirtied since the last sync: diverged entries are copied back, entries
 // created after the checkpoint are deleted.
+//
+//slacksim:hotpath
 func (m *StatusMap) RestoreDirty(snap *StatusMap) {
 	m.numCores = snap.numCores
 	for _, la := range m.dirtyList {

@@ -135,17 +135,19 @@ type Core struct {
 	freeList []*robEntry
 }
 
+//slacksim:hotpath
 func (c *Core) allocEntry() *robEntry {
 	if n := len(c.freeList); n > 0 {
 		e := c.freeList[n-1]
 		c.freeList = c.freeList[:n-1]
 		return e
 	}
-	return new(robEntry)
+	return new(robEntry) //lint:allow hotpathalloc -- pool warm-up: runs only while the free list is empty
 }
 
+//slacksim:hotpath
 func (c *Core) freeEntry(e *robEntry) {
-	c.freeList = append(c.freeList, e)
+	c.freeList = append(c.freeList, e) //lint:allow hotpathalloc -- free-list growth is bounded by ROB size, then reused forever
 }
 
 // New builds a core executing prog against the shared memory image and

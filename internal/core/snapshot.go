@@ -63,6 +63,8 @@ func (c *Core) Snapshot() *Snapshot {
 // restoreScalars copies everything except the cache/MSHR/predictor
 // structures, recycling the live ROB entries through the freelist so a
 // restore allocates nothing once the pools are warm.
+//
+//slacksim:hotpath
 func (c *Core) restoreScalars(s *Snapshot) {
 	c.now = s.now
 	c.regs = s.regs
@@ -91,6 +93,8 @@ func (c *Core) restoreScalars(s *Snapshot) {
 
 // Restore overwrites the core's state from a snapshot taken on the same
 // core.
+//
+//slacksim:hotpath
 func (c *Core) Restore(s *Snapshot) {
 	c.restoreScalars(s)
 	c.l1i.Restore(s.l1i)
@@ -113,6 +117,8 @@ func (c *Core) StartTracking() {
 // MSHR files touched since the last sync or restore. The ROB and fetch
 // buffer churn every cycle, so they are always copied — into s's reused
 // backing arrays.
+//
+//slacksim:hotpath
 func (c *Core) SyncSnapshot(s *Snapshot) {
 	s.now = c.now
 	s.regs = c.regs
@@ -140,6 +146,8 @@ func (c *Core) SyncSnapshot(s *Snapshot) {
 
 // RestoreIncremental rolls the core back to s, undoing only cache sets
 // and MSHR state touched since the last sync.
+//
+//slacksim:hotpath
 func (c *Core) RestoreIncremental(s *Snapshot) {
 	c.restoreScalars(s)
 	c.l1i.RestoreDirty(s.l1i)

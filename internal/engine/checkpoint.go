@@ -110,6 +110,8 @@ func (r *detRun) fullSnapshot() *globalSnapshot {
 // reused backing arrays. The synchronization controller and violation
 // detector keep deep copies: their state is tiny compared to the caches
 // and memory image, and they have no single mutation funnel to track.
+//
+//slacksim:hotpath
 func (r *detRun) syncCheckpoint(s *globalSnapshot) {
 	s.global = r.global
 	s.bound = r.bound
@@ -134,6 +136,8 @@ func (r *detRun) syncCheckpoint(s *globalSnapshot) {
 
 // doRollback restores the last checkpoint and enters cycle-by-cycle replay
 // until the next checkpoint boundary to guarantee forward progress.
+//
+//slacksim:hotpath
 func (r *detRun) doRollback() {
 	s := r.snap
 	r.pendingRollback = false

@@ -75,7 +75,7 @@ type parRun struct {
 	// machine for a global checkpoint.
 	mu     sync.Mutex
 	cond   *sync.Cond
-	parked []bool
+	parked []bool // guarded by mu
 
 	// kick wakes the manager when a core produced work or blocked.
 	kick chan struct{}
@@ -184,7 +184,7 @@ func RunParallel(m *Machine, cfg RunConfig) (Results, error) {
 		r.maxLocal[i].Store(ml)
 	}
 
-	start := time.Now()
+	start := time.Now() //lint:allow determinism -- host wall-time feeds Results.HostDuration (a measurement), never simulated state
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -218,7 +218,7 @@ func RunParallel(m *Machine, cfg RunConfig) (Results, error) {
 	r.drainAll()
 	r.recomputeGlobal()
 	r.serviceAll()
-	return r.results(time.Since(start)), nil
+	return r.results(time.Since(start)), nil //lint:allow determinism -- host wall-time feeds Results.HostDuration (a measurement), never simulated state
 }
 
 // shutdown raises stop and wakes every parked core. Per the memory-model
@@ -457,12 +457,13 @@ func (r *parRun) recomputeGlobal() {
 	}
 }
 
+//slacksim:hotpath
 func (r *parRun) drainAll() {
 	for i := range r.m.outQs {
 		r.drainBuf = r.m.outQs[i].DrainInto(r.drainBuf[:0])
 		for _, req := range r.drainBuf {
 			r.arrival++
-			r.gq = append(r.gq, pendingReq{req: req, arr: r.arrival})
+			r.gq = append(r.gq, pendingReq{req: req, arr: r.arrival}) //lint:allow hotpathalloc -- gq's backing array is reused across boundaries (truncated to gq[:0] by service); growth is amortized
 		}
 	}
 	r.gqDepth.Store(int64(len(r.gq)))

@@ -106,10 +106,10 @@ func (r *parRun) watchdog(done <-chan struct{}) {
 	if poll > time.Second {
 		poll = time.Second
 	}
-	tick := time.NewTicker(poll)
+	tick := time.NewTicker(poll) //lint:allow determinism -- the stall watchdog is wall-clock by design and never touches simulated state
 	defer tick.Stop()
 	last := r.progress()
-	lastChange := time.Now()
+	lastChange := time.Now() //lint:allow determinism -- the stall watchdog is wall-clock by design and never touches simulated state
 	for {
 		select {
 		case <-done:
@@ -118,10 +118,10 @@ func (r *parRun) watchdog(done <-chan struct{}) {
 			cur := r.progress()
 			if cur != last {
 				last = cur
-				lastChange = time.Now()
+				lastChange = time.Now() //lint:allow determinism -- the stall watchdog is wall-clock by design and never touches simulated state
 				continue
 			}
-			if time.Since(lastChange) >= budget {
+			if time.Since(lastChange) >= budget { //lint:allow determinism -- the stall watchdog is wall-clock by design and never touches simulated state
 				r.failStall()
 				return
 			}

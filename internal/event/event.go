@@ -95,6 +95,8 @@ func (q *Queue[T]) Push(v T) {
 
 // popLocked removes the head item; the caller holds q.mu and has checked
 // the queue is non-empty.
+//
+//slacksim:hotpath
 func (q *Queue[T]) popLocked() T {
 	v := q.items[q.head]
 	var zero T
@@ -162,6 +164,8 @@ func (q *Queue[T]) Drain() []T {
 // DrainInto removes all items in order, appending them to buf (which is
 // returned). A single lock acquisition replaces the per-item Pop loop on
 // the manager's hot path, and with a reused buf it allocates nothing.
+//
+//slacksim:hotpath
 func (q *Queue[T]) DrainInto(buf []T) []T {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -185,6 +189,8 @@ func (q *Queue[T]) Snapshot() []T {
 // SnapshotInto copies the queue contents into buf's backing array
 // (truncating buf first) and returns it, for incremental checkpoints
 // that reuse their buffers.
+//
+//slacksim:hotpath
 func (q *Queue[T]) SnapshotInto(buf []T) []T {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -192,6 +198,8 @@ func (q *Queue[T]) SnapshotInto(buf []T) []T {
 }
 
 // Restore replaces the queue contents, reusing the backing array.
+//
+//slacksim:hotpath
 func (q *Queue[T]) Restore(items []T) {
 	q.mu.Lock()
 	clear(q.items)

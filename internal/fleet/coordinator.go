@@ -60,13 +60,13 @@ type Coordinator struct {
 	reg *Registry
 
 	rmu sync.Mutex
-	rng *rand.Rand
+	rng *rand.Rand // guarded by rmu
 
 	// amu guards the attempt histories (jobID → dispatches), bounded to
 	// MaxHistories by FIFO eviction.
 	amu      sync.Mutex
-	attempts map[string][]Attempt
-	order    []string
+	attempts map[string][]Attempt // guarded by amu
+	order    []string             // guarded by amu
 }
 
 // NewCoordinator builds a coordinator over reg.
@@ -85,6 +85,8 @@ func (c *Coordinator) Registry() *Registry { return c.reg }
 // pick chooses the worker for one attempt: the highest rendezvous score
 // among healthy workers not yet tried, spilled to the least-loaded such
 // worker when the affinity choice is saturated.
+//
+//slacksim:hotpath
 func (c *Coordinator) pick(key string, tried map[string]bool) (id string, spill bool, err error) {
 	candidates := c.reg.healthy()
 	avail := candidates[:0]

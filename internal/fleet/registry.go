@@ -57,16 +57,16 @@ type workerState struct {
 	url       string
 	transport Transport
 
-	healthy bool
-	fails   int
-	lastErr string
-	load    Load
+	healthy bool   // guarded by Registry.mu
+	fails   int    // guarded by Registry.mu
+	lastErr string // guarded by Registry.mu
+	load    Load   // guarded by Registry.mu
 
 	// inflight holds the cancel funcs of this coordinator's dispatches on
 	// the worker; marking the worker unhealthy fires them all, draining
 	// its assignments back into the coordinator's retry path.
-	inflight map[int]context.CancelFunc
-	nextTok  int
+	inflight map[int]context.CancelFunc // guarded by Registry.mu
+	nextTok  int                        // guarded by Registry.mu
 }
 
 // Registry tracks fleet membership and worker health. Workers join and
@@ -76,7 +76,7 @@ type Registry struct {
 	cfg RegistryConfig
 
 	mu      sync.Mutex
-	workers map[string]*workerState
+	workers map[string]*workerState // guarded by mu
 }
 
 // NewRegistry builds an empty registry.

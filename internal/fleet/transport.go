@@ -118,10 +118,10 @@ type recorder struct {
 
 func newRecorder() *recorder { return &recorder{code: http.StatusOK, header: http.Header{}} }
 
-func (r *recorder) Header() http.Header       { return r.header }
-func (r *recorder) WriteHeader(code int)      { r.code = code }
+func (r *recorder) Header() http.Header         { return r.header }
+func (r *recorder) WriteHeader(code int)        { r.code = code }
 func (r *recorder) Write(b []byte) (int, error) { return r.body.Write(b) }
-func (r *recorder) Flush()                    {}
+func (r *recorder) Flush()                      {}
 
 // InprocTransport builds a Transport that talks to an in-process worker
 // through its real HTTP handler — the full client and server code paths

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective is the annotation that opts a function into the
+// no-allocation contract. It goes in the function's doc comment:
+//
+//	//slacksim:hotpath
+//	func (q *Queue[T]) DrainInto(now int64, buf []T) []T { ... }
+const hotpathDirective = "//slacksim:hotpath"
+
+// HotPathAlloc protects the steady-state allocation profile of
+// checkpoint restore, event-queue drain, and robEntry recycling: after
+// pool warm-up these paths run allocation-free, and that property (a
+// ~24x reduction, measured in PR 3) dies by a thousand innocent-looking
+// appends. Any function carrying //slacksim:hotpath in its doc comment
+// may not contain:
+//
+//   - make() of a slice, map, or channel (fresh backing storage);
+//   - new() or &CompositeLit (heap candidates);
+//   - function literals (closure environments allocate);
+//   - append whose destination is not visibly reusing storage — the
+//     accepted idioms are appending into a slice derived from a slicing
+//     expression (x = append(x[:0], ...)), appending to a caller-provided
+//     buffer parameter, or appending to a target previously reset via a
+//     slicing expression in the same function.
+//
+// Genuinely-unavoidable allocations (pool warm-up, rare resize paths)
+// are waived with `//lint:allow hotpathalloc -- <why>`.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "report allocation sources (make, new, composite-literal address, closures, " +
+		"growing append) inside //slacksim:hotpath functions",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotPathFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isHotPath reports whether the function's doc comment carries the
+// //slacksim:hotpath directive.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotPathFunc(pass *Pass, fd *ast.FuncDecl) {
+	params := paramObjs(pass.Info, fd)
+	// prepared tracks canonical targets that were visibly reset to reused
+	// storage earlier in the function (x = x[:0], x := buf[:0], ...).
+	prepared := map[string]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"function literal in a //slacksim:hotpath function allocates its closure environment; "+
+					"hoist it to a method or a struct-field func set up once")
+			return false
+		case *ast.CallExpr:
+			checkHotPathCall(pass, n, params, prepared)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(),
+						"&composite-literal in a //slacksim:hotpath function heap-allocates; "+
+							"reuse a pooled object instead")
+				}
+			}
+		case *ast.AssignStmt:
+			noteHotPathAssign(pass, n, prepared)
+		}
+		return true
+	})
+}
+
+// noteHotPathAssign records targets reset to reused storage: any
+// assignment (= or :=) whose RHS is a slicing expression marks the LHS
+// canonical path as prepared for later appends.
+func noteHotPathAssign(pass *Pass, as *ast.AssignStmt, prepared map[string]bool) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		if isStorageReuse(pass, ast.Unparen(rhs), nil, prepared) {
+			if c := canonExpr(as.Lhs[i]); c != "" {
+				prepared[c] = true
+			}
+		}
+	}
+}
+
+func checkHotPathCall(pass *Pass, call *ast.CallExpr, params map[types.Object]bool, prepared map[string]bool) {
+	switch {
+	case isBuiltin(pass.Info, call, "make"):
+		kind := "slice"
+		if len(call.Args) > 0 {
+			if t := pass.Info.TypeOf(call.Args[0]); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					kind = "map"
+				case *types.Chan:
+					kind = "channel"
+				}
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"make(%s) in a //slacksim:hotpath function allocates fresh backing storage; "+
+				"preallocate in the constructor and reuse via [:0]/clear()", kind)
+	case isBuiltin(pass.Info, call, "new"):
+		pass.Reportf(call.Pos(),
+			"new() in a //slacksim:hotpath function heap-allocates; recycle through the free list")
+	case isBuiltin(pass.Info, call, "append"):
+		if len(call.Args) == 0 {
+			return
+		}
+		dst := ast.Unparen(call.Args[0])
+		if isStorageReuse(pass, dst, params, prepared) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"append to %s in a //slacksim:hotpath function can grow (allocate); "+
+				"append into a reused backing array (x = append(x[:0], ...)) or a caller-provided buffer",
+			describeTarget(dst))
+	}
+}
+
+// isStorageReuse reports whether an append destination (or assignment
+// source) visibly reuses existing storage:
+//
+//   - a slicing expression (x[:0], buf[:n]) — the canonical reuse idiom;
+//   - a caller-provided parameter (the caller owns amortization);
+//   - a target previously prepared by a slicing assignment;
+//   - a nested append chain whose innermost destination qualifies.
+func isStorageReuse(pass *Pass, e ast.Expr, params map[types.Object]bool, prepared map[string]bool) bool {
+	switch e := e.(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.Ident:
+		if params != nil {
+			if obj := pass.Info.Uses[e]; obj != nil && params[obj] {
+				return true
+			}
+		}
+		return prepared[e.Name]
+	case *ast.SelectorExpr:
+		return prepared[canonExpr(e)]
+	case *ast.IndexExpr:
+		return prepared[canonExpr(e)]
+	case *ast.CallExpr:
+		if isBuiltin(pass.Info, e, "append") && len(e.Args) > 0 {
+			return isStorageReuse(pass, ast.Unparen(e.Args[0]), params, prepared)
+		}
+	}
+	return false
+}
+
+// paramObjs collects the objects of the function's parameters (including
+// named results, which are also caller-visible buffers only when
+// returned — results are excluded; only true parameters qualify).
+func paramObjs(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func describeTarget(e ast.Expr) string {
+	if c := canonExpr(e); c != "" {
+		return c
+	}
+	return "its destination"
+}

@@ -1,0 +1,74 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"slacksim/internal/lint"
+	"slacksim/internal/lint/linttest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestCondLockFixture(t *testing.T) {
+	linttest.Run(t, fixture("condlock"), []*lint.Analyzer{lint.CondLock})
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	linttest.Run(t, fixture("determinism"), []*lint.Analyzer{lint.Determinism})
+}
+
+func TestHotPathAllocFixture(t *testing.T) {
+	linttest.Run(t, fixture("hotpathalloc"), []*lint.Analyzer{lint.HotPathAlloc})
+}
+
+func TestGuardedByFixture(t *testing.T) {
+	linttest.Run(t, fixture("guardedby"), []*lint.Analyzer{lint.GuardedBy})
+}
+
+// TestReasonlessAllowIsReported pins the directive contract: an allow
+// without a reason suppresses its target finding but surfaces as a
+// lintdirective finding of its own.
+func TestReasonlessAllowIsReported(t *testing.T) {
+	pkg, err := lint.LoadDir(fixture("lintdirective"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings, err := pkg.Lint(lint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	var directive, condlock int
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "lintdirective":
+			directive++
+		case "condlock":
+			condlock++
+		}
+	}
+	if directive != 1 {
+		t.Errorf("want exactly 1 lintdirective finding, got %d (%v)", directive, findings)
+	}
+	if condlock != 0 {
+		t.Errorf("the allow should still suppress the condlock finding, got %d (%v)", condlock, findings)
+	}
+}
+
+func TestByName(t *testing.T) {
+	got, err := lint.ByName([]string{"condlock", "guardedby"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "condlock" || got[1].Name != "guardedby" {
+		t.Fatalf("ByName returned %v", got)
+	}
+	if _, err := lint.ByName([]string{"nope"}); err == nil {
+		t.Fatal("ByName should reject unknown analyzer names")
+	}
+	if all, err := lint.ByName(nil); err != nil || len(all) != 4 {
+		t.Fatalf("ByName(nil) = %v, %v; want the full 4-analyzer suite", all, err)
+	}
+}

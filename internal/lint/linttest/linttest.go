@@ -1,0 +1,99 @@
+// Package linttest is a miniature analysistest: it loads a fixture
+// package, runs analyzers over it, and checks the findings against
+// `// want "regexp"` comments placed on the lines they should flag.
+// Lines without a want comment must produce no finding, so every
+// fixture simultaneously tests the positive and negative space of its
+// analyzer.
+package linttest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"slacksim/internal/lint"
+)
+
+// wantRe extracts the expectation pattern from a want comment, written
+// either analysistest-style with backquotes (`// want ` + "`pat`") or
+// with double quotes (`// want "pat"`). The pattern is a regexp matched
+// against the finding message.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(?:`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\")")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture directory, applies the analyzers, and reports
+// any mismatch between findings and want comments as test errors.
+func Run(t *testing.T, dir string, analyzers []*lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re})
+			}
+		}
+	}
+
+	findings, err := pkg.Lint(analyzers)
+	if err != nil {
+		t.Fatalf("lint fixture %s: %v", dir, err)
+	}
+
+	for _, f := range findings {
+		w := matchWant(wants, f)
+		if w == nil {
+			t.Errorf("unexpected finding at %s: %s: %s", f.Position, f.Analyzer, f.Message)
+			continue
+		}
+		w.matched = true
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none",
+				shortPath(w.file), w.line, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*expectation, f lint.Finding) *expectation {
+	for _, w := range wants {
+		if w.matched || w.file != f.Position.Filename || w.line != f.Position.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) || w.re.MatchString(f.Analyzer+": "+f.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+func shortPath(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

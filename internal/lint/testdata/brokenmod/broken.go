@@ -1,0 +1,45 @@
+// Package brokenmod reconstructs the PR 1 parallel-host shutdown bug
+// in miniature: shutdown stores the stop flag and broadcasts the cond
+// WITHOUT holding the mutex. A core that has just evaluated its wait
+// predicate (stop not yet set) but not yet called cond.Wait misses the
+// broadcast and parks forever — the lost wakeup the real engine fixed
+// by moving the Broadcast inside the critical section. slacksimlint's
+// condlock analyzer must flag this module; the regression test in
+// cmd/slacksimlint asserts it does.
+package brokenmod
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type host struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	stop    atomic.Bool
+	blocked int
+}
+
+func newHost() *host {
+	h := &host{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// shutdown wakes every parked worker. BUG: the Broadcast is issued
+// outside h.mu.
+func (h *host) shutdown() {
+	h.stop.Store(true)
+	h.cond.Broadcast()
+}
+
+// park blocks the calling worker until shutdown.
+func (h *host) park() {
+	h.mu.Lock()
+	for !h.stop.Load() {
+		h.blocked++
+		h.cond.Wait()
+		h.blocked--
+	}
+	h.mu.Unlock()
+}

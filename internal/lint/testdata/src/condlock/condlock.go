@@ -1,0 +1,112 @@
+// Fixture for the condlock analyzer: broadcasts/signals outside the
+// cond's critical section must be flagged; the locked idioms (direct
+// lock, defer unlock, cond.L, *Locked convention, justified allow)
+// must pass.
+package condlock
+
+import "sync"
+
+type host struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	stopped bool
+	queue   []int
+}
+
+func newHost() *host {
+	h := &host{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// shutdownBroken is the PR 1 lost-wakeup shape: state is stored and the
+// broadcast issued without holding the cond's mutex.
+func (h *host) shutdownBroken() {
+	h.stopped = true
+	h.cond.Broadcast() // want `not dominated by a Lock`
+}
+
+func (h *host) shutdownFixed() {
+	h.mu.Lock()
+	h.stopped = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+func (h *host) pushDeferred(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.queue = append(h.queue, v)
+	h.cond.Broadcast()
+}
+
+// unlockThenSignal releases the mutex before signalling: a waiter that
+// observed the old state and is about to Wait misses the wakeup.
+func (h *host) unlockThenSignal() {
+	h.mu.Lock()
+	h.stopped = true
+	h.mu.Unlock()
+	h.cond.Signal() // want `not dominated by a Lock`
+}
+
+// goBroadcast broadcasts from a closure that does not take the lock;
+// closures never inherit their definer's lock state.
+func (h *host) goBroadcast() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	go func() {
+		h.cond.Broadcast() // want `not dominated by a Lock`
+	}()
+}
+
+func (h *host) goBroadcastUnderLock() {
+	go func() {
+		h.mu.Lock()
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	}()
+}
+
+// kickLocked relies on the repo-wide convention: *Locked functions
+// require the caller to hold the mutex, so they are exempt.
+func (h *host) kickLocked() {
+	h.cond.Broadcast()
+}
+
+// viaL locks through the cond's own L field.
+func (h *host) viaL() {
+	h.cond.L.Lock()
+	h.cond.Broadcast()
+	h.cond.L.Unlock()
+}
+
+// teardown is single-threaded by construction, so the unlocked
+// broadcast is waived with a written reason.
+func (h *host) teardown() {
+	h.cond.Broadcast() //lint:allow condlock -- teardown runs after all waiters have exited; no Wait can race
+}
+
+// wrongMutex holds a mutex — just not the one the cond was built on.
+type twoLocks struct {
+	mu   sync.Mutex
+	aux  sync.Mutex
+	cond *sync.Cond
+}
+
+func newTwoLocks() *twoLocks {
+	t := &twoLocks{}
+	t.cond = sync.NewCond(&t.aux)
+	return t
+}
+
+func (t *twoLocks) wrongMutex() {
+	t.mu.Lock()
+	t.cond.Broadcast() // want `not dominated by a Lock`
+	t.mu.Unlock()
+}
+
+func (t *twoLocks) rightMutex() {
+	t.aux.Lock()
+	t.cond.Broadcast()
+	t.aux.Unlock()
+}

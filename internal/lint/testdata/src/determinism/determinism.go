@@ -1,0 +1,97 @@
+// Fixture for the determinism analyzer. The package is named engine so
+// it falls inside the result-affecting set; wall-clock reads, global
+// math/rand draws, and map iteration escaping into ordered output are
+// flagged, while seeded generators, sorted collection, and
+// order-insensitive folds pass.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `wall clock`
+}
+
+func wallClockTimer() *time.Ticker {
+	return time.NewTicker(time.Second) // want `wall clock`
+}
+
+func profiled() time.Duration {
+	start := time.Now() //lint:allow determinism -- host-side profiling; value never reaches Results
+	_ = start
+	return time.Since(start) //lint:allow determinism -- host-side profiling; value never reaches Results
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `process-global generator`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+func mapOrderEscapes(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `randomized map order`
+	}
+	return keys
+}
+
+func mapOrderSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `randomized map order`
+	}
+}
+
+func mapSend(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `randomized map order`
+	}
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `order-sensitive`
+	}
+	return sum
+}
+
+func intAccum(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func mapCopy(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := []int(nil)
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

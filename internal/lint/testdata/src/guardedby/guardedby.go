@@ -1,0 +1,96 @@
+// Fixture for the guardedby analyzer: annotated fields must only be
+// touched under their mutex; RLock licenses reads but not writes;
+// *Locked functions and freshly-constructed objects are exempt.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) badInc() {
+	c.n++ // want `without holding`
+}
+
+func (c *counter) badRead() int {
+	return c.n // want `without holding`
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// getLocked is exempt: the caller holds c.mu by convention.
+func (c *counter) getLocked() int {
+	return c.n
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 // fresh object, not yet published
+	return c
+}
+
+func (c *counter) approx() int {
+	return c.n //lint:allow guardedby -- intentionally racy: approximate stat for logging only
+}
+
+type rwBox struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+func (b *rwBox) read() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.v
+}
+
+func (b *rwBox) badWriteUnderRLock() {
+	b.mu.RLock()
+	b.v = 1 // want `exclusive`
+	b.mu.RUnlock()
+}
+
+func (b *rwBox) write(v int) {
+	b.mu.Lock()
+	b.v = v
+	b.mu.Unlock()
+}
+
+// pool/member exercise the qualified Owner.mu form: member records are
+// satellites owned by the pool's lock.
+type pool struct {
+	mu      sync.Mutex
+	members []*member // guarded by mu
+}
+
+type member struct {
+	load int // guarded by pool.mu
+}
+
+func (p *pool) bump(m *member) {
+	p.mu.Lock()
+	m.load++
+	p.mu.Unlock()
+}
+
+func (p *pool) badBump(m *member) {
+	m.load++ // want `without holding`
+}
+
+func (p *pool) closureAccess() func() int {
+	return func() int {
+		return len(p.members) // want `without holding`
+	}
+}

@@ -1,0 +1,63 @@
+// Fixture for the hotpathalloc analyzer: annotated functions may not
+// allocate; the reuse idioms (append into x[:0], caller-provided
+// buffers, prepared targets) pass, and unannotated functions are
+// untouched.
+package hotpathalloc
+
+type queue struct {
+	items   []int
+	scratch []int
+}
+
+//slacksim:hotpath
+func (q *queue) drainGrow() {
+	for _, it := range q.items {
+		q.scratch = append(q.scratch, it) // want `can grow`
+	}
+}
+
+//slacksim:hotpath
+func (q *queue) drainReuse(out []int) []int {
+	q.scratch = q.scratch[:0]
+	for _, it := range q.items {
+		q.scratch = append(q.scratch, it)
+	}
+	out = append(out, q.scratch...)
+	return out
+}
+
+//slacksim:hotpath
+func (q *queue) restore(items []int) {
+	q.items = append(q.items[:0], items...)
+}
+
+//slacksim:hotpath
+func (q *queue) freshSlice(n int) []int {
+	return make([]int, n) // want `allocates fresh backing storage`
+}
+
+//slacksim:hotpath
+func (q *queue) freshMap() map[int]int {
+	return make(map[int]int) // want `make\(map\)`
+}
+
+//slacksim:hotpath
+func (q *queue) closureAlloc(f func(int)) func() {
+	return func() { f(0) } // want `closure environment`
+}
+
+//slacksim:hotpath
+func (q *queue) box() *queue {
+	return &queue{} // want `heap-allocates`
+}
+
+//slacksim:hotpath
+func (q *queue) newEntry() *int {
+	return new(int) //lint:allow hotpathalloc -- pool warm-up: runs only while the free list is empty
+}
+
+// coldPath carries no annotation, so allocations are fine here.
+func (q *queue) coldPath() []int {
+	out := make([]int, 0, len(q.items))
+	return append(out, q.items...)
+}

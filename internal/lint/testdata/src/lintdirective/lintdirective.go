@@ -1,0 +1,21 @@
+// Fixture for the allow-directive rules: a reason-less //lint:allow
+// still suppresses, but is itself reported, so a waiver can never be
+// silent.
+package lintdirective
+
+import "sync"
+
+type box struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func newBox() *box {
+	b := &box{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *box) bareAllow() {
+	b.cond.Broadcast() //lint:allow condlock
+}

@@ -169,6 +169,8 @@ func (m *Memory) StartTracking() {
 // SyncSnapshot brings snap (a full Snapshot kept current since tracking
 // started) up to date by copying only pages written since the last sync
 // or restore.
+//
+//slacksim:hotpath
 func (m *Memory) SyncSnapshot(snap *Memory) {
 	for i := range m.shards {
 		src := &m.shards[i]
@@ -181,7 +183,7 @@ func (m *Memory) SyncSnapshot(snap *Memory) {
 			}
 			q := dst.pages[pn]
 			if q == nil {
-				q = new(page)
+				q = new(page) //lint:allow hotpathalloc -- first sync of a page only; subsequent boundaries reuse it
 				dst.pages[pn] = q
 			}
 			*q = *p
@@ -195,6 +197,8 @@ func (m *Memory) SyncSnapshot(snap *Memory) {
 // written since the last sync: diverged pages are copied back and pages
 // allocated after the checkpoint are deleted (so AllocatedWords — which
 // feeds the checkpoint cost model — matches a deep restore exactly).
+//
+//slacksim:hotpath
 func (m *Memory) RestoreDirty(snap *Memory) {
 	for i := range m.shards {
 		dst := &m.shards[i]

@@ -80,6 +80,12 @@ func Parse(r io.Reader) (map[string]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("promtext: bad value in %q: %w", line, err)
 		}
+		// A duplicate unlabeled sample means the endpoint emitted the same
+		// family twice; last-wins would silently drop one of the values,
+		// so reject the exposition instead.
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("promtext: duplicate metric name %q", name)
+		}
 		out[name] = v
 	}
 	if err := sc.Err(); err != nil {

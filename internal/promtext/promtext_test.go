@@ -1,6 +1,7 @@
 package promtext
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -60,5 +61,79 @@ func TestParseRejectsMalformedLines(t *testing.T) {
 	}
 	if _, err := Parse(strings.NewReader("x not-a-number\n")); err == nil {
 		t.Fatal("expected error for a non-numeric value")
+	}
+}
+
+func TestParseRejectsDuplicateMetricNames(t *testing.T) {
+	_, err := Parse(strings.NewReader("x 1\nx 2\n"))
+	if err == nil || !strings.Contains(err.Error(), "duplicate metric name") {
+		t.Fatalf("expected a duplicate-name error, got %v", err)
+	}
+	// Labeled duplicates of an unlabeled sample are someone else's series
+	// and stay skippable.
+	got, err := Parse(strings.NewReader("x 1\nx{core=\"0\"} 2\nx{core=\"1\"} 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["x"] != 1 || len(got) != 1 {
+		t.Fatalf("parse = %v", got)
+	}
+}
+
+func TestParseExponentFloats(t *testing.T) {
+	got, err := Parse(strings.NewReader("big 1.5e+09\nsmall 2.5e-07\nneg -3e2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["big"] != 1.5e9 || got["small"] != 2.5e-7 || got["neg"] != -300 {
+		t.Fatalf("parse = %v", got)
+	}
+}
+
+// TestNaNAndInfRoundTrip pins the non-finite gauge contract: the Writer
+// emits Go's FormatFloat spellings (NaN, +Inf, -Inf), which both
+// strconv.ParseFloat and the Prometheus text format accept back.
+func TestNaNAndInfRoundTrip(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Gauge("not_a_number", "h", math.NaN())
+	w.Gauge("pos_inf", "h", math.Inf(1))
+	w.Gauge("neg_inf", "h", math.Inf(-1))
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"not_a_number NaN", "pos_inf +Inf", "neg_inf -Inf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	got, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got["not_a_number"]) {
+		t.Errorf("NaN did not round-trip: %v", got["not_a_number"])
+	}
+	if !math.IsInf(got["pos_inf"], 1) || !math.IsInf(got["neg_inf"], -1) {
+		t.Errorf("Inf did not round-trip: %v %v", got["pos_inf"], got["neg_inf"])
+	}
+}
+
+// TestLargeIntegerValues covers the formatValue int fast path at the
+// edges where float64 can no longer represent every integer exactly.
+func TestLargeIntegerValues(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Counter("big_total", "h", 1<<53)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["big_total"] != 1<<53 {
+		t.Fatalf("parse = %v", got)
 	}
 }

@@ -78,14 +78,16 @@ type Job struct {
 	// Created is the admission time.
 	Created time.Time
 
-	mu       sync.Mutex
-	state    State
-	result   any
-	err      error
+	mu     sync.Mutex
+	state  State // guarded by mu
+	result any   // guarded by mu
+	err    error // guarded by mu
+	// done is created once in newJob and closed exactly once in finish;
+	// receiving from it is lock-free by design.
 	done     chan struct{}
-	subs     map[int]chan any
-	nextSub  int
-	lastProg any
+	subs     map[int]chan any // guarded by mu
+	nextSub  int              // guarded by mu
+	lastProg any              // guarded by mu
 }
 
 func newJob(id, key string, payload any) *Job {
@@ -121,6 +123,8 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // blocking the producer: a subscriber whose buffer is full misses the
 // event (progress is a monotone snapshot stream, so the next delivery
 // supersedes it). The latest event is retained for late subscribers.
+//
+//slacksim:hotpath
 func (j *Job) Publish(ev any) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -217,16 +221,16 @@ const DefaultRetention = 4096
 type Queue struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
-	capacity  int
-	retention int
-	pending   []*Job
-	jobs      map[string]*Job
-	terminal  []string // terminal job ids, oldest first
-	running   int
-	closed    bool
-	seq       uint64
+	capacity  int             // guarded by mu
+	retention int             // guarded by mu
+	pending   []*Job          // guarded by mu
+	jobs      map[string]*Job // guarded by mu
+	terminal  []string        // guarded by mu; terminal job ids, oldest first
+	running   int             // guarded by mu
+	closed    bool            // guarded by mu
+	seq       uint64          // guarded by mu
 
-	submitted, rejected, nDone, nFailed, nCancelled uint64
+	submitted, rejected, nDone, nFailed, nCancelled uint64 // guarded by mu
 }
 
 // New builds a queue admitting at most capacity pending jobs (min 1).
@@ -250,9 +254,9 @@ func (q *Queue) SetRetention(n int) {
 	q.mu.Unlock()
 }
 
-// noteTerminal records a terminal job and forgets the oldest terminal
+// noteTerminalLocked records a terminal job and forgets the oldest terminal
 // jobs beyond the retention bound. Callers hold q.mu.
-func (q *Queue) noteTerminal(id string) {
+func (q *Queue) noteTerminalLocked(id string) {
 	q.terminal = append(q.terminal, id)
 	q.sweepLocked()
 }
@@ -293,7 +297,7 @@ func (q *Queue) AddDone(key string, payload, result any) *Job {
 	q.seq++
 	j := newJob(fmt.Sprintf("j%d", q.seq), key, payload)
 	q.jobs[j.ID] = j
-	q.noteTerminal(j.ID)
+	q.noteTerminalLocked(j.ID)
 	q.mu.Unlock()
 	j.finish(Done, result, nil)
 	return j
@@ -354,7 +358,7 @@ func (q *Queue) Cancel(id string) error {
 	}
 	q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
 	q.nCancelled++
-	q.noteTerminal(j.ID)
+	q.noteTerminalLocked(j.ID)
 	q.cond.Broadcast()
 	q.mu.Unlock()
 	j.finish(Cancelled, nil, ErrCancelled)
@@ -382,7 +386,7 @@ func (q *Queue) Finish(j *Job, result any, err error) {
 	case Cancelled:
 		q.nCancelled++
 	}
-	q.noteTerminal(j.ID)
+	q.noteTerminalLocked(j.ID)
 	q.cond.Broadcast()
 	q.mu.Unlock()
 }
@@ -400,7 +404,15 @@ func (q *Queue) Close() {
 // and no job running) or ctx expires. It does not itself stop admission;
 // call Close first for a terminal drain.
 func (q *Queue) Drain(ctx context.Context) error {
-	stop := context.AfterFunc(ctx, func() { q.cond.Broadcast() })
+	// The wakeup must be issued under q.mu: an unlocked Broadcast can
+	// fire in the window between the loop's predicate test below and
+	// cond.Wait, and that waiter would then sleep past the cancellation
+	// (the same lost-wakeup class as the PR 1 parallel-host shutdown bug).
+	stop := context.AfterFunc(ctx, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
 	defer stop()
 	q.mu.Lock()
 	defer q.mu.Unlock()

@@ -30,11 +30,11 @@ type entry[V any] struct {
 // for concurrent use.
 type Cache[V any] struct {
 	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used
-	index    map[string]*list.Element
+	capacity int                      // guarded by mu
+	ll       *list.List               // guarded by mu; front = most recently used
+	index    map[string]*list.Element // guarded by mu
 
-	hits, misses, evictions uint64
+	hits, misses, evictions uint64 // guarded by mu
 }
 
 // New builds a cache holding at most capacity entries (min 1).

@@ -249,6 +249,8 @@ func (u *Uncore) StartTracking() {
 
 // SyncSnapshot brings s (a full Snapshot kept current since tracking
 // started) up to date, copying only dirty L2 sets and status-map lines.
+//
+//slacksim:hotpath
 func (u *Uncore) SyncSnapshot(s *Snapshot) {
 	u.bus.SyncSnapshot(s.bus)
 	u.l2.SyncSnapshot(s.l2)
@@ -259,6 +261,8 @@ func (u *Uncore) SyncSnapshot(s *Snapshot) {
 
 // RestoreDirty rolls the uncore back to s, undoing only state touched
 // since the last sync.
+//
+//slacksim:hotpath
 func (u *Uncore) RestoreDirty(s *Snapshot) {
 	u.bus.Restore(s.bus)
 	u.l2.RestoreDirty(s.l2)

@@ -224,11 +224,14 @@ func (d *Detector) Intervals(endTime int64) []IntervalReport {
 		if total == 0 && endTime > 0 {
 			total = 1
 		}
+		// Accumulate in an integer: the summands are exact and map
+		// iteration order then cannot perturb the total, whereas float
+		// addition is order-sensitive in its low bits.
 		var violating int64
-		var distSum float64
+		var distSum int64
 		for _, first := range is.firstTS {
 			violating++
-			distSum += float64(first % is.Interval)
+			distSum += first % is.Interval
 		}
 		rep := IntervalReport{Interval: is.Interval, TotalIntervals: total}
 		if violating > total {
@@ -239,7 +242,7 @@ func (d *Detector) Intervals(endTime int64) []IntervalReport {
 			rep.FractionViolating = float64(violating) / float64(total)
 		}
 		if violating > 0 {
-			rep.MeanFirstDistance = distSum / float64(len(is.firstTS))
+			rep.MeanFirstDistance = float64(distSum) / float64(len(is.firstTS))
 		}
 		out = append(out, rep)
 	}

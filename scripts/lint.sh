@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# lint.sh — run the slacksimlint analyzer suite (standalone and as a
+# go vet backend) plus govulncheck, failing on any finding.
+#
+# Usage: scripts/lint.sh
+#
+# In CI the script also appends a markdown findings table to
+# $GITHUB_STEP_SUMMARY so a red lint job is readable without opening
+# the logs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=bin/slacksimlint
+mkdir -p bin
+go build -o "$BIN" ./cmd/slacksimlint
+
+summary() {
+  # Append to the GitHub job summary when running in Actions.
+  if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    printf '%s\n' "$@" >> "$GITHUB_STEP_SUMMARY"
+  fi
+}
+
+fail=0
+
+# 1. Standalone mode over the whole module (offline: loads and
+#    type-checks every package from source, fixtures excluded).
+echo "==> slacksimlint (standalone) ./..."
+if ! out=$("./$BIN" . 2>&1); then
+  fail=1
+  echo "$out"
+  summary "## slacksimlint findings" '' '```' "$out" '```'
+else
+  echo "clean"
+fi
+
+# 2. Vet mode: the same analyzers driven by the go command's unitchecker
+#    protocol, which also covers the test variants of every package.
+echo "==> go vet -vettool=$BIN ./..."
+if ! out=$(go vet -vettool="$(pwd)/$BIN" ./... 2>&1); then
+  fail=1
+  echo "$out"
+  summary "## go vet -vettool findings" '' '```' "$out" '```'
+else
+  echo "clean"
+fi
+
+# 3. govulncheck, when installed (the container image may not ship it;
+#    network installs are not assumed).
+if command -v govulncheck >/dev/null 2>&1; then
+  echo "==> govulncheck ./..."
+  if ! out=$(govulncheck ./... 2>&1); then
+    fail=1
+    echo "$out"
+    summary "## govulncheck findings" '' '```' "$out" '```'
+  else
+    echo "clean"
+  fi
+else
+  echo "==> govulncheck not installed; skipping"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+summary "## Lint" '' 'slacksimlint (standalone + vettool) and govulncheck: clean ✅'
+echo "lint: OK"
