@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -53,10 +54,29 @@ func (j *Job) Terminal() bool {
 }
 
 // RetryError reports a 429 admission rejection with the server's
-// suggested backoff.
+// suggested backoff. After is zero when the server sent no (or an
+// unusable) Retry-After header; retry loops must treat zero as
+// "unknown" and apply their own floor, never as "retry immediately".
 type RetryError struct {
 	After time.Duration
 	Msg   string
+}
+
+// minRetryBackoff is the floor applied to 429 retry sleeps. A
+// RetryError whose After is zero (server omitted Retry-After, or an
+// intermediary stripped it) must not turn SubmitWait into a tight
+// submit loop against an already-saturated server.
+const minRetryBackoff = 250 * time.Millisecond
+
+// retryBackoff returns the sleep before the next attempt after a 429:
+// the server's suggestion when it is at least the floor, otherwise a
+// jittered floor (uniform in [0.5x, 1.5x)) so a burst of rejected
+// submitters does not come back in lockstep.
+func retryBackoff(after time.Duration) time.Duration {
+	if after >= minRetryBackoff {
+		return after
+	}
+	return minRetryBackoff/2 + rand.N(minRetryBackoff)
 }
 
 func (e *RetryError) Error() string {
@@ -157,7 +177,10 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return err
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
-		after := time.Second
+		// Report the server's suggestion verbatim; a missing or
+		// unparseable Retry-After yields After == 0 ("unknown"), and the
+		// retry loops are responsible for flooring it.
+		var after time.Duration
 		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
 			after = time.Duration(v) * time.Second
 		}
@@ -220,8 +243,10 @@ func (c *Client) Cancel(ctx context.Context, id string, opts ...Option) (*Job, e
 }
 
 // Wait polls a job until it is terminal or ctx expires; cancellation is
-// honored promptly even mid-sleep. Options bound each poll round trip,
-// not the overall wait.
+// honored promptly even mid-sleep. A 429 on a poll (an overloaded
+// server shedding reads) is not terminal: Wait backs off — with the
+// same floor as SubmitWait — and keeps polling. Options bound each poll
+// round trip, not the overall wait.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, opts ...Option) (*Job, error) {
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
@@ -230,6 +255,15 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, opts .
 	defer tick.Stop()
 	for {
 		j, err := c.Get(ctx, id, opts...)
+		var re *RetryError
+		if errors.As(err, &re) {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(retryBackoff(re.After)):
+				continue
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -244,10 +278,11 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, opts .
 	}
 }
 
-// SubmitWait submits with 429 backoff (honoring Retry-After, but never
-// outliving ctx: the sleep selects on ctx.Done) and then waits for the
-// job to finish: one call that behaves like a local run. Options bound
-// each HTTP round trip.
+// SubmitWait submits with 429 backoff (honoring Retry-After when the
+// server sent one, never sleeping less than a jittered minimum, and
+// never outliving ctx: the sleep selects on ctx.Done) and then waits
+// for the job to finish: one call that behaves like a local run.
+// Options bound each HTTP round trip.
 func (c *Client) SubmitWait(ctx context.Context, sp Spec, poll time.Duration, opts ...Option) (*Job, error) {
 	for {
 		j, err := c.Submit(ctx, sp, opts...)
@@ -256,7 +291,7 @@ func (c *Client) SubmitWait(ctx context.Context, sp Spec, poll time.Duration, op
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
-			case <-time.After(re.After):
+			case <-time.After(retryBackoff(re.After)):
 				continue
 			}
 		}

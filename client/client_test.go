@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -38,6 +39,90 @@ func TestSubmitWait429BackoffHonorsContext(t *testing.T) {
 	}
 	if since := time.Since(start); since > 2*time.Second {
 		t.Fatalf("SubmitWait slept %v into a 30s Retry-After after its context expired", since)
+	}
+}
+
+// TestSubmitWaitBackoffFloorNoRetryAfter: a server answering 429
+// WITHOUT a Retry-After header yields RetryError.After == 0; SubmitWait
+// must apply its jittered minimum backoff instead of hot-looping the
+// submit against the saturated server.
+func TestSubmitWaitBackoffFloorNoRetryAfter(t *testing.T) {
+	var hits atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		// Deliberately no Retry-After header.
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"queue full"}`))
+	}))
+	defer hs.Close()
+	c := client.New(hs.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 700*time.Millisecond)
+	defer cancel()
+	_, err := c.SubmitWait(ctx, testSpec(), time.Millisecond)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// The jittered floor sleeps at least 125ms between attempts, so a
+	// 700ms window admits at most ~6 submits. A tight loop (the bug:
+	// time.After(0) fires immediately) racks up thousands.
+	if n := hits.Load(); n < 2 || n > 10 {
+		t.Fatalf("server saw %d submits in 700ms; want a handful (backoff floor), not a tight loop", n)
+	}
+}
+
+// TestSubmitWaitRecoversAfter429: the backoff loop is not just a delay
+// — once the server has capacity again, SubmitWait goes through.
+func TestSubmitWaitRecoversAfter429(t *testing.T) {
+	var hits atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.WriteHeader(http.StatusTooManyRequests) // no Retry-After
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"id": "j1", "state": "done"})
+	}))
+	defer hs.Close()
+	c := client.New(hs.URL)
+
+	start := time.Now()
+	j, err := c.SubmitWait(context.Background(), testSpec(), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != "j1" || !j.Terminal() {
+		t.Fatalf("job = %+v, want terminal j1", j)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server saw %d submits, want 3 (two 429s, one accept)", n)
+	}
+	// Two floored sleeps of at least 125ms each must have elapsed.
+	if since := time.Since(start); since < 250*time.Millisecond {
+		t.Fatalf("SubmitWait returned in %v; two jittered-floor backoffs should take >= 250ms", since)
+	}
+}
+
+// TestWaitBacksOffOn429: a 429 on a poll round trip is transient — Wait
+// keeps polling (with the backoff floor) instead of failing the wait.
+func TestWaitBacksOffOn429(t *testing.T) {
+	var hits atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.WriteHeader(http.StatusTooManyRequests) // no Retry-After
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"id": "j1", "state": "done"})
+	}))
+	defer hs.Close()
+	j, err := client.New(hs.URL).Wait(context.Background(), "j1", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Terminal() {
+		t.Fatalf("job = %+v, want terminal", j)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server saw %d polls, want 3", n)
 	}
 }
 

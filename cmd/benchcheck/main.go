@@ -1,0 +1,165 @@
+// Command benchcheck compares a freshly measured benchmark JSON (the
+// output of scripts/bench.sh) against the committed BENCH_*.json
+// baseline and fails on erosion: ns/op or allocs/op worse than the
+// baseline by more than the tolerance factor. CI's bench-smoke job runs
+// it so a PR cannot silently regress the host-performance work the
+// baselines pin down.
+//
+// Allocation counts are deterministic, so their tolerance is tight;
+// wall-clock ns/op on shared CI runners is noisy, so its tolerance is
+// loose by default and meant to catch structural regressions (a lock
+// back on the hot path), not scheduling jitter.
+//
+//	benchcheck -current /tmp/now.json                 # baseline auto-picked
+//	benchcheck -baseline BENCH_PR3.json -current /tmp/now.json
+//	benchcheck -current /tmp/now.json -ns-tol 2.0 -allocs-tol 1.05
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+type benchFile struct {
+	Benchtime string  `json:"benchtime"`
+	Results   []entry `json:"results"`
+}
+
+type entry struct {
+	Name        string   `json:"name"`
+	Iters       int64    `json:"iters"`
+	NsPerOp     *float64 `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]entry, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]entry, len(f.Results))
+	for _, e := range f.Results {
+		m[e.Name] = e
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return m, nil
+}
+
+// latestBaseline picks the lexically last BENCH_*.json in dir — the
+// newest PR's baseline, given the BENCH_PR<n>.json naming convention.
+func latestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json baseline found in %s", dir)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline JSON (default: lexically latest BENCH_*.json in -dir)")
+	current := flag.String("current", "", "freshly measured JSON to check (required)")
+	dir := flag.String("dir", ".", "directory searched for the default baseline")
+	nsTol := flag.Float64("ns-tol", 1.5, "max allowed current/baseline ratio for ns/op")
+	allocsTol := flag.Float64("allocs-tol", 1.10, "max allowed current/baseline ratio for allocs/op")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -current is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *baseline == "" {
+		b, err := latestBaseline(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		*baseline = b
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	report, failures := compare(base, cur, *nsTol, *allocsTol)
+	fmt.Printf("benchcheck: %s vs baseline %s (ns-tol %.2fx, allocs-tol %.2fx)\n", *current, *baseline, *nsTol, *allocsTol)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: OK")
+}
+
+// compare returns a per-benchmark report and the list of erosion
+// failures. Benchmarks present on only one side are reported but never
+// fatal: renames and new benchmarks must not break the gate.
+func compare(base, cur map[string]entry, nsTol, allocsTol float64) (report, failures []string) {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := cur[name]
+		b, ok := base[name]
+		if !ok {
+			report = append(report, fmt.Sprintf("  %-60s new (no baseline)", name))
+			continue
+		}
+		line := fmt.Sprintf("  %-60s", name)
+		if r, bad := ratio(b.NsPerOp, c.NsPerOp, nsTol); r != "" {
+			line += " ns/op " + r
+			if bad {
+				failures = append(failures, fmt.Sprintf("%s ns/op %s exceeds %.2fx tolerance", name, r, nsTol))
+			}
+		}
+		if r, bad := ratio(b.AllocsPerOp, c.AllocsPerOp, allocsTol); r != "" {
+			line += " allocs/op " + r
+			if bad {
+				failures = append(failures, fmt.Sprintf("%s allocs/op %s exceeds %.2fx tolerance", name, r, allocsTol))
+			}
+		}
+		report = append(report, line)
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			report = append(report, fmt.Sprintf("  %-60s dropped (baseline only)", name))
+		}
+	}
+	sort.Strings(report)
+	return report, failures
+}
+
+// ratio formats current/baseline and reports whether it exceeds tol.
+// A missing metric on either side, or a zero baseline (nothing to
+// erode), yields no verdict.
+func ratio(b, c *float64, tol float64) (string, bool) {
+	if b == nil || c == nil || *b <= 0 {
+		return "", false
+	}
+	r := *c / *b
+	return fmt.Sprintf("%.3fx", r), r > tol
+}

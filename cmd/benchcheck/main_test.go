@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func f(v float64) *float64 { return &v }
+
+func TestCompareFlagsErosion(t *testing.T) {
+	base := map[string]entry{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: f(1000), AllocsPerOp: f(100)},
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: f(1000), AllocsPerOp: f(100)},
+		"BenchmarkC": {Name: "BenchmarkC", NsPerOp: f(1000), AllocsPerOp: f(100)},
+	}
+	cur := map[string]entry{
+		// Inside both tolerances: faster and fewer allocs.
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: f(800), AllocsPerOp: f(90)},
+		// ns/op erosion beyond 1.5x.
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: f(1600), AllocsPerOp: f(100)},
+		// allocs/op erosion beyond 1.10x, ns/op fine.
+		"BenchmarkC": {Name: "BenchmarkC", NsPerOp: f(1100), AllocsPerOp: f(120)},
+	}
+	_, failures := compare(base, cur, 1.5, 1.10)
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want 2 (B ns, C allocs)", failures)
+	}
+	joined := strings.Join(failures, "\n")
+	if !strings.Contains(joined, "BenchmarkB ns/op") || !strings.Contains(joined, "BenchmarkC allocs/op") {
+		t.Fatalf("wrong failures: %v", failures)
+	}
+}
+
+func TestCompareNewAndDroppedAreNotFatal(t *testing.T) {
+	base := map[string]entry{
+		"BenchmarkOld": {Name: "BenchmarkOld", NsPerOp: f(1000), AllocsPerOp: f(10)},
+	}
+	cur := map[string]entry{
+		"BenchmarkNew": {Name: "BenchmarkNew", NsPerOp: f(9999), AllocsPerOp: f(9999)},
+	}
+	report, failures := compare(base, cur, 1.5, 1.10)
+	if len(failures) != 0 {
+		t.Fatalf("rename/new benchmarks must not fail the gate: %v", failures)
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "new (no baseline)") || !strings.Contains(joined, "dropped (baseline only)") {
+		t.Fatalf("report missing new/dropped notes:\n%s", joined)
+	}
+}
+
+func TestCompareMissingMetricsSkipped(t *testing.T) {
+	base := map[string]entry{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: f(1000)}, // no allocs in baseline
+		"BenchmarkZ": {Name: "BenchmarkZ", NsPerOp: f(0), AllocsPerOp: f(0)},
+	}
+	cur := map[string]entry{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: f(1000), AllocsPerOp: f(50)},
+		"BenchmarkZ": {Name: "BenchmarkZ", NsPerOp: f(5), AllocsPerOp: f(5)},
+	}
+	// A zero or absent baseline metric yields no verdict — never a panic
+	// or a divide-by-zero "regression".
+	if _, failures := compare(base, cur, 1.5, 1.10); len(failures) != 0 {
+		t.Fatalf("failures = %v, want none", failures)
+	}
+}

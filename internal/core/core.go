@@ -110,8 +110,15 @@ type Core struct {
 	// in-flight producer, or -1.
 	mapTable [isa.NumRegs]int
 
+	// rob is a head-index deque: the live window is rob[robHead:], so
+	// retiring the head is an index bump that keeps the slice's capacity
+	// (append-per-dispatch stops allocating once the backing array has
+	// grown to the ROB size). Window seqs are contiguous — dispatch
+	// appends nextSeq++, commit pops the head, a squash truncates the
+	// tail and rewinds nextSeq — so seq lookup is index arithmetic off
+	// the head entry's seq (see bySeq) and no seq→entry map is needed.
 	rob      []*robEntry
-	seqMap   map[int]*robEntry
+	robHead  int
 	nextSeq  int
 	fetchBuf []fetched
 
@@ -130,8 +137,8 @@ type Core struct {
 	// freeList recycles robEntry allocations: dispatch pops from it and
 	// retire/flush/restore push onto it, so the steady-state pipeline
 	// allocates no entries at all. Safe because entries are referenced
-	// only through rob and seqMap, both of which drop an entry before it
-	// is freed.
+	// only through the rob window, which drops an entry before it is
+	// freed.
 	freeList []*robEntry
 }
 
@@ -174,7 +181,6 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory, sc *syncctl.Controller,
 		dmshr: cache.NewMSHRFile(cfg.DataMSHRs),
 		pred:  NewPredictor(cfg.BimodalEntries),
 
-		seqMap:       make(map[int]*robEntry),
 		serializeSeq: -1,
 	}
 	for i := range c.mapTable {
@@ -214,8 +220,39 @@ func (c *Core) L1D() *cache.Cache { return c.l1d }
 // Reg returns the architectural value of register r (committed state).
 func (c *Core) Reg(r isa.Reg) uint64 { return c.regs[r] }
 
+// robs returns the live ROB window, oldest first.
+//
+//slacksim:hotpath
+func (c *Core) robs() []*robEntry { return c.rob[c.robHead:] }
+
+// robLen returns the number of in-flight ROB entries.
+//
+//slacksim:hotpath
+func (c *Core) robLen() int { return len(c.rob) - c.robHead }
+
+// bySeq returns the in-flight entry with the given seq, or nil when that
+// seq has committed, been squashed, or never dispatched. Window seqs are
+// contiguous (see the rob field comment), so the lookup is bounds-checked
+// index arithmetic off the head entry.
+//
+//slacksim:hotpath
+func (c *Core) bySeq(seq int) *robEntry {
+	if c.robHead >= len(c.rob) {
+		return nil
+	}
+	first := c.rob[c.robHead].seq
+	if seq < first {
+		return nil
+	}
+	i := c.robHead + (seq - first)
+	if i >= len(c.rob) {
+		return nil
+	}
+	return c.rob[i]
+}
+
 // InFlight returns the number of ROB entries, for tests.
-func (c *Core) InFlight() int { return len(c.rob) }
+func (c *Core) InFlight() int { return c.robLen() }
 
 func (c *Core) codeLine(pc int) uint64 {
 	return cache.LineAddr(c.cfg.CodeBase + uint64(pc)*isa.InstBytes)
@@ -275,7 +312,7 @@ func (c *Core) operand(e *robEntry, i int, reg isa.Reg) (val uint64, ready bool)
 	if p < 0 {
 		return c.regs[reg], true
 	}
-	pe := c.seqMap[p]
+	pe := c.bySeq(p)
 	if pe == nil {
 		// Producer committed after e dispatched; its value reached the
 		// architectural register file.
@@ -289,5 +326,5 @@ func (c *Core) operand(e *robEntry, i int, reg isa.Reg) (val uint64, ready bool)
 
 func (c *Core) String() string {
 	return fmt.Sprintf("core%d{t=%d pc=%d rob=%d halted=%v}",
-		c.cfg.ID, c.now, c.fetchPC, len(c.rob), c.halted)
+		c.cfg.ID, c.now, c.fetchPC, c.robLen(), c.halted)
 }

@@ -60,7 +60,7 @@ func (c *Core) applyReply(msg event.Msg) {
 		c.sendReq(coherence.BusWB, victim.LineAddr)
 	}
 	for _, seq := range waiters {
-		e := c.seqMap[seq]
+		e := c.bySeq(seq)
 		if e == nil || e.state != stWaitMem {
 			continue // squashed or already satisfied
 		}
@@ -87,8 +87,8 @@ func (c *Core) applySnoop(msg event.Msg) {
 		// heavily-contended line livelocks — every core's ownership fill
 		// is revoked by the next core's queued snoop before the store at
 		// the head of the ROB can commit.
-		if len(c.rob) > 0 {
-			e := c.rob[0]
+		if c.robLen() > 0 {
+			e := c.rob[c.robHead]
 			if e.inst.Op == isa.Store && e.state == stDone && !e.written &&
 				e.addrValid && cache.LineAddr(e.addr) == msg.LineAddr &&
 				c.l1d.State(msg.LineAddr).CanWrite() {
@@ -106,8 +106,8 @@ func (c *Core) applySnoop(msg event.Msg) {
 // commit retires up to CommitWidth instructions from the head of the ROB.
 // Synchronization instructions execute here, non-speculatively.
 func (c *Core) commit() {
-	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
-		e := c.rob[0]
+	for n := 0; n < c.cfg.CommitWidth && c.robLen() > 0; n++ {
+		e := c.rob[c.robHead]
 		switch e.inst.Op.Class() {
 		case isa.ClassSync:
 			if !c.commitSync(e) {
@@ -137,9 +137,23 @@ func (c *Core) commit() {
 	}
 }
 
+//slacksim:hotpath
 func (c *Core) retireHead(e *robEntry) {
-	c.rob = c.rob[1:]
-	delete(c.seqMap, e.seq)
+	c.rob[c.robHead] = nil
+	c.robHead++
+	if c.robHead == len(c.rob) {
+		// Window empty: reset to the start of the backing array so the
+		// full capacity is reusable and bySeq never walks a long prefix.
+		c.rob = c.rob[:0]
+		c.robHead = 0
+	} else if c.robHead >= 32 && c.robHead*2 >= len(c.rob) {
+		// Amortized compaction: copy the window down once the dead prefix
+		// dominates, so the backing array stays bounded by ~2×ROBSize.
+		n := copy(c.rob, c.rob[c.robHead:])
+		clear(c.rob[n:])
+		c.rob = c.rob[:n]
+		c.robHead = 0
+	}
 	if c.mapTable[e.inst.Dst] == e.seq {
 		c.mapTable[e.inst.Dst] = -1
 	}
@@ -237,8 +251,9 @@ func (c *Core) commitStore(e *robEntry) bool {
 // completeExec marks issued instructions whose latency elapsed as done and
 // resolves branches, flushing on mispredictions.
 func (c *Core) completeExec() {
-	for i := 0; i < len(c.rob); i++ {
-		e := c.rob[i]
+	rob := c.robs()
+	for i := 0; i < len(rob); i++ {
+		e := rob[i]
 		if e.state != stIssued || e.doneAt > c.now {
 			continue
 		}
@@ -262,24 +277,32 @@ func (c *Core) completeExec() {
 	}
 }
 
-// flushAfter squashes every ROB entry younger than index i and the entire
-// fetch buffer, then rebuilds the map table from the surviving entries.
+// flushAfter squashes every ROB entry younger than window index i and the
+// entire fetch buffer, then rebuilds the map table from the surviving
+// entries. nextSeq rewinds to just past the youngest survivor so window
+// seqs stay contiguous (the bySeq invariant). Reusing squashed seqs is
+// safe: the only external holders of seqs are MSHR waiter lists, and a
+// reused-seq entry waiting on the same line necessarily merged into the
+// same outstanding MSHR entry, so a wakeup through the stale seq is a
+// wakeup the entry was owed anyway (applyReply re-checks state and line).
 func (c *Core) flushAfter(i int) {
 	c.stats.Flushes++
-	for j := i + 1; j < len(c.rob); j++ {
-		e := c.rob[j]
-		delete(c.seqMap, e.seq)
+	w := c.robs()
+	for j := i + 1; j < len(w); j++ {
+		e := w[j]
 		if c.serializeSeq == e.seq {
 			c.serializeSeq = -1
 		}
 		c.freeEntry(e)
+		w[j] = nil
 	}
-	c.rob = c.rob[:i+1]
+	c.rob = c.rob[:c.robHead+i+1]
+	c.nextSeq = w[i].seq + 1
 	c.fetchBuf = c.fetchBuf[:0]
 	for r := range c.mapTable {
 		c.mapTable[r] = -1
 	}
-	for _, e := range c.rob {
+	for _, e := range c.robs() {
 		if writesDest(e.inst) {
 			c.mapTable[e.inst.Dst] = e.seq
 		}
@@ -294,8 +317,9 @@ func (c *Core) issue() {
 	memPorts := c.cfg.MemPortsPerCycle
 	fpOps := c.cfg.FPopsPerCycle
 	divs := c.cfg.DivsPerCycle
-	for i := 0; i < len(c.rob) && slots > 0; i++ {
-		e := c.rob[i]
+	rob := c.robs()
+	for i := 0; i < len(rob) && slots > 0; i++ {
+		e := rob[i]
 		if e.state != stDispatched {
 			continue
 		}
@@ -384,8 +408,9 @@ func (c *Core) issueLoad(idx int, e *robEntry, base uint64) bool {
 	// Disambiguate: every older store must have a known address; the
 	// youngest older store to the same word forwards its value.
 	var fwd *robEntry
+	rob := c.robs()
 	for i := 0; i < idx; i++ {
-		s := c.rob[i]
+		s := rob[i]
 		if s.inst.Op != isa.Store {
 			continue
 		}
@@ -455,7 +480,7 @@ func (c *Core) issueStore(e *robEntry) bool {
 // serialize: nothing younger dispatches until they commit.
 func (c *Core) dispatch() {
 	k := 0
-	for n := 0; n < c.cfg.IssueWidth && k < len(c.fetchBuf) && len(c.rob) < c.cfg.ROBSize; n++ {
+	for n := 0; n < c.cfg.IssueWidth && k < len(c.fetchBuf) && c.robLen() < c.cfg.ROBSize; n++ {
 		if c.serializeSeq >= 0 {
 			break
 		}
@@ -481,7 +506,6 @@ func (c *Core) dispatch() {
 			c.serializeSeq = e.seq
 		}
 		c.rob = append(c.rob, e)
-		c.seqMap[e.seq] = e
 	}
 	if k > 0 {
 		c.fetchBuf = c.fetchBuf[:copy(c.fetchBuf, c.fetchBuf[k:])]

@@ -52,8 +52,8 @@ func (c *Core) Snapshot() *Snapshot {
 		dmshr:           c.dmshr.Snapshot(),
 		pred:            c.pred.Snapshot(),
 	}
-	s.rob = make([]robEntry, len(c.rob))
-	for i, e := range c.rob {
+	s.rob = make([]robEntry, c.robLen())
+	for i, e := range c.robs() {
 		s.rob[i] = *e
 	}
 	s.fetchBuf = append([]fetched(nil), c.fetchBuf...)
@@ -77,16 +77,16 @@ func (c *Core) restoreScalars(s *Snapshot) {
 	c.reqID = s.reqID
 	c.stats = s.stats
 
-	for _, e := range c.rob {
+	for _, e := range c.robs() {
 		c.freeEntry(e)
 	}
+	clear(c.rob)
 	c.rob = c.rob[:0]
-	clear(c.seqMap)
+	c.robHead = 0
 	for i := range s.rob {
 		e := c.allocEntry()
 		*e = s.rob[i]
 		c.rob = append(c.rob, e)
-		c.seqMap[e.seq] = e
 	}
 	c.fetchBuf = append(c.fetchBuf[:0], s.fetchBuf...)
 }
@@ -132,7 +132,7 @@ func (c *Core) SyncSnapshot(s *Snapshot) {
 	s.stats = c.stats
 
 	s.rob = s.rob[:0]
-	for _, e := range c.rob {
+	for _, e := range c.robs() {
 		s.rob = append(s.rob, *e)
 	}
 	s.fetchBuf = append(s.fetchBuf[:0], c.fetchBuf...)
@@ -165,11 +165,12 @@ func (c *Core) StateEqual(o *Core) bool {
 		c.fetchPC != o.fetchPC || c.fetchStallUntil != o.fetchStallUntil ||
 		c.serializeSeq != o.serializeSeq || c.nextSeq != o.nextSeq ||
 		c.halted != o.halted || c.reqID != o.reqID || c.stats != o.stats ||
-		len(c.rob) != len(o.rob) || len(c.fetchBuf) != len(o.fetchBuf) {
+		c.robLen() != o.robLen() || len(c.fetchBuf) != len(o.fetchBuf) {
 		return false
 	}
-	for i := range c.rob {
-		if *c.rob[i] != *o.rob[i] {
+	cw, ow := c.robs(), o.robs()
+	for i := range cw {
+		if *cw[i] != *ow[i] {
 			return false
 		}
 	}

@@ -107,9 +107,10 @@ func (r *detRun) fullSnapshot() *globalSnapshot {
 
 // syncCheckpoint brings the evolving snapshot up to date by copying only
 // dirty component state; engine-level slices are small and refreshed into
-// reused backing arrays. The synchronization controller and violation
-// detector keep deep copies: their state is tiny compared to the caches
-// and memory image, and they have no single mutation funnel to track.
+// reused backing arrays. The synchronization controller syncs in place
+// (its maps are reused across boundaries); the violation detector keeps a
+// deep copy — its state is tiny and has no single mutation funnel to
+// track.
 //
 //slacksim:hotpath
 func (r *detRun) syncCheckpoint(s *globalSnapshot) {
@@ -120,7 +121,7 @@ func (r *detRun) syncCheckpoint(s *globalSnapshot) {
 	s.gq = append(s.gq[:0], r.gq...)
 	r.m.unc.SyncSnapshot(s.unc)
 	r.m.mem.SyncSnapshot(s.mem)
-	s.sync = r.m.sync.Snapshot()
+	r.m.sync.SyncSnapshot(s.sync)
 	s.det = r.m.det.Snapshot()
 	if r.ctrl != nil {
 		s.ctrl = r.ctrl.Snapshot()

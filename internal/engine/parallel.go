@@ -35,26 +35,39 @@ type p2pState struct {
 // manager recomputes the global time (the minimum local time) and raises
 // the max local times according to the scheme.
 //
-// Memory-model contract (the invariants the pacing protocol relies on):
+// Memory-model contract (the invariants the pacing protocol relies on).
+// Pacing is an eventcount (epoch/atomic) protocol: the fast path is
+// lock-free on both sides, and mu/cond serve only as the futex-style slow
+// path for cores that have exhausted their spin budget. DESIGN.md §13
+// gives the full protocol and its lost-wakeup proof; the invariants are:
 //
 //   - localTime[i], committed[i] and retired[i] are written only by core
 //     i's goroutine and read by the manager and watchdog through the
 //     atomics; maxLocal[i] is written only by the manager (and once at
 //     startup before the core goroutines exist) and read by core i.
+//     All are Go atomics, which are sequentially consistent.
 //   - stop is sticky: it transitions false→true exactly once.
-//   - Any write that can unpark a core — raising maxLocal[i] or setting
-//     stop — must be followed by cond.Broadcast() *while holding mu*. A
-//     core parks by testing stop/maxLocal and then blocking in cond.Wait
-//     inside one mu critical section, so a broadcast issued under mu can
-//     never land in the window between the core's test and its wait. A
-//     broadcast outside mu can (the classic lost wakeup): the core
-//     observes the old state, the signaler stores and broadcasts while
-//     the core is between its test and cond.Wait, and the core then
-//     sleeps forever. All shutdown paths therefore go through shutdown().
+//   - A publication (any write that can unpark a core: raising
+//     maxLocal[i], or setting stop) is: store the state atomically, bump
+//     epoch, then — only if waiters != 0 — Broadcast *while holding mu*.
+//   - A core parks by: incrementing waiters, acquiring mu, re-testing
+//     stop/maxLocal, and only then blocking in cond.Wait. The seq-cst
+//     total order makes the waiters gate safe: if the publisher read
+//     waiters == 0, the waiter's increment came later, so the waiter's
+//     re-test (later still) sees the published state and never blocks;
+//     if the publisher read waiters != 0, its Broadcast runs under mu
+//     and therefore cannot land between the waiter's re-test and its
+//     Wait (the waiter holds mu across that window).
+//   - epoch orders publications for spinning cores: a spin loop may use
+//     a stale epoch only to spin longer, never to miss state (it re-reads
+//     maxLocal/stop directly each iteration).
 //   - parked[i] is guarded by mu; it is only meaningful while core i
-//     holds mu or is blocked in cond.Wait.
+//     holds mu or is blocked in cond.Wait. The manager's checkpoint
+//     quiesce reads it under mu, which also blocks parked cores from
+//     resuming mid-inspection (they must reacquire mu to leave Wait).
 //   - global is owned by the manager goroutine; globalNow mirrors it for
-//     the watchdog. gqDepth mirrors len(gq) the same way.
+//     the watchdog. gqDepth mirrors the pending-request count the same
+//     way.
 type parRun struct {
 	m   *Machine
 	cfg RunConfig
@@ -64,6 +77,12 @@ type parRun struct {
 	committed []atomic.Uint64
 	retired   []atomic.Bool
 	stop      atomic.Bool
+
+	// epoch counts pacing publications (maxLocal raises and shutdown);
+	// waiters counts cores committed to the futex-style slow path. See
+	// the memory-model contract above and publish/waitForPacing below.
+	epoch   atomic.Uint64
+	waiters atomic.Int32
 
 	// interrupt caches cfg.Interrupt so the hot loops poll one pointer
 	// instead of copying the whole config (which would race with the
@@ -82,7 +101,13 @@ type parRun struct {
 
 	suspensions atomic.Uint64
 
+	// gq holds pending requests for eager servicing and doubles as the
+	// reused collection scratch for conservative servicing, where the
+	// pending set itself lives in bands (bucketed by timestamp band, so
+	// each service pass touches only the requests at the horizon instead
+	// of sorting the whole backlog).
 	gq      []pendingReq
+	bands   *event.Bands[pendingReq]
 	arrival uint64
 	meter   costMeter
 	global  int64
@@ -110,6 +135,12 @@ type parRun struct {
 	ckptCores []*core.Snapshot
 	drainBuf  []event.Request
 }
+
+// gqBandShift sets the banded pending queue's granularity (1<<shift
+// cycles per band): small enough that a conservative service pass filters
+// at most one boundary band, large enough that the window stays a handful
+// of bands under CC pacing.
+const gqBandShift = 4
 
 // sortPending orders queued requests by (timestamp, core, arrival), the
 // target machine's arbitration order used for conservative servicing.
@@ -161,6 +192,9 @@ func RunParallel(m *Machine, cfg RunConfig) (Results, error) {
 		interrupt: cfg.Interrupt,
 	}
 	r.cond = sync.NewCond(&r.mu)
+	if cfg.Scheme.conservative() {
+		r.bands = event.NewBands[pendingReq](gqBandShift)
+	}
 	if cfg.Scheme.Kind == Adaptive {
 		ctrl, err := adaptive.New(cfg.Scheme.Adaptive)
 		if err != nil {
@@ -221,12 +255,33 @@ func RunParallel(m *Machine, cfg RunConfig) (Results, error) {
 	return r.results(time.Since(start)), nil //lint:allow determinism -- host wall-time feeds Results.HostDuration (a measurement), never simulated state
 }
 
-// shutdown raises stop and wakes every parked core. Per the memory-model
-// contract on parRun, the store and broadcast happen under mu so a core
-// between its park test and cond.Wait cannot miss the wakeup.
+// shutdown raises stop and wakes every parked core. Shutdown is rare, so
+// it broadcasts unconditionally (no waiters gate): the store happens
+// before the broadcast, and the broadcast is under mu, so a core between
+// its park re-test and cond.Wait cannot miss the wakeup (it holds mu
+// across that window; see the memory-model contract).
 func (r *parRun) shutdown() {
-	r.mu.Lock()
 	r.stop.Store(true)
+	r.epoch.Add(1)
+	r.mu.Lock()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// publish makes a pacing change (new maxLocal values) visible: bump the
+// epoch, then wake the slow-path waiters if there are any. The fast path
+// — no core parked — is two atomic operations and never touches mu.
+//
+//slacksim:hotpath
+func (r *parRun) publish() {
+	r.epoch.Add(1)
+	if r.waiters.Load() == 0 {
+		// Every core is running or spinning; spinners re-read the pacing
+		// atomics directly, and any core that parks after this point
+		// re-tests them before blocking (see waitForPacing).
+		return
+	}
+	r.mu.Lock()
 	r.cond.Broadcast()
 	r.mu.Unlock()
 }
@@ -260,6 +315,56 @@ func (r *parRun) kickManager() {
 // prove a broadcast issued under mu cannot land there. Always nil in
 // production runs.
 var parkHook func(core int)
+
+// parkSpinYields is the spin budget a core burns (as runtime.Gosched
+// yields, so the manager gets the CPU even on a single-processor host)
+// before falling back to the futex-style park. Pacing raises normally
+// land within a few manager iterations, so most wall hits resolve in the
+// spin phase without ever touching mu.
+const parkSpinYields = 32
+
+// pacingClear reports whether core i may advance again: the run is
+// stopping (the episode ends and the outer loop exits) or the wall has
+// been raised past the core's clock.
+//
+//slacksim:hotpath
+func (r *parRun) pacingClear(i int, now int64) bool {
+	return r.stop.Load() || now < r.maxLocal[i].Load()
+}
+
+// waitForPacing is one wall-hit episode for core i: kick the manager,
+// spin-then-park until the wall rises or the run stops. The suspension
+// counter counts episodes, not wakeups.
+func (r *parRun) waitForPacing(i int, now int64) {
+	r.suspensions.Add(1)
+	r.kickManager()
+	for n := 0; n < parkSpinYields; n++ {
+		if r.pacingClear(i, now) {
+			return
+		}
+		runtime.Gosched()
+	}
+	// Futex-style slow path. The waiters increment must precede the mu
+	// re-test: a publisher that observed waiters == 0 (and so skipped its
+	// broadcast) published strictly before this increment in the seq-cst
+	// order, so the re-test below sees its state and never blocks.
+	e := r.epoch.Load()
+	r.waiters.Add(1)
+	r.mu.Lock()
+	r.parked[i] = true
+	r.kickManager() // the manager may be waiting on parked[i] to quiesce
+	for r.epoch.Load() == e && !r.pacingClear(i, now) {
+		if parkHook != nil {
+			parkHook(i)
+		}
+		r.cond.Wait()
+	}
+	// The epoch moved or the wall rose; either way re-test from the core
+	// loop (an epoch bump always implies new pacing state or shutdown).
+	r.parked[i] = false
+	r.mu.Unlock()
+	r.waiters.Add(-1)
+}
 
 // coreLoop is one core thread: advance while below the max local time,
 // park when the wall is hit, exit on halt or stop.
@@ -308,18 +413,7 @@ func (r *parRun) coreLoop(i int) {
 		// Suspend until the manager raises the max local time. This is
 		// the synchronization cost cycle-by-cycle simulation pays every
 		// cycle and unbounded slack never pays.
-		r.suspensions.Add(1)
-		r.mu.Lock()
-		r.parked[i] = true
-		r.kickManager()
-		for !r.stop.Load() && c.Now() >= r.maxLocal[i].Load() {
-			if parkHook != nil {
-				parkHook(i)
-			}
-			r.cond.Wait()
-		}
-		r.parked[i] = false
-		r.mu.Unlock()
+		r.waitForPacing(i, c.Now())
 	}
 }
 
@@ -376,12 +470,12 @@ func (r *parRun) managerLoop() {
 			if r.nextCkpt > 0 && r.global == r.nextCkpt && !r.tryCheckpoint() {
 				// Wait for the stragglers to park at the boundary.
 			}
-			// Raise the max local times. Stores and broadcast happen under
-			// mu (see the parRun contract): a core that read the old wall
-			// and is about to park must either see the new value in its
-			// re-test under mu or be woken by this broadcast.
+			// Raise the max local times: lock-free stores followed by one
+			// publication. Spinning cores observe the stores directly; a
+			// core headed for the slow path re-tests them before blocking
+			// (see the memory-model contract), so no mu is taken here
+			// unless a waiter is actually parked.
 			ml := r.maxLocalNow()
-			r.mu.Lock()
 			changed := false
 			for i := range r.maxLocal {
 				if r.maxLocal[i].Load() != ml {
@@ -390,9 +484,8 @@ func (r *parRun) managerLoop() {
 				}
 			}
 			if changed {
-				r.cond.Broadcast()
+				r.publish()
 			}
-			r.mu.Unlock()
 			if r.quietQueues() {
 				break
 			}
@@ -463,10 +556,22 @@ func (r *parRun) drainAll() {
 		r.drainBuf = r.m.outQs[i].DrainInto(r.drainBuf[:0])
 		for _, req := range r.drainBuf {
 			r.arrival++
-			r.gq = append(r.gq, pendingReq{req: req, arr: r.arrival}) //lint:allow hotpathalloc -- gq's backing array is reused across boundaries (truncated to gq[:0] by service); growth is amortized
+			if r.bands != nil {
+				r.bands.Add(req.TS, pendingReq{req: req, arr: r.arrival})
+			} else {
+				r.gq = append(r.gq, pendingReq{req: req, arr: r.arrival}) //lint:allow hotpathalloc -- gq's backing array is reused across boundaries (truncated to gq[:0] by service); growth is amortized
+			}
 		}
 	}
-	r.gqDepth.Store(int64(len(r.gq)))
+	r.gqDepth.Store(int64(r.pendingLen()))
+}
+
+// pendingLen is the number of unserviced requests (banded or flat).
+func (r *parRun) pendingLen() int {
+	if r.bands != nil {
+		return r.bands.Len()
+	}
+	return len(r.gq)
 }
 
 func (r *parRun) service() {
@@ -481,23 +586,39 @@ func (r *parRun) service() {
 	r.gqDepth.Store(0)
 }
 
+// serviceConservative serves every pending request with TS < safeTime in
+// the target's arbitration order. The pending set lives in time bands, so
+// the collection touches only the requests at the horizon and the sort
+// runs over exactly the batch being served — the far future is never
+// scanned. The served sequence is identical to sorting the whole backlog
+// and serving the prefix: TakeBelow returns exactly the set {TS <
+// safeTime}, and (TS, core, arrival) is a total order.
 func (r *parRun) serviceConservative(safeTime int64) {
-	if len(r.gq) == 0 {
-		return
+	r.gq = r.bands.TakeBelow(safeTime, r.gq[:0])
+	if len(r.gq) > 0 {
+		sortPending(r.gq)
+		for _, p := range r.gq {
+			r.serveOne(p.req)
+		}
+		r.gq = r.gq[:0]
 	}
-	sortPending(r.gq)
-	n := 0
-	for n < len(r.gq) && r.gq[n].req.TS < safeTime {
-		r.serveOne(r.gq[n].req)
-		n++
-	}
-	if n > 0 {
-		r.gq = r.gq[:copy(r.gq, r.gq[n:])]
-	}
-	r.gqDepth.Store(int64(len(r.gq)))
+	r.gqDepth.Store(int64(r.bands.Len()))
 }
 
-func (r *parRun) serviceAll() { r.serviceConservative(unboundedSentinel) }
+func (r *parRun) serviceAll() {
+	if r.bands != nil {
+		r.serviceConservative(unboundedSentinel)
+		return
+	}
+	// Eager schemes keep a flat arrival-order gq; the trailing flush
+	// serves it in arbitration order, as before.
+	sortPending(r.gq)
+	for _, p := range r.gq {
+		r.serveOne(p.req)
+	}
+	r.gq = r.gq[:0]
+	r.gqDepth.Store(0)
+}
 
 func (r *parRun) serveOne(req event.Request) {
 	r.m.unc.Service(req)
@@ -561,7 +682,7 @@ func (r *parRun) tryCheckpoint() bool {
 	} else {
 		r.m.mem.SyncSnapshot(r.ckptMem)
 		r.m.unc.SyncSnapshot(r.ckptUnc)
-		r.ckptSync = r.m.sync.Snapshot()
+		r.m.sync.SyncSnapshot(r.ckptSync)
 		for i, c := range r.m.cores {
 			c.SyncSnapshot(r.ckptCores[i])
 			words += int64(r.ckptCores[i].StateWords())

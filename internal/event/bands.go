@@ -1,0 +1,147 @@
+package event
+
+// Bands is a time-banded pending set: items are bucketed by timestamp
+// band (TS >> shift), so a conservative manager can collect everything
+// below its service horizon without sorting or scanning the far future.
+// Bands fully below the horizon's band are taken wholesale; only the
+// boundary band is filtered item by item against the exact horizon, so
+// correctness never depends on the band granularity — a coarser shift
+// just moves work from band bookkeeping to boundary filtering.
+//
+// Band slices are recycled through a free list, so steady-state add/take
+// traffic allocates nothing once the window has warmed up. Items whose
+// timestamp falls below the current window ("late" arrivals, routine
+// under slack because the global time is the minimum over cores) go to a
+// dedicated bucket that TakeBelow always filters by exact timestamp, so
+// they are released exactly when the horizon passes them no matter where
+// the window sits.
+//
+// Bands is single-goroutine state (the manager's); the thread-safe
+// hand-off happens upstream in Queue.
+type Bands[T any] struct {
+	shift uint
+	base  int64 // band index of bands[0]; meaningful while size-len(late) > 0
+	bands [][]banded[T]
+	free  [][]banded[T]
+	late  []banded[T]
+	size  int
+}
+
+type banded[T any] struct {
+	ts int64
+	v  T
+}
+
+// NewBands returns an empty banded set with 1<<shift timestamps per band.
+func NewBands[T any](shift uint) *Bands[T] {
+	return &Bands[T]{shift: shift}
+}
+
+// Len returns the number of pending items.
+func (b *Bands[T]) Len() int { return b.size }
+
+// newBand pops a recycled band slice or allocates a fresh one.
+//
+//slacksim:hotpath
+func (b *Bands[T]) newBand() []banded[T] {
+	if n := len(b.free); n > 0 {
+		s := b.free[n-1]
+		b.free = b.free[:n-1]
+		return s
+	}
+	return make([]banded[T], 0, 16) //lint:allow hotpathalloc -- pool warm-up: runs only while the band free list is empty
+}
+
+// Add inserts v with timestamp ts.
+//
+//slacksim:hotpath
+func (b *Bands[T]) Add(ts int64, v T) {
+	idx := ts >> b.shift
+	if b.size == len(b.late) {
+		// The window is empty: rebase it on this item's band.
+		b.base = idx
+		if len(b.bands) == 0 {
+			b.bands = append(b.bands, b.newBand()) //lint:allow hotpathalloc -- window growth is bounded by the slack bound, then reused forever
+		}
+		for i := 1; i < len(b.bands); i++ {
+			b.free = append(b.free, b.bands[i][:0]) //lint:allow hotpathalloc -- free-list growth is bounded by the window width, then reused forever
+		}
+		b.bands = b.bands[:1]
+	}
+	if idx < b.base {
+		// Late arrival below the window: filtered by exact timestamp on
+		// every TakeBelow, so release timing is exact regardless of where
+		// the window has moved.
+		b.late = append(b.late, banded[T]{ts: ts, v: v}) //lint:allow hotpathalloc -- the late bucket is tiny (bounded by in-flight slack) and reused
+		b.size++
+		return
+	}
+	for int(idx-b.base) >= len(b.bands) {
+		b.bands = append(b.bands, b.newBand()) //lint:allow hotpathalloc -- window growth is bounded by the slack bound, then reused forever
+	}
+	i := int(idx - b.base)
+	b.bands[i] = append(b.bands[i], banded[T]{ts: ts, v: v}) //lint:allow hotpathalloc -- band growth is amortized; slices are recycled through the free list
+	b.size++
+}
+
+// TakeBelow removes every item with ts < horizon and appends it to buf
+// (returned). Full bands below the horizon band are appended wholesale in
+// insertion order; the boundary band is filtered by exact timestamp with
+// the survivors compacted in place. The caller imposes its own total
+// service order (e.g. a sort) on the result.
+//
+//slacksim:hotpath
+func (b *Bands[T]) TakeBelow(horizon int64, buf []T) []T {
+	if b.size == 0 {
+		return buf
+	}
+	if len(b.late) > 0 {
+		n := 0
+		for i := range b.late {
+			if b.late[i].ts < horizon {
+				buf = append(buf, b.late[i].v) //lint:allow hotpathalloc -- buf is the caller's reused scratch; growth is amortized
+				b.size--
+			} else {
+				b.late[n] = b.late[i]
+				n++
+			}
+		}
+		clear(b.late[n:])
+		b.late = b.late[:n]
+	}
+	hb := horizon >> b.shift
+	// Whole bands strictly below the horizon band: every ts < hb<<shift
+	// <= horizon, so no filtering is needed.
+	k := 0
+	for k < len(b.bands) && b.base+int64(k) < hb {
+		for i := range b.bands[k] {
+			buf = append(buf, b.bands[k][i].v) //lint:allow hotpathalloc -- buf is the caller's reused scratch; growth is amortized
+		}
+		b.size -= len(b.bands[k])
+		b.free = append(b.free, b.bands[k][:0]) //lint:allow hotpathalloc -- free-list growth is bounded by the window width, then reused forever
+		k++
+	}
+	if k > 0 {
+		n := copy(b.bands, b.bands[k:])
+		clear(b.bands[n:])
+		b.bands = b.bands[:n]
+		b.base += int64(k)
+	}
+	// Boundary band: filter by exact timestamp, compacting survivors.
+	if len(b.bands) > 0 && b.base == hb {
+		band := b.bands[0]
+		n := 0
+		for i := range band {
+			if band[i].ts < horizon {
+				buf = append(buf, band[i].v) //lint:allow hotpathalloc -- buf is the caller's reused scratch; growth is amortized
+				b.size--
+			} else {
+				band[n] = band[i]
+				n++
+			}
+		}
+		clear(band[n:])
+		b.bands[0] = band[:n]
+	}
+	return buf
+}

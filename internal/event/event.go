@@ -8,6 +8,7 @@ package event
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"slacksim/internal/coherence"
 )
@@ -77,8 +78,18 @@ func (m Msg) String() string {
 // re-slicing on every Pop, so steady-state push/pop traffic allocates
 // nothing: when the queue empties, the whole backing array is reclaimed
 // for the next burst.
+//
+// A size counter maintained atomically inside the critical sections lets
+// Len and the is-it-empty checks in Pop/PopIf/Peek/DrainInto skip the
+// mutex entirely. Queues are empty most ticks, so the hot paths become a
+// single atomic load. A reader that races a concurrent Push may see the
+// queue as empty one tick early — indistinguishable from having run just
+// before the Push, which the slack protocols already tolerate; once a
+// Push completes (its mutex release and the pacing publication that
+// follows it), the counter is visible to every later reader.
 type Queue[T any] struct {
 	mu    sync.Mutex
+	size  atomic.Int64
 	items []T
 	head  int
 }
@@ -90,6 +101,7 @@ func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
 func (q *Queue[T]) Push(v T) {
 	q.mu.Lock()
 	q.items = append(q.items, v)
+	q.size.Add(1)
 	q.mu.Unlock()
 }
 
@@ -102,6 +114,7 @@ func (q *Queue[T]) popLocked() T {
 	var zero T
 	q.items[q.head] = zero // release references for pointerful T
 	q.head++
+	q.size.Add(-1)
 	if q.head == len(q.items) {
 		q.items = q.items[:0]
 		q.head = 0
@@ -110,7 +123,12 @@ func (q *Queue[T]) popLocked() T {
 }
 
 // Pop removes and returns the head item; ok is false when empty.
+//
+//slacksim:hotpath
 func (q *Queue[T]) Pop() (v T, ok bool) {
+	if q.size.Load() == 0 {
+		return v, false
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.head == len(q.items) {
@@ -120,7 +138,12 @@ func (q *Queue[T]) Pop() (v T, ok bool) {
 }
 
 // PopIf removes and returns the head item only when pred accepts it.
+//
+//slacksim:hotpath
 func (q *Queue[T]) PopIf(pred func(T) bool) (v T, ok bool) {
+	if q.size.Load() == 0 {
+		return v, false
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.head == len(q.items) || !pred(q.items[q.head]) {
@@ -130,7 +153,12 @@ func (q *Queue[T]) PopIf(pred func(T) bool) (v T, ok bool) {
 }
 
 // Peek returns the head item without removing it.
+//
+//slacksim:hotpath
 func (q *Queue[T]) Peek() (v T, ok bool) {
+	if q.size.Load() == 0 {
+		return v, false
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.head == len(q.items) {
@@ -139,11 +167,11 @@ func (q *Queue[T]) Peek() (v T, ok bool) {
 	return q.items[q.head], true
 }
 
-// Len returns the number of queued items.
+// Len returns the number of queued items (a single atomic load).
+//
+//slacksim:hotpath
 func (q *Queue[T]) Len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return len(q.items) - q.head
+	return int(q.size.Load())
 }
 
 // Drain removes and returns all items in order. The returned slice is
@@ -158,6 +186,7 @@ func (q *Queue[T]) Drain() []T {
 	clear(q.items)
 	q.items = q.items[:0]
 	q.head = 0
+	q.size.Store(0)
 	return out
 }
 
@@ -167,6 +196,9 @@ func (q *Queue[T]) Drain() []T {
 //
 //slacksim:hotpath
 func (q *Queue[T]) DrainInto(buf []T) []T {
+	if q.size.Load() == 0 {
+		return buf
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.head == len(q.items) {
@@ -176,6 +208,7 @@ func (q *Queue[T]) DrainInto(buf []T) []T {
 	clear(q.items)
 	q.items = q.items[:0]
 	q.head = 0
+	q.size.Store(0)
 	return buf
 }
 
@@ -205,5 +238,6 @@ func (q *Queue[T]) Restore(items []T) {
 	clear(q.items)
 	q.items = append(q.items[:0], items...)
 	q.head = 0
+	q.size.Store(int64(len(items)))
 	q.mu.Unlock()
 }

@@ -155,8 +155,12 @@ func (c *Coordinator) backoff(n int) time.Duration {
 }
 
 // permanent reports whether err cannot succeed on any worker: the run
-// itself failed (deterministic), the spec was rejected (4xx other than
-// 429), or the caller gave up (its own ctx ended).
+// itself failed (deterministic) or the spec was rejected (4xx other
+// than 429). Context errors are deliberately NOT classified here — an
+// error wrapping context.Canceled is permanent only when the submitting
+// caller's own ctx ended, and retryable when it is the health probe
+// cancelling a dispatch to a worker that died mid-run. Do discriminates
+// the two at the call site by checking the caller's ctx.Err().
 func permanent(err error) bool {
 	var rf *RunFailedError
 	if errors.As(err, &rf) {
@@ -212,6 +216,14 @@ func (c *Coordinator) Do(ctx context.Context, jobID string, sp spec.Spec) (*slac
 	tried := make(map[string]bool)
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		// A caller that already gave up gets its context error back
+		// immediately — classified permanent, never a failover retry. This
+		// also covers the routing-failure continues below (no transport,
+		// worker down), which otherwise reach the next attempt without a
+		// dispatch ever having observed ctx.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if attempt > 0 {
 			wait := c.backoff(attempt - 1)
 			var re *client.RetryError
@@ -266,7 +278,12 @@ func (c *Coordinator) Do(ctx context.Context, jobID string, sp spec.Spec) (*slac
 		a.Error = err.Error()
 		c.record(jobID, a)
 		if ctx.Err() != nil {
-			// The caller cancelled; don't reinterpret it as a worker fault.
+			// The caller cancelled or timed out: permanent, even though the
+			// attempt's error usually wraps context.Canceled — don't
+			// reinterpret the caller giving up as a worker fault and burn
+			// failover retries on it. (The converse — err wraps a context
+			// error while ctx is still live — is the health probe cancelling
+			// dctx for a worker that died mid-run, and stays retryable.)
 			return nil, ctx.Err()
 		}
 		if permanent(err) {

@@ -380,6 +380,51 @@ func TestDoHonorsCallerCancellation(t *testing.T) {
 	}
 }
 
+// TestDoCallerCancelMidDispatchNoFailover: cancelling the submitting
+// caller's context mid-dispatch is permanent — the attempt's wrapped
+// context.Canceled must not be reclassified as a worker fault and
+// retried on the other worker.
+func TestDoCallerCancelMidDispatchNoFailover(t *testing.T) {
+	c, fakes := quickCoord(CoordinatorConfig{MaxAttempts: 4}, "w1", "w2")
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 2)
+	for _, f := range fakes {
+		f.runFn = func(ctx context.Context, sp spec.Spec) (*slacksim.Results, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			// Transports wrap the cancellation the way an HTTP round trip
+			// would; classification must not depend on the exact shape.
+			return nil, fmt.Errorf("post /v1/jobs: %w", ctx.Err())
+		}
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := c.Do(ctx, "j", spec.Spec{Workload: "fft", Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if total := fakes["w1"].runCount() + fakes["w2"].runCount(); total != 1 {
+		t.Fatalf("dispatches = %d, want exactly 1 (caller gave up; no failover)", total)
+	}
+}
+
+// TestDoCancelledBeforeDispatch: a context that is already dead never
+// reaches a worker at all.
+func TestDoCancelledBeforeDispatch(t *testing.T) {
+	c, fakes := quickCoord(CoordinatorConfig{MaxAttempts: 4}, "w1")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Do(ctx, "j", spec.Spec{Workload: "fft", Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := fakes["w1"].runCount(); n != 0 {
+		t.Fatalf("dispatches = %d, want 0 for a dead caller context", n)
+	}
+}
+
 // TestNoWorkers: a fleet with no registered workers fails cleanly.
 func TestNoWorkers(t *testing.T) {
 	c, _ := quickCoord(CoordinatorConfig{MaxAttempts: 2})

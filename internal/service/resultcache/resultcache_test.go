@@ -3,6 +3,7 @@ package resultcache
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -68,6 +69,94 @@ func TestCapacityBound(t *testing.T) {
 	}
 	if s := c.Stats(); s.Entries != 8 || s.Evictions != 92 {
 		t.Fatalf("bad stats: %+v", s)
+	}
+}
+
+// TestConcurrentChurnAtCapacity hammers a full cache from many
+// goroutines with a key space 4x the capacity, so every insert races
+// with evictions, refreshes, and LRU-touching Gets. The counters must
+// stay exactly consistent — every Get is a hit or a miss, every insert
+// is either still resident or was evicted — and the capacity bound must
+// hold at every concurrent observation, not just at the end.
+func TestConcurrentChurnAtCapacity(t *testing.T) {
+	const (
+		capacity = 8
+		keySpace = 4 * capacity
+		workers  = 8
+		iters    = 2000
+	)
+	c := New[int](capacity)
+	// Fill to capacity first so the whole run churns at the bound.
+	for i := 0; i < capacity; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+
+	done := make(chan struct{})
+	monitorErr := make(chan error, 1)
+	go func() {
+		defer close(monitorErr)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if n := c.Len(); n > capacity {
+				monitorErr <- fmt.Errorf("Len() = %d > capacity %d under churn", n, capacity)
+				return
+			}
+			if s := c.Stats(); s.Entries > capacity {
+				monitorErr <- fmt.Errorf("Stats().Entries = %d > capacity %d under churn", s.Entries, capacity)
+				return
+			}
+		}
+	}()
+
+	var totalGets, totalPuts atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			x := uint32(w + 1)
+			for i := 0; i < iters; i++ {
+				// xorshift keeps each worker's key/op sequence cheap,
+				// deterministic, and uncorrelated with the others.
+				x ^= x << 13
+				x ^= x >> 17
+				x ^= x << 5
+				k := fmt.Sprintf("k%d", x%keySpace)
+				if x&1 == 0 {
+					c.Put(k, i)
+					totalPuts.Add(1)
+				} else {
+					c.Get(k)
+					totalGets.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	if err, ok := <-monitorErr; ok && err != nil {
+		t.Fatal(err)
+	}
+
+	s := c.Stats()
+	if s.Entries != capacity || c.Len() != capacity {
+		t.Fatalf("entries = %d, Len = %d; a churned-full cache must sit at capacity %d", s.Entries, c.Len(), capacity)
+	}
+	// Every Get incremented exactly one of hits/misses.
+	if s.Hits+s.Misses != totalGets.Load() {
+		t.Fatalf("hits %d + misses %d != gets %d", s.Hits, s.Misses, totalGets.Load())
+	}
+	// Every insert is resident or evicted; inserts never exceed Puts
+	// (refreshes don't insert), and the initial fill adds capacity.
+	if inserts := s.Evictions + uint64(s.Entries); inserts > totalPuts.Load()+capacity {
+		t.Fatalf("evictions %d + entries %d exceed puts %d", s.Evictions, s.Entries, totalPuts.Load()+capacity)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("churn at 4x capacity never evicted; test is not exercising the bound")
 	}
 }
 

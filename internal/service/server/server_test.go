@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -364,6 +365,78 @@ func TestEventsAfterCompletion(t *testing.T) {
 	}
 	if progress < 1 || terminal != 1 {
 		t.Fatalf("late subscriber saw %d progress, %d terminal", progress, terminal)
+	}
+}
+
+// TestEventsUnsubscribeOnDisconnect: SSE clients that drop their
+// connection mid-run must not leak handler goroutines or job
+// subscriptions — the handler exits on the request context and its
+// deferred cancel removes the subscriber, so goroutine count returns to
+// its pre-stream level while the job is still running.
+func TestEventsUnsubscribeOnDisconnect(t *testing.T) {
+	g := newGatedRunner()
+	_, c := startServer(t, Config{Workers: 1, QueueDepth: 4, ProgressEvery: 1, Runner: g.run})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	j, err := c.Submit(ctx, testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.started // the run is live (and gated), with one progress published
+
+	before := runtime.NumGoroutine()
+	const streams = 8
+	ectx, ecancel := context.WithCancel(ctx)
+	defer ecancel()
+	attached := make(chan struct{}, streams)
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			first := true
+			// The replayed progress snapshot arrives on attach, so the
+			// first callback marks the stream as established server-side.
+			_ = c.Events(ectx, j.ID, func(client.Event) error {
+				if first {
+					first = false
+					attached <- struct{}{}
+				}
+				return nil
+			})
+		}()
+	}
+	for i := 0; i < streams; i++ {
+		select {
+		case <-attached:
+		case <-ctx.Done():
+			t.Fatal("SSE streams never attached")
+		}
+	}
+	mid := runtime.NumGoroutine()
+	if mid <= before {
+		t.Fatalf("goroutines before=%d mid=%d: streams not measurable", before, mid)
+	}
+
+	// Drop every client. The handlers must notice via r.Context() and
+	// unwind while the job is still running (the leak the test pins:
+	// handlers parked in the select until job completion).
+	ecancel()
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+1 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines before=%d now=%d after disconnect: SSE handlers leaked", before, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	g.release <- struct{}{}
+	if _, err := c.Wait(ctx, j.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -221,6 +221,52 @@ func (c *Controller) Snapshot() *Controller {
 	return n
 }
 
+// SyncSnapshot brings dst — a snapshot previously built with Snapshot —
+// up to date with the live controller, reusing dst's maps and entry
+// allocations: the mirror image of Restore, for incremental checkpoints
+// that keep one evolving snapshot instead of deep-copying every boundary.
+// dst is owned by the checkpointing goroutine, so only the live
+// controller is locked.
+//
+//slacksim:hotpath
+func (c *Controller) SyncSnapshot(dst *Controller) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dst.numCores = c.numCores
+	for a := range dst.locks {
+		if c.locks[a] == nil {
+			delete(dst.locks, a)
+		}
+	}
+	for a, l := range c.locks {
+		e := dst.locks[a]
+		if e == nil {
+			e = &lockState{} //lint:allow hotpathalloc -- lock population is tiny and stable; entries are reused across boundaries
+			dst.locks[a] = e
+		}
+		*e = *l
+	}
+	for id := range dst.barriers {
+		if c.barriers[id] == nil {
+			delete(dst.barriers, id)
+		}
+	}
+	for id, b := range c.barriers {
+		e := dst.barriers[id]
+		if e == nil {
+			e = &barrier{waiting: make(map[int]bool, len(b.waiting))} //lint:allow hotpathalloc -- barrier population is tiny and stable; entries are reused across boundaries
+			dst.barriers[id] = e
+		}
+		e.arrived, e.generation, e.releasedAt = b.arrived, b.generation, b.releasedAt
+		clear(e.waiting)
+		for k, v := range b.waiting {
+			e.waiting[k] = v
+		}
+	}
+	dst.Acquires, dst.Releases, dst.Contended, dst.BarrierEpisodes =
+		c.Acquires, c.Releases, c.Contended, c.BarrierEpisodes
+}
+
 // Restore overwrites the controller from a snapshot, reusing the live
 // maps and entry allocations (lock and barrier populations are tiny and
 // stable, so a restore in the rollback hot path allocates almost nothing).

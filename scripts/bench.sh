@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # bench.sh — measure the host-performance benchmarks and write a JSON
-# baseline (default BENCH_PR3.json) for before/after comparisons.
+# baseline (default BENCH_PR6.json) for before/after comparisons.
 #
-#   scripts/bench.sh                  # write BENCH_PR3.json at 5 iterations
+#   scripts/bench.sh                  # write BENCH_PR6.json at 5 iterations
 #   BENCHTIME=20x scripts/bench.sh    # steadier numbers
 #   scripts/bench.sh /tmp/after.json  # alternate output path
+#
+# Compare a fresh measurement against the committed baseline with
+# cmd/benchcheck (CI's bench-smoke job does exactly this):
+#
+#   scripts/bench.sh /tmp/now.json
+#   go run ./cmd/benchcheck -current /tmp/now.json
 #
 # The headline metric is densest_deep_over_incremental: how many times
 # cheaper the incremental copy-on-write checkpoint path is than the
@@ -13,7 +19,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-5x}"
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR6.json}"
 
 engine_raw=$(go test ./internal/engine/ -run '^$' -bench BenchmarkCheckpointRestore -benchtime "$benchtime" -count 1)
 root_raw=$(go test . -run '^$' -bench 'BenchmarkSimulatorThroughput|BenchmarkParallelHost' -benchtime "$benchtime" -count 1)
