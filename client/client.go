@@ -47,7 +47,8 @@ type Job struct {
 // Terminal reports whether the job reached a final state.
 func (j *Job) Terminal() bool {
 	switch j.State {
-	case jobqueue.Done.String(), jobqueue.Failed.String(), jobqueue.Cancelled.String():
+	case jobqueue.Done.String(), jobqueue.Failed.String(),
+		jobqueue.Cancelled.String(), jobqueue.Migrated.String():
 		return true
 	}
 	return false
@@ -240,6 +241,106 @@ func (c *Client) Cancel(ctx context.Context, id string, opts ...Option) (*Job, e
 		return nil, err
 	}
 	return &j, nil
+}
+
+// Migrate asks the server to checkpoint-migrate a job: pending jobs are
+// ejected immediately, running jobs stop at their next checkpoint and
+// export their state. Poll (or Wait) until the job reports "migrated",
+// then fetch the exported state with Snapshot.
+func (c *Client) Migrate(ctx context.Context, id string, opts ...Option) (*Job, error) {
+	ctx, cancel := apply(ctx, opts)
+	defer cancel()
+	var j Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/migrate", nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Snapshot fetches a migrated job's exported state (a durable snapshot
+// container); pass it to Resume on another server to continue the run.
+// A job migrated while still pending has no snapshot (404): restart it
+// from its spec instead.
+func (c *Client) Snapshot(ctx context.Context, id string, opts ...Option) ([]byte, error) {
+	ctx, cancel := apply(ctx, opts)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{
+			Code:   resp.StatusCode,
+			Status: fmt.Sprintf("client: GET /v1/jobs/%s/snapshot: %s", id, resp.Status),
+			Msg:    errBody(blob),
+		}
+	}
+	return blob, nil
+}
+
+// Resume submits an exported snapshot; the server continues the run
+// from its checkpoint (or serves the cached result if it already has
+// one). A full queue returns a *RetryError, like Submit.
+func (c *Client) Resume(ctx context.Context, snapshot []byte, opts ...Option) (*Job, error) {
+	ctx, cancel := apply(ctx, opts)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/resume", bytes.NewReader(snapshot))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		var after time.Duration
+		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
+			after = time.Duration(v) * time.Second
+		}
+		return nil, &RetryError{After: after, Msg: errBody(blob)}
+	}
+	if resp.StatusCode >= 400 {
+		return nil, &StatusError{
+			Code:   resp.StatusCode,
+			Status: fmt.Sprintf("client: POST /v1/resume: %s", resp.Status),
+			Msg:    errBody(blob),
+		}
+	}
+	var j Job
+	if err := json.Unmarshal(blob, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Evacuate asks the server to hand off all its work: pending jobs are
+// ejected, running jobs checkpoint-migrate. Returns the affected job ids.
+func (c *Client) Evacuate(ctx context.Context, opts ...Option) (ejected, migrating []string, err error) {
+	ctx, cancel := apply(ctx, opts)
+	defer cancel()
+	var v struct {
+		Ejected   []string `json:"ejected"`
+		Migrating []string `json:"migrating"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/evacuate", nil, &v); err != nil {
+		return nil, nil, err
+	}
+	return v.Ejected, v.Migrating, nil
 }
 
 // Wait polls a job until it is terminal or ctx expires; cancellation is

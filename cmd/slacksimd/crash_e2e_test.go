@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"slacksim"
+	"slacksim/client"
+	"slacksim/internal/spec"
+)
+
+// buildDaemon compiles this command into dir and returns the binary path.
+func buildDaemon(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "slacksimd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePort grabs an ephemeral port and releases it for the daemon.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startDaemon launches the built binary and waits for /v1/healthz.
+func startDaemon(t *testing.T, bin, addr, dataDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-workers", "2", "-queue", "32", "-data", dataDir)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c := client.New("http://" + addr)
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := c.Healthz(ctx)
+		cancel()
+		if err == nil {
+			return cmd
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	t.Fatal("daemon never became healthy")
+	return nil
+}
+
+func canon(t *testing.T, r *slacksim.Results) []byte {
+	t.Helper()
+	c := *r
+	c.WallClock = 0
+	blob, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestKillDashNineRecoversJobsAndResults is the durable-state acceptance
+// gate at the process level: a slacksimd is SIGKILLed with completed,
+// running, and pending jobs on its books; a restart on the same data
+// directory serves the completed results from the persistent store
+// without re-simulation and re-runs every unfinished job to completion,
+// with results byte-identical to uninterrupted runs.
+func TestKillDashNineRecoversJobsAndResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and simulates seconds of target time")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+	data := filepath.Join(dir, "data")
+	addr := freePort(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+
+	quick := spec.Spec{Workload: "fft", Scheme: "s8", Cores: 2, Seed: 1}
+	slow := func(seed int64) spec.Spec {
+		return spec.Spec{Workload: "fft", Scheme: "s8", Cores: 2, Seed: seed, Scale: 32, CheckpointInterval: 256}
+	}
+
+	daemon := startDaemon(t, bin, addr, data)
+	c := client.New("http://" + addr)
+
+	// One job runs to completion: its result must land in the store.
+	done1, err := c.SubmitWait(ctx, quick, 5*time.Millisecond)
+	if err != nil || done1.State != "done" {
+		t.Fatalf("quick job: %+v, %v", done1, err)
+	}
+
+	// Three slow jobs: two occupy the worker pool, one stays pending.
+	var unfinished []*client.Job
+	for seed := int64(2); seed <= 4; seed++ {
+		j, err := c.Submit(ctx, slow(seed))
+		if err != nil {
+			t.Fatalf("submit slow %d: %v", seed, err)
+		}
+		unfinished = append(unfinished, j)
+	}
+
+	// Let the fsync batching window flush the completed result and the
+	// running jobs get going, then kill the process hard.
+	time.Sleep(300 * time.Millisecond)
+	if err := daemon.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = daemon.Wait()
+
+	// Restart on the same data directory.
+	daemon2 := startDaemon(t, bin, addr, data)
+	defer func() {
+		_ = daemon2.Process.Signal(syscall.SIGTERM)
+		_, _ = daemon2.Process.Wait()
+	}()
+
+	// The completed result survived: an identical submission is served
+	// from the store, byte-identical, with no re-simulation.
+	again, err := c.Submit(ctx, quick)
+	if err != nil {
+		t.Fatalf("resubmit after restart: %v", err)
+	}
+	if !again.Cached || again.Result == nil {
+		t.Fatalf("restarted daemon re-simulated a stored result: %+v", again)
+	}
+	if !bytes.Equal(canon(t, again.Result), canon(t, done1.Result)) {
+		t.Fatal("store-served result differs from the pre-crash result")
+	}
+
+	// Every unfinished job was journaled and recovers under its original
+	// ID, completing with results identical to uninterrupted local runs.
+	for i, j := range unfinished {
+		fin, err := c.Wait(ctx, j.ID, 10*time.Millisecond)
+		if err != nil {
+			t.Fatalf("recovered job %s: %v", j.ID, err)
+		}
+		if fin.State != "done" || fin.Result == nil {
+			t.Fatalf("recovered job %s: %s (%s)", j.ID, fin.State, fin.Error)
+		}
+		sp := slow(int64(i + 2))
+		cfg, err := sp.Normalize().Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := slacksim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon(t, fin.Result), canon(t, &want)) {
+			t.Fatalf("recovered job %s result differs from uninterrupted run", j.ID)
+		}
+	}
+
+	// The recovery counter proves the journal replay did the re-enqueue.
+	st, err := c.Statsz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := st["recovered"].(float64)
+	if rec < 3 {
+		t.Fatalf("statsz recovered = %v, want >= 3 (journal replay missed jobs): %v", rec, st)
+	}
+	// The store gauge confirms the persistent tier is live and populated.
+	store, _ := st["store"].(map[string]any)
+	if store == nil || store["entries"].(float64) < 1 {
+		t.Fatalf("statsz store = %v, want a populated persistent store", st["store"])
+	}
+}

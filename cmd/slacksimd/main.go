@@ -5,6 +5,14 @@
 //
 //	slacksimd -addr :8080 -queue 64 -workers 8 -cache 256
 //
+// With -data the daemon is durable: results persist in a
+// content-addressed on-disk store (served byte-identical across
+// restarts without re-simulation) and admitted jobs are journaled, so
+// a crash-restart cycle on the same directory re-enqueues every job
+// that had not finished:
+//
+//	slacksimd -addr :8080 -data /var/lib/slacksim
+//
 // With -coordinator the daemon registers itself as a fleet worker
 // (slacksimfleet) after its listener is up, and deregisters before
 // draining on shutdown so the coordinator stops routing new work at it
@@ -28,10 +36,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"slacksim/internal/durable"
 	"slacksim/internal/fleet"
 	"slacksim/internal/service/server"
 )
@@ -49,17 +59,48 @@ func main() {
 		coord    = flag.String("coordinator", "", "fleet coordinator base URL to join (e.g. http://fleet:9090)")
 		advert   = flag.String("advertise", "", "base URL the coordinator should reach this worker at (default http://<hostname><addr>)")
 		workerID = flag.String("id", "", "worker ID to register under (default the hostname)")
+		dataDir  = flag.String("data", "", "durable state directory (persistent result store + crash-recoverable job journal); empty = in-memory only")
 	)
 	flag.Parse()
 
-	s := server.New(server.Config{
+	cfg := server.Config{
 		QueueDepth:    *queue,
 		Workers:       *workers,
 		CacheSize:     *cache,
 		ProgressEvery: *progress,
 		StallTimeout:  *stall,
 		Pprof:         *pprofOn,
-	})
+	}
+
+	var (
+		store   *durable.Store
+		journal *durable.Journal
+		pending []durable.PendingJob
+	)
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("data dir: %v", err)
+		}
+		var err error
+		store, err = durable.OpenStore(filepath.Join(*dataDir, "store"), durable.StoreOptions{})
+		if err != nil {
+			log.Fatalf("open result store: %v", err)
+		}
+		journal, pending, err = durable.OpenJournal(filepath.Join(*dataDir, "journal.wal"))
+		if err != nil {
+			log.Fatalf("open job journal: %v", err)
+		}
+		cfg.Cache = durable.NewResultCache(store, *cache)
+		cfg.Journal = journal
+		st := store.Stats()
+		log.Printf("durable state at %s (%d stored results, %d journaled jobs to recover)",
+			*dataDir, st.Entries, len(pending))
+	}
+
+	s := server.New(cfg)
+	if len(pending) > 0 {
+		log.Printf("recovered %d unfinished jobs from the journal", s.Recover(pending))
+	}
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -113,6 +154,16 @@ func main() {
 	}
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Printf("journal close: %v", err)
+		}
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Printf("store close: %v", err)
+		}
 	}
 	log.Printf("slacksimd stopped")
 }

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"slacksim"
+	"slacksim/client"
+	"slacksim/internal/spec"
+)
+
+func build(t *testing.T, dir, name, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, cmd *exec.Cmd, addr string) {
+	t.Helper()
+	c := client.New("http://" + addr)
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := c.Healthz(ctx)
+		cancel()
+		if err == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	t.Fatalf("daemon at %s never became healthy", addr)
+}
+
+func start(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+func canon(t *testing.T, r *slacksim.Results) []byte {
+	t.Helper()
+	c := *r
+	c.WallClock = 0
+	blob, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestKillDashNineCoordinatorRecoversSweep: the fleet coordinator is
+// SIGKILLed mid-sweep while its worker survives; a restart on the same
+// data directory serves completed cells from the persistent store and
+// re-dispatches every journaled unfinished job, so the sweep completes
+// with byte-identical results and no lost cells.
+func TestKillDashNineCoordinatorRecoversSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and simulates seconds of target time")
+	}
+	dir := t.TempDir()
+	fleetBin := build(t, dir, "slacksimfleet", ".")
+	workerBin := build(t, dir, "slacksimd", "slacksim/cmd/slacksimd")
+	data := filepath.Join(dir, "data")
+	workerAddr, fleetAddr := freePort(t), freePort(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+
+	worker := start(t, workerBin, "-addr", workerAddr, "-workers", "2", "-queue", "32")
+	defer func() {
+		_ = worker.Process.Signal(syscall.SIGTERM)
+		_, _ = worker.Process.Wait()
+	}()
+	waitHealthy(t, worker, workerAddr)
+
+	fleetArgs := []string{"-addr", fleetAddr, "-workers", "http://" + workerAddr, "-data", data}
+	coord := start(t, fleetBin, fleetArgs...)
+	waitHealthy(t, coord, fleetAddr)
+	c := client.New("http://" + fleetAddr)
+
+	quick := spec.Spec{Workload: "fft", Scheme: "s8", Cores: 2, Seed: 1}
+	slow := func(seed int64) spec.Spec {
+		return spec.Spec{Workload: "fft", Scheme: "s8", Cores: 2, Seed: seed, Scale: 32, CheckpointInterval: 256}
+	}
+
+	done1, err := c.SubmitWait(ctx, quick, 5*time.Millisecond)
+	if err != nil || done1.State != "done" {
+		t.Fatalf("quick cell: %+v, %v", done1, err)
+	}
+
+	var unfinished []*client.Job
+	for seed := int64(2); seed <= 4; seed++ {
+		j, err := c.Submit(ctx, slow(seed))
+		if err != nil {
+			t.Fatalf("submit slow %d: %v", seed, err)
+		}
+		unfinished = append(unfinished, j)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	if err := coord.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = coord.Wait()
+
+	coord2 := start(t, fleetBin, fleetArgs...)
+	defer func() {
+		_ = coord2.Process.Signal(syscall.SIGTERM)
+		_, _ = coord2.Process.Wait()
+	}()
+	waitHealthy(t, coord2, fleetAddr)
+
+	// The finished cell survived the coordinator crash in its store.
+	again, err := c.Submit(ctx, quick)
+	if err != nil {
+		t.Fatalf("resubmit after restart: %v", err)
+	}
+	if !again.Cached || again.Result == nil {
+		t.Fatalf("restarted coordinator re-dispatched a stored result: %+v", again)
+	}
+	if !bytes.Equal(canon(t, again.Result), canon(t, done1.Result)) {
+		t.Fatal("store-served result differs from the pre-crash result")
+	}
+
+	// The journaled unfinished cells recover under their original IDs and
+	// complete across the surviving worker, byte-identical to local runs.
+	for i, j := range unfinished {
+		fin, err := c.Wait(ctx, j.ID, 10*time.Millisecond)
+		if err != nil {
+			t.Fatalf("recovered cell %s: %v", j.ID, err)
+		}
+		if fin.State != "done" || fin.Result == nil {
+			t.Fatalf("recovered cell %s: %s (%s)", j.ID, fin.State, fin.Error)
+		}
+		sp := slow(int64(i + 2))
+		cfg, err := sp.Normalize().Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := slacksim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon(t, fin.Result), canon(t, &want)) {
+			t.Fatalf("recovered cell %s result differs from uninterrupted run", j.ID)
+		}
+	}
+
+	st, err := c.Statsz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := st["recovered"].(float64); rec < 3 {
+		t.Fatalf("statsz recovered = %v, want >= 3: %v", rec, st)
+	}
+}

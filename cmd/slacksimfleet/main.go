@@ -20,11 +20,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"slacksim/internal/durable"
 	"slacksim/internal/fleet"
 	"slacksim/internal/service/server"
 )
@@ -40,21 +43,52 @@ func main() {
 		attempts = flag.Int("attempts", 4, "max dispatch attempts per job")
 		spill    = flag.Float64("spill", 2.0, "spill when the affinity worker's pending work reaches this multiple of its capacity")
 		drain    = flag.Duration("drain-timeout", 60*time.Second, "max time to finish accepted jobs on shutdown")
+		dataDir  = flag.String("data", "", "durable state directory (persistent fleet result store + crash-recoverable job journal); empty = in-memory only")
 	)
 	flag.Parse()
 
+	sc := server.Config{
+		QueueDepth: *queue,
+		Workers:    *dispatch,
+		CacheSize:  *cache,
+		// Dispatches wait on remote runs, not local stalls; the watchdog
+		// budget lives on the workers.
+		StallTimeout: -1,
+	}
+
+	var (
+		store   *durable.Store
+		journal *durable.Journal
+		pending []durable.PendingJob
+	)
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("data dir: %v", err)
+		}
+		var err error
+		store, err = durable.OpenStore(filepath.Join(*dataDir, "store"), durable.StoreOptions{})
+		if err != nil {
+			log.Fatalf("open result store: %v", err)
+		}
+		journal, pending, err = durable.OpenJournal(filepath.Join(*dataDir, "journal.wal"))
+		if err != nil {
+			log.Fatalf("open job journal: %v", err)
+		}
+		sc.Cache = durable.NewResultCache(store, *cache)
+		sc.Journal = journal
+		st := store.Stats()
+		log.Printf("durable state at %s (%d stored results, %d journaled jobs to recover)",
+			*dataDir, st.Entries, len(pending))
+	}
+
 	f := fleet.NewFacade(fleet.FacadeConfig{
-		Server: server.Config{
-			QueueDepth: *queue,
-			Workers:    *dispatch,
-			CacheSize:  *cache,
-			// Dispatches wait on remote runs, not local stalls; the watchdog
-			// budget lives on the workers.
-			StallTimeout: -1,
-		},
+		Server:      sc,
 		Coordinator: fleet.CoordinatorConfig{MaxAttempts: *attempts, SpillFactor: *spill},
 		Registry:    fleet.RegistryConfig{ProbeInterval: *probe},
 	})
+	if len(pending) > 0 {
+		log.Printf("recovered %d unfinished jobs from the journal", f.Server().Recover(pending))
+	}
 	n := 0
 	for _, u := range strings.Split(*workers, ",") {
 		u = strings.TrimSpace(u)
@@ -91,6 +125,16 @@ func main() {
 	}
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Printf("journal close: %v", err)
+		}
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Printf("store close: %v", err)
+		}
 	}
 	log.Printf("slacksimfleet stopped")
 }

@@ -1,0 +1,47 @@
+package adaptive
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Wire serialization for run snapshots: the whole controller is plain
+// scalar state plus its (validated) configuration.
+
+type controllerWire struct {
+	Cfg    Config
+	Policy Policy
+	Bound  int64
+
+	Adjustments, Holds uint64
+	BoundSum           float64
+	Samples            uint64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (c *Controller) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(controllerWire{
+		Cfg: c.cfg, Policy: c.policy, Bound: c.bound,
+		Adjustments: c.Adjustments, Holds: c.Holds,
+		BoundSum: c.boundSum, Samples: c.samples,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (c *Controller) GobDecode(data []byte) error {
+	var w controllerWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if err := w.Cfg.Validate(); err != nil {
+		return err
+	}
+	*c = Controller{
+		cfg: w.Cfg, policy: w.Policy, bound: w.Bound,
+		Adjustments: w.Adjustments, Holds: w.Holds,
+		boundSum: w.BoundSum, samples: w.Samples,
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package bus
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"slacksim/internal/violation"
+)
+
+// Wire serialization for run snapshots. The bus is small and bounded:
+// two reservation windows, the grant-order monitor, and counters.
+
+type busWire struct {
+	ReqRes, RespRes []int64
+	Monitor         violation.Monitor
+	ReqOccupancy    int64
+	RespOccupancy   int64
+
+	Grants, Conflicts, RespConflicts, Violations uint64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (b *Bus) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(busWire{
+		ReqRes: b.reqRes, RespRes: b.respRes, Monitor: b.monitor,
+		ReqOccupancy: b.ReqOccupancy, RespOccupancy: b.RespOccupancy,
+		Grants: b.Grants, Conflicts: b.Conflicts,
+		RespConflicts: b.RespConflicts, Violations: b.Violations,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (b *Bus) GobDecode(data []byte) error {
+	var w busWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if w.ReqOccupancy <= 0 || w.RespOccupancy <= 0 {
+		return fmt.Errorf("bus: wire occupancies %d/%d must be positive", w.ReqOccupancy, w.RespOccupancy)
+	}
+	*b = Bus{
+		reqRes: w.ReqRes, respRes: w.RespRes, monitor: w.Monitor,
+		ReqOccupancy: w.ReqOccupancy, RespOccupancy: w.RespOccupancy,
+		Grants: w.Grants, Conflicts: w.Conflicts,
+		RespConflicts: w.RespConflicts, Violations: w.Violations,
+	}
+	return nil
+}

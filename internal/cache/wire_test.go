@@ -1,0 +1,65 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"slacksim/internal/coherence"
+)
+
+func gobRoundTrip[T any](t *testing.T, in T, out T) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+func TestCacheWireRoundTrip(t *testing.T) {
+	c := New(Config{Name: "l1d", SizeBytes: 4 << 10, Assoc: 2, LatencyCycles: 1})
+	for i := uint64(0); i < 200; i++ {
+		c.Insert(i*7, coherence.State(1+i%3))
+		c.Probe(i*7, i%2 == 0)
+	}
+	var got Cache
+	gobRoundTrip(t, c, &got)
+	if !c.Equal(&got) {
+		t.Fatal("cache did not survive the wire round trip")
+	}
+	// The decoded cache must be fully functional.
+	got.Insert(9999, coherence.Modified)
+	if got.State(9999) != coherence.Modified {
+		t.Fatal("decoded cache is not functional")
+	}
+}
+
+func TestMSHRWireRoundTrip(t *testing.T) {
+	f := NewMSHRFile(8)
+	f.Allocate(100, false, 3, 50)
+	f.Allocate(100, true, 4, 51) // merge
+	f.Allocate(200, true, 7, 60)
+	var got MSHRFile
+	gobRoundTrip(t, f, &got)
+	if !f.Equal(&got) {
+		t.Fatal("MSHR file did not survive the wire round trip")
+	}
+}
+
+func TestStatusMapWireRoundTrip(t *testing.T) {
+	m := NewStatusMap(4)
+	m.Apply(10, 0, coherence.Modified, 5)
+	m.Apply(10, 1, coherence.Shared, 9)
+	m.Apply(77, 3, coherence.Exclusive, 2)
+	var got StatusMap
+	gobRoundTrip(t, m, &got)
+	if !m.Equal(&got) {
+		t.Fatal("status map did not survive the wire round trip")
+	}
+	if got.MonitorTS(10) != 9 {
+		t.Fatalf("monitor TS = %d, want 9", got.MonitorTS(10))
+	}
+}

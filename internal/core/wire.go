@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"slacksim/internal/cache"
+	"slacksim/internal/isa"
+)
+
+// Wire serialization for run snapshots. A core.Snapshot already is the
+// deep-copied checkpoint state, so it is the unit of export: the engine
+// serializes the per-core snapshots it holds at a checkpoint boundary.
+// The nested cache/MSHR/predictor structures carry their own gob
+// methods.
+
+type robEntryWire struct {
+	Seq   int
+	PC    int
+	Inst  isa.Inst
+	State uint8
+
+	SrcProd [2]int
+
+	DoneAt    int64
+	Result    uint64
+	HasResult bool
+
+	PredTaken   bool
+	ActualTaken bool
+	Resolved    bool
+
+	Addr      uint64
+	AddrValid bool
+	StoreVal  uint64
+	Written   bool
+
+	BarrierGen     uint64
+	BarrierArrived bool
+	NextLockTry    int64
+}
+
+func wireROBEntry(e *robEntry) robEntryWire {
+	return robEntryWire{
+		Seq: e.seq, PC: e.pc, Inst: e.inst, State: uint8(e.state),
+		SrcProd: e.srcProd, DoneAt: e.doneAt, Result: e.result, HasResult: e.hasResult,
+		PredTaken: e.predTaken, ActualTaken: e.actualTaken, Resolved: e.resolved,
+		Addr: e.addr, AddrValid: e.addrValid, StoreVal: e.storeVal, Written: e.written,
+		BarrierGen: e.barrierGen, BarrierArrived: e.barrierArrived, NextLockTry: e.nextLockTry,
+	}
+}
+
+func (w robEntryWire) entry() robEntry {
+	return robEntry{
+		seq: w.Seq, pc: w.PC, inst: w.Inst, state: entryState(w.State),
+		srcProd: w.SrcProd, doneAt: w.DoneAt, result: w.Result, hasResult: w.HasResult,
+		predTaken: w.PredTaken, actualTaken: w.ActualTaken, resolved: w.Resolved,
+		addr: w.Addr, addrValid: w.AddrValid, storeVal: w.StoreVal, written: w.Written,
+		barrierGen: w.BarrierGen, barrierArrived: w.BarrierArrived, nextLockTry: w.NextLockTry,
+	}
+}
+
+type fetchedWire struct {
+	PC        int
+	Inst      isa.Inst
+	PredTaken bool
+}
+
+type predictorWire struct {
+	Counters []uint8
+	Mask     int
+
+	Lookups, Mispredicts uint64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (p *Predictor) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(predictorWire{
+		Counters: p.counters, Mask: p.mask,
+		Lookups: p.Lookups, Mispredicts: p.Mispredicts,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (p *Predictor) GobDecode(data []byte) error {
+	var w predictorWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	*p = Predictor{counters: w.Counters, mask: w.Mask, Lookups: w.Lookups, Mispredicts: w.Mispredicts}
+	return nil
+}
+
+type snapshotWire struct {
+	Now      int64
+	Regs     [isa.NumRegs]uint64
+	MapTable [isa.NumRegs]int
+	ROB      []robEntryWire
+	FetchBuf []fetchedWire
+
+	FetchPC         int
+	FetchStallUntil int64
+	SerializeSeq    int
+	NextSeq         int
+	Halted          bool
+	ReqID           uint64
+	Stats           Stats
+
+	L1I, L1D     *cache.Cache
+	IMSHR, DMSHR *cache.MSHRFile
+	Pred         *Predictor
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s *Snapshot) GobEncode() ([]byte, error) {
+	w := snapshotWire{
+		Now: s.now, Regs: s.regs, MapTable: s.mapTable,
+		FetchPC: s.fetchPC, FetchStallUntil: s.fetchStallUntil,
+		SerializeSeq: s.serializeSeq, NextSeq: s.nextSeq,
+		Halted: s.halted, ReqID: s.reqID, Stats: s.stats,
+		L1I: s.l1i, L1D: s.l1d, IMSHR: s.imshr, DMSHR: s.dmshr, Pred: s.pred,
+	}
+	w.ROB = make([]robEntryWire, len(s.rob))
+	for i := range s.rob {
+		w.ROB[i] = wireROBEntry(&s.rob[i])
+	}
+	w.FetchBuf = make([]fetchedWire, len(s.fetchBuf))
+	for i, f := range s.fetchBuf {
+		w.FetchBuf[i] = fetchedWire{PC: f.pc, Inst: f.inst, PredTaken: f.predTaken}
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(w)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Snapshot) GobDecode(data []byte) error {
+	var w snapshotWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	*s = Snapshot{
+		now: w.Now, regs: w.Regs, mapTable: w.MapTable,
+		fetchPC: w.FetchPC, fetchStallUntil: w.FetchStallUntil,
+		serializeSeq: w.SerializeSeq, nextSeq: w.NextSeq,
+		halted: w.Halted, reqID: w.ReqID, stats: w.Stats,
+		l1i: w.L1I, l1d: w.L1D, imshr: w.IMSHR, dmshr: w.DMSHR, pred: w.Pred,
+	}
+	s.rob = make([]robEntry, len(w.ROB))
+	for i := range w.ROB {
+		s.rob[i] = w.ROB[i].entry()
+	}
+	s.fetchBuf = make([]fetched, len(w.FetchBuf))
+	for i, f := range w.FetchBuf {
+		s.fetchBuf[i] = fetched{pc: f.PC, inst: f.Inst, predTaken: f.PredTaken}
+	}
+	return nil
+}

@@ -1,0 +1,395 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"slacksim/internal/service/jobqueue"
+	"slacksim/internal/spec"
+)
+
+// syncNow makes every append fsync inline so tests never race the
+// batching timer.
+var syncNow = StoreOptions{SyncEvery: -1}
+
+func openTestStore(t *testing.T, dir string, opts StoreOptions) *Store {
+	t.Helper()
+	s, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStorePutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, syncNow)
+	for i := 0; i < 20; i++ {
+		if err := s.Put(fmt.Sprintf("key%02d", i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Overwrite: latest record wins.
+	if err := s.Put("key07", []byte("fresh")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if v, ok := s.Get("key07"); !ok || string(v) != "fresh" {
+		t.Fatalf("Get(key07) = %q, %v; want fresh", v, ok)
+	}
+	if s.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", s.Len())
+	}
+	s.Close()
+
+	r := openTestStore(t, dir, syncNow)
+	if r.Len() != 20 {
+		t.Fatalf("reopened Len = %d, want 20", r.Len())
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("key%02d", i)
+		want := fmt.Sprintf("value-%d", i)
+		if i == 7 {
+			want = "fresh"
+		}
+		if v, ok := r.Get(key); !ok || string(v) != want {
+			t.Fatalf("reopened Get(%s) = %q, %v; want %q", key, v, ok, want)
+		}
+	}
+}
+
+func TestStoreTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, syncNow)
+	if err := s.Put("good", []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: a partial record at the tail.
+	wal := filepath.Join(dir, walName)
+	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := openTestStore(t, dir, syncNow)
+	if v, ok := r.Get("good"); !ok || string(v) != "intact" {
+		t.Fatalf("good record lost across torn-tail recovery: %q, %v", v, ok)
+	}
+	st := r.Stats()
+	if st.TornTails != 1 {
+		t.Fatalf("TornTails = %d, want 1", st.TornTails)
+	}
+	// The truncation must leave the WAL appendable on a record boundary.
+	if err := r.Put("after", []byte("recovery")); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2 := openTestStore(t, dir, syncNow)
+	if v, ok := r2.Get("after"); !ok || string(v) != "recovery" {
+		t.Fatalf("post-recovery append lost: %q, %v", v, ok)
+	}
+}
+
+func TestStoreCRCCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, syncNow)
+	if err := s.Put("a", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip a payload bit in the FIRST record: everything from there on is
+	// untrusted and must be dropped.
+	wal := filepath.Join(dir, walName)
+	blob, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[recHeaderLen+5] ^= 0x01
+	if err := os.WriteFile(wal, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTestStore(t, dir, syncNow)
+	if _, ok := r.Get("a"); ok {
+		t.Fatal("corrupt record served")
+	}
+	if _, ok := r.Get("b"); ok {
+		t.Fatal("record after corruption served (suffix must be distrusted)")
+	}
+}
+
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, syncNow)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st := s.Stats()
+	if st.Segments != 1 || st.WALBytes != 0 {
+		t.Fatalf("after compaction: segments=%d walBytes=%d, want 1/0", st.Segments, st.WALBytes)
+	}
+	// Reads served from the segment.
+	for i := 0; i < 10; i++ {
+		if v, ok := s.Get(fmt.Sprintf("k%d", i)); !ok || !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 100)) {
+			t.Fatalf("post-compaction Get(k%d) wrong: %v %v", i, v, ok)
+		}
+	}
+	// New puts land in the WAL again; reopen sees both tiers.
+	if err := s.Put("k3", []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	r := openTestStore(t, dir, syncNow)
+	if v, ok := r.Get("k3"); !ok || string(v) != "newer" {
+		t.Fatalf("WAL record must shadow segment record: %q %v", v, ok)
+	}
+	if v, ok := r.Get("k4"); !ok || !bytes.Equal(v, bytes.Repeat([]byte{4}, 100)) {
+		t.Fatalf("segment record lost after reopen: %v %v", v, ok)
+	}
+}
+
+func TestStoreSizeTriggeredCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{SyncEvery: -1, CompactBytes: 2048})
+	for i := 0; i < 64; i++ {
+		if err := s.Put(fmt.Sprintf("key-%02d", i%8), bytes.Repeat([]byte{byte(i)}, 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("no size-triggered compaction happened")
+	}
+	if st.Entries != 8 {
+		t.Fatalf("Entries = %d, want 8", st.Entries)
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), StoreOptions{CompactBytes: 4096})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%10)
+				val := []byte(fmt.Sprintf("g%d-v%d", g, i))
+				if err := s.Put(key, val); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if v, ok := s.Get(key); ok && len(v) == 0 {
+					t.Errorf("empty read for %s", key)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testSpec(workload string, seed int64) spec.Spec {
+	return spec.Spec{Workload: workload, Cores: 2, Scheme: "b10", Seed: seed, MaxInstructions: 500}.Normalize()
+}
+
+func TestJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.log")
+	j, pending, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal has %d pending jobs", len(pending))
+	}
+	spDone, spRun, spPend := testSpec("fft", 1), testSpec("fft", 2), testSpec("fft", 3)
+	j.JobSubmitted("j1", spDone.Key(), spDone)
+	j.JobSubmitted("j2", spRun.Key(), spRun)
+	j.JobSubmitted("j3", spPend.Key(), spPend)
+	j.JobRunning("j1")
+	j.JobRunning("j2")
+	j.JobFinished("j1", jobqueue.Done, "")
+	if err := j.Err(); err != nil {
+		t.Fatalf("journal error: %v", err)
+	}
+	j.Close()
+
+	// Crash here: j1 done, j2 orphaned mid-run, j3 still pending.
+	j2, pending, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if len(pending) != 2 {
+		t.Fatalf("pending = %d jobs, want 2", len(pending))
+	}
+	if pending[0].ID != "j2" || !pending[0].WasRunning {
+		t.Fatalf("pending[0] = %+v, want orphaned j2", pending[0])
+	}
+	if pending[1].ID != "j3" || pending[1].WasRunning {
+		t.Fatalf("pending[1] = %+v, want pending j3", pending[1])
+	}
+	if pending[0].Key != spRun.Key() || pending[0].Spec.Key() != spRun.Key() {
+		t.Fatalf("j2 spec did not round-trip: %+v", pending[0])
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.log")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := testSpec("lu", 7)
+	j.JobSubmitted("j1", sp.Key(), sp)
+	j.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xff, 0x00, 0x00}) // torn header
+	f.Close()
+
+	j2, pending, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer j2.Close()
+	if _, torn := j2.Recovered(); !torn {
+		t.Fatal("torn tail not detected")
+	}
+	if len(pending) != 1 || pending[0].ID != "j1" {
+		t.Fatalf("pending = %+v, want [j1]", pending)
+	}
+}
+
+func TestJournalCompactsOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.log")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		sp := testSpec("fft", int64(i))
+		id := fmt.Sprintf("j%d", i)
+		j.JobSubmitted(id, sp.Key(), sp)
+		j.JobRunning(id)
+		j.JobFinished(id, jobqueue.Done, "")
+	}
+	j.Close()
+
+	j2, pending, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if len(pending) != 0 {
+		t.Fatalf("terminal jobs resurfaced: %d", len(pending))
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("compacted journal with no live jobs is %d bytes, want 0", fi.Size())
+	}
+}
+
+func TestSnapshotContainerRoundTrip(t *testing.T) {
+	sp := testSpec("barnes", 11)
+	engine := bytes.Repeat([]byte{1, 2, 3, 4, 5}, 100)
+	blob, err := EncodeSnapshot(sp, engine)
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	snap, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if snap.Key != sp.Key() {
+		t.Fatalf("key = %s, want %s", snap.Key, sp.Key())
+	}
+	if snap.Spec.Key() != sp.Key() {
+		t.Fatalf("spec did not round-trip: %+v", snap.Spec)
+	}
+	if !bytes.Equal(snap.Engine, engine) {
+		t.Fatal("engine payload did not round-trip")
+	}
+
+	// Corruption anywhere must be detected.
+	for _, idx := range []int{0, len(snapshotMagic) + 2, len(blob) - 3} {
+		bad := append([]byte(nil), blob...)
+		bad[idx] ^= 0x40
+		if _, err := DecodeSnapshot(bad); err == nil {
+			t.Fatalf("corruption at byte %d not detected", idx)
+		}
+	}
+	if _, err := DecodeSnapshot(blob[:len(blob)-10]); err == nil {
+		t.Fatal("truncated snapshot not detected")
+	}
+}
+
+func TestSnapshotSpecKeyMismatch(t *testing.T) {
+	sp := testSpec("fft", 1)
+	blob, err := EncodeSnapshot(sp, []byte("engine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the spec inside the header while recomputing the CRC:
+	// decode the header record, change a field, re-encode.
+	var records [][]byte
+	if _, err := scanRecords(bytes.NewReader(blob[len(snapshotMagic):]), func(off int64, p []byte) error {
+		records = append(records, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var hdr map[string]json.RawMessage
+	if err := json.Unmarshal(records[0], &hdr); err != nil {
+		t.Fatal(err)
+	}
+	var tampered spec.Spec
+	if err := json.Unmarshal(hdr["spec"], &tampered); err != nil {
+		t.Fatal(err)
+	}
+	tampered.Seed++
+	hdr["spec"], _ = json.Marshal(tampered)
+	newHdr, _ := json.Marshal(hdr)
+	var buf bytes.Buffer
+	buf.Write(snapshotMagic)
+	if _, err := appendRecord(&buf, newHdr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := appendRecord(&buf, records[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(buf.Bytes()); err == nil {
+		t.Fatal("spec/key mismatch not detected")
+	}
+}

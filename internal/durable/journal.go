@@ -1,0 +1,292 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"slacksim/internal/service/jobqueue"
+	"slacksim/internal/spec"
+)
+
+// jobEvent is one journaled transition. Spec is present only on the
+// admission record; later transitions reference the job by id.
+type jobEvent struct {
+	ID    string          `json:"id"`
+	State string          `json:"state"`
+	Key   string          `json:"key,omitempty"`
+	Spec  json.RawMessage `json:"spec,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+// PendingJob is a job the journal says was admitted but never finished:
+// still pending at the crash, or orphaned mid-run (WasRunning). Both are
+// re-enqueued on restart — runs are deterministic, so re-executing an
+// orphan is always safe.
+type PendingJob struct {
+	ID         string
+	Key        string
+	Spec       spec.Spec
+	WasRunning bool
+}
+
+// liveJob is the journal's in-memory view of one non-terminal job.
+type liveJob struct {
+	key     string
+	spec    json.RawMessage
+	running bool
+}
+
+// Journal is a crash-recoverable job journal: every lifecycle transition
+// (submitted → running → done/failed/cancelled/migrated) is appended as
+// a CRC-framed record, so a restarted daemon re-enqueues exactly the
+// jobs that were admitted but never finished instead of 404ing every
+// caller that still holds their ids. Admission records are fsynced
+// before the method returns; later transitions ride the next sync.
+// All methods are safe for concurrent use.
+type Journal struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	size    int64
+	live    map[string]*liveJob // guarded by mu
+	order   []string            // guarded by mu; live ids, admission order
+	appends uint64              // guarded by mu
+	lastErr error               // guarded by mu
+
+	recovered uint64
+	torn      bool
+}
+
+// journalCompactBytes bounds journal growth: past this size a rewrite
+// keeps only the records of still-live jobs.
+const journalCompactBytes = 1 << 20
+
+// OpenJournal opens (creating if needed) the journal at path, replays it
+// — truncating any torn tail — and returns the jobs that never reached a
+// terminal state, in admission order.
+func OpenJournal(path string) (*Journal, []PendingJob, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{path: path, live: make(map[string]*liveJob)}
+	f, res, err := recoverLog(path, func(off int64, payload []byte) error {
+		var ev jobEvent
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			return fmt.Errorf("durable: journal record at %d: %w", off, err)
+		}
+		j.recovered++
+		j.applyLocked(ev)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	j.f = f
+	j.size = res.goodBytes
+	j.torn = res.torn
+
+	var pending []PendingJob
+	for _, id := range j.order {
+		lj := j.live[id]
+		var sp spec.Spec
+		if err := json.Unmarshal(lj.spec, &sp); err != nil {
+			// An admission record that does not parse is unrecoverable;
+			// drop the job rather than refuse to start.
+			continue
+		}
+		pending = append(pending, PendingJob{ID: id, Key: lj.key, Spec: sp.Normalize(), WasRunning: lj.running})
+	}
+	// Rewrite so terminal history does not accumulate across restarts.
+	j.mu.Lock()
+	err = j.compactLocked()
+	j.mu.Unlock()
+	if err != nil {
+		j.Close()
+		return nil, nil, err
+	}
+	return j, pending, nil
+}
+
+// applyLocked folds one event into the live map.
+func (j *Journal) applyLocked(ev jobEvent) {
+	switch ev.State {
+	case jobqueue.Pending.String(): // "pending" = admitted
+		if _, ok := j.live[ev.ID]; !ok {
+			j.live[ev.ID] = &liveJob{key: ev.Key, spec: ev.Spec}
+			j.order = append(j.order, ev.ID)
+		}
+	case jobqueue.Running.String():
+		if lj, ok := j.live[ev.ID]; ok {
+			lj.running = true
+		}
+	default: // terminal: done/failed/cancelled/migrated
+		if _, ok := j.live[ev.ID]; ok {
+			delete(j.live, ev.ID)
+			for i, id := range j.order {
+				if id == ev.ID {
+					j.order = append(j.order[:i], j.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// append writes one event record; sync forces it to disk before return.
+func (j *Journal) append(ev jobEvent, sync bool) {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		j.noteErr(err)
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	n, err := appendRecord(j.f, payload)
+	if err != nil {
+		j.lastErr = err
+		log.Printf("durable: journal append: %v", err)
+		return
+	}
+	j.size += n
+	j.appends++
+	j.applyLocked(ev)
+	if sync {
+		if err := j.f.Sync(); err != nil {
+			j.lastErr = err
+		}
+	}
+	if j.size > journalCompactBytes {
+		if err := j.compactLocked(); err != nil {
+			j.lastErr = err
+			log.Printf("durable: journal compact: %v", err)
+		}
+	}
+}
+
+func (j *Journal) noteErr(err error) {
+	j.mu.Lock()
+	j.lastErr = err
+	j.mu.Unlock()
+	log.Printf("durable: journal: %v", err)
+}
+
+// JobSubmitted journals an admission; it is durable (fsynced) before the
+// method returns, so an acknowledged job is never forgotten.
+func (j *Journal) JobSubmitted(id, key string, sp spec.Spec) {
+	blob, err := json.Marshal(sp)
+	if err != nil {
+		j.noteErr(err)
+		return
+	}
+	j.append(jobEvent{ID: id, State: jobqueue.Pending.String(), Key: key, Spec: blob}, true)
+}
+
+// JobRunning journals a worker picking the job up, marking it for
+// orphan re-enqueue if the daemon dies mid-run.
+func (j *Journal) JobRunning(id string) {
+	j.append(jobEvent{ID: id, State: jobqueue.Running.String()}, false)
+}
+
+// JobFinished journals a terminal transition.
+func (j *Journal) JobFinished(id string, state jobqueue.State, errMsg string) {
+	j.append(jobEvent{ID: id, State: state.String(), Error: errMsg}, false)
+}
+
+// compactLocked atomically rewrites the journal keeping only live jobs:
+// their admission records, plus a running record for orphans-to-be. The
+// caller holds j.mu.
+func (j *Journal) compactLocked() error {
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var size int64
+	for _, id := range j.order {
+		lj := j.live[id]
+		sub, err := json.Marshal(jobEvent{ID: id, State: jobqueue.Pending.String(), Key: lj.key, Spec: lj.spec})
+		if err == nil {
+			n, werr := appendRecord(f, sub)
+			if werr != nil {
+				err = werr
+			}
+			size += n
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if lj.running {
+			run, _ := json.Marshal(jobEvent{ID: id, State: jobqueue.Running.String()})
+			n, err := appendRecord(f, run)
+			if err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return err
+			}
+			size += n
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(filepath.Dir(j.path)); err != nil {
+		f.Close()
+		return err
+	}
+	if j.f != nil {
+		j.f.Close()
+	}
+	j.f = f
+	j.size = size
+	return nil
+}
+
+// Err returns the first persistent-write error observed ("" = none).
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastErr
+}
+
+// Live returns the number of journaled non-terminal jobs.
+func (j *Journal) Live() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.live)
+}
+
+// Recovered reports how many records the last OpenJournal replayed and
+// whether a torn tail was truncated.
+func (j *Journal) Recovered() (records uint64, torn bool) { return j.recovered, j.torn }
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

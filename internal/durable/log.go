@@ -1,0 +1,135 @@
+// Package durable is the persistence subsystem of the slacksim service:
+// a content-addressed on-disk result store behind the resultcache
+// interface (an append-only write-ahead log compacted into immutable
+// segment files), a crash-recoverable job journal for slacksimd and the
+// fleet coordinator, and a versioned container format for exportable run
+// snapshots used by live migration.
+//
+// All on-disk data shares one record framing (this file): length-prefixed
+// records protected by a CRC-32C checksum. A process death can tear at
+// most the record being appended; recovery-on-open scans to the first
+// record that fails its length or checksum test and truncates the file
+// there, so every surviving byte is known-good and an interrupted append
+// can never corrupt earlier records.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Record framing: a fixed header of two little-endian uint32s — payload
+// length and CRC-32C (Castagnoli) of the payload — followed by the
+// payload bytes. The maximum record size bounds a corrupt length field:
+// a length beyond it is treated as a torn tail, not an allocation order.
+const (
+	recHeaderLen = 8
+	maxRecordLen = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord frames payload and appends it to w, returning the number
+// of bytes written (header + payload).
+func appendRecord(w io.Writer, payload []byte) (int64, error) {
+	if len(payload) > maxRecordLen {
+		return 0, fmt.Errorf("durable: record of %d bytes exceeds the %d-byte bound", len(payload), maxRecordLen)
+	}
+	var hdr [recHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return int64(recHeaderLen + len(payload)), nil
+}
+
+// scanResult describes one pass over a record log.
+type scanResult struct {
+	// goodBytes is the offset just past the last record that passed both
+	// the length and checksum tests.
+	goodBytes int64
+	// torn reports whether the file continued past goodBytes with bytes
+	// that did not form a valid record (a torn or corrupt tail).
+	torn bool
+}
+
+// scanRecords reads records from r, invoking fn with each payload and the
+// record's starting offset. It stops at EOF or at the first record that
+// fails validation; the result says how many prefix bytes are good.
+func scanRecords(r io.Reader, fn func(off int64, payload []byte) error) (scanResult, error) {
+	var off int64
+	var hdr [recHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return scanResult{goodBytes: off}, nil
+			}
+			// io.ErrUnexpectedEOF: a torn header.
+			return scanResult{goodBytes: off, torn: true}, nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecordLen {
+			return scanResult{goodBytes: off, torn: true}, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return scanResult{goodBytes: off, torn: true}, nil
+		}
+		if crc32.Checksum(payload, crcTable) != want {
+			return scanResult{goodBytes: off, torn: true}, nil
+		}
+		if err := fn(off, payload); err != nil {
+			return scanResult{goodBytes: off}, err
+		}
+		off += int64(recHeaderLen) + int64(n)
+	}
+}
+
+// recoverLog opens (creating if absent) the record log at path for
+// appending, first scanning it and truncating any torn tail so the file
+// ends on a record boundary. fn sees every intact record in order.
+func recoverLog(path string, fn func(off int64, payload []byte) error) (*os.File, scanResult, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, scanResult{}, err
+	}
+	res, err := scanRecords(f, fn)
+	if err != nil {
+		f.Close()
+		return nil, res, err
+	}
+	if res.torn {
+		if err := f.Truncate(res.goodBytes); err != nil {
+			f.Close()
+			return nil, res, fmt.Errorf("durable: truncating torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, res, err
+		}
+	}
+	if _, err := f.Seek(res.goodBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, res, err
+	}
+	return f, res, nil
+}
+
+// syncDir fsyncs a directory so renames and creations inside it are
+// durable (required for the atomic segment-publish rename).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,66 @@
+package durable
+
+import (
+	"encoding/json"
+	"log"
+
+	"slacksim"
+	"slacksim/internal/service/resultcache"
+)
+
+// ResultCache presents a Store as the server's result cache: a bounded
+// LRU memory tier in front of the persistent content-addressed store.
+// Results are deterministic functions of their spec digest, and the JSON
+// encoding of Results round-trips exactly (float64 marshals shortest-
+// form), so a result served from disk is byte-identical to the freshly
+// computed one.
+type ResultCache struct {
+	store *Store
+	mem   *resultcache.Cache[*slacksim.Results]
+}
+
+// NewResultCache fronts store with a memEntries-entry LRU tier.
+func NewResultCache(store *Store, memEntries int) *ResultCache {
+	return &ResultCache{store: store, mem: resultcache.New[*slacksim.Results](memEntries)}
+}
+
+// Get returns the cached result for key, consulting the memory tier
+// first and falling back to the store (promoting the hit).
+func (c *ResultCache) Get(key string) (*slacksim.Results, bool) {
+	if res, ok := c.mem.Get(key); ok {
+		return res, true
+	}
+	blob, ok := c.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var res slacksim.Results
+	if err := json.Unmarshal(blob, &res); err != nil {
+		log.Printf("durable: result for %s does not decode (dropping): %v", key, err)
+		return nil, false
+	}
+	c.mem.Put(key, &res)
+	return &res, true
+}
+
+// Put stores the result durably and in the memory tier.
+func (c *ResultCache) Put(key string, res *slacksim.Results) {
+	c.mem.Put(key, res)
+	blob, err := json.Marshal(res)
+	if err != nil {
+		log.Printf("durable: result for %s does not encode: %v", key, err)
+		return
+	}
+	if err := c.store.Put(key, blob); err != nil {
+		log.Printf("durable: persisting result for %s: %v", key, err)
+	}
+}
+
+// Len returns the number of durably stored results.
+func (c *ResultCache) Len() int { return c.store.Len() }
+
+// Stats reports the memory tier's counters (the server's cache metrics).
+func (c *ResultCache) Stats() resultcache.Stats { return c.mem.Stats() }
+
+// StoreStats reports the persistent tier's counters.
+func (c *ResultCache) StoreStats() StoreStats { return c.store.Stats() }

@@ -1,0 +1,419 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StoreOptions parameterizes a Store.
+type StoreOptions struct {
+	// SyncEvery is the fsync batching window: an append schedules one
+	// deferred fsync at most this far in the future, so a burst of puts
+	// shares a single disk flush (default 25ms). Zero selects the
+	// default; negative syncs every append (slow, test-friendly).
+	SyncEvery time.Duration
+	// CompactBytes triggers WAL compaction: once the write-ahead log
+	// exceeds this many bytes its live records are rewritten into a new
+	// immutable segment file and the log is truncated (default 4 MiB).
+	CompactBytes int64
+}
+
+func (o StoreOptions) withDefaults() StoreOptions {
+	if o.SyncEvery == 0 {
+		o.SyncEvery = 25 * time.Millisecond
+	}
+	if o.CompactBytes <= 0 {
+		o.CompactBytes = 4 << 20
+	}
+	return o
+}
+
+// StoreStats snapshots the store's counters.
+type StoreStats struct {
+	Entries     int    `json:"entries"`
+	Segments    int    `json:"segments"`
+	WALBytes    int64  `json:"wal_bytes"`
+	Puts        uint64 `json:"puts"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Compactions uint64 `json:"compactions"`
+	// Recovered counts records replayed from disk when the store opened;
+	// TornTails counts files whose tail had to be truncated.
+	Recovered uint64 `json:"recovered"`
+	TornTails uint64 `json:"torn_tails"`
+}
+
+// loc addresses one record's value bytes. file 0 is the WAL; positive
+// values are segment ids.
+type loc struct {
+	file int64
+	off  int64 // offset of the value bytes within the file
+	vlen int64
+}
+
+// Store is a persistent content-addressed key→value store: appends go to
+// a write-ahead log which compaction folds into immutable segment files.
+// Keys are content addresses (spec digests), so records are never
+// mutated in place — a later put of the same key supersedes the earlier
+// record, and compaction drops superseded ones. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts StoreOptions
+
+	mu       sync.Mutex
+	wal      *os.File
+	walSize  int64
+	segs     map[int64]*os.File // guarded by mu; open segment files
+	nextSeg  int64              // guarded by mu
+	index    map[string]loc     // guarded by mu
+	syncing  bool               // guarded by mu; a deferred fsync is scheduled
+	closed   bool               // guarded by mu
+	syncWait sync.WaitGroup
+
+	puts, hits, misses, compactions, recovered, tornTails uint64 // guarded by mu
+}
+
+// record payload: u32 key length | key bytes | value bytes.
+func encodeStoreRecord(key string, val []byte) []byte {
+	buf := make([]byte, 4+len(key)+len(val))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(key)))
+	copy(buf[4:], key)
+	copy(buf[4+len(key):], val)
+	return buf
+}
+
+func decodeStoreRecord(payload []byte) (key string, valOff int64, err error) {
+	if len(payload) < 4 {
+		return "", 0, fmt.Errorf("durable: store record of %d bytes is too short", len(payload))
+	}
+	kl := int(binary.LittleEndian.Uint32(payload[:4]))
+	if kl < 0 || 4+kl > len(payload) {
+		return "", 0, fmt.Errorf("durable: store record key length %d exceeds payload", kl)
+	}
+	return string(payload[4 : 4+kl]), int64(4 + kl), nil
+}
+
+const (
+	walName    = "wal.log"
+	segPattern = "seg-%06d.seg"
+)
+
+// OpenStore opens (creating if needed) the store rooted at dir,
+// replaying every segment and the write-ahead log to rebuild the index
+// and truncating any torn WAL tail left by a crash.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts.withDefaults(),
+		segs:    make(map[int64]*os.File),
+		index:   make(map[string]loc),
+		nextSeg: 1,
+	}
+
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var id int64
+		if _, err := fmt.Sscanf(filepath.Base(name), segPattern, &id); err != nil {
+			continue
+		}
+		f, err := os.Open(name)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		res, err := scanRecords(f, func(off int64, payload []byte) error {
+			return s.replayLocked(id, off, payload)
+		})
+		if err != nil {
+			f.Close()
+			s.Close()
+			return nil, err
+		}
+		if res.torn {
+			// Segments are published by atomic rename, so a torn segment
+			// means external corruption; keep the good prefix.
+			s.tornTails++
+		}
+		s.segs[id] = f
+		if id >= s.nextSeg {
+			s.nextSeg = id + 1
+		}
+	}
+
+	wal, res, err := recoverLog(filepath.Join(dir, walName), func(off int64, payload []byte) error {
+		return s.replayLocked(0, off, payload)
+	})
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	if res.torn {
+		s.tornTails++
+	}
+	s.wal = wal
+	s.walSize = res.goodBytes
+	return s, nil
+}
+
+// replayLocked indexes one recovered record. Open-time callers own the
+// store exclusively (it is not yet published), which satisfies the
+// caller-holds-the-lock contract.
+func (s *Store) replayLocked(file, off int64, payload []byte) error {
+	key, valOff, err := decodeStoreRecord(payload)
+	if err != nil {
+		return err
+	}
+	s.recovered++
+	s.index[key] = loc{
+		file: file,
+		off:  off + recHeaderLen + valOff,
+		vlen: int64(len(payload)) - valOff,
+	}
+	return nil
+}
+
+func (s *Store) fileForLocked(l loc) *os.File {
+	if l.file == 0 {
+		return s.wal
+	}
+	return s.segs[l.file]
+}
+
+// Get returns the stored value for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	l, ok := s.index[key]
+	if !ok || s.closed {
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	f := s.fileForLocked(l)
+	s.hits++
+	s.mu.Unlock()
+	// ReadAt is safe concurrently with appends; records are immutable
+	// once indexed (compaction swaps the index entry under mu before the
+	// WAL is truncated, so a raced Get reads either copy, both intact).
+	val := make([]byte, l.vlen)
+	if _, err := f.ReadAt(val, l.off); err != nil {
+		return nil, false
+	}
+	return val, true
+}
+
+// Has reports whether key is present without touching the hit counters.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Len returns the number of distinct keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Put durably records key→val. The append lands in the write-ahead log
+// immediately; the fsync is batched (StoreOptions.SyncEvery), so a crash
+// inside the batching window may lose the newest appends — never earlier
+// ones, and results are recomputable by construction.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("durable: store is closed")
+	}
+	payload := encodeStoreRecord(key, val)
+	off := s.walSize
+	n, err := appendRecord(s.wal, payload)
+	if err != nil {
+		return err
+	}
+	s.walSize += n
+	s.puts++
+	s.index[key] = loc{file: 0, off: off + recHeaderLen + 4 + int64(len(key)), vlen: int64(len(val))}
+	if s.opts.SyncEvery < 0 {
+		if err := s.wal.Sync(); err != nil {
+			return err
+		}
+	} else if !s.syncing {
+		s.syncing = true
+		s.syncWait.Add(1)
+		time.AfterFunc(s.opts.SyncEvery, s.flush)
+	}
+	if s.walSize >= s.opts.CompactBytes {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// flush performs one batched fsync.
+func (s *Store) flush() {
+	defer s.syncWait.Done()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncing = false
+	if s.closed {
+		return
+	}
+	_ = s.wal.Sync()
+}
+
+// Sync forces the write-ahead log to disk (tests and Close).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.wal.Sync()
+}
+
+// compactLocked rewrites the WAL's live records into a new immutable
+// segment (write temp → fsync → atomic rename → fsync dir) and truncates
+// the log. The caller holds s.mu.
+func (s *Store) compactLocked() error {
+	id := s.nextSeg
+	final := filepath.Join(s.dir, fmt.Sprintf(segPattern, id))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+
+	// Collect the keys whose latest record lives in the WAL, in a stable
+	// order so compaction output is deterministic.
+	keys := make([]string, 0, len(s.index))
+	for k, l := range s.index {
+		if l.file == 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	var off int64
+	moved := make(map[string]loc, len(keys))
+	for _, k := range keys {
+		l := s.index[k]
+		val := make([]byte, l.vlen)
+		if _, err := s.wal.ReadAt(val, l.off); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		payload := encodeStoreRecord(k, val)
+		n, err := appendRecord(f, payload)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		moved[k] = loc{file: id, off: off + recHeaderLen + 4 + int64(len(k)), vlen: l.vlen}
+		off += n
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	// The segment is durable; now the index can point at it and the WAL
+	// can be reset. Order matters for crash safety, not for readers: a
+	// crash before the truncate replays both copies (idempotent).
+	s.segs[id] = f
+	s.nextSeg = id + 1
+	for k, l := range moved {
+		s.index[k] = l
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	s.walSize = 0
+	s.compactions++
+	return nil
+}
+
+// Compact forces a WAL→segment compaction (tests; production compaction
+// is size-triggered).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("durable: store is closed")
+	}
+	return s.compactLocked()
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Entries:     len(s.index),
+		Segments:    len(s.segs),
+		WALBytes:    s.walSize,
+		Puts:        s.puts,
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Compactions: s.compactions,
+		Recovered:   s.recovered,
+		TornTails:   s.tornTails,
+	}
+}
+
+// Close syncs and closes every file. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	if s.wal != nil {
+		if err := s.wal.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := s.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, f := range s.segs {
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.mu.Unlock()
+	s.syncWait.Wait()
+	return firstErr
+}

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"slacksim/internal/trace"
 	"slacksim/internal/workload"
 )
 
@@ -265,5 +266,67 @@ func TestLaxP2PSingleCore(t *testing.T) {
 	}
 	if err := w.VerifyCores(md.Memory(), 1); err != nil {
 		t.Fatalf("deterministic 1-core lax-p2p functional: %v", err)
+	}
+}
+
+// TestStallDumpIncludesTraceTail: attaching a ring to a StallError copies
+// at most the last stallTraceTail events and the dump renders them.
+func TestStallDumpIncludesTraceTail(t *testing.T) {
+	ring := trace.NewRing(64)
+	for i := 0; i < 40; i++ {
+		ring.Addf(int64(i), i%4, trace.Request, "event-%d", i)
+	}
+	serr := &StallError{Budget: time.Second}
+	serr.attachTrace(ring)
+	if len(serr.Trace) != stallTraceTail {
+		t.Fatalf("trace tail has %d events, want %d", len(serr.Trace), stallTraceTail)
+	}
+	if serr.TraceTotal != 40 {
+		t.Errorf("TraceTotal = %d, want 40", serr.TraceTotal)
+	}
+	msg := serr.Error()
+	for _, want := range []string{"trace tail (last 32 of 40 events):", "event-39", "event-8"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("dump message missing %q:\n%s", want, msg)
+		}
+	}
+	if strings.Contains(msg, "event-7\n") {
+		t.Error("dump kept events past the tail bound")
+	}
+
+	// An untraced run (nil ring) attaches nothing and renders no tail.
+	plain := &StallError{Budget: time.Second}
+	plain.attachTrace(nil)
+	if len(plain.Trace) != 0 || strings.Contains(plain.Error(), "trace tail") {
+		t.Error("nil ring produced a trace tail")
+	}
+}
+
+// TestParallelHostFeedsTraceRing: the parallel host wires the configured
+// ring into the uncore and the manager, so a traced parallel run records
+// serviced requests and checkpoints — the same ring a stall dump taps.
+func TestParallelHostFeedsTraceRing(t *testing.T) {
+	ring := trace.NewRing(4096)
+	m := newTestMachine(t, workload.NewFFT(64), 4)
+	res, err := RunParallel(m, RunConfig{
+		Scheme:             BoundedSlack(16),
+		CheckpointInterval: 256,
+		Tracer:             ring,
+	})
+	if err != nil {
+		t.Fatalf("traced parallel run failed: %v", err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("empty results")
+	}
+	out := ring.String()
+	if !strings.Contains(out, "request") {
+		t.Error("no uncore requests traced on the parallel host")
+	}
+	if !strings.Contains(out, "ckpt") {
+		t.Error("no checkpoints traced on the parallel host")
+	}
+	if ring.Total() == 0 {
+		t.Error("ring recorded no events")
 	}
 }

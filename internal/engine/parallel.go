@@ -14,6 +14,7 @@ import (
 	"slacksim/internal/event"
 	"slacksim/internal/mem"
 	"slacksim/internal/syncctl"
+	"slacksim/internal/trace"
 	"slacksim/internal/uncore"
 	"slacksim/internal/violation"
 )
@@ -213,6 +214,10 @@ func RunParallel(m *Machine, cfg RunConfig) (Results, error) {
 	if cfg.CheckpointInterval > 0 {
 		r.nextCkpt = cfg.CheckpointInterval
 	}
+	// The event ring is written only by the manager goroutine (uncore
+	// services and manager-side events); it is read again only after the
+	// run's goroutines have joined, so no locking is needed.
+	m.unc.SetTracer(cfg.Tracer)
 	ml := r.maxLocalNow()
 	for i := 0; i < n; i++ {
 		r.maxLocal[i].Store(ml)
@@ -241,6 +246,10 @@ func RunParallel(m *Machine, cfg RunConfig) (Results, error) {
 		close(wdDone)
 	}
 	if serr := r.stallErr.Load(); serr != nil {
+		// Attach the trace tail now that every goroutine has joined and
+		// the ring is quiescent: the last events before the wedge are the
+		// first thing a diagnosis needs.
+		serr.attachTrace(cfg.Tracer)
 		return Results{}, serr
 	}
 	if cfg.interrupted() {
@@ -636,8 +645,14 @@ func (r *parRun) adapt() {
 		return
 	}
 	r.lastAdapt = r.global
-	r.bound = r.ctrl.Update(r.m.det.Rate(r.global))
+	rate := r.m.det.Rate(r.global)
+	before := r.bound
+	r.bound = r.ctrl.Update(rate)
 	r.meter.adaptOps++
+	if r.bound != before {
+		r.cfg.Tracer.Addf(r.global, -1, trace.BoundChange,
+			"rate=%.5f bound %d -> %d", rate, before, r.bound)
+	}
 }
 
 // tryCheckpoint quiesces the machine at a checkpoint boundary and takes a
@@ -691,6 +706,7 @@ func (r *parRun) tryCheckpoint() bool {
 	r.ckpts++
 	r.ckptWords += words
 	r.meter.ckptWords += words
+	r.cfg.Tracer.Addf(r.nextCkpt, -1, trace.Checkpoint, "ckpt %d (%d words)", r.ckpts, words)
 	r.nextCkpt += r.cfg.CheckpointInterval
 	return true
 }

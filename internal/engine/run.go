@@ -89,6 +89,17 @@ type RunConfig struct {
 	// set true the run stops at the next pacing step and returns
 	// ErrInterrupted. Services use it to cancel in-flight jobs.
 	Interrupt *atomic.Bool
+	// SnapshotRequest, when non-nil and set true, asks the run to export
+	// its complete state at the next checkpoint boundary: the serialized
+	// state is delivered through OnSnapshot and the run returns
+	// ErrSnapshotted. The run can then be continued elsewhere with
+	// Resume. Requires CheckpointInterval > 0 and the deterministic host
+	// (the parallel host ignores it).
+	SnapshotRequest *atomic.Bool
+	// OnSnapshot receives the serialized run state when a snapshot
+	// request fires. Both SnapshotRequest and OnSnapshot must be set for
+	// export to happen.
+	OnSnapshot func(state []byte)
 }
 
 func (cfg RunConfig) withDefaults() RunConfig {
@@ -134,6 +145,9 @@ type detRun struct {
 	m   *Machine
 	cfg RunConfig
 	rng *rand.Rand
+	// rngSrc is rng's underlying source; its draw count is part of the
+	// exported run state (Resume fast-forwards a fresh source to it).
+	rngSrc *countingSource
 
 	ctrl  *adaptive.Controller
 	bound int64
@@ -180,10 +194,12 @@ func Run(m *Machine, cfg RunConfig) (Results, error) {
 	if err := cfg.Validate(); err != nil {
 		return Results{}, err
 	}
+	src := newCountingSource(cfg.Seed)
 	r := &detRun{
 		m:       m,
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rand.New(src),
+		rngSrc:  src,
 		retired: make([]bool, m.NumCores()),
 		bound:   cfg.Scheme.Bound,
 		prog:    newProgressNotifier(cfg),
@@ -545,6 +561,15 @@ func (r *detRun) atBoundary() error {
 	}
 	r.takeCheckpoint()
 	r.nextCkpt += r.cfg.CheckpointInterval
+	if r.cfg.snapshotRequested() {
+		// The run is quiesced and checkpointed: export the state and stop.
+		state, err := r.exportSnapshot()
+		if err != nil {
+			return err
+		}
+		r.cfg.OnSnapshot(state)
+		return ErrSnapshotted
+	}
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"slacksim/internal/trace"
 )
 
 // CoreStall is one core's pacing state at the moment a stall was detected,
@@ -31,9 +33,18 @@ type StallError struct {
 	GQDepth int
 	// Cores holds one entry per target core.
 	Cores []CoreStall
+	// Trace is the tail of the run's event ring (serviced requests,
+	// violations, bound changes, checkpoints), newest last — what the
+	// simulation was doing just before it wedged. Empty when the run was
+	// not traced (Config.TraceEvents == 0).
+	Trace []string
+	// TraceTotal is how many events the ring recorded overall, so the
+	// dump shows how much history the tail represents.
+	TraceTotal uint64
 }
 
-// Error formats the structured dump, one line per core.
+// Error formats the structured dump, one line per core, followed by the
+// trace tail when the run was traced.
 func (e *StallError) Error() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "engine: parallel host stalled: no progress for %v at global=%d (gq depth %d)",
@@ -42,7 +53,33 @@ func (e *StallError) Error() string {
 		fmt.Fprintf(&b, "\n  core %d: local=%d maxLocal=%d parked=%v retired=%v",
 			c.Core, c.LocalTime, c.MaxLocal, c.Parked, c.Retired)
 	}
+	if len(e.Trace) > 0 {
+		fmt.Fprintf(&b, "\n  trace tail (last %d of %d events):", len(e.Trace), e.TraceTotal)
+		for _, line := range e.Trace {
+			fmt.Fprintf(&b, "\n    %s", line)
+		}
+	}
 	return b.String()
+}
+
+// stallTraceTail bounds how many ring events a stall dump carries.
+const stallTraceTail = 32
+
+// attachTrace copies the tail of the run's event ring into the dump.
+// Callers must only invoke it once the ring is quiescent (after the
+// run's goroutines have joined); a nil ring is a no-op.
+func (e *StallError) attachTrace(r *trace.Ring) {
+	if r == nil {
+		return
+	}
+	events := r.Events()
+	if len(events) > stallTraceTail {
+		events = events[len(events)-stallTraceTail:]
+	}
+	for _, ev := range events {
+		e.Trace = append(e.Trace, ev.String())
+	}
+	e.TraceTotal = r.Total()
 }
 
 // progress is a monotone counter of forward motion: it increases whenever

@@ -215,6 +215,11 @@ func (c *Coordinator) Do(ctx context.Context, jobID string, sp spec.Spec) (*slac
 	key := sp.Key()
 	tried := make(map[string]bool)
 	var lastErr error
+	// resume carries a migrated run's exported state into the next
+	// attempt: the run continues from its checkpoint on the new worker
+	// instead of starting over.
+	var resume []byte
+	skipBackoff := false
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		// A caller that already gave up gets its context error back
 		// immediately — classified permanent, never a failover retry. This
@@ -224,7 +229,7 @@ func (c *Coordinator) Do(ctx context.Context, jobID string, sp spec.Spec) (*slac
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if attempt > 0 {
+		if attempt > 0 && !skipBackoff {
 			wait := c.backoff(attempt - 1)
 			var re *client.RetryError
 			if errors.As(lastErr, &re) && re.After > wait {
@@ -236,6 +241,7 @@ func (c *Coordinator) Do(ctx context.Context, jobID string, sp spec.Spec) (*slac
 			case <-time.After(wait):
 			}
 		}
+		skipBackoff = false
 
 		id, spill, err := c.pick(key, tried)
 		if errors.Is(err, ErrNoWorkers) && len(tried) > 0 {
@@ -265,8 +271,13 @@ func (c *Coordinator) Do(ctx context.Context, jobID string, sp spec.Spec) (*slac
 			lastErr = fmt.Errorf("%w: %s", ErrWorkerDown, id)
 			continue
 		}
-		a := Attempt{Worker: id, Start: time.Now(), Spill: spill}
-		res, err := tr.Run(dctx, sp)
+		a := Attempt{Worker: id, Start: time.Now(), Spill: spill, Resumed: len(resume) > 0}
+		var res *slacksim.Results
+		if len(resume) > 0 {
+			res, err = tr.Resume(dctx, resume)
+		} else {
+			res, err = tr.Run(dctx, sp)
+		}
 		a.DurationMS = time.Since(a.Start).Milliseconds()
 		release()
 		cancel()
@@ -274,6 +285,20 @@ func (c *Coordinator) Do(ctx context.Context, jobID string, sp spec.Spec) (*slac
 		if err == nil {
 			c.record(jobID, a)
 			return res, nil
+		}
+		var me *MigratedError
+		if errors.As(err, &me) {
+			// The worker handed the run back at a checkpoint (evacuation).
+			// Carry the snapshot to the next attempt and go immediately:
+			// the work is intact, nothing to back off from. A pending-job
+			// ejection has no snapshot — restart from the spec.
+			a.Migrated = true
+			c.record(jobID, a)
+			resume = me.Snapshot
+			tried[id] = true
+			skipBackoff = true
+			lastErr = err
+			continue
 		}
 		a.Error = err.Error()
 		c.record(jobID, a)
@@ -293,4 +318,23 @@ func (c *Coordinator) Do(ctx context.Context, jobID string, sp spec.Spec) (*slac
 		lastErr = err
 	}
 	return nil, fmt.Errorf("fleet: job %s failed after %d attempts: %w", jobID, c.cfg.MaxAttempts, lastErr)
+}
+
+// Evacuate live-migrates a worker's work off it: the worker is marked
+// draining (no new dispatches are routed at it, but health probes
+// continue while its jobs export), then told to evacuate — pending jobs
+// eject, running jobs stop at their next checkpoint and export their
+// state. The coordinator's in-flight dispatches on the worker observe
+// *MigratedError and immediately resume the runs on other workers, so
+// results are identical to uninterrupted execution. The worker stays
+// draining until it re-registers.
+func (c *Coordinator) Evacuate(ctx context.Context, workerID string) error {
+	if !c.reg.SetDraining(workerID, true) {
+		return fmt.Errorf("fleet: no such worker %q", workerID)
+	}
+	tr, ok := c.reg.transport(workerID)
+	if !ok {
+		return fmt.Errorf("%w: %s deregistered", ErrWorkerDown, workerID)
+	}
+	return tr.Evacuate(ctx)
 }

@@ -131,7 +131,23 @@ func (f *Facade) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/fleet/workers", f.handleJoin)
 	mux.HandleFunc("DELETE /v1/fleet/workers/{id}", f.handleLeave)
 	mux.HandleFunc("GET /v1/fleet/workers", f.handleWorkers)
+	mux.HandleFunc("POST /v1/fleet/workers/{id}/evacuate", f.handleEvacuate)
 	return mux
+}
+
+// handleEvacuate live-migrates a worker's jobs onto the rest of the
+// fleet: the worker stops receiving dispatches, its running jobs export
+// at their next checkpoint, and the coordinator resumes them elsewhere.
+func (f *Facade) handleEvacuate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	w.Header().Set("Content-Type", "application/json")
+	if err := f.coord.Evacuate(r.Context(), id); err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "evacuating", "id": id})
 }
 
 // joinRequest is POST /v1/fleet/workers' body.

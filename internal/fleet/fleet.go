@@ -61,6 +61,23 @@ func (e *RunFailedError) Error() string {
 	return fmt.Sprintf("fleet: run %s: %s", e.State, e.Msg)
 }
 
+// MigratedError reports a dispatch whose worker checkpoint-migrated the
+// job instead of finishing it (evacuation, or an explicit migrate).
+// Snapshot is the exported state to continue from on another worker —
+// nil when the job was ejected while still pending, in which case it
+// simply restarts from its spec. Always retryable: the work is intact,
+// it just needs a new home.
+type MigratedError struct {
+	Snapshot []byte
+}
+
+func (e *MigratedError) Error() string {
+	if len(e.Snapshot) == 0 {
+		return "fleet: job ejected before starting; restart from spec"
+	}
+	return fmt.Sprintf("fleet: job migrated with %d-byte snapshot", len(e.Snapshot))
+}
+
 // Attempt is one dispatch of a job to one worker, kept per job and
 // surfaced through the coordinator's job view.
 type Attempt struct {
@@ -75,6 +92,12 @@ type Attempt struct {
 	// Spill marks an attempt routed away from the rendezvous choice by
 	// load-aware spill.
 	Spill bool `json:"spill,omitempty"`
+	// Resumed marks an attempt that continued a migrated run from its
+	// snapshot instead of starting from the spec.
+	Resumed bool `json:"resumed,omitempty"`
+	// Migrated marks an attempt that ended with the worker exporting the
+	// run's state (evacuation) rather than failing.
+	Migrated bool `json:"migrated,omitempty"`
 }
 
 // Load is a sample of one worker's scraped load and capacity, parsed

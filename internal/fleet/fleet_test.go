@@ -19,7 +19,9 @@ type fakeTransport struct {
 	healthErr error
 	load      Load
 	runFn     func(ctx context.Context, sp spec.Spec) (*slacksim.Results, error)
+	resumeFn  func(ctx context.Context, snapshot []byte) (*slacksim.Results, error)
 	runs      int
+	resumes   int
 }
 
 func (f *fakeTransport) setHealth(err error) {
@@ -44,6 +46,19 @@ func (f *fakeTransport) Run(ctx context.Context, sp spec.Spec) (*slacksim.Result
 	}
 	return &slacksim.Results{Workload: sp.Workload, Cycles: 1}, nil
 }
+
+func (f *fakeTransport) Resume(ctx context.Context, snapshot []byte) (*slacksim.Results, error) {
+	f.mu.Lock()
+	f.resumes++
+	fn := f.resumeFn
+	f.mu.Unlock()
+	if fn != nil {
+		return fn(ctx, snapshot)
+	}
+	return &slacksim.Results{Cycles: 1}, nil
+}
+
+func (f *fakeTransport) Evacuate(ctx context.Context) error { return nil }
 
 func (f *fakeTransport) Load(ctx context.Context) (Load, error) {
 	f.mu.Lock()

@@ -1,0 +1,195 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"slacksim"
+	"slacksim/client"
+	"slacksim/internal/service/server"
+	"slacksim/internal/spec"
+)
+
+// TestCoordinatorResumesMigratedRun: a worker hands back a run as a
+// *MigratedError with a snapshot; the coordinator immediately redispatches
+// it to another worker via Resume, carrying the snapshot, with both the
+// migration and the resumption visible in the attempt history.
+func TestCoordinatorResumesMigratedRun(t *testing.T) {
+	c, fakes := quickCoord(CoordinatorConfig{MaxAttempts: 4}, "w1", "w2")
+	blob := []byte("exported-checkpoint-state")
+	fakes["w1"].runFn = func(ctx context.Context, sp spec.Spec) (*slacksim.Results, error) {
+		return nil, &MigratedError{Snapshot: blob}
+	}
+	var got []byte
+	var mu sync.Mutex
+	fakes["w2"].resumeFn = func(ctx context.Context, snapshot []byte) (*slacksim.Results, error) {
+		mu.Lock()
+		got = snapshot
+		mu.Unlock()
+		return &slacksim.Results{Workload: "fft", Cycles: 9}, nil
+	}
+	sp := pickFavoring(t, c, "w1")
+
+	res, err := c.Do(context.Background(), "job-m", sp)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if res.Cycles != 9 {
+		t.Fatalf("result = %+v", res)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("w2 resumed with %q, want the exported snapshot", got)
+	}
+	if fakes["w2"].runCount() != 0 {
+		t.Fatal("w2 should have resumed, not re-run from spec")
+	}
+	at := c.Attempts("job-m")
+	if len(at) != 2 {
+		t.Fatalf("attempts = %+v, want 2", at)
+	}
+	if !at[0].Migrated || at[0].Worker != "w1" {
+		t.Fatalf("first attempt should be the migration off w1: %+v", at[0])
+	}
+	if !at[1].Resumed || at[1].Worker != "w2" || at[1].Error != "" {
+		t.Fatalf("second attempt should resume on w2: %+v", at[1])
+	}
+}
+
+// TestCoordinatorRestartsEjectedPendingJob: a job ejected while still
+// pending has no snapshot; the next attempt restarts it from its spec
+// (Run, not Resume) — correct because runs are deterministic.
+func TestCoordinatorRestartsEjectedPendingJob(t *testing.T) {
+	c, fakes := quickCoord(CoordinatorConfig{MaxAttempts: 4}, "w1", "w2")
+	fakes["w1"].runFn = func(ctx context.Context, sp spec.Spec) (*slacksim.Results, error) {
+		return nil, &MigratedError{} // ejected before starting
+	}
+	sp := pickFavoring(t, c, "w1")
+
+	res, err := c.Do(context.Background(), "job-e", sp)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if res == nil || res.Workload != "fft" {
+		t.Fatalf("result = %+v", res)
+	}
+	fakes["w2"].mu.Lock()
+	runs, resumes := fakes["w2"].runs, fakes["w2"].resumes
+	fakes["w2"].mu.Unlock()
+	if runs != 1 || resumes != 0 {
+		t.Fatalf("w2 runs=%d resumes=%d, want a fresh run from spec", runs, resumes)
+	}
+	at := c.Attempts("job-e")
+	if len(at) != 2 || !at[0].Migrated || at[1].Resumed {
+		t.Fatalf("attempts = %+v", at)
+	}
+}
+
+// TestEvacuateLiveMigratesByteIdentical is the migration acceptance
+// gate: a checkpointing run is dispatched to a real worker, the worker
+// is evacuated mid-run, the coordinator resumes the exported state on
+// the other worker, and the final results are byte-identical to an
+// uninterrupted local run.
+func TestEvacuateLiveMigratesByteIdentical(t *testing.T) {
+	_, t1 := newWorker(t)
+	_, t2 := newWorker(t)
+	workers := map[string]Transport{"w1": t1, "w2": t2}
+	f, c := newFleet(t, FacadeConfig{
+		Server: server.Config{Workers: 4, QueueDepth: 16},
+		Coordinator: CoordinatorConfig{
+			MaxAttempts: 5, BackoffBase: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		},
+		Registry: RegistryConfig{
+			ProbeInterval: 10 * time.Millisecond, ProbeTimeout: 2 * time.Second, FailThreshold: 3,
+		},
+	}, workers)
+
+	// Long enough to evacuate mid-run (~1s), checkpointing often enough
+	// (every 256 of ~600k cycles) that the export happens almost at once.
+	sp := spec.Spec{
+		Workload: "fft", Scheme: "s8", Cores: 2, Seed: 1, Scale: 32,
+		CheckpointInterval: 256,
+	}
+	want := canonJSON(t, runLocally(t, sp))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	type out struct {
+		j   *client.Job
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		j, err := c.SubmitWait(ctx, sp, 2*time.Millisecond)
+		done <- out{j, err}
+	}()
+
+	// Find the worker actually running the job, then evacuate it through
+	// the fleet API.
+	victim := ""
+	deadline := time.Now().Add(30 * time.Second)
+	for victim == "" && time.Now().Before(deadline) {
+		for id, tr := range workers {
+			if load, err := tr.Load(ctx); err == nil && load.Running > 0 {
+				victim = id
+				break
+			}
+		}
+		if victim == "" {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if victim == "" {
+		t.Fatal("job never started on a worker")
+	}
+	hc := &http.Client{Transport: handlerRoundTripper{h: f.Handler()}}
+	resp, err := hc.Post("http://fleet/v1/fleet/workers/"+victim+"/evacuate", "application/json", strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("evacuate: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("evacuate status = %d", resp.StatusCode)
+	}
+
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("job lost in migration: %v", o.err)
+	}
+	if o.j.State != "done" || o.j.Result == nil {
+		t.Fatalf("job %s: %s", o.j.State, o.j.Error)
+	}
+	if got := canonJSON(t, o.j.Result); !bytes.Equal(got, want) {
+		t.Fatalf("migrated result differs from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+
+	// The evacuated worker must be draining (still registered, no longer
+	// routed), and the migration must show up in the attempt history.
+	for _, wi := range f.Registry().Snapshot() {
+		if wi.ID == victim && !wi.Draining {
+			t.Fatalf("victim %s not draining: %+v", victim, wi)
+		}
+	}
+	at := f.Coordinator().Attempts(o.j.ID)
+	if len(at) < 2 {
+		t.Fatalf("attempts = %+v, want migration + resume", at)
+	}
+	sawMigration, sawResume := false, false
+	for _, a := range at {
+		if a.Migrated && a.Worker == victim {
+			sawMigration = true
+		}
+		if a.Resumed && a.Error == "" {
+			sawResume = true
+		}
+	}
+	if !sawMigration || !sawResume {
+		t.Fatalf("attempt history missing migration/resume: %+v", at)
+	}
+}

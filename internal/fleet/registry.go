@@ -38,6 +38,8 @@ type WorkerInfo struct {
 	ID      string `json:"id"`
 	URL     string `json:"url,omitempty"`
 	Healthy bool   `json:"healthy"`
+	// Draining marks a worker being evacuated: still probed, not routed.
+	Draining bool `json:"draining,omitempty"`
 	// Fails counts consecutive failed probes (0 while healthy).
 	Fails     int    `json:"consecutive_failures,omitempty"`
 	LastError string `json:"last_error,omitempty"`
@@ -57,10 +59,14 @@ type workerState struct {
 	url       string
 	transport Transport
 
-	healthy bool   // guarded by Registry.mu
-	fails   int    // guarded by Registry.mu
-	lastErr string // guarded by Registry.mu
-	load    Load   // guarded by Registry.mu
+	healthy bool // guarded by Registry.mu
+	// draining marks a worker being evacuated: health probes continue
+	// (its jobs are still exporting snapshots) but no new dispatches are
+	// routed at it.
+	draining bool   // guarded by Registry.mu
+	fails    int    // guarded by Registry.mu
+	lastErr  string // guarded by Registry.mu
+	load     Load   // guarded by Registry.mu
 
 	// inflight holds the cancel funcs of this coordinator's dispatches on
 	// the worker; marking the worker unhealthy fires them all, draining
@@ -127,18 +133,33 @@ func (r *Registry) transport(id string) (Transport, bool) {
 	return w.transport, true
 }
 
-// healthy returns the IDs of all healthy workers.
+// healthy returns the IDs of all routable workers (healthy and not
+// draining).
 func (r *Registry) healthy() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ids := make([]string, 0, len(r.workers))
 	for id, w := range r.workers {
-		if w.healthy {
+		if w.healthy && !w.draining {
 			ids = append(ids, id)
 		}
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+// SetDraining marks a worker as draining (evacuation in progress): it
+// stays registered and probed, but receives no new dispatches. Returns
+// false for unknown workers. Re-registering via Add clears the flag.
+func (r *Registry) SetDraining(id string, draining bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok {
+		return false
+	}
+	w.draining = draining
+	return true
 }
 
 // loadOf returns the worker's last scraped load sample.
@@ -274,6 +295,7 @@ func (r *Registry) Snapshot() []WorkerInfo {
 			ID:          w.id,
 			URL:         w.url,
 			Healthy:     w.healthy,
+			Draining:    w.draining,
 			Fails:       w.fails,
 			LastError:   w.lastErr,
 			Inflight:    len(w.inflight),

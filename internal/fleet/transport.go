@@ -3,6 +3,7 @@ package fleet
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -21,8 +22,17 @@ type Transport interface {
 	Healthz(ctx context.Context) error
 	// Run submits sp and blocks until the job is terminal, returning its
 	// results. A job that terminates unsuccessfully is a *RunFailedError;
-	// transport-level failures come back as-is for retry classification.
+	// a job the worker checkpoint-migrated is a *MigratedError carrying
+	// its snapshot; transport-level failures come back as-is for retry
+	// classification.
 	Run(ctx context.Context, sp spec.Spec) (*slacksim.Results, error)
+	// Resume submits an exported snapshot and blocks until the continued
+	// run is terminal, with the same error contract as Run.
+	Resume(ctx context.Context, snapshot []byte) (*slacksim.Results, error)
+	// Evacuate asks the worker to hand off all its work: pending jobs are
+	// ejected, running jobs checkpoint-migrate. In-flight Run/Resume
+	// calls then return *MigratedError as their jobs export.
+	Evacuate(ctx context.Context) error
 	// Load scrapes the worker's /metrics for its current load sample.
 	Load(ctx context.Context) (Load, error)
 }
@@ -50,16 +60,70 @@ func DialWorker(baseURL string) *HTTPTransport {
 func (t *HTTPTransport) Healthz(ctx context.Context) error { return t.c.Healthz(ctx) }
 
 // Run implements Transport: SubmitWait against the worker, then fold a
-// terminal non-done state into a permanent *RunFailedError.
+// terminal non-done state into a permanent *RunFailedError — except
+// "migrated", which becomes a retryable *MigratedError carrying the
+// job's exported snapshot.
 func (t *HTTPTransport) Run(ctx context.Context, sp spec.Spec) (*slacksim.Results, error) {
 	j, err := t.c.SubmitWait(ctx, sp, t.poll)
 	if err != nil {
 		return nil, err
 	}
-	if j.State != "done" || j.Result == nil {
+	return t.fold(ctx, j)
+}
+
+// Resume implements Transport: continue a snapshot on this worker and
+// wait for the terminal state, with Run's folding rules (a resumed run
+// can itself be migrated onward).
+func (t *HTTPTransport) Resume(ctx context.Context, snapshot []byte) (*slacksim.Results, error) {
+	for {
+		j, err := t.c.Resume(ctx, snapshot)
+		var re *client.RetryError
+		if errors.As(err, &re) {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(re.After + 250*time.Millisecond):
+				continue
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !j.Terminal() {
+			if j, err = t.c.Wait(ctx, j.ID, t.poll); err != nil {
+				return nil, err
+			}
+		}
+		return t.fold(ctx, j)
+	}
+}
+
+// Evacuate implements Transport.
+func (t *HTTPTransport) Evacuate(ctx context.Context) error {
+	_, _, err := t.c.Evacuate(ctx)
+	return err
+}
+
+// fold turns a terminal job into the Transport error contract.
+func (t *HTTPTransport) fold(ctx context.Context, j *client.Job) (*slacksim.Results, error) {
+	switch {
+	case j.State == "done" && j.Result != nil:
+		return j.Result, nil
+	case j.State == "migrated":
+		// Fetch the exported state; a job ejected while pending has none
+		// and restarts from its spec (nil snapshot).
+		blob, err := t.c.Snapshot(ctx, j.ID)
+		if err != nil {
+			var se *client.StatusError
+			if errors.As(err, &se) && se.Code == 404 {
+				return nil, &MigratedError{}
+			}
+			return nil, err
+		}
+		return nil, &MigratedError{Snapshot: blob}
+	default:
 		return nil, &RunFailedError{State: j.State, Msg: j.Error}
 	}
-	return j.Result, nil
 }
 
 // Load implements Transport by scraping and parsing GET /metrics.
@@ -213,6 +277,35 @@ func (f *FailableTransport) Run(ctx context.Context, sp spec.Spec) (*slacksim.Re
 		}
 	}
 	return res, err
+}
+
+// Resume implements Transport.
+func (f *FailableTransport) Resume(ctx context.Context, snapshot []byte) (*slacksim.Results, error) {
+	ctx, done, err := f.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	res, err := f.inner.Resume(ctx, snapshot)
+	if err != nil && ctx.Err() != nil {
+		f.mu.Lock()
+		wasDown := f.down
+		f.mu.Unlock()
+		if wasDown {
+			return nil, fmt.Errorf("%w: connection lost mid-job", ErrWorkerDown)
+		}
+	}
+	return res, err
+}
+
+// Evacuate implements Transport.
+func (f *FailableTransport) Evacuate(ctx context.Context) error {
+	ctx, done, err := f.begin(ctx)
+	if err != nil {
+		return err
+	}
+	defer done()
+	return f.inner.Evacuate(ctx)
 }
 
 // Load implements Transport.

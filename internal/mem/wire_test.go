@@ -1,0 +1,30 @@
+package mem
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestMemoryWireRoundTrip(t *testing.T) {
+	m := New()
+	for i := uint64(0); i < 2000; i++ {
+		m.Write(i*8*37, i+1) // spread across pages and shards
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got := New()
+	got.Write(123456, 42) // stale content must be dropped by decode
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !m.Equal(got) {
+		t.Fatal("memory did not survive the wire round trip")
+	}
+	if m.AllocatedWords() != got.AllocatedWords() {
+		t.Fatalf("allocated words %d != %d (cost model would diverge)",
+			m.AllocatedWords(), got.AllocatedWords())
+	}
+}

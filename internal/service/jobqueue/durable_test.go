@@ -1,0 +1,110 @@
+package jobqueue
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRestoreReenqueuesAndAdvancesSeq(t *testing.T) {
+	q := New(8)
+
+	j, err := q.Restore("j41", "key-a", "payload-a")
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if j.ID != "j41" || j.Key != "key-a" || j.State() != Pending {
+		t.Fatalf("restored job = %+v state=%v", j, j.State())
+	}
+
+	// Duplicate IDs are rejected: a journal replay must not double-book.
+	if _, err := q.Restore("j41", "key-a", nil); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate restore: want ErrDuplicate, got %v", err)
+	}
+
+	// Fresh submissions must not collide with restored IDs: the sequence
+	// advances past the highest restored number.
+	j2, err := q.Submit("key-b", nil)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if j2.ID == "j41" {
+		t.Fatalf("fresh job reused restored ID %s", j2.ID)
+	}
+
+	// FIFO order: restored job first, then the fresh one.
+	n1, err := q.Next()
+	if err != nil || n1.ID != "j41" {
+		t.Fatalf("next = %v, %v; want j41", n1, err)
+	}
+	n2, err := q.Next()
+	if err != nil || n2.ID != j2.ID {
+		t.Fatalf("next = %v, %v; want %s", n2, err, j2.ID)
+	}
+
+	s := q.Stats()
+	if s.Restored != 1 {
+		t.Fatalf("stats.Restored = %d, want 1", s.Restored)
+	}
+}
+
+func TestRestoreBypassesCapacity(t *testing.T) {
+	q := New(1)
+	if _, err := q.Submit("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery re-admits everything the journal promised, even past the
+	// configured depth — the jobs were already accepted once.
+	if _, err := q.Restore("j100", "b", nil); err != nil {
+		t.Fatalf("restore past capacity: %v", err)
+	}
+	if got := q.Stats().Depth; got != 2 {
+		t.Fatalf("depth = %d, want 2", got)
+	}
+}
+
+func TestEjectPendingJob(t *testing.T) {
+	q := New(8)
+	j, err := q.Submit("k", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Eject(j.ID); err != nil {
+		t.Fatalf("eject: %v", err)
+	}
+	if j.State() != Migrated {
+		t.Fatalf("ejected state = %v, want Migrated", j.State())
+	}
+	if !j.State().Terminal() {
+		t.Fatal("Migrated must be terminal")
+	}
+	if _, err := j.Result(); !errors.Is(err, ErrMigrated) {
+		t.Fatalf("result err = %v, want ErrMigrated", err)
+	}
+	// The ejected job left the FIFO: nothing remains to dispatch.
+	if got := q.Stats().Depth; got != 0 {
+		t.Fatalf("depth after eject = %d, want 0", got)
+	}
+	if got := q.Stats().Migrated; got != 1 {
+		t.Fatalf("stats.Migrated = %d, want 1", got)
+	}
+}
+
+func TestEjectRunningJobNotCancellable(t *testing.T) {
+	q := New(8)
+	j, _ := q.Submit("k", nil)
+	if _, err := q.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Eject(j.ID); !errors.Is(err, ErrNotCancellable) {
+		t.Fatalf("eject running: want ErrNotCancellable, got %v", err)
+	}
+	// The running job instead finishes with ErrMigrated once its worker
+	// exports the snapshot.
+	q.Finish(j, nil, ErrMigrated)
+	if j.State() != Migrated {
+		t.Fatalf("state = %v, want Migrated", j.State())
+	}
+	if got := q.Stats().Migrated; got != 1 {
+		t.Fatalf("stats.Migrated = %d, want 1", got)
+	}
+}

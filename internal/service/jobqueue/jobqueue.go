@@ -22,13 +22,17 @@ import (
 type State int32
 
 // Job states. Pending jobs sit in the FIFO; Running jobs are owned by a
-// worker; Done/Failed/Cancelled are terminal.
+// worker; Done/Failed/Cancelled/Migrated are terminal.
 const (
 	Pending State = iota
 	Running
 	Done
 	Failed
 	Cancelled
+	// Migrated means the run stopped at a checkpoint and exported its
+	// state: the job is terminal here, and its snapshot continues the run
+	// elsewhere (the fleet coordinator resumes it on another worker).
+	Migrated
 )
 
 // String names the state; these strings are the service's wire format.
@@ -44,12 +48,16 @@ func (s State) String() string {
 		return "failed"
 	case Cancelled:
 		return "cancelled"
+	case Migrated:
+		return "migrated"
 	}
 	return fmt.Sprintf("State(%d)", int32(s))
 }
 
 // Terminal reports whether the state is final.
-func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+func (s State) Terminal() bool {
+	return s == Done || s == Failed || s == Cancelled || s == Migrated
+}
 
 // Queue errors.
 var (
@@ -64,6 +72,11 @@ var (
 	// ErrCancelled is the terminal error of a cancelled job; pass it to
 	// Finish to mark a running job cancelled instead of failed.
 	ErrCancelled = errors.New("jobqueue: job cancelled")
+	// ErrMigrated is the terminal error of a migrated job; pass it to
+	// Finish to mark a running job migrated instead of failed.
+	ErrMigrated = errors.New("jobqueue: job migrated")
+	// ErrDuplicate rejects a Restore whose job id is already tracked.
+	ErrDuplicate = errors.New("jobqueue: job id already exists")
 )
 
 // Job is one unit of work tracked by the queue. Exported fields are
@@ -210,6 +223,8 @@ type Stats struct {
 	Done      uint64 `json:"done"`
 	Failed    uint64 `json:"failed"`
 	Cancelled uint64 `json:"cancelled"`
+	Migrated  uint64 `json:"migrated"`
+	Restored  uint64 `json:"restored"`
 }
 
 // DefaultRetention is how many terminal jobs stay retrievable by Get
@@ -231,6 +246,7 @@ type Queue struct {
 	seq       uint64          // guarded by mu
 
 	submitted, rejected, nDone, nFailed, nCancelled uint64 // guarded by mu
+	nMigrated, nRestored                            uint64 // guarded by mu
 }
 
 // New builds a queue admitting at most capacity pending jobs (min 1).
@@ -286,6 +302,31 @@ func (q *Queue) Submit(key string, payload any) (*Job, error) {
 	q.jobs[j.ID] = j
 	q.pending = append(q.pending, j)
 	q.submitted++
+	q.cond.Broadcast()
+	return j, nil
+}
+
+// Restore re-admits a job recovered from a crash journal under its
+// original id, bypassing the capacity bound: recovery must never drop
+// work that was already accepted. The sequence counter advances past the
+// restored id so fresh submissions cannot collide with it.
+func (q *Queue) Restore(id, key string, payload any) (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := q.jobs[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicate, id)
+	}
+	var n uint64
+	if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > q.seq {
+		q.seq = n
+	}
+	j := newJob(id, key, payload)
+	q.jobs[id] = j
+	q.pending = append(q.pending, j)
+	q.nRestored++
 	q.cond.Broadcast()
 	return j, nil
 }
@@ -365,13 +406,47 @@ func (q *Queue) Cancel(id string) error {
 	return nil
 }
 
+// Eject removes a pending job from the FIFO and marks it Migrated with
+// no exported state: the job never started, so its spec alone restarts
+// it anywhere. Running or terminal jobs return ErrNotCancellable;
+// unknown ids return ErrNotFound.
+func (q *Queue) Eject(id string) error {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return ErrNotFound
+	}
+	idx := -1
+	for i, p := range q.pending {
+		if p == j {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		q.mu.Unlock()
+		return ErrNotCancellable
+	}
+	q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
+	q.nMigrated++
+	q.noteTerminalLocked(j.ID)
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	j.finish(Migrated, nil, ErrMigrated)
+	return nil
+}
+
 // Finish retires a running job: err == nil → Done, err wrapping
-// ErrCancelled → Cancelled, anything else → Failed.
+// ErrCancelled → Cancelled, err wrapping ErrMigrated → Migrated,
+// anything else → Failed.
 func (q *Queue) Finish(j *Job, result any, err error) {
 	state := Done
 	switch {
 	case errors.Is(err, ErrCancelled):
 		state = Cancelled
+	case errors.Is(err, ErrMigrated):
+		state = Migrated
 	case err != nil:
 		state = Failed
 	}
@@ -385,6 +460,8 @@ func (q *Queue) Finish(j *Job, result any, err error) {
 		q.nFailed++
 	case Cancelled:
 		q.nCancelled++
+	case Migrated:
+		q.nMigrated++
 	}
 	q.noteTerminalLocked(j.ID)
 	q.cond.Broadcast()
@@ -438,5 +515,7 @@ func (q *Queue) Stats() Stats {
 		Done:      q.nDone,
 		Failed:    q.nFailed,
 		Cancelled: q.nCancelled,
+		Migrated:  q.nMigrated,
+		Restored:  q.nRestored,
 	}
 }

@@ -12,6 +12,17 @@ import (
 	"sync"
 )
 
+// Interface is what the service needs from a result cache. Cache is the
+// in-memory implementation; internal/durable.ResultCache implements the
+// same contract backed by a persistent store, so slacksimd can swap in
+// durability without the HTTP layer noticing.
+type Interface[V any] interface {
+	Get(key string) (V, bool)
+	Put(key string, val V)
+	Len() int
+	Stats() Stats
+}
+
 // Stats is a snapshot of the cache's counters.
 type Stats struct {
 	Entries   int    `json:"entries"`

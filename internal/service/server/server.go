@@ -21,9 +21,20 @@
 //	GET    /v1/jobs/{id}       job status, including the result when done
 //	GET    /v1/jobs/{id}/events  SSE: progress events, then one terminal event
 //	DELETE /v1/jobs/{id}       cancel (pending: immediate; running: interrupt)
+//	POST   /v1/jobs/{id}/migrate   checkpoint-migrate: stop the run at its next
+//	                           checkpoint and export its state (job → "migrated")
+//	GET    /v1/jobs/{id}/snapshot  fetch a migrated job's exported state
+//	POST   /v1/resume          submit an exported snapshot; the run continues
+//	                           from its checkpoint instead of starting over
+//	POST   /v1/evacuate        migrate every running job and eject every
+//	                           pending one (a dying worker hands off its work)
 //	GET    /v1/healthz         liveness ("ok", or "draining" with 503)
 //	GET    /v1/statsz          queue/cache/worker counters
 //	GET    /metrics            the same counters in Prometheus text format
+//
+// With Config.Cache backed by a persistent store and Config.Journal set,
+// the daemon is crash-recoverable: results survive restarts, and jobs
+// journaled as accepted are re-enqueued by Recover on the next start.
 package server
 
 import (
@@ -40,6 +51,7 @@ import (
 	"time"
 
 	"slacksim"
+	"slacksim/internal/durable"
 	"slacksim/internal/promtext"
 	"slacksim/internal/service/jobqueue"
 	"slacksim/internal/service/resultcache"
@@ -61,6 +73,15 @@ type RunContext struct {
 	ProgressEvery int64
 	// StallTimeout arms the parallel host's stall watchdog.
 	StallTimeout time.Duration
+	// SnapshotRequest, when set true, asks the run to export its state at
+	// the next checkpoint boundary and stop (live migration).
+	SnapshotRequest *atomic.Bool
+	// OnSnapshot receives the exported state as a durable snapshot
+	// container (spec + engine state, CRC-framed).
+	OnSnapshot func(blob []byte)
+	// Resume, when non-empty, is a durable snapshot container to continue
+	// from instead of starting the run from the beginning.
+	Resume []byte
 }
 
 // Runner executes one simulation. The default is RealRunner; tests
@@ -80,13 +101,38 @@ func RealRunner(rc RunContext) (*slacksim.Results, error) {
 	cfg.ProgressEvery = rc.ProgressEvery
 	cfg.Interrupt = rc.Interrupt
 	cfg.StallTimeout = rc.StallTimeout
+	cfg.SnapshotRequest = rc.SnapshotRequest
+	if rc.OnSnapshot != nil {
+		onSnap := rc.OnSnapshot
+		sp := rc.Spec
+		cfg.OnSnapshot = func(state []byte) {
+			if blob, err := durable.EncodeSnapshot(sp, state); err == nil {
+				onSnap(blob)
+			}
+		}
+	}
 	sim, err := slacksim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run()
-	if err != nil {
-		return nil, err
+	var res slacksim.Results
+	if len(rc.Resume) > 0 {
+		snap, err := durable.DecodeSnapshot(rc.Resume)
+		if err != nil {
+			return nil, err
+		}
+		if snap.Key != rc.Spec.Key() {
+			return nil, fmt.Errorf("snapshot is for spec %s, job is %s", snap.Key, rc.Spec.Key())
+		}
+		res, err = sim.Resume(snap.Engine)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res, err = sim.Run()
+		if err != nil {
+			return nil, err
+		}
 	}
 	if err := sim.Verify(); err != nil {
 		return nil, fmt.Errorf("functional check failed: %w", err)
@@ -118,7 +164,34 @@ type Config struct {
 	// embed in the job view (the fleet façade returns the job's
 	// per-attempt dispatch history). A nil return adds nothing.
 	Detail func(jobID string) any
+	// Cache overrides the result cache (default: an in-memory LRU of
+	// CacheSize entries). slacksimd -data passes a durable.ResultCache so
+	// results survive restarts.
+	Cache resultcache.Interface[*slacksim.Results]
+	// Journal, when non-nil, receives every job lifecycle transition so a
+	// restarted daemon can Recover the jobs it had accepted. slacksimd
+	// -data passes a durable.Journal.
+	Journal Journal
+	// MaxSnapshots bounds retained migration snapshots (default 64; they
+	// are transient handoff artifacts, fetched once by the peer).
+	MaxSnapshots int
 }
+
+// Journal records job lifecycle transitions durably. durable.Journal
+// implements it; JobSubmitted must be durable before returning so an
+// acknowledged job is never forgotten.
+type Journal interface {
+	JobSubmitted(id, key string, sp spec.Spec)
+	JobRunning(id string)
+	JobFinished(id string, state jobqueue.State, errMsg string)
+}
+
+// nopJournal is the default Journal: a daemon without a data dir.
+type nopJournal struct{}
+
+func (nopJournal) JobSubmitted(string, string, spec.Spec)     {}
+func (nopJournal) JobRunning(string)                          {}
+func (nopJournal) JobFinished(string, jobqueue.State, string) {}
 
 func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
@@ -139,6 +212,15 @@ func (c Config) withDefaults() Config {
 	if c.Runner == nil {
 		c.Runner = RealRunner
 	}
+	if c.Cache == nil {
+		c.Cache = resultcache.New[*slacksim.Results](c.CacheSize)
+	}
+	if c.Journal == nil {
+		c.Journal = nopJournal{}
+	}
+	if c.MaxSnapshots <= 0 {
+		c.MaxSnapshots = 64
+	}
 	return c
 }
 
@@ -147,7 +229,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	queue *jobqueue.Queue
-	cache *resultcache.Cache[*slacksim.Results]
+	cache resultcache.Interface[*slacksim.Results]
 
 	// mu guards the single-flight table: spec key → in-flight job.
 	mu       sync.Mutex
@@ -157,8 +239,18 @@ type Server struct {
 	imu        sync.Mutex
 	interrupts map[string]*atomic.Bool
 
+	// smu guards the migration state: per-job snapshot-request flags,
+	// exported snapshots (bounded FIFO), and pending resume blobs.
+	smu       sync.Mutex
+	snapReqs  map[string]*atomic.Bool // guarded by smu
+	snapshots map[string][]byte       // guarded by smu
+	snapOrder []string                // guarded by smu
+	resumes   map[string][]byte       // guarded by smu
+
 	coalesced atomic.Uint64 // submissions attached to an in-flight run
 	runs      atomic.Uint64 // engine runs actually executed
+	resumed   atomic.Uint64 // runs continued from a snapshot
+	recovered atomic.Uint64 // jobs re-enqueued from the journal
 	draining  atomic.Bool
 	start     time.Time
 	wg        sync.WaitGroup
@@ -170,9 +262,12 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		queue:      jobqueue.New(cfg.QueueDepth),
-		cache:      resultcache.New[*slacksim.Results](cfg.CacheSize),
+		cache:      cfg.Cache,
 		inflight:   make(map[string]*jobqueue.Job),
 		interrupts: make(map[string]*atomic.Bool),
+		snapReqs:   make(map[string]*atomic.Bool),
+		snapshots:  make(map[string][]byte),
+		resumes:    make(map[string][]byte),
 		start:      time.Now(),
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -180,6 +275,36 @@ func New(cfg Config) *Server {
 		go s.worker()
 	}
 	return s
+}
+
+// Recover re-enqueues the jobs a crashed daemon had accepted, as
+// replayed from its journal: call it after New and before serving HTTP.
+// Jobs whose results are already in the (persistent) cache are finished
+// immediately without re-simulating; the rest run again from their spec
+// — simulations are deterministic, so the results are identical to what
+// the crashed run would have produced.
+func (s *Server) Recover(pending []durable.PendingJob) int {
+	n := 0
+	for _, p := range pending {
+		j, err := s.queue.Restore(p.ID, p.Key, p.Spec)
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		if _, ok := s.inflight[p.Key]; !ok {
+			s.inflight[p.Key] = j
+		}
+		s.mu.Unlock()
+		s.imu.Lock()
+		s.interrupts[j.ID] = new(atomic.Bool)
+		s.imu.Unlock()
+		s.smu.Lock()
+		s.snapReqs[j.ID] = new(atomic.Bool)
+		s.smu.Unlock()
+		s.recovered.Add(1)
+		n++
+	}
+	return n
 }
 
 // worker pulls jobs until the queue closes and drains.
@@ -197,19 +322,43 @@ func (s *Server) worker() {
 // runJob executes one admitted job and retires it.
 func (s *Server) runJob(j *jobqueue.Job) {
 	sp := j.Payload.(spec.Spec)
+	s.cfg.Journal.JobRunning(j.ID)
+
+	// A recovered job may already have its result in the persistent
+	// store (the crash hit between the result write and the journal's
+	// terminal record); serve it without re-simulating.
+	if res, ok := s.cache.Get(j.Key); ok {
+		s.retire(j, res, nil)
+		return
+	}
+
 	s.imu.Lock()
 	intr := s.interrupts[j.ID]
 	s.imu.Unlock()
 	if intr == nil {
 		intr = new(atomic.Bool)
 	}
+	s.smu.Lock()
+	snapReq := s.snapReqs[j.ID]
+	resume := s.resumes[j.ID]
+	delete(s.resumes, j.ID)
+	s.smu.Unlock()
+	if snapReq == nil {
+		snapReq = new(atomic.Bool)
+	}
+	if len(resume) > 0 {
+		s.resumed.Add(1)
+	}
 	res, err := s.cfg.Runner(RunContext{
-		JobID:         j.ID,
-		Spec:          sp,
-		Interrupt:     intr,
-		OnProgress:    func(p slacksim.Progress) { j.Publish(p) },
-		ProgressEvery: s.cfg.ProgressEvery,
-		StallTimeout:  s.cfg.StallTimeout,
+		JobID:           j.ID,
+		Spec:            sp,
+		Interrupt:       intr,
+		OnProgress:      func(p slacksim.Progress) { j.Publish(p) },
+		ProgressEvery:   s.cfg.ProgressEvery,
+		StallTimeout:    s.cfg.StallTimeout,
+		SnapshotRequest: snapReq,
+		OnSnapshot:      func(blob []byte) { s.keepSnapshot(j.ID, blob) },
+		Resume:          resume,
 	})
 	s.runs.Add(1)
 	if err == nil {
@@ -218,6 +367,14 @@ func (s *Server) runJob(j *jobqueue.Job) {
 	if errors.Is(err, slacksim.ErrInterrupted) {
 		err = fmt.Errorf("%w: %v", jobqueue.ErrCancelled, err)
 	}
+	if errors.Is(err, slacksim.ErrSnapshotted) {
+		err = fmt.Errorf("%w: state exported at checkpoint", jobqueue.ErrMigrated)
+	}
+	s.retire(j, res, err)
+}
+
+// retire releases a job's bookkeeping and finishes it.
+func (s *Server) retire(j *jobqueue.Job, res *slacksim.Results, err error) {
 	s.mu.Lock()
 	if s.inflight[j.Key] == j {
 		delete(s.inflight, j.Key)
@@ -226,7 +383,26 @@ func (s *Server) runJob(j *jobqueue.Job) {
 	s.imu.Lock()
 	delete(s.interrupts, j.ID)
 	s.imu.Unlock()
+	s.smu.Lock()
+	delete(s.snapReqs, j.ID)
+	s.smu.Unlock()
 	s.queue.Finish(j, res, err)
+	s.cfg.Journal.JobFinished(j.ID, j.State(), j.Err())
+}
+
+// keepSnapshot retains one exported migration snapshot, evicting the
+// oldest past the bound.
+func (s *Server) keepSnapshot(jobID string, blob []byte) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if _, ok := s.snapshots[jobID]; !ok {
+		s.snapOrder = append(s.snapOrder, jobID)
+		for len(s.snapOrder) > s.cfg.MaxSnapshots {
+			delete(s.snapshots, s.snapOrder[0])
+			s.snapOrder = s.snapOrder[1:]
+		}
+	}
+	s.snapshots[jobID] = blob
 }
 
 // Drain gracefully stops the server: admission is closed (POST returns
@@ -292,6 +468,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/jobs/{id}/migrate", s.handleMigrate)
+	mux.HandleFunc("GET /v1/jobs/{id}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /v1/resume", s.handleResume)
+	mux.HandleFunc("POST /v1/evacuate", s.handleEvacuate)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -367,10 +547,191 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.inflight[key] = j
 	s.mu.Unlock()
-	s.imu.Lock()
-	s.interrupts[j.ID] = new(atomic.Bool)
-	s.imu.Unlock()
+	s.admit(j.ID)
+	s.cfg.Journal.JobSubmitted(j.ID, key, sp)
 	writeJSON(w, http.StatusAccepted, s.view(j, false, false))
+}
+
+// admit registers a freshly-enqueued job's interrupt and
+// snapshot-request flags.
+func (s *Server) admit(id string) {
+	s.imu.Lock()
+	s.interrupts[id] = new(atomic.Bool)
+	s.imu.Unlock()
+	s.smu.Lock()
+	s.snapReqs[id] = new(atomic.Bool)
+	s.smu.Unlock()
+}
+
+// maxSnapshotBody bounds POST /v1/resume bodies (a snapshot is the full
+// serialized machine state, so allow a generous but finite size).
+const maxSnapshotBody = 256 << 20
+
+// handleResume admits a run continued from an exported snapshot. The
+// snapshot container carries the spec; if the result is already cached
+// the job completes immediately, and an identical run in flight is
+// coalesced onto, exactly as for a fresh submission.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading snapshot: %v", err)
+		return
+	}
+	snap, err := durable.DecodeSnapshot(blob)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad snapshot: %v", err)
+		return
+	}
+	sp := snap.Spec
+	key := snap.Key
+
+	s.mu.Lock()
+	if res, ok := s.cache.Get(key); ok {
+		s.mu.Unlock()
+		j := s.queue.AddDone(key, sp, res)
+		writeJSON(w, http.StatusOK, s.view(j, true, false))
+		return
+	}
+	if j, ok := s.inflight[key]; ok {
+		s.coalesced.Add(1)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, s.view(j, false, true))
+		return
+	}
+	j, err := s.queue.Submit(key, sp)
+	if err != nil {
+		s.mu.Unlock()
+		if errors.Is(err, jobqueue.ErrFull) {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "queue full (depth %d); retry later", s.cfg.QueueDepth)
+			return
+		}
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.inflight[key] = j
+	s.mu.Unlock()
+	s.admit(j.ID)
+	s.smu.Lock()
+	s.resumes[j.ID] = blob
+	s.smu.Unlock()
+	// Journaled like any admission: if the daemon crashes before the run
+	// finishes, the recovered job restarts from its spec (the snapshot is
+	// not persisted — determinism makes the restart merely slower, never
+	// wrong).
+	s.cfg.Journal.JobSubmitted(j.ID, key, sp)
+	writeJSON(w, http.StatusAccepted, s.view(j, false, false))
+}
+
+// handleMigrate asks a job to stop at its next checkpoint and export its
+// state. Pending jobs are ejected immediately (no state to export — the
+// spec alone restarts them elsewhere); running jobs get their
+// snapshot-request flag raised and report "migrated" once the engine
+// reaches a checkpoint boundary; terminal jobs are left as they are.
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.queue.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	switch err := s.queue.Eject(id); {
+	case err == nil:
+		s.mu.Lock()
+		if s.inflight[j.Key] == j {
+			delete(s.inflight, j.Key)
+		}
+		s.mu.Unlock()
+		s.imu.Lock()
+		delete(s.interrupts, id)
+		s.imu.Unlock()
+		s.smu.Lock()
+		delete(s.snapReqs, id)
+		s.smu.Unlock()
+		s.cfg.Journal.JobFinished(id, jobqueue.Migrated, jobqueue.ErrMigrated.Error())
+		writeJSON(w, http.StatusOK, s.view(j, false, false))
+	case errors.Is(err, jobqueue.ErrNotCancellable) && j.State() == jobqueue.Running:
+		s.smu.Lock()
+		req := s.snapReqs[id]
+		s.smu.Unlock()
+		if req == nil {
+			writeErr(w, http.StatusConflict, "job has no snapshot channel")
+			return
+		}
+		req.Store(true)
+		writeJSON(w, http.StatusAccepted, s.view(j, false, false))
+	case errors.Is(err, jobqueue.ErrNotCancellable):
+		writeJSON(w, http.StatusOK, s.view(j, false, false))
+	default:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleSnapshot serves a migrated job's exported state.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.queue.Get(id); !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.smu.Lock()
+	blob, ok := s.snapshots[id]
+	s.smu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "job has no exported snapshot")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
+}
+
+// handleEvacuate checkpoint-migrates the whole worker: every pending job
+// is ejected and every running job is asked to export at its next
+// checkpoint. The response lists the affected job ids; each job's
+// snapshot (for jobs that were running) becomes fetchable as it lands.
+func (s *Server) handleEvacuate(w http.ResponseWriter, r *http.Request) {
+	var ejected, migrating []string
+	s.mu.Lock()
+	inflight := make([]*jobqueue.Job, 0, len(s.inflight))
+	for _, j := range s.inflight {
+		inflight = append(inflight, j)
+	}
+	s.mu.Unlock()
+	for _, j := range inflight {
+		switch err := s.queue.Eject(j.ID); {
+		case err == nil:
+			s.mu.Lock()
+			if s.inflight[j.Key] == j {
+				delete(s.inflight, j.Key)
+			}
+			s.mu.Unlock()
+			s.imu.Lock()
+			delete(s.interrupts, j.ID)
+			s.imu.Unlock()
+			s.smu.Lock()
+			delete(s.snapReqs, j.ID)
+			s.smu.Unlock()
+			s.cfg.Journal.JobFinished(j.ID, jobqueue.Migrated, jobqueue.ErrMigrated.Error())
+			ejected = append(ejected, j.ID)
+		case errors.Is(err, jobqueue.ErrNotCancellable) && j.State() == jobqueue.Running:
+			s.smu.Lock()
+			req := s.snapReqs[j.ID]
+			s.smu.Unlock()
+			if req != nil {
+				req.Store(true)
+				migrating = append(migrating, j.ID)
+			}
+		}
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"ejected":   ejected,
+		"migrating": migrating,
+	})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -404,6 +765,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.imu.Lock()
 		delete(s.interrupts, id)
 		s.imu.Unlock()
+		s.smu.Lock()
+		delete(s.snapReqs, id)
+		s.smu.Unlock()
+		s.cfg.Journal.JobFinished(id, jobqueue.Cancelled, jobqueue.ErrCancelled.Error())
 		writeJSON(w, http.StatusOK, s.view(j, false, false))
 	case errors.Is(err, jobqueue.ErrNotCancellable) && j.State() == jobqueue.Running:
 		s.imu.Lock()
@@ -439,8 +804,26 @@ type statsView struct {
 	Draining      bool              `json:"draining"`
 	Runs          uint64            `json:"runs"`
 	Coalesced     uint64            `json:"coalesced"`
+	Resumed       uint64            `json:"resumed,omitempty"`
+	Recovered     uint64            `json:"recovered,omitempty"`
 	Queue         jobqueue.Stats    `json:"queue"`
 	Cache         resultcache.Stats `json:"cache"`
+	// Store reports the persistent result store, when one backs the cache.
+	Store *durable.StoreStats `json:"store,omitempty"`
+}
+
+// storeStatser is implemented by caches backed by a persistent store
+// (durable.ResultCache); the server surfaces its stats when present.
+type storeStatser interface {
+	StoreStats() durable.StoreStats
+}
+
+func (s *Server) storeStats() *durable.StoreStats {
+	if ss, ok := s.cache.(storeStatser); ok {
+		st := ss.StoreStats()
+		return &st
+	}
+	return nil
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -450,8 +833,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Draining:      s.draining.Load(),
 		Runs:          s.runs.Load(),
 		Coalesced:     s.coalesced.Load(),
+		Resumed:       s.resumed.Load(),
+		Recovered:     s.recovered.Load(),
 		Queue:         s.queue.Stats(),
 		Cache:         s.cache.Stats(),
+		Store:         s.storeStats(),
 	})
 }
 
@@ -481,6 +867,16 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	p.Counter("slacksimd_result_cache_hits_total", "result cache hits", float64(ca.Hits))
 	p.Counter("slacksimd_result_cache_misses_total", "result cache misses", float64(ca.Misses))
 	p.Counter("slacksimd_result_cache_evictions_total", "result cache evictions", float64(ca.Evictions))
+	p.Counter("slacksimd_jobs_migrated_total", "jobs checkpoint-migrated off this worker", float64(q.Migrated))
+	p.Counter("slacksimd_jobs_restored_total", "jobs re-enqueued from the crash journal", float64(q.Restored))
+	p.Counter("slacksimd_runs_resumed_total", "runs continued from a snapshot", float64(s.resumed.Load()))
+	if st := s.storeStats(); st != nil {
+		p.Gauge("slacksimd_store_entries", "keys in the persistent result store", float64(st.Entries))
+		p.Gauge("slacksimd_store_segments", "immutable segment files in the store", float64(st.Segments))
+		p.Gauge("slacksimd_store_wal_bytes", "bytes in the store's write-ahead log", float64(st.WALBytes))
+		p.Counter("slacksimd_store_compactions_total", "WAL-to-segment compactions", float64(st.Compactions))
+		p.Counter("slacksimd_store_torn_tails_total", "torn log tails truncated during recovery", float64(st.TornTails))
+	}
 	return p.Err()
 }
 

@@ -1,0 +1,131 @@
+package spec
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenSpecs is a canonical grid covering every field that feeds Key():
+// each entry exists to pin one axis of the content address. If Key() (or
+// Normalize(), which it hashes) ever changes for any of these, the golden
+// comparison fails — which is the point: these digests address results in
+// the durable store and the journal, so a silent change would orphan
+// every persisted result and re-simulate the world.
+var goldenSpecs = []struct {
+	name string
+	spec Spec
+}{
+	{"zero-defaults", Spec{Workload: "fft"}},
+	{"explicit-defaults", Spec{Workload: "FFT ", Scheme: "CC", Scale: 1, Cores: 8}},
+	{"bounded", Spec{Workload: "fft", Scheme: "s8"}},
+	{"bounded-other-bound", Spec{Workload: "fft", Scheme: "s64"}},
+	{"unbounded", Spec{Workload: "lu", Scheme: "su"}},
+	{"quantum", Spec{Workload: "water", Scheme: "q1000"}},
+	{"laxp2p", Spec{Workload: "barnes", Scheme: "p2p100"}},
+	{"adaptive-default", Spec{Workload: "fft", Scheme: "adaptive"}},
+	{"adaptive-spelled-default", Spec{
+		Workload: "fft", Scheme: "adaptive",
+		TargetRate: 0.0001, Band: 0.05,
+		AdaptivePeriod: 1024, AdaptiveInitialBound: 4,
+		AdaptiveMinBound: 1, AdaptiveMaxBound: 512,
+		AdaptivePolicy: "aimd",
+	}},
+	{"adaptive-tuned", Spec{Workload: "fft", Scheme: "adaptive", TargetRate: 0.001, Band: 0.1}},
+	{"adaptive-zero-band", Spec{Workload: "fft", Scheme: "adaptive", Band: -1}},
+	{"adaptive-aiad", Spec{Workload: "fft", Scheme: "adaptive", AdaptivePolicy: "aiad"}},
+	{"adaptive-junk-cleared", Spec{Workload: "fft", Scheme: "s8", TargetRate: 0.5, Band: 0.5, AdaptivePolicy: "aiad"}},
+	{"seeded", Spec{Workload: "fft", Scheme: "s8", Seed: 42}},
+	{"scaled", Spec{Workload: "fft", Scheme: "s8", Scale: 4}},
+	{"cores", Spec{Workload: "fft", Scheme: "s8", Cores: 16}},
+	{"max-instructions", Spec{Workload: "fft", Scheme: "s8", MaxInstructions: 100000}},
+	{"checkpointed", Spec{Workload: "fft", Scheme: "s8", CheckpointInterval: 1000}},
+	{"rollback", Spec{Workload: "fft", Scheme: "s8", CheckpointInterval: 1000, Rollback: true}},
+	{"map-only", Spec{Workload: "fft", Scheme: "s8", CheckpointInterval: 1000, Rollback: true, MapViolationsOnly: true}},
+	{"parallel", Spec{Workload: "fft", Scheme: "s8", Parallel: true}},
+	{"measured", Spec{Workload: "fft", Scheme: "s8", MeasureViolations: true}},
+	{"tracked", Spec{Workload: "fft", Scheme: "s8", TrackIntervals: []int64{1000, 10000}}},
+	{"kitchen-sink", Spec{
+		Workload: "water", Scheme: "adaptive", Scale: 2, Cores: 4,
+		TargetRate: 0.0005, Band: 0.02, AdaptivePeriod: 5000,
+		AdaptiveInitialBound: 20, AdaptiveMinBound: 2, AdaptiveMaxBound: 500,
+		AdaptivePolicy: "aiad", Seed: 7, MaxInstructions: 1 << 20,
+		CheckpointInterval: 2000, Rollback: true, MapViolationsOnly: true,
+		TrackIntervals: []int64{500},
+	}},
+}
+
+// TestGoldenSpecDigests pins the content address of a canonical spec grid
+// against testdata/spec_keys.golden. These keys name results on disk (the
+// durable store's segments, the journal's job records, snapshot headers),
+// so changing Key() is a persistent-format break: if this test fails, the
+// change either needs a format-version bump plus a store migration story,
+// or it is a bug. Regenerate deliberately with `go test -run Golden -update`.
+func TestGoldenSpecDigests(t *testing.T) {
+	var b strings.Builder
+	for _, g := range goldenSpecs {
+		fmt.Fprintf(&b, "%s %s\n", g.spec.Key(), g.name)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "spec_keys.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Diff line-by-line so the failure names the drifted axis.
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	if len(gotLines) != len(wantLines) {
+		t.Fatalf("golden grid has %d entries, file has %d; spec digests drifted:\n--- got ---\n%s--- want ---\n%s",
+			len(gotLines)-1, len(wantLines)-1, got, want)
+	}
+	for i := range gotLines {
+		if gotLines[i] != wantLines[i] {
+			t.Errorf("spec digest drifted:\n  got  %s\n  want %s\n"+
+				"Key() is the durable store's content address; changing it orphans persisted results.",
+				gotLines[i], wantLines[i])
+		}
+	}
+}
+
+// TestGoldenGridDistinct: every entry in the golden grid hashes to a
+// distinct key — each pinned axis really changes the content address.
+func TestGoldenGridDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, g := range goldenSpecs {
+		k := g.spec.Key()
+		if prev, dup := seen[k]; dup {
+			// The explicitly-spelled defaults intentionally collide with
+			// their shorthand forms; everything else must be distinct.
+			if aliased(g.name) || aliased(prev) {
+				continue
+			}
+			t.Errorf("%s and %s share key %s", prev, g.name, k)
+		}
+		seen[k] = g.name
+	}
+}
+
+func aliased(name string) bool {
+	switch name {
+	case "explicit-defaults", "adaptive-spelled-default", "adaptive-junk-cleared":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package syncctl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+)
+
+// Wire serialization for run snapshots: lock and barrier maps flattened
+// into key-sorted slices so the encoding is deterministic.
+
+type lockWire struct {
+	Addr       uint64
+	Owner      int
+	ReleasedAt int64
+}
+
+type barrierWire struct {
+	ID         int64
+	Arrived    int
+	Generation uint64
+	ReleasedAt int64
+	Waiting    []int
+}
+
+type controllerWire struct {
+	NumCores int
+	Locks    []lockWire
+	Barriers []barrierWire
+
+	Acquires, Releases, Contended uint64
+	BarrierEpisodes               uint64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (c *Controller) GobEncode() ([]byte, error) {
+	c.mu.Lock()
+	w := controllerWire{
+		NumCores: c.numCores,
+		Acquires: c.Acquires, Releases: c.Releases,
+		Contended: c.Contended, BarrierEpisodes: c.BarrierEpisodes,
+	}
+	for a, l := range c.locks {
+		w.Locks = append(w.Locks, lockWire{Addr: a, Owner: l.owner, ReleasedAt: l.releasedAt})
+	}
+	for id, b := range c.barriers {
+		bw := barrierWire{ID: id, Arrived: b.arrived, Generation: b.generation, ReleasedAt: b.releasedAt}
+		for core := range b.waiting {
+			bw.Waiting = append(bw.Waiting, core)
+		}
+		sort.Ints(bw.Waiting)
+		w.Barriers = append(w.Barriers, bw)
+	}
+	c.mu.Unlock()
+	sort.Slice(w.Locks, func(i, j int) bool { return w.Locks[i].Addr < w.Locks[j].Addr })
+	sort.Slice(w.Barriers, func(i, j int) bool { return w.Barriers[i].ID < w.Barriers[j].ID })
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(w)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (c *Controller) GobDecode(data []byte) error {
+	var w controllerWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	fresh := New(w.NumCores)
+	for _, lw := range w.Locks {
+		fresh.locks[lw.Addr] = &lockState{owner: lw.Owner, releasedAt: lw.ReleasedAt}
+	}
+	for _, bw := range w.Barriers {
+		b := &barrier{
+			arrived: bw.Arrived, generation: bw.Generation,
+			releasedAt: bw.ReleasedAt, waiting: make(map[int]bool, len(bw.Waiting)),
+		}
+		for _, core := range bw.Waiting {
+			b.waiting[core] = true
+		}
+		fresh.barriers[bw.ID] = b
+	}
+	fresh.Acquires, fresh.Releases = w.Acquires, w.Releases
+	fresh.Contended, fresh.BarrierEpisodes = w.Contended, w.BarrierEpisodes
+
+	c.mu.Lock()
+	c.numCores = fresh.numCores
+	c.locks = fresh.locks
+	c.barriers = fresh.barriers
+	c.Acquires, c.Releases = fresh.Acquires, fresh.Releases
+	c.Contended, c.BarrierEpisodes = fresh.Contended, fresh.BarrierEpisodes
+	c.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,41 @@
+package syncctl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestControllerWireRoundTrip(t *testing.T) {
+	c := New(4)
+	if !c.TryLock(0x100, 2, 10) {
+		t.Fatal("TryLock failed on free lock")
+	}
+	c.TryLock(0x100, 3, 11) // contended
+	c.BarrierArrive(1, 0, 20)
+	c.BarrierArrive(1, 1, 21)
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got := New(1)
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.HeldBy(0x100) != 2 {
+		t.Fatalf("lock owner = %d, want 2", got.HeldBy(0x100))
+	}
+	if got.WaitingAt(1) != 2 {
+		t.Fatalf("barrier arrivals = %d, want 2", got.WaitingAt(1))
+	}
+	if got.Acquires != c.Acquires || got.Contended != c.Contended {
+		t.Fatal("counters did not survive the wire round trip")
+	}
+	// The barrier must still release correctly on the decoded side.
+	got.BarrierArrive(1, 2, 22)
+	got.BarrierArrive(1, 3, 23)
+	if got.BarrierEpisodes != 1 {
+		t.Fatalf("barrier episodes = %d, want 1", got.BarrierEpisodes)
+	}
+}

@@ -1,0 +1,41 @@
+package uncore
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"slacksim/internal/bus"
+	"slacksim/internal/cache"
+)
+
+// Wire serialization for run snapshots: the uncore's checkpoint unit is
+// its Snapshot, whose nested bus/L2/status-map carry their own gob
+// methods.
+
+type snapshotWire struct {
+	Bus  *bus.Bus
+	L2   *cache.Cache
+	Smap *cache.StatusMap
+
+	Served, Invalidations uint64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s *Snapshot) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(snapshotWire{
+		Bus: s.bus, L2: s.l2, Smap: s.smap,
+		Served: s.served, Invalidations: s.invalidations,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Snapshot) GobDecode(data []byte) error {
+	var w snapshotWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	*s = Snapshot{bus: w.Bus, l2: w.L2, smap: w.Smap, served: w.Served, invalidations: w.Invalidations}
+	return nil
+}

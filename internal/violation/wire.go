@@ -1,0 +1,64 @@
+package violation
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+)
+
+// Wire serialization for run snapshots: counts, the selected set, and
+// the per-interval first-violation maps flattened into index-sorted
+// slices so the encoding is deterministic.
+
+type intervalWire struct {
+	Interval int64
+	Indexes  []int64
+	FirstTS  []int64
+}
+
+type detectorWire struct {
+	Counts       [numTypes]uint64
+	WindowCounts [numTypes]uint64
+	Selected     [numTypes]bool
+	Intervals    []intervalWire
+}
+
+// GobEncode implements gob.GobEncoder.
+func (d *Detector) GobEncode() ([]byte, error) {
+	w := detectorWire{Counts: d.counts, WindowCounts: d.windowCounts, Selected: d.selected}
+	for _, is := range d.intervals {
+		iw := intervalWire{Interval: is.Interval, Indexes: make([]int64, 0, len(is.firstTS))}
+		for idx := range is.firstTS {
+			iw.Indexes = append(iw.Indexes, idx)
+		}
+		sort.Slice(iw.Indexes, func(i, j int) bool { return iw.Indexes[i] < iw.Indexes[j] })
+		iw.FirstTS = make([]int64, len(iw.Indexes))
+		for i, idx := range iw.Indexes {
+			iw.FirstTS[i] = is.firstTS[idx]
+		}
+		w.Intervals = append(w.Intervals, iw)
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(w)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (d *Detector) GobDecode(data []byte) error {
+	var w detectorWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	d.counts, d.windowCounts, d.selected = w.Counts, w.WindowCounts, w.Selected
+	d.intervals = nil
+	for _, iw := range w.Intervals {
+		is := &IntervalStats{Interval: iw.Interval, firstTS: make(map[int64]int64, len(iw.Indexes))}
+		for i, idx := range iw.Indexes {
+			if i < len(iw.FirstTS) {
+				is.firstTS[idx] = iw.FirstTS[i]
+			}
+		}
+		d.intervals = append(d.intervals, is)
+	}
+	return nil
+}

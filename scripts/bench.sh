@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # bench.sh — measure the host-performance benchmarks and write a JSON
-# baseline (default BENCH_PR6.json) for before/after comparisons.
+# baseline (default BENCH_PR7.json) for before/after comparisons.
 #
-#   scripts/bench.sh                  # write BENCH_PR6.json at 5 iterations
+#   scripts/bench.sh                  # write BENCH_PR7.json at 5 iterations
 #   BENCHTIME=20x scripts/bench.sh    # steadier numbers
 #   scripts/bench.sh /tmp/after.json  # alternate output path
 #
@@ -19,7 +19,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-5x}"
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 
 engine_raw=$(go test ./internal/engine/ -run '^$' -bench BenchmarkCheckpointRestore -benchtime "$benchtime" -count 1)
 root_raw=$(go test . -run '^$' -bench 'BenchmarkSimulatorThroughput|BenchmarkParallelHost' -benchtime "$benchtime" -count 1)

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# crash_smoke.sh — end-to-end crash-recovery smoke for the durable daemon.
+#
+# Starts slacksimd on a durable data directory, completes one quick cell,
+# submits a batch of slow cells, then SIGKILLs the daemon mid-sweep. A
+# restart on the same data directory must:
+#
+#   1. serve the finished cell from the persistent store (cached, byte-
+#      identical, zero re-simulation), and
+#   2. re-enqueue every journaled unfinished job under its original ID
+#      and run each to done.
+#
+# CI's crash-smoke job runs exactly this script; it also works locally:
+#
+#   scripts/crash_smoke.sh            # builds, runs, cleans up
+#
+# Requires curl and jq. Exits non-zero on the first broken invariant.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr="127.0.0.1:8093"
+work="$(mktemp -d)"
+data="$work/data"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/slacksimd" ./cmd/slacksimd
+
+start_daemon() {
+  "$work/slacksimd" -addr "$addr" -data "$data" -queue 32 -workers 2 &
+  pid=$!
+  for i in $(seq 1 150); do
+    curl -sf "$addr/v1/healthz" > /dev/null && return 0
+    sleep 0.2
+  done
+  echo "FAIL: daemon at $addr never became healthy" >&2
+  exit 1
+}
+
+# Canonical form of a job's result: everything except host wall time,
+# which legitimately differs between runs of the same cell.
+canon() {
+  jq -S 'del(.wall_clock_ns)'
+}
+
+quick='{"workload":"fft","scheme":"s8","cores":2,"seed":1}'
+slow() {
+  printf '{"workload":"fft","scheme":"s8","cores":2,"seed":%d,"scale":32,"checkpoint_interval":256}' "$1"
+}
+
+wait_done() { # wait_done <job-id> -> prints final job JSON
+  local id="$1" state
+  for i in $(seq 1 300); do
+    state=$(curl -sf "$addr/v1/jobs/$id" | jq -r .state)
+    case "$state" in
+      done) curl -sf "$addr/v1/jobs/$id"; return 0 ;;
+      failed|cancelled|migrated) echo "FAIL: job $id ended $state" >&2; exit 1 ;;
+    esac
+    sleep 0.2
+  done
+  echo "FAIL: job $id never finished" >&2
+  exit 1
+}
+
+echo "== first boot: complete one cell, queue three slow cells"
+start_daemon
+first_id=$(curl -sf "$addr/v1/jobs" -d "$quick" | jq -r .id)
+wait_done "$first_id" | jq .result | canon > "$work/before.json"
+
+pending_ids=()
+for seed in 2 3 4; do
+  pending_ids+=("$(curl -sf "$addr/v1/jobs" -d "$(slow "$seed")" | jq -r .id)")
+done
+sleep 0.5  # let the journal's fsync batch land and the runs start
+
+echo "== kill -9 mid-sweep (pids journaled: ${pending_ids[*]})"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "== restart on the same data directory"
+start_daemon
+
+echo "== finished cell is served from the persistent store"
+hit=$(curl -sf "$addr/v1/jobs" -d "$quick")
+echo "$hit" | jq -e '.cached == true and .state == "done"' > /dev/null \
+  || { echo "FAIL: restarted daemon re-simulated a stored result: $hit" >&2; exit 1; }
+echo "$hit" | jq .result | canon > "$work/after.json"
+diff -u "$work/before.json" "$work/after.json" \
+  || { echo "FAIL: store-served result differs from the pre-crash result" >&2; exit 1; }
+
+echo "== journaled unfinished jobs recover under their original IDs"
+for id in "${pending_ids[@]}"; do
+  wait_done "$id" | jq -e '.result.cycles > 0' > /dev/null
+  echo "   recovered $id: done"
+done
+
+echo "== recovery accounting"
+stats=$(curl -sf "$addr/v1/statsz")
+echo "$stats" | jq -e '.recovered >= 3' > /dev/null \
+  || { echo "FAIL: statsz.recovered < 3: $stats" >&2; exit 1; }
+echo "$stats" | jq -e '.store.entries >= 4' > /dev/null \
+  || { echo "FAIL: store holds fewer results than the sweep produced: $stats" >&2; exit 1; }
+
+kill -TERM "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "PASS: crash recovery smoke"

@@ -62,6 +62,11 @@ type StallError = engine.StallError
 // ErrInterrupted reports that a run was stopped early via Config.Interrupt.
 var ErrInterrupted = engine.ErrInterrupted
 
+// ErrSnapshotted reports that a run stopped at a checkpoint boundary to
+// export its state via Config.SnapshotRequest; continue it elsewhere with
+// Simulation.Resume.
+var ErrSnapshotted = engine.ErrSnapshotted
+
 // Policy selects the adaptive controller's bound-adjustment policy.
 type Policy = adaptive.Policy
 
@@ -151,8 +156,10 @@ type Config struct {
 	AdaptivePolicy Policy
 	// TraceEvents, when positive, keeps a ring of the last N noteworthy
 	// events (serviced requests, violations, bound changes, checkpoints,
-	// rollbacks), retrievable with Simulation.Trace after the run.
-	// Deterministic host only.
+	// rollbacks), retrievable with Simulation.Trace after the run. On the
+	// parallel host the ring also feeds the stall watchdog: a *StallError
+	// dump includes the trace tail, so a wedged run fails with the events
+	// leading up to the wedge attached.
 	TraceEvents int
 	// OnProgress, when non-nil, receives monotone progress snapshots as
 	// the run advances; the callback must be fast and non-blocking.
@@ -166,6 +173,16 @@ type Config struct {
 	// StallTimeout overrides the parallel host's stall-watchdog budget
 	// (0 = the 30s default, negative disables it).
 	StallTimeout time.Duration
+	// SnapshotRequest, when non-nil and set true, asks the run to export
+	// its complete state at the next checkpoint boundary: OnSnapshot
+	// receives the serialized state and the run returns ErrSnapshotted.
+	// Requires CheckpointInterval > 0 and the deterministic host.
+	SnapshotRequest *atomic.Bool
+	// OnSnapshot receives the serialized run state when a snapshot
+	// request fires; pass it to Simulation.Resume (on a fresh Simulation
+	// built from the same Config, possibly on another machine) to
+	// continue the run.
+	OnSnapshot func(state []byte)
 }
 
 // Simulation is a constructed machine ready to run once.
@@ -216,6 +233,8 @@ func NewWithWorkload(cfg Config, w workload.Workload) (*Simulation, error) {
 		ProgressEvery:      cfg.ProgressEvery,
 		Interrupt:          cfg.Interrupt,
 		StallTimeout:       cfg.StallTimeout,
+		SnapshotRequest:    cfg.SnapshotRequest,
+		OnSnapshot:         cfg.OnSnapshot,
 	}
 	if cfg.MapViolationsOnly {
 		rc.Selected = []violation.Type{violation.Map}
@@ -237,6 +256,23 @@ func (s *Simulation) Run() (Results, error) {
 		return engine.RunParallel(s.machine, s.runCfg)
 	}
 	return engine.Run(s.machine, s.runCfg)
+}
+
+// Resume continues a run that exported its state via a snapshot request.
+// The Simulation must be freshly built from the same Config (same
+// workload, cores, scheme and seed) that produced the state — typically
+// on another machine — and counts as this Simulation's single run. The
+// continued run produces Results identical to an uninterrupted one
+// (wall-clock timing aside).
+func (s *Simulation) Resume(state []byte) (Results, error) {
+	if s.used {
+		return Results{}, fmt.Errorf("slacksim: this simulation already ran; construct a new one")
+	}
+	s.used = true
+	if s.par {
+		return Results{}, fmt.Errorf("slacksim: resume requires the deterministic host")
+	}
+	return engine.Resume(s.machine, s.runCfg, state)
 }
 
 // Verify checks the workload's functional result in the simulated memory
