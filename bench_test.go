@@ -223,6 +223,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 					b.Fatal(err)
 				}
 				cycles += res.Cycles * int64(len(res.PerCore))
+				sim.Release()
 			}
 			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "core-cycles/s")
 		})
@@ -246,6 +247,7 @@ func BenchmarkParallelHost(b *testing.B) {
 			b.Fatal(err)
 		}
 		cycles += res.Cycles * int64(len(res.PerCore))
+		sim.Release()
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "core-cycles/s")
 }

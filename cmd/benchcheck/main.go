@@ -10,6 +10,13 @@
 // loose by default and meant to catch structural regressions (a lock
 // back on the hot path), not scheduling jitter.
 //
+// A baseline entry may additionally carry "max_allocs": an ABSOLUTE
+// allocs/op ceiling enforced on the current measurement regardless of
+// what the baseline itself measured. Ratio tolerances catch erosion
+// relative to the last run; the ceiling pins an invariant ("the
+// steady-state loop stays allocation-free") that must hold even across
+// a chain of small individually-tolerated regressions.
+//
 //	benchcheck -current /tmp/now.json                 # baseline auto-picked
 //	benchcheck -baseline BENCH_PR3.json -current /tmp/now.json
 //	benchcheck -current /tmp/now.json -ns-tol 2.0 -allocs-tol 1.05
@@ -35,6 +42,9 @@ type entry struct {
 	NsPerOp     *float64 `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op"`
 	AllocsPerOp *float64 `json:"allocs_per_op"`
+	// MaxAllocs, when set in the baseline, is a hard allocs/op ceiling
+	// for the current measurement (absolute, not a ratio).
+	MaxAllocs *float64 `json:"max_allocs,omitempty"`
 }
 
 func load(path string) (map[string]entry, error) {
@@ -140,6 +150,12 @@ func compare(base, cur map[string]entry, nsTol, allocsTol float64) (report, fail
 			line += " allocs/op " + r
 			if bad {
 				failures = append(failures, fmt.Sprintf("%s allocs/op %s exceeds %.2fx tolerance", name, r, allocsTol))
+			}
+		}
+		if b.MaxAllocs != nil && c.AllocsPerOp != nil {
+			line += fmt.Sprintf(" ceiling %.0f", *b.MaxAllocs)
+			if *c.AllocsPerOp > *b.MaxAllocs {
+				failures = append(failures, fmt.Sprintf("%s allocs/op %.0f exceeds the hard ceiling of %.0f", name, *c.AllocsPerOp, *b.MaxAllocs))
 			}
 		}
 		report = append(report, line)

@@ -48,6 +48,36 @@ func TestCompareNewAndDroppedAreNotFatal(t *testing.T) {
 	}
 }
 
+func TestCompareEnforcesHardAllocCeiling(t *testing.T) {
+	base := map[string]entry{
+		// Baseline measured 400 allocs with a 500 ceiling: a current run at
+		// 430 passes the 1.10x ratio but a run at 600 must trip the ceiling
+		// even if the ratio were tolerated.
+		"BenchmarkHot":  {Name: "BenchmarkHot", NsPerOp: f(1000), AllocsPerOp: f(400), MaxAllocs: f(500)},
+		"BenchmarkCold": {Name: "BenchmarkCold", NsPerOp: f(1000), AllocsPerOp: f(400)},
+	}
+	cur := map[string]entry{
+		"BenchmarkHot":  {Name: "BenchmarkHot", NsPerOp: f(1000), AllocsPerOp: f(430)},
+		"BenchmarkCold": {Name: "BenchmarkCold", NsPerOp: f(1000), AllocsPerOp: f(430)},
+	}
+	if report, failures := compare(base, cur, 1.5, 1.10); len(failures) != 0 {
+		t.Fatalf("within-ceiling run failed: %v", failures)
+	} else if !strings.Contains(strings.Join(report, "\n"), "ceiling 500") {
+		t.Fatalf("report does not show the ceiling:\n%s", strings.Join(report, "\n"))
+	}
+
+	over := map[string]entry{
+		"BenchmarkHot":  {Name: "BenchmarkHot", NsPerOp: f(1000), AllocsPerOp: f(600)},
+		"BenchmarkCold": {Name: "BenchmarkCold", NsPerOp: f(1000), AllocsPerOp: f(600)},
+	}
+	// Huge allocs tolerance: only the absolute ceiling may fire, and only
+	// for the benchmark that declares one.
+	_, failures := compare(base, over, 1.5, 100)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkHot allocs/op 600 exceeds the hard ceiling of 500") {
+		t.Fatalf("failures = %v, want exactly the BenchmarkHot ceiling breach", failures)
+	}
+}
+
 func TestCompareMissingMetricsSkipped(t *testing.T) {
 	base := map[string]entry{
 		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: f(1000)}, // no allocs in baseline

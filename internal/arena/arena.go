@@ -1,0 +1,160 @@
+// Package arena provides slab allocators with free lists for the
+// simulator's steady-state pools: objects and fixed-width slices are
+// carved out of large blocks, recycled through a free list when their
+// owner releases them, and reclaimed wholesale by Reset when a pooled
+// machine is recycled for a new run.
+//
+// The allocators are deliberately minimal — single-goroutine, no
+// finalizers, no per-object headers. Ownership rules (who may hold a
+// pooled object across a checkpoint boundary, and why rollback can never
+// observe recycled memory) are documented in DESIGN.md §15.
+package arena
+
+// Slab allocates objects of type T from fixed-size blocks. Get returns a
+// zeroed *T; Put recycles one (zeroing it); Reset recycles everything at
+// once, keeping the block storage for the next run. Pointers obtained
+// before a Reset must not be used afterwards.
+type Slab[T any] struct {
+	blockSize int
+	blocks    [][]T
+	cur       int // index of the block Get carves from
+	pos       int // next unused index within blocks[cur]
+	free      []*T
+}
+
+// NewSlab returns a slab handing out objects in blocks of blockSize.
+func NewSlab[T any](blockSize int) *Slab[T] {
+	if blockSize <= 0 {
+		blockSize = 64
+	}
+	return &Slab[T]{blockSize: blockSize}
+}
+
+// Get returns a zeroed object, recycling a freed one when available.
+//
+//slacksim:hotpath
+func (s *Slab[T]) Get() *T {
+	if n := len(s.free); n > 0 {
+		p := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return p
+	}
+	if s.cur == len(s.blocks) {
+		s.blocks = append(s.blocks, make([]T, s.blockSize)) //lint:allow hotpathalloc -- pool warm-up: a new block only when every existing block is full
+	}
+	p := &s.blocks[s.cur][s.pos]
+	s.pos++
+	if s.pos == s.blockSize {
+		s.cur++
+		s.pos = 0
+	}
+	return p
+}
+
+// Put zeroes the object and returns it to the free list. The caller must
+// not retain the pointer.
+//
+//slacksim:hotpath
+func (s *Slab[T]) Put(p *T) {
+	var zero T
+	*p = zero
+	s.free = append(s.free, p) //lint:allow hotpathalloc -- free-list growth is bounded by the high-water object count, then reused forever
+}
+
+// Reset recycles every outstanding object at once: all blocks are zeroed
+// and reused from the start. Outstanding pointers become invalid.
+func (s *Slab[T]) Reset() {
+	for i := range s.blocks {
+		clear(s.blocks[i])
+	}
+	clear(s.free)
+	s.free = s.free[:0]
+	s.cur = 0
+	s.pos = 0
+}
+
+// Live returns the number of objects handed out and not yet recycled
+// (diagnostics and tests).
+func (s *Slab[T]) Live() int {
+	return s.cur*s.blockSize + s.pos - len(s.free)
+}
+
+// Slices allocates fixed-width []T values from large blocks: the slice
+// arena behind per-line state vectors and similar small, uniform slices,
+// where one make per element would dominate the allocation profile.
+type Slices[T any] struct {
+	width    int
+	perBlock int // slices per block
+	blocks   [][]T
+	cur, pos int // pos counts slices, not elements
+	free     [][]T
+}
+
+// NewSlices returns an arena of width-element slices, perBlock slices per
+// backing block.
+func NewSlices[T any](width, perBlock int) *Slices[T] {
+	if width <= 0 {
+		panic("arena: slice width must be positive")
+	}
+	if perBlock <= 0 {
+		perBlock = 64
+	}
+	return &Slices[T]{width: width, perBlock: perBlock}
+}
+
+// Width returns the element count of every slice this arena hands out.
+func (a *Slices[T]) Width() int { return a.width }
+
+// Get returns a zeroed slice of the arena's width, recycling a freed one
+// when available.
+//
+//slacksim:hotpath
+func (a *Slices[T]) Get() []T {
+	if n := len(a.free); n > 0 {
+		s := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		return s
+	}
+	if a.cur == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]T, a.width*a.perBlock)) //lint:allow hotpathalloc -- pool warm-up: a new block only when every existing block is full
+	}
+	off := a.pos * a.width
+	s := a.blocks[a.cur][off : off+a.width : off+a.width]
+	a.pos++
+	if a.pos == a.perBlock {
+		a.cur++
+		a.pos = 0
+	}
+	return s
+}
+
+// Put zeroes the slice and returns it to the free list. The caller must
+// not retain the slice. Only slices obtained from this arena may be Put.
+//
+//slacksim:hotpath
+func (a *Slices[T]) Put(s []T) {
+	if len(s) != a.width {
+		panic("arena: Put of a slice with the wrong width")
+	}
+	clear(s)
+	a.free = append(a.free, s) //lint:allow hotpathalloc -- free-list growth is bounded by the high-water slice count, then reused forever
+}
+
+// Reset recycles every outstanding slice at once. Outstanding slices
+// become invalid.
+func (a *Slices[T]) Reset() {
+	for i := range a.blocks {
+		clear(a.blocks[i])
+	}
+	clear(a.free)
+	a.free = a.free[:0]
+	a.cur = 0
+	a.pos = 0
+}
+
+// Live returns the number of slices handed out and not yet recycled.
+func (a *Slices[T]) Live() int {
+	return a.cur*a.perBlock + a.pos - len(a.free)
+}

@@ -1,0 +1,109 @@
+package arena
+
+import "testing"
+
+func TestSlabGetPutReset(t *testing.T) {
+	s := NewSlab[int64](4) // small blocks to exercise block growth
+	var ptrs []*int64
+	for i := 0; i < 10; i++ {
+		p := s.Get()
+		if *p != 0 {
+			t.Fatalf("Get #%d returned non-zero %d", i, *p)
+		}
+		*p = int64(i + 1)
+		ptrs = append(ptrs, p)
+	}
+	if s.Live() != 10 {
+		t.Fatalf("Live = %d, want 10", s.Live())
+	}
+	// Distinct objects.
+	seen := map[*int64]bool{}
+	for _, p := range ptrs {
+		if seen[p] {
+			t.Fatal("Get returned the same pointer twice")
+		}
+		seen[p] = true
+	}
+	// Put zeroes and recycles.
+	s.Put(ptrs[3])
+	if *ptrs[3] != 0 {
+		t.Fatal("Put did not zero the object")
+	}
+	if p := s.Get(); p != ptrs[3] {
+		t.Fatal("Get did not recycle the freed object")
+	}
+	// Reset zeroes everything and reuses storage.
+	s.Reset()
+	if s.Live() != 0 {
+		t.Fatalf("Live after Reset = %d", s.Live())
+	}
+	for _, p := range ptrs {
+		if *p != 0 {
+			t.Fatal("Reset left a non-zero object")
+		}
+	}
+	if p := s.Get(); p != ptrs[0] {
+		t.Fatal("Get after Reset did not reuse block storage from the start")
+	}
+}
+
+func TestSlicesGetPutReset(t *testing.T) {
+	a := NewSlices[uint8](3, 4)
+	if a.Width() != 3 {
+		t.Fatalf("Width = %d", a.Width())
+	}
+	var got [][]uint8
+	for i := 0; i < 9; i++ {
+		s := a.Get()
+		if len(s) != 3 || cap(s) != 3 {
+			t.Fatalf("Get #%d: len=%d cap=%d", i, len(s), cap(s))
+		}
+		for _, v := range s {
+			if v != 0 {
+				t.Fatalf("Get #%d returned non-zero slice", i)
+			}
+		}
+		s[0], s[1], s[2] = uint8(i), uint8(i), uint8(i)
+		got = append(got, s)
+	}
+	if a.Live() != 9 {
+		t.Fatalf("Live = %d, want 9", a.Live())
+	}
+	// Slices must not overlap: each retains its own writes.
+	for i, s := range got {
+		if s[0] != uint8(i) {
+			t.Fatalf("slice %d clobbered: %v", i, s)
+		}
+	}
+	// cap is clamped, so appending cannot bleed into a neighbor.
+	grown := append(got[0], 99)
+	if &grown[0] == &got[0][0] && len(got) > 1 && got[1][0] == 99 {
+		t.Fatal("append bled into the neighboring slice")
+	}
+	a.Put(got[5])
+	s := a.Get()
+	if &s[0] != &got[5][0] {
+		t.Fatal("Get did not recycle the freed slice")
+	}
+	a.Reset()
+	if a.Live() != 0 {
+		t.Fatalf("Live after Reset = %d", a.Live())
+	}
+	for i, s := range got[1:] { // got[0] was grown above; skip it
+		for _, v := range s {
+			if v != 0 {
+				t.Fatalf("Reset left slice %d non-zero: %v", i+1, s)
+			}
+		}
+	}
+}
+
+func TestSlicesPutWrongWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put of a wrong-width slice did not panic")
+		}
+	}()
+	a := NewSlices[int](2, 4)
+	a.Put(make([]int, 3))
+}

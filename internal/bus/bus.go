@@ -138,6 +138,21 @@ func (b *Bus) Snapshot() *Bus {
 	return &c
 }
 
+// SnapshotInto copies the bus state into dst, reusing dst's reservation
+// backing arrays — the pooled-snapshot-graph variant of Snapshot.
+func (b *Bus) SnapshotInto(dst *Bus) {
+	dst.Restore(b)
+}
+
+// Reset returns the bus to its freshly-constructed idle state (same
+// occupancies). Used when a pooled machine is recycled for a new run.
+func (b *Bus) Reset() {
+	b.reqRes = b.reqRes[:0]
+	b.respRes = b.respRes[:0]
+	b.monitor = violation.NewMonitor()
+	b.Grants, b.Conflicts, b.RespConflicts, b.Violations = 0, 0, 0, 0
+}
+
 // Restore overwrites the bus state from a snapshot, reusing the existing
 // reservation backing arrays (lengths are bounded by resWindow, so after
 // warm-up no restore allocates).

@@ -62,8 +62,12 @@ type line struct {
 // Cache is a set-associative, write-back, write-allocate cache array with
 // per-line MESI state.
 type Cache struct {
-	cfg     Config
+	cfg Config
+	// sets are views into flat, one flat backing array for the whole
+	// cache: construction is two allocations instead of one per set, and
+	// full copies/resets are a single copy/clear.
 	sets    [][]line
+	flat    []line
 	setMask uint64
 	lruClk  uint64
 
@@ -92,11 +96,12 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	flat := make([]line, cfg.Sets()*cfg.Assoc)
 	sets := make([][]line, cfg.Sets())
 	for i := range sets {
-		sets[i] = make([]line, cfg.Assoc)
+		sets[i] = flat[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
-	return &Cache{cfg: cfg, sets: sets, setMask: uint64(cfg.Sets() - 1)}
+	return &Cache{cfg: cfg, sets: sets, flat: flat, setMask: uint64(cfg.Sets() - 1)}
 }
 
 // Config returns the cache's configuration.
@@ -234,15 +239,35 @@ func (c *Cache) ForEachValid(fn func(lineAddr uint64, s coherence.State)) {
 
 // Snapshot deep-copies the cache (tags, states, LRU, stats).
 func (c *Cache) Snapshot() *Cache {
-	n := &Cache{
-		cfg: c.cfg, setMask: c.setMask, lruClk: c.lruClk,
-		Hits: c.Hits, Misses: c.Misses, Evictions: c.Evictions, Writebacks: c.Writebacks,
-	}
-	n.sets = make([][]line, len(c.sets))
-	for i := range c.sets {
-		n.sets[i] = append([]line(nil), c.sets[i]...)
-	}
+	n := New(c.cfg)
+	c.SnapshotInto(n)
 	return n
+}
+
+// SnapshotInto deep-copies the cache's contents into dst, a cache built
+// from the same configuration — the pooled-snapshot-graph variant of
+// Snapshot, one flat copy and no allocation.
+//
+//slacksim:hotpath
+func (c *Cache) SnapshotInto(dst *Cache) {
+	if dst.cfg != c.cfg {
+		panic(fmt.Sprintf("cache %s: SnapshotInto mismatched config %s", c.cfg.Name, dst.cfg.Name))
+	}
+	dst.lruClk = c.lruClk
+	dst.Hits, dst.Misses, dst.Evictions, dst.Writebacks =
+		c.Hits, c.Misses, c.Evictions, c.Writebacks
+	copy(dst.flat, c.flat)
+}
+
+// Reset returns the cache to its freshly-constructed state: all lines
+// invalid, statistics zeroed, dirty tracking off. Used when a pooled
+// machine is recycled for a new run.
+func (c *Cache) Reset() {
+	clear(c.flat)
+	c.lruClk = 0
+	c.Hits, c.Misses, c.Evictions, c.Writebacks = 0, 0, 0, 0
+	c.track = false
+	c.clearDirty()
 }
 
 // Restore overwrites the cache with the snapshot's contents. The snapshot
@@ -256,9 +281,7 @@ func (c *Cache) Restore(snap *Cache) {
 	c.lruClk = snap.lruClk
 	c.Hits, c.Misses, c.Evictions, c.Writebacks =
 		snap.Hits, snap.Misses, snap.Evictions, snap.Writebacks
-	for i := range c.sets {
-		copy(c.sets[i], snap.sets[i])
-	}
+	copy(c.flat, snap.flat)
 	c.clearDirty()
 }
 
@@ -319,11 +342,9 @@ func (c *Cache) Equal(o *Cache) bool {
 		c.Evictions != o.Evictions || c.Writebacks != o.Writebacks {
 		return false
 	}
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			if c.sets[i][j] != o.sets[i][j] {
-				return false
-			}
+	for i := range c.flat {
+		if c.flat[i] != o.flat[i] {
+			return false
 		}
 	}
 	return true

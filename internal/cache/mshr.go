@@ -33,6 +33,10 @@ type MSHRFile struct {
 	// pointers), so an incremental checkpoint can skip the whole file when
 	// the version matches the snapshot's.
 	version uint64
+
+	// scratch carries Release's returned waiter list so the entry's own
+	// backing array stays parked in the file for reuse; see Release.
+	scratch []int
 }
 
 // NewMSHRFile returns a file with the given capacity.
@@ -77,7 +81,15 @@ func (f *MSHRFile) Allocate(lineAddr uint64, write bool, tag int, issueTS int64)
 		f.Full++
 		return nil, false
 	}
-	f.entries = append(f.entries, MSHR{LineAddr: lineAddr, Write: write, IssueTS: issueTS})
+	// A slot vacated by Release or Restore parks its waiter backing array
+	// within the slice capacity; reviving it keeps steady-state miss
+	// traffic allocation-free.
+	n := len(f.entries)
+	var w []int
+	if n < cap(f.entries) {
+		w = f.entries[:n+1][n].Waiters[:0]
+	}
+	f.entries = append(f.entries, MSHR{LineAddr: lineAddr, Write: write, IssueTS: issueTS, Waiters: w})
 	e := &f.entries[len(f.entries)-1]
 	if tag >= 0 {
 		e.Waiters = append(e.Waiters, tag)
@@ -86,14 +98,26 @@ func (f *MSHRFile) Allocate(lineAddr uint64, write bool, tag int, issueTS int64)
 }
 
 // Release removes the entry for lineAddr and returns its waiters (nil if
-// the entry does not exist).
+// the entry does not exist). The returned slice is the file's scratch
+// buffer: it is valid until the next Release and must not be retained —
+// the entry's own backing array stays parked in the file so a later
+// Allocate reuses it instead of allocating.
+//
+//slacksim:hotpath
 func (f *MSHRFile) Release(lineAddr uint64) []int {
 	for i := range f.entries {
 		if f.entries[i].LineAddr == lineAddr {
 			f.version++
-			w := f.entries[i].Waiters
-			f.entries = append(f.entries[:i], f.entries[i+1:]...)
-			return w
+			f.scratch = append(f.scratch[:0], f.entries[i].Waiters...)
+			w := f.entries[i].Waiters[:0]
+			n := len(f.entries)
+			copy(f.entries[i:], f.entries[i+1:])
+			// Park the released backing in the vacated tail slot; every
+			// slot within capacity keeps a distinct backing array, so
+			// reuse can never alias two entries' waiter lists.
+			f.entries[n-1] = MSHR{Waiters: w}
+			f.entries = f.entries[:n-1]
+			return f.scratch
 		}
 	}
 	return nil
@@ -108,27 +132,62 @@ func (f *MSHRFile) ForEach(fn func(*MSHR)) {
 
 // Snapshot deep-copies the file.
 func (f *MSHRFile) Snapshot() *MSHRFile {
-	n := &MSHRFile{cap: f.cap, Merges: f.Merges, Full: f.Full, version: f.version}
-	n.entries = make([]MSHR, len(f.entries))
-	for i, e := range f.entries {
-		e.Waiters = append([]int(nil), e.Waiters...)
-		n.entries[i] = e
-	}
+	n := &MSHRFile{cap: f.cap}
+	n.Restore(f)
 	return n
 }
 
-// Restore overwrites the file from a snapshot.
+// SnapshotInto deep-copies the file's contents into dst, reusing dst's
+// entry and waiter backings — the pooled-snapshot-graph variant of
+// Snapshot.
+//
+//slacksim:hotpath
+func (f *MSHRFile) SnapshotInto(dst *MSHRFile) {
+	dst.Restore(f)
+}
+
+// Restore overwrites the file from a snapshot. Waiter lists are deep
+// copies (aliasing snap's slices would corrupt the snapshot on replay),
+// but the copies land in f's own parked backing arrays, so steady-state
+// restores allocate nothing.
 //
 //slacksim:hotpath
 func (f *MSHRFile) Restore(snap *MSHRFile) {
 	f.cap = snap.cap
 	f.Merges, f.Full = snap.Merges, snap.Full
-	f.entries = f.entries[:0]
-	for _, e := range snap.entries {
-		e.Waiters = append([]int(nil), e.Waiters...) //lint:allow hotpathalloc -- deep copy is required: aliasing snap's waiter slices would corrupt the snapshot on replay
-		f.entries = append(f.entries, e)
+	n := len(snap.entries)
+	for len(f.entries) < n {
+		if len(f.entries) < cap(f.entries) {
+			// Revive a parked slot, keeping its waiter backing.
+			f.entries = f.entries[:len(f.entries)+1]
+		} else {
+			f.entries = append(f.entries, MSHR{}) //lint:allow hotpathalloc -- grows only past the file's high-water entry count, then reused
+		}
+	}
+	for i := n; i < len(f.entries); i++ {
+		f.entries[i] = MSHR{Waiters: f.entries[i].Waiters[:0]}
+	}
+	f.entries = f.entries[:n]
+	for i := range snap.entries {
+		se := &snap.entries[i]
+		e := &f.entries[i]
+		w := append(e.Waiters[:0], se.Waiters...)
+		*e = *se
+		e.Waiters = w
 	}
 	f.version = snap.version
+}
+
+// Reset returns the file to its freshly-constructed state, parking every
+// entry's waiter backing for reuse. Used when a pooled machine is
+// recycled.
+func (f *MSHRFile) Reset() {
+	for i := range f.entries {
+		f.entries[i] = MSHR{Waiters: f.entries[i].Waiters[:0]}
+	}
+	f.entries = f.entries[:0]
+	f.Merges, f.Full = 0, 0
+	f.version = 0
 }
 
 // SyncSnapshot brings snap up to date with the live file. When no

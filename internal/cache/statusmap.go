@@ -3,6 +3,7 @@ package cache
 import (
 	"slices"
 
+	"slacksim/internal/arena"
 	"slacksim/internal/coherence"
 )
 
@@ -20,6 +21,13 @@ type StatusMap struct {
 	numCores int
 	lines    map[uint64]*mapEntry
 
+	// Entries and their per-core state vectors come out of slab arenas:
+	// runtime entry creation is pointer-bump cheap, deleted entries are
+	// recycled through the slab free lists, and a pooled machine's Reset
+	// reclaims everything wholesale without freeing the blocks.
+	entries *arena.Slab[mapEntry]
+	states  *arena.Slices[coherence.State]
+
 	// Incremental-checkpoint support: when tracking is on, every line
 	// touched by Apply since the last SyncSnapshot/RestoreDirty is flagged
 	// dirty and listed once in dirtyList, so a checkpoint copies only the
@@ -36,16 +44,40 @@ type mapEntry struct {
 
 // NewStatusMap returns an empty map for a machine with numCores L1s.
 func NewStatusMap(numCores int) *StatusMap {
-	return &StatusMap{numCores: numCores, lines: make(map[uint64]*mapEntry)}
+	return &StatusMap{
+		numCores: numCores,
+		lines:    make(map[uint64]*mapEntry),
+		entries:  arena.NewSlab[mapEntry](256),
+		states:   arena.NewSlices[coherence.State](numCores, 256),
+	}
+}
+
+// newEntry carves a fresh entry (with its state vector) from the arenas.
+//
+//slacksim:hotpath
+func (m *StatusMap) newEntry() *mapEntry {
+	e := m.entries.Get()
+	e.states = m.states.Get()
+	return e
+}
+
+// freeEntry recycles a deleted entry and its state vector.
+//
+//slacksim:hotpath
+func (m *StatusMap) freeEntry(e *mapEntry) {
+	m.states.Put(e.states)
+	m.entries.Put(e)
 }
 
 // NumCores returns the number of tracked caches.
 func (m *StatusMap) NumCores() int { return m.numCores }
 
+//slacksim:hotpath
 func (m *StatusMap) entry(lineAddr uint64) *mapEntry {
 	e := m.lines[lineAddr]
 	if e == nil {
-		e = &mapEntry{states: make([]coherence.State, m.numCores), monitorTS: -1}
+		e = m.newEntry()
+		e.monitorTS = -1
 		m.lines[lineAddr] = e
 	}
 	return e
@@ -182,34 +214,49 @@ func (m *StatusMap) Lines() int { return len(m.lines) }
 // Snapshot deep-copies the map.
 func (m *StatusMap) Snapshot() *StatusMap {
 	n := NewStatusMap(m.numCores)
-	for la, e := range m.lines {
-		n.lines[la] = &mapEntry{
-			states:    append([]coherence.State(nil), e.states...),
-			monitorTS: e.monitorTS,
-		}
-	}
+	m.SnapshotInto(n)
 	return n
 }
 
+// SnapshotInto deep-copies the map's contents into dst, reusing dst's
+// map buckets and recycling its entries through dst's arenas — the
+// pooled-snapshot-graph variant of Snapshot. dst must have been built
+// for the same core count.
+func (m *StatusMap) SnapshotInto(dst *StatusMap) {
+	dst.numCores = m.numCores
+	for la, e := range dst.lines {
+		if m.lines[la] == nil {
+			delete(dst.lines, la)
+			dst.freeEntry(e)
+		}
+	}
+	for la, e := range m.lines {
+		de := dst.lines[la]
+		if de == nil {
+			de = dst.newEntry()
+			dst.lines[la] = de
+		}
+		copy(de.states, e.states)
+		de.monitorTS = e.monitorTS
+		de.dirty = false
+	}
+	dst.dirtyList = dst.dirtyList[:0]
+}
+
 // Restore overwrites the map from a snapshot, reusing the existing map
-// and per-entry state slices instead of rebuilding them.
+// and recycled entries instead of rebuilding them.
 func (m *StatusMap) Restore(snap *StatusMap) {
-	m.numCores = snap.numCores
-	for la := range m.lines {
-		if snap.lines[la] == nil {
-			delete(m.lines, la)
-		}
-	}
-	for la, se := range snap.lines {
-		e := m.lines[la]
-		if e == nil || len(e.states) != len(se.states) {
-			e = &mapEntry{states: make([]coherence.State, len(se.states))}
-			m.lines[la] = e
-		}
-		copy(e.states, se.states)
-		e.monitorTS = se.monitorTS
-		e.dirty = false
-	}
+	snap.SnapshotInto(m)
+}
+
+// Reset returns the map to its freshly-constructed state, reclaiming
+// every entry wholesale through the arenas (the blocks are kept for the
+// next run). Used when a pooled machine is recycled.
+func (m *StatusMap) Reset() {
+	clear(m.lines)
+	m.entries.Reset()
+	m.states.Reset()
+	m.track = false
 	m.dirtyList = m.dirtyList[:0]
 }
 
@@ -245,8 +292,11 @@ func (m *StatusMap) SyncSnapshot(snap *StatusMap) {
 		}
 		e.dirty = false
 		se := snap.lines[la]
-		if se == nil || len(se.states) != len(e.states) {
-			se = &mapEntry{states: make([]coherence.State, len(e.states))} //lint:allow hotpathalloc -- first sync of a line only; subsequent boundaries reuse the entry
+		if se == nil {
+			// First sync of a line only; subsequent boundaries reuse the
+			// entry, and the arena makes even the first sync pointer-bump
+			// cheap after warm-up.
+			se = snap.newEntry()
 			snap.lines[la] = se
 		}
 		copy(se.states, e.states)
@@ -271,6 +321,7 @@ func (m *StatusMap) RestoreDirty(snap *StatusMap) {
 		se := snap.lines[la]
 		if se == nil {
 			delete(m.lines, la)
+			m.freeEntry(e)
 			continue
 		}
 		copy(e.states, se.states)

@@ -95,7 +95,7 @@ type Core struct {
 	mem  *mem.Memory
 	sync *syncctl.Controller
 
-	outQ *event.Queue[event.Request]
+	outQ *event.Shard[event.Request]
 	inQ  *event.Queue[event.Msg]
 
 	l1i, l1d *cache.Cache
@@ -161,7 +161,7 @@ func (c *Core) freeEntry(e *robEntry) {
 // synchronization controller, communicating through outQ (to the manager)
 // and inQ (from the manager).
 func New(cfg Config, prog *isa.Program, m *mem.Memory, sc *syncctl.Controller,
-	outQ *event.Queue[event.Request], inQ *event.Queue[event.Msg]) (*Core, error) {
+	outQ *event.Shard[event.Request], inQ *event.Queue[event.Msg]) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -191,12 +191,48 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory, sc *syncctl.Controller,
 
 // MustNew is New but panics on error, for static configurations.
 func MustNew(cfg Config, prog *isa.Program, m *mem.Memory, sc *syncctl.Controller,
-	outQ *event.Queue[event.Request], inQ *event.Queue[event.Msg]) *Core {
+	outQ *event.Shard[event.Request], inQ *event.Queue[event.Msg]) *Core {
 	c, err := New(cfg, prog, m, sc, outQ, inQ)
 	if err != nil {
 		panic(err)
 	}
 	return c
+}
+
+// Reset returns the core to its freshly-constructed state running prog,
+// keeping the configuration, shared-structure wiring, and every pooled
+// backing (ROB free list, cache arrays, MSHR waiter arenas, predictor
+// table). Used when a pooled machine is recycled for a new run.
+func (c *Core) Reset(prog *isa.Program) error {
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+	c.prog = prog
+	c.l1i.Reset()
+	c.l1d.Reset()
+	c.imshr.Reset()
+	c.dmshr.Reset()
+	c.pred.Reset()
+	c.now = 0
+	c.regs = [isa.NumRegs]uint64{}
+	for i := range c.mapTable {
+		c.mapTable[i] = -1
+	}
+	for _, e := range c.robs() {
+		c.freeEntry(e)
+	}
+	clear(c.rob)
+	c.rob = c.rob[:0]
+	c.robHead = 0
+	c.nextSeq = 0
+	c.fetchBuf = c.fetchBuf[:0]
+	c.fetchPC = 0
+	c.fetchStallUntil = 0
+	c.serializeSeq = -1
+	c.halted = false
+	c.reqID = 0
+	c.stats = Stats{}
+	return nil
 }
 
 // ID returns the core's index.

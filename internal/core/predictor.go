@@ -48,6 +48,20 @@ func (p *Predictor) Snapshot() *Predictor {
 	}
 }
 
+// SnapshotInto deep-copies the predictor into dst, reusing dst's counter
+// table — the pooled-snapshot-graph variant of Snapshot.
+func (p *Predictor) SnapshotInto(dst *Predictor) {
+	dst.Restore(p)
+}
+
+// Reset returns the predictor to its freshly-constructed state (all
+// counters weakly-not-taken, stats zeroed). Used when a pooled machine is
+// recycled for a new run.
+func (p *Predictor) Reset() {
+	clear(p.counters)
+	p.Lookups, p.Mispredicts = 0, 0
+}
+
 // Restore overwrites the predictor from a snapshot.
 func (p *Predictor) Restore(snap *Predictor) {
 	copy(p.counters, snap.counters)

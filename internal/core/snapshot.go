@@ -60,6 +60,39 @@ func (c *Core) Snapshot() *Snapshot {
 	return s
 }
 
+// SnapshotInto captures the core's complete state into s, reusing s's
+// ROB/fetch backings and component graphs — the pooled-snapshot-graph
+// variant of Snapshot. A zero Snapshot is populated on first use (pool
+// warm-up); after that nothing is reallocated.
+func (c *Core) SnapshotInto(s *Snapshot) {
+	s.now = c.now
+	s.regs = c.regs
+	s.mapTable = c.mapTable
+	s.fetchPC = c.fetchPC
+	s.fetchStallUntil = c.fetchStallUntil
+	s.serializeSeq = c.serializeSeq
+	s.nextSeq = c.nextSeq
+	s.halted = c.halted
+	s.reqID = c.reqID
+	s.stats = c.stats
+	s.rob = s.rob[:0]
+	for _, e := range c.robs() {
+		s.rob = append(s.rob, *e)
+	}
+	s.fetchBuf = append(s.fetchBuf[:0], c.fetchBuf...)
+	if s.l1i == nil {
+		s.l1i, s.l1d = c.l1i.Snapshot(), c.l1d.Snapshot()
+		s.imshr, s.dmshr = c.imshr.Snapshot(), c.dmshr.Snapshot()
+		s.pred = c.pred.Snapshot()
+		return
+	}
+	c.l1i.SnapshotInto(s.l1i)
+	c.l1d.SnapshotInto(s.l1d)
+	c.imshr.SnapshotInto(s.imshr)
+	c.dmshr.SnapshotInto(s.dmshr)
+	c.pred.SnapshotInto(s.pred)
+}
+
 // restoreScalars copies everything except the cache/MSHR/predictor
 // structures, recycling the live ROB entries through the freelist so a
 // restore allocates nothing once the pools are warm.

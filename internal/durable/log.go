@@ -19,7 +19,17 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 )
+
+// recBufPool recycles record-encoding scratch buffers so steady-state WAL
+// appends (Store.Put, compaction) stop allocating per record. Buffers are
+// handed back immediately after appendRecord returns — the framing writes
+// the payload out before returning, so nothing retains the bytes.
+var recBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getRecBuf() *[]byte  { return recBufPool.Get().(*[]byte) }
+func putRecBuf(b *[]byte) { recBufPool.Put(b) }
 
 // Record framing: a fixed header of two little-endian uint32s — payload
 // length and CRC-32C (Castagnoli) of the payload — followed by the

@@ -53,6 +53,9 @@ func EncodeSnapshot(sp spec.Spec, engine []byte) ([]byte, error) {
 		return nil, err
 	}
 	var buf bytes.Buffer
+	// The container size is known exactly; one allocation serves the whole
+	// encode.
+	buf.Grow(len(snapshotMagic) + 2*recHeaderLen + len(hdr) + len(engine))
 	buf.Write(snapshotMagic)
 	if _, err := appendRecord(&buf, hdr); err != nil {
 		return nil, err

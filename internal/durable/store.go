@@ -80,12 +80,13 @@ type Store struct {
 }
 
 // record payload: u32 key length | key bytes | value bytes.
-func encodeStoreRecord(key string, val []byte) []byte {
-	buf := make([]byte, 4+len(key)+len(val))
-	binary.LittleEndian.PutUint32(buf[:4], uint32(len(key)))
-	copy(buf[4:], key)
-	copy(buf[4+len(key):], val)
-	return buf
+// encodeStoreRecord appends the encoding to dst[:0] and returns it, so
+// callers can thread a pooled scratch buffer through repeated encodes.
+func encodeStoreRecord(dst []byte, key string, val []byte) []byte {
+	dst = append(dst[:0], 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(dst[:4], uint32(len(key)))
+	dst = append(dst, key...)
+	return append(dst, val...)
 }
 
 func decodeStoreRecord(payload []byte) (key string, valOff int64, err error) {
@@ -239,9 +240,12 @@ func (s *Store) Put(key string, val []byte) error {
 	if s.closed {
 		return fmt.Errorf("durable: store is closed")
 	}
-	payload := encodeStoreRecord(key, val)
+	bp := getRecBuf()
+	payload := encodeStoreRecord(*bp, key, val)
 	off := s.walSize
 	n, err := appendRecord(s.wal, payload)
+	*bp = payload
+	putRecBuf(bp)
 	if err != nil {
 		return err
 	}
@@ -308,17 +312,21 @@ func (s *Store) compactLocked() error {
 	sort.Strings(keys)
 
 	var off int64
+	var val, enc []byte // reused across records
 	moved := make(map[string]loc, len(keys))
 	for _, k := range keys {
 		l := s.index[k]
-		val := make([]byte, l.vlen)
+		if int64(cap(val)) < l.vlen {
+			val = make([]byte, l.vlen)
+		}
+		val = val[:l.vlen]
 		if _, err := s.wal.ReadAt(val, l.off); err != nil {
 			f.Close()
 			os.Remove(tmp)
 			return err
 		}
-		payload := encodeStoreRecord(k, val)
-		n, err := appendRecord(f, payload)
+		enc = encodeStoreRecord(enc, k, val)
+		n, err := appendRecord(f, enc)
 		if err != nil {
 			f.Close()
 			os.Remove(tmp)

@@ -51,6 +51,8 @@ type globalSnapshot struct {
 // takeCheckpoint captures the current simulation state, replacing the
 // previous checkpoint (old checkpoints are discarded as the paper does to
 // release resources).
+//
+//slacksim:hotpath
 func (r *detRun) takeCheckpoint() {
 	incremental := !r.cfg.DeepCheckpoint
 	if r.snap == nil || !incremental {
@@ -75,42 +77,49 @@ func (r *detRun) takeCheckpoint() {
 	r.ckpts++
 	r.ckptWords += words
 	r.meter.ckptWords += words
-	r.cfg.Tracer.Addf(r.global, -1, trace.Checkpoint, "#%d words=%d", r.ckpts, words)
+	if r.cfg.Tracer.Enabled() {
+		r.cfg.Tracer.Addf(r.global, -1, trace.Checkpoint, "#%d words=%d", r.ckpts, words)
+	}
 }
 
 // fullSnapshot deep-copies everything (the reference path, and the first
-// checkpoint of the incremental path).
+// checkpoint of the incremental path) into the machine's pooled snapshot
+// graph: every boundary recycles the same backing arrays and component
+// snapshots instead of rebuilding the graph from scratch.
 func (r *detRun) fullSnapshot() *globalSnapshot {
-	s := &globalSnapshot{
-		global:    r.global,
-		bound:     r.bound,
-		retired:   append([]bool(nil), r.retired...),
-		unc:       r.m.unc.Snapshot(),
-		mem:       r.m.mem.Snapshot(),
-		sync:      r.m.sync.Snapshot(),
-		det:       r.m.det.Snapshot(),
-		lastAdapt: r.lastAdapt,
-		gq:        append([]pendingReq(nil), r.gq...),
-	}
-	if r.ctrl != nil {
+	s := r.m.snapGraph()
+	s.global = r.global
+	s.bound = r.bound
+	s.retired = append(s.retired[:0], r.retired...)
+	s.lastAdapt = r.lastAdapt
+	s.gq = append(s.gq[:0], r.gq...)
+	r.m.unc.SnapshotInto(s.unc)
+	r.m.mem.SnapshotInto(s.mem)
+	r.m.sync.SnapshotInto(s.sync)
+	r.m.det.CopyInto(s.det)
+	if r.ctrl == nil {
+		s.ctrl = nil
+	} else if s.ctrl == nil {
 		s.ctrl = r.ctrl.Snapshot()
+	} else {
+		s.ctrl.Restore(r.ctrl)
 	}
-	for _, c := range r.m.cores {
-		s.cores = append(s.cores, c.Snapshot())
+	for i, c := range r.m.cores {
+		c.SnapshotInto(s.cores[i])
 	}
 	for i := range r.m.inQs {
-		s.inQs = append(s.inQs, r.m.inQs[i].Snapshot())
-		s.outs = append(s.outs, r.m.outQs[i].Snapshot())
+		s.inQs[i] = r.m.inQs[i].SnapshotInto(s.inQs[i])
+		s.outs[i] = r.m.outQs[i].SnapshotInto(s.outs[i])
 	}
 	return s
 }
 
 // syncCheckpoint brings the evolving snapshot up to date by copying only
 // dirty component state; engine-level slices are small and refreshed into
-// reused backing arrays. The synchronization controller syncs in place
-// (its maps are reused across boundaries); the violation detector keeps a
-// deep copy — its state is tiny and has no single mutation funnel to
-// track.
+// reused backing arrays. The synchronization controller and the violation
+// detector copy in place, reusing the snapshot's maps — their state is
+// tiny and has no single mutation funnel to track, so the whole state is
+// the copy set at every boundary.
 //
 //slacksim:hotpath
 func (r *detRun) syncCheckpoint(s *globalSnapshot) {
@@ -122,9 +131,13 @@ func (r *detRun) syncCheckpoint(s *globalSnapshot) {
 	r.m.unc.SyncSnapshot(s.unc)
 	r.m.mem.SyncSnapshot(s.mem)
 	r.m.sync.SyncSnapshot(s.sync)
-	s.det = r.m.det.Snapshot()
+	r.m.det.CopyInto(s.det)
 	if r.ctrl != nil {
-		s.ctrl = r.ctrl.Snapshot()
+		if s.ctrl == nil {
+			s.ctrl = r.ctrl.Snapshot()
+		} else {
+			s.ctrl.Restore(r.ctrl)
+		}
 	}
 	for i, c := range r.m.cores {
 		c.SyncSnapshot(s.cores[i])
@@ -144,8 +157,10 @@ func (r *detRun) doRollback() {
 	r.pendingRollback = false
 	r.rollbacks++
 	r.wasted += r.global - s.global
-	r.cfg.Tracer.Addf(r.global, -1, trace.Rollback,
-		"#%d to @%d (wasted %d cycles)", r.rollbacks, s.global, r.global-s.global)
+	if r.cfg.Tracer.Enabled() {
+		r.cfg.Tracer.Addf(r.global, -1, trace.Rollback,
+			"#%d to @%d (wasted %d cycles)", r.rollbacks, s.global, r.global-s.global)
+	}
 
 	r.global = s.global
 	r.bound = s.bound

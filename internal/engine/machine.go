@@ -46,13 +46,30 @@ type Workload interface {
 type Machine struct {
 	cfg    MachineConfig
 	cores  []*core.Core
-	outQs  []*event.Queue[event.Request]
+	outQs  []*event.Shard[event.Request]
 	inQs   []*event.Queue[event.Msg]
 	unc    *uncore.Uncore
 	mem    *mem.Memory
 	sync   *syncctl.Controller
 	det    *violation.Detector
 	wkName string
+	// progs are the loaded workload's compiled programs. Programs are
+	// immutable during simulation, so a pooled machine reuses them when it
+	// is reloaded with a workload of the same name (built-in workload names
+	// embed every program-affecting parameter) instead of recompiling.
+	progs []*isa.Program
+
+	// snapPool is the machine's pooled checkpoint graph: both hosts copy
+	// into this one set of snapshot objects at every boundary instead of
+	// allocating fresh ones, and a pooled machine carries the warmed graph
+	// into its next run. Built lazily by snapGraph.
+	snapPool *globalSnapshot
+}
+
+// defaultedUncore resolves a zero-value Uncore config the way NewMachine
+// does (shared with MachinePool so shapes match).
+func defaultedUncore(cfg MachineConfig) uncore.Config {
+	return uncore.DefaultConfig(cfg.NumCores)
 }
 
 // NewMachine builds the target machine and loads the workload.
@@ -61,7 +78,7 @@ func NewMachine(cfg MachineConfig, w Workload) (*Machine, error) {
 		return nil, fmt.Errorf("engine: NumCores must be positive")
 	}
 	if cfg.Uncore.NumCores == 0 {
-		cfg.Uncore = uncore.DefaultConfig(cfg.NumCores)
+		cfg.Uncore = defaultedUncore(cfg)
 	}
 	if cfg.Uncore.NumCores != cfg.NumCores {
 		return nil, fmt.Errorf("engine: uncore configured for %d cores, machine has %d",
@@ -82,12 +99,18 @@ func NewMachine(cfg MachineConfig, w Workload) (*Machine, error) {
 		sync:   syncctl.New(cfg.NumCores),
 		det:    violation.NewDetector(),
 		wkName: w.Name(),
+		progs:  progs,
 	}
 	if err := w.InitMemory(m.mem); err != nil {
 		return nil, fmt.Errorf("engine: workload %s init: %w", w.Name(), err)
 	}
 	for i := 0; i < cfg.NumCores; i++ {
-		m.outQs = append(m.outQs, event.NewQueue[event.Request]())
+		// Each core's out-queue is its private shard of the global queue:
+		// the core appends lock-free, the manager merges the shards at
+		// drain time. In-queues stay mutex-protected queues — the uncore
+		// pushes invalidations into *other* cores' inQs, so they are not
+		// single-producer.
+		m.outQs = append(m.outQs, event.NewShard[event.Request]())
 		m.inQs = append(m.inQs, event.NewQueue[event.Msg]())
 	}
 	m.unc, err = uncore.New(cfg.Uncore, m.inQs, m.det)
@@ -128,6 +151,29 @@ func (m *Machine) Detector() *violation.Detector { return m.det }
 
 // WorkloadName returns the loaded workload's name.
 func (m *Machine) WorkloadName() string { return m.wkName }
+
+// snapGraph returns the machine's pooled snapshot graph, building it on
+// first use. Exactly one checkpoint is live at a time on either host (old
+// checkpoints are discarded, as in the paper), so one graph per machine
+// suffices; every boundary overwrites it in place through the components'
+// SnapshotInto/SyncSnapshot methods.
+func (m *Machine) snapGraph() *globalSnapshot {
+	if m.snapPool == nil {
+		s := &globalSnapshot{
+			mem:  mem.New(),
+			sync: syncctl.New(m.cfg.NumCores),
+			det:  violation.NewDetector(),
+			unc:  &uncore.Snapshot{},
+			inQs: make([][]event.Msg, m.cfg.NumCores),
+			outs: make([][]event.Request, m.cfg.NumCores),
+		}
+		for range m.cores {
+			s.cores = append(s.cores, &core.Snapshot{})
+		}
+		m.snapPool = s
+	}
+	return m.snapPool
+}
 
 // startTracking enables dirty tracking in every component for incremental
 // checkpoints. Called once, at the instant the first full snapshot is

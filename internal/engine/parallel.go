@@ -10,12 +10,8 @@ import (
 	"time"
 
 	"slacksim/internal/adaptive"
-	"slacksim/internal/core"
 	"slacksim/internal/event"
-	"slacksim/internal/mem"
-	"slacksim/internal/syncctl"
 	"slacksim/internal/trace"
-	"slacksim/internal/uncore"
 	"slacksim/internal/violation"
 )
 
@@ -128,13 +124,11 @@ type parRun struct {
 	ckpts     int
 	ckptWords int64
 
-	// Incremental-checkpoint state (persistent snapshot objects, synced
-	// with only the dirty state at each boundary) and reused scratch.
-	ckptMem   *mem.Memory
-	ckptUnc   *uncore.Snapshot
-	ckptSync  *syncctl.Controller
-	ckptCores []*core.Snapshot
-	drainBuf  []event.Request
+	// ckptInit records that the first checkpoint populated the machine's
+	// pooled snapshot graph (subsequent incremental boundaries sync only
+	// the dirty state into it); drainBuf is reused merge scratch.
+	ckptInit bool
+	drainBuf []event.Request
 }
 
 // gqBandShift sets the banded pending queue's granularity (1<<shift
@@ -649,7 +643,7 @@ func (r *parRun) adapt() {
 	before := r.bound
 	r.bound = r.ctrl.Update(rate)
 	r.meter.adaptOps++
-	if r.bound != before {
+	if r.bound != before && r.cfg.Tracer.Enabled() {
 		r.cfg.Tracer.Addf(r.global, -1, trace.BoundChange,
 			"rate=%.5f bound %d -> %d", rate, before, r.bound)
 	}
@@ -660,6 +654,8 @@ func (r *parRun) adapt() {
 // without rollback the snapshot is dropped, exactly like the paper's
 // Table 2 runs where "checkpoints always succeed"). It returns false when
 // some active core has not parked at the boundary yet.
+//
+//slacksim:hotpath
 func (r *parRun) tryCheckpoint() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -678,35 +674,37 @@ func (r *parRun) tryCheckpoint() bool {
 	// cost charged by the cost model) are computed from the same state
 	// sizes on both paths.
 	words := int64(r.m.mem.AllocatedWords() + r.m.unc.StateWords())
-	if r.cfg.DeepCheckpoint || r.ckptCores == nil {
-		r.ckptMem = r.m.mem.Snapshot()
-		r.ckptUnc = r.m.unc.Snapshot()
-		r.ckptSync = r.m.sync.Snapshot()
-		r.ckptCores = r.ckptCores[:0]
-		for _, c := range r.m.cores {
-			cs := c.Snapshot()
-			r.ckptCores = append(r.ckptCores, cs)
-			words += int64(cs.StateWords())
+	s := r.m.snapGraph()
+	if r.cfg.DeepCheckpoint || !r.ckptInit {
+		r.m.mem.SnapshotInto(s.mem)
+		r.m.unc.SnapshotInto(s.unc)
+		r.m.sync.SnapshotInto(s.sync)
+		for i, c := range r.m.cores {
+			c.SnapshotInto(s.cores[i])
+			words += int64(s.cores[i].StateWords())
 		}
 		if !r.cfg.DeepCheckpoint {
 			// First incremental checkpoint: subsequent boundaries sync only
-			// the dirty state into these persistent snapshot objects. The
-			// track flags are published to the parked core goroutines by mu.
+			// the dirty state into the pooled snapshot graph. The track
+			// flags are published to the parked core goroutines by mu.
 			r.m.startTracking()
 		}
+		r.ckptInit = true
 	} else {
-		r.m.mem.SyncSnapshot(r.ckptMem)
-		r.m.unc.SyncSnapshot(r.ckptUnc)
-		r.m.sync.SyncSnapshot(r.ckptSync)
+		r.m.mem.SyncSnapshot(s.mem)
+		r.m.unc.SyncSnapshot(s.unc)
+		r.m.sync.SyncSnapshot(s.sync)
 		for i, c := range r.m.cores {
-			c.SyncSnapshot(r.ckptCores[i])
-			words += int64(r.ckptCores[i].StateWords())
+			c.SyncSnapshot(s.cores[i])
+			words += int64(s.cores[i].StateWords())
 		}
 	}
 	r.ckpts++
 	r.ckptWords += words
 	r.meter.ckptWords += words
-	r.cfg.Tracer.Addf(r.nextCkpt, -1, trace.Checkpoint, "ckpt %d (%d words)", r.ckpts, words)
+	if r.cfg.Tracer.Enabled() {
+		r.cfg.Tracer.Addf(r.nextCkpt, -1, trace.Checkpoint, "ckpt %d (%d words)", r.ckpts, words)
+	}
 	r.nextCkpt += r.cfg.CheckpointInterval
 	return true
 }

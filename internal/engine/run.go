@@ -526,7 +526,7 @@ func (r *detRun) adapt() {
 	before := r.bound
 	r.bound = r.ctrl.Update(rate)
 	r.meter.adaptOps++
-	if r.bound != before {
+	if r.bound != before && r.cfg.Tracer.Enabled() {
 		r.cfg.Tracer.Addf(r.global, -1, trace.BoundChange,
 			"rate=%.5f bound %d -> %d", rate, before, r.bound)
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"slacksim/internal/adaptive"
@@ -17,6 +18,9 @@ import (
 	"slacksim/internal/uncore"
 	"slacksim/internal/violation"
 )
+
+// encBufPool recycles snapshot-encode buffers across exports.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // ErrSnapshotted reports that a run stopped at a checkpoint boundary to
 // export its state (RunConfig.SnapshotRequest): the serialized state was
@@ -165,8 +169,13 @@ func (r *detRun) exportSnapshot() ([]byte, error) {
 		outs = append(outs, r.m.outQs[i].Snapshot())
 	}
 
-	var buf bytes.Buffer
-	enc := gob.NewEncoder(&buf)
+	// The gob stream is assembled in a pooled buffer (repeated exports of a
+	// live run reuse the same grown backing); the returned bytes are copied
+	// out because the caller owns them indefinitely.
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer encBufPool.Put(buf)
+	enc := gob.NewEncoder(buf)
 	for _, step := range []struct {
 		name string
 		v    any
@@ -189,7 +198,9 @@ func (r *detRun) exportSnapshot() ([]byte, error) {
 			return nil, fmt.Errorf("engine: snapshot controller: %w", err)
 		}
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
 }
 
 // Resume continues a run exported by a snapshot request. The machine

@@ -64,6 +64,11 @@ func (b *Bands[T]) Add(ts int64, v T) {
 			b.bands = append(b.bands, b.newBand()) //lint:allow hotpathalloc -- window growth is bounded by the slack bound, then reused forever
 		}
 		for i := 1; i < len(b.bands); i++ {
+			// Clear before recycling: a rebased band is empty in length but
+			// its backing array still holds the last window's items, and a
+			// free-listed slice must not pin those values (for pointerful T,
+			// retained references outlive rollback).
+			clear(b.bands[i])
 			b.free = append(b.free, b.bands[i][:0]) //lint:allow hotpathalloc -- free-list growth is bounded by the window width, then reused forever
 		}
 		b.bands = b.bands[:1]
@@ -118,6 +123,10 @@ func (b *Bands[T]) TakeBelow(horizon int64, buf []T) []T {
 			buf = append(buf, b.bands[k][i].v) //lint:allow hotpathalloc -- buf is the caller's reused scratch; growth is amortized
 		}
 		b.size -= len(b.bands[k])
+		// Clear the consumed band before returning it to the free list so
+		// the recycled backing array does not pin the taken items (the
+		// boundary-filter path below already clears its survivors' tail).
+		clear(b.bands[k])
 		b.free = append(b.free, b.bands[k][:0]) //lint:allow hotpathalloc -- free-list growth is bounded by the window width, then reused forever
 		k++
 	}

@@ -1,0 +1,171 @@
+package event
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardFIFO(t *testing.T) {
+	s := NewShard[int]()
+	const n = 3*shardChunkSize + 17 // cross several chunk boundaries
+	for i := 0; i < n; i++ {
+		s.Push(i)
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := s.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop on empty shard succeeded")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after drain = %d", s.Len())
+	}
+}
+
+func TestShardDrainInto(t *testing.T) {
+	s := NewShard[int]()
+	var buf []int
+	// Interleave pushes and drains so head and tail wander across chunks,
+	// exercising the free-list recycle path.
+	next, want := 0, 0
+	for round := 0; round < 10; round++ {
+		for i := 0; i < shardChunkSize+31; i++ {
+			s.Push(next)
+			next++
+		}
+		buf = s.DrainInto(buf[:0])
+		for _, v := range buf {
+			if v != want {
+				t.Fatalf("round %d: drained %d, want %d", round, v, want)
+			}
+			want++
+		}
+	}
+	if want != next {
+		t.Fatalf("drained %d items, pushed %d", want, next)
+	}
+}
+
+func TestShardSnapshotRestore(t *testing.T) {
+	s := NewShard[int]()
+	for i := 0; i < 2*shardChunkSize+5; i++ {
+		s.Push(i)
+	}
+	// Consume a partial prefix so the snapshot starts mid-chunk.
+	for i := 0; i < 100; i++ {
+		s.Pop()
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2*shardChunkSize+5-100 {
+		t.Fatalf("snapshot has %d items", len(snap))
+	}
+	for i, v := range snap {
+		if v != i+100 {
+			t.Fatalf("snapshot[%d] = %d", i, v)
+		}
+	}
+	// Mutate, then restore, and check contents round-trip.
+	s.Push(-1)
+	s.Restore(snap)
+	if s.Len() != len(snap) {
+		t.Fatalf("Len after Restore = %d, want %d", s.Len(), len(snap))
+	}
+	var buf []int
+	buf = s.SnapshotInto(buf)
+	for i, v := range buf {
+		if v != snap[i] {
+			t.Fatalf("restored[%d] = %d, want %d", i, v, snap[i])
+		}
+	}
+	// Restore must not have consumed or aliased the caller's slice.
+	for i, v := range snap {
+		if v != i+100 {
+			t.Fatalf("caller slice mutated at %d: %d", i, v)
+		}
+	}
+}
+
+// TestShardRecycleNoAliasing: consumed slots and recycled chunks must not
+// pin the values that passed through them.
+func TestShardRecycleNoAliasing(t *testing.T) {
+	s := NewShard[*int]()
+	mk := func(i int) *int { v := i; return &v }
+	for i := 0; i < 2*shardChunkSize; i++ {
+		s.Push(mk(i))
+	}
+	var buf []*int
+	buf = s.DrainInto(buf)
+	if len(buf) != 2*shardChunkSize {
+		t.Fatalf("drained %d", len(buf))
+	}
+	s.Push(mk(0))
+	s.Reset()
+	// Walk every chunk the shard still owns (live list + free list): all
+	// slots must be nil.
+	seen := map[*shardChunk[*int]]bool{}
+	check := func(c *shardChunk[*int]) {
+		for j := range c.buf {
+			if c.buf[j] != nil {
+				t.Fatalf("chunk slot %d retains a reference", j)
+			}
+		}
+	}
+	for c := s.head; c != nil && !seen[c]; c = c.next.Load() {
+		seen[c] = true
+		check(c)
+	}
+	s.freeMu.Lock()
+	for _, c := range s.free {
+		check(c)
+	}
+	s.freeMu.Unlock()
+}
+
+// TestShardConcurrent runs the single-producer/single-consumer pair under
+// the race detector: ordering must hold and every item must arrive.
+func TestShardConcurrent(t *testing.T) {
+	s := NewShard[int]()
+	const n = 50_000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			s.Push(i)
+		}
+	}()
+	var buf []int
+	want := 0
+	for want < n {
+		buf = s.DrainInto(buf[:0])
+		for _, v := range buf {
+			if v != want {
+				t.Errorf("got %d, want %d", v, want)
+				wg.Wait()
+				return
+			}
+			want++
+		}
+		// An occasional Pop interleaved with drains exercises both
+		// consumer paths; Len is legal from either side.
+		if v, ok := s.Pop(); ok {
+			if v != want {
+				t.Errorf("Pop got %d, want %d", v, want)
+				wg.Wait()
+				return
+			}
+			want++
+		}
+		_ = s.Len()
+	}
+	wg.Wait()
+	if s.Len() != 0 {
+		t.Fatalf("Len after consuming all = %d", s.Len())
+	}
+}

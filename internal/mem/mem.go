@@ -32,6 +32,34 @@ type shard struct {
 	// dirty lists pages written since the last incremental-checkpoint
 	// sync; guarded by mu.
 	dirty map[uint64]struct{}
+	// free parks zeroed pages released by rollback deletion or Reset, so
+	// page churn recycles instead of allocating; guarded by mu (or by
+	// exclusive ownership of the Memory, e.g. a manager-private snapshot).
+	free []*page
+}
+
+// getPage pops a recycled (already zeroed) page or allocates a fresh one.
+// The caller holds sh.mu or owns the Memory exclusively.
+//
+//slacksim:hotpath
+func (sh *shard) getPage() *page {
+	if n := len(sh.free); n > 0 { //lint:allow guardedby -- locking contract: every caller holds sh.mu or owns the Memory exclusively
+		p := sh.free[n-1]       //lint:allow guardedby -- see above
+		sh.free[n-1] = nil      //lint:allow guardedby -- see above
+		sh.free = sh.free[:n-1] //lint:allow guardedby -- see above
+		return p
+	}
+	return new(page) //lint:allow hotpathalloc -- pool warm-up: runs only while the page free list is empty
+}
+
+// putPage zeroes p and parks it on the free list. Same locking contract
+// as getPage. Zeroing happens here, off the Write fast path, so a
+// recycled page reads as zero exactly like a fresh one.
+//
+//slacksim:hotpath
+func (sh *shard) putPage(p *page) {
+	*p = page{}
+	sh.free = append(sh.free, p) //lint:allow hotpathalloc,guardedby -- free-list growth is bounded by the high-water page count, then reused; caller holds sh.mu per the locking contract
 }
 
 // Memory is a sparse, sharded target memory image.
@@ -84,7 +112,7 @@ func (m *Memory) Write(addr uint64, v uint64) {
 	sh.mu.Lock()
 	p := sh.pages[pn]
 	if p == nil {
-		p = new(page)
+		p = sh.getPage()
 		sh.pages[pn] = p
 	}
 	p[off] = v
@@ -108,17 +136,15 @@ func (m *Memory) WriteFloat(addr uint64, f float64) {
 // contribution to a simulation checkpoint.
 func (m *Memory) Snapshot() *Memory {
 	c := New()
-	for i := range m.shards {
-		src := &m.shards[i]
-		dst := &c.shards[i]
-		src.mu.RLock()
-		for pn, p := range src.pages {
-			cp := *p
-			dst.pages[pn] = &cp
-		}
-		src.mu.RUnlock()
-	}
+	m.SnapshotInto(c)
 	return c
+}
+
+// SnapshotInto deep-copies the memory image into dst, reusing dst's page
+// maps and recycled pages — the pooled-snapshot-graph variant of
+// Snapshot.
+func (m *Memory) SnapshotInto(dst *Memory) {
+	dst.Restore(m)
 }
 
 // Restore overwrites this memory with the snapshot's contents, reusing
@@ -129,15 +155,16 @@ func (m *Memory) Restore(snap *Memory) {
 		dst := &m.shards[i]
 		src.mu.RLock()
 		dst.mu.Lock()
-		for pn := range dst.pages {
+		for pn, p := range dst.pages {
 			if src.pages[pn] == nil {
 				delete(dst.pages, pn)
+				dst.putPage(p)
 			}
 		}
 		for pn, p := range src.pages {
 			q := dst.pages[pn]
 			if q == nil {
-				q = new(page)
+				q = dst.getPage()
 				dst.pages[pn] = q
 			}
 			*q = *p
@@ -145,6 +172,23 @@ func (m *Memory) Restore(snap *Memory) {
 		clear(dst.dirty)
 		dst.mu.Unlock()
 		src.mu.RUnlock()
+	}
+}
+
+// Reset returns the memory to its freshly-constructed (empty) state,
+// recycling every page through the shard free lists. Used when a pooled
+// machine is recycled for a new run.
+func (m *Memory) Reset() {
+	m.track.Store(false)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, p := range sh.pages {
+			sh.putPage(p)
+		}
+		clear(sh.pages)
+		clear(sh.dirty)
+		sh.mu.Unlock()
 	}
 }
 
@@ -183,7 +227,9 @@ func (m *Memory) SyncSnapshot(snap *Memory) {
 			}
 			q := dst.pages[pn]
 			if q == nil {
-				q = new(page) //lint:allow hotpathalloc -- first sync of a page only; subsequent boundaries reuse it
+				// First sync of a page only; subsequent boundaries reuse
+				// it, and the free list makes even the first sync cheap.
+				q = dst.getPage()
 				dst.pages[pn] = q
 			}
 			*q = *p
@@ -207,6 +253,9 @@ func (m *Memory) RestoreDirty(snap *Memory) {
 		for pn := range dst.dirty {
 			q := src.pages[pn]
 			if q == nil {
+				if p := dst.pages[pn]; p != nil {
+					dst.putPage(p)
+				}
 				delete(dst.pages, pn)
 				continue
 			}

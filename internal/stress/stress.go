@@ -159,14 +159,18 @@ func Execute(c Config) (Result, error) {
 	return res, nil
 }
 
-// ExecuteCheckpointEquivalence runs one scenario twice on the
-// deterministic host — once with the reference deep-copy checkpoints and
-// once with the default incremental copy-on-write checkpoints — and
-// demands byte-identical outcomes: the full Results struct (wall-clock
-// excepted, the only host-dependent field), the final target memory
-// image, the uncore (L2 + status map + MSHRs + bus), and every core's
-// architectural and microarchitectural state. This is the property that
-// makes the incremental path a pure optimization.
+// ExecuteCheckpointEquivalence runs one scenario three times on the
+// deterministic host — once with the reference deep-copy checkpoints,
+// once with the default incremental copy-on-write checkpoints, and once
+// more incrementally on a RECYCLED machine (the incremental machine put
+// through MachinePool and reset, so every pooled structure — caches,
+// arenas, free lists, the checkpoint snapshot graph — is reused warm) —
+// and demands byte-identical outcomes: the full Results struct
+// (wall-clock excepted, the only host-dependent field), the final target
+// memory image, the uncore (L2 + status map + MSHRs + bus), and every
+// core's architectural and microarchitectural state. This is the
+// property that makes the incremental path and machine pooling pure
+// optimizations.
 func ExecuteCheckpointEquivalence(c Config) error {
 	run := func(deep bool) (engine.Results, *engine.Machine, error) {
 		w, err := c.build()
@@ -198,16 +202,53 @@ func ExecuteCheckpointEquivalence(c Config) error {
 		return fmt.Errorf("stress: %s: results diverge between deep and incremental checkpoints:\ndeep:        %+v\nincremental: %+v",
 			c, deepRes, incRes)
 	}
-	if !deepM.Memory().Equal(incM.Memory()) {
-		return fmt.Errorf("stress: %s: final memory images diverge between deep and incremental checkpoints", c)
+	if err := compareMachines(c, "deep and incremental checkpoints", deepM, incM); err != nil {
+		return err
 	}
-	if !deepM.Uncore().StateEqual(incM.Uncore()) {
-		return fmt.Errorf("stress: %s: final uncore state diverges between deep and incremental checkpoints", c)
+
+	// Third leg: recycle the incremental machine through a pool and run
+	// the same scenario again on it. A pooled machine's reset must leave
+	// no residue — the run on warmed, reused storage must match the deep
+	// reference bit for bit too.
+	w, err := c.build()
+	if err != nil {
+		return err
 	}
-	dc, ic := deepM.Cores(), incM.Cores()
-	for i := range dc {
-		if !dc[i].StateEqual(ic[i]) {
-			return fmt.Errorf("stress: %s: final core %d state diverges between deep and incremental checkpoints", c, i)
+	pool := engine.NewMachinePool()
+	pool.Put(incM)
+	poolM, err := pool.Get(engine.MachineConfig{NumCores: c.Cores}, w)
+	if err != nil {
+		return fmt.Errorf("stress: pooled machine get: %w", err)
+	}
+	if poolM != incM {
+		return fmt.Errorf("stress: %s: pool built a fresh machine instead of recycling", c)
+	}
+	rc := c.runConfig()
+	rc.DeepCheckpoint = false
+	poolRes, err := engine.Run(poolM, rc)
+	if err != nil {
+		return fmt.Errorf("stress: deterministic host (pooled): %w", err)
+	}
+	poolRes.WallClock = 0
+	if !reflect.DeepEqual(deepRes, poolRes) {
+		return fmt.Errorf("stress: %s: results diverge between deep and pooled incremental runs:\ndeep:   %+v\npooled: %+v",
+			c, deepRes, poolRes)
+	}
+	return compareMachines(c, "deep and pooled incremental runs", deepM, poolM)
+}
+
+// compareMachines demands byte-identical final machine state.
+func compareMachines(c Config, what string, a, b *engine.Machine) error {
+	if !a.Memory().Equal(b.Memory()) {
+		return fmt.Errorf("stress: %s: final memory images diverge between %s", c, what)
+	}
+	if !a.Uncore().StateEqual(b.Uncore()) {
+		return fmt.Errorf("stress: %s: final uncore state diverges between %s", c, what)
+	}
+	ac, bc := a.Cores(), b.Cores()
+	for i := range ac {
+		if !ac[i].StateEqual(bc[i]) {
+			return fmt.Errorf("stress: %s: final core %d state diverges between %s", c, i, what)
 		}
 	}
 	return nil

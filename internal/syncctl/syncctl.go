@@ -146,7 +146,7 @@ func (c *Controller) BarrierArrive(id int64, core int, now int64) (generation ui
 	if b.arrived >= c.numCores {
 		b.generation++
 		b.arrived = 0
-		b.waiting = make(map[int]bool)
+		clear(b.waiting)
 		b.releasedAt = now
 		c.BarrierEpisodes++
 	}
@@ -265,6 +265,25 @@ func (c *Controller) SyncSnapshot(dst *Controller) {
 	}
 	dst.Acquires, dst.Releases, dst.Contended, dst.BarrierEpisodes =
 		c.Acquires, c.Releases, c.Contended, c.BarrierEpisodes
+}
+
+// SnapshotInto deep-copies the controller into dst, reusing dst's maps
+// and entries — the pooled-snapshot-graph variant of Snapshot. It shares
+// SyncSnapshot's implementation: that path already performs a complete
+// overwrite (it walks every lock and barrier, deleting stale entries).
+func (c *Controller) SnapshotInto(dst *Controller) {
+	c.SyncSnapshot(dst)
+}
+
+// Reset returns the controller to its freshly-constructed state (same
+// core count), dropping all lock and barrier state. Used when a pooled
+// machine is recycled for a new run.
+func (c *Controller) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.locks)
+	clear(c.barriers)
+	c.Acquires, c.Releases, c.Contended, c.BarrierEpisodes = 0, 0, 0, 0
 }
 
 // Restore overwrites the controller from a snapshot, reusing the live

@@ -85,6 +85,12 @@ func NewRing(n int) *Ring {
 	return &Ring{buf: make([]Event, 0, n)}
 }
 
+// Enabled reports whether the ring records events. Hot paths guard Addf
+// calls with it so the variadic-argument boxing — which the compiler
+// emits at the call site, heap-allocating even when the ring is nil —
+// only happens when a tracer is actually attached.
+func (r *Ring) Enabled() bool { return r != nil }
+
 // Add records an event.
 func (r *Ring) Add(e Event) {
 	if r == nil {

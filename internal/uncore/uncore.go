@@ -118,11 +118,18 @@ func (u *Uncore) SetTracer(r *trace.Ring) { u.trc = r }
 // records bus and map violations in the detector.
 func (u *Uncore) Service(req event.Request) {
 	u.Served++
-	u.trc.Addf(req.TS, req.Core, trace.Request, "%s line=%#x", req.Kind, req.LineAddr)
+	// Addf calls are guarded by Enabled so the variadic boxing only
+	// allocates when a tracer is attached — this is the hottest manager
+	// path, one call per serviced request.
+	if u.trc.Enabled() {
+		u.trc.Addf(req.TS, req.Core, trace.Request, "%s line=%#x", req.Kind, req.LineAddr)
+	}
 	grant, busViol := u.bus.Grant(req.TS)
 	if busViol {
 		u.det.Record(violation.Bus, req.TS)
-		u.trc.Addf(req.TS, req.Core, trace.Violation, "bus reorder line=%#x", req.LineAddr)
+		if u.trc.Enabled() {
+			u.trc.Addf(req.TS, req.Core, trace.Violation, "bus reorder line=%#x", req.LineAddr)
+		}
 	}
 
 	// At most one map violation is charged per serviced request, however
@@ -193,7 +200,9 @@ func (u *Uncore) Service(req event.Request) {
 	mapViolated = u.smap.Apply(req.LineAddr, req.Core, grantState, req.TS) || mapViolated
 	if mapViolated {
 		u.det.Record(violation.Map, req.TS)
-		u.trc.Addf(req.TS, req.Core, trace.Violation, "map ownership reorder line=%#x", req.LineAddr)
+		if u.trc.Enabled() {
+			u.trc.Addf(req.TS, req.Core, trace.Violation, "map ownership reorder line=%#x", req.LineAddr)
+		}
 	}
 
 	done := ready
@@ -228,6 +237,42 @@ func (u *Uncore) Snapshot() *Snapshot {
 		served:        u.Served,
 		invalidations: u.Invalidations,
 	}
+}
+
+// SnapshotInto captures bus, L2 and status-map state into s, reusing s's
+// component graphs — the pooled-snapshot-graph variant of Snapshot. A
+// zero Snapshot is populated on first use (pool warm-up); after that no
+// component is reallocated.
+func (u *Uncore) SnapshotInto(s *Snapshot) {
+	if s.bus == nil {
+		s.bus = u.bus.Snapshot()
+	} else {
+		u.bus.SnapshotInto(s.bus)
+	}
+	if s.l2 == nil {
+		s.l2 = u.l2.Snapshot()
+	} else {
+		u.l2.SnapshotInto(s.l2)
+	}
+	if s.smap == nil {
+		s.smap = u.smap.Snapshot()
+	} else {
+		u.smap.SnapshotInto(s.smap)
+	}
+	s.served = u.Served
+	s.invalidations = u.Invalidations
+}
+
+// Reset returns the uncore to its freshly-constructed state (same
+// configuration and queues), detaching any tracer. Used when a pooled
+// machine is recycled for a new run.
+func (u *Uncore) Reset() {
+	u.bus.Reset()
+	u.l2.Reset()
+	u.smap.Reset()
+	u.Served = 0
+	u.Invalidations = 0
+	u.trc = nil
 }
 
 // Restore overwrites the uncore from a snapshot.

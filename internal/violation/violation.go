@@ -124,6 +124,17 @@ func (d *Detector) TrackIntervals(lengths ...int64) {
 		if l <= 0 {
 			panic("violation: interval length must be positive")
 		}
+		// Revive a parked IntervalStats (Reset truncates the slice but
+		// keeps the entries within capacity) instead of allocating a
+		// fresh map on every run of a pooled machine.
+		n := len(d.intervals)
+		if n < cap(d.intervals) && d.intervals[:n+1][n] != nil {
+			is := d.intervals[:n+1][n]
+			is.Interval = l
+			clear(is.firstTS)
+			d.intervals = d.intervals[:n+1]
+			continue
+		}
 		d.intervals = append(d.intervals, &IntervalStats{
 			Interval: l, firstTS: make(map[int64]int64),
 		})
@@ -251,28 +262,63 @@ func (d *Detector) Intervals(endTime int64) []IntervalReport {
 
 // Snapshot deep-copies the detector.
 func (d *Detector) Snapshot() *Detector {
-	n := &Detector{counts: d.counts, windowCounts: d.windowCounts, selected: d.selected}
-	for _, is := range d.intervals {
-		c := &IntervalStats{Interval: is.Interval, firstTS: make(map[int64]int64, len(is.firstTS))}
-		for k, v := range is.firstTS {
-			c.firstTS[k] = v
-		}
-		n.intervals = append(n.intervals, c)
-	}
+	n := &Detector{}
+	d.CopyInto(n)
 	return n
+}
+
+// CopyInto deep-copies the detector's state into dst, reusing dst's
+// IntervalStats entries and their maps when the tracked interval lengths
+// match — the per-boundary variant of Snapshot used by incremental
+// checkpoints, allocation-free in the steady state.
+//
+//slacksim:hotpath
+func (d *Detector) CopyInto(dst *Detector) {
+	dst.counts = d.counts
+	dst.windowCounts = d.windowCounts
+	dst.selected = d.selected
+	match := len(dst.intervals) == len(d.intervals)
+	if match {
+		for i, is := range d.intervals {
+			if dst.intervals[i].Interval != is.Interval {
+				match = false
+				break
+			}
+		}
+	}
+	if !match {
+		dst.intervals = dst.intervals[:0]
+		for _, is := range d.intervals {
+			dst.intervals = append(dst.intervals, //lint:allow hotpathalloc -- interval-shape change only (first copy or reconfiguration); steady-state boundaries hit the match path
+				&IntervalStats{Interval: is.Interval, firstTS: make(map[int64]int64, len(is.firstTS))}) //lint:allow hotpathalloc -- same shape-change path as above
+		}
+	}
+	for i, is := range d.intervals {
+		di := dst.intervals[i]
+		clear(di.firstTS)
+		for k, v := range is.firstTS {
+			di.firstTS[k] = v
+		}
+	}
 }
 
 // Restore overwrites the detector from a snapshot.
 func (d *Detector) Restore(snap *Detector) {
-	d.counts = snap.counts
-	d.windowCounts = snap.windowCounts
-	d.selected = snap.selected
-	d.intervals = nil
-	for _, is := range snap.intervals {
-		c := &IntervalStats{Interval: is.Interval, firstTS: make(map[int64]int64, len(is.firstTS))}
-		for k, v := range is.firstTS {
-			c.firstTS[k] = v
-		}
-		d.intervals = append(d.intervals, c)
+	snap.CopyInto(d)
+}
+
+// Reset returns the detector to its freshly-constructed state: counts
+// zeroed, every type selected, interval tracking dropped (the entries are
+// parked within the slice capacity so a later TrackIntervals reuses
+// them). Used when a pooled machine is recycled for a new run.
+func (d *Detector) Reset() {
+	d.counts = [numTypes]uint64{}
+	d.windowCounts = [numTypes]uint64{}
+	for i := range d.selected {
+		d.selected[i] = true
 	}
+	for _, is := range d.intervals {
+		clear(is.firstTS)
+	}
+	d.intervals = d.intervals[:0]
 }

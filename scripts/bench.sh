@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
 # bench.sh — measure the host-performance benchmarks and write a JSON
-# baseline (default BENCH_PR7.json) for before/after comparisons.
+# baseline (default BENCH_PR8.json) for before/after comparisons.
 #
-#   scripts/bench.sh                  # write BENCH_PR7.json at 5 iterations
+#   scripts/bench.sh                  # write BENCH_PR8.json at 5 iterations
 #   BENCHTIME=20x scripts/bench.sh    # steadier numbers
 #   scripts/bench.sh /tmp/after.json  # alternate output path
+#   MEMPROFILE=/tmp/prof scripts/bench.sh   # also write -memprofile artifacts
 #
 # Compare a fresh measurement against the committed baseline with
 # cmd/benchcheck (CI's bench-smoke job does exactly this):
 #
 #   scripts/bench.sh /tmp/now.json
 #   go run ./cmd/benchcheck -current /tmp/now.json
+#
+# The baseline records the measuring environment (go version, GOMAXPROCS,
+# git SHA) so a regression report can be traced to the machine and commit
+# that produced it. The steady-state benchmarks (SimulatorThroughput,
+# ParallelHost) carry a hard "max_allocs" ceiling of 500 allocs/op that
+# benchcheck enforces absolutely — the zero-alloc steady state must not
+# erode even through a chain of individually-tolerated regressions.
 #
 # The headline metric is densest_deep_over_incremental: how many times
 # cheaper the incremental copy-on-write checkpoint path is than the
@@ -19,12 +27,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-5x}"
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 
-engine_raw=$(go test ./internal/engine/ -run '^$' -bench BenchmarkCheckpointRestore -benchtime "$benchtime" -count 1)
-root_raw=$(go test . -run '^$' -bench 'BenchmarkSimulatorThroughput|BenchmarkParallelHost' -benchtime "$benchtime" -count 1)
+go_version=$(go env GOVERSION)
+gomaxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
+git_sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
 
-printf '%s\n%s\n' "$engine_raw" "$root_raw" | awk -v benchtime="$benchtime" '
+engine_prof=()
+root_prof=()
+if [[ -n "${MEMPROFILE:-}" ]]; then
+  mkdir -p "$MEMPROFILE"
+  engine_prof=(-memprofile "$MEMPROFILE/engine.memprofile")
+  root_prof=(-memprofile "$MEMPROFILE/root.memprofile")
+fi
+
+engine_raw=$(go test ./internal/engine/ -run '^$' -bench BenchmarkCheckpointRestore -benchtime "$benchtime" -count 1 "${engine_prof[@]}")
+root_raw=$(go test . -run '^$' -bench 'BenchmarkSimulatorThroughput|BenchmarkParallelHost' -benchtime "$benchtime" -count 1 "${root_prof[@]}")
+
+printf '%s\n%s\n' "$engine_raw" "$root_raw" | awk \
+  -v benchtime="$benchtime" -v go_version="$go_version" \
+  -v gomaxprocs="$gomaxprocs" -v git_sha="$git_sha" '
 /^Benchmark/ {
   name = $1; iters = $2; ns = "null"; bytes = "null"; allocs = "null"
   for (i = 2; i < NF; i++) {
@@ -32,9 +54,11 @@ printf '%s\n%s\n' "$engine_raw" "$root_raw" | awk -v benchtime="$benchtime" '
     if ($(i+1) == "B/op")      bytes = $i
     if ($(i+1) == "allocs/op") allocs = $i
   }
+  # The steady-state benchmarks carry the hard allocs/op ceiling.
+  ceil = (name ~ /SimulatorThroughput|ParallelHost/) ? ", \"max_allocs\": 500" : ""
   ns_by[name] = ns
-  rows[n++] = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                      name, iters, ns, bytes, allocs)
+  rows[n++] = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}",
+                      name, iters, ns, bytes, allocs, ceil)
 }
 END {
   deep = ""; inc = ""; densest = 1e18
@@ -50,6 +74,7 @@ END {
   }
   print "{"
   printf "  \"benchtime\": \"%s\",\n", benchtime
+  printf "  \"env\": {\"go_version\": \"%s\", \"gomaxprocs\": %s, \"git_sha\": \"%s\"},\n", go_version, gomaxprocs, git_sha
   if (deep != "" && inc != "" && inc + 0 > 0)
     printf "  \"densest_deep_over_incremental\": %.2f,\n", deep / inc
   print "  \"results\": ["

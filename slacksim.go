@@ -209,6 +209,14 @@ func New(cfg Config) (*Simulation, error) {
 	return NewWithWorkload(cfg, w)
 }
 
+// machinePool recycles released machines across Simulations: a machine
+// whose Simulation called Release is reset and handed to the next New
+// with the same shape, so repeated runs (sweeps, services, benchmarks)
+// reuse every warmed internal allocation instead of rebuilding the
+// machine. Machines are only pooled on explicit Release, so Simulations
+// that keep inspecting their machine after the run are unaffected.
+var machinePool = engine.NewMachinePool()
+
 // NewWithWorkload builds a simulation running a custom workload (anything
 // satisfying the workload.Workload contract: per-core programs plus a
 // memory initializer).
@@ -216,7 +224,7 @@ func NewWithWorkload(cfg Config, w workload.Workload) (*Simulation, error) {
 	if cfg.Cores == 0 {
 		cfg.Cores = 8
 	}
-	m, err := engine.NewMachine(engine.MachineConfig{NumCores: cfg.Cores}, w)
+	m, err := machinePool.Get(engine.MachineConfig{NumCores: cfg.Cores}, w)
 	if err != nil {
 		return nil, err
 	}
@@ -245,11 +253,26 @@ func NewWithWorkload(cfg Config, w workload.Workload) (*Simulation, error) {
 	return &Simulation{machine: m, wload: w, runCfg: rc, par: cfg.Parallel}, nil
 }
 
+// Release returns the simulation's machine to the process-wide machine
+// pool, where the next New with the same core count and configuration
+// will reuse it (reset, with all warmed allocations kept). Call it after
+// the run's Results — and any Machine()/Verify() inspection — are no
+// longer needed; the Simulation must not be used afterwards.
+func (s *Simulation) Release() {
+	if s.machine != nil {
+		machinePool.Put(s.machine)
+		s.machine = nil
+	}
+}
+
 // Run simulates to completion and returns the results. A Simulation runs
 // once; build a new one for another run.
 func (s *Simulation) Run() (Results, error) {
 	if s.used {
 		return Results{}, fmt.Errorf("slacksim: this simulation already ran; construct a new one")
+	}
+	if s.machine == nil {
+		return Results{}, fmt.Errorf("slacksim: this simulation was released; construct a new one")
 	}
 	s.used = true
 	if s.par {
