@@ -21,6 +21,7 @@ import (
 	"slacksim/internal/experiments"
 	"slacksim/internal/fleet"
 	"slacksim/internal/prof"
+	"slacksim/internal/sampling"
 )
 
 func main() {
@@ -29,7 +30,7 @@ func main() {
 		cores    = flag.Int("cores", 8, "target cores")
 		seed     = flag.Int64("seed", 1, "scheduling seed")
 		par      = flag.Int("par", 0, "experiment workers (0 = one per host thread, 1 = serial)")
-		only     = flag.String("only", "", "run one experiment: fig3, fig4, table2, table34, table5, ablations, scaling")
+		only     = flag.String("only", "", "run one experiment: fig3, fig4, table2, table34, table5, ablations, scaling, sampling")
 		fleetURL = flag.String("fleet", "", "execute every grid cell on a slacksimfleet coordinator (or slacksimd) at this base URL")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -108,6 +109,14 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.FormatScaling("water", rows))
+	}
+	if want("sampling") {
+		plan := sampling.Plan{IntervalInsts: 2000, DetailEvery: 4, Confidence: 0.95}
+		rows, err := experiments.SamplingStudy(cfg, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatSampling(plan, rows))
 	}
 	fmt.Println(strings.Repeat("-", 60))
 	fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Millisecond))

@@ -8,6 +8,9 @@
 //	slacksim -workload water -scheme s32 -ckpt 5000 -rollback
 //	slacksim -workload lu -scheme cc -parallel
 //	slacksim -workload fft -scheme q100 -json | jq .cycles
+//	slacksim -synth pattern=zipf,ops=256 -record zipf.trc
+//	slacksim -replay zipf.trc -parallel
+//	slacksim -workload fft -sample-interval 20000 -sample-every 5
 package main
 
 import (
@@ -18,8 +21,10 @@ import (
 	"os"
 
 	"slacksim"
+	"slacksim/internal/memtrace"
 	"slacksim/internal/prof"
 	"slacksim/internal/spec"
+	"slacksim/internal/synth"
 	"slacksim/internal/workload"
 )
 
@@ -41,6 +46,12 @@ func main() {
 		perCore  = flag.Bool("percore", false, "print per-core statistics")
 		traceN   = flag.Int("trace", 0, "keep and print the last N trace events")
 		dump     = flag.Bool("dump", false, "disassemble core 0's program and exit")
+		synthCfg = flag.String("synth", "", "run the synthetic workload generator with this comma-separated k=v config (seed, pattern, ops, phases, hot_lines, zipf_alpha, read_pct, locks, ring_slots); implies -workload synth")
+		record   = flag.String("record", "", "record the run's memory-event trace to this file")
+		replay   = flag.String("replay", "", "replay a recorded memory trace from this file; implies -workload trace")
+		sampleIv = flag.Uint64("sample-interval", 0, "interval sampling: instructions per interval (0 = off)")
+		sampleDE = flag.Int("sample-every", 0, "interval sampling: simulate every Nth interval in detail (0 = default)")
+		sampleCf = flag.Float64("sample-conf", 0, "interval sampling: confidence level, one of 0.90, 0.95, 0.99 (0 = default)")
 		asJSON   = flag.Bool("json", false, "print the full results as JSON instead of the table")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -83,12 +94,36 @@ func main() {
 		Rollback:           *rollback,
 		MapViolationsOnly:  *mapOnly,
 		Parallel:           *parallel,
+		SampleInterval:     *sampleIv,
+		SampleDetailEvery:  *sampleDE,
+		SampleConfidence:   *sampleCf,
+	}
+	if *synthCfg != "" {
+		c, err := synth.ParseConfig(*synthCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp.Workload = "synth"
+		sp.Synth = &c
+	}
+	if *replay != "" {
+		data, err := os.ReadFile(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp.Workload = "trace"
+		sp.Trace = &spec.TraceSpec{Data: data}
 	}
 	cfg, err := sp.Config()
 	if err != nil {
 		log.Fatal(err)
 	}
 	cfg.TraceEvents = *traceN
+	var rec *memtrace.Recorder
+	if *record != "" {
+		rec = memtrace.NewRecorder(cfg.Cores, cfg.Workload)
+		cfg.MemRecorder = rec
+	}
 	sim, err := slacksim.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -96,6 +131,17 @@ func main() {
 	res, err := sim.Run()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if rec != nil {
+		data, err := rec.Encode()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*record, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "recorded %s: %d events, %d bytes, digest %s\n",
+			*record, rec.Trace().TotalEvents(), len(data), memtrace.Digest(data)[:12])
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -105,6 +151,10 @@ func main() {
 		}
 	} else {
 		fmt.Print(res.Table())
+		if s := res.Sampling; s != nil {
+			fmt.Printf("sampled estimate: %.0f cycles ± %.0f (%.0f%% confidence, %d/%d intervals detailed)\n",
+				s.EstimatedCycles, s.HalfWidth, s.Confidence*100, s.DetailedIntervals, s.Intervals)
+		}
 		if *perCore {
 			fmt.Println("\nper-core:")
 			for i, cs := range res.PerCore {

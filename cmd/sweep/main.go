@@ -5,6 +5,7 @@
 //	sweep -workloads water -bounds 8 -seeds 5
 //	sweep -workloads fft,barnes -schemes q100,p2p50,adaptive
 //	sweep -workloads fft -bounds 8,32 -server http://localhost:8080
+//	sweep -workloads synth -synth pattern=migratory,locks=8
 //
 // A run that fails (bad config, engine error, functional check) emits a
 // row with the error column set; the rest of the grid still runs and
@@ -36,6 +37,7 @@ import (
 	"slacksim"
 	"slacksim/client"
 	"slacksim/internal/spec"
+	"slacksim/internal/synth"
 )
 
 type cell struct {
@@ -54,6 +56,7 @@ func main() {
 		scale      = flag.Int("scale", 1, "workload input scale")
 		cores      = flag.Int("cores", 8, "target cores")
 		seeds      = flag.Int("seeds", 1, "number of seeds per configuration")
+		synthCfg   = flag.String("synth", "", "config for \"synth\" grid entries (comma-separated k=v; empty = generator defaults)")
 		serverURL  = flag.String("server", "", "submit runs to a slacksimd instance at this base URL instead of running in-process")
 		fleetURL   = flag.String("fleet", "", "submit runs to a slacksimfleet coordinator at this base URL (same wire protocol as -server)")
 		timeoutDur = flag.Duration("timeout", 10*time.Minute, "overall deadline in -server/-fleet mode")
@@ -96,15 +99,28 @@ func main() {
 		schemes = append(schemes, f)
 	}
 
+	var synthConf *synth.Config
+	if *synthCfg != "" {
+		c, err := synth.ParseConfig(*synthCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		synthConf = &c
+	}
+
 	var cells []*cell
 	for _, wl := range strings.Split(*workloads, ",") {
 		wl = strings.TrimSpace(wl)
 		for _, sch := range schemes {
 			for seed := int64(1); seed <= int64(*seeds); seed++ {
-				cells = append(cells, &cell{spec: spec.Spec{
+				sp := spec.Spec{
 					Workload: wl, Scale: *scale, Cores: *cores,
 					Scheme: sch, Seed: seed,
-				}})
+				}
+				if wl == "synth" {
+					sp.Synth = synthConf
+				}
+				cells = append(cells, &cell{spec: sp})
 			}
 		}
 	}

@@ -132,6 +132,11 @@ type Core struct {
 	halted bool
 	reqID  uint64
 
+	// rec, when set, receives the in-order architectural retire stream
+	// (see recorder.go). Nil outside recording runs: one predictable
+	// branch on the retire path.
+	rec OpRecorder
+
 	stats Stats
 
 	// freeList recycles robEntry allocations: dispatch pops from it and
@@ -231,6 +236,7 @@ func (c *Core) Reset(prog *isa.Program) error {
 	c.serializeSeq = -1
 	c.halted = false
 	c.reqID = 0
+	c.rec = nil
 	c.stats = Stats{}
 	return nil
 }

@@ -139,6 +139,9 @@ func (c *Core) commit() {
 
 //slacksim:hotpath
 func (c *Core) retireHead(e *robEntry) {
+	if c.rec != nil {
+		c.recordRetire(e)
+	}
 	c.rob[c.robHead] = nil
 	c.robHead++
 	if c.robHead == len(c.rob) {

@@ -1,0 +1,78 @@
+package core
+
+import "slacksim/internal/isa"
+
+// MemOp classifies one architecturally-retired memory or synchronization
+// event. Values are part of the on-disk trace format (internal/memtrace)
+// and must never be renumbered.
+type MemOp uint8
+
+const (
+	OpLoad MemOp = iota + 1
+	OpStore
+	OpLockAcq
+	OpLockRel
+	OpBarrier
+	OpHalt
+)
+
+// String returns the op's trace mnemonic.
+func (o MemOp) String() string {
+	switch o {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpLockAcq:
+		return "lock"
+	case OpLockRel:
+		return "unlock"
+	case OpBarrier:
+		return "barrier"
+	case OpHalt:
+		return "halt"
+	}
+	return "invalid"
+}
+
+// OpRecorder receives the core's in-order architectural memory-event
+// stream: every load, store, lock acquire/release, barrier, and halt, in
+// commit order, as it retires from the head of the ROB. The hook sits at
+// the retire point because that stream — unlike the manager's
+// arrival-ordered request stream — is identical on both hosts under the
+// cycle-by-cycle scheme, which is what makes recorded traces portable.
+// Calls for a given core always come from that core's simulation thread;
+// implementations must not share mutable state across core indices.
+type OpRecorder interface {
+	RecordOp(core int, op MemOp, addr, val uint64)
+}
+
+// SetRecorder installs (or, with nil, removes) the retire-stream
+// recorder. The engine sets it per run; Reset clears it so a pooled core
+// never leaks a recorder into an unrelated run.
+func (c *Core) SetRecorder(r OpRecorder) { c.rec = r }
+
+// recordRetire forwards one retiring entry to the recorder. Lock
+// addresses are recomputed from the architectural registers, which are
+// stable here: sync ops execute non-speculatively at the head of the ROB.
+//
+//slacksim:hotpath
+func (c *Core) recordRetire(e *robEntry) {
+	switch e.inst.Op.Class() {
+	case isa.ClassLoad:
+		c.rec.RecordOp(c.cfg.ID, OpLoad, e.addr, 0)
+	case isa.ClassStore:
+		c.rec.RecordOp(c.cfg.ID, OpStore, e.addr, e.storeVal)
+	case isa.ClassSync:
+		switch e.inst.Op {
+		case isa.LockAcq:
+			c.rec.RecordOp(c.cfg.ID, OpLockAcq, c.regs[e.inst.Src1]+uint64(e.inst.Imm), 0)
+		case isa.LockRel:
+			c.rec.RecordOp(c.cfg.ID, OpLockRel, c.regs[e.inst.Src1]+uint64(e.inst.Imm), 0)
+		case isa.Barrier:
+			c.rec.RecordOp(c.cfg.ID, OpBarrier, uint64(e.inst.Imm), 0)
+		}
+	case isa.ClassHalt:
+		c.rec.RecordOp(c.cfg.ID, OpHalt, 0, 0)
+	}
+}

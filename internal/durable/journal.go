@@ -87,8 +87,8 @@ func OpenJournal(path string) (*Journal, []PendingJob, error) {
 		return nil, nil, err
 	}
 	j.f = f
-	j.size = res.goodBytes
-	j.torn = res.torn
+	j.size = res.GoodBytes
+	j.torn = res.Torn
 
 	var pending []PendingJob
 	for _, id := range j.order {

@@ -5,21 +5,22 @@
 // fleet coordinator, and a versioned container format for exportable run
 // snapshots used by live migration.
 //
-// All on-disk data shares one record framing (this file): length-prefixed
-// records protected by a CRC-32C checksum. A process death can tear at
-// most the record being appended; recovery-on-open scans to the first
-// record that fails its length or checksum test and truncates the file
-// there, so every surviving byte is known-good and an interrupted append
-// can never corrupt earlier records.
+// All on-disk data shares one record framing (internal/recframe, also
+// used by the memtrace trace files): length-prefixed records protected by
+// a CRC-32C checksum. A process death can tear at most the record being
+// appended; recovery-on-open scans to the first record that fails its
+// length or checksum test and truncates the file there, so every
+// surviving byte is known-good and an interrupted append can never
+// corrupt earlier records.
 package durable
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"sync"
+
+	"slacksim/internal/recframe"
 )
 
 // recBufPool recycles record-encoding scratch buffers so steady-state WAL
@@ -31,76 +32,18 @@ var recBufPool = sync.Pool{New: func() any { return new([]byte) }}
 func getRecBuf() *[]byte  { return recBufPool.Get().(*[]byte) }
 func putRecBuf(b *[]byte) { recBufPool.Put(b) }
 
-// Record framing: a fixed header of two little-endian uint32s — payload
-// length and CRC-32C (Castagnoli) of the payload — followed by the
-// payload bytes. The maximum record size bounds a corrupt length field:
-// a length beyond it is treated as a torn tail, not an allocation order.
-const (
-	recHeaderLen = 8
-	maxRecordLen = 64 << 20
-)
+// The framing itself lives in internal/recframe; these thin aliases keep
+// the package-internal call sites and names stable.
+const recHeaderLen = recframe.HeaderLen
 
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
+type scanResult = recframe.ScanResult
 
-// appendRecord frames payload and appends it to w, returning the number
-// of bytes written (header + payload).
 func appendRecord(w io.Writer, payload []byte) (int64, error) {
-	if len(payload) > maxRecordLen {
-		return 0, fmt.Errorf("durable: record of %d bytes exceeds the %d-byte bound", len(payload), maxRecordLen)
-	}
-	var hdr [recHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return 0, err
-	}
-	if _, err := w.Write(payload); err != nil {
-		return 0, err
-	}
-	return int64(recHeaderLen + len(payload)), nil
+	return recframe.Append(w, payload)
 }
 
-// scanResult describes one pass over a record log.
-type scanResult struct {
-	// goodBytes is the offset just past the last record that passed both
-	// the length and checksum tests.
-	goodBytes int64
-	// torn reports whether the file continued past goodBytes with bytes
-	// that did not form a valid record (a torn or corrupt tail).
-	torn bool
-}
-
-// scanRecords reads records from r, invoking fn with each payload and the
-// record's starting offset. It stops at EOF or at the first record that
-// fails validation; the result says how many prefix bytes are good.
 func scanRecords(r io.Reader, fn func(off int64, payload []byte) error) (scanResult, error) {
-	var off int64
-	var hdr [recHeaderLen]byte
-	for {
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			if err == io.EOF {
-				return scanResult{goodBytes: off}, nil
-			}
-			// io.ErrUnexpectedEOF: a torn header.
-			return scanResult{goodBytes: off, torn: true}, nil
-		}
-		n := binary.LittleEndian.Uint32(hdr[0:4])
-		want := binary.LittleEndian.Uint32(hdr[4:8])
-		if n > maxRecordLen {
-			return scanResult{goodBytes: off, torn: true}, nil
-		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			return scanResult{goodBytes: off, torn: true}, nil
-		}
-		if crc32.Checksum(payload, crcTable) != want {
-			return scanResult{goodBytes: off, torn: true}, nil
-		}
-		if err := fn(off, payload); err != nil {
-			return scanResult{goodBytes: off}, err
-		}
-		off += int64(recHeaderLen) + int64(n)
-	}
+	return recframe.Scan(r, fn)
 }
 
 // recoverLog opens (creating if absent) the record log at path for
@@ -116,8 +59,8 @@ func recoverLog(path string, fn func(off int64, payload []byte) error) (*os.File
 		f.Close()
 		return nil, res, err
 	}
-	if res.torn {
-		if err := f.Truncate(res.goodBytes); err != nil {
+	if res.Torn {
+		if err := f.Truncate(res.GoodBytes); err != nil {
 			f.Close()
 			return nil, res, fmt.Errorf("durable: truncating torn tail of %s: %w", path, err)
 		}
@@ -126,7 +69,7 @@ func recoverLog(path string, fn func(off int64, payload []byte) error) (*os.File
 			return nil, res, err
 		}
 	}
-	if _, err := f.Seek(res.goodBytes, io.SeekStart); err != nil {
+	if _, err := f.Seek(res.GoodBytes, io.SeekStart); err != nil {
 		f.Close()
 		return nil, res, err
 	}

@@ -79,8 +79,8 @@ func DecodeSnapshot(blob []byte) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	if res.torn || len(records) != 2 {
-		return nil, fmt.Errorf("durable: run snapshot is truncated or corrupt (%d records, torn=%v)", len(records), res.torn)
+	if res.Torn || len(records) != 2 {
+		return nil, fmt.Errorf("durable: run snapshot is truncated or corrupt (%d records, torn=%v)", len(records), res.Torn)
 	}
 	var hdr snapshotHeader
 	if err := json.Unmarshal(records[0], &hdr); err != nil {

@@ -143,7 +143,7 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 			s.Close()
 			return nil, err
 		}
-		if res.torn {
+		if res.Torn {
 			// Segments are published by atomic rename, so a torn segment
 			// means external corruption; keep the good prefix.
 			s.tornTails++
@@ -161,11 +161,11 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 		s.Close()
 		return nil, err
 	}
-	if res.torn {
+	if res.Torn {
 		s.tornTails++
 	}
 	s.wal = wal
-	s.walSize = res.goodBytes
+	s.walSize = res.GoodBytes
 	return s, nil
 }
 

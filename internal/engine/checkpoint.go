@@ -77,6 +77,11 @@ func (r *detRun) takeCheckpoint() {
 	r.ckpts++
 	r.ckptWords += words
 	r.meter.ckptWords += words
+	if r.cfg.MemRecorder != nil {
+		// Mark the retire streams so a rollback can truncate exactly the
+		// state the engine restore discards.
+		r.cfg.MemRecorder.Checkpoint()
+	}
 	if r.cfg.Tracer.Enabled() {
 		r.cfg.Tracer.Addf(r.global, -1, trace.Checkpoint, "#%d words=%d", r.ckpts, words)
 	}
@@ -190,6 +195,11 @@ func (r *detRun) doRollback() {
 		r.m.outQs[i].Restore(s.outs[i])
 	}
 	r.meter.rbackWords += s.words
+	if r.cfg.MemRecorder != nil {
+		// Drop everything recorded since the checkpoint; the replay below
+		// re-records the window as it re-commits.
+		r.cfg.MemRecorder.Rollback()
+	}
 
 	// Replay in cycle-by-cycle mode until the boundary we were heading
 	// for; the new checkpoint there resumes slack simulation.

@@ -172,6 +172,9 @@ func RunParallel(m *Machine, cfg RunConfig) (Results, error) {
 	if cfg.Rollback {
 		return Results{}, fmt.Errorf("engine: rollback is only supported on the deterministic host")
 	}
+	if cfg.Sampling != nil {
+		return Results{}, fmt.Errorf("engine: sampling is only supported on the deterministic host")
+	}
 	n := m.NumCores()
 	r := &parRun{
 		m:         m,
@@ -212,6 +215,7 @@ func RunParallel(m *Machine, cfg RunConfig) (Results, error) {
 	// services and manager-side events); it is read again only after the
 	// run's goroutines have joined, so no locking is needed.
 	m.unc.SetTracer(cfg.Tracer)
+	setRecorders(m, cfg)
 	ml := r.maxLocalNow()
 	for i := 0; i < n; i++ {
 		r.maxLocal[i].Store(ml)
@@ -702,6 +706,11 @@ func (r *parRun) tryCheckpoint() bool {
 	r.ckpts++
 	r.ckptWords += words
 	r.meter.ckptWords += words
+	if r.cfg.MemRecorder != nil {
+		// Every core is parked at the boundary, so the retire streams are
+		// stable and the marks are consistent with the snapshot.
+		r.cfg.MemRecorder.Checkpoint()
+	}
 	if r.cfg.Tracer.Enabled() {
 		r.cfg.Tracer.Addf(r.nextCkpt, -1, trace.Checkpoint, "ckpt %d (%d words)", r.ckpts, words)
 	}

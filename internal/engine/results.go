@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"slacksim/internal/core"
+	"slacksim/internal/sampling"
 	"slacksim/internal/violation"
 )
 
@@ -63,6 +64,11 @@ type Results struct {
 	LockAcquires    uint64 `json:"lock_acquires"`
 	LockContended   uint64 `json:"lock_contended"`
 	BarrierEpisodes uint64 `json:"barrier_episodes"`
+
+	// Sampling carries the interval-sampling estimate when the run used
+	// RunConfig.Sampling: estimated cycles with a confidence bound, next
+	// to the (fast-forward-skewed) measured Cycles above.
+	Sampling *sampling.Report `json:"sampling,omitempty"`
 }
 
 // String renders a one-line summary.

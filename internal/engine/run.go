@@ -8,6 +8,7 @@ import (
 
 	"slacksim/internal/adaptive"
 	"slacksim/internal/event"
+	"slacksim/internal/sampling"
 	"slacksim/internal/trace"
 	"slacksim/internal/violation"
 )
@@ -69,6 +70,18 @@ type RunConfig struct {
 	// Tracer, when non-nil, records serviced requests, violations, bound
 	// changes, checkpoints and rollbacks for post-run inspection.
 	Tracer *trace.Ring
+	// MemRecorder, when non-nil, captures every core's architectural
+	// retire stream (loads, stores, lock/barrier ops, halts, in commit
+	// order) for trace record/replay. Works on both hosts and through
+	// checkpoint/rollback cycles.
+	MemRecorder MemRecorder
+	// Sampling, when non-nil, enables Pac-Sim-style interval sampling:
+	// periodic detailed intervals under cycle-accurate CC pacing, the
+	// rest fast-forwarded through warmed functional mode (unbounded
+	// slack), with an extrapolated cycle estimate and confidence bound in
+	// Results.Sampling. Deterministic host only; requires the cc scheme
+	// and no checkpointing or interval tracking.
+	Sampling *sampling.Plan
 	// StallTimeout is the parallel host's liveness watchdog budget: if no
 	// core makes forward progress (local time, committed instructions, or
 	// retirement) for this much wall-clock time, the run is force-stopped
@@ -118,6 +131,11 @@ func (cfg RunConfig) withDefaults() RunConfig {
 	if cfg.StallTimeout == 0 {
 		cfg.StallTimeout = 30 * time.Second
 	}
+	if cfg.Sampling != nil {
+		p := *cfg.Sampling
+		p.Normalize()
+		cfg.Sampling = &p
+	}
 	return cfg
 }
 
@@ -131,6 +149,20 @@ func (cfg RunConfig) Validate() error {
 	}
 	if cfg.Rollback && cfg.CheckpointInterval <= 0 {
 		return fmt.Errorf("engine: rollback requires a checkpoint interval")
+	}
+	if cfg.Sampling != nil {
+		if err := cfg.Sampling.Validate(); err != nil {
+			return err
+		}
+		if cfg.Scheme.Kind != CC {
+			return fmt.Errorf("engine: sampling requires the cc scheme (detailed intervals are the cycle-accurate reference)")
+		}
+		if cfg.Rollback || cfg.CheckpointInterval > 0 {
+			return fmt.Errorf("engine: sampling cannot be combined with checkpointing")
+		}
+		if len(cfg.TrackIntervals) > 0 {
+			return fmt.Errorf("engine: sampling cannot be combined with interval tracking")
+		}
 	}
 	return nil
 }
@@ -174,6 +206,9 @@ type detRun struct {
 	runnable []int
 	drainBuf []event.Request
 
+	// Interval-sampling cursor (nil unless cfg.Sampling is set).
+	samp *sampleState
+
 	// Checkpoint/rollback state.
 	nextCkpt        int64
 	snap            *globalSnapshot
@@ -205,6 +240,10 @@ func Run(m *Machine, cfg RunConfig) (Results, error) {
 		prog:    newProgressNotifier(cfg),
 	}
 	m.unc.SetTracer(cfg.Tracer)
+	setRecorders(m, cfg)
+	if cfg.Sampling != nil {
+		r.samp = newSampleState(*cfg.Sampling)
+	}
 	if cfg.Scheme.Kind == Adaptive {
 		ctrl, err := adaptive.New(cfg.Scheme.Adaptive)
 		if err != nil {
@@ -258,6 +297,11 @@ func MustRun(m *Machine, cfg RunConfig) Results {
 func (r *detRun) mode() SchemeKind {
 	if r.replayUntil > 0 && r.global < r.replayUntil {
 		return CC
+	}
+	if r.samp != nil && !r.samp.detailed {
+		// Fast-forward interval: warmed functional mode (unbounded slack;
+		// the host drift cap still bounds core spread).
+		return Unbounded
 	}
 	return r.cfg.Scheme.Kind
 }
@@ -358,6 +402,9 @@ func (r *detRun) loop() error {
 			return err
 		}
 		r.prog.maybe(r.global, r.m.committed(), r.progressCounter())
+		if r.samp != nil {
+			r.sampleStep()
+		}
 		if r.pendingRollback {
 			// The paper's recipe: roll back as soon as the manager detects
 			// a selected violation.

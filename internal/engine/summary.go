@@ -52,5 +52,8 @@ func (r *detRun) results(wall time.Duration) Results {
 		res.MeanBound = r.ctrl.MeanBound()
 		res.Adjustments = r.ctrl.Adjustments
 	}
+	if r.samp != nil {
+		res.Sampling = r.samp.finish(r.global, m.committed())
+	}
 	return res
 }

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"slacksim/internal/sampling"
 )
 
 // quick returns a configuration small enough for unit tests.
@@ -256,5 +258,33 @@ func TestScalingSpeedupGrows(t *testing.T) {
 	}
 	if FormatScaling("water", rows) == "" {
 		t.Error("empty format")
+	}
+}
+
+func TestSamplingStudyBoundsHold(t *testing.T) {
+	cfg := quickCfg()
+	plan := sampling.Plan{IntervalInsts: 2000, DetailEvery: 4, Confidence: 0.95}
+	rows, err := SamplingStudy(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Workloads) {
+		t.Fatalf("got %d rows for %d workloads", len(rows), len(cfg.Workloads))
+	}
+	for _, r := range rows {
+		if !r.Within {
+			t.Errorf("%s: truth %d outside stated bound %.0f ± %.0f",
+				r.Workload, r.ActualCycles, r.Report.EstimatedCycles, r.Report.HalfWidth)
+		}
+		if r.SampledWork >= r.FullWork {
+			t.Errorf("%s: sampling saved no host work (%.0f vs %.0f)",
+				r.Workload, r.SampledWork, r.FullWork)
+		}
+	}
+	out := FormatSampling(plan, rows)
+	for _, want := range []string{"workload", "within", cfg.Workloads[0]} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatSampling missing %q:\n%s", want, out)
+		}
 	}
 }

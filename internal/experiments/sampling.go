@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"slacksim/internal/engine"
+	"slacksim/internal/sampling"
+)
+
+// SamplingRow compares a full-detail CC run against an interval-sampled
+// run of the same workload: the sampled run's estimate, its confidence
+// bound, the true error, and the host work the sampling saved.
+type SamplingRow struct {
+	Workload string
+	// ActualCycles is the full-detail CC run's cycle count (the truth the
+	// estimate is judged against).
+	ActualCycles int64
+	// Report is the sampled run's estimate with its confidence bound.
+	Report sampling.Report
+	// ErrPct is the estimate's true error versus the full run, percent.
+	ErrPct float64
+	// Within reports whether the truth fell inside the stated bound.
+	Within bool
+	// FullWork and SampledWork are the two runs' host work units; the
+	// ratio is what sampling buys.
+	FullWork, SampledWork float64
+}
+
+// SamplingStudy runs every configured workload twice — once in full
+// detail under CC, once interval-sampled with the given plan — and
+// reports how tight and how honest the sampled estimates are. The paper
+// simulates every cycle; this study quantifies the Pac-Sim-style
+// alternative: how much host work sampling saves on the same kernels and
+// whether the stated confidence bounds actually cover the true cycle
+// counts.
+func SamplingStudy(cfg Config, plan sampling.Plan) ([]SamplingRow, error) {
+	plan.Normalize()
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	// Two grid cells per workload: the full-detail reference and the
+	// sampled run it is judged against.
+	fulls := make([]engine.Results, len(cfg.Workloads))
+	sampled := make([]engine.Results, len(cfg.Workloads))
+	err := runGrid(cfg.workers(), 2*len(cfg.Workloads), func(i int) error {
+		k, wl := i/2, cfg.Workloads[i/2]
+		if i%2 == 0 {
+			res, err := cfg.run(wl, engine.RunConfig{Scheme: engine.CycleByCycle()})
+			if err != nil {
+				return fmt.Errorf("sampling %s full: %w", wl, err)
+			}
+			fulls[k] = res
+			return nil
+		}
+		p := plan
+		res, err := cfg.run(wl, engine.RunConfig{Scheme: engine.CycleByCycle(), Sampling: &p})
+		if err != nil {
+			return fmt.Errorf("sampling %s sampled: %w", wl, err)
+		}
+		sampled[k] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SamplingRow, len(cfg.Workloads))
+	for k, wl := range cfg.Workloads {
+		full, samp := fulls[k], sampled[k]
+		if samp.Sampling == nil {
+			return nil, fmt.Errorf("sampling %s: sampled run reported no estimate", wl)
+		}
+		rep := *samp.Sampling
+		rows[k] = SamplingRow{
+			Workload:     wl,
+			ActualCycles: full.Cycles,
+			Report:       rep,
+			ErrPct:       100 * (rep.EstimatedCycles - float64(full.Cycles)) / float64(full.Cycles),
+			Within:       rep.Within(full.Cycles),
+			FullWork:     full.HostWorkUnits,
+			SampledWork:  samp.HostWorkUnits,
+		}
+	}
+	return rows, nil
+}
+
+// FormatSampling renders the study as an aligned text table.
+func FormatSampling(plan sampling.Plan, rows []SamplingRow) string {
+	plan.Normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sampled simulation vs full detail (interval %d insts, 1-in-%d detailed, %.0f%% confidence)\n",
+		plan.IntervalInsts, plan.DetailEvery, plan.Confidence*100)
+	fmt.Fprintf(&b, "%-10s %10s %12s %10s %8s %7s %10s %9s\n",
+		"workload", "actual", "estimated", "±bound", "err%", "within", "work-full", "work-smp")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %10d %12.0f %10.0f %8.2f %7t %10.0f %9.0f\n",
+			r.Workload, r.ActualCycles, r.Report.EstimatedCycles, r.Report.HalfWidth,
+			r.ErrPct, r.Within, r.FullWork, r.SampledWork)
+	}
+	return b.String()
+}

@@ -21,6 +21,9 @@ var resultPackages = []string{
 	"internal/violation",
 	"internal/adaptive",
 	"internal/spec",
+	"internal/synth",
+	"internal/memtrace",
+	"internal/sampling",
 }
 
 // wallClockFuncs are the time package entry points that read the wall

@@ -1,0 +1,286 @@
+// Package memtrace defines the versioned on-disk memory-event trace
+// format, the engine-side recorder that captures a run's architectural
+// retire stream, and the replay workload that turns a captured trace back
+// into runnable programs.
+//
+// A trace file is a sequence of records in the durable package's shared
+// framing (length + CRC-32C per record), so a torn or bit-flipped file is
+// detected record-by-record. Inside the framing the format is:
+//
+//	header  "SLKTRC" ver  cores name          (first record)
+//	events  'E' core count (op addr [val])*   (batched, core-major order)
+//	trailer 'T' total percore*                (last record)
+//
+// Integers are uvarints. The trailer is mandatory: a file that ends
+// without one — however cleanly the framing survives — is truncated and
+// Decode says so. Events are serialized core-major (all of core 0, then
+// core 1, ...), which is canonical: a trace's bytes are a pure function
+// of its content, so the digest of a CC run's trace is host-independent.
+package memtrace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"slacksim/internal/core"
+	"slacksim/internal/recframe"
+)
+
+// Format constants. Version bumps when the payload layout changes;
+// decoders reject versions they do not understand.
+const (
+	magic   = "SLKTRC"
+	version = 1
+
+	tagEvents  = 'E'
+	tagTrailer = 'T'
+
+	// batchSize bounds events per record so one corrupt record loses a
+	// bounded window and record payloads stay far under the framing's
+	// maximum record length.
+	batchSize = 4096
+
+	// maxCores bounds the decoded core count against corrupt headers.
+	maxCores = 4096
+)
+
+// Event is one architecturally-retired memory or synchronization
+// operation. Val is meaningful only for stores (the value written) — for
+// barriers Addr carries the barrier id.
+type Event struct {
+	Op   core.MemOp
+	Addr uint64
+	Val  uint64
+}
+
+// Trace is a decoded trace: the per-core retire streams of one run.
+type Trace struct {
+	Version  int
+	Workload string // name of the recorded workload
+	Cores    int
+	Events   [][]Event // [core][commit order]
+}
+
+// TotalEvents returns the number of events across all cores.
+func (t *Trace) TotalEvents() int {
+	n := 0
+	for _, evs := range t.Events {
+		n += len(evs)
+	}
+	return n
+}
+
+// Encode serializes the trace into the canonical byte form.
+func Encode(t *Trace) ([]byte, error) {
+	if t.Cores != len(t.Events) {
+		return nil, fmt.Errorf("memtrace: trace has %d cores but %d event streams", t.Cores, len(t.Events))
+	}
+	if t.Cores < 1 || t.Cores > maxCores {
+		return nil, fmt.Errorf("memtrace: core count %d out of range [1, %d]", t.Cores, maxCores)
+	}
+	var out bytes.Buffer
+	var scratch []byte
+
+	hdr := append([]byte(magic), version)
+	hdr = binary.AppendUvarint(hdr, uint64(t.Cores))
+	hdr = binary.AppendUvarint(hdr, uint64(len(t.Workload)))
+	hdr = append(hdr, t.Workload...)
+	if _, err := recframe.Append(&out, hdr); err != nil {
+		return nil, err
+	}
+
+	for c, evs := range t.Events {
+		for start := 0; start < len(evs); start += batchSize {
+			end := min(start+batchSize, len(evs))
+			scratch = scratch[:0]
+			scratch = append(scratch, tagEvents)
+			scratch = binary.AppendUvarint(scratch, uint64(c))
+			scratch = binary.AppendUvarint(scratch, uint64(end-start))
+			for _, e := range evs[start:end] {
+				scratch = append(scratch, byte(e.Op))
+				scratch = binary.AppendUvarint(scratch, e.Addr)
+				if e.Op == core.OpStore {
+					scratch = binary.AppendUvarint(scratch, e.Val)
+				}
+			}
+			if _, err := recframe.Append(&out, scratch); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	tr := []byte{tagTrailer}
+	tr = binary.AppendUvarint(tr, uint64(t.TotalEvents()))
+	for _, evs := range t.Events {
+		tr = binary.AppendUvarint(tr, uint64(len(evs)))
+	}
+	if _, err := recframe.Append(&out, tr); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Digest returns the hex SHA-256 of an encoded trace; it is the trace's
+// content address (spec keys embed it).
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Decode parses an encoded trace. Every malformation — torn tail, corrupt
+// CRC, bad magic or version, unknown record tag, truncated payload,
+// missing trailer, or totals that do not add up — returns an error;
+// Decode never panics on adversarial input.
+func Decode(data []byte) (*Trace, error) {
+	var t *Trace
+	sawTrailer := false
+	res, err := recframe.Scan(bytes.NewReader(data), func(_ int64, payload []byte) error {
+		switch {
+		case t == nil:
+			tr, err := decodeHeader(payload)
+			if err != nil {
+				return err
+			}
+			t = tr
+			return nil
+		case sawTrailer:
+			return fmt.Errorf("memtrace: record after trailer")
+		case len(payload) == 0:
+			return fmt.Errorf("memtrace: empty record")
+		case payload[0] == tagEvents:
+			return decodeEvents(t, payload[1:])
+		case payload[0] == tagTrailer:
+			sawTrailer = true
+			return checkTrailer(t, payload[1:])
+		default:
+			return fmt.Errorf("memtrace: unknown record tag %#x", payload[0])
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Torn {
+		return nil, fmt.Errorf("memtrace: torn or corrupt record tail")
+	}
+	if t == nil {
+		return nil, fmt.Errorf("memtrace: empty trace file")
+	}
+	if !sawTrailer {
+		return nil, fmt.Errorf("memtrace: missing trailer (truncated trace)")
+	}
+	return t, nil
+}
+
+func decodeHeader(payload []byte) (*Trace, error) {
+	if len(payload) < len(magic)+1 || string(payload[:len(magic)]) != magic {
+		return nil, fmt.Errorf("memtrace: bad magic (not a trace file)")
+	}
+	if v := payload[len(magic)]; v != version {
+		return nil, fmt.Errorf("memtrace: unsupported trace version %d (decoder speaks %d)", v, version)
+	}
+	rest := payload[len(magic)+1:]
+	cores, rest, err := uvarint(rest)
+	if err != nil {
+		return nil, fmt.Errorf("memtrace: header cores: %w", err)
+	}
+	if cores < 1 || cores > maxCores {
+		return nil, fmt.Errorf("memtrace: core count %d out of range [1, %d]", cores, maxCores)
+	}
+	nameLen, rest, err := uvarint(rest)
+	if err != nil {
+		return nil, fmt.Errorf("memtrace: header name length: %w", err)
+	}
+	if nameLen != uint64(len(rest)) {
+		return nil, fmt.Errorf("memtrace: header name length %d does not match %d remaining bytes", nameLen, len(rest))
+	}
+	return &Trace{
+		Version:  version,
+		Workload: string(rest),
+		Cores:    int(cores),
+		Events:   make([][]Event, cores),
+	}, nil
+}
+
+func decodeEvents(t *Trace, payload []byte) error {
+	c, payload, err := uvarint(payload)
+	if err != nil {
+		return fmt.Errorf("memtrace: event record core: %w", err)
+	}
+	if c >= uint64(t.Cores) {
+		return fmt.Errorf("memtrace: event record for core %d of a %d-core trace", c, t.Cores)
+	}
+	count, payload, err := uvarint(payload)
+	if err != nil {
+		return fmt.Errorf("memtrace: event record count: %w", err)
+	}
+	if count > batchSize {
+		return fmt.Errorf("memtrace: event record claims %d events (batch limit %d)", count, batchSize)
+	}
+	for i := uint64(0); i < count; i++ {
+		if len(payload) == 0 {
+			return fmt.Errorf("memtrace: event record truncated at event %d of %d", i, count)
+		}
+		op := core.MemOp(payload[0])
+		if op < core.OpLoad || op > core.OpHalt {
+			return fmt.Errorf("memtrace: invalid op byte %#x", payload[0])
+		}
+		payload = payload[1:]
+		var e Event
+		e.Op = op
+		if e.Addr, payload, err = uvarint(payload); err != nil {
+			return fmt.Errorf("memtrace: event %d addr: %w", i, err)
+		}
+		if op == core.OpStore {
+			if e.Val, payload, err = uvarint(payload); err != nil {
+				return fmt.Errorf("memtrace: event %d store value: %w", i, err)
+			}
+		}
+		t.Events[c] = append(t.Events[c], e)
+	}
+	if len(payload) != 0 {
+		return fmt.Errorf("memtrace: %d trailing bytes in event record", len(payload))
+	}
+	return nil
+}
+
+func checkTrailer(t *Trace, payload []byte) error {
+	total, payload, err := uvarint(payload)
+	if err != nil {
+		return fmt.Errorf("memtrace: trailer total: %w", err)
+	}
+	if got := uint64(t.TotalEvents()); got != total {
+		return fmt.Errorf("memtrace: trailer claims %d events, decoded %d", total, got)
+	}
+	for c, evs := range t.Events {
+		var n uint64
+		if n, payload, err = uvarint(payload); err != nil {
+			return fmt.Errorf("memtrace: trailer core %d count: %w", c, err)
+		}
+		if n != uint64(len(evs)) {
+			return fmt.Errorf("memtrace: trailer claims %d events for core %d, decoded %d", n, c, len(evs))
+		}
+	}
+	if len(payload) != 0 {
+		return fmt.Errorf("memtrace: %d trailing bytes in trailer", len(payload))
+	}
+	return nil
+}
+
+// uvarint decodes one uvarint from b, returning the value and the rest.
+func uvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("truncated or oversized uvarint")
+	}
+	return v, b[n:], nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,260 @@
+package memtrace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"slacksim/internal/core"
+	"slacksim/internal/isa"
+	"slacksim/internal/recframe"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Version:  version,
+		Workload: "falseshare-4",
+		Cores:    2,
+		Events: [][]Event{
+			{
+				{Op: core.OpLoad, Addr: 0x0100_0000},
+				{Op: core.OpStore, Addr: 0x0100_0000, Val: 1},
+				{Op: core.OpLockAcq, Addr: 0x0800_0000},
+				{Op: core.OpLockRel, Addr: 0x0800_0000},
+				{Op: core.OpBarrier, Addr: 0},
+				{Op: core.OpHalt},
+			},
+			{
+				{Op: core.OpStore, Addr: 0x0100_0008, Val: 0xdead_beef_cafe},
+				{Op: core.OpBarrier, Addr: 0},
+				{Op: core.OpHalt},
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	data, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", tr, got)
+	}
+}
+
+func TestEncodeCanonical(t *testing.T) {
+	a, err := Encode(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Encode(sampleTrace())
+	if !bytes.Equal(a, b) {
+		t.Fatal("Encode is not canonical")
+	}
+	if Digest(a) != Digest(b) {
+		t.Fatal("digests differ for identical encodings")
+	}
+}
+
+func TestLargeTraceBatches(t *testing.T) {
+	tr := &Trace{Version: version, Workload: "big", Cores: 1, Events: make([][]Event, 1)}
+	for i := 0; i < 3*batchSize+7; i++ {
+		tr.Events[0] = append(tr.Events[0], Event{Op: core.OpStore, Addr: uint64(i) * 8, Val: uint64(i)})
+	}
+	data, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalEvents() != tr.TotalEvents() {
+		t.Fatalf("decoded %d events, want %d", got.TotalEvents(), tr.TotalEvents())
+	}
+}
+
+// mustNotPanic asserts Decode returns an error (not a panic, not a nil
+// error) for malformed input.
+func mustNotPanic(t *testing.T, name string, data []byte) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: Decode panicked: %v", name, r)
+		}
+	}()
+	if _, err := Decode(data); err == nil {
+		t.Errorf("%s: Decode accepted malformed input", name)
+	}
+}
+
+func TestDecodeRobustness(t *testing.T) {
+	good, err := Encode(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mustNotPanic(t, "empty", nil)
+	mustNotPanic(t, "torn header", good[:5])
+	mustNotPanic(t, "torn mid-record", good[:len(good)/2])
+	mustNotPanic(t, "missing trailer", good[:len(good)-20])
+
+	flip := append([]byte(nil), good...)
+	flip[len(flip)/2] ^= 0x40
+	mustNotPanic(t, "corrupt CRC", flip)
+
+	// Bad magic: corrupt the first header payload byte and refresh its CRC
+	// so the framing passes but the format check must fire.
+	badMagic := append([]byte(nil), good...)
+	badMagic[8] = 'X'
+	refreshCRC(badMagic, 0)
+	mustNotPanic(t, "bad magic", badMagic)
+
+	badVer := append([]byte(nil), good...)
+	badVer[8+len(magic)] = 99
+	refreshCRC(badVer, 0)
+	mustNotPanic(t, "bad version", badVer)
+
+	mustNotPanic(t, "garbage", []byte("not a trace at all, but long enough to look like one"))
+}
+
+// refreshCRC recomputes the framing checksum of the record starting at
+// off, so payload-level corruption tests reach the format decoder.
+func refreshCRC(data []byte, off int) {
+	n := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+	payload := data[off+8 : off+8+n]
+	// Re-frame via the durable package by rebuilding the header.
+	var buf bytes.Buffer
+	if _, err := recframe.Append(&buf, payload); err != nil {
+		panic(err)
+	}
+	copy(data[off:], buf.Bytes()[:8])
+}
+
+func TestDecodeTrailerMismatch(t *testing.T) {
+	tr := sampleTrace()
+	data, _ := Encode(tr)
+	// Re-encode with a lying trailer by appending an extra event record
+	// after encoding (the trailer no longer matches).
+	extra := []byte{tagEvents, 0, 1, byte(core.OpLoad), 8}
+	var buf bytes.Buffer
+	buf.Write(data)
+	if _, err := recframe.Append(&buf, extra); err != nil {
+		t.Fatal(err)
+	}
+	mustNotPanic(t, "record after trailer", buf.Bytes())
+}
+
+func TestRecorderCheckpointRollback(t *testing.T) {
+	r := NewRecorder(2, "wk")
+	r.RecordOp(0, core.OpLoad, 8, 0)
+	r.RecordOp(1, core.OpStore, 16, 1)
+	r.Checkpoint()
+	r.RecordOp(0, core.OpStore, 24, 2)
+	r.RecordOp(1, core.OpLoad, 32, 0)
+	r.Rollback()
+	r.RecordOp(0, core.OpStore, 24, 3) // replayed window, different value
+	tr := r.Trace()
+	if len(tr.Events[0]) != 2 || len(tr.Events[1]) != 1 {
+		t.Fatalf("rollback did not truncate: %d/%d events", len(tr.Events[0]), len(tr.Events[1]))
+	}
+	if tr.Events[0][1].Val != 3 {
+		t.Fatalf("replayed event lost: %+v", tr.Events[0][1])
+	}
+	if _, err := r.Encode(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayPrograms(t *testing.T) {
+	data, err := Encode(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplay(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "replay-"+Digest(data)[:12] {
+		t.Fatalf("name %q must embed the trace digest", rp.Name())
+	}
+	progs, err := rp.Programs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, p := range progs {
+		last := p.Insts[len(p.Insts)-1]
+		if last.Op != isa.Halt {
+			t.Errorf("core %d replay program must end in Halt, got %v", c, last.Op)
+		}
+	}
+	if _, err := rp.Programs(4); err == nil {
+		t.Fatal("replay on the wrong core count must fail")
+	}
+	if err := rp.Verify(nil); err != nil {
+		t.Fatalf("trivial Verify must pass: %v", err)
+	}
+}
+
+func TestReplayUnhaltedTraceGetsHalt(t *testing.T) {
+	tr := &Trace{Version: version, Workload: "w", Cores: 1,
+		Events: [][]Event{{{Op: core.OpLoad, Addr: 64}}}}
+	rp, err := NewReplayTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := rp.Programs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progs[0].Insts[len(progs[0].Insts)-1].Op != isa.Halt {
+		t.Fatal("truncated trace's replay must still halt")
+	}
+}
+
+func TestReplayRejectsEventsAfterHalt(t *testing.T) {
+	tr := &Trace{Version: version, Workload: "w", Cores: 1,
+		Events: [][]Event{{{Op: core.OpHalt}, {Op: core.OpLoad, Addr: 64}}}}
+	rp, err := NewReplayTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rp.Programs(1); err == nil {
+		t.Fatal("events after halt must be rejected")
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	good, err := Encode(sampleTrace())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)-3])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data) // must never panic
+		if err != nil {
+			return
+		}
+		// Valid decodes must re-encode and round-trip.
+		enc, err := Encode(tr)
+		if err != nil {
+			t.Fatalf("decoded trace failed to encode: %v", err)
+		}
+		tr2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatal("re-encode round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package memtrace
+
+import (
+	"fmt"
+
+	"slacksim/internal/core"
+	"slacksim/internal/isa"
+	"slacksim/internal/mem"
+)
+
+// Replay is a workload that re-executes a captured trace: each core's
+// program replays its recorded retire stream — loads and stores at the
+// recorded addresses (stores with the recorded values), barriers through
+// the live synchronization controller — so the replay exercises the full
+// coherence machinery with the original run's exact sharing pattern.
+//
+// Lock operations are replayed as stores to the lock line, not as live
+// Lock/Unlock instructions. The recorded stream already fixes who won
+// each acquisition; re-running the spin loop would only re-race it, and
+// the spin count is a host artifact (the one part of a CC run that is
+// not byte-identical across hosts). A store reproduces what matters to
+// the memory system — the lock line's exclusive-ownership migration —
+// and keeps replay programs straight-line: no cross-core data-dependent
+// control flow, so by the engine's race-free CC invariant a replayed
+// trace produces byte-identical Results on both hosts, whatever the
+// recorded workload did.
+//
+// The trace digest is embedded in the workload name, making replay specs
+// content-addressed and keeping machine pooling from reusing programs
+// compiled for a different trace.
+type Replay struct {
+	trace  *Trace
+	digest string
+}
+
+// NewReplay decodes an encoded trace into a replay workload.
+func NewReplay(data []byte) (*Replay, error) {
+	t, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Replay{trace: t, digest: Digest(data)}, nil
+}
+
+// NewReplayTrace wraps an in-memory trace; the digest is computed from
+// its canonical encoding.
+func NewReplayTrace(t *Trace) (*Replay, error) {
+	data, err := Encode(t)
+	if err != nil {
+		return nil, err
+	}
+	return NewReplay(data)
+}
+
+// Trace returns the decoded trace.
+func (r *Replay) Trace() *Trace { return r.trace }
+
+// Digest returns the full hex digest of the encoded trace.
+func (r *Replay) Digest() string { return r.digest }
+
+// Name implements workload.Workload.
+func (r *Replay) Name() string { return "replay-" + r.digest[:12] }
+
+// InitMemory implements workload.Workload; replay starts from a zeroed
+// image, like the recorded run did.
+func (r *Replay) InitMemory(m *mem.Memory) error { return nil }
+
+// Programs implements workload.Workload. The machine must match the
+// trace's width: a trace is a complete parallel execution, not a
+// resizable benchmark.
+func (r *Replay) Programs(numCores int) ([]*isa.Program, error) {
+	if numCores != r.trace.Cores {
+		return nil, fmt.Errorf("memtrace: trace was recorded on %d cores, cannot replay on %d", r.trace.Cores, numCores)
+	}
+	progs := make([]*isa.Program, numCores)
+	for c := 0; c < numCores; c++ {
+		p, err := r.program(c)
+		if err != nil {
+			return nil, err
+		}
+		progs[c] = p
+	}
+	return progs, nil
+}
+
+const (
+	rAddr isa.Reg = 3
+	rTmp  isa.Reg = 4
+	rVal  isa.Reg = 5
+)
+
+func (r *Replay) program(c int) (*isa.Program, error) {
+	b := isa.NewBuilder(fmt.Sprintf("%s.t%d", r.Name(), c))
+	halted := false
+	for _, e := range r.trace.Events[c] {
+		if halted {
+			return nil, fmt.Errorf("memtrace: core %d has events after halt", c)
+		}
+		switch e.Op {
+		case core.OpLoad:
+			b.Li(rAddr, int64(e.Addr))
+			b.Load(rTmp, rAddr, 0)
+		case core.OpStore:
+			b.Li(rVal, int64(e.Val))
+			b.Li(rAddr, int64(e.Addr))
+			b.Store(rVal, rAddr, 0)
+		case core.OpLockAcq:
+			// Acquisition = take the lock line exclusive (see type doc).
+			b.Li(rVal, 1)
+			b.Li(rAddr, int64(e.Addr))
+			b.Store(rVal, rAddr, 0)
+		case core.OpLockRel:
+			b.Li(rVal, 0)
+			b.Li(rAddr, int64(e.Addr))
+			b.Store(rVal, rAddr, 0)
+		case core.OpBarrier:
+			b.Barrier(int64(e.Addr))
+		case core.OpHalt:
+			b.Halt()
+			halted = true
+		default:
+			return nil, fmt.Errorf("memtrace: core %d: invalid op %d", c, e.Op)
+		}
+	}
+	if !halted {
+		// A trace captured from a cycle-capped run ends mid-stream;
+		// replay just halts where the recording stopped.
+		b.Halt()
+	}
+	return b.Program()
+}
+
+// Verify implements workload.Verifier trivially: a trace carries no
+// functional reference to check against (the recorded run already
+// verified its own workload), but front ends like sweep verify every
+// workload that can be, so replay must satisfy the interface.
+func (r *Replay) Verify(m *mem.Memory) error { return nil }

@@ -1,0 +1,240 @@
+// Package sampling implements Pac-Sim-style interval sampling for the
+// deterministic host: the run is cut into fixed-size instruction
+// intervals, a periodic subset is simulated in full detail (cycle-accurate
+// CC pacing), and the rest fast-forward through a warmed functional mode
+// (unbounded slack, so the cores stay warm but the host skips almost all
+// manager synchronization). The estimator extrapolates the cycles of the
+// fast-forwarded intervals from the CPI measured in the detailed ones and
+// reports a confidence interval around the estimate.
+package sampling
+
+import (
+	"fmt"
+	"math"
+)
+
+// Plan configures interval sampling. The zero value means "disabled";
+// call Normalize to fill defaults before use.
+type Plan struct {
+	// IntervalInsts is the interval length in total retired instructions
+	// (summed across cores).
+	IntervalInsts uint64 `json:"interval_insts"`
+	// DetailEvery simulates every DetailEvery-th interval in detail
+	// (interval 0 is always detailed, so the extrapolation never runs on
+	// an empty sample).
+	DetailEvery int `json:"detail_every"`
+	// Confidence is the two-sided confidence level of the reported bound:
+	// one of 0.90, 0.95, or 0.99.
+	Confidence float64 `json:"confidence"`
+}
+
+// Normalize fills defaults in place and returns the plan.
+func (p *Plan) Normalize() *Plan {
+	if p.IntervalInsts == 0 {
+		p.IntervalInsts = 20000
+	}
+	if p.DetailEvery == 0 {
+		p.DetailEvery = 5
+	}
+	if p.Confidence == 0 {
+		p.Confidence = 0.95
+	}
+	return p
+}
+
+// Validate reports whether the plan is runnable.
+func (p *Plan) Validate() error {
+	if p.IntervalInsts == 0 {
+		return fmt.Errorf("sampling: interval length must be positive")
+	}
+	if p.DetailEvery < 1 {
+		return fmt.Errorf("sampling: detail-every must be >= 1, got %d", p.DetailEvery)
+	}
+	switch p.Confidence {
+	case 0.90, 0.95, 0.99:
+	default:
+		return fmt.Errorf("sampling: confidence must be 0.90, 0.95, or 0.99, got %g", p.Confidence)
+	}
+	return nil
+}
+
+// Canonical returns the plan's canonical spec-key segment. It must stay
+// stable: it feeds content-addressed spec digests.
+func (p Plan) Canonical() string {
+	return fmt.Sprintf("interval=%d|every=%d|conf=%g", p.IntervalInsts, p.DetailEvery, p.Confidence)
+}
+
+// Detailed reports whether interval idx is simulated in detail.
+func (p Plan) Detailed(idx int) bool { return idx%p.DetailEvery == 0 }
+
+// biasFrac is the extrapolation-bias allowance folded into the half
+// width: fast-forwarding perturbs spin-loop instruction counts (a core
+// running ahead under unbounded slack spins a little more or less at
+// locks and barriers than it would under CC), which the CPI-variance term
+// alone cannot see. The allowance is a fixed fraction of the
+// extrapolated cycles; DESIGN.md §16 derives the choice.
+const biasFrac = 0.05
+
+// Report is the sampling estimate attached to Results. All fields are
+// part of the stable JSON contract.
+type Report struct {
+	Intervals         int   `json:"intervals"`
+	DetailedIntervals int   `json:"detailed_intervals"`
+	DetailedCycles    int64 `json:"detailed_cycles"`
+	DetailedInsts     int64 `json:"detailed_insts"`
+	FastForwardCycles int64 `json:"fast_forward_cycles"`
+	FastForwardInsts  int64 `json:"fast_forward_insts"`
+	// MeanCPI is the ratio estimate over detailed intervals:
+	// DetailedCycles / DetailedInsts.
+	MeanCPI float64 `json:"mean_cpi"`
+	// EstimatedCycles = DetailedCycles + MeanCPI*FastForwardInsts.
+	EstimatedCycles float64 `json:"estimated_cycles"`
+	// HalfWidth is the half width of the two-sided confidence interval
+	// around EstimatedCycles at the stated Confidence level.
+	HalfWidth  float64 `json:"half_width"`
+	Confidence float64 `json:"confidence"`
+}
+
+// Within reports whether cycles falls inside the estimate's confidence
+// interval.
+func (r Report) Within(cycles int64) bool {
+	return math.Abs(float64(cycles)-r.EstimatedCycles) <= r.HalfWidth
+}
+
+// Estimator accumulates per-interval measurements during a run and
+// produces the final Report. It is single-goroutine (the deterministic
+// host's engine loop owns it).
+type Estimator struct {
+	plan Plan
+
+	cpis     []float64 // per-detailed-interval aggregate CPI samples
+	detIvals int
+	ffIvals  int
+
+	detCycles int64
+	detInsts  int64
+	ffCycles  int64
+	ffInsts   int64
+}
+
+// NewEstimator returns an estimator for a normalized plan.
+func NewEstimator(plan Plan) *Estimator {
+	return &Estimator{plan: plan}
+}
+
+// AddDetailed records one detailed interval: cycles of simulated time it
+// spanned and total instructions retired inside it.
+func (e *Estimator) AddDetailed(cycles, insts int64) {
+	e.detIvals++
+	e.detCycles += cycles
+	e.detInsts += insts
+	if insts > 0 {
+		e.cpis = append(e.cpis, float64(cycles)/float64(insts))
+	}
+}
+
+// AddFastForward records one fast-forwarded interval. The cycles are the
+// functional mode's own (untrusted) timing; the estimator replaces them
+// with the extrapolation but reports both.
+func (e *Estimator) AddFastForward(cycles, insts int64) {
+	e.ffIvals++
+	e.ffCycles += cycles
+	e.ffInsts += insts
+}
+
+// Report finalizes the estimate.
+func (e *Estimator) Report() Report {
+	r := Report{
+		Intervals:         e.detIvals + e.ffIvals,
+		DetailedIntervals: e.detIvals,
+		DetailedCycles:    e.detCycles,
+		DetailedInsts:     e.detInsts,
+		FastForwardCycles: e.ffCycles,
+		FastForwardInsts:  e.ffInsts,
+		Confidence:        e.plan.Confidence,
+	}
+	if e.detInsts > 0 {
+		r.MeanCPI = float64(e.detCycles) / float64(e.detInsts)
+	}
+	extrapolated := r.MeanCPI * float64(e.ffInsts)
+	r.EstimatedCycles = float64(e.detCycles) + extrapolated
+
+	// Error model: a Student-t interval on the mean per-interval CPI,
+	// scaled by the extrapolated instruction count, plus the fixed
+	// extrapolation-bias allowance. With fewer than two CPI samples the
+	// variance is unobservable, so the whole extrapolated part is the
+	// bound (maximally conservative).
+	if e.ffInsts == 0 {
+		r.HalfWidth = 0
+		return r
+	}
+	n := len(e.cpis)
+	if n < 2 {
+		r.HalfWidth = extrapolated
+		return r
+	}
+	mean := 0.0
+	for _, c := range e.cpis {
+		mean += c
+	}
+	mean /= float64(n)
+	var ss float64
+	for _, c := range e.cpis {
+		d := c - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	se := sd / math.Sqrt(float64(n))
+	r.HalfWidth = tQuantile(e.plan.Confidence, n-1)*se*float64(e.ffInsts) + biasFrac*extrapolated
+	return r
+}
+
+// tQuantile returns the two-sided Student-t critical value for the given
+// confidence level and degrees of freedom. Levels are restricted to the
+// three the Plan validates; df beyond the table falls back to the normal
+// quantile.
+func tQuantile(confidence float64, df int) float64 {
+	var tab []float64
+	var z float64
+	switch confidence {
+	case 0.90:
+		tab = t90
+		z = 1.645
+	case 0.95:
+		tab = t95
+		z = 1.960
+	case 0.99:
+		tab = t99
+		z = 2.576
+	default:
+		// Validate rejects other levels; be conservative if reached.
+		tab = t99
+		z = 2.576
+	}
+	if df < 1 {
+		df = 1
+	}
+	if df <= len(tab) {
+		return tab[df-1]
+	}
+	return z
+}
+
+// Two-sided critical values of the t distribution, df = 1..30.
+var (
+	t90 = []float64{
+		6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+		1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+		1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+	}
+	t95 = []float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	t99 = []float64{
+		63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+		3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+		2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+	}
+)

@@ -1,0 +1,158 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanNormalizeDefaults(t *testing.T) {
+	var p Plan
+	p.Normalize()
+	if p.IntervalInsts == 0 || p.DetailEvery == 0 || p.Confidence == 0 {
+		t.Fatalf("Normalize left zero fields: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("normalized default plan invalid: %v", err)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Plan
+		ok   bool
+	}{
+		{"default", *(&Plan{}).Normalize(), true},
+		{"zero interval", Plan{IntervalInsts: 0, DetailEvery: 2, Confidence: 0.95}, false},
+		{"bad every", Plan{IntervalInsts: 100, DetailEvery: -1, Confidence: 0.95}, false},
+		{"bad conf", Plan{IntervalInsts: 100, DetailEvery: 2, Confidence: 0.5}, false},
+		{"conf 0.90", Plan{IntervalInsts: 100, DetailEvery: 2, Confidence: 0.90}, true},
+		{"conf 0.99", Plan{IntervalInsts: 100, DetailEvery: 1, Confidence: 0.99}, true},
+	}
+	for _, tc := range cases {
+		err := tc.p.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%t", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestPlanDetailed(t *testing.T) {
+	p := Plan{IntervalInsts: 100, DetailEvery: 3, Confidence: 0.95}
+	want := map[int]bool{0: true, 1: false, 2: false, 3: true, 4: false, 6: true}
+	for idx, d := range want {
+		if p.Detailed(idx) != d {
+			t.Errorf("Detailed(%d) = %t, want %t", idx, p.Detailed(idx), d)
+		}
+	}
+	every1 := Plan{DetailEvery: 1}
+	for idx := 0; idx < 5; idx++ {
+		if !every1.Detailed(idx) {
+			t.Errorf("DetailEvery=1 must make every interval detailed, idx %d was not", idx)
+		}
+	}
+}
+
+func TestEstimatorNoFastForward(t *testing.T) {
+	e := NewEstimator(*(&Plan{}).Normalize())
+	e.AddDetailed(1000, 500)
+	e.AddDetailed(1100, 500)
+	r := e.Report()
+	if r.FastForwardInsts != 0 || r.HalfWidth != 0 {
+		t.Fatalf("all-detailed run must have zero half width, got %+v", r)
+	}
+	if r.EstimatedCycles != 2100 {
+		t.Fatalf("EstimatedCycles = %g, want 2100", r.EstimatedCycles)
+	}
+	if !r.Within(2100) {
+		t.Fatalf("exact estimate must be within its own bound")
+	}
+}
+
+func TestEstimatorExactCPI(t *testing.T) {
+	// Constant CPI of 2: the estimate must reconstruct the true total and
+	// the half width collapses to the bias allowance alone.
+	e := NewEstimator(Plan{IntervalInsts: 100, DetailEvery: 2, Confidence: 0.95})
+	for i := 0; i < 6; i++ {
+		if i%2 == 0 {
+			e.AddDetailed(200, 100)
+		} else {
+			e.AddFastForward(150, 100) // untrusted fast-mode cycles
+		}
+	}
+	r := e.Report()
+	if r.DetailedIntervals != 3 || r.Intervals != 6 {
+		t.Fatalf("interval counts wrong: %+v", r)
+	}
+	if r.MeanCPI != 2.0 {
+		t.Fatalf("MeanCPI = %g, want 2", r.MeanCPI)
+	}
+	wantEst := 600.0 + 2.0*300.0
+	if r.EstimatedCycles != wantEst {
+		t.Fatalf("EstimatedCycles = %g, want %g", r.EstimatedCycles, wantEst)
+	}
+	wantHW := biasFrac * 600.0 // zero variance → only the bias term
+	if math.Abs(r.HalfWidth-wantHW) > 1e-9 {
+		t.Fatalf("HalfWidth = %g, want %g", r.HalfWidth, wantHW)
+	}
+	if !r.Within(int64(wantEst)) || r.Within(int64(wantEst+2*wantHW)) {
+		t.Fatalf("Within() inconsistent with half width %g around %g", r.HalfWidth, r.EstimatedCycles)
+	}
+}
+
+func TestEstimatorSingleSampleConservative(t *testing.T) {
+	e := NewEstimator(Plan{IntervalInsts: 100, DetailEvery: 2, Confidence: 0.95})
+	e.AddDetailed(300, 100)
+	e.AddFastForward(100, 100)
+	r := e.Report()
+	// One CPI sample: the bound must cover the whole extrapolated part.
+	if r.HalfWidth != 300 {
+		t.Fatalf("single-sample HalfWidth = %g, want 300 (the extrapolated cycles)", r.HalfWidth)
+	}
+}
+
+func TestEstimatorVarianceWidensBound(t *testing.T) {
+	narrow := NewEstimator(Plan{IntervalInsts: 100, DetailEvery: 2, Confidence: 0.95})
+	wide := NewEstimator(Plan{IntervalInsts: 100, DetailEvery: 2, Confidence: 0.95})
+	for i := 0; i < 4; i++ {
+		narrow.AddDetailed(200, 100)
+		if i%2 == 0 {
+			wide.AddDetailed(100, 100)
+		} else {
+			wide.AddDetailed(300, 100)
+		}
+		narrow.AddFastForward(0, 100)
+		wide.AddFastForward(0, 100)
+	}
+	rn, rw := narrow.Report(), wide.Report()
+	if rw.HalfWidth <= rn.HalfWidth {
+		t.Fatalf("higher CPI variance must widen the bound: narrow=%g wide=%g", rn.HalfWidth, rw.HalfWidth)
+	}
+}
+
+func TestTQuantile(t *testing.T) {
+	if got := tQuantile(0.95, 1); got != 12.706 {
+		t.Errorf("t(0.95, df=1) = %g, want 12.706", got)
+	}
+	if got := tQuantile(0.95, 1000); got != 1.960 {
+		t.Errorf("t(0.95, large df) = %g, want normal 1.960", got)
+	}
+	// Monotone in confidence, decreasing in df.
+	if !(tQuantile(0.90, 10) < tQuantile(0.95, 10) && tQuantile(0.95, 10) < tQuantile(0.99, 10)) {
+		t.Error("t quantiles not monotone in confidence")
+	}
+	if !(tQuantile(0.95, 5) > tQuantile(0.95, 25)) {
+		t.Error("t quantiles must shrink with df")
+	}
+	if got := tQuantile(0.42, 3); got != t99[2] {
+		t.Errorf("unknown confidence must fall back to the conservative table, got %g", got)
+	}
+}
+
+func TestCanonicalStable(t *testing.T) {
+	p := Plan{IntervalInsts: 5000, DetailEvery: 4, Confidence: 0.99}
+	const want = "interval=5000|every=4|conf=0.99"
+	if got := p.Canonical(); got != want {
+		t.Fatalf("Canonical() = %q, want %q (spec digests depend on this)", got, want)
+	}
+}

@@ -7,6 +7,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"slacksim/internal/core"
+	"slacksim/internal/memtrace"
+	"slacksim/internal/synth"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
@@ -58,7 +62,40 @@ var goldenSpecs = []struct {
 		CheckpointInterval: 2000, Rollback: true, MapViolationsOnly: true,
 		TrackIntervals: []int64{500},
 	}},
+	{"synth-default", Spec{Workload: "synth"}},
+	{"synth-tuned", Spec{Workload: "synth", Synth: &synth.Config{
+		Seed: 7, Pattern: synth.PatternZipf, Ops: 128, ZipfAlpha: 0.8,
+	}}},
+	{"synth-prodcons", Spec{Workload: "synth", Scheme: "s8", Cores: 4, Synth: &synth.Config{
+		Pattern: synth.PatternProdCons, RingSlots: 2,
+	}}},
+	{"synth-junk-cleared", Spec{Workload: "fft", Scheme: "s8", Synth: &synth.Config{Seed: 9}}},
+	{"trace-replay", Spec{Workload: "trace", Cores: 2, Trace: &TraceSpec{Data: goldenTraceData}}},
+	{"sampled-default", Spec{Workload: "fft", SampleInterval: 20000}},
+	{"sampled-tuned", Spec{
+		Workload: "lu", SampleInterval: 5000, SampleDetailEvery: 4, SampleConfidence: 0.99,
+	}},
 }
+
+// goldenTraceData is a tiny deterministic trace: memtrace.Encode is
+// canonical, so these bytes (and the digest Key() embeds) are stable.
+var goldenTraceData = func() []byte {
+	data, err := memtrace.Encode(&memtrace.Trace{
+		Version:  1,
+		Workload: "golden",
+		Cores:    2,
+		Events: [][]Event{
+			{{Op: core.OpLoad, Addr: 0x0100_0000}, {Op: core.OpHalt}},
+			{{Op: core.OpStore, Addr: 0x0100_0040, Val: 7}, {Op: core.OpHalt}},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return data
+}()
+
+type Event = memtrace.Event
 
 // TestGoldenSpecDigests pins the content address of a canonical spec grid
 // against testdata/spec_keys.golden. These keys name results on disk (the
@@ -124,7 +161,8 @@ func TestGoldenGridDistinct(t *testing.T) {
 
 func aliased(name string) bool {
 	switch name {
-	case "explicit-defaults", "adaptive-spelled-default", "adaptive-junk-cleared":
+	case "explicit-defaults", "adaptive-spelled-default", "adaptive-junk-cleared",
+		"synth-junk-cleared":
 		return true
 	}
 	return false

@@ -16,9 +16,22 @@ import (
 	"slacksim"
 	"slacksim/internal/adaptive"
 	"slacksim/internal/engine"
+	"slacksim/internal/memtrace"
+	"slacksim/internal/sampling"
+	"slacksim/internal/synth"
 	"slacksim/internal/violation"
 	"slacksim/internal/workload"
 )
+
+// TraceSpec carries a recorded memory trace for the "trace" workload
+// kind. Data is the encoded trace (internal/memtrace format; base64 in
+// JSON); Digest is its hex SHA-256, filled during normalization. Key()
+// hashes the digest only, so the content address of a replay spec stays
+// small and two specs carrying the same trace bytes share a key.
+type TraceSpec struct {
+	Digest string `json:"digest,omitempty"`
+	Data   []byte `json:"data,omitempty"`
+}
 
 // Spec is one fully-described simulation run. The zero value is not
 // runnable; call Normalize to apply defaults and Validate before use.
@@ -69,6 +82,22 @@ type Spec struct {
 	// TrackIntervals enables per-interval violation statistics for the
 	// given interval lengths (the paper's Tables 3 and 4).
 	TrackIntervals []int64 `json:"track_intervals,omitempty"`
+	// Synth parameterizes the synthetic workload generator; meaningful
+	// only when Workload is "synth" (nil there selects the defaults, and
+	// normalization clears it everywhere else).
+	Synth *synth.Config `json:"synth,omitempty"`
+	// Trace carries the recorded memory trace replayed when Workload is
+	// "trace"; required for that workload kind, cleared otherwise.
+	Trace *TraceSpec `json:"trace,omitempty"`
+	// SampleInterval, SampleDetailEvery and SampleConfidence enable
+	// interval sampling when any is nonzero: detailed (cycle-accurate)
+	// intervals interleaved with fast-forwarded ones, reporting estimated
+	// cycles with a confidence bound. Zeros within an enabled plan take
+	// the sampling defaults. Requires the cc scheme on the deterministic
+	// host.
+	SampleInterval    uint64  `json:"sample_interval,omitempty"`
+	SampleDetailEvery int     `json:"sample_detail_every,omitempty"`
+	SampleConfidence  float64 `json:"sample_confidence,omitempty"`
 }
 
 // Normalize returns the spec with defaults applied and identity-free
@@ -130,7 +159,44 @@ func (s Spec) Normalize() Spec {
 	if len(s.TrackIntervals) == 0 {
 		s.TrackIntervals = nil
 	}
+	if s.Workload == "synth" {
+		var c synth.Config
+		if s.Synth != nil {
+			c = *s.Synth
+		}
+		s.Synth = c.Normalize()
+	} else {
+		s.Synth = nil
+	}
+	if s.Workload == "trace" {
+		if s.Trace != nil && len(s.Trace.Data) > 0 {
+			t := *s.Trace
+			t.Digest = memtrace.Digest(t.Data)
+			s.Trace = &t
+		}
+	} else {
+		s.Trace = nil
+	}
+	if p := s.samplingPlan(); p != nil {
+		s.SampleInterval = p.IntervalInsts
+		s.SampleDetailEvery = p.DetailEvery
+		s.SampleConfidence = p.Confidence
+	}
 	return s
+}
+
+// samplingPlan returns the normalized sampling plan the spec's sampling
+// fields describe, or nil when sampling is disabled (all three zero).
+func (s Spec) samplingPlan() *sampling.Plan {
+	if s.SampleInterval == 0 && s.SampleDetailEvery == 0 && s.SampleConfidence == 0 {
+		return nil
+	}
+	p := sampling.Plan{
+		IntervalInsts: s.SampleInterval,
+		DetailEvery:   s.SampleDetailEvery,
+		Confidence:    s.SampleConfidence,
+	}
+	return p.Normalize()
 }
 
 // Validate reports whether the normalized spec describes a runnable
@@ -139,11 +205,28 @@ func (s Spec) Normalize() Spec {
 // at run time so front ends fail fast with a clear message.
 func (s Spec) Validate() error {
 	s = s.Normalize()
-	if s.Workload == "" {
+	switch s.Workload {
+	case "":
 		return fmt.Errorf("spec: workload is required")
-	}
-	if _, err := workload.ByName(s.Workload, s.Scale); err != nil {
-		return err
+	case "synth":
+		if err := s.Synth.Validate(); err != nil {
+			return err
+		}
+	case "trace":
+		if s.Trace == nil || len(s.Trace.Data) == 0 {
+			return fmt.Errorf("spec: workload \"trace\" requires trace data")
+		}
+		tr, err := memtrace.Decode(s.Trace.Data)
+		if err != nil {
+			return err
+		}
+		if tr.Cores != s.Cores {
+			return fmt.Errorf("spec: trace records %d cores but spec asks for %d", tr.Cores, s.Cores)
+		}
+	default:
+		if _, err := workload.ByName(s.Workload, s.Scale); err != nil {
+			return err
+		}
 	}
 	if s.Cores < 1 {
 		return fmt.Errorf("spec: cores must be positive, got %d", s.Cores)
@@ -174,6 +257,25 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("spec: track intervals must be positive, got %d", iv)
 		}
 	}
+	if p := s.samplingPlan(); p != nil {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		// Mirror the engine's sampling constraints so front ends fail
+		// fast: detailed intervals are the cycle-accurate reference.
+		if s.Scheme != "cc" {
+			return fmt.Errorf("spec: sampling requires the cc scheme, got %q", s.Scheme)
+		}
+		if s.Parallel {
+			return fmt.Errorf("spec: sampling is only supported on the deterministic host")
+		}
+		if s.CheckpointInterval > 0 || s.Rollback {
+			return fmt.Errorf("spec: sampling cannot be combined with checkpointing")
+		}
+		if len(s.TrackIntervals) > 0 {
+			return fmt.Errorf("spec: sampling cannot be combined with interval tracking")
+		}
+	}
 	return nil
 }
 
@@ -191,6 +293,18 @@ func (s Spec) Key() string {
 		n.MeasureViolations, n.TrackIntervals,
 		n.AdaptivePeriod, n.AdaptiveInitialBound, n.AdaptiveMinBound,
 		n.AdaptiveMaxBound, n.AdaptivePolicy)
+	// Scenario segments are appended only when present so every
+	// pre-scenario spec keeps the content address it has always had —
+	// those keys name results already persisted in the durable store.
+	if n.Synth != nil {
+		canon += "|synth=" + n.Synth.Canonical()
+	}
+	if n.Trace != nil {
+		canon += "|trace=" + n.Trace.Digest
+	}
+	if p := n.samplingPlan(); p != nil {
+		canon += "|sample=" + p.Canonical()
+	}
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:])
 }
@@ -249,6 +363,11 @@ func (s Spec) Config() (slacksim.Config, error) {
 	if n.AdaptivePolicy == "aiad" {
 		cfg.AdaptivePolicy = slacksim.AIAD
 	}
+	cfg.Synth = n.Synth
+	if n.Trace != nil {
+		cfg.TraceData = n.Trace.Data
+	}
+	cfg.Sampling = n.samplingPlan()
 	return cfg, nil
 }
 
@@ -312,8 +431,13 @@ func FromRun(workload string, scale, cores int, rc engine.RunConfig) (Spec, erro
 		return Spec{}, fmt.Errorf("spec: violation selection %v has no spec form", rc.Selected)
 	}
 	if rc.MaxCycles != 0 || rc.MaxChunk != 0 || rc.HostDriftCap != 0 ||
-		rc.DeepCheckpoint || rc.Tracer != nil {
+		rc.DeepCheckpoint || rc.Tracer != nil || rc.MemRecorder != nil {
 		return Spec{}, fmt.Errorf("spec: run config uses host knobs a spec cannot carry")
+	}
+	if rc.Sampling != nil {
+		sp.SampleInterval = rc.Sampling.IntervalInsts
+		sp.SampleDetailEvery = rc.Sampling.DetailEvery
+		sp.SampleConfidence = rc.Sampling.Confidence
 	}
 	sp = sp.Normalize()
 	if err := sp.Validate(); err != nil {

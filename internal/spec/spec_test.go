@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"slacksim"
+	"slacksim/internal/memtrace"
+	"slacksim/internal/synth"
 )
 
 func TestParseScheme(t *testing.T) {
@@ -141,5 +143,72 @@ func TestConfigBuilds(t *testing.T) {
 	}
 	if res.Committed == 0 {
 		t.Fatal("nothing committed")
+	}
+}
+
+func TestScenarioSpecs(t *testing.T) {
+	// Synth: nil config validates (defaults), bad config rejected, and a
+	// synth spec's built Config actually runs and verifies.
+	if err := (Spec{Workload: "synth"}).Validate(); err != nil {
+		t.Fatalf("default synth spec rejected: %v", err)
+	}
+	if err := (Spec{Workload: "synth", Synth: &synth.Config{Pattern: "nope"}}).Validate(); err == nil {
+		t.Fatal("bad synth pattern unexpectedly validated")
+	}
+	cfg, err := Spec{Workload: "synth", Cores: 4, Synth: &synth.Config{Ops: 8, Phases: 2}}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := slacksim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Verify(); err != nil {
+		t.Fatalf("synth run failed verification: %v", err)
+	}
+
+	// Trace: data is required, cores must match, the digest is filled in
+	// during normalization, and corrupt data is rejected.
+	if err := (Spec{Workload: "trace"}).Validate(); err == nil {
+		t.Fatal("trace spec without data unexpectedly validated")
+	}
+	tr := Spec{Workload: "trace", Cores: 2, Trace: &TraceSpec{Data: goldenTraceData}}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace spec rejected: %v", err)
+	}
+	if n := tr.Normalize(); n.Trace.Digest != memtrace.Digest(goldenTraceData) {
+		t.Fatalf("normalize did not fill the trace digest: %q", n.Trace.Digest)
+	}
+	if err := (Spec{Workload: "trace", Cores: 8, Trace: &TraceSpec{Data: goldenTraceData}}).Validate(); err == nil {
+		t.Fatal("core-count mismatch unexpectedly validated")
+	}
+	corrupt := append([]byte(nil), goldenTraceData...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if err := (Spec{Workload: "trace", Cores: 2, Trace: &TraceSpec{Data: corrupt}}).Validate(); err == nil {
+		t.Fatal("corrupt trace unexpectedly validated")
+	}
+
+	// Sampling: defaults fill in, and the engine's constraints are
+	// mirrored at spec level.
+	n := Spec{Workload: "fft", SampleInterval: 5000}.Normalize()
+	if n.SampleDetailEvery == 0 || n.SampleConfidence == 0 {
+		t.Fatalf("sampling defaults not filled: %+v", n)
+	}
+	if err := (Spec{Workload: "fft", SampleInterval: 5000}).Validate(); err != nil {
+		t.Fatalf("valid sampled spec rejected: %v", err)
+	}
+	for _, bad := range []Spec{
+		{Workload: "fft", SampleInterval: 5000, Scheme: "s8"},
+		{Workload: "fft", SampleInterval: 5000, Parallel: true},
+		{Workload: "fft", SampleInterval: 5000, CheckpointInterval: 100},
+		{Workload: "fft", SampleInterval: 5000, TrackIntervals: []int64{100}},
+		{Workload: "fft", SampleConfidence: 0.5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("bad sampled spec unexpectedly validated: %+v", bad)
+		}
 	}
 }

@@ -1,0 +1,180 @@
+// Package synth generates deterministic synthetic workloads parameterized
+// by sharing pattern: Zipf-skewed hot lines, migratory lock-protected
+// counters, flag-based producer-consumer rings, and barrier-separated
+// phases. Every program is compiled through the isa.Builder against the
+// standard workload address layout, so both hosts, the checkpoint
+// machinery, and the fleet run synthetic specs unchanged. Generation is
+// seeded per (core, phase) from the spec seed alone; the same Config
+// always yields byte-identical programs, and Verify re-derives the
+// expected memory image from the same choices, making every pattern
+// functionally checkable under any slack scheme.
+package synth
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Pattern names. Mixed rotates through the three concrete patterns, one
+// per barrier phase.
+const (
+	PatternZipf      = "zipf"
+	PatternMigratory = "migratory"
+	PatternProdCons  = "prodcons"
+	PatternMixed     = "mixed"
+)
+
+// Config parameterizes the generator. It is embedded in specs (the /v1
+// API contract), so field names and JSON tags are stable.
+type Config struct {
+	// Seed drives every random choice; two configs differing only in
+	// Seed produce different programs with the same shape.
+	Seed int64 `json:"seed"`
+	// Pattern is zipf, migratory, prodcons, or mixed.
+	Pattern string `json:"pattern"`
+	// Ops is the number of memory operations (or ring items) per core
+	// per phase.
+	Ops int `json:"ops"`
+	// Phases is the number of barrier-separated phases.
+	Phases int `json:"phases"`
+	// HotLines is the number of logical shared-hot lines the zipf
+	// pattern spreads accesses over.
+	HotLines int `json:"hot_lines"`
+	// ZipfAlpha is the skew exponent; 0 is uniform, larger concentrates
+	// traffic on the hottest lines.
+	ZipfAlpha float64 `json:"zipf_alpha"`
+	// ReadPct is the percentage of zipf operations that are reads of a
+	// neighbor core's slot rather than read-modify-writes of the core's
+	// own slot.
+	ReadPct int `json:"read_pct"`
+	// Locks is the number of migratory lock/counter pairs.
+	Locks int `json:"locks"`
+	// RingSlots is the producer-consumer ring depth per core pair.
+	RingSlots int `json:"ring_slots"`
+}
+
+// Normalize fills defaults in place and returns the config.
+func (c *Config) Normalize() *Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Pattern == "" {
+		c.Pattern = PatternMixed
+	}
+	if c.Ops == 0 {
+		c.Ops = 64
+	}
+	if c.Phases == 0 {
+		c.Phases = 3
+	}
+	if c.HotLines == 0 {
+		c.HotLines = 16
+	}
+	if c.ZipfAlpha == 0 {
+		c.ZipfAlpha = 1.2
+	}
+	if c.ReadPct == 0 {
+		c.ReadPct = 40
+	}
+	if c.Locks == 0 {
+		c.Locks = 4
+	}
+	if c.RingSlots == 0 {
+		c.RingSlots = 4
+	}
+	return c
+}
+
+// Validate reports whether the config is generatable.
+func (c *Config) Validate() error {
+	switch c.Pattern {
+	case PatternZipf, PatternMigratory, PatternProdCons, PatternMixed:
+	default:
+		return fmt.Errorf("synth: unknown pattern %q (want zipf, migratory, prodcons, mixed)", c.Pattern)
+	}
+	if c.Ops < 1 || c.Ops > 1<<16 {
+		return fmt.Errorf("synth: ops=%d out of range [1, 65536]", c.Ops)
+	}
+	if c.Phases < 1 || c.Phases > 64 {
+		return fmt.Errorf("synth: phases=%d out of range [1, 64]", c.Phases)
+	}
+	if c.HotLines < 1 || c.HotLines > 1024 {
+		return fmt.Errorf("synth: hot_lines=%d out of range [1, 1024]", c.HotLines)
+	}
+	if c.ZipfAlpha < 0 || c.ZipfAlpha > 8 {
+		return fmt.Errorf("synth: zipf_alpha=%g out of range [0, 8]", c.ZipfAlpha)
+	}
+	if c.ReadPct < 0 || c.ReadPct > 100 {
+		return fmt.Errorf("synth: read_pct=%d out of range [0, 100]", c.ReadPct)
+	}
+	if c.Locks < 1 || c.Locks > 1024 {
+		return fmt.Errorf("synth: locks=%d out of range [1, 1024]", c.Locks)
+	}
+	if c.RingSlots < 1 || c.RingSlots > 256 {
+		return fmt.Errorf("synth: ring_slots=%d out of range [1, 256]", c.RingSlots)
+	}
+	return nil
+}
+
+// Canonical returns the config's canonical spec-key segment. It must stay
+// stable: content-addressed spec digests are built from it.
+func (c Config) Canonical() string {
+	return fmt.Sprintf("seed=%d|pattern=%s|ops=%d|phases=%d|hot=%d|alpha=%g|read=%d|locks=%d|ring=%d",
+		c.Seed, c.Pattern, c.Ops, c.Phases, c.HotLines, c.ZipfAlpha, c.ReadPct, c.Locks, c.RingSlots)
+}
+
+// Digest returns a short stable content digest of the config, used in
+// workload names (which key machine pooling and program reuse).
+func (c Config) Digest() string {
+	sum := sha256.Sum256([]byte(c.Canonical()))
+	return hex.EncodeToString(sum[:6])
+}
+
+// ParseConfig parses a comma-separated k=v list, e.g.
+// "pattern=zipf,ops=128,alpha=1.5,seed=7". Unset keys take defaults; the
+// result is normalized and validated.
+func ParseConfig(s string) (Config, error) {
+	var c Config
+	if s != "" && s != "default" {
+		for _, kv := range strings.Split(s, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return c, fmt.Errorf("synth: bad option %q (want k=v)", kv)
+			}
+			var err error
+			switch k {
+			case "seed":
+				c.Seed, err = strconv.ParseInt(v, 10, 64)
+			case "pattern":
+				c.Pattern = v
+			case "ops":
+				c.Ops, err = strconv.Atoi(v)
+			case "phases":
+				c.Phases, err = strconv.Atoi(v)
+			case "hot":
+				c.HotLines, err = strconv.Atoi(v)
+			case "alpha":
+				c.ZipfAlpha, err = strconv.ParseFloat(v, 64)
+			case "read":
+				c.ReadPct, err = strconv.Atoi(v)
+			case "locks":
+				c.Locks, err = strconv.Atoi(v)
+			case "ring":
+				c.RingSlots, err = strconv.Atoi(v)
+			default:
+				return c, fmt.Errorf("synth: unknown option %q (want seed, pattern, ops, phases, hot, alpha, read, locks, ring)", k)
+			}
+			if err != nil {
+				return c, fmt.Errorf("synth: option %s: %w", k, err)
+			}
+		}
+	}
+	c.Normalize()
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}

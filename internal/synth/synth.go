@@ -1,0 +1,390 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"slacksim/internal/isa"
+	"slacksim/internal/mem"
+	"slacksim/internal/workload"
+)
+
+// Region layout inside the standard workload address space. Each region
+// is 1 MiB; Programs checks the configured shapes fit.
+const (
+	zipfBase   = workload.SharedBase               // hot lines
+	migBase    = workload.SharedBase + 0x0010_0000 // migratory counters
+	pcBase     = workload.SharedBase + 0x0020_0000 // producer-consumer rings
+	resBase    = workload.SharedBase + 0x0030_0000 // consumer result words
+	regionSize = 0x0010_0000
+	lineSize   = 64
+	// pcStride is the footprint of one ring slot: a value line, a flag
+	// line, and an ack line, so the three words never share a line.
+	pcStride = 3 * lineSize
+)
+
+// Workload is a generated synthetic workload. It satisfies
+// workload.Workload and workload.Verifier.
+type Workload struct {
+	cfg Config
+
+	// cores remembers the machine size from the last Programs call so
+	// Verify checks exactly the state that ran (micro.go idiom).
+	cores int
+}
+
+// New builds a workload from cfg (normalized and validated).
+func New(cfg Config) (*Workload, error) {
+	cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workload{cfg: cfg}, nil
+}
+
+// Config returns the (normalized) generator config.
+func (w *Workload) Config() Config { return w.cfg }
+
+// Name implements Workload. The config digest is embedded so machine
+// pooling never reuses programs compiled for a different config.
+func (w *Workload) Name() string {
+	return fmt.Sprintf("synth-%s-%s", w.cfg.Pattern, w.cfg.Digest())
+}
+
+// InitMemory implements Workload; all regions start zeroed.
+func (w *Workload) InitMemory(m *mem.Memory) error { return w.cfg.Validate() }
+
+// phasePattern returns the concrete pattern phase p runs.
+func (c Config) phasePattern(p int) string {
+	if c.Pattern != PatternMixed {
+		return c.Pattern
+	}
+	switch p % 3 {
+	case 0:
+		return PatternZipf
+	case 1:
+		return PatternMigratory
+	default:
+		return PatternProdCons
+	}
+}
+
+// mix64 is the splitmix64 finalizer; it turns structured (seed, core,
+// phase) coordinates into well-spread PRNG seeds.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rngFor returns the spec-seeded PRNG for one (core, phase) cell. Both
+// program emission and Verify's expectation pass draw from identical
+// streams, which is what makes regeneration-based verification sound.
+func (c Config) rngFor(tid, phase int) *rand.Rand {
+	h := mix64(uint64(c.Seed)) ^ mix64(uint64(tid)<<20|uint64(phase)+0x5eed)
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// zipfSampler draws line ranks from a Zipf(alpha) distribution by inverse
+// CDF, valid for any alpha >= 0 (alpha 0 is uniform).
+type zipfSampler struct {
+	cum   []float64
+	total float64
+}
+
+func newZipfSampler(n int, alpha float64) *zipfSampler {
+	z := &zipfSampler{cum: make([]float64, n)}
+	for r := 0; r < n; r++ {
+		z.total += math.Pow(float64(r+1), -alpha)
+		z.cum[r] = z.total
+	}
+	return z
+}
+
+func (z *zipfSampler) sample(rng *rand.Rand) int {
+	u := rng.Float64() * z.total
+	for r, c := range z.cum {
+		if u < c {
+			return r
+		}
+	}
+	return len(z.cum) - 1
+}
+
+// Per-op choice records, shared verbatim between emission and Verify.
+type zipfOp struct {
+	line int
+	read bool
+}
+
+type migOp struct{ lock int }
+
+func (c Config) zipfOps(tid, phase int) []zipfOp {
+	rng := c.rngFor(tid, phase)
+	z := newZipfSampler(c.HotLines, c.ZipfAlpha)
+	ops := make([]zipfOp, c.Ops)
+	for i := range ops {
+		ops[i] = zipfOp{line: z.sample(rng), read: rng.Intn(100) < c.ReadPct}
+	}
+	return ops
+}
+
+func (c Config) migOps(tid, phase int) []migOp {
+	rng := c.rngFor(tid, phase)
+	ops := make([]migOp, c.Ops)
+	for i := range ops {
+		ops[i] = migOp{lock: rng.Intn(c.Locks)}
+	}
+	return ops
+}
+
+// pcValues returns the values pair k's producer pushes in one phase; the
+// stream is seeded from the producer core's (tid, phase) cell, so the
+// consumer's Verify expectation regenerates it exactly.
+func (c Config) pcValues(producerTid, phase int) []int64 {
+	rng := c.rngFor(producerTid, phase)
+	vals := make([]int64, c.Ops)
+	for i := range vals {
+		vals[i] = 1 + rng.Int63n(1<<16)
+	}
+	return vals
+}
+
+// Addresses. Zipf gives every core its own word slot inside each logical
+// hot line; with more than 8 cores a logical line becomes a group of
+// ceil(cores/8) physical lines so slots never collide.
+func zipfGroups(cores int) int { return (cores + 7) / 8 }
+
+func zipfSlotAddr(line, tid, cores int) uint64 {
+	phys := line*zipfGroups(cores) + tid/8
+	return zipfBase + uint64(phys)*lineSize + uint64(tid%8)*8
+}
+
+func migCounterAddr(lock int) uint64 { return migBase + uint64(lock)*lineSize }
+
+func pcSlotAddr(pair, slot, ringSlots int) (val, flag, ack uint64) {
+	base := pcBase + uint64(pair*ringSlots+slot)*pcStride
+	return base, base + lineSize, base + 2*lineSize
+}
+
+func resAddr(tid int) uint64 { return resBase + uint64(tid)*lineSize }
+
+func (c Config) checkShape(cores int) error {
+	if zipf := uint64(c.HotLines*zipfGroups(cores)) * lineSize; zipf > regionSize {
+		return fmt.Errorf("synth: %d hot lines x %d cores need %d bytes, region is %d", c.HotLines, cores, zipf, regionSize)
+	}
+	if pairs := cores / 2; uint64(pairs*c.RingSlots)*pcStride > regionSize {
+		return fmt.Errorf("synth: %d ring slots x %d pairs overflow the ring region", c.RingSlots, pairs)
+	}
+	return nil
+}
+
+// Programs implements Workload.
+func (w *Workload) Programs(numCores int) ([]*isa.Program, error) {
+	if numCores < 1 {
+		return nil, fmt.Errorf("synth: need at least one core")
+	}
+	if err := w.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.cfg.checkShape(numCores); err != nil {
+		return nil, err
+	}
+	w.cores = numCores
+	progs := make([]*isa.Program, numCores)
+	for tid := 0; tid < numCores; tid++ {
+		progs[tid] = w.program(tid, numCores)
+	}
+	return progs, nil
+}
+
+// Registers: 3-7 are per-op scratch; rSum survives the whole program so
+// a consumer's running total carries across mixed-pattern phases.
+const (
+	rAddr isa.Reg = 3
+	rTmp  isa.Reg = 4
+	rVal  isa.Reg = 5
+	rNeed isa.Reg = 6
+	rLock isa.Reg = 7
+	rSum  isa.Reg = 12
+)
+
+func (w *Workload) program(tid, cores int) *isa.Program {
+	c := w.cfg
+	b := isa.NewBuilder(fmt.Sprintf("%s.t%d", w.Name(), tid))
+	b.Li(rSum, 0)
+	// pcItem numbers ring items cumulatively across phases so a reused
+	// slot's flag/ack sequence numbers keep increasing — a fresh phase
+	// can never mistake a stale flag for its own item.
+	pcItem := 0
+	for phase := 0; phase < c.Phases; phase++ {
+		switch c.phasePattern(phase) {
+		case PatternZipf:
+			for _, op := range c.zipfOps(tid, phase) {
+				if op.read {
+					neighbor := (tid + 1) % cores
+					b.Li(rAddr, int64(zipfSlotAddr(op.line, neighbor, cores)))
+					b.Load(rTmp, rAddr, 0)
+				} else {
+					b.Li(rAddr, int64(zipfSlotAddr(op.line, tid, cores)))
+					b.Load(rTmp, rAddr, 0)
+					b.Addi(rTmp, rTmp, 1)
+					b.Store(rTmp, rAddr, 0)
+				}
+			}
+		case PatternMigratory:
+			for _, op := range c.migOps(tid, phase) {
+				b.Li(rLock, int64(workload.LockAddr(op.lock)))
+				b.Lock(rLock, 0)
+				b.Li(rAddr, int64(migCounterAddr(op.lock)))
+				b.Load(rTmp, rAddr, 0)
+				b.Addi(rTmp, rTmp, 1)
+				b.Store(rTmp, rAddr, 0)
+				b.Unlock(rLock, 0)
+			}
+		case PatternProdCons:
+			pcItem = w.emitProdCons(b, tid, cores, phase, pcItem)
+		}
+		b.Barrier(int64(phase))
+	}
+	b.Halt()
+	return b.MustProgram()
+}
+
+// emitProdCons emits one producer-consumer phase for core tid. Cores pair
+// up as (2k producer, 2k+1 consumer); an unpaired last core just waits at
+// the barrier. The protocol is flag-based: the producer writes the value,
+// then publishes sequence number g+1 in the slot's flag word; the
+// consumer spins on the flag, reads the value, and publishes g+1 in the
+// ack word, which the producer spins on before reusing the slot. Stores
+// commit in program order to the shared memory image, so the value is
+// always in place before the flag is observable — under any slack scheme.
+func (w *Workload) emitProdCons(b *isa.Builder, tid, cores, phase, itemBase int) int {
+	c := w.cfg
+	pair := tid / 2
+	if tid >= cores-cores%2 { // unpaired odd-count straggler
+		return itemBase + c.Ops
+	}
+	producer := tid%2 == 0
+	var vals []int64
+	if producer {
+		vals = c.pcValues(tid, phase)
+	}
+	for i := 0; i < c.Ops; i++ {
+		g := itemBase + i
+		val, flag, ack := pcSlotAddr(pair, g%c.RingSlots, c.RingSlots)
+		if producer {
+			if g >= c.RingSlots {
+				// Wait for the slot's previous occupant to be consumed.
+				b.Li(rAddr, int64(ack))
+				b.Li(rNeed, int64(g-c.RingSlots+1))
+				top := b.Here()
+				b.Load(rTmp, rAddr, 0)
+				b.Blt(rTmp, rNeed, top)
+			}
+			b.Li(rVal, vals[i])
+			b.Li(rAddr, int64(val))
+			b.Store(rVal, rAddr, 0)
+			b.Li(rVal, int64(g+1))
+			b.Li(rAddr, int64(flag))
+			b.Store(rVal, rAddr, 0)
+		} else {
+			b.Li(rAddr, int64(flag))
+			b.Li(rNeed, int64(g+1))
+			top := b.Here()
+			b.Load(rTmp, rAddr, 0)
+			b.Blt(rTmp, rNeed, top)
+			b.Li(rAddr, int64(val))
+			b.Load(rTmp, rAddr, 0)
+			b.Op3(isa.Add, rSum, rSum, rTmp)
+			b.Li(rVal, int64(g+1))
+			b.Li(rAddr, int64(ack))
+			b.Store(rVal, rAddr, 0)
+		}
+	}
+	if !producer {
+		b.Li(rAddr, int64(resAddr(tid)))
+		b.Store(rSum, rAddr, 0)
+	}
+	return itemBase + c.Ops
+}
+
+// expected is the functional reference: the memory image the run must
+// produce, derived by regenerating every random choice.
+type expected struct {
+	zipf  [][]int64 // [tid][line] increments to the core's own slot
+	locks []int64   // [lock] total increments
+	pcSum []int64   // [tid] consumer running totals (0 for non-consumers)
+}
+
+func (c Config) expected(cores int) expected {
+	e := expected{
+		zipf:  make([][]int64, cores),
+		locks: make([]int64, c.Locks),
+		pcSum: make([]int64, cores),
+	}
+	for tid := range e.zipf {
+		e.zipf[tid] = make([]int64, c.HotLines)
+	}
+	for phase := 0; phase < c.Phases; phase++ {
+		switch c.phasePattern(phase) {
+		case PatternZipf:
+			for tid := 0; tid < cores; tid++ {
+				for _, op := range c.zipfOps(tid, phase) {
+					if !op.read {
+						e.zipf[tid][op.line]++
+					}
+				}
+			}
+		case PatternMigratory:
+			for tid := 0; tid < cores; tid++ {
+				for _, op := range c.migOps(tid, phase) {
+					e.locks[op.lock]++
+				}
+			}
+		case PatternProdCons:
+			for pair := 0; pair < cores/2; pair++ {
+				for _, v := range c.pcValues(2*pair, phase) {
+					e.pcSum[2*pair+1] += v
+				}
+			}
+		}
+	}
+	return e
+}
+
+// Verify implements workload.Verifier for the machine size of the last
+// Programs call.
+func (w *Workload) Verify(m *mem.Memory) error {
+	n := w.cores
+	if n == 0 {
+		n = 8
+	}
+	return w.VerifyCores(m, n)
+}
+
+// VerifyCores checks the simulated memory image against the regenerated
+// functional reference for a numCores-machine run.
+func (w *Workload) VerifyCores(m *mem.Memory, numCores int) error {
+	c := w.cfg
+	e := c.expected(numCores)
+	for tid := 0; tid < numCores; tid++ {
+		for line := 0; line < c.HotLines; line++ {
+			addr := zipfSlotAddr(line, tid, numCores)
+			if got := int64(m.Read(addr)); got != e.zipf[tid][line] {
+				return fmt.Errorf("synth: zipf slot (core %d, line %d) = %d, want %d", tid, line, got, e.zipf[tid][line])
+			}
+		}
+		if got := int64(m.Read(resAddr(tid))); got != e.pcSum[tid] {
+			return fmt.Errorf("synth: consumer sum of core %d = %d, want %d", tid, got, e.pcSum[tid])
+		}
+	}
+	for lock := 0; lock < c.Locks; lock++ {
+		if got := int64(m.Read(migCounterAddr(lock))); got != e.locks[lock] {
+			return fmt.Errorf("synth: migratory counter %d = %d, want %d", lock, got, e.locks[lock])
+		}
+	}
+	return nil
+}

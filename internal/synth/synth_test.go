@@ -1,0 +1,224 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestParseConfig(t *testing.T) {
+	c, err := ParseConfig("pattern=zipf,ops=128,alpha=1.5,seed=7,hot=32,read=25,locks=8,ring=2,phases=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 7, Pattern: "zipf", Ops: 128, Phases: 4, HotLines: 32, ZipfAlpha: 1.5, ReadPct: 25, Locks: 8, RingSlots: 2}
+	if c != want {
+		t.Fatalf("ParseConfig = %+v, want %+v", c, want)
+	}
+	if _, err := ParseConfig("bogus=1"); err == nil {
+		t.Error("unknown key must error")
+	}
+	if _, err := ParseConfig("ops"); err == nil {
+		t.Error("missing = must error")
+	}
+	if _, err := ParseConfig("pattern=nope"); err == nil {
+		t.Error("unknown pattern must error")
+	}
+	if _, err := ParseConfig(""); err != nil {
+		t.Errorf("empty string must yield the default config: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Pattern: "x", Ops: 1, Phases: 1, HotLines: 1, Locks: 1, RingSlots: 1, Seed: 1, ZipfAlpha: 1, ReadPct: 1},
+		{Pattern: PatternZipf, Ops: 0, Phases: 1, HotLines: 1, Locks: 1, RingSlots: 1, Seed: 1, ZipfAlpha: 1, ReadPct: 1},
+		{Pattern: PatternZipf, Ops: 1, Phases: 1, HotLines: 2048, Locks: 1, RingSlots: 1, Seed: 1, ZipfAlpha: 1, ReadPct: 1},
+		{Pattern: PatternZipf, Ops: 1, Phases: 1, HotLines: 1, Locks: 1, RingSlots: 1, Seed: 1, ZipfAlpha: -1, ReadPct: 1},
+		{Pattern: PatternZipf, Ops: 1, Phases: 1, HotLines: 1, Locks: 1, RingSlots: 1, Seed: 1, ZipfAlpha: 1, ReadPct: 101},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: %+v must fail validation", i, c)
+		}
+	}
+	var def Config
+	def.Normalize()
+	if err := def.Validate(); err != nil {
+		t.Fatalf("normalized default invalid: %v", err)
+	}
+}
+
+func TestCanonicalAndDigestStable(t *testing.T) {
+	var c Config
+	c.Normalize()
+	const wantCanon = "seed=1|pattern=mixed|ops=64|phases=3|hot=16|alpha=1.2|read=40|locks=4|ring=4"
+	if got := c.Canonical(); got != wantCanon {
+		t.Fatalf("Canonical() = %q, want %q (spec digests depend on this)", got, wantCanon)
+	}
+	if got := c.Digest(); got != c.Digest() || len(got) != 12 {
+		t.Fatalf("Digest() unstable or wrong length: %q", got)
+	}
+	c2 := c
+	c2.Seed = 2
+	if c2.Digest() == c.Digest() {
+		t.Fatal("different seeds must digest differently")
+	}
+}
+
+func TestProgramsDeterministic(t *testing.T) {
+	for _, pattern := range []string{PatternZipf, PatternMigratory, PatternProdCons, PatternMixed} {
+		cfg := Config{Pattern: pattern, Seed: 42}
+		w1, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, _ := New(cfg)
+		for _, cores := range []int{1, 2, 5, 8, 16} {
+			p1, err := w1.Programs(cores)
+			if err != nil {
+				t.Fatalf("%s/%d cores: %v", pattern, cores, err)
+			}
+			p2, _ := w2.Programs(cores)
+			for tid := range p1 {
+				a, b := p1[tid].Insts, p2[tid].Insts
+				if len(a) != len(b) {
+					t.Fatalf("%s/%d cores: core %d program lengths differ", pattern, cores, tid)
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("%s/%d cores: core %d inst %d differs: %+v vs %+v", pattern, cores, tid, i, a[i], b[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSeedChangesPrograms(t *testing.T) {
+	w1, _ := New(Config{Pattern: PatternZipf, Seed: 1})
+	w2, _ := New(Config{Pattern: PatternZipf, Seed: 2})
+	p1, err1 := w1.Programs(4)
+	p2, err2 := w2.Programs(4)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	same := true
+	for tid := range p1 {
+		if len(p1[tid].Insts) != len(p2[tid].Insts) {
+			same = false
+			break
+		}
+		for i := range p1[tid].Insts {
+			if p1[tid].Insts[i] != p2[tid].Insts[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+func TestNamesEmbedConfig(t *testing.T) {
+	w1, _ := New(Config{Pattern: PatternZipf, Seed: 1})
+	w2, _ := New(Config{Pattern: PatternZipf, Seed: 2})
+	if w1.Name() == w2.Name() {
+		t.Fatal("names must differ per config (machine pooling keys program reuse on the name)")
+	}
+}
+
+func TestZipfSamplerSkewAndRange(t *testing.T) {
+	cfg := Config{Pattern: PatternZipf, Seed: 9, Ops: 2000, HotLines: 8, ZipfAlpha: 1.5}
+	cfg.Normalize()
+	counts := make([]int, cfg.HotLines)
+	for _, op := range cfg.zipfOps(0, 0) {
+		if op.line < 0 || op.line >= cfg.HotLines {
+			t.Fatalf("line %d out of range", op.line)
+		}
+		counts[op.line]++
+	}
+	if counts[0] <= counts[cfg.HotLines-1] {
+		t.Fatalf("alpha=1.5 must skew to low ranks: counts=%v", counts)
+	}
+	// Uniform (alpha=0) must still cover the range.
+	uni := cfg
+	uni.ZipfAlpha = 0
+	hit := 0
+	ucounts := make([]int, uni.HotLines)
+	for _, op := range uni.zipfOps(0, 0) {
+		ucounts[op.line]++
+	}
+	for _, n := range ucounts {
+		if n > 0 {
+			hit++
+		}
+	}
+	if hit < uni.HotLines {
+		t.Fatalf("alpha=0 should touch every line over %d ops: %v", uni.Ops, ucounts)
+	}
+}
+
+func TestExpectedConservation(t *testing.T) {
+	// Totals must be conserved: migratory counters sum to cores*ops per
+	// migratory phase; zipf increments sum to the number of write ops.
+	cfg := Config{Pattern: PatternMixed, Seed: 3, Phases: 6}
+	cfg.Normalize()
+	cfg.Phases = 6
+	const cores = 4
+	e := cfg.expected(cores)
+	var lockTotal int64
+	for _, n := range e.locks {
+		lockTotal += n
+	}
+	migPhases := 0
+	for p := 0; p < cfg.Phases; p++ {
+		if cfg.phasePattern(p) == PatternMigratory {
+			migPhases++
+		}
+	}
+	if want := int64(migPhases * cores * cfg.Ops); lockTotal != want {
+		t.Fatalf("lock increments total %d, want %d", lockTotal, want)
+	}
+	for pair := 0; pair < cores/2; pair++ {
+		if e.pcSum[2*pair] != 0 {
+			t.Errorf("producer %d must have zero consumer sum", 2*pair)
+		}
+		if e.pcSum[2*pair+1] <= 0 {
+			t.Errorf("consumer %d sum must be positive", 2*pair+1)
+		}
+	}
+}
+
+func TestCheckShapeRejectsOverflow(t *testing.T) {
+	w, _ := New(Config{Pattern: PatternZipf, HotLines: 1024})
+	if _, err := w.Programs(1024); err == nil {
+		t.Fatal("1024 hot lines x 1024 cores must overflow the region")
+	}
+	if _, err := w.Programs(8); err != nil {
+		t.Fatalf("1024 hot lines x 8 cores must fit: %v", err)
+	}
+}
+
+func TestPhasePatternRotation(t *testing.T) {
+	c := Config{Pattern: PatternMixed}
+	want := []string{PatternZipf, PatternMigratory, PatternProdCons, PatternZipf}
+	for p, wp := range want {
+		if got := c.phasePattern(p); got != wp {
+			t.Errorf("mixed phase %d = %s, want %s", p, got, wp)
+		}
+	}
+	for _, fixed := range []string{PatternZipf, PatternMigratory, PatternProdCons} {
+		c := Config{Pattern: fixed}
+		for p := 0; p < 4; p++ {
+			if c.phasePattern(p) != fixed {
+				t.Errorf("%s must not rotate", fixed)
+			}
+		}
+	}
+}
+
+func ExampleParseConfig() {
+	c, _ := ParseConfig("pattern=zipf,seed=7")
+	fmt.Println(c.Pattern, c.Seed)
+	// Output: zipf 7
+}

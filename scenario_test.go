@@ -1,0 +1,217 @@
+package slacksim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"slacksim/internal/memtrace"
+	"slacksim/internal/synth"
+)
+
+// runScenario runs one config to completion, verifies its functional
+// result, and returns the Results.
+func runScenario(t *testing.T, cfg Config) Results {
+	t.Helper()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Verify(); err != nil {
+		t.Fatalf("functional check: %v", err)
+	}
+	return res
+}
+
+// canonicalResults renders Results with the host-side fields zeroed: the
+// host name, wall clock, host work units and suspension count describe
+// the simulating host, not the simulated machine, and legitimately
+// differ between the deterministic and parallel hosts. Everything else —
+// cycles, instructions, per-core stats, violation counts, sampling
+// reports — must be byte-identical for runs that claim cross-host
+// equivalence.
+func canonicalResults(t *testing.T, r Results) string {
+	t.Helper()
+	r.Host = ""
+	r.WallClock = 0
+	r.HostWorkUnits = 0
+	r.Suspensions = 0
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestSynthCrossHostIdentical: a race-free synth pattern (Zipf-skewed
+// hot lines synchronize only at barriers) produces byte-identical
+// Results on the deterministic and parallel hosts under CC — the
+// engine's strongest cross-host check, extended to generated workloads.
+func TestSynthCrossHostIdentical(t *testing.T) {
+	sc := synth.Config{Pattern: synth.PatternZipf, Ops: 48, Phases: 3}
+	det := runScenario(t, Config{Workload: "synth", Synth: &sc, Cores: 4, Seed: 1})
+	par := runScenario(t, Config{Workload: "synth", Synth: &sc, Cores: 4, Parallel: true})
+	if d, p := canonicalResults(t, det), canonicalResults(t, par); d != p {
+		t.Errorf("zipf synth differs across hosts:\ndet %s\npar %s", d, p)
+	}
+}
+
+// TestSynthPatternsBothHostsAllSchemes: every generator pattern runs and
+// verifies on both hosts, and under slack schemes that reorder the
+// interleaving — the generated programs must be functionally correct
+// under any slack, like every hand-written workload.
+func TestSynthPatternsBothHostsAllSchemes(t *testing.T) {
+	for _, pat := range []string{
+		synth.PatternZipf, synth.PatternMigratory, synth.PatternProdCons, synth.PatternMixed,
+	} {
+		sc := synth.Config{Pattern: pat, Ops: 24, Phases: 2}
+		for _, parallel := range []bool{false, true} {
+			runScenario(t, Config{
+				Workload: "synth", Synth: &sc, Cores: 4,
+				Scheme: Schemes.Bounded(8), Parallel: parallel, Seed: 2,
+			})
+		}
+		runScenario(t, Config{
+			Workload: "synth", Synth: &sc, Cores: 4, Scheme: Schemes.Unbounded(), Seed: 3,
+		})
+	}
+}
+
+// record runs a config with a recorder attached and returns the encoded
+// trace alongside the run's Results.
+func record(t *testing.T, cfg Config) ([]byte, Results) {
+	t.Helper()
+	rec := memtrace.NewRecorder(cfg.Cores, cfg.Workload)
+	cfg.MemRecorder = rec
+	res := runScenario(t, cfg)
+	data, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, res
+}
+
+// TestRecordCrossHostIdenticalTrace: recording the same race-free CC run
+// on each host captures byte-identical trace files — the recorder sits
+// at architectural retire, so the stream is a property of the simulated
+// machine, not of which host simulated it.
+func TestRecordCrossHostIdenticalTrace(t *testing.T) {
+	sc := synth.Config{Pattern: synth.PatternZipf, Ops: 48, Phases: 3}
+	base := Config{Workload: "synth", Synth: &sc, Cores: 4, Seed: 1}
+
+	detTrace, _ := record(t, base)
+	parCfg := base
+	parCfg.Parallel = true
+	parTrace, _ := record(t, parCfg)
+
+	if !bytes.Equal(detTrace, parTrace) {
+		t.Errorf("trace bytes differ across hosts: det %d bytes (digest %s), par %d bytes (digest %s)",
+			len(detTrace), memtrace.Digest(detTrace)[:12],
+			len(parTrace), memtrace.Digest(parTrace)[:12])
+	}
+}
+
+// TestReplayCrossHostIdentical: a trace recorded from a lock-heavy run
+// (whose own timing is host-dependent) replays with byte-identical
+// Results on both hosts — replay programs are straight-line, so the
+// race-free CC invariant applies to them no matter what was recorded.
+func TestReplayCrossHostIdentical(t *testing.T) {
+	sc := synth.Config{Pattern: synth.PatternMixed, Ops: 32, Phases: 3}
+	data, orig := record(t, Config{Workload: "synth", Synth: &sc, Cores: 4, Seed: 1})
+
+	tr, err := memtrace.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalEvents() == 0 || uint64(tr.TotalEvents()) > orig.Committed {
+		t.Fatalf("trace has %d events for %d committed instructions", tr.TotalEvents(), orig.Committed)
+	}
+
+	det := runScenario(t, Config{Workload: "trace", TraceData: data, Cores: 4, Seed: 5})
+	par := runScenario(t, Config{Workload: "trace", TraceData: data, Cores: 4, Parallel: true})
+	if d, p := canonicalResults(t, det), canonicalResults(t, par); d != p {
+		t.Errorf("replay differs across hosts:\ndet %s\npar %s", d, p)
+	}
+}
+
+// TestRecordThroughRollback: recording a speculative run must not leak
+// squashed work into the trace — the recorder's checkpoint/rollback
+// hooks truncate each core's stream back to the last checkpoint. The
+// recovered trace then replays byte-identically on both hosts.
+func TestRecordThroughRollback(t *testing.T) {
+	data, res := record(t, Config{
+		Workload:           "falseshare",
+		Cores:              4,
+		Scheme:             Schemes.Bounded(32),
+		Seed:               3,
+		CheckpointInterval: 500,
+		Rollback:           true,
+	})
+	if res.Rollbacks == 0 {
+		t.Fatal("speculative falseshare run took no rollbacks; the test exercises nothing")
+	}
+	tr, err := memtrace.Decode(data)
+	if err != nil {
+		t.Fatalf("trace recorded through rollback does not decode: %v", err)
+	}
+	// Every surviving event was committed on the winning timeline; the
+	// squashed replays must not inflate the stream beyond what the run
+	// reports as committed.
+	if uint64(tr.TotalEvents()) > res.Committed {
+		t.Fatalf("trace has %d events but only %d instructions survived commit",
+			tr.TotalEvents(), res.Committed)
+	}
+
+	det := runScenario(t, Config{Workload: "trace", TraceData: data, Cores: 4, Seed: 9})
+	par := runScenario(t, Config{Workload: "trace", TraceData: data, Cores: 4, Parallel: true})
+	if d, p := canonicalResults(t, det), canonicalResults(t, par); d != p {
+		t.Errorf("rollback-recorded replay differs across hosts:\ndet %s\npar %s", d, p)
+	}
+}
+
+// TestSampledWithinBounds: for each SPLASH-2 kernel, an interval-sampled
+// run's estimated cycle count must fall within its own stated confidence
+// bound of the full-detail CC run — the acceptance bar for the sampling
+// estimator. Both runs are deterministic, so this is a fixed property of
+// the estimator on these kernels, not a flaky statistical assertion.
+func TestSampledWithinBounds(t *testing.T) {
+	plan := SamplingPlan{IntervalInsts: 2000, DetailEvery: 4, Confidence: 0.95}
+	for _, wl := range []string{"fft", "lu", "barnes", "water"} {
+		full := runScenario(t, Config{Workload: wl, Cores: 8, Seed: 1})
+		sampled := runScenario(t, Config{Workload: wl, Cores: 8, Seed: 1, Sampling: &plan})
+		rep := sampled.Sampling
+		if rep == nil {
+			t.Fatalf("%s: sampled run reported no estimate", wl)
+		}
+		if rep.Intervals <= rep.DetailedIntervals {
+			t.Errorf("%s: nothing was fast-forwarded (%d intervals, %d detailed)",
+				wl, rep.Intervals, rep.DetailedIntervals)
+		}
+		if !rep.Within(full.Cycles) {
+			t.Errorf("%s: true cycles %d outside stated bound: estimate %.0f ± %.0f",
+				wl, full.Cycles, rep.EstimatedCycles, rep.HalfWidth)
+		}
+		if sampled.Committed != full.Committed {
+			t.Errorf("%s: sampled run committed %d instructions, full run %d — fast-forward must not skip work",
+				wl, sampled.Committed, full.Committed)
+		}
+	}
+}
+
+// TestSampledRunVerifies: fast-forwarded intervals still execute every
+// instruction functionally, so a sampled run passes the workload's own
+// functional check (runScenario asserts it) and reports host work
+// savings over full detail.
+func TestSampledRunVerifies(t *testing.T) {
+	plan := SamplingPlan{IntervalInsts: 2000, DetailEvery: 4}
+	full := runScenario(t, Config{Workload: "fft", Cores: 8, Seed: 1})
+	sampled := runScenario(t, Config{Workload: "fft", Cores: 8, Seed: 1, Sampling: &plan})
+	if sampled.HostWorkUnits >= full.HostWorkUnits {
+		t.Errorf("sampling saved no host work: %.0f sampled vs %.0f full",
+			sampled.HostWorkUnits, full.HostWorkUnits)
+	}
+}

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# scenario_smoke.sh — end-to-end smoke for the scenario engine.
+#
+# Drives the full generate → record → replay → sample loop through the
+# slacksim CLI and a slacksimd instance:
+#
+#   1. generate a synthetic workload and record its memory trace on the
+#      deterministic host, then record the same spec on the parallel
+#      host — the two trace files must be byte-identical;
+#   2. replay the trace on both hosts — Results (host fields excepted)
+#      must be byte-identical;
+#   3. submit the same synth spec to slacksimd twice — the second
+#      submission must be served from the result cache (digest-stable
+#      spec keys) and match the in-process run;
+#   4. run a sampled simulation and check it reports an estimate with a
+#      finite confidence bound.
+#
+# CI's scenario-smoke job runs exactly this script; it also works
+# locally:
+#
+#   scripts/scenario_smoke.sh         # builds, runs, cleans up
+#
+# Requires curl and jq. Exits non-zero on the first broken invariant.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr="127.0.0.1:8094"
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/slacksim" ./cmd/slacksim
+go build -o "$work/slacksimd" ./cmd/slacksimd
+
+# Canonical form of one run's results: everything except the host-side
+# fields, which legitimately differ between hosts and between runs.
+canon() {
+  jq -S 'del(.wall_clock_ns, .host, .host_work_units, .suspensions)'
+}
+
+synth="pattern=zipf,ops=64,phases=3,seed=5"
+
+echo "== generate + record on both hosts: trace files must be byte-identical"
+"$work/slacksim" -synth "$synth" -cores 4 -record "$work/det.trc" -json \
+  > "$work/synth_det.json" 2> /dev/null
+"$work/slacksim" -synth "$synth" -cores 4 -parallel -record "$work/par.trc" -json \
+  > "$work/synth_par.json" 2> /dev/null
+cmp "$work/det.trc" "$work/par.trc" \
+  || { echo "FAIL: recorded traces differ across hosts" >&2; exit 1; }
+canon < "$work/synth_det.json" > "$work/synth_det.canon"
+canon < "$work/synth_par.json" > "$work/synth_par.canon"
+diff -u "$work/synth_det.canon" "$work/synth_par.canon" \
+  || { echo "FAIL: synth results differ across hosts" >&2; exit 1; }
+echo "   trace: $(wc -c < "$work/det.trc") bytes, identical on both hosts"
+
+echo "== replay the trace on both hosts: results must be byte-identical"
+"$work/slacksim" -replay "$work/det.trc" -cores 4 -json 2> /dev/null \
+  | canon > "$work/replay_det.canon"
+"$work/slacksim" -replay "$work/det.trc" -cores 4 -parallel -json 2> /dev/null \
+  | canon > "$work/replay_par.canon"
+diff -u "$work/replay_det.canon" "$work/replay_par.canon" \
+  || { echo "FAIL: replayed results differ across hosts" >&2; exit 1; }
+
+echo "== synth spec through slacksimd: digest-stable key, cache hit, same results"
+"$work/slacksimd" -addr "$addr" -queue 8 -workers 1 &
+pid=$!
+for i in $(seq 1 150); do
+  curl -sf "$addr/v1/healthz" > /dev/null && break
+  sleep 0.2
+done
+curl -sf "$addr/v1/healthz" > /dev/null \
+  || { echo "FAIL: daemon at $addr never became healthy" >&2; exit 1; }
+
+spec='{"workload":"synth","cores":4,"synth":{"pattern":"zipf","ops":64,"phases":3,"seed":5}}'
+id=$(curl -sf "$addr/v1/jobs" -d "$spec" | jq -r .id)
+for i in $(seq 1 300); do
+  state=$(curl -sf "$addr/v1/jobs/$id" | jq -r .state)
+  [ "$state" = done ] && break
+  [ "$state" = failed ] && { echo "FAIL: synth job failed" >&2; exit 1; }
+  sleep 0.2
+done
+curl -sf "$addr/v1/jobs/$id" | jq .result | canon > "$work/service.canon"
+diff -u "$work/synth_det.canon" "$work/service.canon" \
+  || { echo "FAIL: service-run synth differs from the in-process run" >&2; exit 1; }
+
+again=$(curl -sf "$addr/v1/jobs" -d "$spec")
+echo "$again" | jq -e '.cached == true and .state == "done"' > /dev/null \
+  || { echo "FAIL: identical synth spec was not served from the cache: $again" >&2; exit 1; }
+
+kill -TERM "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "== sampled run reports an estimate with a finite bound"
+"$work/slacksim" -workload fft -sample-interval 2000 -sample-every 4 -json 2> /dev/null \
+  > "$work/sampled.json"
+jq -e '.sampling.estimated_cycles > 0 and .sampling.half_width >= 0 and .sampling.intervals > .sampling.detailed_intervals' \
+  "$work/sampled.json" > /dev/null \
+  || { echo "FAIL: sampled run missing a usable estimate: $(jq .sampling "$work/sampled.json")" >&2; exit 1; }
+
+echo "PASS: scenario smoke"

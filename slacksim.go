@@ -30,6 +30,9 @@ import (
 
 	"slacksim/internal/adaptive"
 	"slacksim/internal/engine"
+	"slacksim/internal/memtrace"
+	"slacksim/internal/sampling"
+	"slacksim/internal/synth"
 	"slacksim/internal/trace"
 	"slacksim/internal/violation"
 	"slacksim/internal/workload"
@@ -54,6 +57,17 @@ type IntervalReport = violation.IntervalReport
 // Progress is a monotone snapshot of a run's forward motion, delivered
 // through Config.OnProgress (see engine.Progress).
 type Progress = engine.Progress
+
+// SynthConfig parameterizes the synthetic workload generator (see
+// internal/synth) for Config.Workload = "synth".
+type SynthConfig = synth.Config
+
+// SamplingPlan configures interval sampling for Config.Sampling.
+type SamplingPlan = sampling.Plan
+
+// SamplingReport is the interval-sampling estimate attached to
+// Results.Sampling: estimated cycles with a confidence bound.
+type SamplingReport = sampling.Report
 
 // StallError is the structured no-forward-progress failure returned by
 // parallel runs whose stall watchdog fired.
@@ -114,12 +128,30 @@ var Schemes = struct {
 type Config struct {
 	// Cores is the number of target cores (default 8, the paper's CMP).
 	Cores int
-	// Workload names a built-in benchmark: "fft", "lu", "barnes",
-	// "water", "falseshare", or "private".
+	// Workload names a built-in benchmark ("fft", "lu", "barnes",
+	// "water", "falseshare", "private", ...), or one of the scenario
+	// kinds: "synth" (requires Synth) and "trace" (requires TraceData).
 	Workload string
 	// Scale multiplies the workload's input size (default 1, the quick
 	// size; larger scales approach the paper's inputs).
 	Scale int
+	// Synth parameterizes the synthetic workload generator; used when
+	// Workload is "synth".
+	Synth *synth.Config
+	// TraceData is an encoded memory trace (internal/memtrace format) to
+	// replay; used when Workload is "trace". The machine must have the
+	// trace's core count.
+	TraceData []byte
+	// Sampling, when non-nil, enables interval sampling: detailed
+	// intervals under cycle-accurate CC pacing, fast-forward through
+	// warmed functional mode for the rest, and an estimated cycle count
+	// with a confidence bound in Results.Sampling. Deterministic host
+	// with the cc scheme only.
+	Sampling *sampling.Plan
+	// MemRecorder, when non-nil, captures every core's architectural
+	// retire stream during the run (use memtrace.NewRecorder); encode it
+	// afterwards to obtain a replayable trace.
+	MemRecorder engine.MemRecorder
 	// Scheme is the slack scheme (default cycle-by-cycle).
 	Scheme Scheme
 	// MaxInstructions stops the run after this many total committed
@@ -199,14 +231,33 @@ func New(cfg Config) (*Simulation, error) {
 	if cfg.Cores == 0 {
 		cfg.Cores = 8
 	}
-	if cfg.Workload == "" {
-		return nil, fmt.Errorf("slacksim: Config.Workload is required")
-	}
-	w, err := workload.ByName(cfg.Workload, cfg.Scale)
+	w, err := buildWorkload(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return NewWithWorkload(cfg, w)
+}
+
+// buildWorkload resolves cfg's workload: a scenario kind ("synth",
+// "trace") or a registry benchmark.
+func buildWorkload(cfg Config) (workload.Workload, error) {
+	switch cfg.Workload {
+	case "":
+		return nil, fmt.Errorf("slacksim: Config.Workload is required")
+	case "synth":
+		var sc synth.Config
+		if cfg.Synth != nil {
+			sc = *cfg.Synth
+		}
+		return synth.New(sc)
+	case "trace":
+		if len(cfg.TraceData) == 0 {
+			return nil, fmt.Errorf("slacksim: workload \"trace\" requires Config.TraceData")
+		}
+		return memtrace.NewReplay(cfg.TraceData)
+	default:
+		return workload.ByName(cfg.Workload, cfg.Scale)
+	}
 }
 
 // machinePool recycles released machines across Simulations: a machine
@@ -243,6 +294,8 @@ func NewWithWorkload(cfg Config, w workload.Workload) (*Simulation, error) {
 		StallTimeout:       cfg.StallTimeout,
 		SnapshotRequest:    cfg.SnapshotRequest,
 		OnSnapshot:         cfg.OnSnapshot,
+		Sampling:           cfg.Sampling,
+		MemRecorder:        cfg.MemRecorder,
 	}
 	if cfg.MapViolationsOnly {
 		rc.Selected = []violation.Type{violation.Map}
