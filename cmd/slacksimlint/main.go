@@ -8,6 +8,14 @@
 //
 // Exit status: 0 clean, 1 findings, 2 operational error.
 //
+// Inventory (-allows): run the full suite, then list every //lint:allow
+// directive with its position, analyzers, and reason. Directives that
+// suppressed nothing are tagged UNUSED and directives without a reason
+// NO REASON; either makes the exit status 1, so the waiver inventory is
+// a CI gate against stale or unjustified escapes.
+//
+// -list prints the analyzer suite (name and first doc sentence).
+//
 // Vet tool: when invoked by the go command as a vet backend
 // (`go vet -vettool=$(pwd)/bin/slacksimlint ./...`), it speaks the
 // unitchecker protocol — -V=full for the tool ID, -flags for the
@@ -73,12 +81,24 @@ func printVersion() {
 func standalone(args []string) int {
 	fs := flag.NewFlagSet("slacksimlint", flag.ContinueOnError)
 	only := fs.String("only", "", "comma-separated analyzer subset (default: all)")
+	allows := fs.Bool("allows", false, "inventory //lint:allow directives instead of printing findings")
+	list := fs.Bool("list", false, "list the analyzer suite and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: slacksimlint [-only a,b] [module-dir]")
+		fmt.Fprintln(fs.Output(), "usage: slacksimlint [-only a,b] [-allows] [-list] [module-dir]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			doc := a.Doc
+			if i := strings.Index(doc, "."); i >= 0 {
+				doc = doc[:i+1]
+			}
+			fmt.Printf("%-14s %s\n", a.Name, strings.Join(strings.Fields(doc), " "))
+		}
+		return 0
 	}
 	dir := "."
 	if fs.NArg() > 0 {
@@ -113,12 +133,50 @@ func standalone(args []string) int {
 			return 2
 		}
 		for _, f := range findings {
+			if *allows {
+				continue // inventory mode runs the suite only to observe usage
+			}
 			total++
 			fmt.Println(f)
 		}
 	}
+	if *allows {
+		return printAllowInventory(pkgs)
+	}
 	if total > 0 {
 		fmt.Fprintf(os.Stderr, "slacksimlint: %d finding(s)\n", total)
+		return 1
+	}
+	return 0
+}
+
+// printAllowInventory lists every //lint:allow directive with its usage,
+// observed from the suite run that just completed. Stale (UNUSED) or
+// unjustified (NO REASON) directives fail the audit.
+func printAllowInventory(pkgs []*lint.Package) int {
+	if len(pkgs) == 0 {
+		return 0
+	}
+	bad := 0
+	for _, info := range pkgs[0].Program().AllowInventory() {
+		var tags []string
+		if !info.Used {
+			tags = append(tags, "UNUSED")
+		}
+		if info.Reason == "" {
+			tags = append(tags, "NO REASON")
+		}
+		tag := ""
+		if len(tags) > 0 {
+			bad++
+			tag = "  [" + strings.Join(tags, ", ") + "]"
+		}
+		fmt.Printf("%s:%d: %s -- %s%s\n",
+			info.Position.Filename, info.Position.Line,
+			strings.Join(info.Analyzers, ","), info.Reason, tag)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "slacksimlint: %d stale or unjustified //lint:allow directive(s)\n", bad)
 		return 1
 	}
 	return 0

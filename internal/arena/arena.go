@@ -33,6 +33,7 @@ func NewSlab[T any](blockSize int) *Slab[T] {
 // Get returns a zeroed object, recycling a freed one when available.
 //
 //slacksim:hotpath
+//slacksim:pooled
 func (s *Slab[T]) Get() *T {
 	if n := len(s.free); n > 0 {
 		p := s.free[n-1]
@@ -110,6 +111,7 @@ func (a *Slices[T]) Width() int { return a.width }
 // when available.
 //
 //slacksim:hotpath
+//slacksim:pooled
 func (a *Slices[T]) Get() []T {
 	if n := len(a.free); n > 0 {
 		s := a.free[n-1]

@@ -290,7 +290,7 @@ func (c *Cache) Restore(snap *Cache) {
 func (c *Cache) StartTracking() {
 	c.track = true
 	if c.dirty == nil {
-		c.dirty = make([]bool, len(c.sets))
+		c.dirty = make([]bool, len(c.sets)) //lint:allow hotpathalloc -- one-time tracking warm-up; cleared and reused thereafter
 	}
 	c.clearDirty()
 }

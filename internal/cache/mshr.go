@@ -161,7 +161,8 @@ func (f *MSHRFile) Restore(snap *MSHRFile) {
 			// Revive a parked slot, keeping its waiter backing.
 			f.entries = f.entries[:len(f.entries)+1]
 		} else {
-			f.entries = append(f.entries, MSHR{}) //lint:allow hotpathalloc -- grows only past the file's high-water entry count, then reused
+			// Grows only past the file's high-water entry count, then reused.
+			f.entries = append(f.entries, MSHR{})
 		}
 	}
 	for i := n; i < len(f.entries); i++ {

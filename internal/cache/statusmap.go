@@ -55,6 +55,7 @@ func NewStatusMap(numCores int) *StatusMap {
 // newEntry carves a fresh entry (with its state vector) from the arenas.
 //
 //slacksim:hotpath
+//slacksim:pooled
 func (m *StatusMap) newEntry() *mapEntry {
 	e := m.entries.Get()
 	e.states = m.states.Get()
@@ -72,7 +73,11 @@ func (m *StatusMap) freeEntry(e *mapEntry) {
 // NumCores returns the number of tracked caches.
 func (m *StatusMap) NumCores() int { return m.numCores }
 
+// entry returns the (pool-owned) map entry for lineAddr, carving a new
+// one on first touch.
+//
 //slacksim:hotpath
+//slacksim:pooled
 func (m *StatusMap) entry(lineAddr uint64) *mapEntry {
 	e := m.lines[lineAddr]
 	if e == nil {

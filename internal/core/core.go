@@ -148,6 +148,7 @@ type Core struct {
 }
 
 //slacksim:hotpath
+//slacksim:pooled
 func (c *Core) allocEntry() *robEntry {
 	if n := len(c.freeList); n > 0 {
 		e := c.freeList[n-1]

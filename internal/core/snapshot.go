@@ -81,9 +81,9 @@ func (c *Core) SnapshotInto(s *Snapshot) {
 	}
 	s.fetchBuf = append(s.fetchBuf[:0], c.fetchBuf...)
 	if s.l1i == nil {
-		s.l1i, s.l1d = c.l1i.Snapshot(), c.l1d.Snapshot()
-		s.imshr, s.dmshr = c.imshr.Snapshot(), c.dmshr.Snapshot()
-		s.pred = c.pred.Snapshot()
+		s.l1i, s.l1d = c.l1i.Snapshot(), c.l1d.Snapshot()         //lint:allow hotpathalloc -- one-time pool warm-up; later boundaries reuse the caches in place
+		s.imshr, s.dmshr = c.imshr.Snapshot(), c.dmshr.Snapshot() //lint:allow hotpathalloc -- one-time pool warm-up; see above
+		s.pred = c.pred.Snapshot()                                //lint:allow hotpathalloc -- one-time pool warm-up; see above
 		return
 	}
 	c.l1i.SnapshotInto(s.l1i)

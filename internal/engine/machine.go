@@ -159,20 +159,26 @@ func (m *Machine) WorkloadName() string { return m.wkName }
 // SnapshotInto/SyncSnapshot methods.
 func (m *Machine) snapGraph() *globalSnapshot {
 	if m.snapPool == nil {
-		s := &globalSnapshot{
-			mem:  mem.New(),
-			sync: syncctl.New(m.cfg.NumCores),
-			det:  violation.NewDetector(),
-			unc:  &uncore.Snapshot{},
-			inQs: make([][]event.Msg, m.cfg.NumCores),
-			outs: make([][]event.Request, m.cfg.NumCores),
-		}
-		for range m.cores {
-			s.cores = append(s.cores, &core.Snapshot{})
-		}
-		m.snapPool = s
+		m.snapPool = m.newSnapGraph() //lint:allow hotpathalloc -- one-time pool warm-up; every later boundary overwrites the graph in place
 	}
 	return m.snapPool
+}
+
+// newSnapGraph builds the pooled snapshot graph: the one-time warm-up
+// allocation behind snapGraph.
+func (m *Machine) newSnapGraph() *globalSnapshot {
+	s := &globalSnapshot{
+		mem:  mem.New(),
+		sync: syncctl.New(m.cfg.NumCores),
+		det:  violation.NewDetector(),
+		unc:  &uncore.Snapshot{},
+		inQs: make([][]event.Msg, m.cfg.NumCores),
+		outs: make([][]event.Request, m.cfg.NumCores),
+	}
+	for range m.cores {
+		s.cores = append(s.cores, &core.Snapshot{})
+	}
+	return s
 }
 
 // startTracking enables dirty tracking in every component for incremental

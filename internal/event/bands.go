@@ -43,6 +43,7 @@ func (b *Bands[T]) Len() int { return b.size }
 // newBand pops a recycled band slice or allocates a fresh one.
 //
 //slacksim:hotpath
+//slacksim:pooled
 func (b *Bands[T]) newBand() []banded[T] {
 	if n := len(b.free); n > 0 {
 		s := b.free[n-1]
@@ -82,7 +83,8 @@ func (b *Bands[T]) Add(ts int64, v T) {
 		return
 	}
 	for int(idx-b.base) >= len(b.bands) {
-		b.bands = append(b.bands, b.newBand()) //lint:allow hotpathalloc -- window growth is bounded by the slack bound, then reused forever
+		// Window growth is bounded by the slack bound, then reused forever.
+		b.bands = append(b.bands, b.newBand())
 	}
 	i := int(idx - b.base)
 	b.bands[i] = append(b.bands[i], banded[T]{ts: ts, v: v}) //lint:allow hotpathalloc -- band growth is amortized; slices are recycled through the free list
@@ -104,7 +106,7 @@ func (b *Bands[T]) TakeBelow(horizon int64, buf []T) []T {
 		n := 0
 		for i := range b.late {
 			if b.late[i].ts < horizon {
-				buf = append(buf, b.late[i].v) //lint:allow hotpathalloc -- buf is the caller's reused scratch; growth is amortized
+				buf = append(buf, b.late[i].v)
 				b.size--
 			} else {
 				b.late[n] = b.late[i]
@@ -120,7 +122,7 @@ func (b *Bands[T]) TakeBelow(horizon int64, buf []T) []T {
 	k := 0
 	for k < len(b.bands) && b.base+int64(k) < hb {
 		for i := range b.bands[k] {
-			buf = append(buf, b.bands[k][i].v) //lint:allow hotpathalloc -- buf is the caller's reused scratch; growth is amortized
+			buf = append(buf, b.bands[k][i].v)
 		}
 		b.size -= len(b.bands[k])
 		// Clear the consumed band before returning it to the free list so
@@ -142,7 +144,7 @@ func (b *Bands[T]) TakeBelow(horizon int64, buf []T) []T {
 		n := 0
 		for i := range band {
 			if band[i].ts < horizon {
-				buf = append(buf, band[i].v) //lint:allow hotpathalloc -- buf is the caller's reused scratch; growth is amortized
+				buf = append(buf, band[i].v)
 				b.size--
 			} else {
 				band[n] = band[i]

@@ -60,6 +60,7 @@ func NewShard[T any]() *Shard[T] {
 // resetting its next pointer here is race-free.
 //
 //slacksim:hotpath
+//slacksim:pooled
 func (s *Shard[T]) grabChunk() *shardChunk[T] {
 	s.freeMu.Lock()
 	var c *shardChunk[T]

@@ -85,10 +85,19 @@ func (c *Coordinator) Registry() *Registry { return c.reg }
 // pick chooses the worker for one attempt: the highest rendezvous score
 // among healthy workers not yet tried, spilled to the least-loaded such
 // worker when the affinity choice is saturated.
+func (c *Coordinator) pick(key string, tried map[string]bool) (id string, spill bool, err error) {
+	var scratch []string
+	return c.pickInto(&scratch, key, tried)
+}
+
+// pickInto is pick with a caller-owned scratch buffer: Do threads one
+// buffer through its retry loop so repeated picks share a single
+// healthy-worker list instead of allocating one per attempt.
 //
 //slacksim:hotpath
-func (c *Coordinator) pick(key string, tried map[string]bool) (id string, spill bool, err error) {
-	candidates := c.reg.healthy()
+func (c *Coordinator) pickInto(scratch *[]string, key string, tried map[string]bool) (id string, spill bool, err error) {
+	candidates := c.reg.healthyInto(*scratch)
+	*scratch = candidates
 	avail := candidates[:0]
 	for _, w := range candidates {
 		if !tried[w] {
@@ -219,6 +228,8 @@ func (c *Coordinator) Do(ctx context.Context, jobID string, sp spec.Spec) (*slac
 	// attempt: the run continues from its checkpoint on the new worker
 	// instead of starting over.
 	var resume []byte
+	// scratch is the healthy-worker list reused across pick attempts.
+	var scratch []string
 	skipBackoff := false
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		// A caller that already gave up gets its context error back
@@ -243,12 +254,12 @@ func (c *Coordinator) Do(ctx context.Context, jobID string, sp spec.Spec) (*slac
 		}
 		skipBackoff = false
 
-		id, spill, err := c.pick(key, tried)
+		id, spill, err := c.pickInto(&scratch, key, tried)
 		if errors.Is(err, ErrNoWorkers) && len(tried) > 0 {
 			// Every healthy worker has been tried; start over rather than
 			// give up — the failure may have been transient everywhere.
 			tried = make(map[string]bool)
-			id, spill, err = c.pick(key, tried)
+			id, spill, err = c.pickInto(&scratch, key, tried)
 		}
 		if err != nil {
 			lastErr = err

@@ -136,9 +136,16 @@ func (r *Registry) transport(id string) (Transport, bool) {
 // healthy returns the IDs of all routable workers (healthy and not
 // draining).
 func (r *Registry) healthy() []string {
+	return r.healthyInto(nil)
+}
+
+// healthyInto fills buf[:0] with the IDs of all routable workers, so hot
+// callers can reuse one backing array across picks. The returned slice
+// belongs to the caller until its next healthyInto call.
+func (r *Registry) healthyInto(buf []string) []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	ids := make([]string, 0, len(r.workers))
+	ids := buf[:0]
 	for id, w := range r.workers {
 		if w.healthy && !w.draining {
 			ids = append(ids, id)

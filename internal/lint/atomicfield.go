@@ -1,0 +1,492 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces all-or-nothing atomicity on struct fields: a
+// field accessed through the sync/atomic package anywhere in the program
+// must be accessed atomically everywhere (outside its type's
+// constructor), and fields of the typed atomic kinds (atomic.Int64,
+// atomic.Bool, ...) must never be copied by value. Mixing one plain
+// store in with atomic loads is exactly the bug the race detector only
+// catches when the interleaving happens under -race — this analyzer
+// catches it statically.
+//
+// Two field classes are checked:
+//
+//  1. Function-style atomics: any field whose address is passed to a
+//     sync/atomic function (atomic.AddInt64(&s.n, 1)) is an atomic
+//     field. Every other access — plain read, plain write, ++/--,
+//     taking its address outside an atomic call — is flagged.
+//     Interprocedural summaries classify addresses passed to in-program
+//     helpers: a helper that only uses its pointer parameter atomically
+//     is a safe sink; one that dereferences it plainly flags the call
+//     site. Addresses escaping to unknown external functions are
+//     flagged (the analyzer cannot see what they do).
+//
+//  2. Typed atomics: a field of a sync/atomic type must only be used
+//     via its methods (x.f.Load()) or by address (&x.f). Value copies —
+//     assignment of the whole field, passing it by value, ranging over
+//     a container of them with a value variable — silently tear the
+//     atomic and are flagged.
+//
+// Constructor exemption: plain access to function-style atomic fields
+// inside functions named New*/new* is allowed — before the value is
+// published, plain initialization is the idiom.
+//
+// Soundness boundary: the atomic-field set is computed over the Program
+// (the whole module in standalone mode, one package in vet mode), so a
+// field used atomically only in another package is not cross-checked in
+// vet mode — standalone is the authoritative gate.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "require every access to an atomically-accessed struct field to be atomic " +
+		"(outside constructors), and forbid value copies of typed atomic fields",
+	Run: runAtomicField,
+}
+
+// atomicParamSummary is the interprocedural fact about one function's
+// pointer parameters: bitmask Atomic marks parameters passed to
+// sync/atomic functions, Plain marks parameters dereferenced directly
+// (or escaping to unknown callees). Both propagate through calls.
+type atomicParamSummary struct {
+	Atomic uint32
+	Plain  uint32
+}
+
+// isAtomicFunc reports whether fn is a package-level sync/atomic
+// function (AddInt64, StoreUint32, CompareAndSwapPointer, ...).
+func isAtomicFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isTypedAtomic reports whether t is one of the typed atomics declared
+// in sync/atomic (Int32, Int64, Uint32, Uint64, Uintptr, Bool, Pointer,
+// Value, Int32-like generics aside).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		// Generic instantiations (atomic.Pointer[T]) are *types.Named too;
+		// aliases resolve through Unalias.
+		named, ok = types.Unalias(t).(*types.Named)
+		if !ok {
+			return false
+		}
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicParamSummaries computes, bottom-up, how each function treats its
+// pointer parameters.
+func atomicParamSummaries(prog *Program) map[*types.Func]any {
+	return prog.Summaries("atomicfield.params", func(n *FuncNode, callee func(*types.Func) (any, bool)) any {
+		if n.Decl == nil {
+			var join atomicParamSummary
+			for _, c := range n.Callees {
+				if s, known := callee(c); known {
+					if ps, ok := s.(atomicParamSummary); ok {
+						join.Atomic |= ps.Atomic
+						join.Plain |= ps.Plain
+					}
+				}
+			}
+			return join
+		}
+		info := n.Pkg.Info
+		params := paramIndexObjs(info, n.Decl)
+		var sum atomicParamSummary
+		mark := func(e ast.Expr, atomic bool) {
+			if i, ok := paramIndexOf(info, params, e); ok {
+				if atomic {
+					sum.Atomic |= 1 << i
+				} else {
+					sum.Plain |= 1 << i
+				}
+			}
+		}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.StarExpr:
+				// Plain dereference of a pointer parameter.
+				mark(node.X, false)
+			case *ast.CallExpr:
+				fn, unknown := resolveCallee(info, node)
+				switch {
+				case isAtomicFunc(fn):
+					for _, arg := range node.Args {
+						mark(arg, true)
+					}
+				case fn != nil:
+					if s, known := callee(fn); known {
+						ps, _ := s.(atomicParamSummary)
+						for j, arg := range node.Args {
+							if j >= 32 {
+								break
+							}
+							if i, ok := paramIndexOf(info, params, arg); ok {
+								if ps.Atomic&(1<<j) != 0 {
+									sum.Atomic |= 1 << i
+								}
+								if ps.Plain&(1<<j) != 0 {
+									sum.Plain |= 1 << i
+								}
+							}
+						}
+					} else {
+						// External callee: a pointer parameter handed over
+						// escapes the analysis — treat as plain.
+						for _, arg := range node.Args {
+							mark(arg, false)
+						}
+					}
+				case unknown:
+					for _, arg := range node.Args {
+						mark(arg, false)
+					}
+				}
+			}
+			return true
+		})
+		return sum
+	})
+}
+
+// atomicPlainAccess is one non-atomic access to an atomic field.
+type atomicPlainAccess struct {
+	pkg  *Package
+	pos  token.Pos
+	desc string
+}
+
+// atomicFieldFacts is the program-wide collection: for each field with
+// at least one atomic access, where that access is (for the message) and
+// every plain access found.
+type atomicFieldFacts struct {
+	atomicSite map[*types.Var]token.Pos
+	sitePkg    map[*types.Var]*Package
+	desc       map[*types.Var]string
+	plain      map[*types.Var][]atomicPlainAccess
+}
+
+// fieldOf resolves a selector expression to the struct field it selects,
+// or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isConstructorName reports whether accesses inside the function fall
+// under the constructor exemption.
+func isConstructorName(name string) bool {
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+// collectAtomicFacts scans the whole program twice: first for atomic
+// sites (defining the atomic-field set), then for plain accesses to
+// those fields.
+func collectAtomicFacts(prog *Program) *atomicFieldFacts {
+	return prog.Fact("atomicfield.facts", func() any {
+		facts := &atomicFieldFacts{
+			atomicSite: map[*types.Var]token.Pos{},
+			sitePkg:    map[*types.Var]*Package{},
+			desc:       map[*types.Var]string{},
+			plain:      map[*types.Var][]atomicPlainAccess{},
+		}
+		sums := atomicParamSummaries(prog)
+		paramBits := func(fn *types.Func) (atomicParamSummary, bool) {
+			s, ok := sums[fn]
+			if !ok {
+				return atomicParamSummary{}, false
+			}
+			ps, _ := s.(atomicParamSummary)
+			return ps, true
+		}
+
+		// addrField unwraps &x.f to the field selector, or nil.
+		addrField := func(info *types.Info, e ast.Expr) *ast.SelectorExpr {
+			ue, ok := ast.Unparen(e).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				return nil
+			}
+			sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+			if !ok {
+				return nil
+			}
+			return sel
+		}
+
+		// Phase 1: the atomic-field set — fields whose address reaches a
+		// sync/atomic function directly or through an atomic-only helper
+		// parameter.
+		for _, pkg := range prog.Packages() {
+			info := pkg.Info
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(node ast.Node) bool {
+					call, ok := node.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn, _ := resolveCallee(info, call)
+					if fn == nil {
+						return true
+					}
+					record := func(sel *ast.SelectorExpr) {
+						fv := fieldOf(info, sel)
+						if fv == nil {
+							return
+						}
+						if _, seen := facts.atomicSite[fv]; !seen {
+							facts.atomicSite[fv] = sel.Pos()
+							facts.sitePkg[fv] = pkg
+							if c := canonExpr(sel); c != "" {
+								facts.desc[fv] = c
+							} else {
+								facts.desc[fv] = sel.Sel.Name
+							}
+						}
+					}
+					if isAtomicFunc(fn) {
+						for _, arg := range call.Args {
+							if sel := addrField(info, arg); sel != nil {
+								record(sel)
+							}
+						}
+						return true
+					}
+					if ps, known := paramBits(fn); known {
+						for j, arg := range call.Args {
+							if j >= 32 {
+								break
+							}
+							if ps.Atomic&(1<<j) != 0 && ps.Plain&(1<<j) == 0 {
+								if sel := addrField(info, arg); sel != nil {
+									record(sel)
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+		if len(facts.atomicSite) == 0 {
+			return facts
+		}
+
+		// Phase 2: plain accesses to the atomic fields.
+		for _, pkg := range prog.Packages() {
+			collectPlainAccesses(pkg, facts, paramBits, addrField)
+		}
+		return facts
+	}).(*atomicFieldFacts)
+}
+
+// collectPlainAccesses walks one package recording every non-atomic
+// access to a field in the atomic set.
+func collectPlainAccesses(pkg *Package, facts *atomicFieldFacts,
+	paramBits func(*types.Func) (atomicParamSummary, bool),
+	addrField func(*types.Info, ast.Expr) *ast.SelectorExpr) {
+
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isConstructorName(fd.Name.Name) {
+				continue
+			}
+			// consumed marks selectors already classified by an enclosing
+			// construct (an atomic call argument, a flagged LHS, ...).
+			consumed := map[ast.Node]bool{}
+			tracked := func(sel *ast.SelectorExpr) *types.Var {
+				fv := fieldOf(info, sel)
+				if fv == nil {
+					return nil
+				}
+				if _, ok := facts.atomicSite[fv]; !ok {
+					return nil
+				}
+				return fv
+			}
+			add := func(fv *types.Var, pos token.Pos, desc string) {
+				facts.plain[fv] = append(facts.plain[fv], atomicPlainAccess{pkg: pkg, pos: pos, desc: desc})
+			}
+			ast.Inspect(fd.Body, func(node ast.Node) bool {
+				switch node := node.(type) {
+				case *ast.CallExpr:
+					fn, _ := resolveCallee(info, node)
+					if fn == nil {
+						return true
+					}
+					if isAtomicFunc(fn) {
+						for _, arg := range node.Args {
+							if sel := addrField(info, arg); sel != nil {
+								consumed[sel] = true
+							}
+						}
+						return true
+					}
+					ps, known := paramBits(fn)
+					for j, arg := range node.Args {
+						sel := addrField(info, arg)
+						if sel == nil {
+							continue
+						}
+						fv := tracked(sel)
+						if fv == nil {
+							continue
+						}
+						consumed[sel] = true
+						switch {
+						case !known || j >= 32:
+							add(fv, arg.Pos(), fmt.Sprintf(
+								"address passed to %s, which the analyzer cannot see through", fn.Name()))
+						case ps.Plain&(1<<j) != 0:
+							add(fv, arg.Pos(), fmt.Sprintf(
+								"address passed to %s, which accesses it non-atomically", fn.Name()))
+						case ps.Atomic&(1<<j) != 0:
+							// Atomic-only helper: a safe sink.
+						default:
+							// Pointer unused by the callee: harmless.
+						}
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range node.Lhs {
+						if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+							if fv := tracked(sel); fv != nil {
+								consumed[sel] = true
+								add(fv, sel.Pos(), "written directly")
+							}
+						}
+					}
+				case *ast.IncDecStmt:
+					if sel, ok := ast.Unparen(node.X).(*ast.SelectorExpr); ok {
+						if fv := tracked(sel); fv != nil {
+							consumed[sel] = true
+							add(fv, sel.Pos(), "incremented directly")
+						}
+					}
+				case *ast.UnaryExpr:
+					if node.Op == token.AND {
+						if sel, ok := ast.Unparen(node.X).(*ast.SelectorExpr); ok {
+							if fv := tracked(sel); fv != nil && !consumed[sel] {
+								consumed[sel] = true
+								add(fv, node.Pos(), "address taken outside an atomic call")
+							}
+						}
+					}
+				case *ast.SelectorExpr:
+					if consumed[node] {
+						return true
+					}
+					if fv := tracked(node); fv != nil {
+						add(fv, node.Pos(), "read directly")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func runAtomicField(pass *Pass) error {
+	facts := collectAtomicFacts(pass.Prog)
+	self := pass.Package()
+	for fv, accesses := range facts.plain {
+		for _, a := range accesses {
+			if a.pkg != self {
+				continue
+			}
+			pass.Reportf(a.pos,
+				"field %s is accessed atomically (e.g. at %s) but %s here; every access outside "+
+					"the constructor must go through sync/atomic",
+				facts.desc[fv], shortPos(pass.Fset, facts.atomicSite[fv]), a.desc)
+		}
+	}
+	checkTypedAtomicCopies(pass)
+	return nil
+}
+
+// checkTypedAtomicCopies flags value copies of typed atomic fields in
+// the pass's package: whole-field assignment, value-context uses, and
+// range value variables over containers of atomics.
+func checkTypedAtomicCopies(pass *Pass) {
+	info := pass.Info
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			consumed := map[ast.Node]bool{}
+			atomicSel := func(e ast.Expr) *ast.SelectorExpr {
+				sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+				if !ok {
+					return nil
+				}
+				if fieldOf(info, sel) == nil || !isTypedAtomic(info.TypeOf(sel)) {
+					return nil
+				}
+				return sel
+			}
+			ast.Inspect(fd.Body, func(node ast.Node) bool {
+				switch node := node.(type) {
+				case *ast.SelectorExpr:
+					// x.f.Load(): the inner typed-atomic selector is consumed
+					// by the method selection.
+					if inner := atomicSel(node.X); inner != nil {
+						consumed[inner] = true
+					}
+					if consumed[node] {
+						return true
+					}
+					if sel := atomicSel(node); sel != nil {
+						pass.Reportf(sel.Pos(),
+							"typed atomic field %s used by value; atomics must not be copied — "+
+								"call its methods or pass &%s", describeTarget(sel), describeTarget(sel))
+						consumed[sel] = true
+					}
+				case *ast.UnaryExpr:
+					if node.Op == token.AND {
+						if sel := atomicSel(node.X); sel != nil {
+							consumed[sel] = true // &x.f is fine: no copy
+						}
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range node.Lhs {
+						if sel := atomicSel(lhs); sel != nil {
+							consumed[sel] = true
+							pass.Reportf(sel.Pos(),
+								"typed atomic field %s assigned by value; atomics must not be copied — "+
+									"use %s.Store(...)", describeTarget(sel), describeTarget(sel))
+						}
+					}
+				case *ast.RangeStmt:
+					if v, ok := node.Value.(*ast.Ident); ok && v.Name != "_" {
+						if isTypedAtomic(info.TypeOf(node.Value)) {
+							pass.Reportf(v.Pos(),
+								"range value variable copies atomic values out of %s; range by index instead",
+								describeTarget(node.X))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// appendonlyDirective pins a key-composition function to a schema file.
+// It goes in the function's doc comment with the pin file's path
+// relative to the file containing the function:
+//
+//	//slacksim:appendonly testdata/keyschema.golden
+//	func (s *Spec) Key() string { ... }
+const appendonlyDirective = "//slacksim:appendonly"
+
+// KeyAppend statically verifies that a canonical-key composition
+// function only ever evolves by appending: the sequence of key segments
+// it builds must exactly match a pinned schema file, so any rename,
+// removal, or reordering of an existing segment is flagged, and a new
+// segment is flagged until it is recorded at the tail of the pin. The
+// pin file is reviewed as an additions-only diff, which together with
+// the exact-match check proves every schema change was a tail append —
+// the property the result-store golden digests depend on (an existing
+// spec must keep hashing to the same key forever).
+//
+// Segment extraction: the analyzer collects, in source order, the string
+// literals that build the key — fmt.Sprintf format strings and literals
+// concatenated into += assignments — joins them, splits on '|', and
+// takes each piece's name (the text before '=', or the bare literal for
+// constant segments like the version tag). The pin file lists the
+// expected names one per line ('#' comments and blank lines ignored).
+//
+// Soundness boundary: segments built from non-literal strings (a
+// variable holding the field name) cannot be extracted and are flagged;
+// conditional segments are recorded in source order, which for the
+// append-only idiom (base Sprintf first, conditional tails after) is
+// composition order. The 31 golden digests remain the behavioral
+// backstop; this check catches the schema edit before it reaches them.
+var KeyAppend = &Analyzer{
+	Name: "keyappend",
+	Doc: "verify //slacksim:appendonly key-composition functions against their pinned segment " +
+		"schema: existing segments must never be renamed, removed, or reordered; new segments only append",
+	Run: runKeyAppend,
+}
+
+func runKeyAppend(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), appendonlyDirective)
+				if !ok || (rest != "" && !strings.HasPrefix(rest, " ")) {
+					continue
+				}
+				// Diagnostics about the directive itself anchor on the
+				// function name, keeping the doc comment finding-free.
+				pin := strings.TrimSpace(rest)
+				if pin == "" {
+					pass.Reportf(fd.Name.Pos(), "%s directive is missing its pin-file path", appendonlyDirective)
+					continue
+				}
+				checkKeySchema(pass, fd, fd.Name.Pos(), pin)
+			}
+		}
+	}
+	return nil
+}
+
+// checkKeySchema extracts fd's segment sequence and compares it against
+// the pinned schema.
+func checkKeySchema(pass *Pass, fd *ast.FuncDecl, dirPos token.Pos, pin string) {
+	segments, ok := extractSegments(pass, fd)
+	if !ok {
+		return // extraction already reported
+	}
+	if len(segments) == 0 {
+		pass.Reportf(dirPos,
+			"could not extract any key segments from %s; the append-only check needs literal "+
+				"segment names (fmt.Sprintf format strings or literal concatenation)", fd.Name.Name)
+		return
+	}
+
+	pinPath := filepath.Join(filepath.Dir(pass.Fset.Position(fd.Pos()).Filename), filepath.FromSlash(pin))
+	data, err := os.ReadFile(pinPath)
+	if err != nil {
+		pass.Reportf(dirPos,
+			"appendonly pin file %s not found; create it listing the current key segments one per "+
+				"line (current schema: %s)", pin, strings.Join(names(segments), " "))
+		return
+	}
+	var pinned []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		pinned = append(pinned, line)
+	}
+
+	// Existing pinned segments must survive, in order, at the front.
+	for i, want := range pinned {
+		if i >= len(segments) {
+			pass.Reportf(fd.Name.Pos(),
+				"key segment %q (position %d in %s) is missing from %s; pinned segments must never "+
+					"be removed — existing keys would re-hash", want, i+1, pin, fd.Name.Name)
+			return
+		}
+		if segments[i].name != want {
+			pass.Reportf(segments[i].pos,
+				"key segment %q does not match %q (position %d in %s); existing segments must never "+
+					"be renamed, removed, or reordered — new fields may only be appended at the tail",
+				segments[i].name, want, i+1, pin)
+			return
+		}
+	}
+	// New segments are allowed only once recorded at the pin's tail.
+	for _, s := range segments[len(pinned):] {
+		pass.Reportf(s.pos,
+			"key segment %q extends the schema; append it to %s (additions only) to record the "+
+				"change — never insert before existing segments", s.name, pin)
+	}
+}
+
+// keySegment is one extracted segment name with the position of the
+// literal that introduced it.
+type keySegment struct {
+	name string
+	pos  token.Pos
+}
+
+func names(segs []keySegment) []string {
+	out := make([]string, len(segs))
+	for i, s := range segs {
+		out[i] = s.name
+	}
+	return out
+}
+
+// extractSegments walks fd's body in source order collecting the string
+// literals that compose the key, then splits the joined text on '|'.
+// Returns ok=false after reporting an extraction failure.
+func extractSegments(pass *Pass, fd *ast.FuncDecl) ([]keySegment, bool) {
+	type litPart struct {
+		text string
+		pos  token.Pos
+	}
+	var parts []litPart
+	addLit := func(lit *ast.BasicLit) {
+		if lit.Kind != token.STRING {
+			return
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return
+		}
+		parts = append(parts, litPart{text: s, pos: lit.Pos()})
+	}
+	// collectConcat flattens a string-concatenation tree into its
+	// literal leaves (non-literal operands contribute nothing — they are
+	// segment values, not names).
+	var collectConcat func(e ast.Expr)
+	collectConcat = func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.BasicLit:
+			addLit(e)
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				collectConcat(e.X)
+				collectConcat(e.Y)
+			}
+		case *ast.CallExpr:
+			if isPkgFunc(pass.Info, e, "fmt", "Sprintf") && len(e.Args) > 0 {
+				if lit, ok := ast.Unparen(e.Args[0]).(*ast.BasicLit); ok {
+					addLit(lit)
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				collectConcat(rhs)
+			}
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				collectConcat(res)
+			}
+			return false
+		}
+		return true
+	})
+
+	var segs []keySegment
+	for _, p := range parts {
+		for _, piece := range strings.Split(p.text, "|") {
+			piece = strings.TrimSpace(piece)
+			if piece == "" {
+				continue
+			}
+			name, _, hasEq := strings.Cut(piece, "=")
+			if hasEq {
+				if name == "" || strings.ContainsAny(name, "%") {
+					pass.Reportf(p.pos,
+						"key segment name in %q is not a plain literal; append-only verification "+
+							"needs literal segment names", piece)
+					return nil, false
+				}
+				segs = append(segs, keySegment{name: name, pos: p.pos})
+				continue
+			}
+			if strings.ContainsAny(piece, "%") {
+				// A bare format verb ("%s") is a segment whose *name* is
+				// dynamic — unverifiable.
+				pass.Reportf(p.pos,
+					"key segment %q has a non-literal name; append-only verification needs literal "+
+						"segment names", piece)
+				return nil, false
+			}
+			segs = append(segs, keySegment{name: piece, pos: p.pos})
+		}
+	}
+	return segs, true
+}

@@ -15,6 +15,18 @@
 //     allocate (protecting the incremental-checkpoint hot paths).
 //   - guardedby: struct fields annotated "guarded by mu" may only be
 //     accessed while that mutex is held.
+//   - poolescape: memory from //slacksim:pooled allocators must not
+//     outlive its pool's Reset/Release, and SnapshotInto/CopyInto must
+//     copy rather than alias (the PR 8 recycled-slice bug class).
+//   - atomicfield: a field ever accessed via sync/atomic must be
+//     accessed atomically everywhere outside its constructor.
+//   - keyappend: //slacksim:appendonly key builders must match their
+//     pinned segment schema, additions at the tail only.
+//
+// hotpathalloc, poolescape, atomicfield, and keyappend are
+// interprocedural: they share a call graph and per-function summary
+// framework (Program, CallGraph, Summaries) that propagates facts
+// bottom-up over SCCs — see DESIGN.md §17.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) so the suite can be ported to the real
@@ -56,14 +68,29 @@ type Analyzer struct {
 }
 
 // A Pass provides one analyzer run with a single type-checked package.
+// Prog is the surrounding Program: the whole module in standalone mode,
+// the single package under analysis in vet mode and fixture tests.
+// Interprocedural analyzers reach the call graph and summary caches
+// through it; it is never nil.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Prog     *Program
 
 	report func(Diagnostic)
+}
+
+// Package returns the loaded package this pass analyzes.
+func (p *Pass) Package() *Package {
+	for _, pkg := range p.Prog.pkgs {
+		if pkg.Types == p.Pkg {
+			return pkg
+		}
+	}
+	return nil
 }
 
 // Reportf records one finding at pos.
@@ -91,7 +118,8 @@ func (f Finding) String() string {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CondLock, Determinism, HotPathAlloc, GuardedBy}
+	return []*Analyzer{CondLock, Determinism, HotPathAlloc, GuardedBy,
+		PoolEscape, AtomicField, KeyAppend}
 }
 
 // ByName returns the named analyzers (nil names → full suite).
@@ -124,11 +152,13 @@ var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-zA-Z0-9_,]+)\s*(?:--\s*(.*
 // allowSite is one parsed //lint:allow directive.
 type allowSite struct {
 	analyzers map[string]bool
-	hasReason bool
+	reason    string
 	line      int
 	pos       token.Pos
 	used      bool
 }
+
+func (s *allowSite) hasReason() bool { return s.reason != "" }
 
 // collectAllows parses every //lint:allow directive in the files.
 func collectAllows(fset *token.FileSet, files []*ast.File) []*allowSite {
@@ -142,7 +172,7 @@ func collectAllows(fset *token.FileSet, files []*ast.File) []*allowSite {
 				}
 				s := &allowSite{
 					analyzers: map[string]bool{},
-					hasReason: strings.TrimSpace(m[2]) != "",
+					reason:    strings.TrimSpace(m[2]),
 					line:      fset.Position(c.Pos()).Line,
 					pos:       c.Pos(),
 				}
@@ -161,15 +191,44 @@ func collectAllows(fset *token.FileSet, files []*ast.File) []*allowSite {
 // position. Findings in _test.go files are dropped: the invariants
 // target production code, and the vet driver feeds test variants of
 // every package through the same checker.
+//
+// The package is wrapped in a single-package Program, so interprocedural
+// analyzers see facts within the package but not across packages — the
+// vet-mode soundness boundary. Callers holding a whole-module Program
+// (the standalone loader) use Program-aware paths instead.
 func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 	info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
 
-	allows := collectAllows(fset, files)
+	lp := &Package{
+		ImportPath: pkg.Path(),
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}
+	return runPackageInProgram(NewProgram(lp), lp, analyzers)
+}
+
+// runPackageInProgram is RunPackage with an explicit surrounding
+// Program (whole-module in standalone mode).
+func runPackageInProgram(prog *Program, lp *Package, analyzers []*Analyzer) ([]Finding, error) {
+	fset, files, pkg, info := lp.Fset, lp.Files, lp.Types, lp.Info
+	// Share the Program's parsed sites so a directive consumed here (or
+	// by a summary via AllowedAt) is marked used for AllowInventory.
+	allows := prog.allowsFor(lp)
 	allowed := func(name string, line int) bool {
+		// A directive covers its own line and the following line, so it
+		// can trail the flagged statement or stand alone above it. Prefer
+		// the same-line directive so that in a stack of per-line trailing
+		// allows each one is credited (and audited) for its own line.
 		for _, s := range allows {
-			// A directive covers its own line and the following line, so
-			// it can trail the flagged statement or stand alone above it.
-			if s.analyzers[name] && (s.line == line || s.line+1 == line) {
+			if s.analyzers[name] && s.line == line {
+				s.used = true
+				return true
+			}
+		}
+		for _, s := range allows {
+			if s.analyzers[name] && s.line+1 == line {
 				s.used = true
 				return true
 			}
@@ -185,6 +244,7 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 			Files:    files,
 			Pkg:      pkg,
 			Info:     info,
+			Prog:     prog,
 		}
 		pass.report = func(d Diagnostic) {
 			posn := fset.Position(d.Pos)
@@ -204,7 +264,7 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 	// A reason-less allow is a finding of its own, whether or not it
 	// matched anything: the written justification is mandatory.
 	for _, s := range allows {
-		if !s.hasReason {
+		if !s.hasReason() {
 			posn := fset.Position(s.pos)
 			if !strings.HasSuffix(posn.Filename, "_test.go") {
 				out = append(out, Finding{

@@ -68,7 +68,46 @@ func TestByName(t *testing.T) {
 	if _, err := lint.ByName([]string{"nope"}); err == nil {
 		t.Fatal("ByName should reject unknown analyzer names")
 	}
-	if all, err := lint.ByName(nil); err != nil || len(all) != 4 {
-		t.Fatalf("ByName(nil) = %v, %v; want the full 4-analyzer suite", all, err)
+	if all, err := lint.ByName(nil); err != nil || len(all) != 7 {
+		t.Fatalf("ByName(nil) = %v, %v; want the full 7-analyzer suite", all, err)
+	}
+}
+
+func TestPoolEscapeFixture(t *testing.T) {
+	linttest.Run(t, fixture("poolescape"), []*lint.Analyzer{lint.PoolEscape})
+}
+
+func TestAtomicFieldFixture(t *testing.T) {
+	linttest.Run(t, fixture("atomicfield"), []*lint.Analyzer{lint.AtomicField})
+}
+
+func TestKeyAppendFixture(t *testing.T) {
+	linttest.Run(t, fixture("keyappend"), []*lint.Analyzer{lint.KeyAppend})
+}
+
+// TestHotPathInterFixture exercises the interprocedural side of
+// hotpathalloc: callee allocations propagate to hotpath callers through
+// call-graph summaries, waivers at the callee clear its summary, and the
+// cold-path conventions (panic, Enabled() guards) are honored.
+func TestHotPathInterFixture(t *testing.T) {
+	linttest.Run(t, fixture("hotpathinter"), []*lint.Analyzer{lint.HotPathAlloc})
+}
+
+// TestEveryAnalyzerHasFixture keeps the suite and the fixture tree in
+// lockstep: registering an analyzer without a fixture directory fails.
+func TestEveryAnalyzerHasFixture(t *testing.T) {
+	for _, a := range lint.Analyzers() {
+		dir := fixture(a.Name)
+		if a.Name == "hotpathalloc" {
+			// Covered by both hotpathalloc (intra) and hotpathinter (inter).
+			dir = fixture("hotpathinter")
+		}
+		if _, err := filepath.Glob(filepath.Join(dir, "*.go")); err != nil {
+			t.Fatalf("glob %s: %v", dir, err)
+		}
+		matches, _ := filepath.Glob(filepath.Join(dir, "*.go"))
+		if len(matches) == 0 {
+			t.Errorf("analyzer %s has no fixture under %s", a.Name, dir)
+		}
 	}
 }

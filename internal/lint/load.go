@@ -24,11 +24,28 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+
+	// prog is the Program this package was loaded into: whole-module
+	// for Loader.LoadAll, single-package for LoadDir and RunPackage.
+	prog *Program
 }
 
-// Lint runs the analyzers over the package.
+// Lint runs the analyzers over the package, with interprocedural
+// analyses scoped to the Program the package was loaded into.
 func (p *Package) Lint(analyzers []*Analyzer) ([]Finding, error) {
-	return RunPackage(p.Fset, p.Files, p.Types, p.Info, analyzers)
+	if p.prog == nil {
+		p.prog = NewProgram(p)
+	}
+	return runPackageInProgram(p.prog, p, analyzers)
+}
+
+// Program returns the Program the package was loaded into, building a
+// single-package one on first use (as Lint does).
+func (p *Package) Program() *Program {
+	if p.prog == nil {
+		p.prog = NewProgram(p)
+	}
+	return p.prog
 }
 
 // The loader resolves imports without the go command or a module cache:
@@ -144,6 +161,18 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+
+	// One Program spans every package the loader saw (the walked set
+	// plus any module-local dependencies pulled in by imports), so
+	// interprocedural summaries cross package boundaries.
+	all := make([]*Package, 0, len(l.pkgs))
+	for _, pkg := range l.pkgs {
+		all = append(all, pkg)
+	}
+	prog := NewProgram(all...)
+	for _, pkg := range all {
+		pkg.prog = prog
+	}
 	return out, nil
 }
 

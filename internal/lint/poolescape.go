@@ -1,0 +1,668 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// pooledDirective marks a function whose return value is pool-owned
+// memory: arena slots, free-listed entries, recycled band slices. The
+// annotation is an ownership-transfer contract — the caller receives
+// memory that dies at the pool owner's Reset/Release — and it is how
+// pooled-ness propagates across packages (the analyzer reads the
+// directive from the callee's doc comment):
+//
+//	// newEntry returns a pooled line entry.
+//	//
+//	//slacksim:pooled
+//	func (m *StatusMap) newEntry() *entry { ... }
+const pooledDirective = "//slacksim:pooled"
+
+// PoolEscape enforces the DESIGN.md §15 ownership rules for pooled
+// memory: references into arena-backed or free-listed storage must not
+// be stored anywhere that outlives the pool owner's Reset/Release, and
+// snapshot-copy methods must not alias source-owned storage into their
+// destination. Three rules:
+//
+//  1. Into-method aliasing: inside a method named SnapshotInto or
+//     CopyInto, no reference-typed value (slice, map, pointer) rooted at
+//     the receiver (the source) may be assigned into a location rooted
+//     at a parameter (the destination) — the destination must receive a
+//     copy (copy(), append(dst[:0], src...), element-wise loops), never
+//     the source's backing. Locals bound to receiver-rooted references
+//     (including range variables over receiver-rooted containers) are
+//     tracked.
+//
+//  2. Pooled-value escape: a value returned by a //slacksim:pooled
+//     function (or by arena-style Get methods so annotated) is tracked
+//     through local assignments. It must not be stored to a
+//     package-level variable, sent on a channel, captured by a closure,
+//     stored into a structure rooted at a *different* object than the
+//     pool it came from, or returned from a function that is not itself
+//     annotated //slacksim:pooled. Interprocedural summaries propagate
+//     two facts about callees a pooled value is passed to: whether the
+//     callee returns its argument (the result stays pooled) and whether
+//     the callee stores its argument globally (an escape at the call
+//     site).
+//
+//  3. Unclean recycling (the PR 8 event.Bands bug class): a slice pushed
+//     onto a free list (append to a field named free/freeList) must have
+//     been clear()ed in the same function first — a recycled backing
+//     array that still holds its previous items pins them past their
+//     release, and hands stale values to the next owner.
+//
+// Soundness boundary: tracking is per-function and name-based (canonical
+// access paths); pooled values reached through container reads (m.lines
+// ranged elsewhere), stored into untracked locals' fields, or laundered
+// through unresolvable function values are not followed. Ownership of
+// whole pooled Machines (engine.MachinePool) is a protocol property
+// enforced by the stress equivalence tests, not this analyzer.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc: "enforce pooled-memory ownership: no arena/free-list reference may outlive its pool's " +
+		"Reset/Release, SnapshotInto/CopyInto must copy rather than alias, recycled slices must be cleared",
+	Run: runPoolEscape,
+}
+
+// poolSummary is the interprocedural fact about one function: whether
+// its result is pool-owned memory, and what it does with its parameters.
+type poolSummary struct {
+	// ReturnsPooled: the function's result is pooled memory (annotated,
+	// or inferred from its body — inference is additionally flagged at
+	// the decl so the contract gets written down).
+	ReturnsPooled bool
+	// ParamReturned: bitmask of parameters that may be returned — a
+	// pooled argument keeps its taint through the call's result.
+	ParamReturned uint32
+	// ParamEscapes: bitmask of parameters stored to package-level state.
+	ParamEscapes uint32
+}
+
+func isPooledDecl(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == pooledDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// poolSummaries computes the program's pool summaries bottom-up.
+func poolSummaries(prog *Program) map[*types.Func]any {
+	return prog.Summaries("poolescape", func(n *FuncNode, callee func(*types.Func) (any, bool)) any {
+		if n.Decl == nil {
+			// Interface dispatch hub: join over implementations.
+			var join poolSummary
+			for _, c := range n.Callees {
+				if s, known := callee(c); known {
+					if ps, ok := s.(poolSummary); ok {
+						join.ReturnsPooled = join.ReturnsPooled || ps.ReturnsPooled
+						join.ParamReturned |= ps.ParamReturned
+						join.ParamEscapes |= ps.ParamEscapes
+					}
+				}
+			}
+			return join
+		}
+		sum := poolSummary{ReturnsPooled: isPooledDecl(n.Decl)}
+		params := paramIndexObjs(n.Pkg.Info, n.Decl)
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.ReturnStmt:
+				for _, res := range node.Results {
+					if i, ok := paramIndexOf(n.Pkg.Info, params, res); ok {
+						sum.ParamReturned |= 1 << i
+					}
+					if exprIsPooledCall(n.Pkg.Info, res, callee) {
+						sum.ReturnsPooled = true
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range node.Lhs {
+					if isPackageLevelTarget(n.Pkg.Info, lhs) {
+						for _, rhs := range node.Rhs {
+							if i, ok := paramIndexOf(n.Pkg.Info, params, rhs); ok {
+								sum.ParamEscapes |= 1 << i
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		return sum
+	})
+}
+
+// exprIsPooledCall reports whether e is a direct call whose callee
+// returns pooled memory (annotated, or by summary).
+func exprIsPooledCall(info *types.Info, e ast.Expr, callee func(*types.Func) (any, bool)) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, _ := resolveCallee(info, call)
+	if fn == nil {
+		return false
+	}
+	if s, known := callee(fn); known {
+		ps, _ := s.(poolSummary)
+		return ps.ReturnsPooled
+	}
+	return false
+}
+
+// paramIndexObjs maps each parameter object (receiver excluded) to its
+// index.
+func paramIndexObjs(info *types.Info, fd *ast.FuncDecl) map[types.Object]int {
+	out := map[types.Object]int{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				out[obj] = i
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	return out
+}
+
+func paramIndexOf(info *types.Info, params map[types.Object]int, e ast.Expr) (int, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return 0, false
+	}
+	i, ok := params[obj]
+	if !ok || i >= 32 {
+		return 0, false
+	}
+	return i, true
+}
+
+// isPackageLevelTarget reports whether the assignment target's base is a
+// package-scope variable.
+func isPackageLevelTarget(info *types.Info, lhs ast.Expr) bool {
+	base := baseIdent(lhs)
+	if base == nil {
+		return false
+	}
+	obj, ok := info.Uses[base].(*types.Var)
+	if !ok || obj.IsField() {
+		return false
+	}
+	return obj.Parent() == obj.Pkg().Scope()
+}
+
+// baseIdent returns the root identifier of an access path (x in
+// x.f[i].g), or nil when the path has no stable root.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func runPoolEscape(pass *Pass) error {
+	sums := poolSummaries(pass.Prog)
+	resolve := func(fn *types.Func) (any, bool) {
+		s, ok := sums[fn]
+		return s, ok
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fd, resolve)
+			if fd.Recv != nil && (fd.Name.Name == "SnapshotInto" || fd.Name.Name == "CopyInto") {
+				checkIntoAliasing(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// isRefType reports whether t shares backing storage when assigned:
+// slices, maps, pointers, and channels.
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// checkIntoAliasing enforces rule 1 on one SnapshotInto/CopyInto body.
+func checkIntoAliasing(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	paramNames := map[string]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				paramNames[name.Name] = true
+			}
+		}
+	}
+	// srcLocals: locals bound to receiver-rooted reference values
+	// (assignments and range variables).
+	srcLocals := map[string]bool{}
+	rootedAtRecv := func(e ast.Expr) bool {
+		base := baseIdent(e)
+		if base == nil {
+			return false
+		}
+		return base.Name == recvName || srcLocals[base.Name]
+	}
+	// aliasesSource reports whether the RHS expression shares backing
+	// with receiver-owned storage: a receiver-rooted path, a slice/index
+	// of one, or an append that either reuses a receiver-rooted
+	// destination or appends a receiver-rooted reference value (a spread
+	// append(dst[:0], src...) copies elements and is the accepted
+	// idiom — deep-copying ref-typed elements is on the method).
+	aliasesSource := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if call, ok := e.(*ast.CallExpr); ok {
+			// Calls produce fresh values (Snapshot(), copies) — except
+			// append, which may return or retain its arguments' backing.
+			if isBuiltin(pass.Info, call, "append") && len(call.Args) > 0 {
+				if rootedAtRecv(ast.Unparen(call.Args[0])) {
+					return true
+				}
+				if call.Ellipsis.IsValid() {
+					return false
+				}
+				for _, arg := range call.Args[1:] {
+					arg = ast.Unparen(arg)
+					if isRefType(pass.Info.TypeOf(arg)) && rootedAtRecv(arg) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if !isRefType(pass.Info.TypeOf(e)) {
+			return false
+		}
+		return rootedAtRecv(e)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if v, ok := n.Value.(*ast.Ident); ok && v.Name != "_" && rootedAtRecv(n.X) {
+				if isRefType(pass.Info.TypeOf(n.Value)) {
+					srcLocals[v.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				rhs := ast.Unparen(n.Rhs[i])
+				// Track locals bound to source-owned references.
+				if id, ok := lhs.(*ast.Ident); ok && !paramNames[id.Name] {
+					if isRefType(pass.Info.TypeOf(rhs)) && rootedAtRecv(rhs) {
+						srcLocals[id.Name] = true
+					}
+					continue
+				}
+				base := baseIdent(lhs)
+				if base == nil || !paramNames[base.Name] {
+					continue
+				}
+				if aliasesSource(rhs) {
+					pass.Reportf(n.Pos(),
+						"%s aliases source-owned storage (%s) into the destination; the destination "+
+							"must own a copy — use copy(), append(dst[:0], src...), or an element-wise loop "+
+							"(recycled source backing would corrupt the snapshot on reuse)",
+						fd.Name.Name, describeTarget(rhs))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// taintRoot describes one tracked pooled value: the base identifier of
+// the pool owner it was obtained from ("" when the owner has no stable
+// root).
+type taintRoot struct {
+	root string
+	pos  token.Pos // where the value was obtained (for messages)
+}
+
+// checkPoolFunc enforces rules 2 and 3 on one function body.
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl, callee func(*types.Func) (any, bool)) {
+	info := pass.Info
+	selfPooled := isPooledDecl(fd)
+
+	// tainted maps local object → pooled-taint; aliases maps local
+	// object → the root name of the receiver-/param-rooted storage it
+	// references (so `sh := &m.shards[i]` keeps root "m").
+	tainted := map[types.Object]taintRoot{}
+	aliases := map[types.Object]string{}
+	cleared := map[string]bool{} // canonical paths clear()ed so far
+
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		return info.Uses[id]
+	}
+	// rootName resolves an access path to the name of the object that
+	// owns its storage, following local aliases.
+	rootName := func(e ast.Expr) string {
+		base := baseIdent(e)
+		if base == nil {
+			return ""
+		}
+		if obj := info.Uses[base]; obj != nil {
+			if r, ok := aliases[obj]; ok {
+				return r
+			}
+			if t, ok := tainted[obj]; ok && t.root != "" {
+				// A pooled local's fields belong to its pool.
+				return t.root
+			}
+		}
+		return base.Name
+	}
+	// pooledExpr reports whether e carries pooled taint, and from which
+	// root: a tainted local, or a call to a pooled-returning function
+	// (the root is the callee chain's base, e.g. "m" for m.entries.Get()).
+	pooledExpr := func(e ast.Expr) (taintRoot, bool) {
+		e = ast.Unparen(e)
+		if obj := objOf(e); obj != nil {
+			if t, ok := tainted[obj]; ok {
+				return t, true
+			}
+			return taintRoot{}, false
+		}
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return taintRoot{}, false
+		}
+		fn, _ := resolveCallee(info, call)
+		if fn == nil {
+			return taintRoot{}, false
+		}
+		if s, known := callee(fn); known {
+			ps, _ := s.(poolSummary)
+			if ps.ReturnsPooled {
+				root := ""
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if base := baseIdent(sel.X); base != nil {
+						root = base.Name
+					}
+				}
+				return taintRoot{root: root, pos: call.Pos()}, true
+			}
+			// A pooled argument returned by the callee keeps its taint.
+			for i, arg := range call.Args {
+				if i >= 32 {
+					break
+				}
+				if ps.ParamReturned&(1<<i) != 0 {
+					if obj := objOf(arg); obj != nil {
+						if t, ok := tainted[obj]; ok {
+							return t, true
+						}
+					}
+				}
+			}
+		}
+		return taintRoot{}, false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure outlives the statement; pooled values captured by
+			// it escape their owner's scope.
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						if t, ok := tainted[obj]; ok {
+							pass.Reportf(id.Pos(),
+								"pooled memory (obtained at %s) captured by a closure; the closure may outlive "+
+									"the pool owner's Reset/Release — copy the value or hoist the capture",
+								shortPos(pass.Fset, t.pos))
+						}
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.SendStmt:
+			if t, ok := pooledExpr(n.Value); ok {
+				pass.Reportf(n.Pos(),
+					"pooled memory (obtained at %s) sent on a channel escapes its owner; the receiver may "+
+						"hold it past Reset/Release — send a copy", shortPos(pass.Fset, t.pos))
+			}
+		case *ast.ReturnStmt:
+			if selfPooled {
+				return true
+			}
+			for _, res := range n.Results {
+				if t, ok := pooledExpr(res); ok {
+					pass.Reportf(res.Pos(),
+						"pooled memory (obtained at %s) returned from a function not annotated "+
+							"//slacksim:pooled; write the ownership-transfer contract down (annotate) or return a copy",
+						shortPos(pass.Fset, t.pos))
+				}
+			}
+		case *ast.CallExpr:
+			// clear(x) marks x's canonical path as safe to recycle.
+			if isBuiltin(info, n, "clear") && len(n.Args) == 1 {
+				if c := canonExpr(ast.Unparen(n.Args[0])); c != "" {
+					cleared[c] = true
+				}
+				return true
+			}
+			// Passing a pooled value to a callee that stores its
+			// parameter globally is an escape at the call site.
+			fn, _ := resolveCallee(info, n)
+			if fn != nil {
+				if s, known := callee(fn); known {
+					ps, _ := s.(poolSummary)
+					for i, arg := range n.Args {
+						if i >= 32 || ps.ParamEscapes&(1<<i) == 0 {
+							continue
+						}
+						if t, ok := pooledExpr(arg); ok {
+							pass.Reportf(arg.Pos(),
+								"pooled memory (obtained at %s) passed to %s, which stores its argument in "+
+									"package-level state outliving the pool", shortPos(pass.Fset, t.pos), fn.Name())
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			checkPoolAssign(pass, fd, n, tainted, aliases, cleared, pooledExpr, rootName)
+		}
+		return true
+	})
+}
+
+// checkPoolAssign handles taint propagation and the store rules for one
+// assignment.
+func checkPoolAssign(pass *Pass, fd *ast.FuncDecl, as *ast.AssignStmt,
+	tainted map[types.Object]taintRoot, aliases map[types.Object]string,
+	cleared map[string]bool, pooledExpr func(ast.Expr) (taintRoot, bool),
+	rootName func(ast.Expr) string) {
+
+	info := pass.Info
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		rhs := ast.Unparen(as.Rhs[i])
+
+		// Rule 3: free-list push of a slice that was not cleared; and the
+		// store rules applied to values appended into a container.
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(info, call, "append") && len(call.Args) >= 2 {
+			if isFreeListPath(lhs) {
+				for _, arg := range call.Args[1:] {
+					arg = ast.Unparen(arg)
+					if _, ok := info.TypeOf(arg).Underlying().(*types.Slice); !ok {
+						continue
+					}
+					base := arg
+					if se, ok := arg.(*ast.SliceExpr); ok {
+						base = ast.Unparen(se.X)
+					}
+					if c := canonExpr(base); c != "" && !cleared[c] {
+						pass.Reportf(arg.Pos(),
+							"recycled slice %s pushed onto the free list without clear(); its backing still "+
+								"holds the previous items, pinning them past release and leaking them to the "+
+								"next owner (the PR 8 event.Bands aliasing bug class)", c)
+					}
+				}
+			}
+			// Appending a pooled value stores it into the destination
+			// container: the same global / cross-root rules apply.
+			for _, arg := range call.Args[1:] {
+				t, pooled := pooledExpr(ast.Unparen(arg))
+				if !pooled {
+					continue
+				}
+				if isPackageLevelTarget(info, lhs) {
+					pass.Reportf(arg.Pos(),
+						"pooled memory (obtained at %s) appended to package-level variable %s; it outlives "+
+							"the pool owner's Reset/Release", shortPos(pass.Fset, t.pos), describeTarget(lhs))
+					continue
+				}
+				lroot := rootName(lhs)
+				if t.root != "" && lroot != "" && lroot != t.root && !isLocalName(info, fd, lhs) {
+					pass.Reportf(arg.Pos(),
+						"pooled memory from %s's pool (obtained at %s) appended to %s, rooted at %s; %s's "+
+							"Reset/Release would invalidate it while %s still holds the reference",
+						t.root, shortPos(pass.Fset, t.pos), describeTarget(lhs), lroot, t.root, lroot)
+				}
+			}
+		}
+
+		// Taint/alias propagation into locals (package-level identifier
+		// targets fall through to the store rules below).
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" && !isPackageLevelTarget(info, id) {
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if t, ok := pooledExpr(rhs); ok {
+				tainted[obj] = t
+				continue
+			}
+			// Alias tracking: sh := &m.shards[i] keeps root "m".
+			if isRefType(info.TypeOf(rhs)) {
+				if r := rootName(rhs); r != "" && r != id.Name {
+					if base := baseIdent(rhs); base != nil {
+						aliases[obj] = r
+					}
+				}
+			}
+			continue
+		}
+
+		// Rule 2: pooled value stored into a field path. Allowed when the
+		// target is rooted at the same object the pool came from (the
+		// owner storing its own pooled entry); flagged for package-level
+		// targets and cross-root stores.
+		t, pooled := pooledExpr(rhs)
+		if !pooled {
+			continue
+		}
+		if isPackageLevelTarget(info, lhs) {
+			pass.Reportf(as.Pos(),
+				"pooled memory (obtained at %s) stored to package-level variable %s; it outlives the "+
+					"pool owner's Reset/Release", shortPos(pass.Fset, t.pos), describeTarget(lhs))
+			continue
+		}
+		lroot := rootName(lhs)
+		if t.root != "" && lroot != "" && lroot != t.root && !isLocalName(info, fd, lhs) {
+			pass.Reportf(as.Pos(),
+				"pooled memory from %s's pool (obtained at %s) stored into %s, rooted at %s; %s's "+
+					"Reset/Release would invalidate it while %s still holds the reference",
+				t.root, shortPos(pass.Fset, t.pos), describeTarget(lhs), lroot, t.root, lroot)
+		}
+	}
+}
+
+// isLocalName reports whether the access path's base identifier is a
+// variable declared inside fd's body (stores into locals' fields are
+// not tracked — the documented soundness boundary). Parameters and the
+// receiver are declared before the body, so they do not count as local:
+// storing pooled memory into a caller-visible structure is checked.
+func isLocalName(info *types.Info, fd *ast.FuncDecl, e ast.Expr) bool {
+	base := baseIdent(e)
+	if base == nil {
+		return false
+	}
+	obj, ok := info.Uses[base].(*types.Var)
+	if !ok || obj.IsField() {
+		return false
+	}
+	if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		return false
+	}
+	return fd.Body.Pos() <= obj.Pos() && obj.Pos() < fd.Body.End()
+}
+
+// isFreeListPath reports whether the assignment target is a free-list
+// field (final selector named free or freeList).
+func isFreeListPath(lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return lhs.Sel.Name == "free" || lhs.Sel.Name == "freeList"
+	case *ast.Ident:
+		return lhs.Name == "free" || lhs.Name == "freeList"
+	}
+	return false
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/types"
+	"reflect"
+)
+
+// A TransferFunc computes one function's summary for one analysis, given
+// a resolver for callee summaries. It is called with:
+//
+//   - n: the call-graph node being summarized. For interface-method
+//     dispatch hubs n.Decl is nil and the transfer function should join
+//     over n.Callees (the in-program implementations).
+//   - callee: resolves the current summary of a callee. known is false
+//     for functions with no declaration in the program (stdlib, export
+//     data, or other modules); each analysis chooses its policy for
+//     unknown callees and documents it as a soundness boundary.
+//
+// The per-SCC fixpoint iteration requires transfer functions to be
+// monotone over a finite lattice: recomputing with larger callee
+// summaries must not shrink the result, or the iteration cap trips.
+// Within a cycle, callees not yet summarized resolve to (nil, true) —
+// the analysis's bottom.
+type TransferFunc func(n *FuncNode, callee func(*types.Func) (sum any, known bool)) any
+
+// sccIterationCap bounds the per-SCC fixpoint loop. Monotone transfers
+// over the analyzers' small lattices converge in at most |SCC|+1 rounds;
+// the cap turns a non-monotone transfer bug into a loud panic instead of
+// a hang.
+const sccIterationCap = 64
+
+// Summaries computes (and caches, keyed by name) the bottom-up
+// interprocedural fixpoint of tf over every function in the program:
+// strongly-connected components of the call graph are processed in
+// callee-first order, and each component is iterated until its members'
+// summaries stop changing. The returned map is shared — callers must not
+// mutate it.
+func (p *Program) Summaries(name string, tf TransferFunc) map[*types.Func]any {
+	if sums, ok := p.sums[name]; ok {
+		return sums
+	}
+	g := p.CallGraph()
+	sums := make(map[*types.Func]any, len(g.nodes))
+	resolve := func(fn *types.Func) (any, bool) {
+		if g.nodes[fn] == nil {
+			return nil, false
+		}
+		return sums[fn], true
+	}
+	for _, scc := range g.sccs {
+		for round := 0; ; round++ {
+			if round == sccIterationCap {
+				panic("lint: summary fixpoint for " + name + " did not converge (non-monotone transfer?)")
+			}
+			changed := false
+			for _, n := range scc {
+				next := tf(n, resolve)
+				if prev, ok := sums[n.Fn]; !ok || !summariesEqual(prev, next) {
+					sums[n.Fn] = next
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	p.sums[name] = sums
+	return sums
+}
+
+// summariesEqual compares two summaries. Summaries are small value
+// types; DeepEqual keeps the framework agnostic to each analysis's
+// shape.
+func summariesEqual(a, b any) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return reflect.DeepEqual(a, b)
+}

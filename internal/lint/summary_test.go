@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+// loadSummaryFixture loads testdata/src/summaryfix into a fresh Program
+// and returns the call graph plus a name → node index ("helper",
+// "thing.helper" for methods by bare name).
+func loadSummaryFixture(t *testing.T) (*Program, *CallGraph, map[string]*FuncNode) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "summaryfix"))
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	prog := NewProgram(pkg)
+	g := prog.CallGraph()
+	byName := map[string]*FuncNode{}
+	for fn, n := range g.nodes {
+		byName[fn.Name()] = n
+	}
+	return prog, g, byName
+}
+
+func calleeNames(n *FuncNode) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range n.Callees {
+		out[c.Name()] = true
+	}
+	return out
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	_, _, byName := loadSummaryFixture(t)
+
+	if n := byName["callsLeaf"]; n == nil || !calleeNames(n)["leaf"] {
+		t.Errorf("callsLeaf should have an edge to leaf; got %+v", n)
+	}
+	if n := byName["even"]; n == nil || !calleeNames(n)["odd"] {
+		t.Errorf("even should have an edge to odd; got %+v", n)
+	}
+	// Method value: takesValue never calls helper, but referencing it as
+	// a value is a conservative edge.
+	if n := byName["takesValue"]; n == nil || !calleeNames(n)["helper"] {
+		t.Errorf("takesValue should have a method-value edge to helper; got %+v", n)
+	}
+	// A call through a function value is an unknown callee, not an edge.
+	if n := byName["viaFuncValue"]; n == nil || !n.CallsUnknown || len(n.Callees) != 0 {
+		t.Errorf("viaFuncValue should have CallsUnknown and no edges; got %+v", n)
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	_, g, byName := loadSummaryFixture(t)
+
+	say := byName["say"]
+	if say == nil || len(say.Callees) != 1 {
+		t.Fatalf("say should call exactly the interface method; got %+v", say)
+	}
+	hub := g.Node(say.Callees[0])
+	if hub == nil || hub.Decl != nil {
+		t.Fatalf("speak should resolve to a dispatch hub (Decl == nil); got %+v", hub)
+	}
+	impls := calleeNames(hub)
+	if !impls["speak"] || len(hub.Callees) != 2 {
+		t.Errorf("hub should fan out to both in-program implementations, got %v", hub.Callees)
+	}
+	if hub.CallsUnknown {
+		t.Errorf("a hub with in-program implementations should not be marked unknown")
+	}
+}
+
+func TestCallGraphSCCOrder(t *testing.T) {
+	_, g, byName := loadSummaryFixture(t)
+
+	sccOf := map[*FuncNode]int{}
+	for i, scc := range g.sccs {
+		for _, n := range scc {
+			sccOf[n] = i
+		}
+	}
+	even, odd := byName["even"], byName["odd"]
+	if sccOf[even] != sccOf[odd] {
+		t.Errorf("even and odd are mutually recursive and must share an SCC (got %d, %d)",
+			sccOf[even], sccOf[odd])
+	}
+	// Callee-first: leaf's component must come no later than its callers'.
+	leaf, callsLeaf, top := byName["leaf"], byName["callsLeaf"], byName["top"]
+	if !(sccOf[leaf] < sccOf[callsLeaf] && sccOf[callsLeaf] < sccOf[top]) {
+		t.Errorf("SCCs must be callee-first: leaf=%d callsLeaf=%d top=%d",
+			sccOf[leaf], sccOf[callsLeaf], sccOf[top])
+	}
+}
+
+// TestSummariesFixpoint runs a reachability analysis ("can reach leaf")
+// through the framework: the chain propagates, the even/odd cycle
+// converges to a sound fixpoint, and results are cached by name.
+func TestSummariesFixpoint(t *testing.T) {
+	prog, _, byName := loadSummaryFixture(t)
+
+	transfer := func(n *FuncNode, callee func(*types.Func) (any, bool)) any {
+		if n.Fn.Name() == "leaf" {
+			return true
+		}
+		for _, c := range n.Callees {
+			if s, known := callee(c); known {
+				if b, _ := s.(bool); b {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	sums := prog.Summaries("test.reach", transfer)
+
+	for name, want := range map[string]bool{
+		"leaf": true, "callsLeaf": true, "top": true,
+		"even": false, "odd": false, "say": false,
+	} {
+		got, _ := sums[byName[name].Fn].(bool)
+		if got != want {
+			t.Errorf("reach(%s) = %v, want %v", name, got, want)
+		}
+	}
+	if again := prog.Summaries("test.reach", nil); len(again) != len(sums) {
+		t.Errorf("cached summaries should be returned without re-running the transfer")
+	}
+}
+
+// TestSummariesNonMonotonePanics pins the fixpoint guard: a transfer
+// that oscillates must trip the iteration cap loudly instead of hanging.
+func TestSummariesNonMonotonePanics(t *testing.T) {
+	prog, _, _ := loadSummaryFixture(t)
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-monotone transfer should panic at the iteration cap")
+		}
+	}()
+	round := map[*types.Func]int{}
+	prog.Summaries("test.oscillate", func(n *FuncNode, _ func(*types.Func) (any, bool)) any {
+		round[n.Fn]++
+		return round[n.Fn] // grows forever: never converges
+	})
+}

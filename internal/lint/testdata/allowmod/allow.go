@@ -1,0 +1,19 @@
+// Fixture module for slacksimlint's -allows waiver inventory: one used
+// and justified waiver, one stale waiver that suppresses nothing, and
+// one waiver missing its mandatory reason.
+package allowmod
+
+//slacksim:hotpath
+func hot() *int {
+	return new(int) //lint:allow hotpathalloc -- fixture: a used, justified waiver
+}
+
+func cold() int {
+	x := 1 //lint:allow hotpathalloc -- fixture: stale, nothing on this line allocates in a hot path
+	return x
+}
+
+//slacksim:hotpath
+func hotNoReason() []int {
+	return make([]int, 4) //lint:allow hotpathalloc
+}

@@ -1,0 +1,3 @@
+module allowmod
+
+go 1.22

@@ -1,0 +1,107 @@
+// Fixture for the atomicfield analyzer: fields accessed via sync/atomic
+// anywhere must be accessed atomically everywhere (outside the
+// constructor), and typed atomics must never be copied by value.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits int64
+	flag atomic.Bool
+	vals []atomic.Int64
+}
+
+// NewCounter is the constructor: plain initialization before the value
+// is published is the idiom.
+func NewCounter() *counter {
+	c := &counter{}
+	c.n = 0
+	return c
+}
+
+func (c *counter) incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) badInc() {
+	c.n++ // want `incremented directly`
+}
+
+func (c *counter) badRead() int64 {
+	return c.n // want `read directly`
+}
+
+func (c *counter) badWrite() {
+	c.n = 0 // want `written directly`
+}
+
+// plainOnly touches a field no one accesses atomically: out of scope.
+func (c *counter) plainOnly() {
+	c.hits++
+	c.hits = c.hits + 1
+}
+
+// bump uses its pointer parameter atomically only: a safe sink.
+func bump(p *int64) { atomic.AddInt64(p, 1) }
+
+// bumpTwice forwards to bump: still atomic-only, transitively.
+func bumpTwice(p *int64) {
+	bump(p)
+	bump(p)
+}
+
+// deref reads its pointer parameter plainly.
+func deref(p *int64) int64 { return *p }
+
+func (c *counter) viaHelper() {
+	bump(&c.n)
+	bumpTwice(&c.n)
+}
+
+func (c *counter) viaBadHelper() int64 {
+	return deref(&c.n) // want `accesses it non-atomically`
+}
+
+var hook func(*int64)
+
+func (c *counter) viaUnknown() {
+	hook(&c.n) // want `address taken outside an atomic call`
+}
+
+// Typed atomics: method calls and address-taking are fine; copies tear.
+
+func (c *counter) typedOK(v bool) bool {
+	c.flag.Store(v)
+	return c.flag.Load()
+}
+
+func (c *counter) typedAddr() *atomic.Bool {
+	return &c.flag
+}
+
+func (c *counter) typedCopy() atomic.Bool {
+	return c.flag // want `used by value`
+}
+
+func (c *counter) typedAssign(v bool) {
+	var b atomic.Bool
+	b.Store(v)
+	c.flag = b // want `assigned by value`
+}
+
+func (c *counter) typedRange() int64 {
+	var sum int64
+	for _, v := range c.vals { // want `copies atomic values`
+		_ = v
+		sum++
+	}
+	for i := range c.vals {
+		sum += c.vals[i].Load()
+	}
+	return sum
+}

@@ -1,0 +1,68 @@
+// Fixture for the keyappend analyzer: key-composition functions pinned
+// with //slacksim:appendonly must match their schema file exactly —
+// renames, removals, and reorders are flagged, and new segments are
+// flagged until appended to the pin.
+package keyappend
+
+import "fmt"
+
+type spec struct {
+	workload string
+	cores    int
+	synth    string
+	sample   string
+}
+
+// Key matches its pin, including the conditional tail segments.
+//
+//slacksim:appendonly pins/key.schema
+func (s *spec) Key() string {
+	canon := fmt.Sprintf("v2|workload=%s|cores=%d", s.workload, s.cores)
+	if s.synth != "" {
+		canon += "|synth=" + s.synth
+	}
+	if s.sample != "" {
+		canon += fmt.Sprintf("|sample=%s", s.sample)
+	}
+	return canon
+}
+
+//slacksim:appendonly pins/renamed.schema
+func (s *spec) keyRenamed() string {
+	return fmt.Sprintf("v2|work=%s|cores=%d", s.workload, s.cores) // want `"work" does not match "workload"`
+}
+
+//slacksim:appendonly pins/reordered.schema
+func (s *spec) keyReordered() string {
+	return fmt.Sprintf("v2|cores=%d|workload=%s", s.cores, s.workload) // want `"cores" does not match "workload"`
+}
+
+//slacksim:appendonly pins/short.schema
+func (s *spec) keyExtended() string {
+	return fmt.Sprintf("v2|workload=%s|cores=%d|extra=1", s.workload, s.cores) // want `"extra" extends the schema`
+}
+
+//slacksim:appendonly pins/key.schema
+func (s *spec) keyMissing() string { // want `"cores" \(position 3 in pins/key.schema\) is missing`
+	return fmt.Sprintf("v2|workload=%s", s.workload)
+}
+
+//slacksim:appendonly pins/absent.schema
+func (s *spec) keyNoPin() string { // want `pin file pins/absent.schema not found`
+	return fmt.Sprintf("v2|workload=%s", s.workload)
+}
+
+//slacksim:appendonly
+func (s *spec) keyNoPath() string { // want `missing its pin-file path`
+	return "v2"
+}
+
+//slacksim:appendonly pins/key.schema
+func (s *spec) keyDynamic() string {
+	return fmt.Sprintf("v2|%s=1|workload=%s|cores=%d", s.workload, s.workload, s.cores) // want `not a plain literal`
+}
+
+// unpinned key builders are out of scope.
+func (s *spec) legacyKey() string {
+	return fmt.Sprintf("v1|%s", s.workload)
+}

@@ -1,0 +1,40 @@
+// Regression pin for the PR 8 event.Bands recycled-slice aliasing bug:
+// a rebased band pushed onto the free list without clear() keeps the
+// previous window's items alive in its backing array and leaks them to
+// the slice's next owner.
+package poolescape
+
+type item struct{ p *int }
+
+type bands struct {
+	bands [][]item
+	free  [][]item
+}
+
+// recycleUncleared reconstructs the original bug: length is reset to
+// zero but the backing still pins the old items.
+func (b *bands) recycleUncleared() {
+	for i := 1; i < len(b.bands); i++ {
+		b.free = append(b.free, b.bands[i][:0]) // want `pushed onto the free list without clear\(\).*PR 8`
+	}
+	b.bands = b.bands[:1]
+}
+
+// recycleCleared is the fixed idiom that shipped: clear, then free-list.
+func (b *bands) recycleCleared() {
+	for i := 1; i < len(b.bands); i++ {
+		clear(b.bands[i])
+		b.free = append(b.free, b.bands[i][:0])
+	}
+	b.bands = b.bands[:1]
+}
+
+// recycleViaLocal clears through a local alias of the same band.
+func (b *bands) recycleViaLocal() {
+	for i := 1; i < len(b.bands); i++ {
+		s := b.bands[i]
+		clear(s)
+		b.free = append(b.free, s[:0])
+	}
+	b.bands = b.bands[:1]
+}

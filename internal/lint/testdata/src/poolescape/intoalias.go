@@ -1,0 +1,58 @@
+// SnapshotInto/CopyInto aliasing cases: the destination must own a
+// copy; source-rooted reference values may never be stored into it.
+package poolescape
+
+type snap struct {
+	items []int
+	meta  map[string]int
+	rows  [][]int
+	next  *snap
+}
+
+func (s *snap) SnapshotInto(dst *snap) {
+	dst.items = s.items // want `aliases source-owned storage \(s.items\)`
+	dst.meta = s.meta   // want `aliases source-owned storage \(s.meta\)`
+	dst.next = s.next   // pointers to immutable-by-convention siblings still alias // want `aliases source-owned storage \(s.next\)`
+}
+
+func (s *snap) CopyInto(dst *snap) {
+	// The accepted copying idioms produce no findings.
+	dst.items = append(dst.items[:0], s.items...)
+	if dst.meta == nil {
+		dst.meta = make(map[string]int, len(s.meta))
+	}
+	clear(dst.meta)
+	for k, v := range s.meta {
+		dst.meta[k] = v
+	}
+	n := len(s.rows)
+	_ = n
+}
+
+// aliasThroughLocal tracks source-rooted references through locals and
+// range variables.
+func (s *snap) aliasThroughLocal(dst *snap) { // not an Into method: rule does not apply
+	dst.items = s.items
+}
+
+type deepSnap struct {
+	rows [][]int
+}
+
+func (d *deepSnap) SnapshotInto(dst *deepSnap) {
+	rows := d.rows
+	dst.rows = rows // want `aliases source-owned storage \(rows\)`
+	for _, row := range d.rows {
+		dst.rows = append(dst.rows, row) // want `aliases source-owned storage`
+	}
+}
+
+// cleanDeep deep-copies row by row: clean.
+func (d *deepSnap) CopyInto(dst *deepSnap) {
+	dst.rows = dst.rows[:0]
+	for i := range d.rows {
+		var row []int
+		row = append(row, d.rows[i]...)
+		dst.rows = append(dst.rows, row)
+	}
+}

@@ -1,0 +1,51 @@
+// Fixture for the call-graph and summary framework tests: direct
+// chains, mutual recursion, method values, and interface dispatch.
+package summaryfix
+
+type thing struct{ n int }
+
+func leaf() int      { return 1 }
+func callsLeaf() int { return leaf() }
+func top() int       { return callsLeaf() }
+
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+func (t *thing) helper() int { return t.n }
+
+// takesValue references helper as a method value: a conservative edge.
+func (t *thing) takesValue() func() int {
+	return t.helper
+}
+
+// viaFuncValue calls through a function value: an unknown callee.
+func viaFuncValue(f func() int) int {
+	return f()
+}
+
+type speaker interface {
+	speak() string
+}
+
+type dog struct{}
+
+func (d *dog) speak() string { return "woof" }
+
+type cat struct{}
+
+func (c *cat) speak() string { return "meow" }
+
+func say(s speaker) string {
+	return s.speak()
+}

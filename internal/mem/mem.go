@@ -42,6 +42,7 @@ type shard struct {
 // The caller holds sh.mu or owns the Memory exclusively.
 //
 //slacksim:hotpath
+//slacksim:pooled
 func (sh *shard) getPage() *page {
 	if n := len(sh.free); n > 0 { //lint:allow guardedby -- locking contract: every caller holds sh.mu or owns the Memory exclusively
 		p := sh.free[n-1]       //lint:allow guardedby -- see above
@@ -201,7 +202,7 @@ func (m *Memory) StartTracking() {
 		sh := &m.shards[i]
 		sh.mu.Lock()
 		if sh.dirty == nil {
-			sh.dirty = make(map[uint64]struct{})
+			sh.dirty = make(map[uint64]struct{}) //lint:allow hotpathalloc -- one-time tracking warm-up; cleared and reused thereafter
 		} else {
 			clear(sh.dirty)
 		}

@@ -282,7 +282,11 @@ func (s Spec) Validate() error {
 // Key returns the spec's content address: the hex SHA-256 of a canonical
 // fixed-order rendering of the normalized spec. Identical runs — however
 // their specs were spelled — share a key; any field that changes the
-// simulation changes the key.
+// simulation changes the key. The segment schema is append-only (keys
+// name results already persisted in the durable store) and is pinned in
+// testdata/keyschema.golden, enforced by the keyappend analyzer.
+//
+//slacksim:appendonly testdata/keyschema.golden
 func (s Spec) Key() string {
 	n := s.Normalize()
 	canon := fmt.Sprintf(

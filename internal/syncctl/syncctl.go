@@ -301,7 +301,7 @@ func (c *Controller) Restore(snap *Controller) {
 	for a, l := range snap.locks {
 		e := c.locks[a]
 		if e == nil {
-			e = &lockState{}
+			e = &lockState{} //lint:allow hotpathalloc -- lock population is tiny and stable; entries are reused across boundaries
 			c.locks[a] = e
 		}
 		*e = *l
@@ -314,7 +314,7 @@ func (c *Controller) Restore(snap *Controller) {
 	for id, b := range snap.barriers {
 		e := c.barriers[id]
 		if e == nil {
-			e = &barrier{waiting: make(map[int]bool, len(b.waiting))}
+			e = &barrier{waiting: make(map[int]bool, len(b.waiting))} //lint:allow hotpathalloc -- barrier population is tiny and stable; entries are reused across boundaries
 			c.barriers[id] = e
 		}
 		e.arrived, e.generation, e.releasedAt = b.arrived, b.generation, b.releasedAt

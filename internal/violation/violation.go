@@ -289,7 +289,7 @@ func (d *Detector) CopyInto(dst *Detector) {
 	if !match {
 		dst.intervals = dst.intervals[:0]
 		for _, is := range d.intervals {
-			dst.intervals = append(dst.intervals, //lint:allow hotpathalloc -- interval-shape change only (first copy or reconfiguration); steady-state boundaries hit the match path
+			dst.intervals = append(dst.intervals, // interval-shape change only (first copy or reconfiguration); steady-state boundaries hit the match path
 				&IntervalStats{Interval: is.Interval, firstTS: make(map[int64]int64, len(is.firstTS))}) //lint:allow hotpathalloc -- same shape-change path as above
 		}
 	}

@@ -25,14 +25,40 @@ summary() {
 fail=0
 
 # 1. Standalone mode over the whole module (offline: loads and
-#    type-checks every package from source, fixtures excluded).
+#    type-checks every package from source, fixtures excluded). Run once
+#    per analyzer so the job summary shows where findings cluster; the
+#    interprocedural analyzers (poolescape, atomicfield, hotpathalloc,
+#    keyappend) only see whole-module summaries in this mode, so it is
+#    the authoritative gate.
 echo "==> slacksimlint (standalone) ./..."
-if ! out=$("./$BIN" . 2>&1); then
+analyzers=$("./$BIN" -list . | awk '{print $1}')
+counts=""
+for a in $analyzers; do
+  if out=$("./$BIN" -only "$a" . 2>&1); then
+    n=0
+  else
+    n=$(printf '%s\n' "$out" | grep -c ": $a: " || true)
+    fail=1
+    echo "$out"
+    summary "## slacksimlint findings ($a)" '' '```' "$out" '```'
+  fi
+  counts="$counts| $a | $n |"$'\n'
+done
+summary "## slacksimlint findings per analyzer" '' \
+        '| analyzer | findings |' '| --- | --- |' "$counts"
+if [ "$fail" -eq 0 ]; then
+  echo "clean"
+fi
+
+# 1b. Waiver inventory: every //lint:allow must carry a reason and must
+#     still suppress something. Stale or unjustified waivers fail.
+echo "==> slacksimlint -allows (waiver inventory)"
+if ! out=$("./$BIN" -allows . 2>&1); then
   fail=1
   echo "$out"
-  summary "## slacksimlint findings" '' '```' "$out" '```'
+  summary "## stale or unjustified //lint:allow directives" '' '```' "$out" '```'
 else
-  echo "clean"
+  echo "clean ($(printf '%s\n' "$out" | grep -c . || true) waivers, all used and justified)"
 fi
 
 # 2. Vet mode: the same analyzers driven by the go command's unitchecker
